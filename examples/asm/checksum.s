@@ -1,0 +1,16 @@
+# Fletcher-style checksum over 32 words with the MAC extension:
+#   run with: xenergy run examples/asm/checksum.s -e mac
+main:
+  movi a2, 69632          # data base (0x11000)
+  movi a3, 32
+  movi a6, 1
+  tie.clracc
+loop:
+  l32i a4, a2, 0
+  tie.mac a4, a6          # acc += data[i] * 1
+  addi a2, a2, 4
+  addi a3, a3, -1
+  bnez a3, loop
+  tie.rdacc a5
+  break
+.words input 11 22 33 44 55 66 77 88 99 110 121 132 143 154 165 176 187 198 209 220 231 242 253 264 275 286 297 308 319 330 341 352

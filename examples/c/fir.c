@@ -1,0 +1,26 @@
+// 8-tap FIR filter over a 64-sample signal, using the MAC extension:
+//   xenergy cc examples/c/fir.c -e mac
+int signal[64];
+int coeff[8] = {3, -1, 4, 1, -5, 9, 2, -6};
+int output[64];
+
+int fill_signal() {
+  int x = 12345;
+  for (int i = 0; i < 64; i = i + 1) {
+    x = (x * 1103515245 + 12345) & 0x7fff;
+    signal[i] = x;
+  }
+  return 0;
+}
+
+int main() {
+  fill_signal();
+  for (int n = 7; n < 64; n = n + 1) {
+    __tie_clracc();
+    for (int k = 0; k < 8; k = k + 1) {
+      __tie_mac(signal[n - k], coeff[k]);
+    }
+    output[n] = __tie_rdacc();
+  }
+  return output[63];
+}
