@@ -1,0 +1,388 @@
+(* xenergy: command-line driver for the extensible-processor energy
+   estimation flow.
+
+     xenergy list                    show all workloads
+     xenergy profile NAME            ISS statistics + macro-model variables
+     xenergy reference NAME          reference-estimator energy breakdown
+     xenergy characterize [-o FILE]  fit the macro-model (Table I / Fig 3)
+     xenergy estimate NAME [-m FILE] macro-model energy of one workload
+     xenergy compare [-m FILE]       Table II accuracy comparison
+     xenergy rs [-m FILE]            Fig 4 design-space study
+     xenergy disasm NAME             disassembly listing
+     xenergy breakdown NAME          per-block reference-energy breakdown
+     xenergy trace NAME [-n N]       per-instruction execution/energy trace
+     xenergy run FILE.s [-e EXT]     assemble/simulate/estimate a .s file
+     xenergy cc FILE.c [-e EXT]      compile/simulate/estimate a Tiny-C file *)
+
+open Cmdliner
+
+let fmt = Format.std_formatter
+
+let characterize_model () =
+  Core.Characterize.run (Workloads.Suite.characterization ())
+
+let load_or_fit = function
+  | Some path -> Core.Template.load path
+  | None ->
+    Format.fprintf fmt "characterizing (no model file given)...@.";
+    (characterize_model ()).Core.Characterize.model
+
+let model_arg =
+  let doc = "Read macro-model coefficients from $(docv) instead of
+             re-characterizing." in
+  Arg.(value & opt (some string) None & info [ "m"; "model" ] ~docv:"FILE" ~doc)
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+
+let find_case name =
+  try Workloads.Suite.find name
+  with Not_found ->
+    Format.fprintf fmt "unknown workload %S; try `xenergy list'@." name;
+    exit 1
+
+(* --- list --------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Format.fprintf fmt "@[<v>characterization suite:@,";
+    List.iter
+      (fun c -> Format.fprintf fmt "  %s@," c.Core.Extract.case_name)
+      (Workloads.Suite.characterization ());
+    Format.fprintf fmt "applications:@,";
+    List.iter
+      (fun c -> Format.fprintf fmt "  %s@," c.Core.Extract.case_name)
+      (Workloads.Suite.applications ());
+    Format.fprintf fmt "reed-solomon choices:@,";
+    List.iter
+      (fun c -> Format.fprintf fmt "  %s@," c.Core.Extract.case_name)
+      (Workloads.Suite.reed_solomon_choices ());
+    Format.fprintf fmt "compiled Tiny-C applications:@,";
+    List.iter
+      (fun c -> Format.fprintf fmt "  %s@," c.Core.Extract.case_name)
+      (Workloads.Suite.c_applications ());
+    Format.fprintf fmt "@]@."
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List all workloads")
+    Term.(const run $ const ())
+
+(* --- profile ------------------------------------------------------------ *)
+
+let profile_cmd =
+  let run name =
+    let c = find_case name in
+    let p = Core.Extract.profile c in
+    Format.fprintf fmt "%a@." Core.Extract.pp_profile p
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Simulate and print macro-model variables")
+    Term.(const run $ name_arg)
+
+(* --- reference ----------------------------------------------------------- *)
+
+let reference_cmd =
+  let run name =
+    let c = find_case name in
+    let energy, cpu =
+      Power.Estimator.estimate_program ?extension:c.Core.Extract.extension
+        c.Core.Extract.asm
+    in
+    Format.fprintf fmt "%s: %d instructions, %d cycles@." name
+      (Sim.Cpu.instructions cpu) (Sim.Cpu.cycles cpu);
+    Format.fprintf fmt "reference energy: %a@." Power.Report.pp_energy energy
+  in
+  Cmd.v
+    (Cmd.info "reference"
+       ~doc:"Reference (RTL-level) energy of one workload")
+    Term.(const run $ name_arg)
+
+(* --- characterize -------------------------------------------------------- *)
+
+let characterize_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Save fitted coefficients to $(docv).")
+  in
+  let run out =
+    let fit = characterize_model () in
+    Format.fprintf fmt "%a@." Core.Characterize.pp_fit fit;
+    Format.fprintf fmt "%a@."
+      (Core.Template.pp_table1 ~paper:Core.Template.paper_reference)
+      fit.Core.Characterize.model;
+    match out with
+    | Some path ->
+      Core.Template.save path fit.Core.Characterize.model;
+      Format.fprintf fmt "coefficients written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Fit the macro-model on the characterization suite")
+    Term.(const run $ out_arg)
+
+(* --- estimate ------------------------------------------------------------ *)
+
+let estimate_cmd =
+  let run model_path name =
+    let model = load_or_fit model_path in
+    let c = find_case name in
+    let r = Core.Estimate.run model c in
+    Format.fprintf fmt
+      "%s: %.3f uJ (%d instructions, %d cycles)@." name
+      r.Core.Estimate.energy_uj r.Core.Estimate.instructions r.Core.Estimate.cycles
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Macro-model energy of one workload")
+    Term.(const run $ model_arg $ name_arg)
+
+(* --- compare ------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run model_path =
+    let model = load_or_fit model_path in
+    let table =
+      Core.Evaluate.compare_cases model (Workloads.Suite.applications ())
+    in
+    Format.fprintf fmt "%a@." Core.Evaluate.pp_table table
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Table II: applications, macro-model vs reference")
+    Term.(const run $ model_arg)
+
+(* --- disasm ---------------------------------------------------------------- *)
+
+let disasm_cmd =
+  let run name =
+    let c = find_case name in
+    Format.fprintf fmt "%a@." Isa.Program.pp_listing c.Core.Extract.asm
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassembly listing of a workload")
+    Term.(const run $ name_arg)
+
+(* --- breakdown ------------------------------------------------------------- *)
+
+let breakdown_cmd =
+  let run name =
+    let c = find_case name in
+    let est =
+      Power.Estimator.create ?extension:c.Core.Extract.extension
+        Sim.Config.default
+    in
+    let cpu, _ =
+      Sim.Cpu.run_program ?extension:c.Core.Extract.extension
+        ~observers:[ Power.Estimator.observer est ]
+        c.Core.Extract.asm
+    in
+    Format.fprintf fmt "%s: %d instructions, %d cycles@." name
+      (Sim.Cpu.instructions cpu) (Sim.Cpu.cycles cpu);
+    Format.fprintf fmt "%a@." Power.Report.pp_breakdown
+      (Power.Estimator.breakdown est)
+  in
+  Cmd.v
+    (Cmd.info "breakdown"
+       ~doc:"Per-block reference-energy breakdown of a workload")
+    Term.(const run $ name_arg)
+
+(* --- trace ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let count_arg =
+    Arg.(value & opt int 40
+         & info [ "n"; "count" ] ~docv:"N"
+             ~doc:"Number of instructions to trace.")
+  in
+  let run name count =
+    let c = find_case name in
+    let est =
+      Power.Estimator.create ?extension:c.Core.Extract.extension
+        Sim.Config.default
+    in
+    let shown = ref 0 in
+    let prev_energy = ref 0.0 in
+    Format.fprintf fmt "%8s %8s %6s %-25s %3s %10s@." "cycle" "pc" "cyc"
+      "instruction" "flg" "energy pJ";
+    let obs e =
+      Power.Estimator.observe est e;
+      if !shown < count then begin
+        incr shown;
+        let now = Power.Estimator.total_energy est in
+        let flags =
+          String.concat ""
+            [ (if e.Sim.Event.interlock then "i" else "");
+              (if not e.Sim.Event.fetch.Sim.Event.fhit then "m" else "");
+              (match e.Sim.Event.taken with
+               | Some true -> "T"
+               | Some false -> "n"
+               | None -> "") ]
+        in
+        Format.fprintf fmt "%8d %8x %6d %-25s %3s %10.1f@."
+          e.Sim.Event.start_cycle e.Sim.Event.fetch.Sim.Event.fpc
+          e.Sim.Event.cycles
+          (Isa.Instr.to_string e.Sim.Event.instr)
+          flags (now -. !prev_energy);
+        prev_energy := now
+      end
+    in
+    let cpu, _ =
+      Sim.Cpu.run_program ?extension:c.Core.Extract.extension
+        ~observers:[ obs ] c.Core.Extract.asm
+    in
+    Format.fprintf fmt "... %d instructions total, %d cycles, %a@."
+      (Sim.Cpu.instructions cpu) (Sim.Cpu.cycles cpu)
+      Power.Report.pp_energy
+      (Power.Estimator.total_energy est)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Per-instruction execution/energy trace (WattWatcher style)")
+    Term.(const run $ name_arg $ count_arg)
+
+(* --- run: external assembly files ------------------------------------------ *)
+
+let run_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s")
+  in
+  let ext_arg =
+    Arg.(value & opt (some string) None
+         & info [ "e"; "extension" ] ~docv:"NAME"
+             ~doc:"Install a named custom-instruction extension (one of:
+                   mac, add4, blend, des, gf, gfmac, gf4, cover_*).")
+  in
+  let run model_path file ext_name =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    let program =
+      try Isa.Asm_parser.parse_string ~name:(Filename.basename file) source
+      with Isa.Asm_parser.Parse_error (line, msg) ->
+        Format.fprintf fmt "%s:%d: %s@." file line msg;
+        exit 1
+    in
+    let extension =
+      match ext_name with
+      | None -> None
+      | Some n -> (
+        match Workloads.Tie_lib.by_name n with
+        | Some e -> Some e
+        | None ->
+          Format.fprintf fmt "unknown extension %S; available: %s@." n
+            (String.concat ", " Workloads.Tie_lib.extension_names);
+          exit 1)
+    in
+    let asm =
+      try Isa.Program.assemble program
+      with Isa.Program.Assembly_error msg ->
+        Format.fprintf fmt "%s: %s@." file msg;
+        exit 1
+    in
+    let case = Core.Extract.case ?extension "user" asm in
+    let profile = Core.Extract.profile case in
+    Format.fprintf fmt "%a@." Core.Extract.pp_profile profile;
+    let ref_pj, _ =
+      Power.Estimator.estimate_program ?extension asm
+    in
+    Format.fprintf fmt "reference energy: %a@." Power.Report.pp_energy ref_pj;
+    let model = load_or_fit model_path in
+    let est = Core.Estimate.of_profile model profile in
+    Format.fprintf fmt "macro-model estimate: %a (error %+.2f%%)@."
+      Power.Report.pp_energy est.Core.Estimate.energy_pj
+      (100.0 *. (est.Core.Estimate.energy_pj -. ref_pj) /. ref_pj)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Assemble, simulate and estimate an external .s file")
+    Term.(const run $ model_arg $ file_arg $ ext_arg)
+
+(* --- cc: compile and estimate C sources ------------------------------------ *)
+
+let cc_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+  in
+  let ext_arg =
+    Arg.(value & opt (some string) None
+         & info [ "e"; "extension" ] ~docv:"NAME"
+             ~doc:"Install a named custom-instruction extension.")
+  in
+  let listing_arg =
+    Arg.(value & flag
+         & info [ "S"; "listing" ] ~doc:"Print the generated assembly.")
+  in
+  let run model_path file ext_name listing =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    let compiled =
+      try Cc.Codegen.compile_source source with
+      | Cc.Parser.Parse_error (line, msg) ->
+        Format.fprintf fmt "%s:%d: %s@." file line msg;
+        exit 1
+      | Cc.Codegen.Codegen_error msg ->
+        Format.fprintf fmt "%s: %s@." file msg;
+        exit 1
+    in
+    if listing then
+      Format.fprintf fmt "%a@." Isa.Program.pp_listing
+        compiled.Cc.Codegen.c_asm;
+    let extension =
+      match ext_name with
+      | None -> None
+      | Some n -> (
+        match Workloads.Tie_lib.by_name n with
+        | Some e -> Some e
+        | None ->
+          Format.fprintf fmt "unknown extension %S; available: %s@." n
+            (String.concat ", " Workloads.Tie_lib.extension_names);
+          exit 1)
+    in
+    let case =
+      Core.Extract.case ?extension "c-program" compiled.Cc.Codegen.c_asm
+    in
+    let profile = Core.Extract.profile case in
+    let cpu, _ =
+      Sim.Cpu.run_program ?extension compiled.Cc.Codegen.c_asm
+    in
+    Format.fprintf fmt
+      "main returned %d (%d instructions, %d cycles)@."
+      (Sim.Cpu.reg cpu (Isa.Reg.a 10))
+      profile.Core.Extract.instructions profile.Core.Extract.cycles;
+    let ref_pj, _ =
+      Power.Estimator.estimate_program ?extension compiled.Cc.Codegen.c_asm
+    in
+    Format.fprintf fmt "reference energy: %a@." Power.Report.pp_energy ref_pj;
+    let model = load_or_fit model_path in
+    let est = Core.Estimate.of_profile model profile in
+    Format.fprintf fmt "macro-model estimate: %a (error %+.2f%%)@."
+      Power.Report.pp_energy est.Core.Estimate.energy_pj
+      (100.0 *. (est.Core.Estimate.energy_pj -. ref_pj) /. ref_pj)
+  in
+  Cmd.v
+    (Cmd.info "cc"
+       ~doc:"Compile a Tiny-C file, simulate it and estimate its energy")
+    Term.(const run $ model_arg $ file_arg $ ext_arg $ listing_arg)
+
+(* --- rs ------------------------------------------------------------------ *)
+
+let rs_cmd =
+  let run model_path =
+    let model = load_or_fit model_path in
+    let table =
+      Core.Evaluate.compare_cases model (Workloads.Suite.reed_solomon_choices ())
+    in
+    Format.fprintf fmt "%a@." Core.Evaluate.pp_table table;
+    Format.fprintf fmt "correlation %.4f, rank agreement %b@."
+      (Core.Evaluate.correlation table)
+      (Core.Evaluate.rank_agreement table)
+  in
+  Cmd.v
+    (Cmd.info "rs" ~doc:"Fig 4: Reed-Solomon custom-instruction choices")
+    Term.(const run $ model_arg)
+
+let main_cmd =
+  let doc = "Energy estimation for extensible processors" in
+  Cmd.group (Cmd.info "xenergy" ~version:"1.0.0" ~doc)
+    [ list_cmd; profile_cmd; reference_cmd; characterize_cmd; estimate_cmd;
+      compare_cmd; rs_cmd; disasm_cmd; breakdown_cmd; trace_cmd;
+      run_cmd; cc_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_instruction.ml: Array Core Format Isa List Option Power Sim Tie Workloads

@@ -1,0 +1,1 @@
+examples/tradeoff.ml: Array Core Format Isa Sim Workloads

@@ -1,0 +1,1 @@
+lib/cc/codegen.ml: Array Ast Format Isa List Option Parser String

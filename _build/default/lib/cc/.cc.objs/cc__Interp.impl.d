@@ -1,0 +1,1 @@
+lib/cc/interp.ml: Array Ast Format Hashtbl List Option String

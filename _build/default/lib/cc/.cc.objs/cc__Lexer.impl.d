@@ -1,0 +1,1 @@
+lib/cc/lexer.ml: Char Format List String

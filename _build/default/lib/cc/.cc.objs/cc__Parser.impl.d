@@ -1,0 +1,1 @@
+lib/cc/parser.ml: Array Ast Format Lexer List

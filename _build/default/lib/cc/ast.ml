@@ -1,0 +1,85 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Shl | Shr
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | Land | Lor
+
+type unop = Neg | Not | Lnot
+
+type expr =
+  | Const of int
+  | Var of string
+  | Index of string * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+
+type stmt =
+  | Expr of expr
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Decl of string * expr option
+
+type global = {
+  gname : string;
+  gsize : int;
+  ginit : int list;
+}
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+}
+
+type program = {
+  globals : global list;
+  funcs : func list;
+}
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | And -> "&" | Or -> "|" | Xor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Land -> "&&" | Lor -> "||"
+
+let rec pp_expr ppf = function
+  | Const v -> Format.fprintf ppf "%d" v
+  | Var v -> Format.pp_print_string ppf v
+  | Index (a, e) -> Format.fprintf ppf "%s[%a]" a pp_expr e
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Unop (Neg, e) -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Unop (Not, e) -> Format.fprintf ppf "(~%a)" pp_expr e
+  | Unop (Lnot, e) -> Format.fprintf ppf "(!%a)" pp_expr e
+  | Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_expr)
+      args
+
+let rec pp_stmt ppf = function
+  | Expr e -> Format.fprintf ppf "%a;" pp_expr e
+  | Assign (v, e) -> Format.fprintf ppf "%s = %a;" v pp_expr e
+  | Store (a, i, e) ->
+    Format.fprintf ppf "%s[%a] = %a;" a pp_expr i pp_expr e
+  | If (c, t, []) ->
+    Format.fprintf ppf "if (%a) { %a }" pp_expr c pp_block t
+  | If (c, t, e) ->
+    Format.fprintf ppf "if (%a) { %a } else { %a }" pp_expr c pp_block t
+      pp_block e
+  | While (c, body) ->
+    Format.fprintf ppf "while (%a) { %a }" pp_expr c pp_block body
+  | For (_, _, _, body) -> Format.fprintf ppf "for (...) { %a }" pp_block body
+  | Return None -> Format.pp_print_string ppf "return;"
+  | Return (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+  | Decl (v, None) -> Format.fprintf ppf "int %s;" v
+  | Decl (v, Some e) -> Format.fprintf ppf "int %s = %a;" v pp_expr e
+
+and pp_block ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space pp_stmt ppf stmts

@@ -1,0 +1,47 @@
+(** Abstract syntax of Tiny-C. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Shl | Shr
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | Land | Lor
+
+type unop = Neg | Not | Lnot
+
+type expr =
+  | Const of int
+  | Var of string
+  | Index of string * expr          (** global-array element *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list      (** function or [__tie_*] intrinsic *)
+
+type stmt =
+  | Expr of expr                    (** expression statement (calls) *)
+  | Assign of string * expr
+  | Store of string * expr * expr   (** array[idx] = value *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Decl of string * expr option    (** local declaration *)
+
+type global = {
+  gname : string;
+  gsize : int;                      (** elements; 1 for scalars *)
+  ginit : int list;                 (** at most [gsize] initialisers *)
+}
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+}
+
+type program = {
+  globals : global list;
+  funcs : func list;
+}
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit

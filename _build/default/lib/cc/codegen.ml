@@ -1,0 +1,403 @@
+exception Codegen_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
+
+type compiled = {
+  c_program : Isa.Program.t;
+  c_asm : Isa.Program.asm;
+  c_globals : (string * int) list;
+}
+
+let globals_base = 0x11000
+let stack_top = 0x80000
+let max_depth = 6
+let max_params = 4
+let spill_slots = max_depth
+
+(* Frame layout (word offsets from a1 after the prologue):
+   0: saved a0; 1..6: expression spills; 7..: locals. *)
+let a0_slot = 0
+let spill_off k = 4 * (1 + k)
+let local_off k = 4 * (1 + spill_slots + k)
+
+type fenv = {
+  b : Isa.Builder.t;
+  globals : (string * int) list;
+  func_arity : (string * int) list;
+  locals : (string * int) list;      (* name -> local index *)
+  epilogue : string;
+  mutable uses_udiv : bool ref;
+  mutable uses_urem : bool ref;
+}
+
+let reg_of depth =
+  if depth >= max_depth then
+    fail "expression needs more than %d temporaries" max_depth
+  else Isa.Reg.a (2 + depth)
+
+let arg_reg i = Isa.Reg.a (10 + i)
+
+let scratch8 = Isa.Reg.a 8
+let scratch9 = Isa.Reg.a 9
+
+let local_slot env name =
+  match List.assoc_opt name env.locals with
+  | Some k -> Some (local_off k)
+  | None -> None
+
+let is_tie_intrinsic name =
+  String.length name > 6 && String.sub name 0 6 = "__tie_"
+
+let tie_name name = String.sub name 6 (String.length name - 6)
+
+(* Evaluate [e] into [reg_of depth]; registers below [depth] stay live. *)
+let rec gen_expr env depth e =
+  let open Isa.Builder in
+  let b = env.b in
+  let rd = reg_of depth in
+  match e with
+  | Ast.Const v -> movi b rd v
+  | Ast.Var name -> (
+    match local_slot env name with
+    | Some off -> l32i b rd a1 off
+    | None -> (
+      match List.assoc_opt name env.globals with
+      | Some addr ->
+        movi b scratch9 addr;
+        l32i b rd scratch9 0
+      | None -> fail "unknown variable %S" name))
+  | Ast.Index (name, idx) -> (
+    match List.assoc_opt name env.globals with
+    | Some addr ->
+      gen_expr env depth idx;
+      movi b scratch9 addr;
+      addx4 b scratch8 rd scratch9;
+      l32i b rd scratch8 0
+    | None -> fail "unknown array %S" name)
+  | Ast.Unop (Ast.Neg, e1) ->
+    gen_expr env depth e1;
+    neg b rd rd
+  | Ast.Unop (Ast.Not, e1) ->
+    gen_expr env depth e1;
+    movi b scratch8 (-1);
+    xor b rd rd scratch8
+  | Ast.Unop (Ast.Lnot, e1) ->
+    gen_expr env depth e1;
+    let skip = fresh b "lnot" in
+    movi b scratch8 1;
+    beqz b rd skip;
+    movi b scratch8 0;
+    label b skip;
+    mov b rd scratch8
+  | Ast.Binop (Ast.Land, e1, e2) ->
+    let l_false = fresh b "and_false" in
+    let l_done = fresh b "and_done" in
+    gen_expr env depth e1;
+    beqz b rd l_false;
+    gen_expr env depth e2;
+    beqz b rd l_false;
+    movi b rd 1;
+    j b l_done;
+    label b l_false;
+    movi b rd 0;
+    label b l_done
+  | Ast.Binop (Ast.Lor, e1, e2) ->
+    let l_true = fresh b "or_true" in
+    let l_done = fresh b "or_done" in
+    gen_expr env depth e1;
+    bnez b rd l_true;
+    gen_expr env depth e2;
+    bnez b rd l_true;
+    movi b rd 0;
+    j b l_done;
+    label b l_true;
+    movi b rd 1;
+    label b l_done
+  | Ast.Binop (op, e1, e2) ->
+    gen_expr env depth e1;
+    gen_expr env (depth + 1) e2;
+    gen_binop env depth op
+  | Ast.Call (name, args) when is_tie_intrinsic name ->
+    gen_intrinsic env depth (tie_name name) args
+  | Ast.Call (name, args) -> gen_call env depth name args
+
+and gen_binop env depth op =
+  let open Isa.Builder in
+  let b = env.b in
+  let rd = reg_of depth and rs = reg_of (depth + 1) in
+  let compare branch =
+    (* rd <- (rd OP rs) as 0/1, via a conditional branch skeleton. *)
+    let l_true = fresh b "cmp" in
+    movi b scratch8 1;
+    branch l_true;
+    movi b scratch8 0;
+    label b l_true;
+    mov b rd scratch8
+  in
+  match op with
+  | Ast.Add -> add b rd rd rs
+  | Ast.Sub -> sub b rd rd rs
+  | Ast.Mul -> mull b rd rd rs
+  | Ast.Div ->
+    env.uses_udiv := true;
+    gen_divmod env depth "__udiv"
+  | Ast.Mod ->
+    env.uses_urem := true;
+    gen_divmod env depth "__urem"
+  | Ast.And -> and_ b rd rd rs
+  | Ast.Or -> or_ b rd rd rs
+  | Ast.Xor -> xor b rd rd rs
+  | Ast.Shl -> ssl b rs; sll b rd rd
+  | Ast.Shr -> ssr b rs; sra b rd rd
+  | Ast.Lt -> compare (fun l -> blt b rd rs l)
+  | Ast.Gt -> compare (fun l -> blt b rs rd l)
+  | Ast.Le -> compare (fun l -> bge b rs rd l)
+  | Ast.Ge -> compare (fun l -> bge b rd rs l)
+  | Ast.Eq -> compare (fun l -> beq b rd rs l)
+  | Ast.Ne -> compare (fun l -> bne b rd rs l)
+  | Ast.Land | Ast.Lor -> assert false (* handled in gen_expr *)
+
+(* Division goes through the generated runtime routine, which follows
+   the normal call convention. *)
+and gen_divmod env depth routine =
+  let open Isa.Builder in
+  let b = env.b in
+  spill env depth;
+  mov b (arg_reg 0) (reg_of depth);
+  mov b (arg_reg 1) (reg_of (depth + 1));
+  call0 b routine;
+  mov b (reg_of depth) (arg_reg 0);
+  restore env depth
+
+and spill env depth =
+  let open Isa.Builder in
+  for k = 0 to depth - 1 do
+    s32i env.b (reg_of k) a1 (spill_off k)
+  done
+
+and restore env depth =
+  let open Isa.Builder in
+  for k = 0 to depth - 1 do
+    l32i env.b (reg_of k) a1 (spill_off k)
+  done
+
+and gen_call env depth name args =
+  let open Isa.Builder in
+  let b = env.b in
+  (match List.assoc_opt name env.func_arity with
+   | Some arity ->
+     if arity <> List.length args then
+       fail "%s expects %d arguments, got %d" name arity (List.length args)
+   | None -> fail "unknown function %S" name);
+  if List.length args > max_params then
+    fail "%s: more than %d arguments" name max_params;
+  (* Evaluate the arguments onto the expression stack, then marshal. *)
+  List.iteri (fun i arg -> gen_expr env (depth + i) arg) args;
+  spill env depth;
+  List.iteri (fun i _ -> mov b (arg_reg i) (reg_of (depth + i))) args;
+  call0 b ("f_" ^ name);
+  mov b (reg_of depth) (arg_reg 0);
+  restore env depth
+
+and gen_intrinsic env depth name args =
+  let open Isa.Builder in
+  let b = env.b in
+  (* A trailing integer literal becomes the instruction's immediate. *)
+  let reg_args, imm =
+    match List.rev args with
+    | Ast.Const v :: rest -> (List.rev rest, Some v)
+    | _ -> (args, None)
+  in
+  List.iteri (fun i arg -> gen_expr env (depth + i) arg) reg_args;
+  let srcs = List.mapi (fun i _ -> reg_of (depth + i)) reg_args in
+  custom b name ~dst:(reg_of depth) ?imm srcs
+
+let rec gen_stmt env stmt =
+  let open Isa.Builder in
+  let b = env.b in
+  match stmt with
+  | Ast.Expr e -> gen_expr env 0 e
+  | Ast.Decl (name, init) -> (
+    match init with
+    | None -> ()
+    | Some e -> gen_stmt env (Ast.Assign (name, e)))
+  | Ast.Assign (name, e) -> (
+    gen_expr env 0 e;
+    match local_slot env name with
+    | Some off -> s32i b (reg_of 0) a1 off
+    | None -> (
+      match List.assoc_opt name env.globals with
+      | Some addr ->
+        movi b scratch9 addr;
+        s32i b (reg_of 0) scratch9 0
+      | None -> fail "unknown variable %S" name))
+  | Ast.Store (name, idx, e) -> (
+    match List.assoc_opt name env.globals with
+    | Some addr ->
+      gen_expr env 0 idx;
+      gen_expr env 1 e;
+      movi b scratch9 addr;
+      addx4 b scratch8 (reg_of 0) scratch9;
+      s32i b (reg_of 1) scratch8 0
+    | None -> fail "unknown array %S" name)
+  | Ast.If (cond, then_, else_) ->
+    let l_else = fresh b "else" in
+    let l_done = fresh b "endif" in
+    gen_expr env 0 cond;
+    beqz b (reg_of 0) l_else;
+    List.iter (gen_stmt env) then_;
+    j b l_done;
+    label b l_else;
+    List.iter (gen_stmt env) else_;
+    label b l_done
+  | Ast.While (cond, body) ->
+    let l_top = fresh b "while" in
+    let l_done = fresh b "endwhile" in
+    label b l_top;
+    gen_expr env 0 cond;
+    beqz b (reg_of 0) l_done;
+    List.iter (gen_stmt env) body;
+    j b l_top;
+    label b l_done
+  | Ast.For (init, cond, step, body) ->
+    let l_top = fresh b "for" in
+    let l_done = fresh b "endfor" in
+    Option.iter (gen_stmt env) init;
+    label b l_top;
+    (match cond with
+     | Some c ->
+       gen_expr env 0 c;
+       beqz b (reg_of 0) l_done
+     | None -> ());
+    List.iter (gen_stmt env) body;
+    Option.iter (gen_stmt env) step;
+    j b l_top;
+    label b l_done
+  | Ast.Return e ->
+    (match e with
+     | Some e ->
+       gen_expr env 0 e;
+       mov b (arg_reg 0) (reg_of 0)
+     | None -> movi b (arg_reg 0) 0);
+    j b env.epilogue
+
+(* Every declaration in the body gets a slot (shadowing redeclares). *)
+let rec collect_locals stmts =
+  List.concat_map
+    (fun s ->
+      match s with
+      | Ast.Decl (name, _) -> [ name ]
+      | Ast.If (_, t, e) -> collect_locals t @ collect_locals e
+      | Ast.While (_, body) -> collect_locals body
+      | Ast.For (i, _, st, body) ->
+        collect_locals (Option.to_list i)
+        @ collect_locals (Option.to_list st)
+        @ collect_locals body
+      | Ast.Expr _ | Ast.Assign _ | Ast.Store _ | Ast.Return _ -> [])
+    stmts
+
+let gen_func b globals func_arity uses_udiv uses_urem (f : Ast.func) =
+  let open Isa.Builder in
+  if List.length f.Ast.params > max_params then
+    fail "%s: more than %d parameters" f.Ast.fname max_params;
+  let local_names = f.Ast.params @ collect_locals f.Ast.body in
+  let locals = List.mapi (fun k name -> (name, k)) local_names in
+  (* Later declarations shadow earlier ones: keep the last binding. *)
+  let locals = List.rev locals in
+  let frame = 4 * (1 + spill_slots + List.length local_names) in
+  let epilogue = fresh b (f.Ast.fname ^ "_ret") in
+  let env =
+    { b; globals; func_arity; locals; epilogue;
+      uses_udiv; uses_urem }
+  in
+  label b ("f_" ^ f.Ast.fname);
+  addi b a1 a1 (-frame);
+  s32i b a0 a1 a0_slot;
+  List.iteri
+    (fun i name ->
+      match local_slot env name with
+      | Some off -> s32i b (arg_reg i) a1 off
+      | None -> assert false)
+    f.Ast.params;
+  List.iter (gen_stmt env) f.Ast.body;
+  movi b (arg_reg 0) 0;          (* falling off the end returns 0 *)
+  label b epilogue;
+  l32i b a0 a1 a0_slot;
+  addi b a1 a1 frame;
+  ret b
+
+(* Restoring long division: a10 / a11 -> quotient a10, remainder a12. *)
+let gen_division_routine b name ~want_remainder =
+  let open Isa.Builder in
+  label b name;
+  movi b a12 0;
+  movi b a13 32;
+  let loop = fresh b (name ^ "_loop") in
+  let skip = fresh b (name ^ "_skip") in
+  label b loop;
+  slli b a12 a12 1;
+  extui b a14 a10 31 1;
+  or_ b a12 a12 a14;
+  slli b a10 a10 1;
+  bltu b a12 a11 skip;
+  sub b a12 a12 a11;
+  addi b a10 a10 1;
+  label b skip;
+  addi b a13 a13 (-1);
+  bnez b a13 loop;
+  if want_remainder then mov b a10 a12;
+  ret b
+
+let compile (prog : Ast.program) =
+  let open Isa.Builder in
+  let b = create "cc" in
+  (* Allocate globals. *)
+  let _, globals_rev =
+    List.fold_left
+      (fun (addr, acc) (g : Ast.global) ->
+        (addr + (4 * g.Ast.gsize), (g.Ast.gname, addr) :: acc))
+      (globals_base, []) prog.Ast.globals
+  in
+  let globals = List.rev globals_rev in
+  let func_arity =
+    List.map
+      (fun (f : Ast.func) -> (f.Ast.fname, List.length f.Ast.params))
+      prog.Ast.funcs
+  in
+  if not (List.mem_assoc "main" func_arity) then fail "no main function";
+  (* Startup stub. *)
+  label b "main";
+  movi b a1 stack_top;
+  call0 b "f_main";
+  halt b;
+  let uses_udiv = ref false and uses_urem = ref false in
+  List.iter (gen_func b globals func_arity uses_udiv uses_urem)
+    prog.Ast.funcs;
+  if !uses_udiv then gen_division_routine b "__udiv" ~want_remainder:false;
+  if !uses_urem then gen_division_routine b "__urem" ~want_remainder:true;
+  (* Global data images. *)
+  List.iter
+    (fun (g : Ast.global) ->
+      let words = Array.make g.Ast.gsize 0 in
+      List.iteri (fun i v -> if i < g.Ast.gsize then words.(i) <- v)
+        g.Ast.ginit;
+      let addr = List.assoc g.Ast.gname globals in
+      let bytes = Array.make (4 * g.Ast.gsize) 0 in
+      Array.iteri
+        (fun i w ->
+          for k = 0 to 3 do
+            bytes.((4 * i) + k) <- (w lsr (8 * k)) land 0xff
+          done)
+        words;
+      bytes_at b g.Ast.gname ~addr bytes)
+    prog.Ast.globals;
+  let c_program = seal b in
+  let c_asm = Isa.Program.assemble c_program in
+  { c_program; c_asm; c_globals = globals }
+
+let compile_source source = compile (Parser.parse source)
+
+let global_address c name =
+  match List.assoc_opt name c.c_globals with
+  | Some a -> a
+  | None -> raise Not_found

@@ -1,0 +1,40 @@
+(** Tiny-C code generator.
+
+    Lowers a parsed program to the base ISA through the {!Isa.Builder}
+    DSL and assembles it.
+
+    Conventions:
+    - execution starts at the generated [main] stub, which sets up the
+      stack pointer ([a1]) and calls the C [main]; on return the program
+      halts with [main]'s result left in [a10];
+    - functions use [call0], up to four [int] parameters in
+      [a10]..[a13], result in [a10]; expression evaluation uses
+      [a2]..[a7] (expressions needing more than six live temporaries are
+      rejected);
+    - globals are word arrays placed from [globals_base] upward;
+    - [x / y] and [x % y] are {e unsigned} (lowered to generated
+      long-division routines); [>>] is arithmetic, as on most C targets;
+    - [__tie_NAME(a, b, ...)] lowers to the custom instruction [NAME];
+      a trailing integer literal argument is passed as the instruction's
+      immediate. *)
+
+exception Codegen_error of string
+
+type compiled = {
+  c_program : Isa.Program.t;
+  c_asm : Isa.Program.asm;
+  c_globals : (string * int) list;  (** name, resolved address *)
+}
+
+val globals_base : int
+
+val compile : Ast.program -> compiled
+(** @raise Codegen_error on unknown identifiers, arity violations, too
+    many parameters or over-deep expressions. *)
+
+val compile_source : string -> compiled
+(** [Parser.parse] + [compile].
+    @raise Parser.Parse_error @raise Codegen_error *)
+
+val global_address : compiled -> string -> int
+(** @raise Not_found *)

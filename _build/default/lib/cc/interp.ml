@@ -1,0 +1,173 @@
+exception Interp_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Interp_error s)) fmt
+
+type result = {
+  r_return : int;
+  r_globals : (string * int array) list;
+}
+
+exception Returned of int
+
+let u32 v = v land 0xffff_ffff
+
+let s32 v =
+  let v = u32 v in
+  if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+type state = {
+  globals : (string, int array) Hashtbl.t;
+  funcs : (string, Ast.func) Hashtbl.t;
+  mutable fuel : int;
+}
+
+let spend st =
+  if st.fuel <= 0 then fail "out of fuel (non-terminating program?)";
+  st.fuel <- st.fuel - 1
+
+let rec eval st locals e =
+  match e with
+  | Ast.Const v -> u32 v
+  | Ast.Var name -> (
+    match Hashtbl.find_opt locals name with
+    | Some v -> v
+    | None -> (
+      match Hashtbl.find_opt st.globals name with
+      | Some arr -> arr.(0)
+      | None -> fail "unknown variable %S" name))
+  | Ast.Index (name, idx) -> (
+    match Hashtbl.find_opt st.globals name with
+    | Some arr ->
+      let i = eval st locals idx in
+      if i >= Array.length arr then
+        fail "%s[%d]: out of range" name i
+      else arr.(i)
+    | None -> fail "unknown array %S" name)
+  | Ast.Unop (Ast.Neg, e) -> u32 (-eval st locals e)
+  | Ast.Unop (Ast.Not, e) -> u32 (lnot (eval st locals e))
+  | Ast.Unop (Ast.Lnot, e) -> if eval st locals e = 0 then 1 else 0
+  | Ast.Binop (Ast.Land, a, b) ->
+    if eval st locals a = 0 then 0
+    else if eval st locals b = 0 then 0
+    else 1
+  | Ast.Binop (Ast.Lor, a, b) ->
+    if eval st locals a <> 0 then 1
+    else if eval st locals b <> 0 then 1
+    else 0
+  | Ast.Binop (op, a, b) ->
+    let x = eval st locals a in
+    let y = eval st locals b in
+    let bool_ c = if c then 1 else 0 in
+    u32
+      (match op with
+       | Ast.Add -> x + y
+       | Ast.Sub -> x - y
+       | Ast.Mul -> x * y
+       | Ast.Div -> if y = 0 then fail "division by zero" else x / y
+       | Ast.Mod -> if y = 0 then fail "division by zero" else x mod y
+       | Ast.And -> x land y
+       | Ast.Or -> x lor y
+       | Ast.Xor -> x lxor y
+       | Ast.Shl -> x lsl (y land 31)
+       | Ast.Shr -> s32 x asr (y land 31)
+       | Ast.Lt -> bool_ (s32 x < s32 y)
+       | Ast.Gt -> bool_ (s32 x > s32 y)
+       | Ast.Le -> bool_ (s32 x <= s32 y)
+       | Ast.Ge -> bool_ (s32 x >= s32 y)
+       | Ast.Eq -> bool_ (x = y)
+       | Ast.Ne -> bool_ (x <> y)
+       | Ast.Land | Ast.Lor -> assert false)
+  | Ast.Call (name, _) when String.length name > 6
+                            && String.sub name 0 6 = "__tie_" ->
+    fail "intrinsic %s is not interpretable" name
+  | Ast.Call (name, args) -> (
+    match Hashtbl.find_opt st.funcs name with
+    | None -> fail "unknown function %S" name
+    | Some f ->
+      if List.length args <> List.length f.Ast.params then
+        fail "%s: arity mismatch" name;
+      let values = List.map (eval st locals) args in
+      call st f values)
+
+and call st f values =
+  let locals = Hashtbl.create 8 in
+  List.iter2 (Hashtbl.replace locals) f.Ast.params values;
+  try
+    List.iter (exec st locals) f.Ast.body;
+    0 (* falling off the end returns 0, as in the code generator *)
+  with Returned v -> v
+
+and exec st locals stmt =
+  spend st;
+  match stmt with
+  | Ast.Expr e -> ignore (eval st locals e)
+  | Ast.Decl (name, init) -> (
+    match init with
+    | Some e -> Hashtbl.replace locals name (eval st locals e)
+    | None ->
+      (* The code generator leaves uninitialised slots alone (their
+         content is whatever the stack holds), so only create the
+         binding if it does not exist yet. *)
+      if not (Hashtbl.mem locals name) then Hashtbl.replace locals name 0)
+  | Ast.Assign (name, e) ->
+    let v = eval st locals e in
+    if Hashtbl.mem locals name then Hashtbl.replace locals name v
+    else (
+      match Hashtbl.find_opt st.globals name with
+      | Some arr -> arr.(0) <- v
+      | None -> fail "unknown variable %S" name)
+  | Ast.Store (name, idx, e) -> (
+    match Hashtbl.find_opt st.globals name with
+    | Some arr ->
+      let i = eval st locals idx in
+      if i >= Array.length arr then fail "%s[%d]: out of range" name i
+      else arr.(i) <- eval st locals e
+    | None -> fail "unknown array %S" name)
+  | Ast.If (cond, then_, else_) ->
+    if eval st locals cond <> 0 then List.iter (exec st locals) then_
+    else List.iter (exec st locals) else_
+  | Ast.While (cond, body) ->
+    while eval st locals cond <> 0 do
+      spend st;
+      List.iter (exec st locals) body
+    done
+  | Ast.For (init, cond, step, body) ->
+    Option.iter (exec st locals) init;
+    let continue_ () =
+      match cond with Some c -> eval st locals c <> 0 | None -> true
+    in
+    while continue_ () do
+      spend st;
+      List.iter (exec st locals) body;
+      Option.iter (exec st locals) step
+    done
+  | Ast.Return None -> raise (Returned 0)
+  | Ast.Return (Some e) -> raise (Returned (eval st locals e))
+
+let run ?(fuel = 1_000_000) (prog : Ast.program) =
+  let st =
+    { globals = Hashtbl.create 8; funcs = Hashtbl.create 8; fuel }
+  in
+  List.iter
+    (fun (g : Ast.global) ->
+      let arr = Array.make g.Ast.gsize 0 in
+      List.iteri (fun i v -> if i < g.Ast.gsize then arr.(i) <- u32 v)
+        g.Ast.ginit;
+      Hashtbl.replace st.globals g.Ast.gname arr)
+    prog.Ast.globals;
+  List.iter
+    (fun (f : Ast.func) -> Hashtbl.replace st.funcs f.Ast.fname f)
+    prog.Ast.funcs;
+  let main =
+    match Hashtbl.find_opt st.funcs "main" with
+    | Some f -> f
+    | None -> fail "no main function"
+  in
+  let r_return = call st main [] in
+  let r_globals =
+    List.map
+      (fun (g : Ast.global) ->
+        (g.Ast.gname, Hashtbl.find st.globals g.Ast.gname))
+      prog.Ast.globals
+  in
+  { r_return; r_globals }

@@ -1,0 +1,23 @@
+(** Host-side reference interpreter for Tiny-C.
+
+    Executes the AST directly with the same 32-bit semantics the code
+    generator targets (wrap-around arithmetic, signed comparisons,
+    mod-32 shift amounts, unsigned division).  It exists to
+    differential-test the compiler: the test suite generates random
+    programs and checks that the interpreter and the compiled/simulated
+    binary agree on the result and on every global.
+
+    [__tie_*] intrinsics are not supported (they need the simulator's
+    extension machinery). *)
+
+exception Interp_error of string
+
+type result = {
+  r_return : int;                      (** [main]'s value, as unsigned 32-bit *)
+  r_globals : (string * int array) list;
+}
+
+val run : ?fuel:int -> Ast.program -> result
+(** [fuel] bounds the number of statements executed (default 1_000_000).
+    @raise Interp_error on unknown identifiers, out-of-range array
+    accesses, intrinsics, or fuel exhaustion. *)

@@ -1,0 +1,148 @@
+type token =
+  | Int_lit of int
+  | Ident of string
+  | Kw_int | Kw_if | Kw_else | Kw_while | Kw_for | Kw_return
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | Shl | Shr
+  | Lt | Gt | Le | Ge | Eq_eq | Bang_eq
+  | Amp_amp | Pipe_pipe | Bang
+  | Assign
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Comma | Semicolon
+  | Eof
+
+exception Lex_error of int * string
+
+let fail line fmt =
+  Format.kasprintf (fun s -> raise (Lex_error (line, s))) fmt
+
+let keyword = function
+  | "int" -> Some Kw_int
+  | "if" -> Some Kw_if
+  | "else" -> Some Kw_else
+  | "while" -> Some Kw_while
+  | "for" -> Some Kw_for
+  | "return" -> Some Kw_return
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j =
+          if j >= n || src.[j] = '\n' then j else skip (j + 1)
+        in
+        go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then fail !line "unterminated comment"
+          else if src.[j] = '\n' then (incr line; skip (j + 1))
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else skip (j + 1)
+        in
+        go (skip (i + 2))
+      | '\'' ->
+        if i + 2 < n && src.[i + 2] = '\'' then begin
+          emit (Int_lit (Char.code src.[i + 1]));
+          go (i + 3)
+        end
+        else fail !line "bad character literal"
+      | c when is_digit c ->
+        let j = ref i in
+        if c = '0' && i + 1 < n && (src.[i + 1] = 'x' || src.[i + 1] = 'X')
+        then begin
+          j := i + 2;
+          while
+            !j < n
+            && (is_digit src.[!j]
+                || (Char.lowercase_ascii src.[!j] >= 'a'
+                    && Char.lowercase_ascii src.[!j] <= 'f'))
+          do
+            incr j
+          done
+        end
+        else
+          while !j < n && is_digit src.[!j] do
+            incr j
+          done;
+        let text = String.sub src i (!j - i) in
+        (match int_of_string_opt text with
+         | Some v -> emit (Int_lit v)
+         | None -> fail !line "bad integer literal %S" text);
+        go !j
+      | c when is_ident_start c ->
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        let text = String.sub src i (!j - i) in
+        emit (match keyword text with Some k -> k | None -> Ident text);
+        go !j
+      | '+' -> emit Plus; go (i + 1)
+      | '-' -> emit Minus; go (i + 1)
+      | '*' -> emit Star; go (i + 1)
+      | '/' -> emit Slash; go (i + 1)
+      | '%' -> emit Percent; go (i + 1)
+      | '^' -> emit Caret; go (i + 1)
+      | '(' -> emit Lparen; go (i + 1)
+      | ')' -> emit Rparen; go (i + 1)
+      | '{' -> emit Lbrace; go (i + 1)
+      | '}' -> emit Rbrace; go (i + 1)
+      | '[' -> emit Lbracket; go (i + 1)
+      | ']' -> emit Rbracket; go (i + 1)
+      | ',' -> emit Comma; go (i + 1)
+      | ';' -> emit Semicolon; go (i + 1)
+      | '&' ->
+        if i + 1 < n && src.[i + 1] = '&' then (emit Amp_amp; go (i + 2))
+        else (emit Amp; go (i + 1))
+      | '|' ->
+        if i + 1 < n && src.[i + 1] = '|' then (emit Pipe_pipe; go (i + 2))
+        else (emit Pipe; go (i + 1))
+      | '<' ->
+        if i + 1 < n && src.[i + 1] = '<' then (emit Shl; go (i + 2))
+        else if i + 1 < n && src.[i + 1] = '=' then (emit Le; go (i + 2))
+        else (emit Lt; go (i + 1))
+      | '>' ->
+        if i + 1 < n && src.[i + 1] = '>' then (emit Shr; go (i + 2))
+        else if i + 1 < n && src.[i + 1] = '=' then (emit Ge; go (i + 2))
+        else (emit Gt; go (i + 1))
+      | '=' ->
+        if i + 1 < n && src.[i + 1] = '=' then (emit Eq_eq; go (i + 2))
+        else (emit Assign; go (i + 1))
+      | '!' ->
+        if i + 1 < n && src.[i + 1] = '=' then (emit Bang_eq; go (i + 2))
+        else (emit Bang; go (i + 1))
+      | c -> fail !line "unexpected character %C" c
+  in
+  go 0;
+  emit Eof;
+  List.rev !tokens
+
+let token_name = function
+  | Int_lit v -> string_of_int v
+  | Ident s -> s
+  | Kw_int -> "int" | Kw_if -> "if" | Kw_else -> "else"
+  | Kw_while -> "while" | Kw_for -> "for" | Kw_return -> "return"
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Slash -> "/" | Percent -> "%"
+  | Amp -> "&" | Pipe -> "|" | Caret -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq_eq -> "=="
+  | Bang_eq -> "!=" | Amp_amp -> "&&" | Pipe_pipe -> "||" | Bang -> "!"
+  | Assign -> "=" | Lparen -> "(" | Rparen -> ")" | Lbrace -> "{"
+  | Rbrace -> "}" | Lbracket -> "[" | Rbracket -> "]" | Comma -> ","
+  | Semicolon -> ";" | Eof -> "<eof>"

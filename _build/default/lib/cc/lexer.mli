@@ -1,0 +1,29 @@
+(** Lexer for the Tiny-C front end.
+
+    The paper's characterization and application programs are "Tensilica
+    benchmarks written in C [that] instantiate TIE instructions intrinsic
+    in their description"; this front end plays the role of the
+    GNU-based cross-compiler in that flow. *)
+
+type token =
+  | Int_lit of int
+  | Ident of string
+  | Kw_int | Kw_if | Kw_else | Kw_while | Kw_for | Kw_return
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | Shl | Shr
+  | Lt | Gt | Le | Ge | Eq_eq | Bang_eq
+  | Amp_amp | Pipe_pipe | Bang
+  | Assign
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Comma | Semicolon
+  | Eof
+
+exception Lex_error of int * string
+(** Line number and message. *)
+
+val tokenize : string -> (token * int) list
+(** All tokens with their line numbers, ending with [Eof].
+    Comments ([//] to end of line and [/*]...[*/]) are skipped.
+    Integer literals may be decimal, [0x] hex or ['c'] characters. *)
+
+val token_name : token -> string

@@ -1,0 +1,318 @@
+exception Parse_error of int * string
+
+type state = {
+  tokens : (Lexer.token * int) array;
+  mutable pos : int;
+}
+
+let fail st fmt =
+  let line = snd st.tokens.(min st.pos (Array.length st.tokens - 1)) in
+  Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let peek st = fst st.tokens.(st.pos)
+
+let advance st = st.pos <- st.pos + 1
+
+let eat st tok =
+  if peek st = tok then advance st
+  else
+    fail st "expected %s, found %s" (Lexer.token_name tok)
+      (Lexer.token_name (peek st))
+
+let eat_ident st =
+  match peek st with
+  | Lexer.Ident name ->
+    advance st;
+    name
+  | t -> fail st "expected an identifier, found %s" (Lexer.token_name t)
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+(* Binary operators by precedence level, loosest first. *)
+let binop_levels : (Lexer.token * Ast.binop) list list =
+  [ [ (Lexer.Pipe_pipe, Ast.Lor) ];
+    [ (Lexer.Amp_amp, Ast.Land) ];
+    [ (Lexer.Pipe, Ast.Or) ];
+    [ (Lexer.Caret, Ast.Xor) ];
+    [ (Lexer.Amp, Ast.And) ];
+    [ (Lexer.Eq_eq, Ast.Eq); (Lexer.Bang_eq, Ast.Ne) ];
+    [ (Lexer.Lt, Ast.Lt); (Lexer.Gt, Ast.Gt); (Lexer.Le, Ast.Le);
+      (Lexer.Ge, Ast.Ge) ];
+    [ (Lexer.Shl, Ast.Shl); (Lexer.Shr, Ast.Shr) ];
+    [ (Lexer.Plus, Ast.Add); (Lexer.Minus, Ast.Sub) ];
+    [ (Lexer.Star, Ast.Mul); (Lexer.Slash, Ast.Div);
+      (Lexer.Percent, Ast.Mod) ] ]
+
+let rec parse_expr st = parse_level st binop_levels
+
+and parse_level st levels =
+  match levels with
+  | [] -> parse_unary st
+  | ops :: rest ->
+    let lhs = ref (parse_level st rest) in
+    let continue_ = ref true in
+    while !continue_ do
+      match List.assoc_opt (peek st) ops with
+      | Some op ->
+        advance st;
+        let rhs = parse_level st rest in
+        lhs := Ast.Binop (op, !lhs, rhs)
+      | None -> continue_ := false
+    done;
+    !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.Minus ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | Lexer.Bang ->
+    advance st;
+    Ast.Unop (Ast.Lnot, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Int_lit v ->
+    advance st;
+    Ast.Const v
+  | Lexer.Lparen ->
+    advance st;
+    let e = parse_expr st in
+    eat st Lexer.Rparen;
+    e
+  | Lexer.Ident name -> (
+    advance st;
+    match peek st with
+    | Lexer.Lparen ->
+      advance st;
+      let args = parse_args st in
+      Ast.Call (name, args)
+    | Lexer.Lbracket ->
+      advance st;
+      let idx = parse_expr st in
+      eat st Lexer.Rbracket;
+      Ast.Index (name, idx)
+    | _ -> Ast.Var name)
+  | t -> fail st "expected an expression, found %s" (Lexer.token_name t)
+
+and parse_args st =
+  if accept st Lexer.Rparen then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if accept st Lexer.Comma then go (e :: acc)
+      else begin
+        eat st Lexer.Rparen;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+(* A "simple" statement: assignment, array store or expression. *)
+let parse_simple st =
+  match peek st with
+  | Lexer.Ident name -> (
+    match fst st.tokens.(st.pos + 1) with
+    | Lexer.Assign ->
+      advance st;
+      advance st;
+      Ast.Assign (name, parse_expr st)
+    | Lexer.Lbracket ->
+      (* Look ahead: is this a store or an array read inside an
+         expression?  Parse the index, then decide on '='. *)
+      let save = st.pos in
+      advance st;
+      advance st;
+      let idx = parse_expr st in
+      eat st Lexer.Rbracket;
+      if accept st Lexer.Assign then Ast.Store (name, idx, parse_expr st)
+      else begin
+        st.pos <- save;
+        Ast.Expr (parse_expr st)
+      end
+    | _ -> Ast.Expr (parse_expr st))
+  | _ -> Ast.Expr (parse_expr st)
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.Kw_int ->
+    advance st;
+    let name = eat_ident st in
+    let init = if accept st Lexer.Assign then Some (parse_expr st) else None in
+    eat st Lexer.Semicolon;
+    Ast.Decl (name, init)
+  | Lexer.Kw_if ->
+    advance st;
+    eat st Lexer.Lparen;
+    let cond = parse_expr st in
+    eat st Lexer.Rparen;
+    let then_ = parse_block st in
+    let else_ =
+      if accept st Lexer.Kw_else then parse_block st else []
+    in
+    Ast.If (cond, then_, else_)
+  | Lexer.Kw_while ->
+    advance st;
+    eat st Lexer.Lparen;
+    let cond = parse_expr st in
+    eat st Lexer.Rparen;
+    Ast.While (cond, parse_block st)
+  | Lexer.Kw_for ->
+    advance st;
+    eat st Lexer.Lparen;
+    let init =
+      if peek st = Lexer.Semicolon then None
+      else if peek st = Lexer.Kw_int then begin
+        (* for (int i = 0; ...) — the declaration must initialise. *)
+        advance st;
+        let name = eat_ident st in
+        eat st Lexer.Assign;
+        Some (Ast.Decl (name, Some (parse_expr st)))
+      end
+      else Some (parse_simple st)
+    in
+    eat st Lexer.Semicolon;
+    let cond =
+      if peek st = Lexer.Semicolon then None else Some (parse_expr st)
+    in
+    eat st Lexer.Semicolon;
+    let step =
+      if peek st = Lexer.Rparen then None else Some (parse_simple st)
+    in
+    eat st Lexer.Rparen;
+    Ast.For (init, cond, step, parse_block st)
+  | Lexer.Kw_return ->
+    advance st;
+    if accept st Lexer.Semicolon then Ast.Return None
+    else begin
+      let e = parse_expr st in
+      eat st Lexer.Semicolon;
+      Ast.Return (Some e)
+    end
+  | _ ->
+    let s = parse_simple st in
+    eat st Lexer.Semicolon;
+    s
+
+and parse_block st =
+  if accept st Lexer.Lbrace then begin
+    let rec go acc =
+      if accept st Lexer.Rbrace then List.rev acc
+      else go (parse_stmt st :: acc)
+    in
+    go []
+  end
+  else [ parse_stmt st ]
+
+let parse_global st name =
+  let size =
+    if accept st Lexer.Lbracket then begin
+      match peek st with
+      | Lexer.Int_lit v ->
+        advance st;
+        eat st Lexer.Rbracket;
+        if v <= 0 then fail st "array size must be positive" else v
+      | t -> fail st "expected an array size, found %s" (Lexer.token_name t)
+    end
+    else 1
+  in
+  let ginit =
+    if accept st Lexer.Assign then begin
+      if accept st Lexer.Lbrace then begin
+        let rec go acc =
+          match peek st with
+          | Lexer.Int_lit v ->
+            advance st;
+            if accept st Lexer.Comma then go (v :: acc)
+            else begin
+              eat st Lexer.Rbrace;
+              List.rev (v :: acc)
+            end
+          | Lexer.Minus ->
+            advance st;
+            (match peek st with
+             | Lexer.Int_lit v ->
+               advance st;
+               if accept st Lexer.Comma then go (-v :: acc)
+               else begin
+                 eat st Lexer.Rbrace;
+                 List.rev (-v :: acc)
+               end
+             | t -> fail st "expected an integer, found %s"
+                      (Lexer.token_name t))
+          | t -> fail st "expected an initialiser, found %s"
+                   (Lexer.token_name t)
+        in
+        go []
+      end
+      else begin
+        match peek st with
+        | Lexer.Int_lit v ->
+          advance st;
+          [ v ]
+        | Lexer.Minus ->
+          advance st;
+          (match peek st with
+           | Lexer.Int_lit v -> advance st; [ -v ]
+           | t -> fail st "expected an integer, found %s" (Lexer.token_name t))
+        | t -> fail st "expected an initialiser, found %s" (Lexer.token_name t)
+      end
+    end
+    else []
+  in
+  eat st Lexer.Semicolon;
+  if List.length ginit > size then
+    fail st "%s: %d initialisers for %d elements" name (List.length ginit)
+      size;
+  { Ast.gname = name; gsize = size; ginit }
+
+let parse_func st name =
+  let params =
+    if accept st Lexer.Rparen then []
+    else begin
+      let rec go acc =
+        eat st Lexer.Kw_int;
+        let p = eat_ident st in
+        if accept st Lexer.Comma then go (p :: acc)
+        else begin
+          eat st Lexer.Rparen;
+          List.rev (p :: acc)
+        end
+      in
+      go []
+    end
+  in
+  eat st Lexer.Lbrace;
+  let rec go acc =
+    if accept st Lexer.Rbrace then List.rev acc
+    else go (parse_stmt st :: acc)
+  in
+  { Ast.fname = name; params; body = go [] }
+
+let parse source =
+  let tokens =
+    try Array.of_list (Lexer.tokenize source)
+    with Lexer.Lex_error (line, msg) -> raise (Parse_error (line, msg))
+  in
+  let st = { tokens; pos = 0 } in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec go () =
+    if peek st = Lexer.Eof then ()
+    else begin
+      eat st Lexer.Kw_int;
+      let name = eat_ident st in
+      if accept st Lexer.Lparen then funcs := parse_func st name :: !funcs
+      else globals := parse_global st name :: !globals;
+      go ()
+    end
+  in
+  go ();
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }

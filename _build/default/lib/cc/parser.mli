@@ -1,0 +1,12 @@
+(** Recursive-descent parser for Tiny-C.
+
+    The accepted language: global scalar/array declarations with optional
+    initialisers, functions over [int] parameters, local declarations,
+    assignments, array stores, [if]/[else], [while], [for], [return],
+    full C operator precedence over 32-bit integers, function calls, and
+    [__tie_NAME(...)] custom-instruction intrinsics. *)
+
+exception Parse_error of int * string
+
+val parse : string -> Ast.program
+(** @raise Parse_error (and re-raises lexing failures as parse errors). *)

@@ -1,0 +1,1 @@
+lib/core/characterize.ml: Array Extract Float Format List Power Printf Regress Sim Template Variables

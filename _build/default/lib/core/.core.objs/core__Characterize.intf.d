@@ -1,0 +1,1 @@
+lib/core/characterize.mli: Extract Format Power Sim Template Tie

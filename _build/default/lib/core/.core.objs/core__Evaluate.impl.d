@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Array Estimate Extract Float Format List Power Regress Sim Sys

@@ -1,0 +1,1 @@
+lib/core/evaluate.mli: Extract Format Power Sim Template

@@ -1,0 +1,1 @@
+lib/core/extract.ml: Array Format Isa List Resource Sim Tie Variables

@@ -1,0 +1,1 @@
+lib/core/template.ml: Array Format List Power Printf String Variables

@@ -1,0 +1,1 @@
+lib/core/variables.ml: List Tie

@@ -1,0 +1,1 @@
+lib/core/variables.mli: Tie

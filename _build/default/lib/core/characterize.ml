@@ -1,0 +1,106 @@
+type sample = {
+  sname : string;
+  variables : float array;
+  measured_pj : float;
+  cycles : int;
+}
+
+type fit = {
+  model : Template.model;
+  samples : sample list;
+  fitted_pj : float array;
+  errors_percent : float array;
+  rms_percent : float;
+  max_abs_percent : float;
+  r_squared : float;
+}
+
+let collect ?(config = Sim.Config.default) ?params ?complexity cases =
+  List.map
+    (fun (c : Extract.case) ->
+      let prof = Extract.profile ~config ?complexity c in
+      let energy, _cpu =
+        Power.Estimator.estimate_program ?params ~config
+          ?extension:c.Extract.extension c.Extract.asm
+      in
+      { sname = c.Extract.case_name;
+        variables = prof.Extract.variables;
+        measured_pj = energy;
+        cycles = prof.Extract.cycles })
+    cases
+
+let fit_samples ?(nonnegative = true) samples =
+  let n = List.length samples in
+  if n = 0 then invalid_arg "Characterize.fit_samples: no samples";
+  let nvars = Variables.count in
+  (* Columns never exercised by the suite carry no information; fit the
+     reduced system and leave their coefficients at zero. *)
+  let active =
+    Array.init nvars (fun j ->
+        List.exists (fun s -> Float.abs s.variables.(j) > 1e-9) samples)
+  in
+  let active_idx =
+    List.filter (fun j -> active.(j)) (List.init nvars (fun j -> j))
+  in
+  let k = List.length active_idx in
+  if n < k then
+    invalid_arg
+      (Printf.sprintf
+         "Characterize.fit_samples: %d samples for %d exercised variables" n k);
+  let x =
+    Regress.Matrix.of_rows
+      (Array.of_list
+         (List.map
+            (fun s ->
+              Array.of_list (List.map (fun j -> s.variables.(j)) active_idx))
+            samples))
+  in
+  let e = Array.of_list (List.map (fun s -> s.measured_pj) samples) in
+  let c_reduced = Regress.Lsq.solve ~nonnegative x e in
+  let coefficients = Array.make nvars 0.0 in
+  List.iteri (fun i j -> coefficients.(j) <- c_reduced.(i)) active_idx;
+  let model = Template.make coefficients in
+  let fitted_pj =
+    Array.of_list (List.map (fun s -> Template.energy model s.variables) samples)
+  in
+  let errors_percent =
+    Regress.Stats.percent_errors ~predicted:fitted_pj ~actual:e
+  in
+  { model;
+    samples;
+    fitted_pj;
+    errors_percent;
+    rms_percent = Regress.Stats.rms errors_percent;
+    max_abs_percent = Regress.Stats.max_abs errors_percent;
+    r_squared = Regress.Stats.r_squared ~predicted:fitted_pj ~actual:e }
+
+let cross_validate ?nonnegative samples =
+  let arr = Array.of_list samples in
+  Array.mapi
+    (fun i held_out ->
+      let training =
+        Array.to_list arr |> List.filteri (fun j _ -> j <> i)
+      in
+      let f = fit_samples ?nonnegative training in
+      let predicted = Template.energy f.model held_out.variables in
+      if Float.abs held_out.measured_pj < 1e-9 then 0.0
+      else
+        100.0 *. (predicted -. held_out.measured_pj)
+        /. held_out.measured_pj)
+    arr
+
+let run ?config ?params ?complexity ?nonnegative cases =
+  fit_samples ?nonnegative (collect ?config ?params ?complexity cases)
+
+let pp_fit ppf f =
+  Format.fprintf ppf "@[<v>%-24s %14s %14s %8s@," "test program"
+    "measured (uJ)" "fitted (uJ)" "err %";
+  List.iteri
+    (fun i s ->
+      Format.fprintf ppf "%-24s %14.3f %14.3f %+8.2f@," s.sname
+        (Power.Report.to_uj s.measured_pj)
+        (Power.Report.to_uj f.fitted_pj.(i))
+        f.errors_percent.(i))
+    f.samples;
+  Format.fprintf ppf "rms error %.2f%%, max |error| %.2f%%, R^2 %.4f@]"
+    f.rms_percent f.max_abs_percent f.r_squared

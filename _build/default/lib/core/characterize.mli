@@ -1,0 +1,56 @@
+(** Macro-model characterization (steps 1-8 of the paper's flow).
+
+    For every test program: instruction-set simulation + resource-usage
+    analysis yield the variable vector, the reference structural
+    estimator yields the "measured" energy, and regression over all test
+    programs produces the energy-coefficient vector. *)
+
+type sample = {
+  sname : string;
+  variables : float array;
+  measured_pj : float;     (** reference-estimator energy *)
+  cycles : int;
+}
+
+type fit = {
+  model : Template.model;
+  samples : sample list;
+  fitted_pj : float array;         (** model prediction per sample *)
+  errors_percent : float array;    (** signed fitting error per sample *)
+  rms_percent : float;
+  max_abs_percent : float;
+  r_squared : float;
+}
+
+val collect :
+  ?config:Sim.Config.t ->
+  ?params:Power.Blocks.params ->
+  ?complexity:(Tie.Component.t -> float) ->
+  Extract.case list ->
+  sample list
+(** Run every test program both ways (variables + reference energy). *)
+
+val fit_samples : ?nonnegative:bool -> sample list -> fit
+(** Regression over collected samples.
+    @raise Invalid_argument with fewer samples than variables that are
+    actually exercised. *)
+
+val run :
+  ?config:Sim.Config.t ->
+  ?params:Power.Blocks.params ->
+  ?complexity:(Tie.Component.t -> float) ->
+  ?nonnegative:bool ->
+  Extract.case list ->
+  fit
+(** [collect] followed by [fit_samples]. *)
+
+val cross_validate : ?nonnegative:bool -> sample list -> float array
+(** Leave-one-out cross-validation: for every sample, the signed percent
+    error of predicting it with a model fitted on the other samples.
+    Unlike the fitting residuals (which flatter a near-interpolating
+    fit), this measures generalization; programs that alone exercise a
+    variable (e.g. the only uncached-code program) show large LOOCV
+    errors because their variable is unidentifiable without them. *)
+
+val pp_fit : Format.formatter -> fit -> unit
+(** Fig. 3 style per-test-program fitting-error listing. *)

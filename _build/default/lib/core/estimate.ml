@@ -1,0 +1,17 @@
+type result = {
+  energy_pj : float;
+  energy_uj : float;
+  cycles : int;
+  instructions : int;
+  profile : Extract.profile;
+}
+
+let of_profile model (p : Extract.profile) =
+  let energy_pj = Template.energy model p.Extract.variables in
+  { energy_pj;
+    energy_uj = Power.Report.to_uj energy_pj;
+    cycles = p.Extract.cycles;
+    instructions = p.Extract.instructions;
+    profile = p }
+
+let run ?config model c = of_profile model (Extract.profile ?config c)

@@ -1,0 +1,22 @@
+(** Application energy estimation (steps 9-11 of the paper's flow).
+
+    With a characterized macro-model, estimating an application's energy
+    needs only instruction-set simulation plus resource-usage analysis —
+    no synthesis and no reference power estimation. *)
+
+type result = {
+  energy_pj : float;
+  energy_uj : float;
+  cycles : int;
+  instructions : int;
+  profile : Extract.profile;
+}
+
+val run :
+  ?config:Sim.Config.t ->
+  Template.model ->
+  Extract.case ->
+  result
+
+val of_profile : Template.model -> Extract.profile -> result
+(** Apply the model to an already-extracted profile (no simulation). *)

@@ -1,0 +1,49 @@
+(** Accuracy evaluation: macro-model vs reference estimator.
+
+    Reproduces the measurements behind Table II (per-application estimate
+    vs "WattWatcher" value and error), Fig. 4 (relative accuracy across
+    custom-instruction alternatives) and the speedup experiment. *)
+
+type row = {
+  rname : string;
+  estimate_uj : float;      (** macro-model *)
+  reference_uj : float;     (** reference structural estimator *)
+  error_percent : float;    (** signed, relative to the reference *)
+}
+
+type table = {
+  rows : row list;
+  mean_abs_error : float;
+  max_abs_error : float;
+}
+
+val compare_cases :
+  ?config:Sim.Config.t ->
+  ?params:Power.Blocks.params ->
+  Template.model ->
+  Extract.case list ->
+  table
+
+val correlation : table -> float
+(** Pearson correlation between the two energy series (the Fig. 4
+    relative-accuracy criterion). *)
+
+val rank_agreement : table -> bool
+(** Do both estimators order the alternatives identically? *)
+
+type timing = {
+  macro_seconds : float;     (** ISS + counters + dot product *)
+  reference_seconds : float; (** ISS + structural power simulation *)
+  speedup : float;
+}
+
+val time_case :
+  ?config:Sim.Config.t ->
+  ?params:Power.Blocks.params ->
+  ?repeats:int ->
+  Template.model ->
+  Extract.case ->
+  timing
+(** Wall-clock both estimation paths ([repeats] runs each, best time). *)
+
+val pp_table : Format.formatter -> table -> unit

@@ -1,0 +1,63 @@
+type case = {
+  case_name : string;
+  asm : Isa.Program.asm;
+  extension : Tie.Compile.compiled option;
+}
+
+let case ?extension case_name asm = { case_name; asm; extension }
+
+type profile = {
+  variables : float array;
+  cycles : int;
+  instructions : int;
+  outcome : Sim.Cpu.outcome;
+}
+
+let variables_of_stats (st : Sim.Stats.t) (res : Resource.t) =
+  let v = Array.make Variables.count 0.0 in
+  let put id x = v.(Variables.index id) <- x in
+  let f = float_of_int in
+  put Variables.Arith (f st.Sim.Stats.arith_cycles);
+  put Variables.Load (f st.Sim.Stats.load_cycles);
+  put Variables.Store (f st.Sim.Stats.store_cycles);
+  put Variables.Jump (f st.Sim.Stats.jump_cycles);
+  put Variables.Branch_taken (f st.Sim.Stats.branch_taken_cycles);
+  put Variables.Branch_untaken (f st.Sim.Stats.branch_untaken_cycles);
+  put Variables.Icache_miss (f st.Sim.Stats.icache_misses);
+  put Variables.Dcache_miss (f st.Sim.Stats.dcache_misses);
+  put Variables.Uncached_fetch (f st.Sim.Stats.uncached_fetches);
+  put Variables.Interlock (f st.Sim.Stats.interlocks);
+  put Variables.Custom_side (f st.Sim.Stats.custom_regfile_cycles);
+  let struct_totals = Resource.totals res in
+  List.iter
+    (fun cat ->
+      put (Variables.Category cat)
+        struct_totals.(Tie.Component.category_index cat))
+    Tie.Component.all_categories;
+  v
+
+let profile ?(config = Sim.Config.default) ?complexity c =
+  let stats = Sim.Stats.create config in
+  let res = Resource.create ?complexity c.extension in
+  let cpu, outcome =
+    Sim.Cpu.run_program ~config ?extension:c.extension
+      ~observers:[ Sim.Stats.observer stats; Resource.observer res ]
+      c.asm
+  in
+  { variables = variables_of_stats stats res;
+    cycles = Sim.Cpu.cycles cpu;
+    instructions = Sim.Cpu.instructions cpu;
+    outcome }
+
+let variable p id = p.variables.(Variables.index id)
+
+let pp_profile ppf p =
+  Format.fprintf ppf "@[<v>%d instructions, %d cycles@," p.instructions
+    p.cycles;
+  List.iter
+    (fun id ->
+      let x = p.variables.(Variables.index id) in
+      if x <> 0.0 then
+        Format.fprintf ppf "%-12s %12.2f@," (Variables.name id) x)
+    Variables.all;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** Macro-model variable extraction.
+
+    Runs a program on the instruction-set simulator with the statistics
+    and resource-usage observers attached and assembles the 21-element
+    variable vector consumed by the macro-model.  This is the cheap path
+    of the paper's flow: no reference (RTL-level) power estimation is
+    involved. *)
+
+(** A workload: a program plus the custom-instruction extension it
+    needs (if any). *)
+type case = {
+  case_name : string;
+  asm : Isa.Program.asm;
+  extension : Tie.Compile.compiled option;
+}
+
+val case :
+  ?extension:Tie.Compile.compiled -> string -> Isa.Program.asm -> case
+
+type profile = {
+  variables : float array;   (** indexed per [Variables.all] *)
+  cycles : int;
+  instructions : int;
+  outcome : Sim.Cpu.outcome;
+}
+
+val profile :
+  ?config:Sim.Config.t ->
+  ?complexity:(Tie.Component.t -> float) ->
+  case ->
+  profile
+(** @raise Sim.Cpu.Sim_error on simulator faults. *)
+
+val variable : profile -> Variables.id -> float
+
+val pp_profile : Format.formatter -> profile -> unit

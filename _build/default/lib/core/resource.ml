@@ -1,0 +1,49 @@
+type t = {
+  acc : float array;
+  idle_weight : float;
+  complexity : Tie.Component.t -> float;
+  bus_facing : (int * float) list;
+  (** (category index, complexity) of each bus-facing component *)
+}
+
+let default_idle_weight = 0.17
+
+let create ?(idle_weight = default_idle_weight)
+    ?(complexity = Tie.Component.complexity) ext =
+  let bus_facing =
+    match ext with
+    | None -> []
+    | Some e ->
+      List.map
+        (fun c ->
+          (Tie.Component.category_index c.Tie.Component.category,
+           complexity c))
+        (Tie.Compile.bus_facing_components e)
+  in
+  { acc = Array.make (List.length Tie.Component.all_categories) 0.0;
+    idle_weight;
+    complexity;
+    bus_facing }
+
+let observe t (e : Sim.Event.t) =
+  match e.Sim.Event.custom with
+  | Some info ->
+    let cycles = float_of_int e.Sim.Event.busy_cycles in
+    List.iter
+      (fun c ->
+        let i = Tie.Component.category_index c.Tie.Component.category in
+        t.acc.(i) <- t.acc.(i) +. (t.complexity c *. cycles))
+      info.Sim.Event.cinsn.Tie.Compile.components
+  | None ->
+    if e.Sim.Event.src_values <> [] then
+      List.iter
+        (fun (i, cx) -> t.acc.(i) <- t.acc.(i) +. (t.idle_weight *. cx))
+        t.bus_facing
+
+let observer t : Sim.Cpu.observer = fun e -> observe t e
+
+let totals t = Array.copy t.acc
+
+let total_for t cat = t.acc.(Tie.Component.category_index cat)
+
+let reset t = Array.fill t.acc 0 (Array.length t.acc) 0.0

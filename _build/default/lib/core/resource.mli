@@ -1,0 +1,38 @@
+(** Dynamic resource-usage analysis (step 10 of the paper's flow).
+
+    Walks the execution trace and derives the structural macro-model
+    variables: for every custom-hardware component category, the
+    complexity-weighted number of cycles in which instances of that
+    category are active.  Both activation paths are covered:
+
+    - a custom instruction activates all of its own component instances
+      for its full latency;
+    - a base instruction that drives the shared operand buses activates
+      the bus-facing custom components at a reduced, architecturally
+      fixed duty factor ([idle_weight]). *)
+
+type t
+
+val default_idle_weight : float
+(** Duty factor of bus-facing custom hardware under base instructions;
+    matches the bus-sharing activity of the reference architecture. *)
+
+val create :
+  ?idle_weight:float ->
+  ?complexity:(Tie.Component.t -> float) ->
+  Tie.Compile.compiled option ->
+  t
+(** [complexity] overrides the C(W) weighting (default
+    {!Tie.Component.complexity}); used by the ablation studies. *)
+
+val observe : t -> Sim.Event.t -> unit
+
+val observer : t -> Sim.Cpu.observer
+
+val totals : t -> float array
+(** Complexity-weighted active cycles, indexed by
+    [Tie.Component.category_index]. *)
+
+val total_for : t -> Tie.Component.category -> float
+
+val reset : t -> unit

@@ -1,0 +1,78 @@
+type model = {
+  coefficients : float array;
+}
+
+let make coefficients =
+  if Array.length coefficients <> Variables.count then
+    invalid_arg "Template.make: expected one coefficient per variable";
+  { coefficients }
+
+let coefficient m id = m.coefficients.(Variables.index id)
+
+let energy m vars =
+  if Array.length vars <> Variables.count then
+    invalid_arg "Template.energy: bad variable vector";
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (m.coefficients.(i) *. x)) vars;
+  !acc
+
+let paper_reference =
+  List.map
+    (fun (cat, v) -> (Variables.Category cat, v))
+    Power.Blocks.paper_table1_custom
+
+let save path m =
+  let oc = open_out path in
+  (try
+     List.iter
+       (fun id ->
+         Printf.fprintf oc "%s %.6f\n" (Variables.name id) (coefficient m id))
+       Variables.all
+   with x -> close_out oc; raise x);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let coefficients = Array.make Variables.count 0.0 in
+  let index_of_name n =
+    match List.find_opt (fun id -> Variables.name id = n) Variables.all with
+    | Some id -> Variables.index id
+    | None -> failwith (Printf.sprintf "Template.load: unknown variable %S" n)
+  in
+  (try
+     let rec go () =
+       match input_line ic with
+       | line ->
+         (match String.split_on_char ' ' (String.trim line) with
+          | [ name; v ] -> (
+            match float_of_string_opt v with
+            | Some f -> coefficients.(index_of_name name) <- f
+            | None ->
+              failwith (Printf.sprintf "Template.load: bad value %S" v))
+          | [] | [ _ ] | _ :: _ :: _ ->
+            if String.trim line <> "" then
+              failwith "Template.load: malformed line");
+         go ()
+       | exception End_of_file -> ()
+     in
+     go ()
+   with x -> close_in ic; raise x);
+  close_in ic;
+  make coefficients
+
+let pp_table1 ?(paper = []) ppf m =
+  Format.fprintf ppf "@[<v>%-12s %-38s %10s%s@,"
+    "coefficient" "description" "value"
+    (if paper = [] then "" else "      paper");
+  List.iter
+    (fun id ->
+      let v = coefficient m id in
+      let extra =
+        match List.assoc_opt id paper with
+        | Some p -> Format.asprintf " %10.1f" p
+        | None -> ""
+      in
+      Format.fprintf ppf "%-12s %-38s %10.1f%s@," (Variables.name id)
+        (Variables.describe id) v extra)
+    Variables.all;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** The linear energy macro-model template (Equation 1/2 of the paper).
+
+    E = sum_i c_i * X_i over the 21 variables; the structural variables
+    already embed the C(W) complexity weighting, so the template itself
+    stays linear in the coefficients. *)
+
+type model = {
+  coefficients : float array;   (** one per [Variables.all], in pJ *)
+}
+
+val make : float array -> model
+(** @raise Invalid_argument unless the vector has [Variables.count]
+    entries. *)
+
+val coefficient : model -> Variables.id -> float
+
+val energy : model -> float array -> float
+(** Predicted energy (pJ) for a variable vector. *)
+
+val pp_table1 : ?paper:(Variables.id * float) list ->
+  Format.formatter -> model -> unit
+(** Table I style listing; if [paper] reference values are supplied a
+    comparison column is printed. *)
+
+val paper_reference : (Variables.id * float) list
+(** The structural coefficients published in the paper's Table I. *)
+
+val save : string -> model -> unit
+(** Write the coefficients to a text file ([name value] per line). *)
+
+val load : string -> model
+(** Read a model written by [save].
+    @raise Failure on malformed files or unknown variable names. *)

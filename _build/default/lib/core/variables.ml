@@ -1,0 +1,77 @@
+type id =
+  | Arith
+  | Load
+  | Store
+  | Jump
+  | Branch_taken
+  | Branch_untaken
+  | Icache_miss
+  | Dcache_miss
+  | Uncached_fetch
+  | Interlock
+  | Custom_side
+  | Category of Tie.Component.category
+
+let all =
+  [ Arith; Load; Store; Jump; Branch_taken; Branch_untaken;
+    Icache_miss; Dcache_miss; Uncached_fetch; Interlock; Custom_side ]
+  @ List.map (fun c -> Category c) Tie.Component.all_categories
+
+let count = List.length all
+
+let index id =
+  let rec find i = function
+    | [] -> assert false
+    | x :: rest -> if x = id then i else find (i + 1) rest
+  in
+  find 0 all
+
+let of_index i =
+  match List.nth_opt all i with
+  | Some id -> id
+  | None -> invalid_arg "Variables.of_index: out of range"
+
+let name = function
+  | Arith -> "c_arith"
+  | Load -> "c_load"
+  | Store -> "c_store"
+  | Jump -> "c_jump"
+  | Branch_taken -> "c_btaken"
+  | Branch_untaken -> "c_buntaken"
+  | Icache_miss -> "n_icm"
+  | Dcache_miss -> "n_dcm"
+  | Uncached_fetch -> "n_unc"
+  | Interlock -> "n_ilk"
+  | Custom_side -> "c_side"
+  | Category cat -> (
+    match cat with
+    | Tie.Component.Multiplier -> "x_mult"
+    | Tie.Component.Adder -> "x_addsub"
+    | Tie.Component.Logic -> "x_logic"
+    | Tie.Component.Shifter -> "x_shifter"
+    | Tie.Component.Custom_register -> "x_custreg"
+    | Tie.Component.Tie_mult -> "x_tie_mult"
+    | Tie.Component.Tie_mac -> "x_tie_mac"
+    | Tie.Component.Tie_add -> "x_tie_add"
+    | Tie.Component.Tie_csa -> "x_tie_csa"
+    | Tie.Component.Table -> "x_table")
+
+let describe = function
+  | Arith -> "arithmetic instruction"
+  | Load -> "load instruction"
+  | Store -> "store instruction"
+  | Jump -> "jump instruction"
+  | Branch_taken -> "branch taken"
+  | Branch_untaken -> "branch untaken"
+  | Icache_miss -> "instruction cache miss"
+  | Dcache_miss -> "data cache miss"
+  | Uncached_fetch -> "uncached instruction fetch"
+  | Interlock -> "processor interlock"
+  | Custom_side -> "side effects due to custom instructions"
+  | Category cat -> Tie.Component.category_name cat
+
+let is_structural = function
+  | Category _ -> true
+  | Arith | Load | Store | Jump | Branch_taken | Branch_untaken
+  | Icache_miss | Dcache_miss | Uncached_fetch | Interlock | Custom_side ->
+    false

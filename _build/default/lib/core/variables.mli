@@ -1,0 +1,41 @@
+(** The 21 macro-model variables.
+
+    Eleven instruction-level variables characterize the base core —
+    cycles per instruction class (arith, load, store, jump, branch taken,
+    branch untaken), dynamic-effect counts (instruction-cache misses,
+    data-cache misses, uncached instruction fetches, interlocks) and the
+    register-file side-effect cycles of custom instructions — and ten
+    structural variables give the complexity-weighted active cycles of
+    each custom-hardware component category. *)
+
+type id =
+  | Arith
+  | Load
+  | Store
+  | Jump
+  | Branch_taken
+  | Branch_untaken
+  | Icache_miss
+  | Dcache_miss
+  | Uncached_fetch
+  | Interlock
+  | Custom_side
+  | Category of Tie.Component.category
+
+val all : id list
+(** All 21 variables, in canonical (Table I) order. *)
+
+val count : int
+
+val index : id -> int
+
+val of_index : int -> id
+(** @raise Invalid_argument if out of range. *)
+
+val name : id -> string
+(** Short symbol, e.g. ["c_arith"], ["x_mult"]. *)
+
+val describe : id -> string
+(** Table I style description. *)
+
+val is_structural : id -> bool

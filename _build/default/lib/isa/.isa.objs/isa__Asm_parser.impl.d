@@ -1,0 +1,1 @@
+lib/isa/asm_parser.ml: Array Format Instr List Program Reg String

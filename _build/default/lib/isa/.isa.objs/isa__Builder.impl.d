@@ -1,0 +1,1 @@
+lib/isa/builder.ml: Array Instr List Printf Program Reg

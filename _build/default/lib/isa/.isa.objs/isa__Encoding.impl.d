@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Char Hashtbl Instr List Reg String

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Encoding Format Hashtbl Instr List Option

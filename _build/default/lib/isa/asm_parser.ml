@@ -1,0 +1,325 @@
+exception Parse_error of int * string
+
+let fail ln fmt = Format.kasprintf (fun s -> raise (Parse_error (ln, s))) fmt
+
+let strip_comment line =
+  let cut c s =
+    match String.index_opt s c with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  cut '#' (cut ';' line)
+
+(* An operand is a register, an integer or a symbol. *)
+type operand =
+  | Oreg of Reg.t
+  | Oint of int
+  | Osym of string
+
+let parse_int s =
+  match int_of_string_opt s with Some n -> Some n | None -> None
+
+let parse_operand ln s =
+  let s = String.trim s in
+  if s = "" then fail ln "empty operand"
+  else if String.length s >= 2 && s.[0] = 'a'
+          && (match parse_int (String.sub s 1 (String.length s - 1)) with
+              | Some n -> n >= 0 && n <= 15
+              | None -> false)
+  then Oreg (Reg.a (int_of_string (String.sub s 1 (String.length s - 1))))
+  else
+    match parse_int s with
+    | Some n -> Oint n
+    | None -> Osym s
+
+let split_operands s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let reg ln = function
+  | Oreg r -> r
+  | Oint _ | Osym _ -> fail ln "expected a register operand"
+
+let num ln = function
+  | Oint n -> n
+  | Oreg _ | Osym _ -> fail ln "expected an integer operand"
+
+let sym ln = function
+  | Osym l -> l
+  | Oint _ | Oreg _ -> fail ln "expected a label operand"
+
+let rec parse_instr ln mnem ops =
+  let open Instr in
+  let r = reg ln and n = num ln and l = sym ln in
+  let bin op =
+    match ops with
+    | [ d; s; t ] -> Binop (op, r d, r s, r t)
+    | _ -> fail ln "%s expects 3 registers" mnem
+  in
+  let un op =
+    match ops with
+    | [ d; s ] -> Unop (op, r d, r s)
+    | _ -> fail ln "%s expects 2 registers" mnem
+  in
+  let cm op =
+    match ops with
+    | [ d; s; t ] -> Cmov (op, r d, r s, r t)
+    | _ -> fail ln "%s expects 3 registers" mnem
+  in
+  let rri f =
+    match ops with
+    | [ d; s; i ] -> f (r d) (r s) (n i)
+    | _ -> fail ln "%s expects reg, reg, imm" mnem
+  in
+  let rr f =
+    match ops with
+    | [ d; s ] -> f (r d) (r s)
+    | _ -> fail ln "%s expects 2 registers" mnem
+  in
+  let ld op =
+    match ops with
+    | [ d; b; off ] -> Load (op, r d, r b, n off)
+    | _ -> fail ln "%s expects reg, base, offset" mnem
+  in
+  let st op =
+    match ops with
+    | [ v; b; off ] -> Store (op, r v, r b, n off)
+    | _ -> fail ln "%s expects reg, base, offset" mnem
+  in
+  let b2 c =
+    match ops with
+    | [ s; t; lab ] -> Branch2 (c, r s, r t, l lab)
+    | _ -> fail ln "%s expects reg, reg, label" mnem
+  in
+  let bi c =
+    match ops with
+    | [ s; i; lab ] -> Branchi (c, r s, n i, l lab)
+    | _ -> fail ln "%s expects reg, imm, label" mnem
+  in
+  let bz c =
+    match ops with
+    | [ s; lab ] -> Branchz (c, r s, l lab)
+    | _ -> fail ln "%s expects reg, label" mnem
+  in
+  match mnem with
+  | "add" -> bin Add | "addx2" -> bin Addx2
+  | "addx4" -> bin Addx4 | "addx8" -> bin Addx8
+  | "sub" -> bin Sub | "subx2" -> bin Subx2
+  | "subx4" -> bin Subx4 | "subx8" -> bin Subx8
+  | "and" -> bin And_ | "or" -> bin Or_ | "xor" -> bin Xor
+  | "min" -> bin Min | "max" -> bin Max
+  | "minu" -> bin Minu | "maxu" -> bin Maxu
+  | "mul16s" -> bin Mul16s | "mul16u" -> bin Mul16u | "mull" -> bin Mull
+  | "abs" -> un Abs | "neg" -> un Neg | "nsa" -> un Nsa | "nsau" -> un Nsau
+  | "sext" -> rri (fun d s b -> Sext (d, s, b))
+  | "moveqz" -> cm Moveqz | "movnez" -> cm Movnez
+  | "movltz" -> cm Movltz | "movgez" -> cm Movgez
+  | "addi" -> rri (fun d s i -> Addi (d, s, i))
+  | "addmi" -> rri (fun d s i -> Addmi (d, s, i))
+  | "movi" -> (
+    match ops with
+    | [ d; i ] -> Movi (r d, n i)
+    | _ -> fail ln "movi expects reg, imm")
+  | "mov" -> rr (fun d s -> Mov (d, s))
+  | "extui" -> (
+    match ops with
+    | [ d; s; sh; w ] -> Extui (r d, r s, n sh, n w)
+    | _ -> fail ln "extui expects reg, reg, shift, width")
+  | "slli" -> rri (fun d s i -> Slli (d, s, i))
+  | "srli" -> rri (fun d s i -> Srli (d, s, i))
+  | "srai" -> rri (fun d s i -> Srai (d, s, i))
+  | "sll" -> rr (fun d s -> Sll (d, s))
+  | "srl" -> rr (fun d s -> Srl (d, s))
+  | "sra" -> rr (fun d s -> Sra (d, s))
+  | "src" -> bin_src ln mnem ops
+  | "ssai" -> (
+    match ops with
+    | [ i ] -> Ssai (n i)
+    | _ -> fail ln "ssai expects imm")
+  | "ssl" -> (
+    match ops with
+    | [ s ] -> Ssl (r s)
+    | _ -> fail ln "ssl expects reg")
+  | "ssr" -> (
+    match ops with
+    | [ s ] -> Ssr (r s)
+    | _ -> fail ln "ssr expects reg")
+  | "l8ui" -> ld L8ui | "l16si" -> ld L16si
+  | "l16ui" -> ld L16ui | "l32i" -> ld L32i
+  | "l32r" -> (
+    match ops with
+    | [ d; lab ] -> L32r (r d, l lab)
+    | _ -> fail ln "l32r expects reg, label")
+  | "s8i" -> st S8i | "s16i" -> st S16i | "s32i" -> st S32i
+  | "beq" -> b2 Beq | "bne" -> b2 Bne | "blt" -> b2 Blt | "bge" -> b2 Bge
+  | "bltu" -> b2 Bltu | "bgeu" -> b2 Bgeu
+  | "bany" -> b2 Bany | "bnone" -> b2 Bnone
+  | "ball" -> b2 Ball | "bnall" -> b2 Bnall
+  | "beqi" -> bi Beqi | "bnei" -> bi Bnei | "blti" -> bi Blti
+  | "bgei" -> bi Bgei | "bltui" -> bi Bltui | "bgeui" -> bi Bgeui
+  | "beqz" -> bz Beqz | "bnez" -> bz Bnez
+  | "bltz" -> bz Bltz | "bgez" -> bz Bgez
+  | "bbc" -> (
+    match ops with
+    | [ s; t; lab ] -> Bbit (false, r s, r t, l lab)
+    | _ -> fail ln "bbc expects reg, reg, label")
+  | "bbs" -> (
+    match ops with
+    | [ s; t; lab ] -> Bbit (true, r s, r t, l lab)
+    | _ -> fail ln "bbs expects reg, reg, label")
+  | "bbci" -> (
+    match ops with
+    | [ s; i; lab ] -> Bbiti (false, r s, n i, l lab)
+    | _ -> fail ln "bbci expects reg, imm, label")
+  | "bbsi" -> (
+    match ops with
+    | [ s; i; lab ] -> Bbiti (true, r s, n i, l lab)
+    | _ -> fail ln "bbsi expects reg, imm, label")
+  | "j" -> (
+    match ops with
+    | [ lab ] -> J (l lab)
+    | _ -> fail ln "j expects label")
+  | "jx" -> (
+    match ops with
+    | [ s ] -> Jx (r s)
+    | _ -> fail ln "jx expects reg")
+  | "call0" -> (
+    match ops with
+    | [ lab ] -> Call0 (l lab)
+    | _ -> fail ln "call0 expects label")
+  | "callx0" -> (
+    match ops with
+    | [ s ] -> Callx0 (r s)
+    | _ -> fail ln "callx0 expects reg")
+  | "call8" -> (
+    match ops with
+    | [ lab ] -> Call8 (l lab)
+    | _ -> fail ln "call8 expects label")
+  | "callx8" -> (
+    match ops with
+    | [ s ] -> Callx8 (r s)
+    | _ -> fail ln "callx8 expects reg")
+  | "ret" -> only0 ln mnem ops Ret
+  | "retw" -> only0 ln mnem ops Retw
+  | "entry" -> rri_entry ln ops
+  | "nop" -> only0 ln mnem ops Nop
+  | "memw" -> only0 ln mnem ops Memw
+  | "extw" -> only0 ln mnem ops Extw
+  | "isync" -> only0 ln mnem ops Isync
+  | "break" -> only0 ln mnem ops Break
+  | _ ->
+    if String.length mnem > 4 && String.sub mnem 0 4 = "tie." then
+      parse_custom ln (String.sub mnem 4 (String.length mnem - 4)) ops
+    else fail ln "unknown mnemonic %S" mnem
+
+and only0 ln mnem ops i =
+  match ops with [] -> i | _ -> fail ln "%s takes no operands" mnem
+
+and bin_src ln mnem ops =
+  match ops with
+  | [ d; s; t ] -> Instr.Src (reg ln d, reg ln s, reg ln t)
+  | _ -> fail ln "%s expects 3 registers" mnem
+
+and rri_entry ln ops =
+  match ops with
+  | [ sp; i ] -> Instr.Entry (reg ln sp, num ln i)
+  | _ -> fail ln "entry expects reg, imm"
+
+and parse_custom ln name ops =
+  let imm, regs =
+    match List.rev ops with
+    | Oint n :: rest -> (Some n, List.rev rest)
+    | _ -> (None, ops)
+  in
+  let regs = List.map (reg ln) regs in
+  match regs with
+  | [] -> Instr.Custom { cname = name; dst = None; srcs = []; cimm = imm }
+  | d :: srcs -> Instr.Custom { cname = name; dst = Some d; srcs; cimm = imm }
+
+let parse_line ln line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then []
+  else if String.length line > 0 && line.[0] = '.' then
+    fail ln "directives are not instructions"
+  else
+    (* Optional leading "label:" *)
+    let label, rest =
+      match String.index_opt line ':' with
+      | Some i
+        when not (String.contains (String.sub line 0 i) ' ') ->
+        ( Some (String.trim (String.sub line 0 i)),
+          String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+      | Some _ | None -> (None, line)
+    in
+    let items =
+      match label with Some l -> [ Program.Label l ] | None -> []
+    in
+    if rest = "" then items
+    else
+      let mnem, ops_str =
+        match String.index_opt rest ' ' with
+        | Some i ->
+          ( String.sub rest 0 i,
+            String.sub rest (i + 1) (String.length rest - i - 1) )
+        | None -> (rest, "")
+      in
+      let ops = List.map (parse_operand ln) (split_operands ops_str) in
+      items @ [ Program.Insn (parse_instr ln mnem ops) ]
+
+let parse_directive ln line =
+  let tokens =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  let nums ln rest =
+    List.map
+      (fun s ->
+        match int_of_string_opt s with
+        | Some n -> n
+        | None -> fail ln "bad integer %S in directive" s)
+      rest
+  in
+  match tokens with
+  | ".lit" :: name :: [ v ] ->
+    `Lit (name, Program.Lit_int (nums ln [ v ] |> List.hd))
+  | ".lit_addr" :: name :: [ l ] -> `Lit (name, Program.Lit_addr l)
+  | ".words" :: name :: rest -> `Words (name, Array.of_list (nums ln rest))
+  | ".bytes" :: name :: rest -> `Bytes (name, None, Array.of_list (nums ln rest))
+  | ".bytes_at" :: name :: addr :: rest ->
+    let a = nums ln [ addr ] |> List.hd in
+    `Bytes (name, Some a, Array.of_list (nums ln rest))
+  | d :: _ -> fail ln "unknown directive %S" d
+  | [] -> fail ln "empty directive"
+
+let parse_string ~name src =
+  let lines = String.split_on_char '\n' src in
+  let items = ref [] in
+  let literals = ref [] in
+  let data = ref [] in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      let stripped = String.trim (strip_comment line) in
+      if stripped = "" then ()
+      else if stripped.[0] = '.' then
+        match parse_directive ln stripped with
+        | `Lit (n, v) -> literals := (n, v) :: !literals
+        | `Words (n, ws) ->
+          let bytes = Array.make (4 * Array.length ws) 0 in
+          Array.iteri
+            (fun k w ->
+              for b = 0 to 3 do
+                bytes.((4 * k) + b) <- (w lsr (8 * b)) land 0xff
+              done)
+            ws;
+          data := { Program.dname = n; daddr = None; dbytes = bytes } :: !data
+        | `Bytes (n, addr, bs) ->
+          data := { Program.dname = n; daddr = addr; dbytes = bs } :: !data
+      else items := List.rev_append (parse_line ln line) !items)
+    lines;
+  { Program.pname = name;
+    items = List.rev !items;
+    literals = List.rev !literals;
+    data = List.rev !data }

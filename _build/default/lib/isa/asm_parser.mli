@@ -1,0 +1,25 @@
+(** Parser for textual assembly source.
+
+    Accepts one statement per line:
+    - [label:] — label definition (may share a line with an instruction);
+    - [mnemonic op1, op2, ...] — base instructions, operands being
+      registers ([a0]..[a15]), signed integers (decimal or [0x] hex) and
+      label names;
+    - [tie.NAME rd, rs, ...[, imm]] — custom instructions: the first
+      register operand is the destination, the rest are sources, and a
+      final integer is the immediate;
+    - directives: [.lit name value], [.words name v ...],
+      [.bytes name v ...], [.bytes_at name addr v ...];
+    - comments start with [#] or [;] and run to end of line.
+
+    The parser is the inverse of [Instr.pp] for base instructions, which
+    the test suite exploits as a round-trip property. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_string : name:string -> string -> Program.t
+
+val parse_line : int -> string -> Program.item list
+(** Parse one source line (used by the tests); the [int] is the line
+    number for error reporting.  Directive lines are rejected here. *)

@@ -1,0 +1,116 @@
+let bytes_per_instr = 3
+
+(* Base-ISA mnemonics in a fixed order; the position is the opcode id.
+   Appending is safe, reordering would silently change every encoding. *)
+let base_mnemonics =
+  [ "add"; "addx2"; "addx4"; "addx8"; "sub"; "subx2"; "subx4"; "subx8";
+    "and"; "or"; "xor"; "min"; "max"; "minu"; "maxu";
+    "mul16s"; "mul16u"; "mull";
+    "abs"; "neg"; "nsa"; "nsau"; "sext";
+    "moveqz"; "movnez"; "movltz"; "movgez";
+    "addi"; "addmi"; "movi"; "mov"; "extui";
+    "slli"; "srli"; "srai"; "sll"; "srl"; "sra"; "src";
+    "ssai"; "ssl"; "ssr";
+    "l8ui"; "l16si"; "l16ui"; "l32i"; "l32r";
+    "s8i"; "s16i"; "s32i";
+    "beq"; "bne"; "blt"; "bge"; "bltu"; "bgeu";
+    "bany"; "bnone"; "ball"; "bnall";
+    "beqi"; "bnei"; "blti"; "bgei"; "bltui"; "bgeui";
+    "beqz"; "bnez"; "bltz"; "bgez";
+    "bbc"; "bbs"; "bbci"; "bbsi";
+    "j"; "jx"; "call0"; "callx0"; "call8"; "callx8"; "ret"; "retw"; "entry";
+    "nop"; "memw"; "extw"; "isync"; "break" ]
+
+let base_table : (string, int) Hashtbl.t =
+  let h = Hashtbl.create 128 in
+  List.iteri (fun i m -> Hashtbl.replace h m i) base_mnemonics;
+  h
+
+let custom_id_base = List.length base_mnemonics
+
+(* Deterministic spread of custom-instruction names over the remaining
+   7-bit id space (collisions between custom opcodes are harmless: only
+   switching activity depends on the id). *)
+let custom_id name =
+  let h = ref 0 in
+  String.iter (fun c -> h := ((!h * 131) + Char.code c) land 0xffff) name;
+  custom_id_base + (!h mod (128 - custom_id_base))
+
+let opcode_id i =
+  match i with
+  | Instr.Custom { cname; _ } -> custom_id cname
+  | _ -> (
+    match Hashtbl.find_opt base_table (Instr.mnemonic i) with
+    | Some id -> id
+    | None -> invalid_arg ("Encoding.opcode_id: " ^ Instr.mnemonic i))
+
+let reg_bits r = Reg.index r land 0xf
+
+(* Fields: [23:17] opcode id, [16:12] immediate slice, [11:8]/[7:4]/[3:0]
+   register or extra-immediate nibbles. *)
+let pack ~id ~imm ~r ~s ~t =
+  ((id land 0x7f) lsl 17)
+  lor ((imm land 0x1f) lsl 12)
+  lor ((r land 0xf) lsl 8)
+  lor ((s land 0xf) lsl 4)
+  lor (t land 0xf)
+
+let encode ~pc ~target i =
+  let id = opcode_id i in
+  let off =
+    match target with Some t -> (t - pc) asr 1 | None -> 0
+  in
+  let open Instr in
+  match i with
+  | Binop (_, d, s, t) | Cmov (_, d, s, t) | Src (d, s, t) ->
+    pack ~id ~imm:0 ~r:(reg_bits d) ~s:(reg_bits s) ~t:(reg_bits t)
+  | Unop (_, d, s) | Mov (d, s) | Sll (d, s) | Srl (d, s) | Sra (d, s) ->
+    pack ~id ~imm:0 ~r:(reg_bits d) ~s:(reg_bits s) ~t:0
+  | Sext (d, s, b) ->
+    pack ~id ~imm:b ~r:(reg_bits d) ~s:(reg_bits s) ~t:0
+  | Addi (d, s, n) | Addmi (d, s, n) ->
+    pack ~id ~imm:(n asr 4) ~r:(reg_bits d) ~s:(reg_bits s) ~t:(n land 0xf)
+  | Movi (d, n) ->
+    pack ~id ~imm:(n asr 8) ~r:(reg_bits d) ~s:((n asr 4) land 0xf)
+      ~t:(n land 0xf)
+  | Extui (d, s, sh, w) ->
+    pack ~id ~imm:sh ~r:(reg_bits d) ~s:(reg_bits s) ~t:(w land 0xf)
+  | Slli (d, s, n) | Srli (d, s, n) | Srai (d, s, n) ->
+    pack ~id ~imm:(n asr 4) ~r:(reg_bits d) ~s:(reg_bits s) ~t:(n land 0xf)
+  | Ssai n -> pack ~id ~imm:(n asr 4) ~r:0 ~s:0 ~t:(n land 0xf)
+  | Ssl s | Ssr s -> pack ~id ~imm:0 ~r:0 ~s:(reg_bits s) ~t:0
+  | Load (_, d, b, off') ->
+    pack ~id ~imm:(off' asr 4) ~r:(reg_bits d) ~s:(reg_bits b)
+      ~t:(off' land 0xf)
+  | L32r (d, _) ->
+    pack ~id ~imm:(off asr 4) ~r:(reg_bits d) ~s:((off asr 2) land 0xf)
+      ~t:(off land 0xf)
+  | Store (_, v, b, off') ->
+    pack ~id ~imm:(off' asr 4) ~r:(reg_bits v) ~s:(reg_bits b)
+      ~t:(off' land 0xf)
+  | Branch2 (_, s, t, _) | Bbit (_, s, t, _) ->
+    pack ~id ~imm:off ~r:((off asr 5) land 0xf) ~s:(reg_bits s)
+      ~t:(reg_bits t)
+  | Branchi (_, s, n, _) | Bbiti (_, s, n, _) ->
+    pack ~id ~imm:off ~r:(n land 0xf) ~s:(reg_bits s)
+      ~t:((off asr 5) land 0xf)
+  | Branchz (_, s, _) ->
+    pack ~id ~imm:off ~r:((off asr 5) land 0xf) ~s:(reg_bits s)
+      ~t:((off asr 9) land 0xf)
+  | J _ | Call0 _ | Call8 _ ->
+    pack ~id ~imm:off ~r:((off asr 5) land 0xf) ~s:((off asr 9) land 0xf)
+      ~t:((off asr 13) land 0xf)
+  | Jx s | Callx0 s | Callx8 s ->
+    pack ~id ~imm:0 ~r:0 ~s:(reg_bits s) ~t:0
+  | Entry (sp, n) ->
+    pack ~id ~imm:(n asr 4) ~r:0 ~s:(reg_bits sp) ~t:(n land 0xf)
+  | Ret | Retw | Nop | Memw | Extw | Isync | Break ->
+    pack ~id ~imm:0 ~r:0 ~s:0 ~t:0
+  | Custom { dst; srcs; cimm; _ } ->
+    let r = match dst with Some d -> reg_bits d | None -> 0 in
+    let s = match srcs with x :: _ -> reg_bits x | [] -> 0 in
+    let t = match srcs with _ :: y :: _ -> reg_bits y | _ -> 0 in
+    let imm = match cimm with Some n -> n | None -> 0 in
+    pack ~id ~imm ~r ~s ~t
+
+let word_bytes w = (w land 0xff, (w lsr 8) land 0xff, (w lsr 16) land 0xff)

@@ -1,0 +1,24 @@
+(** Binary encoding of instructions.
+
+    Every base instruction occupies a 24-bit word (three bytes), as in the
+    Xtensa core ISA.  The exact bit layout does not need to match a real
+    Xtensa: it only has to be deterministic, injective per opcode, and
+    spread register/immediate fields across the word, because encodings
+    feed the instruction-cache contents and the fetch-bus switching
+    activity of the reference power model. *)
+
+val bytes_per_instr : int
+(** Size of one instruction in bytes (3). *)
+
+val opcode_id : Instr.t -> int
+(** Stable 7-bit identifier of the instruction's opcode.  Custom
+    instructions are assigned ids above the base-ISA range, derived from
+    their name. *)
+
+val encode : pc:int -> target:int option -> Instr.t -> int
+(** [encode ~pc ~target i] is the 24-bit instruction word for [i] fetched
+    at address [pc]; [target] is the resolved address of the label operand
+    for PC-relative instructions (ignored otherwise). *)
+
+val word_bytes : int -> int * int * int
+(** Split a 24-bit word into its three bytes, little-endian. *)

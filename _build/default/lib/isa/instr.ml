@@ -1,0 +1,298 @@
+type binop =
+  | Add | Addx2 | Addx4 | Addx8
+  | Sub | Subx2 | Subx4 | Subx8
+  | And_ | Or_ | Xor
+  | Min | Max | Minu | Maxu
+  | Mul16s | Mul16u | Mull
+
+type unop = Abs | Neg | Nsa | Nsau
+
+type cmov = Moveqz | Movnez | Movltz | Movgez
+
+type bcond2 = Beq | Bne | Blt | Bge | Bltu | Bgeu | Bany | Bnone | Ball | Bnall
+
+type bcondi = Beqi | Bnei | Blti | Bgei | Bltui | Bgeui
+
+type bcondz = Beqz | Bnez | Bltz | Bgez
+
+type load_op = L8ui | L16si | L16ui | L32i
+
+type store_op = S8i | S16i | S32i
+
+type custom_call = {
+  cname : string;
+  dst : Reg.t option;
+  srcs : Reg.t list;
+  cimm : int option;
+}
+
+type t =
+  | Binop of binop * Reg.t * Reg.t * Reg.t
+  | Unop of unop * Reg.t * Reg.t
+  | Sext of Reg.t * Reg.t * int
+  | Cmov of cmov * Reg.t * Reg.t * Reg.t
+  | Addi of Reg.t * Reg.t * int
+  | Addmi of Reg.t * Reg.t * int
+  | Movi of Reg.t * int
+  | Mov of Reg.t * Reg.t
+  | Extui of Reg.t * Reg.t * int * int
+  | Slli of Reg.t * Reg.t * int
+  | Srli of Reg.t * Reg.t * int
+  | Srai of Reg.t * Reg.t * int
+  | Sll of Reg.t * Reg.t
+  | Srl of Reg.t * Reg.t
+  | Sra of Reg.t * Reg.t
+  | Src of Reg.t * Reg.t * Reg.t
+  | Ssai of int
+  | Ssl of Reg.t
+  | Ssr of Reg.t
+  | Load of load_op * Reg.t * Reg.t * int
+  | L32r of Reg.t * string
+  | Store of store_op * Reg.t * Reg.t * int
+  | Branch2 of bcond2 * Reg.t * Reg.t * string
+  | Branchi of bcondi * Reg.t * int * string
+  | Branchz of bcondz * Reg.t * string
+  | Bbit of bool * Reg.t * Reg.t * string
+  | Bbiti of bool * Reg.t * int * string
+  | J of string
+  | Jx of Reg.t
+  | Call0 of string
+  | Callx0 of Reg.t
+  | Call8 of string
+  | Callx8 of Reg.t
+  | Ret
+  | Retw
+  | Entry of Reg.t * int
+  | Nop | Memw | Extw | Isync
+  | Break
+  | Custom of custom_call
+
+type clazz =
+  | Arith_class
+  | Load_class
+  | Store_class
+  | Jump_class
+  | Branch_class
+  | Custom_class
+
+let class_of = function
+  | Binop _ | Unop _ | Sext _ | Cmov _ | Addi _ | Addmi _ | Movi _ | Mov _
+  | Extui _ | Slli _ | Srli _ | Srai _ | Sll _ | Srl _ | Sra _ | Src _
+  | Ssai _ | Ssl _ | Ssr _ | Entry _ | Nop | Memw | Extw | Isync | Break ->
+    Arith_class
+  | Load _ | L32r _ -> Load_class
+  | Store _ -> Store_class
+  | J _ | Jx _ | Call0 _ | Callx0 _ | Call8 _ | Callx8 _ | Ret | Retw ->
+    Jump_class
+  | Branch2 _ | Branchi _ | Branchz _ | Bbit _ | Bbiti _ -> Branch_class
+  | Custom _ -> Custom_class
+
+let is_branch i = class_of i = Branch_class
+
+let is_control i =
+  match class_of i with
+  | Jump_class | Branch_class -> true
+  | Arith_class | Load_class | Store_class | Custom_class -> false
+
+let defs = function
+  | Binop (_, d, _, _) | Cmov (_, d, _, _) | Src (d, _, _) -> [ d ]
+  | Unop (_, d, _) | Sext (d, _, _) | Addi (d, _, _) | Addmi (d, _, _)
+  | Mov (d, _) | Extui (d, _, _, _)
+  | Slli (d, _, _) | Srli (d, _, _) | Srai (d, _, _)
+  | Sll (d, _) | Srl (d, _) | Sra (d, _) ->
+    [ d ]
+  | Movi (d, _) | Load (_, d, _, _) | L32r (d, _) -> [ d ]
+  | Call0 _ | Callx0 _ -> [ Reg.a 0 ]
+  | Call8 _ | Callx8 _ -> [ Reg.a 8 ]  (* return address in callee's window *)
+  | Entry (sp, _) -> [ sp ]
+  | Ssai _ | Ssl _ | Ssr _
+  | Store _ | Branch2 _ | Branchi _ | Branchz _ | Bbit _ | Bbiti _
+  | J _ | Jx _ | Ret | Retw | Nop | Memw | Extw | Isync | Break ->
+    []
+  | Custom { dst; _ } -> (match dst with Some d -> [ d ] | None -> [])
+
+let uses = function
+  | Binop (_, _, s, t) | Src (_, s, t) | Branch2 (_, s, t, _)
+  | Bbit (_, s, t, _) | Store (_, t, s, _) ->
+    [ s; t ]
+  | Cmov (_, d, s, t) -> [ d; s; t ]
+  | Unop (_, _, s) | Sext (_, s, _) | Addi (_, s, _) | Addmi (_, s, _)
+  | Mov (_, s) | Extui (_, s, _, _)
+  | Slli (_, s, _) | Srli (_, s, _) | Srai (_, s, _)
+  | Sll (_, s) | Srl (_, s) | Sra (_, s)
+  | Ssl s | Ssr s | Load (_, _, s, _)
+  | Branchi (_, s, _, _) | Branchz (_, s, _) | Bbiti (_, s, _, _)
+  | Jx s | Callx0 s | Callx8 s | Entry (s, _) ->
+    [ s ]
+  | Ret | Retw -> [ Reg.a 0 ]
+  | Movi _ | L32r _ | Ssai _ | J _ | Call0 _ | Call8 _
+  | Nop | Memw | Extw | Isync | Break ->
+    []
+  | Custom { srcs; _ } -> srcs
+
+let branch_target = function
+  | Branch2 (_, _, _, l) | Branchi (_, _, _, l) | Branchz (_, _, l)
+  | Bbit (_, _, _, l) | Bbiti (_, _, _, l)
+  | J l | Call0 l | Call8 l | L32r (_, l) ->
+    Some l
+  | Binop _ | Unop _ | Sext _ | Cmov _ | Addi _ | Addmi _ | Movi _ | Mov _
+  | Extui _ | Slli _ | Srli _ | Srai _ | Sll _ | Srl _ | Sra _ | Src _
+  | Ssai _ | Ssl _ | Ssr _ | Load _ | Store _
+  | Jx _ | Callx0 _ | Callx8 _ | Ret | Retw | Entry _
+  | Nop | Memw | Extw | Isync | Break | Custom _ ->
+    None
+
+let binop_name = function
+  | Add -> "add" | Addx2 -> "addx2" | Addx4 -> "addx4" | Addx8 -> "addx8"
+  | Sub -> "sub" | Subx2 -> "subx2" | Subx4 -> "subx4" | Subx8 -> "subx8"
+  | And_ -> "and" | Or_ -> "or" | Xor -> "xor"
+  | Min -> "min" | Max -> "max" | Minu -> "minu" | Maxu -> "maxu"
+  | Mul16s -> "mul16s" | Mul16u -> "mul16u" | Mull -> "mull"
+
+let unop_name = function
+  | Abs -> "abs" | Neg -> "neg" | Nsa -> "nsa" | Nsau -> "nsau"
+
+let cmov_name = function
+  | Moveqz -> "moveqz" | Movnez -> "movnez"
+  | Movltz -> "movltz" | Movgez -> "movgez"
+
+let bcond2_name = function
+  | Beq -> "beq" | Bne -> "bne" | Blt -> "blt" | Bge -> "bge"
+  | Bltu -> "bltu" | Bgeu -> "bgeu"
+  | Bany -> "bany" | Bnone -> "bnone" | Ball -> "ball" | Bnall -> "bnall"
+
+let bcondi_name = function
+  | Beqi -> "beqi" | Bnei -> "bnei" | Blti -> "blti"
+  | Bgei -> "bgei" | Bltui -> "bltui" | Bgeui -> "bgeui"
+
+let bcondz_name = function
+  | Beqz -> "beqz" | Bnez -> "bnez" | Bltz -> "bltz" | Bgez -> "bgez"
+
+let load_name = function
+  | L8ui -> "l8ui" | L16si -> "l16si" | L16ui -> "l16ui" | L32i -> "l32i"
+
+let store_name = function S8i -> "s8i" | S16i -> "s16i" | S32i -> "s32i"
+
+let mnemonic = function
+  | Binop (op, _, _, _) -> binop_name op
+  | Unop (op, _, _) -> unop_name op
+  | Sext _ -> "sext"
+  | Cmov (op, _, _, _) -> cmov_name op
+  | Addi _ -> "addi"
+  | Addmi _ -> "addmi"
+  | Movi _ -> "movi"
+  | Mov _ -> "mov"
+  | Extui _ -> "extui"
+  | Slli _ -> "slli"
+  | Srli _ -> "srli"
+  | Srai _ -> "srai"
+  | Sll _ -> "sll"
+  | Srl _ -> "srl"
+  | Sra _ -> "sra"
+  | Src _ -> "src"
+  | Ssai _ -> "ssai"
+  | Ssl _ -> "ssl"
+  | Ssr _ -> "ssr"
+  | Load (op, _, _, _) -> load_name op
+  | L32r _ -> "l32r"
+  | Store (op, _, _, _) -> store_name op
+  | Branch2 (c, _, _, _) -> bcond2_name c
+  | Branchi (c, _, _, _) -> bcondi_name c
+  | Branchz (c, _, _) -> bcondz_name c
+  | Bbit (set, _, _, _) -> if set then "bbs" else "bbc"
+  | Bbiti (set, _, _, _) -> if set then "bbsi" else "bbci"
+  | J _ -> "j"
+  | Jx _ -> "jx"
+  | Call0 _ -> "call0"
+  | Callx0 _ -> "callx0"
+  | Call8 _ -> "call8"
+  | Callx8 _ -> "callx8"
+  | Ret -> "ret"
+  | Retw -> "retw"
+  | Entry _ -> "entry"
+  | Nop -> "nop"
+  | Memw -> "memw"
+  | Extw -> "extw"
+  | Isync -> "isync"
+  | Break -> "break"
+  | Custom { cname; _ } -> cname
+
+let pp ppf i =
+  let r = Reg.pp in
+  match i with
+  | Binop (_, d, s, t) | Cmov (_, d, s, t) | Src (d, s, t) ->
+    Format.fprintf ppf "%s %a, %a, %a" (mnemonic i) r d r s r t
+  | Unop (_, d, s) | Mov (d, s) | Sll (d, s) | Srl (d, s) | Sra (d, s) ->
+    Format.fprintf ppf "%s %a, %a" (mnemonic i) r d r s
+  | Sext (d, s, b) -> Format.fprintf ppf "sext %a, %a, %d" r d r s b
+  | Addi (d, s, n) | Addmi (d, s, n)
+  | Slli (d, s, n) | Srli (d, s, n) | Srai (d, s, n) ->
+    Format.fprintf ppf "%s %a, %a, %d" (mnemonic i) r d r s n
+  | Movi (d, n) -> Format.fprintf ppf "movi %a, %d" r d n
+  | Extui (d, s, sh, w) ->
+    Format.fprintf ppf "extui %a, %a, %d, %d" r d r s sh w
+  | Ssai n -> Format.fprintf ppf "ssai %d" n
+  | Ssl s | Ssr s -> Format.fprintf ppf "%s %a" (mnemonic i) r s
+  | Load (_, d, b, off) ->
+    Format.fprintf ppf "%s %a, %a, %d" (mnemonic i) r d r b off
+  | L32r (d, l) -> Format.fprintf ppf "l32r %a, %s" r d l
+  | Store (_, v, b, off) ->
+    Format.fprintf ppf "%s %a, %a, %d" (mnemonic i) r v r b off
+  | Branch2 (_, s, t, l) | Bbit (_, s, t, l) ->
+    Format.fprintf ppf "%s %a, %a, %s" (mnemonic i) r s r t l
+  | Branchi (_, s, n, l) | Bbiti (_, s, n, l) ->
+    Format.fprintf ppf "%s %a, %d, %s" (mnemonic i) r s n l
+  | Branchz (_, s, l) -> Format.fprintf ppf "%s %a, %s" (mnemonic i) r s l
+  | J l | Call0 l | Call8 l -> Format.fprintf ppf "%s %s" (mnemonic i) l
+  | Jx s | Callx0 s | Callx8 s ->
+    Format.fprintf ppf "%s %a" (mnemonic i) r s
+  | Ret | Retw | Nop | Memw | Extw | Isync | Break ->
+    Format.fprintf ppf "%s" (mnemonic i)
+  | Entry (sp, n) -> Format.fprintf ppf "entry %a, %d" r sp n
+  | Custom { cname; dst; srcs; cimm } ->
+    let args =
+      (match dst with Some d -> [ Reg.to_string d ] | None -> [])
+      @ List.map Reg.to_string srcs
+      @ (match cimm with Some n -> [ string_of_int n ] | None -> [])
+    in
+    Format.fprintf ppf "%s %s" cname (String.concat ", " args)
+
+let to_string i = Format.asprintf "%a" pp i
+
+let pp_clazz ppf c =
+  let s =
+    match c with
+    | Arith_class -> "arith"
+    | Load_class -> "load"
+    | Store_class -> "store"
+    | Jump_class -> "jump"
+    | Branch_class -> "branch"
+    | Custom_class -> "custom"
+  in
+  Format.pp_print_string ppf s
+
+let all_binops =
+  [ Add; Addx2; Addx4; Addx8; Sub; Subx2; Subx4; Subx8; And_; Or_; Xor;
+    Min; Max; Minu; Maxu; Mul16s; Mul16u; Mull ]
+
+let all_unops = [ Abs; Neg; Nsa; Nsau ]
+
+let all_cmovs = [ Moveqz; Movnez; Movltz; Movgez ]
+
+let all_bcond2 = [ Beq; Bne; Blt; Bge; Bltu; Bgeu; Bany; Bnone; Ball; Bnall ]
+
+let all_bcondi = [ Beqi; Bnei; Blti; Bgei; Bltui; Bgeui ]
+
+let all_bcondz = [ Beqz; Bnez; Bltz; Bgez ]
+
+(* binops + unops + sext + cmovs + imm-arith (addi addmi movi mov extui)
+   + shifts (slli srli srai sll srl sra src ssai ssl ssr)
+   + loads (4 + l32r) + stores (3)
+   + branches (10 + 6 + 4 + bbc/bbs + bbci/bbsi)
+   + jumps (j jx call0 callx0 call8 callx8 ret retw entry)
+   + misc (nop memw extw isync break) *)
+let opcode_count =
+  List.length all_binops + List.length all_unops + 1
+  + List.length all_cmovs + 5 + 10 + 5 + 3
+  + List.length all_bcond2 + List.length all_bcondi
+  + List.length all_bcondz + 4 + 9 + 5

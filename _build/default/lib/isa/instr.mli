@@ -1,0 +1,136 @@
+(** Base instruction set of the extensible processor.
+
+    The base ISA mirrors the structure of the Xtensa core ISA described in
+    the paper: roughly eighty RISC instructions falling into six energy
+    classes (arithmetic, load, store, jump, branch-taken, branch-untaken),
+    plus a [Custom] escape for designer-defined (TIE-style) instruction
+    extensions, which are resolved by name against an extension table at
+    simulation time.
+
+    Instructions are pure data here; semantics live in the simulator
+    ([Sim.Cpu]) and energy models in [Power]. *)
+
+(** Register-register ALU operations ([d <- s op t]). *)
+type binop =
+  | Add | Addx2 | Addx4 | Addx8
+  | Sub | Subx2 | Subx4 | Subx8
+  | And_ | Or_ | Xor
+  | Min | Max | Minu | Maxu
+  | Mul16s | Mul16u | Mull
+
+(** Register-register unary operations ([d <- op s]). *)
+type unop = Abs | Neg | Nsa | Nsau
+
+(** Conditional moves ([if cond t then d <- s]). *)
+type cmov = Moveqz | Movnez | Movltz | Movgez
+
+(** Two-register branch conditions. *)
+type bcond2 = Beq | Bne | Blt | Bge | Bltu | Bgeu | Bany | Bnone | Ball | Bnall
+
+(** Register-immediate branch conditions. *)
+type bcondi = Beqi | Bnei | Blti | Bgei | Bltui | Bgeui
+
+(** Register-zero branch conditions. *)
+type bcondz = Beqz | Bnez | Bltz | Bgez
+
+(** Memory access widths for loads. *)
+type load_op = L8ui | L16si | L16ui | L32i
+
+(** Memory access widths for stores. *)
+type store_op = S8i | S16i | S32i
+
+(** A call to a designer-defined custom instruction, identified by name.
+    The simulator resolves the name against the installed extension. *)
+type custom_call = {
+  cname : string;
+  dst : Reg.t option;
+  srcs : Reg.t list;
+  cimm : int option;
+}
+
+type t =
+  | Binop of binop * Reg.t * Reg.t * Reg.t
+  | Unop of unop * Reg.t * Reg.t
+  | Sext of Reg.t * Reg.t * int          (** sign-extend from bit [7..22] *)
+  | Cmov of cmov * Reg.t * Reg.t * Reg.t
+  | Addi of Reg.t * Reg.t * int
+  | Addmi of Reg.t * Reg.t * int         (** add immediate times 256 *)
+  | Movi of Reg.t * int
+  | Mov of Reg.t * Reg.t
+  | Extui of Reg.t * Reg.t * int * int   (** extract field: shift, width *)
+  | Slli of Reg.t * Reg.t * int
+  | Srli of Reg.t * Reg.t * int
+  | Srai of Reg.t * Reg.t * int
+  | Sll of Reg.t * Reg.t                 (** shift left by SAR *)
+  | Srl of Reg.t * Reg.t                 (** shift right by SAR *)
+  | Sra of Reg.t * Reg.t                 (** arithmetic right by SAR *)
+  | Src of Reg.t * Reg.t * Reg.t         (** funnel shift [s:t] right by SAR *)
+  | Ssai of int                          (** SAR <- imm *)
+  | Ssl of Reg.t                         (** SAR <- 32 - s *)
+  | Ssr of Reg.t                         (** SAR <- s land 31 *)
+  | Load of load_op * Reg.t * Reg.t * int
+  | L32r of Reg.t * string               (** pc-relative literal load *)
+  | Store of store_op * Reg.t * Reg.t * int
+  | Branch2 of bcond2 * Reg.t * Reg.t * string
+  | Branchi of bcondi * Reg.t * int * string
+  | Branchz of bcondz * Reg.t * string
+  | Bbit of bool * Reg.t * Reg.t * string   (** [true] = branch if bit set *)
+  | Bbiti of bool * Reg.t * int * string
+  | J of string
+  | Jx of Reg.t
+  | Call0 of string
+  | Callx0 of Reg.t
+  | Call8 of string
+  | Callx8 of Reg.t
+  | Ret
+  | Retw
+  | Entry of Reg.t * int                 (** window entry; allocates frame *)
+  | Nop | Memw | Extw | Isync
+  | Break
+  | Custom of custom_call
+
+(** Energy classes used by the macro-model.  Conditional branches are
+    classified at run time into taken/untaken; statically they are
+    [Branch_class]. *)
+type clazz =
+  | Arith_class
+  | Load_class
+  | Store_class
+  | Jump_class
+  | Branch_class
+  | Custom_class
+
+val class_of : t -> clazz
+
+val is_branch : t -> bool
+(** Conditional branches only (not jumps or calls). *)
+
+val is_control : t -> bool
+(** Any instruction that can redirect the PC. *)
+
+val defs : t -> Reg.t list
+(** Registers written by the instruction. *)
+
+val uses : t -> Reg.t list
+(** Registers read by the instruction. *)
+
+val branch_target : t -> string option
+(** Label targeted by a PC-relative control instruction, if any. *)
+
+val mnemonic : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val pp_clazz : Format.formatter -> clazz -> unit
+
+val all_binops : binop list
+val all_unops : unop list
+val all_cmovs : cmov list
+val all_bcond2 : bcond2 list
+val all_bcondi : bcondi list
+val all_bcondz : bcondz list
+
+val opcode_count : int
+(** Number of distinct base-ISA opcodes (for documentation/tests). *)

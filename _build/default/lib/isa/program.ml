@@ -1,0 +1,219 @@
+exception Assembly_error of string
+
+type data_block = {
+  dname : string;
+  daddr : int option;
+  dbytes : int array;
+}
+
+type item =
+  | Label of string
+  | Insn of Instr.t
+
+type lit_value =
+  | Lit_int of int
+  | Lit_addr of string
+
+type t = {
+  pname : string;
+  items : item list;
+  literals : (string * lit_value) list;
+  data : data_block list;
+}
+
+type slot = {
+  instr : Instr.t;
+  addr : int;
+  target : int option;
+  word : int;
+}
+
+type asm = {
+  source : t;
+  code : slot array;
+  code_base : int;
+  code_end : int;
+  entry : int;
+  symbols : (string, int) Hashtbl.t;
+  image : (int * int array) list;
+}
+
+let default_code_base = 0x2000
+let default_data_base = 0x10000
+
+let fail fmt = Format.kasprintf (fun s -> raise (Assembly_error s)) fmt
+
+let align4 n = (n + 3) land lnot 3
+
+let assemble ?(code_base = default_code_base)
+    ?(data_base = default_data_base) p =
+  let symbols = Hashtbl.create 64 in
+  let define name addr =
+    if Hashtbl.mem symbols name then
+      fail "%s: duplicate label %S" p.pname name;
+    Hashtbl.replace symbols name addr
+  in
+  (* Pass 1: addresses.  Labels bind to the next instruction slot. *)
+  let instrs = ref [] in
+  let naddr = ref code_base in
+  List.iter
+    (fun item ->
+      match item with
+      | Label name -> define name !naddr
+      | Insn i ->
+        instrs := (i, !naddr) :: !instrs;
+        naddr := !naddr + Encoding.bytes_per_instr)
+    p.items;
+  let instrs = Array.of_list (List.rev !instrs) in
+  (* Literal pool directly after the code, word aligned. *)
+  let pool_base = align4 !naddr in
+  List.iteri
+    (fun k (name, _) -> define name (pool_base + (4 * k)))
+    p.literals;
+  let code_end = pool_base + (4 * List.length p.literals) in
+  (* Data blocks. *)
+  let dcursor = ref (max data_base (align4 code_end)) in
+  let data_placed =
+    List.map
+      (fun d ->
+        let addr =
+          match d.daddr with
+          | Some a -> a
+          | None ->
+            let a = !dcursor in
+            dcursor := align4 (a + Array.length d.dbytes);
+            a
+        in
+        if addr < code_end && addr + Array.length d.dbytes > code_base then
+          fail "%s: data block %S overlaps the code section" p.pname d.dname;
+        define d.dname addr;
+        (addr, d.dbytes))
+      p.data
+  in
+  (* Pass 2: resolve and encode. *)
+  let resolve i =
+    match Instr.branch_target i with
+    | None -> None
+    | Some l -> (
+      match Hashtbl.find_opt symbols l with
+      | Some a -> Some a
+      | None -> fail "%s: undefined label %S" p.pname l)
+  in
+  let code =
+    Array.map
+      (fun (instr, addr) ->
+        let target = resolve instr in
+        let word = Encoding.encode ~pc:addr ~target instr in
+        { instr; addr; target; word })
+      instrs
+  in
+  let lit_bytes =
+    List.map
+      (fun (name, lv) ->
+        let a = Hashtbl.find symbols name in
+        let v =
+          match lv with
+          | Lit_int v -> v
+          | Lit_addr l -> (
+            match Hashtbl.find_opt symbols l with
+            | Some addr -> addr
+            | None -> fail "%s: literal %S: undefined label %S" p.pname name l)
+        in
+        let b i = (v lsr (8 * i)) land 0xff in
+        (a, [| b 0; b 1; b 2; b 3 |]))
+      p.literals
+  in
+  let entry =
+    match Hashtbl.find_opt symbols "main" with
+    | Some a -> a
+    | None -> code_base
+  in
+  { source = p; code; code_base; code_end; entry; symbols;
+    image = lit_bytes @ data_placed }
+
+let slot_at asm addr =
+  let off = addr - asm.code_base in
+  if off < 0 || off mod Encoding.bytes_per_instr <> 0 then None
+  else
+    let idx = off / Encoding.bytes_per_instr in
+    if idx < Array.length asm.code then Some asm.code.(idx) else None
+
+let symbol asm name =
+  match Hashtbl.find_opt asm.symbols name with
+  | Some a -> a
+  | None -> raise Not_found
+
+let instruction_count p =
+  List.fold_left
+    (fun n item -> match item with Insn _ -> n + 1 | Label _ -> n)
+    0 p.items
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v># program %s@," p.pname;
+  List.iter
+    (fun item ->
+      match item with
+      | Label l -> Format.fprintf ppf "%s:@," l
+      | Insn i -> Format.fprintf ppf "  %a@," Instr.pp i)
+    p.items;
+  List.iter
+    (fun (name, lv) ->
+      match lv with
+      | Lit_int v -> Format.fprintf ppf "%s: .word 0x%x@," name v
+      | Lit_addr l -> Format.fprintf ppf "%s: .word %s@," name l)
+    p.literals;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "%s: .bytes %d@," d.dname (Array.length d.dbytes))
+    p.data;
+  Format.fprintf ppf "@]"
+
+let pp_listing ppf asm =
+  (* Invert the symbol table to interleave label definitions. *)
+  let labels_at = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun name addr ->
+      Hashtbl.replace labels_at addr
+        (name :: Option.value (Hashtbl.find_opt labels_at addr) ~default:[]))
+    asm.symbols;
+  let name_of addr =
+    match Hashtbl.find_opt labels_at addr with
+    | Some (n :: _) -> Some n
+    | Some [] | None -> None
+  in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "%s:  %d instructions, entry 0x%x@,"
+    asm.source.pname (Array.length asm.code) asm.entry;
+  Array.iter
+    (fun slot ->
+      (match Hashtbl.find_opt labels_at slot.addr with
+       | Some names ->
+         List.iter (fun n -> Format.fprintf ppf "%s:@," n) names
+       | None -> ());
+      let annot =
+        match slot.target with
+        | Some t -> (
+          match name_of t with
+          | Some n -> Format.asprintf "   ; -> %s (0x%x)" n t
+          | None -> Format.asprintf "   ; -> 0x%x" t)
+        | None -> ""
+      in
+      Format.fprintf ppf "  %06x:  %06x  %a%s@," slot.addr slot.word
+        Instr.pp slot.instr annot)
+    asm.code;
+  List.iter
+    (fun (name, lv) ->
+      let addr = Hashtbl.find asm.symbols name in
+      match lv with
+      | Lit_int v ->
+        Format.fprintf ppf "  %06x:  .word 0x%08x  ; %s@," addr v name
+      | Lit_addr l ->
+        Format.fprintf ppf "  %06x:  .word %s@," addr l)
+    asm.source.literals;
+  List.iter
+    (fun d ->
+      let addr = Hashtbl.find asm.symbols d.dname in
+      Format.fprintf ppf "  %06x:  .bytes %d  ; %s@," addr
+        (Array.length d.dbytes) d.dname)
+    asm.source.data;
+  Format.fprintf ppf "@]"

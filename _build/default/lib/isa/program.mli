@@ -1,0 +1,75 @@
+(** Assembly programs and their resolved memory images.
+
+    A program is a code section (labels and instructions), a set of named
+    32-bit literals (referenced by [L32r]) and named data blocks.  The
+    assembler lays out code at [code_base] (three bytes per instruction),
+    appends a literal pool, places data blocks in the data region, and
+    resolves every label to an address. *)
+
+exception Assembly_error of string
+
+type data_block = {
+  dname : string;
+  daddr : int option;      (** fixed placement; [None] = place sequentially *)
+  dbytes : int array;      (** byte values 0..255 *)
+}
+
+type item =
+  | Label of string
+  | Insn of Instr.t
+
+(** Literal-pool entry values: a plain 32-bit constant, or the resolved
+    address of a code/data label (for indirect jumps and calls). *)
+type lit_value =
+  | Lit_int of int
+  | Lit_addr of string
+
+type t = {
+  pname : string;
+  items : item list;
+  literals : (string * lit_value) list;
+  data : data_block list;
+}
+
+(** One assembled instruction slot. *)
+type slot = {
+  instr : Instr.t;
+  addr : int;
+  target : int option;     (** resolved label operand, if any *)
+  word : int;              (** 24-bit encoding *)
+}
+
+type asm = {
+  source : t;
+  code : slot array;
+  code_base : int;
+  code_end : int;          (** first address past the literal pool *)
+  entry : int;             (** address of label ["main"], else [code_base] *)
+  symbols : (string, int) Hashtbl.t;
+  image : (int * int array) list;  (** initialised bytes: literals + data *)
+}
+
+val default_code_base : int
+val default_data_base : int
+
+val assemble : ?code_base:int -> ?data_base:int -> t -> asm
+(** Lay out and resolve a program.
+    @raise Assembly_error on duplicate or undefined labels, or data
+    overlap with the code section. *)
+
+val slot_at : asm -> int -> slot option
+(** Instruction slot at a code address, if the address falls inside the
+    code section on an instruction boundary. *)
+
+val symbol : asm -> string -> int
+(** Resolved address of a label.  @raise Not_found if undefined. *)
+
+val instruction_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Assembly-listing style dump of the program source. *)
+
+val pp_listing : Format.formatter -> asm -> unit
+(** Objdump-style disassembly of an assembled program: address, encoded
+    word, mnemonic and operands, with labels interleaved and resolved
+    branch targets annotated symbolically. *)

@@ -1,0 +1,17 @@
+type t = A of int
+
+let a n =
+  if n < 0 || n > 15 then invalid_arg "Reg.a: index out of range";
+  A n
+
+let index (A n) = n
+
+let pp ppf (A n) = Format.fprintf ppf "a%d" n
+
+let to_string r = Format.asprintf "%a" pp r
+
+let equal (A m) (A n) = m = n
+
+let compare (A m) (A n) = Stdlib.compare m n
+
+let all = List.init 16 a

@@ -1,0 +1,26 @@
+(** Architectural registers of the base processor.
+
+    The base core exposes a window of 16 address registers [a0]..[a15]
+    over a 64-entry physical register file, in the style of the Xtensa
+    windowed ABI.  Custom (TIE) state lives in separate custom registers,
+    identified by index within the extension's state block. *)
+
+type t = A of int  (** [A n] is address register [a{n}], [0 <= n <= 15]. *)
+
+val a : int -> t
+(** [a n] builds register [a{n}].  @raise Invalid_argument unless
+    [0 <= n <= 15]. *)
+
+val index : t -> int
+(** Window-relative index of the register (0..15). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val all : t list
+(** All sixteen architectural registers, in order. *)

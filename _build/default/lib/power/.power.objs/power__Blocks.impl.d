@@ -1,0 +1,1 @@
+lib/power/blocks.ml: List Tie

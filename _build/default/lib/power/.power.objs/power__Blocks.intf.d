@@ -1,0 +1,1 @@
+lib/power/blocks.mli: Tie

@@ -1,0 +1,1 @@
+lib/power/estimator.ml: Activity Array Blocks Float Gates Hashtbl Isa List Option Rtl Sim Tie

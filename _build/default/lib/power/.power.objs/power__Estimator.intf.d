@@ -1,0 +1,1 @@
+lib/power/estimator.mli: Blocks Isa Sim Tie

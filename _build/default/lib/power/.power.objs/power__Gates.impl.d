@@ -1,0 +1,1 @@
+lib/power/gates.ml: Activity Array

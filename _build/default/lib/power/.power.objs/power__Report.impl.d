@@ -1,0 +1,1 @@
+lib/power/report.ml: Float Format List

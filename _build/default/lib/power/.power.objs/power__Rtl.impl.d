@@ -1,0 +1,1 @@
+lib/power/rtl.ml: Array Bytes Char Sim

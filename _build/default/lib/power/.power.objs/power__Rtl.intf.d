@@ -1,0 +1,1 @@
+lib/power/rtl.mli: Sim

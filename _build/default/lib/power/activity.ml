@@ -1,0 +1,20 @@
+let popcount v =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  (* Parallel popcount for the common 32/64-bit case. *)
+  if v >= 0 then begin
+    let x = v in
+    let x = x - ((x lsr 1) land 0x5555_5555_5555_5555) in
+    let x = (x land 0x3333_3333_3333_3333)
+            + ((x lsr 2) land 0x3333_3333_3333_3333) in
+    let x = (x + (x lsr 4)) land 0x0f0f_0f0f_0f0f_0f0f in
+    (x * 0x0101_0101_0101_0101) lsr 56
+  end
+  else go 0 (v land max_int)
+
+let toggles a b = popcount ((a lxor b) land 0x3fff_ffff_ffff_ffff)
+
+let mask w = if w >= 62 then 0x3fff_ffff_ffff_ffff else (1 lsl w) - 1
+
+let density v ~width =
+  if width <= 0 then 0.0
+  else float_of_int (popcount (v land mask width)) /. float_of_int width

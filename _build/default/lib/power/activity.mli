@@ -1,0 +1,13 @@
+(** Switching-activity primitives. *)
+
+val popcount : int -> int
+(** Number of set bits (non-negative values up to 62 bits). *)
+
+val toggles : int -> int -> int
+(** Hamming distance between two bus states. *)
+
+val density : int -> width:int -> float
+(** Fraction of set bits within [width]. *)
+
+val mask : int -> int
+(** [mask w] is the all-ones pattern of width [w] (w <= 62). *)

@@ -1,0 +1,94 @@
+type params = {
+  clock_tree : float;
+  pipeline_base : float;
+  pipeline_per_toggle : float;   (* per pipeline-register net toggle *)
+  cache_decode_per_toggle : float;
+  cache_tag_per_toggle : float;
+  cache_array_per_toggle : float;
+  regfile_decoder_per_toggle : float;
+  stall_cycle : float;
+  fetch_decode : float;
+  fetch_bus_per_toggle : float;
+  icache_access : float;
+  icache_miss : float;
+  dcache_access : float;
+  dcache_miss : float;
+  uncached_access : float;
+  regfile_read : float;
+  regfile_write : float;
+  alu_per_toggle : float;
+  shifter_per_toggle : float;
+  mult_per_toggle : float;
+  operand_bus_per_toggle : float;
+  result_bus_per_toggle : float;
+  branch_unit : float;
+  taken_flush : float;
+  interlock_cycle : float;
+  window_op : float;
+  custom_active : Tie.Component.category -> float;
+  custom_idle_fraction : float;
+  custom_data_swing : float;
+}
+
+let paper_table1_custom =
+  [ (Tie.Component.Multiplier, 152.0);
+    (Tie.Component.Adder, 70.0);
+    (Tie.Component.Logic, 12.0);
+    (Tie.Component.Shifter, 377.0);
+    (Tie.Component.Custom_register, 177.0);
+    (Tie.Component.Tie_mult, 165.0);
+    (Tie.Component.Tie_mac, 190.0);
+    (Tie.Component.Tie_add, 69.0);
+    (Tie.Component.Tie_csa, 37.0);
+    (Tie.Component.Table, 27.0) ]
+
+let custom_active_default cat = List.assoc cat paper_table1_custom
+
+let default =
+  { clock_tree = 60.0;
+    pipeline_base = 45.0;
+    pipeline_per_toggle = 0.1;
+    cache_decode_per_toggle = 1.0;
+    cache_tag_per_toggle = 0.35;
+    cache_array_per_toggle = 0.12;
+    regfile_decoder_per_toggle = 1.5;
+    stall_cycle = 25.0;
+    fetch_decode = 50.0;
+    fetch_bus_per_toggle = 1.1;
+    icache_access = 45.0;
+    icache_miss = 1600.0;
+    dcache_access = 50.0;
+    dcache_miss = 1700.0;
+    uncached_access = 700.0;
+    regfile_read = 25.0;
+    regfile_write = 35.0;
+    alu_per_toggle = 0.7;
+    shifter_per_toggle = 2.0;
+    mult_per_toggle = 0.75;
+    operand_bus_per_toggle = 1.0;
+    result_bus_per_toggle = 1.0;
+    branch_unit = 18.0;
+    taken_flush = 70.0;
+    interlock_cycle = 18.0;
+    window_op = 60.0;
+    custom_active = custom_active_default;
+    custom_idle_fraction = 0.22;
+    custom_data_swing = 0.3 }
+
+(* Constants below are the measured mean toggle counts of the Gates
+   models under uniformly random operand streams (see the calibration
+   note in DESIGN.md): adders toggle ~2 nets per bit, array multipliers
+   ~0.64 w^2, barrel shifters ~2.2 per bit, logic planes and registers
+   ~0.5 per bit, tables ~w/2 plus decoder overhead. *)
+let expected_toggles (c : Tie.Component.t) =
+  let w = float_of_int c.Tie.Component.width in
+  match c.Tie.Component.category with
+  | Tie.Component.Multiplier | Tie.Component.Tie_mult
+  | Tie.Component.Tie_mac ->
+    0.64 *. w *. w
+  | Tie.Component.Adder | Tie.Component.Tie_add | Tie.Component.Tie_csa ->
+    2.0 *. w
+  | Tie.Component.Logic -> w /. 2.0
+  | Tie.Component.Shifter -> 2.2 *. w
+  | Tie.Component.Custom_register -> w /. 2.0
+  | Tie.Component.Table -> (w /. 2.0) +. 6.0

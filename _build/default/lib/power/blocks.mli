@@ -1,0 +1,56 @@
+(** Energy parameters of the architectural blocks.
+
+    All energies are in pJ at the nominal 0.18 um / 187 MHz operating
+    point.  Per-toggle figures multiply gate-level net-toggle counts from
+    {!Gates}; per-event figures are charged per access.
+
+    [custom_active] is the mean active energy per cycle and per unit of
+    complexity (see {!Tie.Component.complexity}) of each custom-hardware
+    category; the defaults are calibrated so that the fitted macro-model
+    coefficients land near the paper's Table I values. *)
+
+type params = {
+  clock_tree : float;            (** per cycle *)
+  pipeline_base : float;         (** per cycle *)
+  pipeline_per_toggle : float;   (** per pipeline-register net toggle *)
+  cache_decode_per_toggle : float;
+  cache_tag_per_toggle : float;
+  cache_array_per_toggle : float;
+  regfile_decoder_per_toggle : float;
+  stall_cycle : float;           (** extra per stalled/penalty cycle *)
+  fetch_decode : float;          (** per instruction *)
+  fetch_bus_per_toggle : float;
+  icache_access : float;         (** sense/precharge flat part per access *)
+  icache_miss : float;
+  dcache_access : float;
+  dcache_miss : float;
+  uncached_access : float;
+  regfile_read : float;          (** per read port *)
+  regfile_write : float;
+  alu_per_toggle : float;
+  shifter_per_toggle : float;
+  mult_per_toggle : float;
+  operand_bus_per_toggle : float;
+  result_bus_per_toggle : float;
+  branch_unit : float;           (** per resolved branch *)
+  taken_flush : float;           (** per taken branch/jump *)
+  interlock_cycle : float;       (** per dependency-stall cycle *)
+  window_op : float;             (** per window overflow/underflow *)
+  custom_active : Tie.Component.category -> float;
+  custom_idle_fraction : float;
+  (** bus-facing custom hardware toggled by base instructions *)
+  custom_data_swing : float;
+  (** clamp half-range of the data-dependent modulation, e.g. 0.35 *)
+}
+
+val default : params
+
+val paper_table1_custom : (Tie.Component.category * float) list
+(** The structural energy coefficients published in the paper's Table I,
+    used both to calibrate [custom_active] and as the reference values in
+    the Table I reproduction. *)
+
+val expected_toggles : Tie.Component.t -> float
+(** Mean net-toggle count of a component instance under random operands;
+    normalises gate-level toggle counts into a dimensionless activity
+    factor. *)

@@ -1,0 +1,45 @@
+(** Reference structural energy estimator (the WattWatcher stand-in).
+
+    An expensive, per-instruction/per-net observer: it re-evaluates the
+    gate-level structure of every datapath unit touched by the executing
+    instruction ({!Gates}), tracks bus states across cycles, models the
+    cache arrays, the register file ports, the pipeline latches and the
+    clock tree, and charges custom-hardware component instances with
+    data-dependent active energy — including the idle (side-effect)
+    toggling of bus-facing custom hardware during base instructions, as
+    in the paper's Example 1.
+
+    Its totals are the "measured" energies against which the macro-model
+    is characterized and evaluated. *)
+
+type t
+
+val create :
+  ?params:Blocks.params ->
+  ?extension:Tie.Compile.compiled ->
+  Sim.Config.t ->
+  t
+
+val observe : t -> Sim.Event.t -> unit
+(** Process one event (exposed for instrumentation). *)
+
+val observer : t -> Sim.Cpu.observer
+
+val total_energy : t -> float
+(** Accumulated energy in pJ. *)
+
+val breakdown : t -> (string * float) list
+(** Per-block energy, descending. *)
+
+val reset : t -> unit
+(** Clear all accumulated energy and internal net state (including the
+    shadow caches), so the estimator can observe a fresh simulation. *)
+
+val estimate_program :
+  ?params:Blocks.params ->
+  ?config:Sim.Config.t ->
+  ?extension:Tie.Compile.compiled ->
+  Isa.Program.asm ->
+  float * Sim.Cpu.t
+(** Run a program under the reference estimator and return total energy
+    (pJ) plus the finished simulator (for cycle counts). *)

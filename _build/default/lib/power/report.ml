@@ -1,0 +1,17 @@
+let to_uj pj = pj /. 1.0e6
+
+let pp_energy ppf pj =
+  if Float.abs pj >= 1.0e6 then Format.fprintf ppf "%.2f uJ" (pj /. 1.0e6)
+  else if Float.abs pj >= 1.0e3 then Format.fprintf ppf "%.2f nJ" (pj /. 1.0e3)
+  else Format.fprintf ppf "%.1f pJ" pj
+
+let pp_breakdown ppf items =
+  let total = List.fold_left (fun acc (_, e) -> acc +. e) 0.0 items in
+  let energy_string e = Format.asprintf "%a" pp_energy e in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, e) ->
+      Format.fprintf ppf "%-14s %12s  %5.1f%%@," name (energy_string e)
+        (if total > 0.0 then 100.0 *. e /. total else 0.0))
+    items;
+  Format.fprintf ppf "%-14s %12s@]" "total" (energy_string total)

@@ -1,0 +1,10 @@
+(** Formatting of reference-estimator results. *)
+
+val pp_breakdown : Format.formatter -> (string * float) list -> unit
+(** Table of per-block energies with percentages. *)
+
+val pp_energy : Format.formatter -> float -> unit
+(** Human-readable energy: pJ, nJ or uJ depending on magnitude. *)
+
+val to_uj : float -> float
+(** Convert pJ to uJ. *)

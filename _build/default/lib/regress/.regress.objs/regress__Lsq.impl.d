@@ -1,0 +1,1 @@
+lib/regress/lsq.ml: Array Float List Matrix

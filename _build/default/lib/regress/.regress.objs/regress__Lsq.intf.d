@@ -1,0 +1,1 @@
+lib/regress/lsq.mli: Matrix

@@ -1,0 +1,1 @@
+lib/regress/matrix.mli: Format

@@ -1,0 +1,1 @@
+lib/regress/stats.ml: Array Float

@@ -1,0 +1,232 @@
+exception Singular
+
+let predict x c = Matrix.mul_vec x c
+
+let residuals x c e =
+  let p = predict x c in
+  Array.mapi (fun i pi -> pi -. e.(i)) p
+
+(* Householder QR: reduce [x | e] and back-substitute. *)
+let solve_qr x e =
+  let m = Matrix.rows x and n = Matrix.cols x in
+  if Array.length e <> m then invalid_arg "Lsq.solve_qr: mismatched rhs";
+  if m < n then invalid_arg "Lsq.solve_qr: underdetermined system";
+  let a = Matrix.copy x in
+  let b = Array.copy e in
+  for k = 0 to n - 1 do
+    (* Householder vector for column k. *)
+    let norm = ref 0.0 in
+    for i = k to m - 1 do
+      let v = Matrix.get a i k in
+      norm := !norm +. (v *. v)
+    done;
+    let norm = sqrt !norm in
+    if norm < 1e-12 then raise Singular;
+    let akk = Matrix.get a k k in
+    let alpha = if akk >= 0.0 then -.norm else norm in
+    (* v = x_k - alpha e_k, stored in place of column k below the
+       diagonal; v_k separately. *)
+    let vk = akk -. alpha in
+    let vnorm2 =
+      ref (vk *. vk)
+    in
+    for i = k + 1 to m - 1 do
+      let v = Matrix.get a i k in
+      vnorm2 := !vnorm2 +. (v *. v)
+    done;
+    if !vnorm2 > 1e-300 then begin
+      (* Apply H = I - 2 v v^T / (v^T v) to the trailing columns and b.
+         Column k itself is not transformed (its post-reflection value is
+         alpha on the diagonal, zeros below, set explicitly afterwards) so
+         the reflector stored in it stays intact. *)
+      for j = k + 1 to n - 1 do
+        let dot =
+          let acc = ref (vk *. Matrix.get a k j) in
+          for i = k + 1 to m - 1 do
+            acc := !acc +. (Matrix.get a i k *. Matrix.get a i j)
+          done;
+          !acc
+        in
+        let scale = 2.0 *. dot /. !vnorm2 in
+        Matrix.set a k j (Matrix.get a k j -. (scale *. vk));
+        for i = k + 1 to m - 1 do
+          Matrix.set a i j (Matrix.get a i j -. (scale *. Matrix.get a i k))
+        done
+      done;
+      let dotb =
+        let acc = ref (vk *. b.(k)) in
+        for i = k + 1 to m - 1 do
+          acc := !acc +. (Matrix.get a i k *. b.(i))
+        done;
+        !acc
+      in
+      let scale = 2.0 *. dotb /. !vnorm2 in
+      b.(k) <- b.(k) -. (scale *. vk);
+      for i = k + 1 to m - 1 do
+        b.(i) <- b.(i) -. (scale *. Matrix.get a i k)
+      done
+    end;
+    Matrix.set a k k alpha;
+    for i = k + 1 to m - 1 do
+      Matrix.set a i k 0.0
+    done
+  done;
+  (* Back substitution on the n x n upper triangle. *)
+  let c = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let acc = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get a i j *. c.(j))
+    done;
+    let d = Matrix.get a i i in
+    if Float.abs d < 1e-12 then raise Singular;
+    c.(i) <- !acc /. d
+  done;
+  c
+
+(* Gaussian elimination with partial pivoting on a square system. *)
+let gauss_solve a b =
+  let n = Array.length b in
+  for k = 0 to n - 1 do
+    (* Pivot. *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Matrix.get a i k) > Float.abs (Matrix.get a !piv k) then
+        piv := i
+    done;
+    if Float.abs (Matrix.get a !piv k) < 1e-12 then raise Singular;
+    if !piv <> k then begin
+      for j = 0 to n - 1 do
+        let t = Matrix.get a k j in
+        Matrix.set a k j (Matrix.get a !piv j);
+        Matrix.set a !piv j t
+      done;
+      let t = b.(k) in
+      b.(k) <- b.(!piv);
+      b.(!piv) <- t
+    end;
+    for i = k + 1 to n - 1 do
+      let f = Matrix.get a i k /. Matrix.get a k k in
+      if f <> 0.0 then begin
+        for j = k to n - 1 do
+          Matrix.set a i j (Matrix.get a i j -. (f *. Matrix.get a k j))
+        done;
+        b.(i) <- b.(i) -. (f *. b.(k))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let acc = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get a i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Matrix.get a i i
+  done;
+  x
+
+let solve_normal ?(ridge = 0.0) x e =
+  let xt = Matrix.transpose x in
+  let xtx = Matrix.mul xt x in
+  let n = Matrix.cols x in
+  if ridge > 0.0 then
+    for i = 0 to n - 1 do
+      Matrix.set xtx i i (Matrix.get xtx i i +. ridge)
+    done;
+  let xte = Matrix.mul_vec xt e in
+  gauss_solve xtx xte
+
+let solve_once x e =
+  try solve_qr x e with Singular -> solve_normal ~ridge:1e-6 x e
+
+(* Subset least squares: fit only the columns in [idx] and return the
+   full-length coefficient vector with zeros elsewhere. *)
+let solve_subset x e idx =
+  match idx with
+  | [] -> Array.make (Matrix.cols x) 0.0
+  | _ ->
+    let sub =
+      Matrix.of_rows
+        (Array.init (Matrix.rows x) (fun i ->
+             Array.of_list (List.map (fun j -> Matrix.get x i j) idx)))
+    in
+    let c = solve_once sub e in
+    let full = Array.make (Matrix.cols x) 0.0 in
+    List.iteri (fun k j -> full.(j) <- c.(k)) idx;
+    full
+
+(* Lawson-Hanson non-negative least squares.  Columns enter the passive
+   set one at a time by steepest descent of the residual; inner loop
+   backtracks along the segment to the previous iterate whenever the
+   unconstrained subset solution leaves the feasible region. *)
+let solve_nnls x e =
+  let n = Matrix.cols x in
+  let passive = Array.make n false in
+  let xcur = Array.make n 0.0 in
+  let gradient () =
+    let r =
+      let p = predict x xcur in
+      Array.mapi (fun i pi -> e.(i) -. pi) p
+    in
+    Array.init n (fun j ->
+        let acc = ref 0.0 in
+        for i = 0 to Matrix.rows x - 1 do
+          acc := !acc +. (Matrix.get x i j *. r.(i))
+        done;
+        !acc)
+  in
+  let passive_list () =
+    List.filter (fun j -> passive.(j)) (List.init n (fun j -> j))
+  in
+  let tol = 1e-7 in
+  let rec outer iter =
+    if iter > 3 * n then ()
+    else begin
+      let w = gradient () in
+      let best = ref (-1) in
+      Array.iteri
+        (fun j wj ->
+          if (not passive.(j)) && wj > tol
+             && (!best < 0 || wj > w.(!best)) then best := j)
+        w;
+      if !best < 0 then ()
+      else begin
+        passive.(!best) <- true;
+        let rec inner () =
+          let z = solve_subset x e (passive_list ()) in
+          let negs =
+            List.filter (fun j -> passive.(j) && z.(j) <= tol)
+              (List.init n (fun j -> j))
+          in
+          if negs = [] then Array.blit z 0 xcur 0 n
+          else begin
+            (* Step as far toward z as feasibility allows. *)
+            let alpha =
+              List.fold_left
+                (fun a j ->
+                  let d = xcur.(j) -. z.(j) in
+                  if d > 1e-300 then Float.min a (xcur.(j) /. d) else a)
+                1.0 negs
+            in
+            for j = 0 to n - 1 do
+              if passive.(j) then begin
+                xcur.(j) <- xcur.(j) +. (alpha *. (z.(j) -. xcur.(j)));
+                if xcur.(j) <= tol then begin
+                  xcur.(j) <- 0.0;
+                  passive.(j) <- false
+                end
+              end
+            done;
+            if passive_list () <> [] then inner ()
+          end
+        in
+        inner ();
+        outer (iter + 1)
+      end
+    end
+  in
+  outer 0;
+  xcur
+
+let solve ?(nonnegative = false) x e =
+  if not nonnegative then solve_once x e else solve_nnls x e

@@ -1,0 +1,29 @@
+(** Linear least squares.
+
+    Fits E = X.C as in the paper's Section IV-B.2: the energy coefficient
+    vector minimising the squared error over the test-program rows.  The
+    primary solver is Householder QR (numerically stable); the
+    normal-equation/pseudo-inverse route of the paper is also provided,
+    with optional ridge damping for ill-conditioned designs. *)
+
+exception Singular
+
+val solve_qr : Matrix.t -> float array -> float array
+(** [solve_qr x e] with [rows x >= cols x].
+    @raise Singular if [x] is rank deficient.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val solve_normal : ?ridge:float -> Matrix.t -> float array -> float array
+(** Pseudo-inverse via the normal equations (Gaussian elimination with
+    partial pivoting); [ridge] adds [lambda * I]. *)
+
+val solve : ?nonnegative:bool -> Matrix.t -> float array -> float array
+(** QR with a fallback to ridge-damped normal equations when rank
+    deficient.  With [nonnegative], columns whose fitted coefficient is
+    negative are iteratively clamped to zero and the rest refitted
+    (physical energy coefficients cannot be negative). *)
+
+val residuals : Matrix.t -> float array -> float array -> float array
+(** [residuals x c e] is [x.c - e]. *)
+
+val predict : Matrix.t -> float array -> float array

@@ -1,0 +1,56 @@
+let mean v =
+  if Array.length v = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 v /. float_of_int (Array.length v)
+
+let rms v =
+  if Array.length v = 0 then 0.0
+  else
+    sqrt
+      (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v
+       /. float_of_int (Array.length v))
+
+let max_abs v = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 v
+
+let percent_errors ~predicted ~actual =
+  if Array.length predicted <> Array.length actual then
+    invalid_arg "Stats.percent_errors: length mismatch";
+  Array.mapi
+    (fun i p ->
+      let a = actual.(i) in
+      if Float.abs a < 1e-12 then 0.0 else 100.0 *. (p -. a) /. a)
+    predicted
+
+let mean_abs_percent ~predicted ~actual =
+  mean (Array.map Float.abs (percent_errors ~predicted ~actual))
+
+let rms_percent ~predicted ~actual = rms (percent_errors ~predicted ~actual)
+
+let max_abs_percent ~predicted ~actual =
+  max_abs (percent_errors ~predicted ~actual)
+
+let r_squared ~predicted ~actual =
+  let mu = mean actual in
+  let ss_tot =
+    Array.fold_left (fun acc a -> acc +. ((a -. mu) ** 2.0)) 0.0 actual
+  in
+  let ss_res =
+    ref 0.0
+  in
+  Array.iteri
+    (fun i a -> ss_res := !ss_res +. ((a -. predicted.(i)) ** 2.0))
+    actual;
+  if ss_tot < 1e-12 then 1.0 else 1.0 -. (!ss_res /. ss_tot)
+
+let correlation x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Stats.correlation: length mismatch";
+  let mx = mean x and my = mean y in
+  let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+  Array.iteri
+    (fun i xi ->
+      let a = xi -. mx and b = y.(i) -. my in
+      num := !num +. (a *. b);
+      dx := !dx +. (a *. a);
+      dy := !dy +. (b *. b))
+    x;
+  if !dx < 1e-12 || !dy < 1e-12 then 0.0 else !num /. sqrt (!dx *. !dy)

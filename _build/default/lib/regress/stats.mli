@@ -1,0 +1,21 @@
+(** Error statistics for model evaluation. *)
+
+val mean : float array -> float
+
+val rms : float array -> float
+
+val max_abs : float array -> float
+
+val percent_errors : predicted:float array -> actual:float array -> float array
+(** Signed percentage error of each prediction relative to [actual]. *)
+
+val mean_abs_percent : predicted:float array -> actual:float array -> float
+
+val rms_percent : predicted:float array -> actual:float array -> float
+
+val max_abs_percent : predicted:float array -> actual:float array -> float
+
+val r_squared : predicted:float array -> actual:float array -> float
+
+val correlation : float array -> float array -> float
+(** Pearson correlation (relative-accuracy metric of Fig. 4). *)

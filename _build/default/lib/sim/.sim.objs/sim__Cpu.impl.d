@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Array Cache Config Event Format Isa List Memory Option Regfile Tie

@@ -1,0 +1,1 @@
+lib/sim/cpu.mli: Cache Config Event Isa Memory Tie

@@ -1,0 +1,103 @@
+type outcome = Hit | Miss
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+}
+
+type t = {
+  cfg : Config.cache_config;
+  nsets : int;
+  line_shift : int;
+  tags : int array;        (* nsets * ways; -1 = invalid *)
+  age : int array;         (* LRU age per way; 0 = most recent *)
+  mutable accesses : int;
+  mutable hits : int;
+}
+
+let log2 n =
+  let rec go k v = if v <= 1 then k else go (k + 1) (v lsr 1) in
+  go 0 n
+
+let create cfg =
+  let nsets = Config.sets cfg in
+  { cfg;
+    nsets;
+    line_shift = log2 cfg.Config.line_bytes;
+    tags = Array.make (nsets * cfg.Config.ways) (-1);
+    age = Array.init (nsets * cfg.Config.ways) (fun i -> i mod cfg.Config.ways);
+    accesses = 0;
+    hits = 0 }
+
+let locate t addr =
+  let line = addr lsr t.line_shift in
+  let set = line land (t.nsets - 1) in
+  let tag = line lsr (log2 t.nsets) in
+  (set, tag)
+
+let find_way t set tag =
+  let base = set * t.cfg.Config.ways in
+  let rec go w =
+    if w >= t.cfg.Config.ways then None
+    else if t.tags.(base + w) = tag then Some w
+    else go (w + 1)
+  in
+  go 0
+
+let touch t set way =
+  (* True LRU: everything younger than [way] ages by one. *)
+  let base = set * t.cfg.Config.ways in
+  let a = t.age.(base + way) in
+  for w = 0 to t.cfg.Config.ways - 1 do
+    if t.age.(base + w) < a then t.age.(base + w) <- t.age.(base + w) + 1
+  done;
+  t.age.(base + way) <- 0
+
+let victim t set =
+  let base = set * t.cfg.Config.ways in
+  let rec go w best =
+    if w >= t.cfg.Config.ways then best
+    else if t.age.(base + w) > t.age.(base + best) then go (w + 1) w
+    else go (w + 1) best
+  in
+  go 1 0
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  let set, tag = locate t addr in
+  match find_way t set tag with
+  | Some w ->
+    t.hits <- t.hits + 1;
+    touch t set w;
+    Hit
+  | None ->
+    let w = victim t set in
+    t.tags.((set * t.cfg.Config.ways) + w) <- tag;
+    touch t set w;
+    Miss
+
+let resident t addr =
+  let set, tag = locate t addr in
+  find_way t set tag <> None
+
+let stats t =
+  { accesses = t.accesses; hits = t.hits; misses = t.accesses - t.hits }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.iteri (fun i _ -> t.age.(i) <- i mod t.cfg.Config.ways) t.age;
+  t.accesses <- 0;
+  t.hits <- 0
+
+let way_tags t addr =
+  let set, _ = locate t addr in
+  Array.init t.cfg.Config.ways (fun w ->
+      t.tags.((set * t.cfg.Config.ways) + w))
+
+let tag_bits t = 32 - t.line_shift - log2 t.nsets
+
+let ways t = t.cfg.Config.ways
+let sets t = t.nsets
+let line_bytes t = t.cfg.Config.line_bytes
+let miss_penalty t = t.cfg.Config.miss_penalty

@@ -1,0 +1,42 @@
+(** Set-associative cache with true-LRU replacement.
+
+    Tracks hits/misses only (no data: the simulator keeps data in
+    [Memory]); the reference power model charges tag-compare and
+    array-access energy per access and a line-fill per miss. *)
+
+type t
+
+type outcome = Hit | Miss
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+}
+
+val create : Config.cache_config -> t
+
+val access : t -> int -> outcome
+(** Touch the line containing the address, allocating on miss. *)
+
+val stats : t -> stats
+
+val reset : t -> unit
+
+val ways : t -> int
+
+val sets : t -> int
+
+val line_bytes : t -> int
+
+val miss_penalty : t -> int
+
+val resident : t -> int -> bool
+(** Would the address hit right now (no state change)? *)
+
+val way_tags : t -> int -> int array
+(** Tags currently stored in the set holding the address ([-1] =
+    invalid way); used by the RTL activity model's tag comparators. *)
+
+val tag_bits : t -> int
+(** Width of a tag comparison (32 minus index and offset bits). *)

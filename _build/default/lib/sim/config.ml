@@ -1,0 +1,51 @@
+type cache_config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  miss_penalty : int;
+}
+
+type t = {
+  icache : cache_config;
+  dcache : cache_config;
+  uncached_base : int;
+  uncached_fetch_penalty : int;
+  uncached_data_penalty : int;
+  branch_taken_penalty : int;
+  window_penalty : int;
+  freq_mhz : float;
+  max_cycles : int;
+}
+
+let default_cache =
+  { size_bytes = 16 * 1024; ways = 4; line_bytes = 32; miss_penalty = 18 }
+
+let default =
+  { icache = default_cache;
+    dcache = default_cache;
+    uncached_base = 0x2000_0000;
+    uncached_fetch_penalty = 12;
+    uncached_data_penalty = 12;
+    branch_taken_penalty = 2;
+    window_penalty = 1;
+    freq_mhz = 187.0;
+    max_cycles = 50_000_000 }
+
+let sets c = c.size_bytes / (c.ways * c.line_bytes)
+
+let power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validate_cache name c =
+  if not (power_of_two c.size_bytes && power_of_two c.ways
+          && power_of_two c.line_bytes) then
+    invalid_arg (name ^ ": cache geometry must be powers of two");
+  if sets c < 1 then invalid_arg (name ^ ": zero sets");
+  if c.miss_penalty < 0 then invalid_arg (name ^ ": negative miss penalty")
+
+let validate t =
+  validate_cache "icache" t.icache;
+  validate_cache "dcache" t.dcache;
+  if t.branch_taken_penalty < 0 || t.window_penalty < 0
+     || t.uncached_fetch_penalty < 0 || t.uncached_data_penalty < 0 then
+    invalid_arg "negative penalty";
+  if t.max_cycles <= 0 then invalid_arg "max_cycles must be positive"

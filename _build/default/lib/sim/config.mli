@@ -1,0 +1,37 @@
+(** Processor configuration.
+
+    Defaults match the paper's experimental setup: a T1040-class base core
+    at 187 MHz (0.18 um), 4-way set-associative 16 KB instruction and data
+    caches, a 32-bit multiplier option and a 64-entry windowed register
+    file. *)
+
+type cache_config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  miss_penalty : int;   (** stall cycles per miss *)
+}
+
+type t = {
+  icache : cache_config;
+  dcache : cache_config;
+  uncached_base : int;
+  (** addresses at or above this bypass the caches *)
+  uncached_fetch_penalty : int;
+  uncached_data_penalty : int;
+  branch_taken_penalty : int;  (** extra cycles on a taken branch or jump *)
+  window_penalty : int;        (** stall cycles on window overflow/underflow *)
+  freq_mhz : float;
+  max_cycles : int;            (** simulation watchdog *)
+}
+
+val default_cache : cache_config
+
+val default : t
+
+val sets : cache_config -> int
+(** Number of sets ([size / (ways * line)]). *)
+
+val validate : t -> unit
+(** @raise Invalid_argument if cache geometry is not a power of two or
+    penalties are negative. *)

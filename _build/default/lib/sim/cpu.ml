@@ -1,0 +1,509 @@
+exception Sim_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+
+type outcome = Halted | Watchdog
+
+type observer = Event.t -> unit
+
+type t = {
+  cfg : Config.t;
+  asm : Isa.Program.asm;
+  mem : Memory.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  rf : Regfile.t;
+  ext : Tie.Compile.compiled option;
+  ext_state : Tie.Compile.state_store option;
+  ready : int array;                 (* per-physical-register ready cycle *)
+  mutable pc : int;
+  mutable sar_reg : int;
+  mutable cycle : int;
+  mutable retired : int;
+  mutable done_ : outcome option;
+  mutable observers : observer list;
+}
+
+let create ?(config = Config.default) ?extension asm =
+  Config.validate config;
+  let mem = Memory.create () in
+  Memory.load_image mem asm.Isa.Program.image;
+  { cfg = config;
+    asm;
+    mem;
+    icache = Cache.create config.Config.icache;
+    dcache = Cache.create config.Config.dcache;
+    rf = Regfile.create ();
+    ext = extension;
+    ext_state = Option.map Tie.Compile.create_state extension;
+    ready = Array.make 64 0;
+    pc = asm.Isa.Program.entry;
+    sar_reg = 0;
+    cycle = 0;
+    retired = 0;
+    done_ = None;
+    observers = [] }
+
+let add_observer t obs = t.observers <- t.observers @ [ obs ]
+
+let u32 v = v land 0xffff_ffff
+
+let s32 v =
+  let v = u32 v in
+  if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let sext16 v =
+  let v = v land 0xffff in
+  if v land 0x8000 <> 0 then v - 0x1_0000 else v
+
+let nsau v =
+  let v = u32 v in
+  if v = 0 then 32
+  else
+    let rec go n x = if x land 0x8000_0000 <> 0 then n else go (n + 1) (x lsl 1) in
+    go 0 v
+
+let nsa v =
+  (* Redundant sign bits of a signed value (normalisation shift amount). *)
+  let v = s32 v in
+  if v = 0 || v = -1 then 31
+  else
+    let x = if v < 0 then u32 (lnot v) else v in
+    nsau x - 1
+
+let eval_binop op s t =
+  let open Isa.Instr in
+  match op with
+  | Add -> s + t
+  | Addx2 -> (s lsl 1) + t
+  | Addx4 -> (s lsl 2) + t
+  | Addx8 -> (s lsl 3) + t
+  | Sub -> s - t
+  | Subx2 -> (s lsl 1) - t
+  | Subx4 -> (s lsl 2) - t
+  | Subx8 -> (s lsl 3) - t
+  | And_ -> s land t
+  | Or_ -> s lor t
+  | Xor -> s lxor t
+  | Min -> if s32 s < s32 t then s else t
+  | Max -> if s32 s > s32 t then s else t
+  | Minu -> if u32 s < u32 t then s else t
+  | Maxu -> if u32 s > u32 t then s else t
+  | Mul16s -> sext16 s * sext16 t
+  | Mul16u -> (s land 0xffff) * (t land 0xffff)
+  | Mull -> s * t
+
+let eval_unop op s =
+  let open Isa.Instr in
+  match op with
+  | Abs -> abs (s32 s)
+  | Neg -> -s
+  | Nsa -> nsa s
+  | Nsau -> nsau s
+
+let cmov_cond op t =
+  let open Isa.Instr in
+  match op with
+  | Moveqz -> t = 0
+  | Movnez -> t <> 0
+  | Movltz -> s32 t < 0
+  | Movgez -> s32 t >= 0
+
+let bcond2_holds c s t =
+  let open Isa.Instr in
+  match c with
+  | Beq -> u32 s = u32 t
+  | Bne -> u32 s <> u32 t
+  | Blt -> s32 s < s32 t
+  | Bge -> s32 s >= s32 t
+  | Bltu -> u32 s < u32 t
+  | Bgeu -> u32 s >= u32 t
+  | Bany -> s land t <> 0
+  | Bnone -> s land t = 0
+  | Ball -> lnot s land t land 0xffff_ffff = 0
+  | Bnall -> lnot s land t land 0xffff_ffff <> 0
+
+let bcondi_holds c s n =
+  let open Isa.Instr in
+  match c with
+  | Beqi -> s32 s = n
+  | Bnei -> s32 s <> n
+  | Blti -> s32 s < n
+  | Bgei -> s32 s >= n
+  | Bltui -> u32 s < u32 n
+  | Bgeui -> u32 s >= u32 n
+
+let bcondz_holds c s =
+  let open Isa.Instr in
+  match c with
+  | Beqz -> u32 s = 0
+  | Bnez -> u32 s <> 0
+  | Bltz -> s32 s < 0
+  | Bgez -> s32 s >= 0
+
+(* Result of executing an instruction's semantics. *)
+type exec = {
+  next_pc : int;
+  taken : bool option;
+  mem_info : Event.mem_info option;
+  result : int option;           (* value driven on the result bus *)
+  window_event : bool;
+  busy : int;
+  custom : Event.custom_info option;
+  halt : bool;
+  extra_latency : int;           (* producer latency beyond 1 cycle *)
+}
+
+let reg t r = Regfile.read t.rf r
+
+let set_reg t r v = Regfile.write t.rf r v
+
+let target_of slot =
+  match slot.Isa.Program.target with
+  | Some a -> a
+  | None -> fail "unresolved branch target at 0x%x" slot.Isa.Program.addr
+
+let data_access t ~write ~size ~addr ~value =
+  let uncached = addr >= t.cfg.Config.uncached_base in
+  let hit =
+    if uncached then false
+    else Cache.access t.dcache addr = Cache.Hit
+  in
+  { Event.maddr = addr; msize = size; mwrite = write; mhit = hit;
+    muncached = uncached; mvalue = u32 value }
+
+let do_load t op base off =
+  let open Isa.Instr in
+  let addr = u32 (base + off) in
+  let v =
+    try
+      match op with
+      | L8ui -> Memory.load8 t.mem addr
+      | L16si -> sext16 (Memory.load16 t.mem addr)
+      | L16ui -> Memory.load16 t.mem addr
+      | L32i -> Memory.load32 t.mem addr
+    with Invalid_argument msg -> fail "load: %s" msg
+  in
+  let size = match op with L8ui -> 1 | L16si | L16ui -> 2 | L32i -> 4 in
+  (u32 v, data_access t ~write:false ~size ~addr ~value:v)
+
+let do_store t op value base off =
+  let open Isa.Instr in
+  let addr = u32 (base + off) in
+  (try
+     match op with
+     | S8i -> Memory.store8 t.mem addr value
+     | S16i -> Memory.store16 t.mem addr value
+     | S32i -> Memory.store32 t.mem addr value
+   with Invalid_argument msg -> fail "store: %s" msg);
+  let size = match op with S8i -> 1 | S16i -> 2 | S32i -> 4 in
+  data_access t ~write:true ~size ~addr ~value
+
+let exec_custom t call =
+  let ext =
+    match t.ext with
+    | Some e -> e
+    | None -> fail "custom instruction %S but no extension installed"
+                call.Isa.Instr.cname
+  in
+  let insn =
+    match Tie.Compile.find ext call.Isa.Instr.cname with
+    | Some i -> i
+    | None -> fail "unknown custom instruction %S" call.Isa.Instr.cname
+  in
+  let store = Option.get t.ext_state in
+  (* The textual assembler cannot know an instruction's signature, so it
+     always treats the first register operand as the destination.
+     Normalize against the compiled signature: a result-less instruction
+     whose call carries a "destination" really has it as its first
+     source. *)
+  let dst, src_regs =
+    match (call.Isa.Instr.dst, insn.Tie.Compile.def.Tie.Spec.result) with
+    | (Some d, None)
+      when List.length call.Isa.Instr.srcs
+           < insn.Tie.Compile.regfile_reads ->
+      (None, d :: call.Isa.Instr.srcs)
+    | (dst, _) -> (dst, call.Isa.Instr.srcs)
+  in
+  let srcs = List.map (reg t) src_regs in
+  let result =
+    Tie.Compile.execute ext store insn ~srcs ~imm:call.Isa.Instr.cimm
+  in
+  (match (dst, result) with
+   | Some d, Some v -> set_reg t d v
+   | Some _, None | None, Some _ | None, None -> ());
+  let cstates =
+    List.filter_map
+      (fun s ->
+        match Tie.Compile.state_value store s.Tie.Spec.sname with
+        | v -> Some v
+        | exception Not_found -> None)
+      (Tie.Compile.spec ext).Tie.Spec.states
+  in
+  let info =
+    { Event.cinsn = insn; coperands = srcs; cresult = result; cstates }
+  in
+  (result, info, insn.Tie.Compile.latency)
+
+let default_exec fall_through =
+  { next_pc = fall_through;
+    taken = None;
+    mem_info = None;
+    result = None;
+    window_event = false;
+    busy = 1;
+    custom = None;
+    halt = false;
+    extra_latency = 0 }
+
+let execute t slot =
+  let open Isa.Instr in
+  let instr = slot.Isa.Program.instr in
+  let fall = slot.Isa.Program.addr + Isa.Encoding.bytes_per_instr in
+  let d0 = default_exec fall in
+  let setr r v =
+    set_reg t r v;
+    Some (u32 v)
+  in
+  let pen = t.cfg.Config.branch_taken_penalty in
+  ignore pen;
+  match instr with
+  | Binop (op, d, s, tt) ->
+    let v = eval_binop op (reg t s) (reg t tt) in
+    let extra = match op with Mull -> 1 | _ -> 0 in
+    { d0 with result = setr d v; extra_latency = extra }
+  | Unop (op, d, s) -> { d0 with result = setr d (eval_unop op (reg t s)) }
+  | Sext (d, s, b) ->
+    let v = reg t s land ((1 lsl (b + 1)) - 1) in
+    let v = if v land (1 lsl b) <> 0 then v lor (lnot ((1 lsl (b + 1)) - 1)) else v in
+    { d0 with result = setr d v }
+  | Cmov (op, d, s, tt) ->
+    if cmov_cond op (reg t tt) then { d0 with result = setr d (reg t s) }
+    else d0
+  | Addi (d, s, n) -> { d0 with result = setr d (reg t s + n) }
+  | Addmi (d, s, n) -> { d0 with result = setr d (reg t s + (n * 256)) }
+  | Movi (d, n) -> { d0 with result = setr d n }
+  | Mov (d, s) -> { d0 with result = setr d (reg t s) }
+  | Extui (d, s, sh, w) ->
+    { d0 with result = setr d ((u32 (reg t s) lsr sh) land ((1 lsl w) - 1)) }
+  | Slli (d, s, n) -> { d0 with result = setr d (reg t s lsl (n land 31)) }
+  | Srli (d, s, n) -> { d0 with result = setr d (u32 (reg t s) lsr (n land 31)) }
+  | Srai (d, s, n) -> { d0 with result = setr d (s32 (reg t s) asr (n land 31)) }
+  | Sll (d, s) -> { d0 with result = setr d (reg t s lsl t.sar_reg) }
+  | Srl (d, s) -> { d0 with result = setr d (u32 (reg t s) lsr t.sar_reg) }
+  | Sra (d, s) -> { d0 with result = setr d (s32 (reg t s) asr t.sar_reg) }
+  | Src (d, s, tt) ->
+    let wide = (u32 (reg t s) lsl 32) lor u32 (reg t tt) in
+    { d0 with result = setr d (wide lsr t.sar_reg) }
+  | Ssai n ->
+    t.sar_reg <- n land 31;
+    d0
+  | Ssl s ->
+    t.sar_reg <- reg t s land 31;
+    d0
+  | Ssr s ->
+    t.sar_reg <- reg t s land 31;
+    d0
+  | Load (op, d, base, off) ->
+    let v, mi = do_load t op (reg t base) off in
+    { d0 with result = setr d v; mem_info = Some mi; extra_latency = 1 }
+  | L32r (d, _) ->
+    let addr = target_of slot in
+    let v =
+      try Memory.load32 t.mem addr
+      with Invalid_argument msg -> fail "l32r: %s" msg
+    in
+    let mi = data_access t ~write:false ~size:4 ~addr ~value:v in
+    { d0 with result = setr d v; mem_info = Some mi; extra_latency = 1 }
+  | Store (op, v, base, off) ->
+    let mi = do_store t op (reg t v) (reg t base) off in
+    { d0 with mem_info = Some mi }
+  | Branch2 (c, s, tt, _) ->
+    let taken = bcond2_holds c (reg t s) (reg t tt) in
+    { d0 with
+      next_pc = (if taken then target_of slot else fall);
+      taken = Some taken }
+  | Branchi (c, s, n, _) ->
+    let taken = bcondi_holds c (reg t s) n in
+    { d0 with
+      next_pc = (if taken then target_of slot else fall);
+      taken = Some taken }
+  | Branchz (c, s, _) ->
+    let taken = bcondz_holds c (reg t s) in
+    { d0 with
+      next_pc = (if taken then target_of slot else fall);
+      taken = Some taken }
+  | Bbit (want_set, s, tt, _) ->
+    let bit = (u32 (reg t s) lsr (reg t tt land 31)) land 1 in
+    let taken = (bit = 1) = want_set in
+    { d0 with
+      next_pc = (if taken then target_of slot else fall);
+      taken = Some taken }
+  | Bbiti (want_set, s, n, _) ->
+    let bit = (u32 (reg t s) lsr (n land 31)) land 1 in
+    let taken = (bit = 1) = want_set in
+    { d0 with
+      next_pc = (if taken then target_of slot else fall);
+      taken = Some taken }
+  | J _ -> { d0 with next_pc = target_of slot; taken = Some true }
+  | Jx s -> { d0 with next_pc = u32 (reg t s); taken = Some true }
+  | Call0 _ ->
+    let ret = fall in
+    { d0 with
+      next_pc = target_of slot;
+      taken = Some true;
+      result = setr (Isa.Reg.a 0) ret }
+  | Callx0 s ->
+    let dest = u32 (reg t s) in
+    let ret = fall in
+    { d0 with
+      next_pc = dest;
+      taken = Some true;
+      result = setr (Isa.Reg.a 0) ret }
+  | Call8 _ ->
+    let ret = fall in
+    let result = setr (Isa.Reg.a 8) ret in
+    let spilled = Regfile.push_window t.rf in
+    { d0 with
+      next_pc = target_of slot;
+      taken = Some true;
+      result;
+      window_event = spilled }
+  | Callx8 s ->
+    let dest = u32 (reg t s) in
+    let ret = fall in
+    let result = setr (Isa.Reg.a 8) ret in
+    let spilled = Regfile.push_window t.rf in
+    { d0 with next_pc = dest; taken = Some true; result;
+      window_event = spilled }
+  | Ret -> { d0 with next_pc = u32 (reg t (Isa.Reg.a 0)); taken = Some true }
+  | Retw ->
+    let dest = u32 (reg t (Isa.Reg.a 0)) in
+    let reloaded = Regfile.pop_window t.rf in
+    { d0 with next_pc = dest; taken = Some true; window_event = reloaded }
+  | Entry (sp, n) -> { d0 with result = setr sp (reg t sp - n) }
+  | Nop | Memw | Extw | Isync -> d0
+  | Break -> { d0 with halt = true }
+  | Custom call ->
+    let result, info, latency = exec_custom t call in
+    { d0 with
+      result;
+      busy = latency;
+      custom = Some info;
+      extra_latency = latency - 1 }
+
+let step t =
+  match t.done_ with
+  | Some o -> `Done o
+  | None ->
+    if t.cycle >= t.cfg.Config.max_cycles then begin
+      t.done_ <- Some Watchdog;
+      `Done Watchdog
+    end
+    else begin
+      let slot =
+        match Isa.Program.slot_at t.asm t.pc with
+        | Some s -> s
+        | None -> fail "pc 0x%x outside the code section" t.pc
+      in
+      let instr = slot.Isa.Program.instr in
+      (* Fetch. *)
+      let funcached = t.pc >= t.cfg.Config.uncached_base in
+      let fhit =
+        if funcached then false
+        else Cache.access t.icache t.pc = Cache.Hit
+      in
+      let fetch_pen =
+        if funcached then t.cfg.Config.uncached_fetch_penalty
+        else if fhit then 0
+        else Cache.miss_penalty t.icache
+      in
+      let fetch =
+        { Event.fpc = t.pc; fword = slot.Isa.Program.word; fhit; funcached }
+      in
+      (* Operand-dependency interlock via the scoreboard. *)
+      let src_regs = Isa.Instr.uses instr in
+      let src_values = List.map (reg t) src_regs in
+      let issue = t.cycle + fetch_pen in
+      let stall =
+        List.fold_left
+          (fun acc r ->
+            let ready = t.ready.(Regfile.phys_index t.rf r) in
+            max acc (ready - issue))
+          0 src_regs
+      in
+      let stall = max stall 0 in
+      let start = issue + stall in
+      (* Execute (also rotates the window for call8/retw, so physical
+         indices of destination registers are taken afterwards). *)
+      let ex = execute t slot in
+      let mem_pen =
+        match ex.mem_info with
+        | None -> 0
+        | Some mi ->
+          if mi.Event.muncached then t.cfg.Config.uncached_data_penalty
+          else if mi.Event.mhit then 0
+          else Cache.miss_penalty t.dcache
+      in
+      let taken_pen =
+        match ex.taken with
+        | Some true -> t.cfg.Config.branch_taken_penalty
+        | Some false | None -> 0
+      in
+      let window_pen =
+        if ex.window_event then t.cfg.Config.window_penalty else 0
+      in
+      (* Scoreboard update for produced values. *)
+      List.iter
+        (fun r ->
+          t.ready.(Regfile.phys_index t.rf r) <- start + 1 + ex.extra_latency)
+        (Isa.Instr.defs instr);
+      let total = 1 + fetch_pen + stall + mem_pen + taken_pen + window_pen in
+      let event =
+        { Event.index = t.retired;
+          start_cycle = t.cycle;
+          cycles = total;
+          instr;
+          clazz = Isa.Instr.class_of instr;
+          taken = ex.taken;
+          interlock = stall > 0;
+          stall_cycles = stall;
+          window_event = ex.window_event;
+          fetch;
+          mem = ex.mem_info;
+          src_values;
+          result = ex.result;
+          custom = ex.custom;
+          busy_cycles = ex.busy }
+      in
+      t.cycle <- t.cycle + total;
+      t.retired <- t.retired + 1;
+      t.pc <- ex.next_pc;
+      if ex.halt then t.done_ <- Some Halted;
+      List.iter (fun obs -> obs event) t.observers;
+      `Step event
+    end
+
+let run t =
+  let rec go () =
+    match step t with
+    | `Step _ -> go ()
+    | `Done o -> o
+  in
+  go ()
+
+let run_program ?config ?extension ?(observers = []) asm =
+  let t = create ?config ?extension asm in
+  List.iter (add_observer t) observers;
+  let o = run t in
+  (t, o)
+
+let cycles t = t.cycle
+let instructions t = t.retired
+let memory t = t.mem
+let icache t = t.icache
+let dcache t = t.dcache
+let sar t = t.sar_reg
+let tie_state t = t.ext_state
+let config t = t.cfg
+let pc t = t.pc

@@ -1,0 +1,65 @@
+(** Instruction-set simulator.
+
+    A cycle-approximate model of the base five-stage pipeline: one
+    instruction retires per step, with a register scoreboard for
+    data-dependency interlocks, instruction/data caches, an uncached
+    region, taken-branch penalties, windowed calls and multi-cycle custom
+    instructions.  Each retired instruction is published to the installed
+    observers as an {!Event.t}. *)
+
+exception Sim_error of string
+
+type outcome =
+  | Halted        (** the program executed [break] *)
+  | Watchdog      (** [Config.max_cycles] exceeded *)
+
+type observer = Event.t -> unit
+
+type t
+
+val create :
+  ?config:Config.t ->
+  ?extension:Tie.Compile.compiled ->
+  Isa.Program.asm ->
+  t
+
+val add_observer : t -> observer -> unit
+
+val step : t -> [ `Step of Event.t | `Done of outcome ]
+(** Execute one instruction.  After [`Done] further calls return the same
+    outcome. *)
+
+val run : t -> outcome
+(** Step until completion. *)
+
+val run_program :
+  ?config:Config.t ->
+  ?extension:Tie.Compile.compiled ->
+  ?observers:observer list ->
+  Isa.Program.asm ->
+  t * outcome
+(** Create, install observers, run. *)
+
+val cycles : t -> int
+
+val instructions : t -> int
+
+val reg : t -> Isa.Reg.t -> int
+(** Value in the current window. *)
+
+val set_reg : t -> Isa.Reg.t -> int -> unit
+(** Pre-load an argument register (before running). *)
+
+val memory : t -> Memory.t
+
+val icache : t -> Cache.t
+
+val dcache : t -> Cache.t
+
+val sar : t -> int
+
+val tie_state : t -> Tie.Compile.state_store option
+
+val config : t -> Config.t
+
+val pc : t -> int

@@ -1,0 +1,59 @@
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+
+type t = (int, Bytes.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let page t addr =
+  let key = addr lsr page_bits in
+  match Hashtbl.find_opt t key with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make page_size '\000' in
+    Hashtbl.replace t key p;
+    p
+
+let load8 t addr =
+  let addr = addr land 0xffff_ffff in
+  Char.code (Bytes.get (page t addr) (addr land page_mask))
+
+let store8 t addr v =
+  let addr = addr land 0xffff_ffff in
+  Bytes.set (page t addr) (addr land page_mask) (Char.chr (v land 0xff))
+
+let check_align addr n =
+  if addr land (n - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Memory: misaligned %d-byte access at 0x%x" n addr)
+
+let load16 t addr =
+  check_align addr 2;
+  load8 t addr lor (load8 t (addr + 1) lsl 8)
+
+let load32 t addr =
+  check_align addr 4;
+  load8 t addr
+  lor (load8 t (addr + 1) lsl 8)
+  lor (load8 t (addr + 2) lsl 16)
+  lor (load8 t (addr + 3) lsl 24)
+
+let store16 t addr v =
+  check_align addr 2;
+  store8 t addr v;
+  store8 t (addr + 1) (v lsr 8)
+
+let store32 t addr v =
+  check_align addr 4;
+  store8 t addr v;
+  store8 t (addr + 1) (v lsr 8);
+  store8 t (addr + 2) (v lsr 16);
+  store8 t (addr + 3) (v lsr 24)
+
+let load_image t image =
+  List.iter
+    (fun (base, bytes) ->
+      Array.iteri (fun i b -> store8 t (base + i) b) bytes)
+    image
+
+let bytes_touched t = Hashtbl.length t * page_size

@@ -1,0 +1,77 @@
+let phys_count = 64
+let rotate = 8
+let octets = phys_count / rotate
+
+(* The 16-register window at base [b] (a multiple of 8) occupies octets
+   b/8 and b/8+1 (mod 8).  Each windowed call claims one fresh octet, so
+   at most seven frames are fully resident; pushing an eighth spills the
+   octet about to be reclaimed to [saved] (standing in for the window
+   overflow handler). *)
+type t = {
+  phys : int array;
+  mutable base : int;
+  mutable resident : int;                 (* fully resident frames, >= 1 *)
+  mutable saved : (int * int array) list; (* (octet, values), LIFO *)
+  mutable depth : int;
+}
+
+let create () =
+  { phys = Array.make phys_count 0;
+    base = 0;
+    resident = 1;
+    saved = [];
+    depth = 1 }
+
+let phys_index t r = (t.base + Isa.Reg.index r) land (phys_count - 1)
+
+let read t r = t.phys.(phys_index t r)
+
+let write t r v = t.phys.(phys_index t r) <- v land 0xffff_ffff
+
+let octet_of_base base = base lsr 3 land (octets - 1)
+
+let push_window t =
+  let spill =
+    if t.resident + 1 >= octets then begin
+      let claimed = (octet_of_base t.base + 2) land (octets - 1) in
+      let values =
+        Array.init rotate (fun k -> t.phys.((claimed * rotate) + k))
+      in
+      t.saved <- (claimed, values) :: t.saved;
+      true
+    end
+    else begin
+      t.resident <- t.resident + 1;
+      false
+    end
+  in
+  t.base <- (t.base + rotate) land (phys_count - 1);
+  t.depth <- t.depth + 1;
+  spill
+
+let pop_window t =
+  t.base <- (t.base - rotate) land (phys_count - 1);
+  t.depth <- max 1 (t.depth - 1);
+  t.resident <- t.resident - 1;
+  if t.resident = 0 then begin
+    let reloaded =
+      match t.saved with
+      | (octet, values) :: rest ->
+        Array.iteri (fun k v -> t.phys.((octet * rotate) + k) <- v) values;
+        t.saved <- rest;
+        true
+      | [] -> false
+    in
+    t.resident <- 1;
+    reloaded
+  end
+  else false
+
+let depth t = t.depth
+
+let reset t =
+  Array.fill t.phys 0 phys_count 0;
+  t.base <- 0;
+  t.resident <- 1;
+  t.saved <- [];
+  t.depth <- 1

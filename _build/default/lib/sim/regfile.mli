@@ -1,0 +1,31 @@
+(** Windowed register file.
+
+    64 physical 32-bit registers behind a 16-register architectural
+    window, rotated by 8 on [call8]/[retw] in the Xtensa style.  When the
+    physical file is exhausted the oldest frame is spilled to an internal
+    save area (standing in for the window-exception handler); the caller
+    is told so it can charge stall cycles. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> Isa.Reg.t -> int
+
+val write : t -> Isa.Reg.t -> int -> unit
+
+val phys_index : t -> Isa.Reg.t -> int
+(** Physical register addressed by an architectural name right now. *)
+
+val push_window : t -> bool
+(** Rotate by +8 for a windowed call.  [true] if a frame had to be
+    spilled (window overflow). *)
+
+val pop_window : t -> bool
+(** Rotate by -8 for a windowed return.  [true] if a frame had to be
+    reloaded (window underflow). *)
+
+val depth : t -> int
+(** Current live call depth (1 = base frame). *)
+
+val reset : t -> unit

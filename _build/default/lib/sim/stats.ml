@@ -1,0 +1,101 @@
+type t = {
+  mutable arith_cycles : int;
+  mutable load_cycles : int;
+  mutable store_cycles : int;
+  mutable jump_cycles : int;
+  mutable branch_taken_cycles : int;
+  mutable branch_untaken_cycles : int;
+  mutable icache_misses : int;
+  mutable dcache_misses : int;
+  mutable uncached_fetches : int;
+  mutable interlocks : int;
+  mutable custom_regfile_cycles : int;
+  mutable custom_cycles : int;
+  mutable instructions : int;
+  mutable total_cycles : int;
+  taken_penalty : int;
+}
+
+let create (cfg : Config.t) =
+  { arith_cycles = 0;
+    load_cycles = 0;
+    store_cycles = 0;
+    jump_cycles = 0;
+    branch_taken_cycles = 0;
+    branch_untaken_cycles = 0;
+    icache_misses = 0;
+    dcache_misses = 0;
+    uncached_fetches = 0;
+    interlocks = 0;
+    custom_regfile_cycles = 0;
+    custom_cycles = 0;
+    instructions = 0;
+    total_cycles = 0;
+    taken_penalty = cfg.Config.branch_taken_penalty }
+
+let observe t (e : Event.t) =
+  t.instructions <- t.instructions + 1;
+  t.total_cycles <- t.total_cycles + e.Event.cycles;
+  (match e.Event.clazz with
+   | Isa.Instr.Arith_class -> t.arith_cycles <- t.arith_cycles + 1
+   | Isa.Instr.Load_class -> t.load_cycles <- t.load_cycles + 1
+   | Isa.Instr.Store_class -> t.store_cycles <- t.store_cycles + 1
+   | Isa.Instr.Jump_class ->
+     t.jump_cycles <- t.jump_cycles + 1 + t.taken_penalty
+   | Isa.Instr.Branch_class -> (
+     match e.Event.taken with
+     | Some true ->
+       t.branch_taken_cycles <- t.branch_taken_cycles + 1 + t.taken_penalty
+     | Some false | None ->
+       t.branch_untaken_cycles <- t.branch_untaken_cycles + 1)
+   | Isa.Instr.Custom_class -> (
+     t.custom_cycles <- t.custom_cycles + e.Event.busy_cycles;
+     (* Custom instructions are fully pipelined, so a regfile-accessing
+        custom instruction occupies the base-core issue/decode/regfile
+        path for one cycle regardless of its execute latency. *)
+     match e.Event.custom with
+     | Some info ->
+       let i = info.Event.cinsn in
+       if i.Tie.Compile.regfile_reads > 0 || i.Tie.Compile.writes_regfile
+       then t.custom_regfile_cycles <- t.custom_regfile_cycles + 1
+     | None -> ()));
+  if (not e.Event.fetch.Event.funcached) && not e.Event.fetch.Event.fhit then
+    t.icache_misses <- t.icache_misses + 1;
+  if e.Event.fetch.Event.funcached then
+    t.uncached_fetches <- t.uncached_fetches + 1;
+  (match e.Event.mem with
+   | Some mi when (not mi.Event.muncached) && not mi.Event.mhit ->
+     t.dcache_misses <- t.dcache_misses + 1
+   | Some _ | None -> ());
+  if e.Event.interlock || e.Event.window_event then
+    t.interlocks <- t.interlocks + 1
+
+let observer t : Cpu.observer = fun e -> observe t e
+
+let reset t =
+  t.arith_cycles <- 0;
+  t.load_cycles <- 0;
+  t.store_cycles <- 0;
+  t.jump_cycles <- 0;
+  t.branch_taken_cycles <- 0;
+  t.branch_untaken_cycles <- 0;
+  t.icache_misses <- 0;
+  t.dcache_misses <- 0;
+  t.uncached_fetches <- 0;
+  t.interlocks <- 0;
+  t.custom_regfile_cycles <- 0;
+  t.custom_cycles <- 0;
+  t.instructions <- 0;
+  t.total_cycles <- 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>instructions %d, cycles %d@,\
+     class cycles: arith %d, load %d, store %d, jump %d, btaken %d, \
+     buntaken %d@,\
+     events: icm %d, dcm %d, unc %d, ilk %d@,\
+     custom: busy %d, regfile-side %d@]"
+    t.instructions t.total_cycles t.arith_cycles t.load_cycles t.store_cycles
+    t.jump_cycles t.branch_taken_cycles t.branch_untaken_cycles
+    t.icache_misses t.dcache_misses t.uncached_fetches t.interlocks
+    t.custom_cycles t.custom_regfile_cycles

@@ -1,0 +1,36 @@
+(** Instruction-level execution statistics.
+
+    An observer accumulating exactly the instruction-level quantities the
+    macro-model needs: cycles per base instruction class, dynamic-effect
+    counts (cache misses, uncached fetches, interlocks) and the
+    register-file side-effect cycles of custom instructions. *)
+
+type t = {
+  mutable arith_cycles : int;
+  mutable load_cycles : int;
+  mutable store_cycles : int;
+  mutable jump_cycles : int;
+  mutable branch_taken_cycles : int;
+  mutable branch_untaken_cycles : int;
+  mutable icache_misses : int;
+  mutable dcache_misses : int;
+  mutable uncached_fetches : int;
+  mutable interlocks : int;
+  mutable custom_regfile_cycles : int;
+  (** cycles of custom instructions that access the generic register file
+      (the paper's side-effect variable) *)
+  mutable custom_cycles : int;     (** total custom-instruction busy cycles *)
+  mutable instructions : int;
+  mutable total_cycles : int;
+  taken_penalty : int;  (** from the configuration, for cycle attribution *)
+}
+
+val create : Config.t -> t
+
+val observe : t -> Event.t -> unit
+
+val observer : t -> Cpu.observer
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tie/compile.ml: Array Component Expr Float Format Hashtbl List Spec

@@ -1,0 +1,1 @@
+lib/tie/compile.mli: Component Spec

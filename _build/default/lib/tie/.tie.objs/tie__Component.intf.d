@@ -1,0 +1,1 @@
+lib/tie/component.mli: Format

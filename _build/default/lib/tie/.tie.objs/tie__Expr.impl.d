@@ -1,0 +1,1 @@
+lib/tie/expr.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/tie/spec.ml: Expr List

@@ -1,0 +1,1 @@
+lib/tie/spec.mli: Expr

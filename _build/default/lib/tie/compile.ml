@@ -1,0 +1,287 @@
+exception Tie_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Tie_error s)) fmt
+
+type compiled_insn = {
+  def : Spec.insn_def;
+  components : Component.t list;
+  latency : int;
+  regfile_reads : int;
+  writes_regfile : bool;
+  bus_facing : Component.t list;
+}
+
+type compiled = {
+  cspec : Spec.t;
+  insns : (string * compiled_insn) list;
+}
+
+let make_ctx (spec : Spec.t) (def : Spec.insn_def) : Expr.ctx =
+  let arg_width name =
+    match List.find_opt (fun o -> o.Spec.oname = name) def.Spec.ins with
+    | Some o -> o.Spec.owidth
+    | None -> fail "%s: unknown operand %S" def.Spec.iname name
+  in
+  let state_width name =
+    match List.find_opt (fun s -> s.Spec.sname = name) spec.Spec.states with
+    | Some s -> s.Spec.swidth
+    | None -> fail "%s: unknown state %S" def.Spec.iname name
+  in
+  let table_shape name =
+    match List.find_opt (fun t -> t.Spec.tname = name) spec.Spec.tables with
+    | Some t -> (Array.length t.Spec.tdata, t.Spec.telem_width)
+    | None -> fail "%s: unknown table %S" def.Spec.iname name
+  in
+  { Expr.arg_width; state_width; table_shape }
+
+(* Hardware component instance implied by one expression node, if any. *)
+let node_component ctx e =
+  let w () = Expr.width ctx e in
+  match e with
+  | Expr.Arg _ | Expr.Const _ | Expr.Concat _ | Expr.Extract _ -> None
+  | Expr.State name ->
+    Some (Component.make Component.Custom_register (ctx.Expr.state_width name))
+  | Expr.Mul _ -> Some (Component.make Component.Multiplier (w ()))
+  | Expr.Add _ | Expr.Sub _ | Expr.Cmp _ ->
+    Some (Component.make Component.Adder (w ()))
+  | Expr.And _ | Expr.Or _ | Expr.Xor _ | Expr.Not _ | Expr.Mux _
+  | Expr.Reduce _ ->
+    Some (Component.make Component.Logic (max (w ()) 1))
+  | Expr.Shl _ | Expr.Shr _ | Expr.Sar _ ->
+    Some (Component.make Component.Shifter (w ()))
+  | Expr.Table (name, _) ->
+    let entries, elem = ctx.Expr.table_shape name in
+    Some (Component.make ~entries Component.Table elem)
+  | Expr.Tie_mult _ -> Some (Component.make Component.Tie_mult (w ()))
+  | Expr.Tie_mac _ -> Some (Component.make Component.Tie_mac (w ()))
+  | Expr.Tie_add _ -> Some (Component.make Component.Tie_add (w ()))
+  | Expr.Tie_csa _ -> Some (Component.make Component.Tie_csa (w ()))
+
+(* Logic nodes whose width inference would yield 1 (reductions, compares)
+   are still real hardware over the full input width; node_component uses
+   the result width, which underestimates them.  Widen using the widest
+   child. *)
+let widen_by_children ctx e comp =
+  match (e, comp) with
+  | (Expr.Cmp (_, a, b), Some c) ->
+    let w = max (Expr.width ctx a) (Expr.width ctx b) in
+    Some { c with Component.width = max c.Component.width w }
+  | (Expr.Reduce (_, a), Some c) ->
+    Some { c with Component.width = max c.Component.width (Expr.width ctx a) }
+  | (_, c) -> c
+
+let in_reg_names (def : Spec.insn_def) =
+  List.filter_map
+    (fun o -> if o.Spec.okind = Spec.In_reg then Some o.Spec.oname else None)
+    def.Spec.ins
+
+let expr_components ctx regs e =
+  (* Does an operand wire (possibly through pure wiring: extracts and
+     concatenations) feed this node directly?  Such components sit on the
+     operand buses and toggle under base instructions too. *)
+  let rec wired_to_reg child =
+    match child with
+    | Expr.Arg name -> List.mem name regs
+    | Expr.Extract (inner, _, _) -> wired_to_reg inner
+    | Expr.Concat (hi, lo) -> wired_to_reg hi || wired_to_reg lo
+    | _ -> false
+  in
+  let bus_of_node node = List.exists wired_to_reg (Expr.subexprs node) in
+  Expr.fold
+    (fun (comps, bus) node ->
+      match widen_by_children ctx node (node_component ctx node) with
+      | None -> (comps, bus)
+      | Some c ->
+        let bus = if bus_of_node node then c :: bus else bus in
+        (c :: comps, bus))
+    ([], []) e
+
+let validate_insn (spec : Spec.t) (def : Spec.insn_def) =
+  let imms =
+    List.filter (fun o -> o.Spec.okind = Spec.Imm) def.Spec.ins
+  in
+  if List.length imms > 1 then
+    fail "%s: at most one immediate operand is supported" def.Spec.iname;
+  List.iter
+    (fun (sname, _) ->
+      if not (List.exists (fun s -> s.Spec.sname = sname) spec.Spec.states)
+      then fail "%s: update of unknown state %S" def.Spec.iname sname)
+    def.Spec.updates;
+  let names = List.map (fun o -> o.Spec.oname) def.Spec.ins in
+  let rec dup = function
+    | [] -> ()
+    | x :: rest ->
+      if List.mem x rest then
+        fail "%s: duplicate operand name %S" def.Spec.iname x
+      else dup rest
+  in
+  dup names
+
+let compile_insn (spec : Spec.t) (def : Spec.insn_def) =
+  validate_insn spec def;
+  let ctx = make_ctx spec def in
+  let exprs =
+    (match def.Spec.result with Some e -> [ e ] | None -> [])
+    @ List.map snd def.Spec.updates
+  in
+  (* Width-check everything up front so errors surface at compile time. *)
+  List.iter (fun e -> ignore (Expr.width ctx e)) exprs;
+  let regs = in_reg_names def in
+  let comps, bus =
+    List.fold_left
+      (fun (cs, bs) e ->
+        let c, b = expr_components ctx regs e in
+        (cs @ c, bs @ b))
+      ([], []) exprs
+  in
+  (* A written state is hardware even if never read in this instruction. *)
+  let written_states =
+    List.map
+      (fun (sname, _) ->
+        Component.make Component.Custom_register (ctx.Expr.state_width sname))
+      def.Spec.updates
+  in
+  let comps = comps @ written_states in
+  let delay =
+    List.fold_left (fun m e -> Float.max m (Expr.depth_delay e)) 0.0 exprs
+  in
+  let latency =
+    match def.Spec.latency_override with
+    | Some n ->
+      if n < 1 then fail "%s: latency must be >= 1" def.Spec.iname else n
+    | None -> max 1 (int_of_float (Float.ceil (delay /. 4.0)))
+  in
+  { def;
+    components = comps;
+    latency;
+    regfile_reads = List.length regs;
+    writes_regfile = def.Spec.result <> None;
+    bus_facing = bus }
+
+let compile spec =
+  let names = List.map (fun i -> i.Spec.iname) spec.Spec.instructions in
+  let rec dup = function
+    | [] -> ()
+    | x :: rest ->
+      if List.mem x rest then fail "duplicate instruction name %S" x
+      else dup rest
+  in
+  dup names;
+  let insns =
+    List.map
+      (fun def -> (def.Spec.iname, compile_insn spec def))
+      spec.Spec.instructions
+  in
+  { cspec = spec; insns }
+
+let spec c = c.cspec
+
+let find c name = List.assoc_opt name c.insns
+
+let instructions c = List.map snd c.insns
+
+let all_components c =
+  (* Custom registers are physical state: one instance per declared state,
+     plus the combinational instances of every instruction. *)
+  let state_regs =
+    List.map
+      (fun s -> Component.make Component.Custom_register s.Spec.swidth)
+      c.cspec.Spec.states
+  in
+  let non_state =
+    List.concat_map
+      (fun (_, i) ->
+        List.filter
+          (fun comp -> comp.Component.category <> Component.Custom_register)
+          i.components)
+      c.insns
+  in
+  state_regs @ non_state
+
+let bus_facing_components c =
+  List.concat_map (fun (_, i) -> i.bus_facing) c.insns
+
+type state_store = (string, int) Hashtbl.t
+
+let create_state c =
+  let h = Hashtbl.create 8 in
+  List.iter
+    (fun s -> Hashtbl.replace h s.Spec.sname s.Spec.sinit)
+    c.cspec.Spec.states;
+  h
+
+let state_value store name =
+  match Hashtbl.find_opt store name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let reset_state c store =
+  Hashtbl.reset store;
+  List.iter
+    (fun s -> Hashtbl.replace store s.Spec.sname s.Spec.sinit)
+    c.cspec.Spec.states
+
+let mask_to w v = if w >= 63 then v else v land ((1 lsl w) - 1)
+
+let execute c store insn ~srcs ~imm =
+  let def = insn.def in
+  let ctx = make_ctx c.cspec def in
+  (* Bind operands positionally: register operands consume [srcs] in
+     order, the immediate operand takes [imm]. *)
+  let bindings =
+    let rec bind ops srcs =
+      match ops with
+      | [] -> []
+      | o :: rest -> (
+        match o.Spec.okind with
+        | Spec.Imm ->
+          let v =
+            match imm with
+            | Some v -> v
+            | None -> fail "%s: missing immediate" def.Spec.iname
+          in
+          (o.Spec.oname, mask_to o.Spec.owidth v) :: bind rest srcs
+        | Spec.In_reg -> (
+          match srcs with
+          | v :: more ->
+            (o.Spec.oname, mask_to o.Spec.owidth v) :: bind rest more
+          | [] ->
+            fail "%s: not enough register operands" def.Spec.iname))
+    in
+    bind def.Spec.ins srcs
+  in
+  let env =
+    { Expr.arg =
+        (fun name ->
+          match List.assoc_opt name bindings with
+          | Some v -> v
+          | None -> fail "%s: unbound operand %S" def.Spec.iname name);
+      state =
+        (fun name ->
+          match Hashtbl.find_opt store name with
+          | Some v -> v
+          | None -> fail "%s: unbound state %S" def.Spec.iname name);
+      table =
+        (fun name idx ->
+          match
+            List.find_opt (fun t -> t.Spec.tname = name) c.cspec.Spec.tables
+          with
+          | Some t -> t.Spec.tdata.(idx)
+          | None -> fail "%s: unbound table %S" def.Spec.iname name) }
+  in
+  let result =
+    match def.Spec.result with
+    | Some e -> Some (mask_to 32 (Expr.eval ctx env e))
+    | None -> None
+  in
+  (* Simultaneous update semantics: evaluate all new values against the
+     old state, then commit. *)
+  let new_values =
+    List.map
+      (fun (sname, e) ->
+        let sw = ctx.Expr.state_width sname in
+        (sname, mask_to sw (Expr.eval ctx env e)))
+      def.Spec.updates
+  in
+  List.iter (fun (sname, v) -> Hashtbl.replace store sname v) new_values;
+  result

@@ -1,0 +1,67 @@
+type category =
+  | Multiplier
+  | Adder
+  | Logic
+  | Shifter
+  | Custom_register
+  | Tie_mult
+  | Tie_mac
+  | Tie_add
+  | Tie_csa
+  | Table
+
+type t = {
+  category : category;
+  width : int;
+  entries : int;
+}
+
+let make ?(entries = 1) category width =
+  if width <= 0 || width > 64 then
+    invalid_arg "Component.make: width must be in 1..64";
+  if entries <= 0 then invalid_arg "Component.make: entries must be positive";
+  let entries = match category with Table -> entries | _ -> 1 in
+  { category; width; entries }
+
+let is_quadratic = function
+  | Multiplier | Tie_mult | Tie_mac -> true
+  | Adder | Logic | Shifter | Custom_register | Tie_add | Tie_csa | Table ->
+    false
+
+let complexity c =
+  let w = float_of_int c.width in
+  match c.category with
+  | Multiplier | Tie_mult | Tie_mac -> w *. w /. (32.0 *. 32.0)
+  | Adder | Logic | Shifter | Custom_register | Tie_add | Tie_csa -> w /. 32.0
+  | Table -> float_of_int c.entries *. w /. (256.0 *. 8.0)
+
+let category_name = function
+  | Multiplier -> "mult"
+  | Adder -> "+/-/comp"
+  | Logic -> "log/red/mux"
+  | Shifter -> "shifter"
+  | Custom_register -> "custom register"
+  | Tie_mult -> "TIE_mult"
+  | Tie_mac -> "TIE_mac"
+  | Tie_add -> "TIE_add"
+  | Tie_csa -> "TIE_csa"
+  | Table -> "table"
+
+let all_categories =
+  [ Multiplier; Adder; Logic; Shifter; Custom_register;
+    Tie_mult; Tie_mac; Tie_add; Tie_csa; Table ]
+
+let category_index cat =
+  let rec find i = function
+    | [] -> assert false
+    | c :: rest -> if c = cat then i else find (i + 1) rest
+  in
+  find 0 all_categories
+
+let pp ppf c =
+  if c.category = Table then
+    Format.fprintf ppf "%s[%dx%d]" (category_name c.category) c.entries
+      c.width
+  else Format.fprintf ppf "%s[%d]" (category_name c.category) c.width
+
+let equal c1 c2 = c1 = c2

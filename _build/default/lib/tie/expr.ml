@@ -1,0 +1,181 @@
+type cmpop = Clt | Cltu | Ceq
+
+type redop = Rand | Ror | Rxor
+
+type t =
+  | Arg of string
+  | State of string
+  | Const of int * int
+  | Mul of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Not of t
+  | Reduce of redop * t
+  | Mux of t * t * t
+  | Shl of t * t
+  | Shr of t * t
+  | Sar of t * t
+  | Table of string * t
+  | Concat of t * t
+  | Extract of t * int * int
+  | Tie_mult of t * t
+  | Tie_mac of t * t * t
+  | Tie_add of t * t * t
+  | Tie_csa of t * t * t
+
+type ctx = {
+  arg_width : string -> int;
+  state_width : string -> int;
+  table_shape : string -> int * int;
+}
+
+exception Width_error of string
+
+let werr fmt = Format.kasprintf (fun s -> raise (Width_error s)) fmt
+
+let clamp_width w = if w > 64 then werr "width %d exceeds 64 bits" w else w
+
+let rec width ctx e =
+  match e with
+  | Arg name -> ctx.arg_width name
+  | State name -> ctx.state_width name
+  | Const (_, w) ->
+    if w <= 0 || w > 64 then werr "constant width %d out of range" w else w
+  | Mul (a, b) | Tie_mult (a, b) ->
+    clamp_width (width ctx a + width ctx b)
+  | Add (a, b) | Sub (a, b) -> clamp_width (max (width ctx a) (width ctx b))
+  | Cmp (_, a, b) ->
+    ignore (width ctx a); ignore (width ctx b); 1
+  | And (a, b) | Or (a, b) | Xor (a, b) ->
+    max (width ctx a) (width ctx b)
+  | Not a -> width ctx a
+  | Reduce (_, a) -> ignore (width ctx a); 1
+  | Mux (sel, a, b) ->
+    ignore (width ctx sel);
+    max (width ctx a) (width ctx b)
+  | Shl (a, b) | Shr (a, b) | Sar (a, b) ->
+    ignore (width ctx b); width ctx a
+  | Table (name, idx) ->
+    ignore (width ctx idx);
+    snd (ctx.table_shape name)
+  | Concat (hi, lo) -> clamp_width (width ctx hi + width ctx lo)
+  | Extract (a, lo, w) ->
+    let wa = width ctx a in
+    if lo < 0 || w <= 0 || lo + w > 64 then
+      werr "extract [%d +%d] out of range" lo w
+    else if lo >= wa then werr "extract low bit %d beyond source width %d" lo wa
+    else w
+  | Tie_mac (a, b, c) ->
+    clamp_width (max (width ctx a + width ctx b) (width ctx c) + 1)
+  | Tie_add (a, b, c) | Tie_csa (a, b, c) ->
+    clamp_width (max (width ctx a) (max (width ctx b) (width ctx c)) + 1)
+
+type env = {
+  arg : string -> int;
+  state : string -> int;
+  table : string -> int -> int;
+}
+
+let mask w v = if w >= 63 then v else v land ((1 lsl w) - 1)
+
+let rec eval ctx env e =
+  let w = width ctx e in
+  let v =
+    match e with
+    | Arg name -> env.arg name
+    | State name -> env.state name
+    | Const (v, _) -> v
+    | Mul (a, b) | Tie_mult (a, b) -> eval ctx env a * eval ctx env b
+    | Add (a, b) -> eval ctx env a + eval ctx env b
+    | Sub (a, b) -> eval ctx env a - eval ctx env b
+    | Cmp (op, a, b) ->
+      let va = eval ctx env a and vb = eval ctx env b in
+      let signed x wid =
+        let m = mask wid x in
+        if wid < 63 && m land (1 lsl (wid - 1)) <> 0 then m - (1 lsl wid)
+        else m
+      in
+      let wa = width ctx a and wb = width ctx b in
+      let r =
+        match op with
+        | Ceq -> va = vb
+        | Cltu -> va < vb
+        | Clt -> signed va wa < signed vb wb
+      in
+      if r then 1 else 0
+    | And (a, b) -> eval ctx env a land eval ctx env b
+    | Or (a, b) -> eval ctx env a lor eval ctx env b
+    | Xor (a, b) -> eval ctx env a lxor eval ctx env b
+    | Not a -> lnot (eval ctx env a)
+    | Reduce (op, a) ->
+      let v = eval ctx env a and wa = width ctx a in
+      let rec bits i acc =
+        if i >= wa then acc else bits (i + 1) (((v lsr i) land 1) :: acc)
+      in
+      let bs = bits 0 [] in
+      let r =
+        match op with
+        | Rand -> List.for_all (fun b -> b = 1) bs
+        | Ror -> List.exists (fun b -> b = 1) bs
+        | Rxor -> List.fold_left ( lxor ) 0 bs = 1
+      in
+      if r then 1 else 0
+    | Mux (sel, a, b) ->
+      if eval ctx env sel <> 0 then eval ctx env a else eval ctx env b
+    | Shl (a, b) -> eval ctx env a lsl (eval ctx env b land 63)
+    | Shr (a, b) -> eval ctx env a lsr (eval ctx env b land 63)
+    | Sar (a, b) ->
+      let wa = width ctx a in
+      let va = eval ctx env a in
+      let signed =
+        if wa < 63 && va land (1 lsl (wa - 1)) <> 0 then va - (1 lsl wa)
+        else va
+      in
+      signed asr (eval ctx env b land 63)
+    | Table (name, idx) ->
+      let entries, _ = ctx.table_shape name in
+      env.table name (eval ctx env idx mod entries)
+    | Concat (hi, lo) ->
+      let wlo = width ctx lo in
+      (eval ctx env hi lsl wlo) lor eval ctx env lo
+    | Extract (a, lo, _) -> eval ctx env a lsr lo
+    | Tie_mac (a, b, c) -> (eval ctx env a * eval ctx env b) + eval ctx env c
+    | Tie_add (a, b, c) | Tie_csa (a, b, c) ->
+      eval ctx env a + eval ctx env b + eval ctx env c
+  in
+  mask w v
+
+let subexprs = function
+  | Arg _ | State _ | Const _ -> []
+  | Not a | Reduce (_, a) | Table (_, a) | Extract (a, _, _) -> [ a ]
+  | Mul (a, b) | Add (a, b) | Sub (a, b) | Cmp (_, a, b)
+  | And (a, b) | Or (a, b) | Xor (a, b)
+  | Shl (a, b) | Shr (a, b) | Sar (a, b)
+  | Concat (a, b) | Tie_mult (a, b) ->
+    [ a; b ]
+  | Mux (a, b, c) | Tie_mac (a, b, c) | Tie_add (a, b, c)
+  | Tie_csa (a, b, c) ->
+    [ a; b; c ]
+
+let rec fold f acc e =
+  List.fold_left (fold f) (f acc e) (subexprs e)
+
+let node_delay = function
+  | Arg _ | State _ | Const _ | Concat _ | Extract _ -> 0.0
+  | Mul _ | Tie_mult _ -> 3.0
+  | Tie_mac _ -> 3.5
+  | Add _ | Sub _ | Cmp _ | Tie_add _ -> 1.0
+  | Tie_csa _ -> 0.5
+  | And _ | Or _ | Xor _ | Not _ | Mux _ -> 0.3
+  | Reduce _ -> 0.8
+  | Shl _ | Shr _ | Sar _ -> 1.0
+  | Table _ -> 1.5
+
+let rec depth_delay e =
+  let children = subexprs e in
+  let deepest = List.fold_left (fun m c -> Float.max m (depth_delay c)) 0.0 children in
+  node_delay e +. deepest

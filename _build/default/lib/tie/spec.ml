@@ -1,0 +1,53 @@
+type operand_kind = In_reg | Imm
+
+type operand = {
+  oname : string;
+  owidth : int;
+  okind : operand_kind;
+}
+
+type table_def = {
+  tname : string;
+  telem_width : int;
+  tdata : int array;
+}
+
+type state_def = {
+  sname : string;
+  swidth : int;
+  sinit : int;
+}
+
+type insn_def = {
+  iname : string;
+  ins : operand list;
+  result : Expr.t option;
+  updates : (string * Expr.t) list;
+  latency_override : int option;
+}
+
+type t = {
+  ext_name : string;
+  states : state_def list;
+  tables : table_def list;
+  instructions : insn_def list;
+}
+
+let empty ext_name = { ext_name; states = []; tables = []; instructions = [] }
+
+let operand ?(kind = In_reg) oname owidth =
+  if owidth <= 0 || owidth > 32 then
+    invalid_arg "Spec.operand: width must be in 1..32";
+  { oname; owidth; okind = kind }
+
+let instruction ?latency ?(updates = []) iname ~ins ~result =
+  { iname; ins; result; updates; latency_override = latency }
+
+let add_instruction t i = { t with instructions = t.instructions @ [ i ] }
+
+let add_state t s = { t with states = t.states @ [ s ] }
+
+let add_table t tb = { t with tables = t.tables @ [ tb ] }
+
+let find_instruction t name =
+  List.find_opt (fun i -> i.iname = name) t.instructions

@@ -1,0 +1,63 @@
+(** Custom-instruction (TIE) extension specifications.
+
+    An extension groups custom state (registers), lookup tables and a set
+    of instruction definitions that may share them — e.g. a MAC
+    accumulator written by one instruction and read by another. *)
+
+type operand_kind = In_reg | Imm
+
+type operand = {
+  oname : string;
+  owidth : int;          (** bits consumed from the source, 1..32 *)
+  okind : operand_kind;
+}
+
+type table_def = {
+  tname : string;
+  telem_width : int;
+  tdata : int array;     (** entry count = array length *)
+}
+
+type state_def = {
+  sname : string;
+  swidth : int;
+  sinit : int;
+}
+
+type insn_def = {
+  iname : string;
+  ins : operand list;    (** register operands map positionally to
+                             [Custom.srcs]; at most one [Imm] *)
+  result : Expr.t option;(** value written back to the destination
+                             register, if the instruction has one *)
+  updates : (string * Expr.t) list;  (** state-name, new-value pairs *)
+  latency_override : int option;
+}
+
+type t = {
+  ext_name : string;
+  states : state_def list;
+  tables : table_def list;
+  instructions : insn_def list;
+}
+
+val empty : string -> t
+(** Extension with no state, tables or instructions. *)
+
+val operand : ?kind:operand_kind -> string -> int -> operand
+
+val instruction :
+  ?latency:int ->
+  ?updates:(string * Expr.t) list ->
+  string ->
+  ins:operand list ->
+  result:Expr.t option ->
+  insn_def
+
+val add_instruction : t -> insn_def -> t
+
+val add_state : t -> state_def -> t
+
+val add_table : t -> table_def -> t
+
+val find_instruction : t -> string -> insn_def option

@@ -1,0 +1,1 @@
+lib/workloads/c_apps.ml: Array Cc Core Tie_lib

@@ -1,0 +1,1 @@
+lib/workloads/c_apps.mli: Core

@@ -1,0 +1,1 @@
+lib/workloads/characterization.ml: Array Core Data Isa List Printf Sim Tie Tie_lib

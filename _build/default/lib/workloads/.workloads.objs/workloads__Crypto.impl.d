@@ -1,0 +1,1 @@
+lib/workloads/crypto.ml: Array Core Data Isa Prng Tie_lib Wutil

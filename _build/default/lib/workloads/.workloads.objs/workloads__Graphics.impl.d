@@ -1,0 +1,1 @@
+lib/workloads/graphics.ml: Array Core Data Isa List Tie_lib Wutil

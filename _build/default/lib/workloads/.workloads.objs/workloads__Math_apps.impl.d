@@ -1,0 +1,1 @@
+lib/workloads/math_apps.ml: Array Core Data Isa Prng Tie Tie_lib Wutil

@@ -1,0 +1,1 @@
+lib/workloads/math_apps.mli: Core

@@ -1,0 +1,1 @@
+lib/workloads/reed_solomon.ml: Array Core Data Isa Printf Prng Tie_lib Wutil

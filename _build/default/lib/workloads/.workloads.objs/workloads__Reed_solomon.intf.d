@@ -1,0 +1,1 @@
+lib/workloads/reed_solomon.mli: Core

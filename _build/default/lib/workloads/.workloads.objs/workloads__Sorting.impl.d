@@ -1,0 +1,1 @@
+lib/workloads/sorting.ml: Array Core Data Isa Wutil

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: C_apps Characterization Core Crypto Graphics List Math_apps Reed_solomon Sorting

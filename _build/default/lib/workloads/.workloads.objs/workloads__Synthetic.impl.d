@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Array Core Data Isa List Printf Prng Sim Tie Tie_lib Wutil

@@ -1,0 +1,1 @@
+lib/workloads/tie_lib.ml: Array Data List Option Tie

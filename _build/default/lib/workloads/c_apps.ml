@@ -1,0 +1,140 @@
+type capp = {
+  name : string;
+  case : Core.Extract.case;
+  expected : int;
+}
+
+let build ?extension name source =
+  let ast = Cc.Parser.parse source in
+  let compiled = Cc.Codegen.compile ast in
+  let expected = (Cc.Interp.run ast).Cc.Interp.r_return in
+  { name;
+    case = Core.Extract.case ?extension name compiled.Cc.Codegen.c_asm;
+    expected }
+
+let matmul () =
+  build "c_matmul"
+    "int a[64]; int b[64]; int c[64];\n\
+     int main() {\n\
+    \  int x = 7;\n\
+    \  for (int i = 0; i < 64; i = i + 1) {\n\
+    \    x = (x * 1103515245 + 12345) & 0xffff;\n\
+    \    a[i] = x & 0xff;\n\
+    \    x = (x * 1103515245 + 12345) & 0xffff;\n\
+    \    b[i] = x & 0xff;\n\
+    \  }\n\
+    \  for (int i = 0; i < 8; i = i + 1) {\n\
+    \    for (int j = 0; j < 8; j = j + 1) {\n\
+    \      int s = 0;\n\
+    \      for (int k = 0; k < 8; k = k + 1) {\n\
+    \        s = s + a[i * 8 + k] * b[k * 8 + j];\n\
+    \      }\n\
+    \      c[i * 8 + j] = s;\n\
+    \    }\n\
+    \  }\n\
+    \  int sum = 0;\n\
+    \  for (int i = 0; i < 64; i = i + 1) { sum = sum ^ c[i] + i; }\n\
+    \  return sum;\n\
+     }"
+
+let crc32 () =
+  build "c_crc32"
+    "int data[64];\n\
+     int main() {\n\
+    \  int x = 99;\n\
+    \  for (int i = 0; i < 64; i = i + 1) {\n\
+    \    x = (x * 1103515245 + 12345) & 0x7fffffff;\n\
+    \    data[i] = x & 0xff;\n\
+    \  }\n\
+    \  int crc = 0xffffffff;\n\
+    \  for (int i = 0; i < 64; i = i + 1) {\n\
+    \    crc = crc ^ data[i];\n\
+    \    for (int k = 0; k < 8; k = k + 1) {\n\
+    \      if (crc & 1) { crc = (crc >> 1 & 0x7fffffff) ^ 0xedb88320; }\n\
+    \      else { crc = crc >> 1 & 0x7fffffff; }\n\
+    \    }\n\
+    \  }\n\
+    \  return crc ^ 0xffffffff;\n\
+     }"
+
+let histogram () =
+  build "c_histogram"
+    "int bins[16];\n\
+     int main() {\n\
+    \  int x = 3;\n\
+    \  for (int i = 0; i < 256; i = i + 1) {\n\
+    \    x = (x * 1103515245 + 12345) & 0x7fffffff;\n\
+    \    int v = (x >> 8) & 15;\n\
+    \    bins[v] = bins[v] + 1;\n\
+    \  }\n\
+    \  return bins[0] ^ bins[5] * 256 ^ bins[11] * 65536;\n\
+     }"
+
+let string_search () =
+  build "c_strsearch"
+    "int hay[128]; int needle[4] = {7, 3, 1, 5};\n\
+     int main() {\n\
+    \  int x = 41;\n\
+    \  for (int i = 0; i < 128; i = i + 1) {\n\
+    \    x = (x * 1103515245 + 12345) & 0x7fffffff;\n\
+    \    hay[i] = (x >> 5) & 7;\n\
+    \  }\n\
+    \  int found = 0;\n\
+    \  for (int i = 0; i < 125; i = i + 1) {\n\
+    \    int ok = 1;\n\
+    \    for (int k = 0; k < 4; k = k + 1) {\n\
+    \      if (hay[i + k] != needle[k]) { ok = 0; }\n\
+    \    }\n\
+    \    if (ok) { found = found + i + 1; }\n\
+    \  }\n\
+    \  return found;\n\
+     }"
+
+let fir_source =
+  "int signal[64];\n\
+   int coeff[8] = {3, -1, 4, 1, -5, 9, 2, -6};\n\
+   int output[64];\n\
+   int main() {\n\
+  \  int x = 12345;\n\
+  \  for (int i = 0; i < 64; i = i + 1) {\n\
+  \    x = (x * 1103515245 + 12345) & 0x7fff;\n\
+  \    signal[i] = x;\n\
+  \  }\n\
+  \  for (int n = 7; n < 64; n = n + 1) {\n\
+  \    __tie_clracc();\n\
+  \    for (int k = 0; k < 8; k = k + 1) {\n\
+  \      __tie_mac(signal[n - k], coeff[k]);\n\
+  \    }\n\
+  \    output[n] = __tie_rdacc();\n\
+  \  }\n\
+  \  return output[63];\n\
+   }"
+
+(* The interpreter cannot run intrinsics; replicate the FIR on the host
+   with the MAC's 16x16 -> 32 wrap-around semantics. *)
+let fir_expected () =
+  let u32 v = v land 0xffff_ffff in
+  let signal = Array.make 64 0 in
+  let x = ref 12345 in
+  for i = 0 to 63 do
+    x := u32 ((!x * 1103515245) + 12345) land 0x7fff;
+    signal.(i) <- !x
+  done;
+  let coeff = [| 3; -1; 4; 1; -5; 9; 2; -6 |] in
+  let acc = ref 0 in
+  for k = 0 to 7 do
+    acc :=
+      u32 (!acc + ((signal.(63 - k) land 0xffff) * (coeff.(k) land 0xffff)))
+  done;
+  !acc
+
+let fir_mac () =
+  let compiled = Cc.Codegen.compile_source fir_source in
+  { name = "c_fir_mac";
+    case =
+      Core.Extract.case ~extension:Tie_lib.mac_ext "c_fir_mac"
+        compiled.Cc.Codegen.c_asm;
+    expected = fir_expected () }
+
+let all () =
+  [ matmul (); crc32 (); histogram (); string_search (); fir_mac () ]

@@ -1,0 +1,33 @@
+(** Applications written in Tiny-C (the paper's test programs were C
+    compiled with the Tensilica toolchain; these go through [lib/cc]).
+
+    Each returns the compiled case plus the expected result of [main]
+    computed by the host-side interpreter, so the test suite can check
+    functional correctness, and the bench can check that the macro-model
+    generalizes to compiler-generated code. *)
+
+type capp = {
+  name : string;
+  case : Core.Extract.case;
+  expected : int;           (** interpreter's value of [main], unsigned *)
+}
+
+val matmul : unit -> capp
+(** 8x8 integer matrix multiply; returns a checksum of the product. *)
+
+val crc32 : unit -> capp
+(** Bitwise CRC-32 over 64 bytes (reflected polynomial 0xEDB88320). *)
+
+val histogram : unit -> capp
+(** 16-bin histogram of 256 values; returns a bin mix. *)
+
+val string_search : unit -> capp
+(** Naive substring search over a 128-byte haystack; returns the sum of
+    match positions. *)
+
+val fir_mac : unit -> capp
+(** 8-tap FIR filter using the [mac] custom-instruction intrinsics
+    (expected value computed by a host oracle, since the interpreter
+    cannot run intrinsics). *)
+
+val all : unit -> capp list

@@ -1,0 +1,68 @@
+open Isa.Builder
+
+let rounds = 16
+let block_count = 12
+
+let blocks_address = 0x11000
+let keys_address = 0x12000
+let des_result_address = 0x12800
+
+let des_blocks () =
+  let g = Prng.create 95 in
+  Array.init block_count (fun _ -> (Prng.int32 g, Prng.int32 g))
+
+let des_keys () = Data.words ~seed:96 rounds
+
+let sbox_word v =
+  let lane i = Data.des_sbox.((v lsr (8 * i)) land 0xff) in
+  (lane 3 lsl 24) lor (lane 2 lsl 16) lor (lane 1 lsl 8) lor lane 0
+
+let reference ~left ~right ~keys =
+  (* One Feistel step per round: (L, R) -> (R, L xor f(R xor K)). *)
+  let rec go l r k =
+    if k = rounds then (l, r)
+    else
+      let f = sbox_word ((r lxor keys.(k)) land 0xffff_ffff) in
+      go r (l lxor f) (k + 1)
+  in
+  go left right 0
+
+(* a4 = L, a5 = R, a6 = key ptr, a7 = key, a11 = f input, a12 = f output. *)
+let des () =
+  let b = create "des" in
+  let blocks = des_blocks () in
+  let flat = Array.make (2 * block_count) 0 in
+  Array.iteri
+    (fun i (l, r) ->
+      flat.(2 * i) <- l;
+      flat.((2 * i) + 1) <- r)
+    blocks;
+  Wutil.words_at b "blocks" ~addr:blocks_address flat;
+  Wutil.words_at b "keys" ~addr:keys_address (des_keys ());
+  label b "main";
+  movi b a8 blocks_address;
+  movi b a9 des_result_address;
+  movi b a2 block_count;
+  label b "next_block";
+  l32i b a4 a8 0;
+  l32i b a5 a8 4;
+  movi b a6 keys_address;
+  movi b a3 rounds;
+  label b "round";
+  l32i b a7 a6 0;
+  xor b a11 a5 a7;
+  (* desf: a12 = a4 xor sbox_lanes(a11) *)
+  custom b "desf" ~dst:a12 [ a11; a4 ];
+  mov b a4 a5;
+  mov b a5 a12;
+  addi b a6 a6 4;
+  addi b a3 a3 (-1);
+  bnez b a3 "round";
+  s32i b a4 a9 0;
+  s32i b a5 a9 4;
+  addi b a8 a8 8;
+  addi b a9 a9 8;
+  addi b a2 a2 (-1);
+  bnez b a2 "next_block";
+  halt b;
+  Core.Extract.case ~extension:Tie_lib.des_ext "des" (Wutil.assemble b)

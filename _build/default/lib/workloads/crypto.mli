@@ -1,0 +1,22 @@
+(** Cryptographic benchmark (Table II: DES).
+
+    A Feistel network in the style of DES: 16 rounds over 64-bit blocks,
+    with the round function implemented by the [desf] custom instruction
+    (four parallel S-box lookups XORed into the other half). *)
+
+val rounds : int
+
+val block_count : int
+
+val des : unit -> Core.Extract.case
+
+val des_result_address : int
+
+val des_blocks : unit -> (int * int) array
+(** Input (left, right) halves. *)
+
+val des_keys : unit -> int array
+(** Per-round 32-bit subkeys. *)
+
+val reference : left:int -> right:int -> keys:int array -> int * int
+(** Host-side oracle of the same network (for the tests). *)

@@ -1,0 +1,59 @@
+let words ~seed n =
+  let g = Prng.create seed in
+  Array.init n (fun _ -> Prng.int32 g)
+
+let bytes ~seed n =
+  let g = Prng.create seed in
+  Array.init n (fun _ -> Prng.byte g)
+
+let small_words ~seed ~max n =
+  let g = Prng.create seed in
+  Array.init n (fun _ -> 1 + Prng.int g max)
+
+module Gf = struct
+  let poly = 0x11d
+
+  let alog_table =
+    let t = Array.make 512 0 in
+    let x = ref 1 in
+    for i = 0 to 254 do
+      t.(i) <- !x;
+      x := !x lsl 1;
+      if !x land 0x100 <> 0 then x := !x lxor poly
+    done;
+    (* Duplicate so that alog[log a + log b] never needs mod 255. *)
+    for i = 255 to 511 do
+      t.(i) <- t.(i - 255)
+    done;
+    t
+
+  let log_table =
+    let t = Array.make 256 0 in
+    for i = 0 to 254 do
+      t.(alog_table.(i)) <- i
+    done;
+    t
+
+  let mul a b =
+    let a = a land 0xff and b = b land 0xff in
+    if a = 0 || b = 0 then 0
+    else alog_table.(log_table.(a) + log_table.(b))
+
+  let pow a n =
+    let rec go acc n = if n = 0 then acc else go (mul acc a) (n - 1) in
+    go 1 n
+end
+
+(* DES S-box S1 (4-bit outputs over 64 inputs), expanded to a 256-entry
+   byte substitution by pairing two S1 evaluations. *)
+let des_s1 =
+  [| 14; 4; 13; 1; 2; 15; 11; 8; 3; 10; 6; 12; 5; 9; 0; 7;
+     0; 15; 7; 4; 14; 2; 13; 1; 10; 6; 12; 11; 9; 5; 3; 8;
+     4; 1; 14; 8; 13; 6; 2; 11; 15; 12; 9; 7; 3; 10; 5; 0;
+     15; 12; 8; 2; 4; 9; 1; 7; 5; 11; 3; 14; 10; 0; 6; 13 |]
+
+let des_sbox =
+  Array.init 256 (fun i ->
+      let lo = des_s1.(i land 0x3f) in
+      let hi = des_s1.((i lsr 2) land 0x3f) in
+      (hi lsl 4) lor lo)

@@ -1,0 +1,29 @@
+(** Workload data sets and Galois-field helpers. *)
+
+val words : seed:int -> int -> int array
+(** Random 32-bit words. *)
+
+val bytes : seed:int -> int -> int array
+(** Random bytes. *)
+
+val small_words : seed:int -> max:int -> int -> int array
+(** Random words in [1, max]. *)
+
+(** GF(2^8) arithmetic with the Reed-Solomon polynomial 0x11d, used both
+    to build the lookup tables shipped to the TIE extensions and by the
+    host-side oracles in the test suite. *)
+module Gf : sig
+  val mul : int -> int -> int
+
+  (** log of 1..255; index 0 unused (0). *)
+  val log_table : int array
+
+  (** 512 entries so lookups avoid mod 255. *)
+  val alog_table : int array
+
+  val pow : int -> int -> int
+end
+
+val des_sbox : int array
+(** A 256-entry 8-bit substitution box (derived from DES S-box S1,
+    expanded to byte width). *)

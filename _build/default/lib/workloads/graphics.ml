@@ -1,0 +1,88 @@
+open Isa.Builder
+
+let case = Core.Extract.case
+
+(* --- Alphablend --------------------------------------------------------- *)
+
+let pixel_count = 256
+let alphablend_alpha = 96
+let src1_address = 0x11000
+let src2_address = 0x11400
+let alphablend_result_address = 0x11800
+
+let alphablend_inputs () =
+  (Data.bytes ~seed:91 pixel_count, Data.bytes ~seed:92 pixel_count)
+
+let alphablend () =
+  let b = create "alphablend" in
+  let p1, p2 = alphablend_inputs () in
+  bytes_at b "img1" ~addr:src1_address p1;
+  bytes_at b "img2" ~addr:src2_address p2;
+  label b "main";
+  movi b a8 src1_address;
+  movi b a9 src2_address;
+  movi b a10 alphablend_result_address;
+  loop_n b ~cnt:a2 pixel_count (fun () ->
+      l8ui b a5 a8 0;
+      l8ui b a6 a9 0;
+      custom b "blend" ~dst:a4 ~imm:alphablend_alpha [ a5; a6 ];
+      s8i b a4 a10 0;
+      addi b a8 a8 1;
+      addi b a9 a9 1;
+      addi b a10 a10 1);
+  halt b;
+  case ~extension:Tie_lib.blend_ext "alphablend" (Wutil.assemble b)
+
+(* --- Drawline ------------------------------------------------------------ *)
+
+let framebuffer_address = 0x18000
+let framebuffer_dim = 64
+
+let drawline_endpoints =
+  [ (0, 0, 63, 20); (5, 10, 60, 40); (2, 2, 50, 50);
+    (10, 5, 63, 12); (0, 30, 40, 33); (20, 0, 63, 43) ]
+
+let line_table_address = 0x17000
+
+(* Bresenham, first octant (dx >= dy >= 0):
+   a3=x, a4=y, a5=err, a6=2dx, a7=2dy, a9=x1, a13=pixel value. *)
+let drawline () =
+  let b = create "drawline" in
+  let table =
+    Array.concat
+      (List.map (fun (x0, y0, x1, y1) -> [| x0; y0; x1; y1 |])
+         drawline_endpoints)
+  in
+  Wutil.words_at b "lines" ~addr:line_table_address table;
+  label b "main";
+  movi b a10 line_table_address;
+  movi b a8 framebuffer_address;
+  movi b a13 255;
+  movi b a2 (List.length drawline_endpoints);
+  label b "next_line";
+  l32i b a3 a10 0;        (* x0 *)
+  l32i b a4 a10 4;        (* y0 *)
+  l32i b a9 a10 8;        (* x1 *)
+  l32i b a7 a10 12;       (* y1 *)
+  sub b a6 a9 a3;         (* dx *)
+  sub b a7 a7 a4;         (* dy *)
+  slli b a7 a7 1;         (* 2dy *)
+  sub b a5 a7 a6;         (* err = 2dy - dx *)
+  slli b a6 a6 1;         (* 2dx *)
+  label b "pixel";
+  slli b a11 a4 6;
+  add b a11 a11 a3;
+  add b a11 a11 a8;
+  s8i b a13 a11 0;
+  blti b a5 1 "no_ystep";
+  addi b a4 a4 1;
+  sub b a5 a5 a6;
+  label b "no_ystep";
+  add b a5 a5 a7;
+  addi b a3 a3 1;
+  bge b a9 a3 "pixel";
+  addi b a10 a10 16;
+  addi b a2 a2 (-1);
+  bnez b a2 "next_line";
+  halt b;
+  case "drawline" (Wutil.assemble b)

@@ -1,0 +1,25 @@
+(** Graphics benchmarks (Table II: Alphablend, Drawline). *)
+
+val alphablend : unit -> Core.Extract.case
+(** Per-pixel 8-bit alpha blend of two images via the [blend] custom
+    instruction (alpha = 96). *)
+
+val alphablend_result_address : int
+
+val alphablend_inputs : unit -> int array * int array
+
+val alphablend_alpha : int
+
+val pixel_count : int
+
+val drawline : unit -> Core.Extract.case
+(** Bresenham line rasterisation into a 64x64 byte framebuffer, several
+    lines; base ISA only. *)
+
+val framebuffer_address : int
+
+val framebuffer_dim : int
+
+val drawline_endpoints : (int * int * int * int) list
+(** The lines drawn, as (x0, y0, x1, y1); all octant-1 style with
+    x1 > x0 and slope in [0, 1]. *)

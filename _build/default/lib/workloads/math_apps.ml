@@ -1,0 +1,170 @@
+open Isa.Builder
+
+let case = Core.Extract.case
+
+(* --- Gcd ---------------------------------------------------------------- *)
+
+let gcd_pair_count = 64
+
+let gcd_input_address = 0x11000
+let gcd_result_address = 0x12000
+
+let gcd_pairs () =
+  let g = Prng.create 81 in
+  Array.init gcd_pair_count (fun _ ->
+      (1 + Prng.int g 900, 1 + Prng.int g 900))
+
+(* Subtraction-form Euclid:
+   while a <> b: if a > b then a <- a - b else b <- b - a. *)
+let gcd () =
+  let b = create "gcd" in
+  let pairs = gcd_pairs () in
+  let inter = Array.make (2 * gcd_pair_count) 0 in
+  Array.iteri
+    (fun i (x, y) ->
+      inter.(2 * i) <- x;
+      inter.((2 * i) + 1) <- y)
+    pairs;
+  Wutil.words_at b "pairs" ~addr:gcd_input_address inter;
+  label b "main";
+  movi b a8 gcd_input_address;
+  movi b a9 gcd_result_address;
+  movi b a2 gcd_pair_count;
+  label b "next_pair";
+  l32i b a4 a8 0;
+  l32i b a5 a8 4;
+  label b "euclid";
+  beq b a4 a5 "done_pair";
+  blt b a4 a5 "b_bigger";
+  sub b a4 a4 a5;
+  j b "euclid";
+  label b "b_bigger";
+  sub b a5 a5 a4;
+  j b "euclid";
+  label b "done_pair";
+  s32i b a4 a9 0;
+  addi b a8 a8 8;
+  addi b a9 a9 4;
+  addi b a2 a2 (-1);
+  bnez b a2 "next_pair";
+  halt b;
+  case "gcd" (Wutil.assemble b)
+
+(* --- Accumulate --------------------------------------------------------- *)
+
+let accumulate_count = 256
+let accumulate_input_address = 0x11800
+let accumulate_result_address = 0x12800
+
+let accumulate_data () =
+  Array.map (fun w -> w land 0x7fff) (Data.words ~seed:82 accumulate_count)
+
+let accumulate () =
+  let b = create "accumulate" in
+  Wutil.words_at b "acc_in" ~addr:accumulate_input_address (accumulate_data ());
+  label b "main";
+  movi b a8 accumulate_input_address;
+  movi b a7 1;
+  custom b "clracc" [];
+  loop_n b ~cnt:a2 accumulate_count (fun () ->
+      l32i b a5 a8 0;
+      custom b "mac" [ a5; a7 ];
+      addi b a8 a8 4);
+  custom b "rdacc" ~dst:a4 [];
+  movi b a9 accumulate_result_address;
+  s32i b a4 a9 0;
+  halt b;
+  case ~extension:Tie_lib.mac_ext "accumulate" (Wutil.assemble b)
+
+(* --- Multi_accumulate ---------------------------------------------------- *)
+
+let multi_groups = 24
+let multi_group_len = 8
+let multi_x_address = 0x13000
+let multi_y_address = 0x13800
+let multi_accumulate_result_address = 0x14000
+
+let multi_inputs () =
+  ( Array.map (fun w -> w land 0x3fff)
+      (Data.words ~seed:83 (multi_groups * multi_group_len)),
+    Array.map (fun w -> w land 0x3fff)
+      (Data.words ~seed:84 (multi_groups * multi_group_len)) )
+
+let multi_accumulate () =
+  let b = create "multi_accumulate" in
+  let xs, ys = multi_inputs () in
+  Wutil.words_at b "mx" ~addr:multi_x_address xs;
+  Wutil.words_at b "my" ~addr:multi_y_address ys;
+  label b "main";
+  movi b a8 multi_x_address;
+  movi b a9 multi_y_address;
+  movi b a10 multi_accumulate_result_address;
+  loop_n b ~cnt:a2 multi_groups (fun () ->
+      custom b "clracc" [];
+      loop_n b ~cnt:a3 multi_group_len (fun () ->
+          l32i b a5 a8 0;
+          l32i b a6 a9 0;
+          custom b "mac" [ a5; a6 ];
+          addi b a8 a8 4;
+          addi b a9 a9 4);
+      custom b "rdacc" ~dst:a4 [];
+      s32i b a4 a10 0;
+      addi b a10 a10 4);
+  halt b;
+  case ~extension:Tie_lib.mac_ext "multi_accumulate" (Wutil.assemble b)
+
+(* --- Seq_mult ------------------------------------------------------------ *)
+
+let seq_mult_count = 96
+let seq_mult_input_address = 0x14800
+let seq_mult_result_address = 0x15000
+
+let seq_mult () =
+  let b = create "seq_mult" in
+  let data =
+    Array.map (fun w -> 1 lor (w land 0xffff)) (Data.words ~seed:85 seq_mult_count)
+  in
+  Wutil.words_at b "sm" ~addr:seq_mult_input_address data;
+  label b "main";
+  movi b a8 seq_mult_input_address;
+  movi b a4 1;
+  loop_n b ~cnt:a2 seq_mult_count (fun () ->
+      l32i b a5 a8 0;
+      custom b "xtmul" ~dst:a4 [ a4; a5 ];
+      addi b a8 a8 4);
+  movi b a9 seq_mult_result_address;
+  s32i b a4 a9 0;
+  halt b;
+  case
+    ~extension:(Tie_lib.coverage Tie.Component.Tie_mult)
+    "seq_mult" (Wutil.assemble b)
+
+(* --- Add4 ---------------------------------------------------------------- *)
+
+let add4_count = 192
+let add4_x_address = 0x15800
+let add4_y_address = 0x16000
+let add4_result_address = 0x16800
+
+let add4_inputs () =
+  (Data.words ~seed:86 add4_count, Data.words ~seed:87 add4_count)
+
+let add4 () =
+  let b = create "add4" in
+  let xs, ys = add4_inputs () in
+  Wutil.words_at b "ax" ~addr:add4_x_address xs;
+  Wutil.words_at b "ay" ~addr:add4_y_address ys;
+  label b "main";
+  movi b a8 add4_x_address;
+  movi b a9 add4_y_address;
+  movi b a10 add4_result_address;
+  loop_n b ~cnt:a2 add4_count (fun () ->
+      l32i b a5 a8 0;
+      l32i b a6 a9 0;
+      custom b "add4" ~dst:a4 [ a5; a6 ];
+      s32i b a4 a10 0;
+      addi b a8 a8 4;
+      addi b a9 a9 4;
+      addi b a10 a10 4);
+  halt b;
+  case ~extension:Tie_lib.add4_ext "add4" (Wutil.assemble b)

@@ -1,0 +1,43 @@
+(** Arithmetic benchmarks (Table II: Gcd, Accumulate, Multi_accumulate,
+    Seq_mult, Add4). *)
+
+val gcd : unit -> Core.Extract.case
+(** Subtraction-based Euclid over 64 random pairs; result words stored
+    back.  Base ISA only. *)
+
+val gcd_pairs : unit -> (int * int) array
+(** The input pairs (oracle support for the tests). *)
+
+val gcd_result_address : int
+
+val accumulate : unit -> Core.Extract.case
+(** Sum of an array via the [mac] custom instruction. *)
+
+val accumulate_result_address : int
+
+val accumulate_data : unit -> int array
+
+val multi_accumulate : unit -> Core.Extract.case
+(** Blocked multiply-accumulate: dot products of 8-element groups using
+    the MAC custom state, results stored per group. *)
+
+val multi_accumulate_result_address : int
+
+val multi_inputs : unit -> int array * int array
+(** Flattened x/y vectors of the multi-accumulate groups. *)
+
+val multi_groups : int
+
+val multi_group_len : int
+
+val seq_mult : unit -> Core.Extract.case
+(** Chained 16-bit multiplications via the [xtmul] custom instruction. *)
+
+val seq_mult_result_address : int
+
+val add4 : unit -> Core.Extract.case
+(** Packed 4x8-bit vector addition of two arrays via [add4]. *)
+
+val add4_result_address : int
+
+val add4_inputs : unit -> int array * int array

@@ -1,0 +1,22 @@
+type t = { mutable state : int }
+
+let create seed =
+  let s = if seed = 0 then 0x1e3779b97f4a7c15 else seed in
+  { state = s land max_int }
+
+let next t =
+  let x = t.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  t.state <- (if x = 0 then 0x2545f4914f6cdd1d else x);
+  t.state
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next t mod n
+
+let int32 t = next t land 0xffff_ffff
+
+let byte t = next t land 0xff

@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random numbers (xorshift).
+
+    All workload data is generated from fixed seeds so every run of the
+    characterization and evaluation flow is exactly reproducible. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; the seed may be any integer (0 is remapped). *)
+
+val next : t -> int
+(** 62-bit non-negative value. *)
+
+val int : t -> int -> int
+(** [int t n] in [0, n). *)
+
+val int32 : t -> int
+(** Uniform 32-bit value. *)
+
+val byte : t -> int

@@ -1,0 +1,247 @@
+open Isa.Builder
+
+let message_count = 20
+let message_length = 16
+let parity_count = 4
+
+let msg_address = 0x11000
+let cw_address = 0x12000
+let syndrome_result_address = 0x12800
+
+let alpha = 2
+
+(* g(x) = prod_{i=0..3} (x + alpha^i); coefficients g0..g3 (g4 = 1). *)
+let generator () =
+  let mul_poly p root =
+    let n = Array.length p in
+    let q = Array.make (n + 1) 0 in
+    for k = 0 to n - 1 do
+      q.(k + 1) <- q.(k + 1) lxor p.(k);
+      q.(k) <- q.(k) lxor Data.Gf.mul root p.(k)
+    done;
+    q
+  in
+  let rec go p i =
+    if i = parity_count then p
+    else go (mul_poly p (Data.Gf.pow alpha i)) (i + 1)
+  in
+  Array.sub (go [| 1 |] 0) 0 parity_count
+
+let messages () =
+  let g = Prng.create 99 in
+  Array.init message_count (fun _ ->
+      Array.init message_length (fun _ -> Prng.byte g))
+
+let encode_reference msg =
+  let g = generator () in
+  let p = Array.make parity_count 0 in
+  Array.iter
+    (fun m ->
+      let fb = m lxor p.(3) in
+      p.(3) <- p.(2) lxor Data.Gf.mul fb g.(3);
+      p.(2) <- p.(1) lxor Data.Gf.mul fb g.(2);
+      p.(1) <- p.(0) lxor Data.Gf.mul fb g.(1);
+      p.(0) <- Data.Gf.mul fb g.(0))
+    msg;
+  p
+
+let syndrome_reference msg parity =
+  let codeword =
+    Array.append msg [| parity.(3); parity.(2); parity.(1); parity.(0) |]
+  in
+  Array.init parity_count (fun i ->
+      let ai = Data.Gf.pow alpha i in
+      Array.fold_left
+        (fun s v -> Data.Gf.mul s ai lxor v)
+        0 codeword)
+
+(* --- Assembly variants --------------------------------------------------- *)
+
+(* Register plan: a8 msg ptr, a9 cw ptr, a1 result ptr, a2 message
+   counter, a3 inner counter, a7 fb / syndrome accumulator, a6 multiply
+   result, a4/a5 scratch (software-multiply arguments), a13/a14 software
+   multiply internals, parity in a10/a11/a12/a15. *)
+
+let emit_soft_mul_routine b =
+  (* a6 = gfmul(a4, a5) by shift-and-xor over GF(2^8)/0x11d. *)
+  label b "gfmul_sw";
+  movi b a6 0;
+  movi b a13 8;
+  label b "gfsw_loop";
+  bbci b a5 0 "gfsw_noadd";
+  xor b a6 a6 a4;
+  label b "gfsw_noadd";
+  slli b a4 a4 1;
+  bbci b a4 8 "gfsw_nored";
+  movi b a14 0x11d;
+  xor b a4 a4 a14;
+  label b "gfsw_nored";
+  srli b a5 a5 1;
+  addi b a13 a13 (-1);
+  bnez b a13 "gfsw_loop";
+  ret b
+
+let soft_mul b c =
+  mov b a4 a7;
+  movi b a5 c;
+  call0 b "gfmul_sw"
+
+let hw_mul b c =
+  movi b a5 c;
+  custom b "gfmul" ~dst:a6 [ a7; a5 ]
+
+(* Scalar LFSR encode of one message: 16 bytes from a8, codeword copied
+   to a9, parity left in a10..a15. [mul] computes a6 = gfmul(a7, const). *)
+let emit_encode_scalar b ~mul =
+  let g = generator () in
+  movi b a10 0;
+  movi b a11 0;
+  movi b a12 0;
+  movi b a15 0;
+  movi b a3 message_length;
+  label b "enc_loop";
+  l8ui b a7 a8 0;
+  s8i b a7 a9 0;
+  xor b a7 a7 a15;
+  mul b g.(3);
+  xor b a15 a12 a6;
+  mul b g.(2);
+  xor b a12 a11 a6;
+  mul b g.(1);
+  xor b a11 a10 a6;
+  mul b g.(0);
+  mov b a10 a6;
+  addi b a8 a8 1;
+  addi b a9 a9 1;
+  addi b a3 a3 (-1);
+  bnez b a3 "enc_loop";
+  (* Append parity in Horner order p3..p0. *)
+  s8i b a15 a9 0;
+  s8i b a12 a9 1;
+  s8i b a11 a9 2;
+  s8i b a10 a9 3
+
+(* Syndromes by explicit Horner multiplication; accumulates the packed
+   result in a10. *)
+let emit_syndromes_mul b ~mul =
+  movi b a10 0;
+  for i = 0 to parity_count - 1 do
+    let ai = Data.Gf.pow alpha i in
+    let lp = Printf.sprintf "syn%d_loop" i in
+    movi b a7 0;
+    movi b a9 cw_address;
+    movi b a3 (message_length + parity_count);
+    label b lp;
+    mul b ai;
+    l8ui b a5 a9 0;
+    xor b a7 a6 a5;
+    addi b a9 a9 1;
+    addi b a3 a3 (-1);
+    bnez b a3 lp;
+    slli b a10 a10 8;
+    or_ b a10 a10 a7
+  done
+
+(* Syndromes through the custom MAC register. *)
+let emit_syndromes_mac b =
+  movi b a10 0;
+  for i = 0 to parity_count - 1 do
+    let ai = Data.Gf.pow alpha i in
+    let lp = Printf.sprintf "synm%d_loop" i in
+    custom b "clrsyn" [];
+    movi b a9 cw_address;
+    movi b a3 (message_length + parity_count);
+    label b lp;
+    l8ui b a5 a9 0;
+    custom b "gfmacc" ~imm:ai [ a5 ];
+    addi b a9 a9 1;
+    addi b a3 a3 (-1);
+    bnez b a3 lp;
+    custom b "rdsyn" ~dst:a7 [];
+    slli b a10 a10 8;
+    or_ b a10 a10 a7
+  done
+
+let emit_frame b ~encode ~syndromes ~soft_routine =
+  let msgs = messages () in
+  let flat = Array.concat (Array.to_list msgs) in
+  Isa.Builder.bytes_at b "msgs" ~addr:msg_address flat;
+  label b "main";
+  movi b a8 msg_address;
+  movi b a1 syndrome_result_address;
+  movi b a2 message_count;
+  label b "next_msg";
+  movi b a9 cw_address;
+  encode b;
+  syndromes b;
+  s32i b a10 a1 0;
+  addi b a1 a1 4;
+  addi b a2 a2 (-1);
+  bnez b a2 "next_msg";
+  halt b;
+  if soft_routine then emit_soft_mul_routine b
+
+let rs_soft () =
+  let b = create "rs_soft" in
+  emit_frame b
+    ~encode:(fun b -> emit_encode_scalar b ~mul:soft_mul)
+    ~syndromes:(fun b -> emit_syndromes_mul b ~mul:soft_mul)
+    ~soft_routine:true;
+  Core.Extract.case "rs_soft" (Wutil.assemble b)
+
+let rs_gfmul () =
+  let b = create "rs_gfmul" in
+  emit_frame b
+    ~encode:(fun b -> emit_encode_scalar b ~mul:hw_mul)
+    ~syndromes:(fun b -> emit_syndromes_mul b ~mul:hw_mul)
+    ~soft_routine:false;
+  Core.Extract.case ~extension:Tie_lib.gf_ext "rs_gfmul" (Wutil.assemble b)
+
+let rs_gfmac () =
+  let b = create "rs_gfmac" in
+  emit_frame b
+    ~encode:(fun b -> emit_encode_scalar b ~mul:hw_mul)
+    ~syndromes:emit_syndromes_mac ~soft_routine:false;
+  Core.Extract.case ~extension:Tie_lib.gfmac_ext "rs_gfmac" (Wutil.assemble b)
+
+(* Packed 4-way encode: parity word in a10, generator packed in a5. *)
+let emit_encode_packed b =
+  let g = generator () in
+  let gpacked =
+    (g.(3) lsl 24) lor (g.(2) lsl 16) lor (g.(1) lsl 8) lor g.(0)
+  in
+  movi b a10 0;
+  movi b a3 message_length;
+  label b "enc4_loop";
+  l8ui b a7 a8 0;
+  s8i b a7 a9 0;
+  extui b a6 a10 24 8;
+  xor b a7 a7 a6;
+  slli b a6 a7 8;
+  or_ b a6 a6 a7;
+  slli b a5 a6 16;
+  or_ b a6 a6 a5;
+  movi b a5 gpacked;
+  custom b "gfmul4" ~dst:a4 [ a6; a5 ];
+  slli b a10 a10 8;
+  xor b a10 a10 a4;
+  addi b a8 a8 1;
+  addi b a9 a9 1;
+  addi b a3 a3 (-1);
+  bnez b a3 "enc4_loop";
+  extui b a5 a10 24 8;
+  s8i b a5 a9 0;
+  extui b a5 a10 16 8;
+  s8i b a5 a9 1;
+  extui b a5 a10 8 8;
+  s8i b a5 a9 2;
+  extui b a5 a10 0 8;
+  s8i b a5 a9 3
+
+let rs_gfmul4 () =
+  let b = create "rs_gfmul4" in
+  emit_frame b ~encode:emit_encode_packed ~syndromes:emit_syndromes_mac
+    ~soft_routine:false;
+  Core.Extract.case ~extension:Tie_lib.gf4_ext "rs_gfmul4" (Wutil.assemble b)
+
+let choices () = [ rs_soft (); rs_gfmul (); rs_gfmac (); rs_gfmul4 () ]

@@ -1,0 +1,47 @@
+(** Reed-Solomon encode + syndrome check with four custom-instruction
+    choices (the paper's Fig. 4 design-space study).
+
+    The application is fixed — systematic RS encoding of
+    [message_count] 16-byte messages over GF(2^8) with four parity
+    bytes, followed by computation of the four syndromes of each
+    codeword (all zero for an error-free codeword) — and is implemented
+    four ways:
+
+    - [rs_soft]: everything in base-ISA software (shift/xor GF multiply);
+    - [rs_gfmul]: GF multiplies through the [gfmul] custom instruction;
+    - [rs_gfmac]: [gfmul] for encoding plus the [gfmacc] custom-register
+      MAC for syndromes;
+    - [rs_gfmul4]: packed 4-way [gfmul4] encoding plus [gfmacc]
+      syndromes. *)
+
+val message_count : int
+
+val message_length : int
+
+val parity_count : int
+
+val generator : unit -> int array
+(** Generator-polynomial coefficients g0..g3 (g4 = 1 implicit). *)
+
+val messages : unit -> int array array
+
+val encode_reference : int array -> int array
+(** Host-side oracle: parity bytes p0..p3 for one message. *)
+
+val syndrome_reference : int array -> int array -> int array
+(** [syndrome_reference msg parity] — the four syndromes (all zero for a
+    correct encoding). *)
+
+val syndrome_result_address : int
+(** Per-message packed syndrome words are stored here by all variants. *)
+
+val rs_soft : unit -> Core.Extract.case
+
+val rs_gfmul : unit -> Core.Extract.case
+
+val rs_gfmac : unit -> Core.Extract.case
+
+val rs_gfmul4 : unit -> Core.Extract.case
+
+val choices : unit -> Core.Extract.case list
+(** The four variants in order. *)

@@ -1,0 +1,60 @@
+open Isa.Builder
+
+let element_count = 100
+
+let input_address = 0x11000
+
+let input_data () =
+  Array.map (fun w -> w land 0xffff) (Data.words ~seed:71 element_count)
+
+(* Insertion sort of [element_count] words, in place.
+   a8 = base, a4 = &a[i], a5 = key, a6 = scan pointer. *)
+let ins_sort () =
+  let b = create "ins_sort" in
+  Wutil.words_at b "arr" ~addr:input_address (input_data ());
+  label b "main";
+  movi b a8 input_address;
+  addi b a4 a8 4;
+  movi b a2 (element_count - 1);
+  label b "outer";
+  l32i b a5 a4 0;
+  mov b a6 a4;
+  label b "inner";
+  beq b a6 a8 "place";
+  l32i b a7 a6 (-4);
+  bge b a5 a7 "place";
+  s32i b a7 a6 0;
+  addi b a6 a6 (-4);
+  j b "inner";
+  label b "place";
+  s32i b a5 a6 0;
+  addi b a4 a4 4;
+  addi b a2 a2 (-1);
+  bnez b a2 "outer";
+  halt b;
+  Core.Extract.case "ins_sort" (Wutil.assemble b)
+
+(* Bubble sort with early exit; a9 = swapped flag. *)
+let bubsort () =
+  let b = create "bubsort" in
+  Wutil.words_at b "arr" ~addr:input_address (input_data ());
+  label b "main";
+  movi b a8 input_address;
+  label b "pass";
+  movi b a9 0;
+  mov b a4 a8;
+  movi b a2 (element_count - 1);
+  label b "scan";
+  l32i b a5 a4 0;
+  l32i b a6 a4 4;
+  bge b a6 a5 "noswap";
+  s32i b a6 a4 0;
+  s32i b a5 a4 4;
+  movi b a9 1;
+  label b "noswap";
+  addi b a4 a4 4;
+  addi b a2 a2 (-1);
+  bnez b a2 "scan";
+  bnez b a9 "pass";
+  halt b;
+  Core.Extract.case "bubsort" (Wutil.assemble b)

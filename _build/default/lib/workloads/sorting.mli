@@ -1,0 +1,16 @@
+(** Sorting benchmarks (Table II: Ins_sort, Bubsort). *)
+
+val element_count : int
+(** Elements sorted by both benchmarks. *)
+
+val input_address : int
+(** Data address of the in-place array (for test-suite inspection). *)
+
+val input_data : unit -> int array
+(** The unsorted input, identical for every run. *)
+
+val ins_sort : unit -> Core.Extract.case
+(** Insertion sort, base ISA only. *)
+
+val bubsort : unit -> Core.Extract.case
+(** Bubble sort, base ISA only. *)

@@ -1,0 +1,31 @@
+let characterization () = Characterization.suite ()
+
+let applications () =
+  [ Sorting.ins_sort ();
+    Math_apps.gcd ();
+    Graphics.alphablend ();
+    Math_apps.add4 ();
+    Sorting.bubsort ();
+    Crypto.des ();
+    Math_apps.accumulate ();
+    Graphics.drawline ();
+    Math_apps.multi_accumulate ();
+    Math_apps.seq_mult () ]
+
+let reed_solomon_choices () = Reed_solomon.choices ()
+
+let c_applications () =
+  List.map (fun (a : C_apps.capp) -> a.C_apps.case) (C_apps.all ())
+
+let all () =
+  characterization () @ applications () @ reed_solomon_choices ()
+  @ c_applications ()
+
+let find name =
+  match
+    List.find_opt (fun c -> c.Core.Extract.case_name = name) (all ())
+  with
+  | Some c -> c
+  | None -> raise Not_found
+
+let names () = List.map (fun c -> c.Core.Extract.case_name) (all ())

@@ -1,0 +1,22 @@
+(** Workload registry. *)
+
+val characterization : unit -> Core.Extract.case list
+(** The 25 characterization test programs. *)
+
+val applications : unit -> Core.Extract.case list
+(** The ten Table II application benchmarks, in the paper's order:
+    ins_sort, gcd, alphablend, add4, bubsort, des, accumulate, drawline,
+    multi_accumulate, seq_mult. *)
+
+val reed_solomon_choices : unit -> Core.Extract.case list
+(** The four Fig. 4 custom-instruction alternatives. *)
+
+val c_applications : unit -> Core.Extract.case list
+(** Applications compiled from Tiny-C sources ({!C_apps}). *)
+
+val all : unit -> Core.Extract.case list
+
+val find : string -> Core.Extract.case
+(** Look up any workload by name.  @raise Not_found. *)
+
+val names : unit -> string list

@@ -1,0 +1,223 @@
+open Isa.Builder
+
+type profile = {
+  p_arith : int;
+  p_mul : int;
+  p_shift : int;
+  p_load : int;
+  p_store : int;
+  p_branch : int;
+  p_jump : int;
+  p_custom : int;
+  iterations : int;
+  body_len : int;
+  straight_line : int;   (* extra un-looped instructions (icache pressure) *)
+  data_words : int;      (* random-access window (dcache pressure) *)
+  uncached : bool;
+}
+
+(* Sparse random mixes: each program is dominated by a few instruction
+   kinds.  Uniform mixes leave the design matrix badly conditioned -
+   every column scales together - whereas sparse ones give the
+   regression nearly-isolated views of each variable, which is what
+   "diversity in the instruction statistics" means in practice. *)
+let random_profile g =
+  let sparse w = if Prng.int g 3 = 0 then w else 0 in
+  { p_arith = 1 + sparse (2 + Prng.int g 10);
+    p_mul = sparse (2 + Prng.int g 8);
+    p_shift = sparse (2 + Prng.int g 8);
+    p_load = sparse (2 + Prng.int g 8);
+    p_store = sparse (2 + Prng.int g 8);
+    p_branch = sparse (2 + Prng.int g 8);
+    p_jump = sparse (1 + Prng.int g 5);
+    p_custom = 2 + Prng.int g 8;
+    iterations = 120 + Prng.int g 400;
+    body_len = 6 + Prng.int g 18;
+    straight_line = (if Prng.int g 5 = 0 then 5000 + Prng.int g 4000 else 0);
+    data_words = [| 512; 512; 2048; 6144; 12288 |].(Prng.int g 5);
+    uncached = Prng.int g 12 = 0 }
+
+let data_addr = 0x11000
+
+(* Register pool for random operands; a2 is the loop counter, a4 the
+   data base, a8/a9 stay free as codegen-style scratch. *)
+let pool = [| a5; a6; a7; a10; a11; a13; a14; a15 |]
+
+let pick g arr = arr.(Prng.int g (Array.length arr))
+
+let rand_off g profile = 4 * Prng.int g (profile.data_words - 1)
+
+let emit_random_instr g b profile ext_cats =
+  let weights =
+    [ (profile.p_arith, `Arith);
+      (profile.p_mul, `Mul);
+      (profile.p_shift, `Shift);
+      (profile.p_load, `Load);
+      (profile.p_store, `Store);
+      (profile.p_branch, `Branch);
+      (profile.p_jump, `Jump);
+      ((match ext_cats with `Cats [] -> 0 | _ -> profile.p_custom),
+       `Custom) ]
+  in
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weights in
+  let roll = Prng.int g (max 1 total) in
+  let rec choose acc = function
+    | [] -> `Arith
+    | (w, kind) :: rest -> if roll < acc + w then kind else choose (acc + w) rest
+  in
+  let d = pick g pool and s = pick g pool and t = pick g pool in
+  match choose 0 weights with
+  | `Arith -> (
+    match Prng.int g 8 with
+    | 0 -> add b d s t
+    | 1 -> sub b d s t
+    | 2 -> xor b d s t
+    | 3 -> and_ b d s t
+    | 4 -> or_ b d s t
+    | 5 -> addi b d s (Prng.int g 256 - 128)
+    | 6 -> max_ b d s t
+    | _ -> addx4 b d s t)
+  | `Mul -> (
+    match Prng.int g 3 with
+    | 0 -> mull b d s t
+    | 1 -> mul16u b d s t
+    | _ -> mul16s b d s t)
+  | `Shift -> (
+    match Prng.int g 4 with
+    | 0 -> slli b d s (Prng.int g 31)
+    | 1 -> srli b d s (Prng.int g 31)
+    | 2 -> srai b d s (Prng.int g 31)
+    | _ -> extui b d s (Prng.int g 16) (1 + Prng.int g 15))
+  | `Load -> (
+    match Prng.int g 3 with
+    | 0 -> l32i b d a4 (rand_off g profile)
+    | 1 -> l16ui b d a4 (rand_off g profile)
+    | _ -> l8ui b d a4 (rand_off g profile))
+  | `Store -> (
+    match Prng.int g 3 with
+    | 0 -> s32i b s a4 (rand_off g profile)
+    | 1 -> s16i b s a4 (rand_off g profile)
+    | _ -> s8i b s a4 (rand_off g profile))
+  | `Branch ->
+    (* A short forward branch over one filler instruction; a third are
+       always taken, a third never, a third data dependent. *)
+    let skip = fresh b "syn" in
+    (match Prng.int g 6 with
+     | 0 -> beq b s s skip          (* always taken *)
+     | 1 -> bne b s s skip          (* never taken *)
+     | 2 -> bgeu b s t skip
+     | 3 -> bbci b s (Prng.int g 32) skip
+     | 4 -> bgez b s skip
+     | _ -> blti b s (Prng.int g 64) skip);
+    add b d s t;
+    label b skip
+  | `Jump ->
+    (* An unconditional jump over a filler, or a call to the shared
+       leaf (both are jump-class instructions). *)
+    if Prng.int g 2 = 0 then begin
+      let over = fresh b "synj" in
+      j b over;
+      sub b d s t;
+      label b over
+    end
+    else call0 b "syn_leaf"
+  | `Custom -> (
+    match ext_cats with
+    | `Mix `Gf ->
+      (match Prng.int g 4 with
+       | 0 | 1 -> custom b "gfmul" ~dst:d [ s; t ]
+       | 2 -> custom b "gfmacc" ~imm:(1 + Prng.int g 254) [ s ]
+       | _ -> custom b "rdsyn" ~dst:d [])
+    | `Mix `Mac ->
+      (match Prng.int g 4 with
+       | 0 | 1 -> custom b "mac" [ s; t ]
+       | 2 -> custom b "rdacc" ~dst:d []
+       | _ -> custom b "clracc" [])
+    | `Cats cats -> (
+      let cat = List.nth cats (Prng.int g (List.length cats)) in
+      let cname = Tie_lib.coverage_insn_name cat in
+      match cat with
+      | Tie.Component.Custom_register ->
+        (match Prng.int g 3 with
+         | 0 -> custom b "xregw" [ s ]
+         | 1 -> custom b "xregbump" []
+         | _ -> custom b "xregr" ~dst:d [])
+      | Tie.Component.Tie_mac | Tie.Component.Tie_add
+      | Tie.Component.Tie_csa ->
+        custom b cname ~dst:d [ s; t; pick g pool ]
+      | Tie.Component.Table -> custom b cname ~dst:d [ s ]
+      | Tie.Component.Multiplier | Tie.Component.Adder
+      | Tie.Component.Logic | Tie.Component.Shifter
+      | Tie.Component.Tie_mult ->
+        custom b cname ~dst:d [ s; t ]))
+
+let next_category cat =
+  let cats = Tie.Component.all_categories in
+  let n = List.length cats in
+  let rec find i = function
+    | [] -> assert false
+    | c :: rest -> if c = cat then i else find (i + 1) rest
+  in
+  List.nth cats ((find 0 cats + 1) mod n)
+
+let generate_general ~seed ~flavour name =
+  let g = Prng.create seed in
+  let profile = random_profile g in
+  let extension, ext_cats =
+    match flavour with
+    | `Base -> (None, `Cats [])
+    | `Category cat ->
+      let companion = next_category cat in
+      ( Some (Tie_lib.coverage_pair cat companion),
+        `Cats [ cat; cat; cat; companion ] )
+    | `Mix `Gf -> (Some Tie_lib.gfmac_ext, `Mix `Gf)
+    | `Mix `Mac -> (Some Tie_lib.mac_ext, `Mix `Mac)
+  in
+  let b = create name in
+  (* Initialised data covers only the first 2 KB; wider windows read
+     zeroes beyond it, which is harmless. *)
+  Wutil.words_at b "sdata" ~addr:data_addr (Data.words ~seed:(seed * 7) 512);
+  label b "main";
+  movi b a4 data_addr;
+  Array.iter (fun r -> movi b r (Prng.int g 0xffff)) pool;
+  (* Straight-line prefix: instruction-cache pressure. *)
+  for _ = 1 to profile.straight_line do
+    emit_random_instr g b { profile with p_jump = 0; p_branch = 0 } ext_cats
+  done;
+  loop_n b ~cnt:a2 profile.iterations (fun () ->
+      for _ = 1 to profile.body_len do
+        emit_random_instr g b profile ext_cats
+      done);
+  halt b;
+  j b "syn_end";
+  label b "syn_leaf";
+  xor b a5 a5 a6;
+  ret b;
+  label b "syn_end";
+  let asm =
+    if profile.uncached then
+      let base = Sim.Config.default.Sim.Config.uncached_base in
+      Isa.Program.assemble ~code_base:base ~data_base:(base + 0x100000)
+        (seal b)
+    else Wutil.assemble b
+  in
+  Core.Extract.case ?extension name asm
+
+let generate ~seed ?category name =
+  match category with
+  | Some cat -> generate_general ~seed ~flavour:(`Category cat) name
+  | None -> generate_general ~seed ~flavour:`Base name
+
+let suite ?(count = 30) ~seed () =
+  let g = Prng.create seed in
+  let cats = Array.of_list Tie.Component.all_categories in
+  List.init count (fun i ->
+      let s = Prng.next g in
+      let name = Printf.sprintf "syn_%02d" i in
+      if i < Array.length cats then
+        generate_general ~seed:s ~flavour:(`Category cats.(i)) name
+      else if i = Array.length cats then
+        generate_general ~seed:s ~flavour:(`Mix `Gf) name
+      else if i = Array.length cats + 1 then
+        generate_general ~seed:s ~flavour:(`Mix `Mac) name
+      else generate_general ~seed:s ~flavour:`Base name)

@@ -1,0 +1,45 @@
+(** Random synthetic test programs.
+
+    The paper argues that in-situ regression characterization "only
+    requires that the test programs have diversity in their instruction
+    statistics so as to cover the instruction space.  Thus, arbitrary
+    test programs can be used."  This generator makes that claim
+    testable: it produces random programs whose class mix, memory
+    behaviour and custom-instruction usage are drawn from a seeded
+    distribution, and the harness characterizes the processor on them
+    instead of the hand-written suite. *)
+
+type profile = {
+  p_arith : int;        (** relative weight of ALU instructions *)
+  p_mul : int;
+  p_shift : int;
+  p_load : int;
+  p_store : int;
+  p_branch : int;
+  p_jump : int;         (** unconditional jumps and leaf calls *)
+  p_custom : int;       (** weight of custom instructions (if extended) *)
+  iterations : int;     (** outer loop count *)
+  body_len : int;       (** instructions per iteration *)
+  straight_line : int;  (** un-looped prefix (instruction-cache pressure) *)
+  data_words : int;     (** random-access window (data-cache pressure) *)
+  uncached : bool;      (** place the code in the uncached region *)
+}
+
+val random_profile : Prng.t -> profile
+(** Draw a random but well-formed profile. *)
+
+val generate :
+  seed:int ->
+  ?category:Tie.Component.category ->
+  string ->
+  Core.Extract.case
+(** [generate ~seed name] builds a random program from the seed's
+    profile.  With [category], the program additionally exercises that
+    coverage extension's custom instructions. *)
+
+val suite : ?count:int -> seed:int -> unit -> Core.Extract.case list
+(** A full random characterization suite: [count] (default 30) programs;
+    ten of them carry the ten coverage extensions (paired as in the
+    hand-written suite), two carry the multi-category extensions, the
+    rest are base-only.  Suitable as a drop-in replacement for
+    {!Characterization.suite}. *)

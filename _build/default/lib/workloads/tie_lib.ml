@@ -1,0 +1,263 @@
+open Tie.Expr
+
+let op = Tie.Spec.operand
+
+let table name data width = { Tie.Spec.tname = name; telem_width = width; tdata = data }
+
+let state name width init =
+  { Tie.Spec.sname = name; swidth = width; sinit = init }
+
+let compile_one ext_name ?states ?tables insns =
+  let spec =
+    { Tie.Spec.ext_name;
+      states = Option.value states ~default:[];
+      tables = Option.value tables ~default:[];
+      instructions = insns }
+  in
+  Tie.Compile.compile spec
+
+(* --- Coverage extensions ------------------------------------------------ *)
+
+let coverage_insn_name cat =
+  match cat with
+  | Tie.Component.Multiplier -> "xmul"
+  | Tie.Component.Adder -> "xadd"
+  | Tie.Component.Logic -> "xlog"
+  | Tie.Component.Shifter -> "xshl"
+  | Tie.Component.Custom_register -> "xregw"
+  | Tie.Component.Tie_mult -> "xtmul"
+  | Tie.Component.Tie_mac -> "xtmac"
+  | Tie.Component.Tie_add -> "xtadd"
+  | Tie.Component.Tie_csa -> "xtcsa"
+  | Tie.Component.Table -> "xtab"
+
+let identity_table = Array.init 256 (fun i -> (i * 167) land 0xff)
+
+(* Instructions, states and tables needed to exercise one category.
+   Datapaths deliberately instantiate several components of the target
+   category so the structural column dominates the instruction's energy,
+   sharpening the regression's view of that category. *)
+let cover_parts cat =
+  let i2 name result =
+    Tie.Spec.instruction name
+      ~ins:[ op "s" 32; op "t" 32 ]
+      ~result:(Some result)
+  in
+  let i3 name result =
+    Tie.Spec.instruction name
+      ~ins:[ op "s" 32; op "t" 32; op "u" 32 ]
+      ~result:(Some result)
+  in
+  match cat with
+  | Tie.Component.Multiplier ->
+    let m1 = Mul (Extract (Arg "s", 0, 16), Extract (Arg "t", 0, 16)) in
+    let m2 = Mul (Extract (Arg "s", 16, 16), Extract (Arg "t", 16, 16)) in
+    ([ i2 "xmul" (Xor (m1, m2)) ], [], [])
+  | Tie.Component.Adder ->
+    let a1 = Add (Arg "s", Arg "t") in
+    let a2 = Sub (Arg "s", Arg "t") in
+    let a3 = Add (a1, a2) in
+    ([ i2 "xadd" (Sub (a3, Arg "t")) ], [], [])
+  | Tie.Component.Logic ->
+    let x1 = And (Arg "s", Arg "t") in
+    let x2 = Or (Arg "s", Arg "t") in
+    let x3 = Xor (x1, x2) in
+    let x4 = Mux (Extract (Arg "s", 0, 1), x3, x2) in
+    let x5 = Xor (x4, Not (Arg "t")) in
+    let x6 = And (x5, Or (x3, Arg "s")) in
+    let x7 = Xor (x6, Mux (Extract (Arg "t", 1, 1), x5, x1)) in
+    ([ i2 "xlog" x7 ], [], [])
+  | Tie.Component.Shifter ->
+    let sh1 = Shl (Arg "s", Extract (Arg "t", 0, 5)) in
+    let sh2 = Shr (Arg "s", Extract (Arg "t", 8, 5)) in
+    ([ i2 "xshl" (Xor (sh1, sh2)) ], [], [])
+  | Tie.Component.Custom_register ->
+    (* xregbump updates state from state without touching the generic
+       register file, decoupling the custom-register column from the
+       regfile side-effect variable. *)
+    ( [ Tie.Spec.instruction "xregw"
+          ~ins:[ op "s" 32 ]
+          ~result:None
+          ~updates:[ ("xr", Arg "s") ];
+        Tie.Spec.instruction "xregr" ~ins:[] ~result:(Some (State "xr"));
+        Tie.Spec.instruction "xregbump" ~ins:[] ~result:None
+          ~updates:[ ("xr", Xor (State "xr", Const (0x5a5a_5a5a, 32))) ] ],
+      [ state "xr" 32 0 ],
+      [] )
+  | Tie.Component.Tie_mult ->
+    let m1 = Tie_mult (Extract (Arg "s", 0, 16), Extract (Arg "t", 0, 16)) in
+    let m2 = Tie_mult (Extract (Arg "s", 16, 16), Extract (Arg "t", 16, 16)) in
+    ([ i2 "xtmul" (Xor (m1, m2)) ], [], [])
+  | Tie.Component.Tie_mac ->
+    let mac1 =
+      Tie_mac
+        ( Extract (Arg "s", 0, 15),
+          Extract (Arg "t", 0, 15),
+          Extract (Arg "u", 0, 30) )
+    in
+    let mac2 =
+      Tie_mac
+        ( Extract (Arg "t", 0, 15),
+          Extract (Arg "s", 16, 15),
+          Extract (Arg "u", 2, 30) )
+    in
+    ([ i3 "xtmac" (Xor (Extract (mac1, 0, 31), Extract (mac2, 0, 31))) ], [], [])
+  | Tie.Component.Tie_add ->
+    let t1 = Tie_add (Arg "s", Arg "t", Arg "u") in
+    let t2 = Tie_add (Arg "t", Arg "u", Arg "s") in
+    let t3 = Tie_add (Extract (t1, 0, 32), Extract (t2, 0, 32), Arg "s") in
+    ([ i3 "xtadd" (Extract (t3, 0, 32)) ], [], [])
+  | Tie.Component.Tie_csa ->
+    let c1 = Tie_csa (Arg "s", Arg "t", Arg "u") in
+    let c2 = Tie_csa (Arg "t", Arg "u", Arg "s") in
+    let c3 = Tie_csa (Extract (c1, 0, 32), Extract (c2, 0, 32), Arg "t") in
+    let c4 = Tie_csa (Extract (c3, 0, 32), Arg "s", Arg "u") in
+    ([ i3 "xtcsa" (Extract (c4, 0, 32)) ], [], [])
+  | Tie.Component.Table ->
+    let lane i = Table ("xt", Extract (Arg "s", 8 * i, 8)) in
+    let packed = Concat (lane 3, Concat (lane 2, Concat (lane 1, lane 0))) in
+    ( [ Tie.Spec.instruction "xtab"
+          ~ins:[ op "s" 32 ]
+          ~result:(Some packed) ],
+      [],
+      [ table "xt" identity_table 8 ] )
+
+let coverage cat =
+  let insns, states, tables = cover_parts cat in
+  compile_one
+    ("cover_" ^ coverage_insn_name cat)
+    ~states ~tables insns
+
+let coverage_pair cat_a cat_b =
+  let ia, sa, ta = cover_parts cat_a in
+  let ib, sb, tb = cover_parts cat_b in
+  compile_one
+    ("cover_" ^ coverage_insn_name cat_a ^ "_" ^ coverage_insn_name cat_b)
+    ~states:(sa @ sb) ~tables:(ta @ tb) (ia @ ib)
+
+(* --- Application extensions --------------------------------------------- *)
+
+let mac_ext =
+  compile_one "mac"
+    ~states:[ state "acc" 32 0 ]
+    [ Tie.Spec.instruction "mac"
+        ~ins:[ op "s" 32; op "t" 32 ]
+        ~result:None
+        ~updates:
+          [ ( "acc",
+              Extract
+                ( Tie_mac
+                    ( Extract (Arg "s", 0, 16),
+                      Extract (Arg "t", 0, 16),
+                      State "acc" ),
+                  0,
+                  32 ) ) ];
+      Tie.Spec.instruction "rdacc" ~ins:[]
+        ~result:(Some (State "acc"));
+      Tie.Spec.instruction "clracc" ~ins:[] ~result:None
+        ~updates:[ ("acc", Const (0, 32)) ] ]
+
+let byte e i = Extract (e, 8 * i, 8)
+
+let concat4 b3 b2 b1 b0 = Concat (b3, Concat (b2, Concat (b1, b0)))
+
+let add4_ext =
+  let lane i =
+    Extract (Add (byte (Arg "s") i, byte (Arg "t") i), 0, 8)
+  in
+  compile_one "add4"
+    [ Tie.Spec.instruction "add4"
+        ~ins:[ op "s" 32; op "t" 32 ]
+        ~result:(Some (concat4 (lane 3) (lane 2) (lane 1) (lane 0))) ]
+
+let blend_ext =
+  let alpha = Arg "alpha" in
+  let widen1 e = Concat (Const (0, 1), e) in
+  let blended =
+    Extract
+      ( Add
+          ( widen1 (Mul (byte (Arg "s") 0, alpha)),
+            widen1
+              (Mul (byte (Arg "t") 0, Extract (Sub (Const (255, 9), alpha), 0, 8)))
+          ),
+        8,
+        8 )
+  in
+  compile_one "blend"
+    [ Tie.Spec.instruction "blend"
+        ~ins:[ op "s" 32; op "t" 32; op ~kind:Tie.Spec.Imm "alpha" 8 ]
+        ~result:(Some blended) ]
+
+let des_ext =
+  let lane i = Table ("sbox", byte (Arg "s") i) in
+  compile_one "des"
+    ~tables:[ table "sbox" Data.des_sbox 8 ]
+    [ Tie.Spec.instruction "desf"
+        ~ins:[ op "s" 32; op "t" 32 ]
+        ~result:
+          (Some (Xor (Arg "t", concat4 (lane 3) (lane 2) (lane 1) (lane 0))))
+    ]
+
+let gf_tables =
+  [ table "gflog" (Array.sub Data.Gf.log_table 0 256) 8;
+    table "gfalog" Data.Gf.alog_table 8 ]
+
+(* Zero-extend an expression by one bit so additions keep their carry
+   (the width of [Add] is the max operand width, as in hardware). *)
+let widen1 e = Concat (Const (0, 1), e)
+
+let gfmul_expr a b =
+  (* alog[log a + log b], gated to zero when either operand is zero; the
+     512-entry alog table absorbs the mod-255 wrap. *)
+  let la = Table ("gflog", a) in
+  let lb = Table ("gflog", b) in
+  let prod = Table ("gfalog", Add (widen1 la, widen1 lb)) in
+  let nza = Reduce (Ror, a) in
+  let nzb = Reduce (Ror, b) in
+  Mux (And (nza, nzb), prod, Const (0, 8))
+
+let gfmul_insn =
+  Tie.Spec.instruction "gfmul"
+    ~ins:[ op "s" 8; op "t" 8 ]
+    ~result:(Some (gfmul_expr (Arg "s") (Arg "t")))
+
+let gfmac_insns =
+  [ Tie.Spec.instruction "gfmacc"
+      ~ins:[ op "s" 8; op ~kind:Tie.Spec.Imm "c" 8 ]
+      ~result:None
+      ~updates:[ ("syn", Xor (gfmul_expr (State "syn") (Arg "c"), Arg "s")) ];
+    Tie.Spec.instruction "rdsyn" ~ins:[] ~result:(Some (State "syn"));
+    Tie.Spec.instruction "clrsyn" ~ins:[] ~result:None
+      ~updates:[ ("syn", Const (0, 8)) ] ]
+
+let gf_ext = compile_one "gf" ~tables:gf_tables [ gfmul_insn ]
+
+let gfmac_ext =
+  compile_one "gfmac"
+    ~states:[ state "syn" 8 0 ]
+    ~tables:gf_tables
+    (gfmul_insn :: gfmac_insns)
+
+let gf4_ext =
+  let lane i = gfmul_expr (byte (Arg "s") i) (byte (Arg "t") i) in
+  let gfmul4 =
+    Tie.Spec.instruction "gfmul4"
+      ~ins:[ op "s" 32; op "t" 32 ]
+      ~result:(Some (concat4 (lane 3) (lane 2) (lane 1) (lane 0)))
+  in
+  compile_one "gf4"
+    ~states:[ state "syn" 8 0 ]
+    ~tables:gf_tables
+    (gfmul4 :: gfmac_insns)
+
+let named_extensions =
+  [ ("mac", mac_ext); ("add4", add4_ext); ("blend", blend_ext);
+    ("des", des_ext); ("gf", gf_ext); ("gfmac", gfmac_ext);
+    ("gf4", gf4_ext) ]
+  @ List.map
+      (fun cat -> ("cover_" ^ coverage_insn_name cat, coverage cat))
+      Tie.Component.all_categories
+
+let by_name name = List.assoc_opt name named_extensions
+
+let extension_names = List.map fst named_extensions

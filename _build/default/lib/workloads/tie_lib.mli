@@ -1,0 +1,67 @@
+(** Custom-instruction extensions used by the workload suite.
+
+    Ten single-category "coverage" extensions exercise each custom
+    hardware library component in isolation (for characterization), and
+    application extensions implement the custom instructions of the
+    Table II benchmarks and the Reed-Solomon design-space choices. *)
+
+val coverage : Tie.Component.category -> Tie.Compile.compiled
+(** An extension with one instruction whose datapath activates (almost)
+    only the given category:
+    - [Multiplier]: [xmul d, s, t]
+    - [Adder]: [xadd d, s, t]
+    - [Logic]: [xlog d, s, t]
+    - [Shifter]: [xshl d, s, t]
+    - [Custom_register]: [xregw s] / [xregr d]
+    - [Tie_mult]: [xtmul d, s, t]
+    - [Tie_mac]: [xtmac d, s, t, u]
+    - [Tie_add]: [xtadd d, s, t, u]
+    - [Tie_csa]: [xtcsa d, s, t, u]
+    - [Table]: [xtab d, s] *)
+
+val coverage_insn_name : Tie.Component.category -> string
+(** Mnemonic (without the [tie.] prefix) of the main coverage
+    instruction. *)
+
+val coverage_pair :
+  Tie.Component.category -> Tie.Component.category -> Tie.Compile.compiled
+(** An extension with the coverage instructions of two categories, used
+    by the characterization suite to give every structural column
+    linearly independent appearances across test programs. *)
+
+val mac_ext : Tie.Compile.compiled
+(** 40-bit multiply-accumulate: [mac s, t] accumulates, [rdacc d] reads
+    the low word, [clracc] clears. *)
+
+val add4_ext : Tie.Compile.compiled
+(** [add4 d, s, t]: four independent byte-lane additions (packed). *)
+
+val blend_ext : Tie.Compile.compiled
+(** [blend d, s, t, alpha]: 8-bit alpha blend
+    (s*alpha + t*(255-alpha)) >> 8. *)
+
+val des_ext : Tie.Compile.compiled
+(** [desf d, s, t]: Feistel-style round helper — four S-box lookups on
+    the bytes of [s], XORed against [t]. *)
+
+val gf_ext : Tie.Compile.compiled
+(** [gfmul d, s, t]: GF(2^8) multiply via log/antilog tables. *)
+
+val gfmac_ext : Tie.Compile.compiled
+(** [gfmul] plus GF multiply-accumulate with a custom syndrome register:
+    [gfmacc s, c] performs syn <- gfmul(syn, c) xor s; [rdsyn d];
+    [clrsyn]. *)
+
+val gf4_ext : Tie.Compile.compiled
+(** [gfmul4 d, s, t] (four parallel GF(2^8) multiplies on packed bytes)
+    plus the [gfmacc]/[rdsyn]/[clrsyn] syndrome instructions. *)
+
+val gfmul_expr : Tie.Expr.t -> Tie.Expr.t -> Tie.Expr.t
+(** The GF(2^8) multiply datapath over two 8-bit expressions (exported
+    for reuse and for the TIE-compiler tests). *)
+
+val by_name : string -> Tie.Compile.compiled option
+(** Look up an application extension by name: "mac", "add4", "blend",
+    "des", "gf", "gfmac", "gf4", or "cover_<category>". *)
+
+val extension_names : string list

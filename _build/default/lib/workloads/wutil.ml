@@ -1,0 +1,11 @@
+let words_at b name ~addr ws =
+  let bytes = Array.make (4 * Array.length ws) 0 in
+  Array.iteri
+    (fun i w ->
+      for k = 0 to 3 do
+        bytes.((4 * i) + k) <- (w lsr (8 * k)) land 0xff
+      done)
+    ws;
+  Isa.Builder.bytes_at b name ~addr bytes
+
+let assemble b = Isa.Program.assemble (Isa.Builder.seal b)

@@ -1,0 +1,7 @@
+(** Shared helpers for workload construction. *)
+
+val words_at : Isa.Builder.t -> string -> addr:int -> int array -> unit
+(** Place an array of 32-bit words at a fixed data address. *)
+
+val assemble : Isa.Builder.t -> Isa.Program.asm
+(** Seal and assemble with default bases. *)

@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Array Cc Core Format Isa List Power QCheck QCheck_alcotest Sim Workloads

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Filename Float Isa List Printf Sim Sys Tie Workloads

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Format Isa List Power QCheck QCheck_alcotest Sim Tie Workloads

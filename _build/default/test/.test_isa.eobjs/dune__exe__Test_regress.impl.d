@@ -1,0 +1,1 @@
+test/test_regress.ml: Alcotest Array Float QCheck QCheck_alcotest Regress Workloads

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int32 Isa List QCheck QCheck_alcotest Sim Workloads

@@ -1,0 +1,1 @@
+test/test_tie.ml: Alcotest List Option QCheck QCheck_alcotest Tie Workloads

@@ -1,0 +1,306 @@
+(* Tests for the macro-model core: variables, resource-usage analysis,
+   profile extraction, the template and the characterization flow. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* --- Variables ------------------------------------------------------------ *)
+
+let test_variable_layout () =
+  check Alcotest.int "twenty-one variables" 21 Core.Variables.count;
+  List.iteri
+    (fun i id ->
+      check Alcotest.int (Core.Variables.name id) i (Core.Variables.index id);
+      check Alcotest.bool "of_index round trip" true
+        (Core.Variables.of_index i = id))
+    Core.Variables.all;
+  check Alcotest.int "ten structural variables" 10
+    (List.length (List.filter Core.Variables.is_structural Core.Variables.all));
+  match Core.Variables.of_index 21 with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "out-of-range index accepted"
+
+let test_variable_names_unique () =
+  let names = List.map Core.Variables.name Core.Variables.all in
+  check Alcotest.int "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+(* --- Resource usage analysis ---------------------------------------------- *)
+
+let mk_case ?extension build =
+  let b = Isa.Builder.create "t" in
+  Isa.Builder.label b "main";
+  build b;
+  Isa.Builder.halt b;
+  Core.Extract.case ?extension "t" (Isa.Program.assemble (Isa.Builder.seal b))
+
+let test_resource_counts_active_cycles () =
+  let open Isa.Builder in
+  let ext = Workloads.Tie_lib.gf_ext in
+  let c =
+    mk_case ~extension:ext (fun b ->
+        movi b a2 7;
+        movi b a3 9;
+        custom b "gfmul" ~dst:a4 [ a2; a3 ];
+        custom b "gfmul" ~dst:a5 [ a3; a2 ])
+  in
+  let res = Core.Resource.create c.Core.Extract.extension in
+  let _ =
+    Sim.Cpu.run_program ?extension:c.Core.Extract.extension
+      ~observers:[ Core.Resource.observer res ]
+      c.Core.Extract.asm
+  in
+  (* gfmul activates tables, an adder and logic for its full latency. *)
+  check Alcotest.bool "tables active" true
+    (Core.Resource.total_for res Tie.Component.Table > 0.0);
+  check Alcotest.bool "adder active" true
+    (Core.Resource.total_for res Tie.Component.Adder > 0.0);
+  check (Alcotest.float 1e-9) "no multiplier in this extension" 0.0
+    (Core.Resource.total_for res Tie.Component.Multiplier)
+
+let test_resource_idle_weight () =
+  let open Isa.Builder in
+  (* Base-only code under an installed extension: only the bus-facing
+     idle contribution can appear. *)
+  let ext = Workloads.Tie_lib.coverage Tie.Component.Adder in
+  let build b =
+    movi b a2 1;
+    movi b a3 2;
+    add b a4 a2 a3;
+    add b a5 a4 a2
+  in
+  let run_with w =
+    let c = mk_case ~extension:ext build in
+    let res = Core.Resource.create ~idle_weight:w c.Core.Extract.extension in
+    let _ =
+      Sim.Cpu.run_program ?extension:c.Core.Extract.extension
+        ~observers:[ Core.Resource.observer res ]
+        c.Core.Extract.asm
+    in
+    Core.Resource.total_for res Tie.Component.Adder
+  in
+  check (Alcotest.float 1e-9) "zero weight, zero idle usage" 0.0
+    (run_with 0.0);
+  let x1 = run_with 0.1 and x2 = run_with 0.2 in
+  check (Alcotest.float 1e-9) "idle usage scales with the weight" (2.0 *. x1)
+    x2
+
+(* --- Extract -------------------------------------------------------------- *)
+
+let test_profile_variables () =
+  let open Isa.Builder in
+  let c =
+    mk_case (fun b ->
+        movi b a2 0x11000;
+        l32i b a3 a2 0;
+        s32i b a3 a2 4;
+        loop_n b ~cnt:a4 5 (fun () -> addi b a5 a5 1))
+  in
+  let p = Core.Extract.profile c in
+  let v id = Core.Extract.variable p id in
+  check Alcotest.bool "arith cycles counted" true
+    (v Core.Variables.Arith > 5.0);
+  check (Alcotest.float 1e-9) "one load" 1.0 (v Core.Variables.Load);
+  check (Alcotest.float 1e-9) "one store" 1.0 (v Core.Variables.Store);
+  check (Alcotest.float 1e-9) "four taken branches"
+    (4.0 *. float_of_int (1 + Sim.Config.default.Sim.Config.branch_taken_penalty))
+    (v Core.Variables.Branch_taken);
+  check Alcotest.bool "cycles recorded" true (p.Core.Extract.cycles > 0);
+  check Alcotest.bool "halted" true
+    (p.Core.Extract.outcome = Sim.Cpu.Halted)
+
+(* --- Template -------------------------------------------------------------- *)
+
+let test_template_energy () =
+  let coeffs = Array.make Core.Variables.count 0.0 in
+  coeffs.(Core.Variables.index Core.Variables.Arith) <- 10.0;
+  coeffs.(Core.Variables.index Core.Variables.Load) <- 100.0;
+  let model = Core.Template.make coeffs in
+  let vars = Array.make Core.Variables.count 0.0 in
+  vars.(Core.Variables.index Core.Variables.Arith) <- 5.0;
+  vars.(Core.Variables.index Core.Variables.Load) <- 2.0;
+  check (Alcotest.float 1e-9) "dot product" 250.0
+    (Core.Template.energy model vars);
+  match Core.Template.make [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "wrong-size coefficient vector accepted"
+
+let test_template_save_load () =
+  let g = Workloads.Prng.create 11 in
+  let coeffs =
+    Array.init Core.Variables.count (fun _ ->
+        float_of_int (Workloads.Prng.int g 100000) /. 100.0)
+  in
+  let model = Core.Template.make coeffs in
+  let path = Filename.temp_file "coeffs" ".txt" in
+  Core.Template.save path model;
+  let loaded = Core.Template.load path in
+  Sys.remove path;
+  List.iter
+    (fun id ->
+      check (Alcotest.float 1e-4)
+        (Core.Variables.name id)
+        (Core.Template.coefficient model id)
+        (Core.Template.coefficient loaded id))
+    Core.Variables.all
+
+(* --- Characterization on a small synthetic suite --------------------------- *)
+
+let small_suite () =
+  let open Isa.Builder in
+  [ mk_case (fun b ->
+        movi b a2 1;
+        loop_n b ~cnt:a3 60 (fun () ->
+            add b a4 a2 a3;
+            xor b a5 a4 a2));
+    mk_case (fun b ->
+        movi b a2 0x11000;
+        loop_n b ~cnt:a3 60 (fun () ->
+            l32i b a4 a2 0;
+            s32i b a4 a2 4));
+    mk_case (fun b ->
+        movi b a2 1;
+        movi b a3 2;
+        let out = fresh b "out" in
+        loop_n b ~cnt:a4 60 (fun () ->
+            beq b a2 a3 out;
+            addi b a5 a5 1);
+        label b out);
+    mk_case (fun b ->
+        movi b a1 0x80000;
+        loop_n b ~cnt:a2 30 (fun () -> call0 b "leaf");
+        j b "over";
+        label b "leaf";
+        addi b a4 a4 1;
+        ret b;
+        label b "over");
+    mk_case (fun b ->
+        movi b a2 0x11000;
+        loop_n b ~cnt:a3 40 (fun () ->
+            l32i b a4 a2 0;
+            addi b a5 a4 1;
+            mull b a6 a5 a5));
+    mk_case (fun b ->
+        movi b a2 3;
+        loop_n b ~cnt:a3 80 (fun () ->
+            slli b a4 a2 2;
+            srli b a5 a4 1));
+    mk_case (fun b ->
+        movi b a2 0x11000;
+        loop_n b ~cnt:a3 100 (fun () ->
+            s32i b a3 a2 0;
+            addi b a2 a2 4));
+    mk_case (fun b ->
+        movi b a2 0x30000;
+        loop_n b ~cnt:a3 30 (fun () ->
+            l32i b a4 a2 0;
+            addmi b a2 a2 16));
+    mk_case (fun b ->
+        loop_n b ~cnt:a3 120 (fun () ->
+            addi b a4 a4 7;
+            sub b a5 a4 a3));
+    mk_case (fun b ->
+        movi b a2 0x11000;
+        loop_n b ~cnt:a3 50 (fun () ->
+            l32i b a4 a2 0;
+            addi b a5 a4 1;     (* load-use interlock *)
+            nop b));
+    mk_case (fun b ->
+        movi b a2 9;
+        movi b a3 9;
+        let out = fresh b "out2" in
+        loop_n b ~cnt:a4 70 (fun () ->
+            bne b a2 a3 out;      (* 9 = 9: untaken *)
+            bltu b a2 a3 out);    (* 9 < 9: untaken *)
+        label b out) ]
+
+let test_characterize_small () =
+  let fit = Core.Characterize.run (small_suite ()) in
+  if fit.Core.Characterize.rms_percent >= 15.0 then
+    fail
+      (Printf.sprintf "poor fit: rms %.2f%%" fit.Core.Characterize.rms_percent);
+  Array.iter
+    (fun c ->
+      if c < 0.0 then fail "negative coefficient from NNLS")
+    fit.Core.Characterize.model.Core.Template.coefficients;
+  check Alcotest.int "one sample per program" 11
+    (List.length fit.Core.Characterize.samples)
+
+let test_characterize_requires_samples () =
+  match Core.Characterize.fit_samples [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "empty sample list accepted"
+
+let test_estimate_consistency () =
+  (* Applying the model to a profile must equal the dot product. *)
+  let fit = Core.Characterize.run (small_suite ()) in
+  let model = fit.Core.Characterize.model in
+  let c = List.hd (small_suite ()) in
+  let prof = Core.Extract.profile c in
+  let est = Core.Estimate.of_profile model prof in
+  check (Alcotest.float 1e-6) "estimate = template energy"
+    (Core.Template.energy model prof.Core.Extract.variables)
+    est.Core.Estimate.energy_pj;
+  check (Alcotest.float 1e-9) "uj conversion"
+    (est.Core.Estimate.energy_pj /. 1.0e6)
+    est.Core.Estimate.energy_uj
+
+let test_evaluate_table () =
+  let fit = Core.Characterize.run (small_suite ()) in
+  let table =
+    Core.Evaluate.compare_cases fit.Core.Characterize.model (small_suite ())
+  in
+  check Alcotest.int "row per case" 11 (List.length table.Core.Evaluate.rows);
+  check Alcotest.bool "self-evaluation errors small" true
+    (table.Core.Evaluate.max_abs_error < 15.0);
+  check Alcotest.bool "correlation strong" true
+    (Core.Evaluate.correlation table > 0.99)
+
+let test_cross_validation () =
+  let samples = Core.Characterize.collect (small_suite ()) in
+  let errs = Core.Characterize.cross_validate samples in
+  check Alcotest.int "one error per sample" (List.length samples)
+    (Array.length errs);
+  (* The small suite is redundant enough that held-out prediction works. *)
+  check Alcotest.bool "finite errors" true
+    (Array.for_all (fun e -> Float.is_finite e) errs)
+
+let test_timing_measures_both_paths () =
+  let fit = Core.Characterize.run (small_suite ()) in
+  let t =
+    Core.Evaluate.time_case ~repeats:1 fit.Core.Characterize.model
+      (List.hd (small_suite ()))
+  in
+  check Alcotest.bool "macro path measured" true
+    (t.Core.Evaluate.macro_seconds >= 0.0);
+  check Alcotest.bool "reference slower than macro" true
+    (t.Core.Evaluate.reference_seconds > t.Core.Evaluate.macro_seconds)
+
+let () =
+  Alcotest.run "core"
+    [ ( "variables",
+        [ Alcotest.test_case "layout" `Quick test_variable_layout;
+          Alcotest.test_case "unique names" `Quick
+            test_variable_names_unique ] );
+      ( "resource",
+        [ Alcotest.test_case "active cycles" `Quick
+            test_resource_counts_active_cycles;
+          Alcotest.test_case "idle weight" `Quick test_resource_idle_weight ]
+      );
+      ( "extract",
+        [ Alcotest.test_case "profile variables" `Quick
+            test_profile_variables ] );
+      ( "template",
+        [ Alcotest.test_case "energy" `Quick test_template_energy;
+          Alcotest.test_case "save/load" `Quick test_template_save_load ] );
+      ( "characterize",
+        [ Alcotest.test_case "small suite" `Quick test_characterize_small;
+          Alcotest.test_case "empty suite rejected" `Quick
+            test_characterize_requires_samples;
+          Alcotest.test_case "estimate consistency" `Quick
+            test_estimate_consistency;
+          Alcotest.test_case "evaluation table" `Quick test_evaluate_table;
+          Alcotest.test_case "cross validation" `Quick
+            test_cross_validation;
+          Alcotest.test_case "timing" `Quick
+            test_timing_measures_both_paths ] ) ]

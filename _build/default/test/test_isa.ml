@@ -1,0 +1,452 @@
+(* Tests for the base ISA: registers, instructions, encodings, the
+   assembler and the textual parser. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let instr_testable =
+  Alcotest.testable
+    (fun ppf i -> Isa.Instr.pp ppf i)
+    (fun a b -> a = b)
+
+(* --- Reg ----------------------------------------------------------------- *)
+
+let test_reg_bounds () =
+  check Alcotest.int "index of a0" 0 (Isa.Reg.index (Isa.Reg.a 0));
+  check Alcotest.int "index of a15" 15 (Isa.Reg.index (Isa.Reg.a 15));
+  check Alcotest.int "sixteen registers" 16 (List.length Isa.Reg.all);
+  Alcotest.check_raises "a16 rejected"
+    (Invalid_argument "Reg.a: index out of range") (fun () ->
+      ignore (Isa.Reg.a 16));
+  Alcotest.check_raises "a(-1) rejected"
+    (Invalid_argument "Reg.a: index out of range") (fun () ->
+      ignore (Isa.Reg.a (-1)))
+
+let test_reg_names () =
+  check Alcotest.string "a7 prints" "a7" (Isa.Reg.to_string (Isa.Reg.a 7));
+  check Alcotest.bool "equal" true (Isa.Reg.equal (Isa.Reg.a 3) (Isa.Reg.a 3));
+  check Alcotest.bool "distinct" false
+    (Isa.Reg.equal (Isa.Reg.a 3) (Isa.Reg.a 4))
+
+(* --- Instr --------------------------------------------------------------- *)
+
+let r = Isa.Reg.a
+
+let sample_of_every_class =
+  [ (Isa.Instr.Binop (Isa.Instr.Add, r 1, r 2, r 3), Isa.Instr.Arith_class);
+    (Isa.Instr.Load (Isa.Instr.L32i, r 1, r 2, 4), Isa.Instr.Load_class);
+    (Isa.Instr.L32r (r 1, "lit"), Isa.Instr.Load_class);
+    (Isa.Instr.Store (Isa.Instr.S8i, r 1, r 2, 0), Isa.Instr.Store_class);
+    (Isa.Instr.J "x", Isa.Instr.Jump_class);
+    (Isa.Instr.Ret, Isa.Instr.Jump_class);
+    (Isa.Instr.Branchz (Isa.Instr.Beqz, r 1, "x"), Isa.Instr.Branch_class);
+    ( Isa.Instr.Custom { cname = "foo"; dst = None; srcs = []; cimm = None },
+      Isa.Instr.Custom_class ) ]
+
+let test_classes () =
+  List.iter
+    (fun (i, c) ->
+      check Alcotest.bool
+        (Format.asprintf "%a is %a" Isa.Instr.pp i Isa.Instr.pp_clazz c)
+        true
+        (Isa.Instr.class_of i = c))
+    sample_of_every_class
+
+let test_opcode_count () =
+  check Alcotest.int "about eighty base opcodes" 88 Isa.Instr.opcode_count
+
+let test_defs_uses () =
+  let open Isa.Instr in
+  check Alcotest.bool "add defs d" true
+    (defs (Binop (Add, r 1, r 2, r 3)) = [ r 1 ]);
+  check Alcotest.bool "add uses s,t" true
+    (uses (Binop (Add, r 1, r 2, r 3)) = [ r 2; r 3 ]);
+  check Alcotest.bool "store defs nothing" true
+    (defs (Store (S32i, r 1, r 2, 0)) = []);
+  check Alcotest.bool "store uses value and base" true
+    (List.sort compare (uses (Store (S32i, r 1, r 2, 0)))
+     = List.sort compare [ r 1; r 2 ]);
+  check Alcotest.bool "call8 defs a8" true (defs (Call8 "f") = [ r 8 ]);
+  check Alcotest.bool "retw uses a0" true (uses Retw = [ r 0 ]);
+  check Alcotest.bool "cmov reads its destination" true
+    (List.mem (r 1) (uses (Cmov (Moveqz, r 1, r 2, r 3))));
+  check Alcotest.bool "custom dst" true
+    (defs (Custom { cname = "x"; dst = Some (r 5); srcs = [ r 6 ];
+                    cimm = None })
+     = [ r 5 ])
+
+let test_branch_target () =
+  let open Isa.Instr in
+  check Alcotest.bool "branch has target" true
+    (branch_target (Branch2 (Beq, r 1, r 2, "lbl")) = Some "lbl");
+  check Alcotest.bool "jx has no label target" true
+    (branch_target (Jx (r 3)) = None);
+  check Alcotest.bool "l32r targets its literal" true
+    (branch_target (L32r (r 1, "pool")) = Some "pool")
+
+(* --- Encoding ------------------------------------------------------------ *)
+
+(* One instruction per base mnemonic, for exhaustive encoding checks. *)
+let one_of_each () =
+  let open Isa.Instr in
+  List.map (fun op -> Binop (op, r 1, r 2, r 3)) all_binops
+  @ List.map (fun op -> Unop (op, r 1, r 2)) all_unops
+  @ [ Sext (r 1, r 2, 7) ]
+  @ List.map (fun op -> Cmov (op, r 1, r 2, r 3)) all_cmovs
+  @ [ Addi (r 1, r 2, 5); Addmi (r 1, r 2, 2); Movi (r 1, 42);
+      Mov (r 1, r 2); Extui (r 1, r 2, 3, 8);
+      Slli (r 1, r 2, 3); Srli (r 1, r 2, 3); Srai (r 1, r 2, 3);
+      Sll (r 1, r 2); Srl (r 1, r 2); Sra (r 1, r 2); Src (r 1, r 2, r 3);
+      Ssai 5; Ssl (r 2); Ssr (r 2);
+      Load (L8ui, r 1, r 2, 0); Load (L16si, r 1, r 2, 0);
+      Load (L16ui, r 1, r 2, 0); Load (L32i, r 1, r 2, 0);
+      L32r (r 1, "x");
+      Store (S8i, r 1, r 2, 0); Store (S16i, r 1, r 2, 0);
+      Store (S32i, r 1, r 2, 0) ]
+  @ List.map (fun c -> Branch2 (c, r 1, r 2, "x")) all_bcond2
+  @ List.map (fun c -> Branchi (c, r 1, 3, "x")) all_bcondi
+  @ List.map (fun c -> Branchz (c, r 1, "x")) all_bcondz
+  @ [ Bbit (false, r 1, r 2, "x"); Bbit (true, r 1, r 2, "x");
+      Bbiti (false, r 1, 3, "x"); Bbiti (true, r 1, 3, "x");
+      J "x"; Jx (r 1); Call0 "x"; Callx0 (r 1); Call8 "x"; Callx8 (r 1);
+      Ret; Retw; Entry (r 1, 16); Nop; Memw; Extw; Isync; Break ]
+
+let test_opcode_ids_unique () =
+  let instrs = one_of_each () in
+  check Alcotest.int "sample covers the whole base ISA"
+    Isa.Instr.opcode_count (List.length instrs);
+  let ids = List.map Isa.Encoding.opcode_id instrs in
+  let sorted = List.sort_uniq compare ids in
+  check Alcotest.int "opcode ids are unique" (List.length instrs)
+    (List.length sorted);
+  List.iter
+    (fun id ->
+      if id < 0 || id > 127 then fail "opcode id outside 7 bits")
+    ids
+
+let test_encoding_fits_24_bits () =
+  List.iter
+    (fun i ->
+      let w = Isa.Encoding.encode ~pc:0x2000 ~target:(Some 0x2040) i in
+      if w < 0 || w > 0xff_ffff then
+        fail (Format.asprintf "%a encodes outside 24 bits" Isa.Instr.pp i))
+    (one_of_each ())
+
+let test_encoding_fields_matter () =
+  let open Isa.Instr in
+  let e i = Isa.Encoding.encode ~pc:0 ~target:None i in
+  if e (Binop (Add, r 1, r 2, r 3)) = e (Binop (Add, r 4, r 2, r 3)) then
+    fail "destination register not encoded";
+  if e (Movi (r 1, 5)) = e (Movi (r 1, 6)) then
+    fail "immediate not encoded"
+
+let test_word_bytes () =
+  let b0, b1, b2 = Isa.Encoding.word_bytes 0x123456 in
+  check Alcotest.int "byte 0" 0x56 b0;
+  check Alcotest.int "byte 1" 0x34 b1;
+  check Alcotest.int "byte 2" 0x12 b2
+
+(* --- Parser round trip --------------------------------------------------- *)
+
+let gen_reg = QCheck.Gen.map r (QCheck.Gen.int_range 0 15)
+
+let gen_label = QCheck.Gen.oneofl [ "loop"; "exit"; "body"; "l1" ]
+
+let gen_instr : Isa.Instr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Isa.Instr in
+  frequency
+    [ ( 4,
+        map3
+          (fun op d (s, t) -> Binop (op, d, s, t))
+          (oneofl all_binops) gen_reg (pair gen_reg gen_reg) );
+      (2, map2 (fun op (d, s) -> Unop (op, d, s)) (oneofl all_unops)
+           (pair gen_reg gen_reg));
+      (2, map3 (fun d s n -> Addi (d, s, n)) gen_reg gen_reg
+           (int_range (-128) 127));
+      (1, map2 (fun d n -> Movi (d, n)) gen_reg (int_range (-2048) 2047));
+      (2, map3 (fun d s n -> Slli (d, s, n)) gen_reg gen_reg (int_range 0 31));
+      ( 2,
+        map3
+          (fun op (d, b) off -> Load (op, d, b, off))
+          (oneofl [ L8ui; L16si; L16ui; L32i ])
+          (pair gen_reg gen_reg) (int_range 0 60) );
+      ( 2,
+        map3
+          (fun op (v, b) off -> Store (op, v, b, off))
+          (oneofl [ S8i; S16i; S32i ])
+          (pair gen_reg gen_reg) (int_range 0 60) );
+      ( 2,
+        map3
+          (fun c (s, t) l -> Branch2 (c, s, t, l))
+          (oneofl all_bcond2) (pair gen_reg gen_reg) gen_label );
+      ( 2,
+        map3
+          (fun c s l -> Branchz (c, s, l))
+          (oneofl all_bcondz) gen_reg gen_label );
+      (1, map (fun l -> J l) gen_label);
+      (1, map (fun s -> Jx s) gen_reg);
+      (1, map (fun s -> Callx8 s) gen_reg);
+      (1, return Nop);
+      (1, return Ret);
+      ( 1,
+        map3
+          (fun d (s, t) imm ->
+            Custom
+              { cname = "mac"; dst = Some d; srcs = [ s; t ];
+                cimm = Some imm })
+          gen_reg (pair gen_reg gen_reg) (int_range 0 255) ) ]
+
+let arb_instr = QCheck.make ~print:Isa.Instr.to_string gen_instr
+
+let parse_roundtrip =
+  QCheck.Test.make ~name:"print/parse round trip" ~count:500 arb_instr
+    (fun i ->
+      let text =
+        match i with
+        | Isa.Instr.Custom _ -> "tie." ^ Isa.Instr.to_string i
+        | _ -> Isa.Instr.to_string i
+      in
+      match Isa.Asm_parser.parse_line 1 text with
+      | [ Isa.Program.Insn j ] -> i = j
+      | _ -> false)
+
+let test_parse_label_and_insn () =
+  match Isa.Asm_parser.parse_line 1 "start: addi a1, a2, -4" with
+  | [ Isa.Program.Label "start"; Isa.Program.Insn i ] ->
+    check instr_testable "instruction"
+      (Isa.Instr.Addi (r 1, r 2, -4)) i
+  | _ -> fail "expected label + instruction"
+
+let test_parse_errors () =
+  let expect_error text =
+    match Isa.Asm_parser.parse_line 1 text with
+    | exception Isa.Asm_parser.Parse_error _ -> ()
+    | _ -> fail ("parser accepted " ^ text)
+  in
+  expect_error "frobnicate a1, a2";
+  expect_error "add a1, a2";
+  expect_error "movi 12, a1";
+  expect_error "beq a1, a2"
+
+let test_parse_program () =
+  let src =
+    "# a tiny program\n\
+     main:\n\
+    \  movi a2, 3\n\
+     loop:\n\
+    \  addi a2, a2, -1\n\
+    \  bnez a2, loop\n\
+    \  break\n\
+     .words tbl 17 42\n\
+     .lit k 291\n"
+  in
+  let p = Isa.Asm_parser.parse_string ~name:"tiny" src in
+  check Alcotest.int "four instructions" 4 (Isa.Program.instruction_count p);
+  check Alcotest.int "one literal" 1 (List.length p.Isa.Program.literals);
+  check Alcotest.int "one data block" 1 (List.length p.Isa.Program.data)
+
+let test_parse_lit_addr_directive () =
+  let src =
+    "main:\n\
+    \  l32r a2, target_ptr\n\
+    \  jx a2\n\
+     target:\n\
+    \  break\n\
+     .lit_addr target_ptr target\n"
+  in
+  let p = Isa.Asm_parser.parse_string ~name:"ind" src in
+  let asm = Isa.Program.assemble p in
+  let pool = Isa.Program.symbol asm "target_ptr" in
+  let target = Isa.Program.symbol asm "target" in
+  let stored =
+    List.find_map
+      (fun (addr, data) ->
+        if addr = pool then
+          Some
+            (data.(0) lor (data.(1) lsl 8) lor (data.(2) lsl 16)
+             lor (data.(3) lsl 24))
+        else None)
+      asm.Isa.Program.image
+  in
+  check (Alcotest.option Alcotest.int) "directive resolves the address"
+    (Some target) stored
+
+let test_parse_directive_errors () =
+  let expect src =
+    match Isa.Asm_parser.parse_string ~name:"bad" src with
+    | exception Isa.Asm_parser.Parse_error _ -> ()
+    | _ -> fail ("parser accepted directive " ^ src)
+  in
+  expect ".frobnicate x 1\n";
+  expect ".lit onlyname\n";
+  expect ".words t 1 two 3\n"
+
+(* --- Assembler ----------------------------------------------------------- *)
+
+let tiny_program () =
+  let open Isa.Builder in
+  let b = create "tiny" in
+  label b "main";
+  movi b a2 5;
+  label b "loop";
+  addi b a2 a2 (-1);
+  bnez b a2 "loop";
+  l32r b a3 "konst";
+  halt b;
+  lit b "konst" 0xdeadbeef;
+  words b "data" [| 1; 2; 3 |];
+  seal b
+
+let test_assemble_layout () =
+  let asm = Isa.Program.assemble (tiny_program ()) in
+  check Alcotest.int "entry at main" Isa.Program.default_code_base
+    asm.Isa.Program.entry;
+  check Alcotest.int "loop label"
+    (Isa.Program.default_code_base + 3)
+    (Isa.Program.symbol asm "loop");
+  let pool = Isa.Program.symbol asm "konst" in
+  check Alcotest.bool "literal pool after code" true
+    (pool >= Isa.Program.default_code_base + (5 * 3));
+  check Alcotest.int "pool word aligned" 0 (pool mod 4);
+  let data = Isa.Program.symbol asm "data" in
+  check Alcotest.bool "data in the data region" true
+    (data >= Isa.Program.default_data_base)
+
+let test_assemble_slots () =
+  let asm = Isa.Program.assemble (tiny_program ()) in
+  (match Isa.Program.slot_at asm (Isa.Program.default_code_base + 6) with
+   | Some s ->
+     check Alcotest.bool "bnez resolved to loop" true
+       (s.Isa.Program.target = Some (Isa.Program.symbol asm "loop"))
+   | None -> fail "slot expected");
+  check Alcotest.bool "unaligned address has no slot" true
+    (Isa.Program.slot_at asm (Isa.Program.default_code_base + 1) = None);
+  check Alcotest.bool "address past code has no slot" true
+    (Isa.Program.slot_at asm (Isa.Program.default_code_base + 3000) = None)
+
+let test_assemble_image_literal () =
+  let asm = Isa.Program.assemble (tiny_program ()) in
+  let pool = Isa.Program.symbol asm "konst" in
+  let bytes =
+    List.find_map
+      (fun (addr, data) -> if addr = pool then Some data else None)
+      asm.Isa.Program.image
+  in
+  match bytes with
+  | Some [| 0xef; 0xbe; 0xad; 0xde |] -> ()
+  | Some _ -> fail "little-endian literal expected"
+  | None -> fail "literal bytes missing from image"
+
+let test_assemble_errors () =
+  let open Isa.Builder in
+  let dup =
+    let b = create "dup" in
+    label b "x";
+    nop b;
+    label b "x";
+    halt b;
+    seal b
+  in
+  (match Isa.Program.assemble dup with
+   | exception Isa.Program.Assembly_error _ -> ()
+   | _ -> fail "duplicate label accepted");
+  let undef =
+    let b = create "undef" in
+    j b "nowhere";
+    seal b
+  in
+  (match Isa.Program.assemble undef with
+   | exception Isa.Program.Assembly_error _ -> ()
+   | _ -> fail "undefined label accepted");
+  let overlap =
+    let b = create "overlap" in
+    label b "main";
+    nop b;
+    halt b;
+    bytes_at b "bad" ~addr:Isa.Program.default_code_base [| 1; 2; 3; 4 |];
+    seal b
+  in
+  match Isa.Program.assemble overlap with
+  | exception Isa.Program.Assembly_error _ -> ()
+  | _ -> fail "data overlapping code accepted"
+
+let test_lit_addr () =
+  let open Isa.Builder in
+  let b = create "lit_addr" in
+  label b "main";
+  l32r b a2 "target_ptr";
+  jx b a2;
+  label b "target";
+  halt b;
+  lit_addr b "target_ptr" "target";
+  let asm = Isa.Program.assemble (seal b) in
+  let pool = Isa.Program.symbol asm "target_ptr" in
+  let target = Isa.Program.symbol asm "target" in
+  let stored =
+    List.find_map
+      (fun (addr, data) ->
+        if addr = pool then
+          Some (data.(0) lor (data.(1) lsl 8) lor (data.(2) lsl 16)
+                lor (data.(3) lsl 24))
+        else None)
+      asm.Isa.Program.image
+  in
+  check (Alcotest.option Alcotest.int) "literal holds target address"
+    (Some target) stored
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_listing () =
+  let asm = Isa.Program.assemble (tiny_program ()) in
+  let text = Format.asprintf "%a" Isa.Program.pp_listing asm in
+  List.iter
+    (fun needle ->
+      if not (contains_substring text needle) then
+        fail ("listing misses " ^ needle))
+    [ "main:"; "loop:"; "movi a2, 5"; "-> loop"; ".word 0xdeadbeef" ]
+
+let () =
+  Alcotest.run "isa"
+    [ ( "reg",
+        [ Alcotest.test_case "bounds" `Quick test_reg_bounds;
+          Alcotest.test_case "names" `Quick test_reg_names ] );
+      ( "instr",
+        [ Alcotest.test_case "classes" `Quick test_classes;
+          Alcotest.test_case "opcode count" `Quick test_opcode_count;
+          Alcotest.test_case "defs/uses" `Quick test_defs_uses;
+          Alcotest.test_case "branch target" `Quick test_branch_target ] );
+      ( "encoding",
+        [ Alcotest.test_case "unique opcode ids" `Quick
+            test_opcode_ids_unique;
+          Alcotest.test_case "24-bit words" `Quick
+            test_encoding_fits_24_bits;
+          Alcotest.test_case "fields encoded" `Quick
+            test_encoding_fields_matter;
+          Alcotest.test_case "word bytes" `Quick test_word_bytes ] );
+      ( "parser",
+        [ QCheck_alcotest.to_alcotest parse_roundtrip;
+          Alcotest.test_case "label + instruction" `Quick
+            test_parse_label_and_insn;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "program with directives" `Quick
+            test_parse_program;
+          Alcotest.test_case "lit_addr directive" `Quick
+            test_parse_lit_addr_directive;
+          Alcotest.test_case "directive errors" `Quick
+            test_parse_directive_errors ] );
+      ( "assembler",
+        [ Alcotest.test_case "layout" `Quick test_assemble_layout;
+          Alcotest.test_case "slots" `Quick test_assemble_slots;
+          Alcotest.test_case "literal image" `Quick
+            test_assemble_image_literal;
+          Alcotest.test_case "errors" `Quick test_assemble_errors;
+          Alcotest.test_case "address literals" `Quick test_lit_addr;
+          Alcotest.test_case "listing" `Quick test_listing ] ) ]

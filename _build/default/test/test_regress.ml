@@ -1,0 +1,209 @@
+(* Tests for the regression library: matrices, least squares (QR, normal
+   equations, NNLS) and error statistics. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let float_eps = Alcotest.float 1e-6
+
+(* --- Matrix -------------------------------------------------------------- *)
+
+let m_of = Regress.Matrix.of_rows
+
+let test_matrix_basics () =
+  let m = m_of [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  check Alcotest.int "rows" 3 (Regress.Matrix.rows m);
+  check Alcotest.int "cols" 2 (Regress.Matrix.cols m);
+  check float_eps "get" 4.0 (Regress.Matrix.get m 1 1);
+  let t = Regress.Matrix.transpose m in
+  check Alcotest.int "transpose rows" 2 (Regress.Matrix.rows t);
+  check float_eps "transpose entry" 6.0 (Regress.Matrix.get t 1 2)
+
+let test_matrix_mul () =
+  let a = m_of [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let i = Regress.Matrix.identity 2 in
+  let ai = Regress.Matrix.mul a i in
+  check float_eps "A*I = A" (Regress.Matrix.get a 1 0)
+    (Regress.Matrix.get ai 1 0);
+  let b = m_of [| [| 5.0 |]; [| 6.0 |] |] in
+  let ab = Regress.Matrix.mul a b in
+  check float_eps "product" 17.0 (Regress.Matrix.get ab 0 0);
+  check float_eps "product" 39.0 (Regress.Matrix.get ab 1 0);
+  match Regress.Matrix.mul b a with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "dimension mismatch accepted"
+
+let test_matrix_vec () =
+  let a = m_of [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let v = Regress.Matrix.mul_vec a [| 10.0; 20.0 |] in
+  check float_eps "row 0" 50.0 v.(0);
+  check float_eps "row 1" 110.0 v.(1)
+
+let test_matrix_ragged () =
+  match m_of [| [| 1.0 |]; [| 1.0; 2.0 |] |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "ragged rows accepted"
+
+let qcheck_transpose_involution =
+  QCheck.Test.make ~name:"transpose is an involution" ~count:100
+    QCheck.(
+      pair (int_range 1 6) (int_range 1 6))
+    (fun (r, c) ->
+      let g = Workloads.Prng.create (r + (c * 17)) in
+      let m =
+        m_of
+          (Array.init r (fun _ ->
+               Array.init c (fun _ ->
+                   float_of_int (Workloads.Prng.int g 1000) /. 10.0)))
+      in
+      let tt = Regress.Matrix.transpose (Regress.Matrix.transpose m) in
+      let ok = ref true in
+      for i = 0 to r - 1 do
+        for j = 0 to c - 1 do
+          if Regress.Matrix.get m i j <> Regress.Matrix.get tt i j then
+            ok := false
+        done
+      done;
+      !ok)
+
+(* --- Least squares -------------------------------------------------------- *)
+
+let random_system ~seed ~rows ~cols =
+  let g = Workloads.Prng.create seed in
+  let x =
+    m_of
+      (Array.init rows (fun _ ->
+           Array.init cols (fun _ ->
+               1.0 +. (float_of_int (Workloads.Prng.int g 1000) /. 100.0))))
+  in
+  let c_true =
+    Array.init cols (fun _ ->
+        float_of_int (1 + Workloads.Prng.int g 400) /. 4.0)
+  in
+  (x, c_true, Regress.Lsq.predict x c_true)
+
+let close a b = Float.abs (a -. b) < 1e-6 *. (1.0 +. Float.abs b)
+
+let qcheck_qr_recovers_coefficients =
+  QCheck.Test.make ~name:"QR recovers exact coefficients" ~count:60
+    QCheck.(pair (int_range 1 8) (int_bound 10_000))
+    (fun (cols, seed) ->
+      let rows = cols + 4 in
+      let x, c_true, e = random_system ~seed ~rows ~cols in
+      let c = Regress.Lsq.solve_qr x e in
+      Array.for_all2 close c c_true)
+
+let qcheck_qr_matches_normal_equations =
+  QCheck.Test.make ~name:"QR and pseudo-inverse agree" ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let x, _, e = random_system ~seed ~rows:9 ~cols:4 in
+      let a = Regress.Lsq.solve_qr x e in
+      let b = Regress.Lsq.solve_normal x e in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-5) a b)
+
+let test_qr_rank_deficient () =
+  (* Two identical columns: rank deficient. *)
+  let x = m_of [| [| 1.0; 1.0 |]; [| 2.0; 2.0 |]; [| 3.0; 3.0 |] |] in
+  match Regress.Lsq.solve_qr x [| 2.0; 4.0; 6.0 |] with
+  | exception Regress.Lsq.Singular -> ()
+  | _ -> fail "singular system accepted"
+
+let test_solve_falls_back_on_ridge () =
+  let x = m_of [| [| 1.0; 1.0 |]; [| 2.0; 2.0 |]; [| 3.0; 3.0 |] |] in
+  let c = Regress.Lsq.solve x [| 2.0; 4.0; 6.0 |] in
+  (* The damped solution splits the weight across the twin columns. *)
+  let fitted = Regress.Lsq.predict x c in
+  check Alcotest.bool "ridge fallback still fits" true
+    (Float.abs (fitted.(0) -. 2.0) < 0.01)
+
+let qcheck_nnls_nonnegative =
+  QCheck.Test.make ~name:"NNLS never returns negatives" ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let g = Workloads.Prng.create seed in
+      let rows = 10 and cols = 4 in
+      let x =
+        m_of
+          (Array.init rows (fun _ ->
+               Array.init cols (fun _ ->
+                   float_of_int (Workloads.Prng.int g 100) /. 10.0)))
+      in
+      let e =
+        Array.init rows (fun _ ->
+            float_of_int (Workloads.Prng.int g 2000) -. 1000.0)
+      in
+      let c = Regress.Lsq.solve ~nonnegative:true x e in
+      Array.for_all (fun v -> v >= 0.0) c)
+
+let qcheck_nnls_matches_unconstrained_when_positive =
+  QCheck.Test.make
+    ~name:"NNLS equals QR when the free solution is positive" ~count:40
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let x, c_true, e = random_system ~seed ~rows:10 ~cols:4 in
+      ignore c_true;
+      let free = Regress.Lsq.solve_qr x e in
+      if Array.for_all (fun v -> v > 0.0) free then
+        let nn = Regress.Lsq.solve ~nonnegative:true x e in
+        Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-4) free nn
+      else QCheck.assume_fail ())
+
+let test_residuals () =
+  let x = m_of [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let r = Regress.Lsq.residuals x [| 2.0; 3.0 |] [| 1.0; 1.0 |] in
+  check float_eps "residual 0" 1.0 r.(0);
+  check float_eps "residual 1" 2.0 r.(1)
+
+(* --- Stats ---------------------------------------------------------------- *)
+
+let test_stats () =
+  let v = [| 3.0; -4.0 |] in
+  check float_eps "mean" (-0.5) (Regress.Stats.mean v);
+  check float_eps "rms" (sqrt 12.5) (Regress.Stats.rms v);
+  check float_eps "max abs" 4.0 (Regress.Stats.max_abs v);
+  let predicted = [| 110.0; 90.0 |] and actual = [| 100.0; 100.0 |] in
+  let errs = Regress.Stats.percent_errors ~predicted ~actual in
+  check float_eps "+10%" 10.0 errs.(0);
+  check float_eps "-10%" (-10.0) errs.(1);
+  check float_eps "mean abs percent" 10.0
+    (Regress.Stats.mean_abs_percent ~predicted ~actual)
+
+let test_correlation () =
+  let x = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let y = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check float_eps "perfect correlation" 1.0 (Regress.Stats.correlation x y);
+  let z = [| 40.0; 30.0; 20.0; 10.0 |] in
+  check float_eps "anti-correlation" (-1.0) (Regress.Stats.correlation x z)
+
+let test_r_squared () =
+  let actual = [| 1.0; 2.0; 3.0 |] in
+  check float_eps "perfect fit" 1.0
+    (Regress.Stats.r_squared ~predicted:actual ~actual);
+  let bad = [| 2.0; 2.0; 2.0 |] in
+  check Alcotest.bool "bad fit below 1" true
+    (Regress.Stats.r_squared ~predicted:bad ~actual < 1.0)
+
+let () =
+  Alcotest.run "regress"
+    [ ( "matrix",
+        [ Alcotest.test_case "basics" `Quick test_matrix_basics;
+          Alcotest.test_case "multiplication" `Quick test_matrix_mul;
+          Alcotest.test_case "matrix-vector" `Quick test_matrix_vec;
+          Alcotest.test_case "ragged input" `Quick test_matrix_ragged;
+          QCheck_alcotest.to_alcotest qcheck_transpose_involution ] );
+      ( "lsq",
+        [ QCheck_alcotest.to_alcotest qcheck_qr_recovers_coefficients;
+          QCheck_alcotest.to_alcotest qcheck_qr_matches_normal_equations;
+          Alcotest.test_case "rank deficiency detected" `Quick
+            test_qr_rank_deficient;
+          Alcotest.test_case "ridge fallback" `Quick
+            test_solve_falls_back_on_ridge;
+          QCheck_alcotest.to_alcotest qcheck_nnls_nonnegative;
+          QCheck_alcotest.to_alcotest
+            qcheck_nnls_matches_unconstrained_when_positive;
+          Alcotest.test_case "residuals" `Quick test_residuals ] );
+      ( "stats",
+        [ Alcotest.test_case "basics" `Quick test_stats;
+          Alcotest.test_case "correlation" `Quick test_correlation;
+          Alcotest.test_case "r squared" `Quick test_r_squared ] ) ]

@@ -1,0 +1,670 @@
+(* Tests for the instruction-set simulator: memory, caches, the windowed
+   register file and the CPU's instruction semantics, cycle accounting
+   and event stream. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* --- Memory -------------------------------------------------------------- *)
+
+let test_memory_roundtrip () =
+  let m = Sim.Memory.create () in
+  Sim.Memory.store32 m 0x1000 0xdeadbeef;
+  check Alcotest.int "word" 0xdeadbeef (Sim.Memory.load32 m 0x1000);
+  check Alcotest.int "low byte" 0xef (Sim.Memory.load8 m 0x1000);
+  check Alcotest.int "half" 0xbeef (Sim.Memory.load16 m 0x1000);
+  Sim.Memory.store8 m 0x1003 0x11;
+  check Alcotest.int "byte patch" 0x11adbeef (Sim.Memory.load32 m 0x1000);
+  check Alcotest.int "cold memory reads zero" 0 (Sim.Memory.load32 m 0x9000)
+
+let test_memory_alignment () =
+  let m = Sim.Memory.create () in
+  (match Sim.Memory.load32 m 0x1002 with
+   | exception Invalid_argument _ -> ()
+   | _ -> fail "misaligned load accepted");
+  match Sim.Memory.store16 m 0x1001 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "misaligned store accepted"
+
+let test_memory_page_crossing () =
+  let m = Sim.Memory.create () in
+  Sim.Memory.store32 m 0xffc 0x12345678;
+  check Alcotest.int "straddles pages" 0x12345678 (Sim.Memory.load32 m 0xffc)
+
+let qcheck_memory =
+  QCheck.Test.make ~name:"store32/load32 round trip" ~count:200
+    QCheck.(pair (int_bound 0xfffff) (int_bound 0xffffffff))
+    (fun (addr, v) ->
+      let addr = addr land lnot 3 in
+      let m = Sim.Memory.create () in
+      Sim.Memory.store32 m addr v;
+      Sim.Memory.load32 m addr = v land 0xffffffff)
+
+(* --- Cache --------------------------------------------------------------- *)
+
+let small_cache =
+  { Sim.Config.size_bytes = 256; ways = 2; line_bytes = 32; miss_penalty = 10 }
+
+let test_cache_basics () =
+  let c = Sim.Cache.create small_cache in
+  check Alcotest.int "4 sets" 4 (Sim.Cache.sets c);
+  check Alcotest.bool "first access misses" true
+    (Sim.Cache.access c 0x100 = Sim.Cache.Miss);
+  check Alcotest.bool "second access hits" true
+    (Sim.Cache.access c 0x100 = Sim.Cache.Hit);
+  check Alcotest.bool "same line hits" true
+    (Sim.Cache.access c 0x11f = Sim.Cache.Hit);
+  check Alcotest.bool "next line misses" true
+    (Sim.Cache.access c 0x120 = Sim.Cache.Miss);
+  let st = Sim.Cache.stats c in
+  check Alcotest.int "accesses" 4 st.Sim.Cache.accesses;
+  check Alcotest.int "hits" 2 st.Sim.Cache.hits;
+  check Alcotest.int "misses" 2 st.Sim.Cache.misses
+
+let test_cache_lru () =
+  let c = Sim.Cache.create small_cache in
+  (* Set stride = 4 sets * 32B = 128B; these three addresses map to the
+     same 2-way set, so the third evicts the least recently used. *)
+  ignore (Sim.Cache.access c 0x000);
+  ignore (Sim.Cache.access c 0x080);
+  ignore (Sim.Cache.access c 0x000);   (* touch: 0x080 becomes LRU *)
+  ignore (Sim.Cache.access c 0x100);   (* evicts 0x080 *)
+  check Alcotest.bool "recently used line survives" true
+    (Sim.Cache.resident c 0x000);
+  check Alcotest.bool "LRU line evicted" false (Sim.Cache.resident c 0x080);
+  check Alcotest.bool "new line resident" true (Sim.Cache.resident c 0x100)
+
+let test_cache_reset () =
+  let c = Sim.Cache.create small_cache in
+  ignore (Sim.Cache.access c 0x40);
+  Sim.Cache.reset c;
+  check Alcotest.bool "flushed" false (Sim.Cache.resident c 0x40);
+  check Alcotest.int "stats cleared" 0 (Sim.Cache.stats c).Sim.Cache.accesses
+
+let qcheck_cache_resident_after_access =
+  QCheck.Test.make ~name:"address is resident right after access" ~count:200
+    QCheck.(small_list (int_bound 0xffff))
+    (fun addrs ->
+      let c = Sim.Cache.create small_cache in
+      List.for_all
+        (fun a ->
+          ignore (Sim.Cache.access c a);
+          Sim.Cache.resident c a)
+        addrs)
+
+let test_way_tags () =
+  let c = Sim.Cache.create small_cache in
+  ignore (Sim.Cache.access c 0x000);
+  let tags = Sim.Cache.way_tags c 0x000 in
+  check Alcotest.int "two ways" 2 (Array.length tags);
+  check Alcotest.bool "installed tag present" true (Array.exists (( = ) 0) tags)
+
+(* --- Regfile ------------------------------------------------------------- *)
+
+let test_regfile_window () =
+  let rf = Sim.Regfile.create () in
+  Sim.Regfile.write rf (Isa.Reg.a 8) 42;
+  ignore (Sim.Regfile.push_window rf);
+  (* After +8 rotation the caller's a8 is the callee's a0. *)
+  check Alcotest.int "a8 becomes a0" 42 (Sim.Regfile.read rf (Isa.Reg.a 0));
+  Sim.Regfile.write rf (Isa.Reg.a 0) 43;   (* callee's a0 aliases it *)
+  ignore (Sim.Regfile.pop_window rf);
+  check Alcotest.int "caller sees the aliased write" 43
+    (Sim.Regfile.read rf (Isa.Reg.a 8))
+
+let test_regfile_spill_refill () =
+  let rf = Sim.Regfile.create () in
+  (* Mark the base frame, then push deep enough to force spills. *)
+  Sim.Regfile.write rf (Isa.Reg.a 2) 1234;
+  let spills = ref 0 in
+  for _ = 1 to 9 do
+    if Sim.Regfile.push_window rf then incr spills
+  done;
+  check Alcotest.bool "deep call stack spilled" true (!spills > 0);
+  let refills = ref 0 in
+  for _ = 1 to 9 do
+    if Sim.Regfile.pop_window rf then incr refills
+  done;
+  check Alcotest.int "spills were refilled" !spills !refills;
+  check Alcotest.int "base frame value restored" 1234
+    (Sim.Regfile.read rf (Isa.Reg.a 2))
+
+let qcheck_regfile_lifo =
+  QCheck.Test.make ~name:"window values survive any LIFO call depth"
+    ~count:100
+    QCheck.(int_range 1 20)
+    (fun depth ->
+      let rf = Sim.Regfile.create () in
+      (* Each frame writes a distinctive value into its a4. *)
+      let rec descend d =
+        Sim.Regfile.write rf (Isa.Reg.a 4) (1000 + d);
+        let inner_ok =
+          if d < depth then begin
+            ignore (Sim.Regfile.push_window rf);
+            let ok = descend (d + 1) in
+            ignore (Sim.Regfile.pop_window rf);
+            ok
+          end
+          else true
+        in
+        inner_ok && Sim.Regfile.read rf (Isa.Reg.a 4) = 1000 + d
+      in
+      descend 0)
+
+(* --- CPU semantics ------------------------------------------------------- *)
+
+let run_asm ?config ?extension build =
+  let b = Isa.Builder.create "t" in
+  Isa.Builder.label b "main";
+  build b;
+  Isa.Builder.halt b;
+  let asm = Isa.Program.assemble (Isa.Builder.seal b) in
+  let cpu, outcome = Sim.Cpu.run_program ?config ?extension asm in
+  (match outcome with
+   | Sim.Cpu.Halted -> ()
+   | Sim.Cpu.Watchdog -> fail "program hit the watchdog");
+  cpu
+
+let reg cpu n = Sim.Cpu.reg cpu (Isa.Reg.a n)
+
+let test_alu_semantics () =
+  let open Isa.Builder in
+  let cpu =
+    run_asm (fun b ->
+        movi b a2 7;
+        movi b a3 (-3);
+        add b a4 a2 a3;           (* 4 *)
+        sub b a5 a3 a2;           (* -10 *)
+        mull b a6 a2 a2;          (* 49 *)
+        abs_ b a7 a3;             (* 3 *)
+        min_ b a8 a2 a3;          (* -3 *)
+        maxu b a9 a2 a3;          (* unsigned max = 0xfffffffd *)
+        addx4 b a10 a2 a2;        (* 7*4+7 = 35 *)
+        nsau b a11 a2)            (* clz(7) = 29 *)
+  in
+  check Alcotest.int "add" 4 (reg cpu 4);
+  check Alcotest.int "sub" 0xfffffff6 (reg cpu 5);
+  check Alcotest.int "mull" 49 (reg cpu 6);
+  check Alcotest.int "abs" 3 (reg cpu 7);
+  check Alcotest.int "min signed" 0xfffffffd (reg cpu 8);
+  check Alcotest.int "maxu" 0xfffffffd (reg cpu 9);
+  check Alcotest.int "addx4" 35 (reg cpu 10);
+  check Alcotest.int "nsau" 29 (reg cpu 11)
+
+let test_mul16_and_sext () =
+  let open Isa.Builder in
+  let cpu =
+    run_asm (fun b ->
+        movi b a2 0xffff;          (* -1 as 16-bit *)
+        movi b a3 5;
+        mul16s b a4 a2 a3;         (* -5 *)
+        mul16u b a5 a2 a3;         (* 0x4fffb *)
+        sext b a6 a2 7)            (* 0xffffffff *)
+  in
+  check Alcotest.int "mul16s" 0xfffffffb (reg cpu 4);
+  check Alcotest.int "mul16u" (0xffff * 5) (reg cpu 5);
+  check Alcotest.int "sext" 0xffffffff (reg cpu 6)
+
+let test_shift_semantics () =
+  let open Isa.Builder in
+  let cpu =
+    run_asm (fun b ->
+        movi b a2 0x80000001;
+        slli b a3 a2 4;           (* 0x10 *)
+        srli b a4 a2 28;          (* 8 *)
+        srai b a5 a2 28;          (* 0xfffffff8 *)
+        ssai b 8;
+        srl b a6 a2;              (* 0x00800000 *)
+        movi b a7 0xf0;
+        ssr b a7;                 (* sar = 0x10 land 31 = 16 *)
+        sll b a8 a2;              (* 0x00010000 *)
+        extui b a9 a2 28 4)       (* 8 *)
+  in
+  check Alcotest.int "slli" 0x10 (reg cpu 3);
+  check Alcotest.int "srli" 8 (reg cpu 4);
+  check Alcotest.int "srai" 0xfffffff8 (reg cpu 5);
+  check Alcotest.int "srl via sar" 0x00800000 (reg cpu 6);
+  check Alcotest.int "sll via sar" 0x00010000 (reg cpu 8);
+  check Alcotest.int "extui" 8 (reg cpu 9)
+
+let test_memory_instructions () =
+  let open Isa.Builder in
+  let cpu =
+    run_asm (fun b ->
+        movi b a2 0x11000;
+        movi b a3 0x8765;
+        s16i b a3 a2 0;
+        l16si b a4 a2 0;          (* sign extended: 0xffff8765 *)
+        l16ui b a5 a2 0;          (* 0x8765 *)
+        movi b a6 0xfe;
+        s8i b a6 a2 4;
+        l8ui b a7 a2 4)
+  in
+  check Alcotest.int "l16si" 0xffff8765 (reg cpu 4);
+  check Alcotest.int "l16ui" 0x8765 (reg cpu 5);
+  check Alcotest.int "l8ui" 0xfe (reg cpu 7)
+
+let test_branch_and_cmov () =
+  let open Isa.Builder in
+  let cpu =
+    run_asm (fun b ->
+        movi b a2 5;
+        movi b a3 5;
+        movi b a4 0;
+        beq b a2 a3 "taken";
+        movi b a4 111;            (* skipped *)
+        label b "taken";
+        addi b a4 a4 1;           (* a4 = 1 *)
+        movi b a5 0;
+        movi b a6 77;
+        moveqz b a5 a6 a4;        (* a4 <> 0: no move *)
+        movi b a7 0;
+        moveqz b a7 a6 a7)        (* 0 = 0: wait, t is a7 itself *)
+  in
+  check Alcotest.int "branch taken skips" 1 (reg cpu 4);
+  check Alcotest.int "moveqz false" 0 (reg cpu 5)
+
+let test_call0_and_ret () =
+  let open Isa.Builder in
+  let cpu =
+    run_asm (fun b ->
+        movi b a4 0;
+        call0 b "leaf";
+        addi b a4 a4 100;
+        j b "end";
+        label b "leaf";
+        addi b a4 a4 1;
+        ret b;
+        label b "end";
+        nop b)
+  in
+  check Alcotest.int "leaf ran once then returned" 101 (reg cpu 4)
+
+let test_call8_windows () =
+  let open Isa.Builder in
+  let cpu =
+    run_asm (fun b ->
+        movi b a1 0x80000;
+        movi b a4 11;             (* caller local *)
+        movi b a10 55;            (* callee sees this as a2 *)
+        call8 b "callee";
+        j b "done";
+        label b "callee";
+        entry b a1 16;
+        addi b a2 a2 1;           (* caller's a10 += 1 *)
+        movi b a4 999;            (* callee local: must not clobber caller a4 *)
+        retw b;
+        label b "done";
+        nop b)
+  in
+  check Alcotest.int "caller local preserved" 11 (reg cpu 4);
+  check Alcotest.int "callee wrote through the overlap" 56 (reg cpu 10)
+
+let test_jx_indirect () =
+  let open Isa.Builder in
+  let cpu =
+    run_asm (fun b ->
+        l32r b a2 "dest";
+        jx b a2;
+        movi b a3 1;              (* skipped *)
+        label b "target";
+        movi b a4 9;
+        lit_addr b "dest" "target")
+  in
+  check Alcotest.int "jumped over" 0 (reg cpu 3);
+  check Alcotest.int "landed" 9 (reg cpu 4)
+
+(* --- Cycle accounting and events ----------------------------------------- *)
+
+let collect_events ?config ?extension build =
+  let b = Isa.Builder.create "t" in
+  Isa.Builder.label b "main";
+  build b;
+  Isa.Builder.halt b;
+  let asm = Isa.Program.assemble (Isa.Builder.seal b) in
+  let events = ref [] in
+  let cpu, _ =
+    Sim.Cpu.run_program ?config ?extension
+      ~observers:[ (fun e -> events := e :: !events) ]
+      asm
+  in
+  (cpu, List.rev !events)
+
+let test_interlock_detection () =
+  let open Isa.Builder in
+  let _, events =
+    collect_events (fun b ->
+        movi b a2 0x11000;
+        l32i b a6 a2 0;          (* warms the line (miss absorbs latency) *)
+        nop b;
+        nop b;
+        l32i b a3 a2 0;          (* hit *)
+        addi b a4 a3 1;          (* load-use: must stall *)
+        nop b;
+        addi b a5 a3 1)          (* far enough: no stall *)
+  in
+  let stalled =
+    List.filter (fun e -> e.Sim.Event.interlock) events
+  in
+  check Alcotest.int "exactly one interlock" 1 (List.length stalled)
+
+let test_branch_penalty_cycles () =
+  let open Isa.Builder in
+  let cpu_taken, _ =
+    collect_events (fun b ->
+        movi b a2 0;
+        beqz b a2 "t";
+        nop b;
+        label b "t";
+        nop b)
+  in
+  let cpu_untaken, _ =
+    collect_events (fun b ->
+        movi b a2 1;
+        beqz b a2 "t";
+        nop b;
+        label b "t";
+        nop b)
+  in
+  (* The taken path executes one instruction fewer but pays the
+     redirect penalty. *)
+  check Alcotest.int "taken costs the penalty"
+    (Sim.Cpu.cycles cpu_untaken + Sim.Config.default.Sim.Config.branch_taken_penalty - 1)
+    (Sim.Cpu.cycles cpu_taken)
+
+let test_icache_miss_counting () =
+  let open Isa.Builder in
+  let _, events =
+    collect_events (fun b ->
+        Isa.Builder.loop_n b ~cnt:a2 3 (fun () ->
+            nop b;
+            nop b))
+  in
+  let misses =
+    List.length
+      (List.filter
+         (fun e ->
+           (not e.Sim.Event.fetch.Sim.Event.funcached)
+           && not e.Sim.Event.fetch.Sim.Event.fhit)
+         events)
+  in
+  (* All code fits in one or two lines: misses only on first touch. *)
+  check Alcotest.bool "compulsory misses only" true
+    (misses >= 1 && misses <= 2)
+
+let test_uncached_fetch () =
+  let b = Isa.Builder.create "u" in
+  Isa.Builder.label b "main";
+  Isa.Builder.nop b;
+  Isa.Builder.halt b;
+  let base = Sim.Config.default.Sim.Config.uncached_base in
+  let asm =
+    Isa.Program.assemble ~code_base:base ~data_base:(base + 0x1000)
+      (Isa.Builder.seal b)
+  in
+  let stats = Sim.Stats.create Sim.Config.default in
+  let _ =
+    Sim.Cpu.run_program ~observers:[ Sim.Stats.observer stats ] asm
+  in
+  check Alcotest.int "every fetch uncached" 2
+    stats.Sim.Stats.uncached_fetches
+
+let test_custom_instruction_events () =
+  let open Isa.Builder in
+  let ext = Workloads.Tie_lib.mac_ext in
+  let cpu, events =
+    collect_events ~extension:ext (fun b ->
+        movi b a2 6;
+        movi b a3 7;
+        custom b "clracc" [];
+        custom b "mac" [ a2; a3 ];
+        custom b "rdacc" ~dst:a4 [])
+  in
+  check Alcotest.int "mac result readable" 42 (reg cpu 4);
+  let customs =
+    List.filter
+      (fun e -> e.Sim.Event.clazz = Isa.Instr.Custom_class)
+      events
+  in
+  check Alcotest.int "three custom events" 3 (List.length customs);
+  List.iter
+    (fun e ->
+      match e.Sim.Event.custom with
+      | Some info ->
+        check Alcotest.bool "state values exposed" true
+          (List.length info.Sim.Event.cstates = 1)
+      | None -> fail "custom info missing")
+    customs
+
+let test_unknown_custom_rejected () =
+  let open Isa.Builder in
+  match
+    run_asm (fun b -> custom b "no_such_insn" [ a2 ])
+  with
+  | exception Sim.Cpu.Sim_error _ -> ()
+  | _ -> fail "unknown custom instruction accepted"
+
+let test_watchdog () =
+  let b = Isa.Builder.create "spin" in
+  Isa.Builder.label b "main";
+  Isa.Builder.j b "main";
+  let asm = Isa.Program.assemble (Isa.Builder.seal b) in
+  let config = { Sim.Config.default with Sim.Config.max_cycles = 1000 } in
+  let _, outcome = Sim.Cpu.run_program ~config asm in
+  check Alcotest.bool "watchdog fires" true (outcome = Sim.Cpu.Watchdog)
+
+(* Differential test: random straight-line ALU programs executed by the
+   CPU and by an independent Int32-based oracle must agree on every
+   register.  This exercises 32-bit wrap-around, signedness and shift
+   semantics through a completely separate code path. *)
+
+type alu_op =
+  | O_add | O_sub | O_and | O_or | O_xor
+  | O_addx2 | O_addx4 | O_addx8
+  | O_min | O_max | O_minu | O_maxu
+  | O_mull | O_mul16u | O_mul16s
+  | O_abs | O_neg | O_nsau
+  | O_addi of int
+  | O_slli of int | O_srli of int | O_srai of int
+  | O_extui of int * int
+  | O_sext of int
+
+let gen_alu_op =
+  let open QCheck.Gen in
+  frequency
+    [ (3, oneofl [ O_add; O_sub; O_and; O_or; O_xor ]);
+      (2, oneofl [ O_addx2; O_addx4; O_addx8 ]);
+      (2, oneofl [ O_min; O_max; O_minu; O_maxu ]);
+      (2, oneofl [ O_mull; O_mul16u; O_mul16s ]);
+      (1, oneofl [ O_abs; O_neg; O_nsau ]);
+      (2, map (fun n -> O_addi n) (int_range (-100) 100));
+      (1, map (fun n -> O_slli n) (int_range 0 31));
+      (1, map (fun n -> O_srli n) (int_range 0 31));
+      (1, map (fun n -> O_srai n) (int_range 0 31));
+      (1, map2 (fun sh w -> O_extui (sh, w)) (int_range 0 23) (int_range 1 8));
+      (1, map (fun b -> O_sext b) (int_range 7 22)) ]
+
+(* Programs use a2..a9; each step writes one of them from two others. *)
+type alu_step = { op : alu_op; dst : int; src1 : int; src2 : int }
+
+let gen_step =
+  let open QCheck.Gen in
+  let reg = int_range 2 9 in
+  map3
+    (fun op dst (src1, src2) -> { op; dst; src1; src2 })
+    gen_alu_op reg (pair reg reg)
+
+let gen_program =
+  QCheck.Gen.(pair (array_size (return 8) (int_bound 0xfff))
+                (list_size (int_range 5 40) gen_step))
+
+let emit_step b { op; dst; src1; src2 } =
+  let r n = Isa.Reg.a n in
+  let open Isa.Builder in
+  let d = r dst and s = r src1 and t = r src2 in
+  match op with
+  | O_add -> add b d s t
+  | O_sub -> sub b d s t
+  | O_and -> and_ b d s t
+  | O_or -> or_ b d s t
+  | O_xor -> xor b d s t
+  | O_addx2 -> addx2 b d s t
+  | O_addx4 -> addx4 b d s t
+  | O_addx8 -> addx8 b d s t
+  | O_min -> min_ b d s t
+  | O_max -> max_ b d s t
+  | O_minu -> minu b d s t
+  | O_maxu -> maxu b d s t
+  | O_mull -> mull b d s t
+  | O_mul16u -> mul16u b d s t
+  | O_mul16s -> mul16s b d s t
+  | O_abs -> abs_ b d s
+  | O_neg -> neg b d s
+  | O_nsau -> nsau b d s
+  | O_addi n -> addi b d s n
+  | O_slli n -> slli b d s n
+  | O_srli n -> srli b d s n
+  | O_srai n -> srai b d s n
+  | O_extui (sh, w) -> extui b d s sh w
+  | O_sext bn -> sext b d s bn
+
+(* The independent oracle: Int32 arithmetic. *)
+let oracle_step regs { op; dst; src1; src2 } =
+  let open Int32 in
+  let s = regs.(src1 - 2) and t = regs.(src2 - 2) in
+  let ulty a b =
+    (* unsigned less-than on Int32 *)
+    let flip x = logxor x min_int in
+    compare (flip a) (flip b) < 0
+  in
+  let v =
+    match op with
+    | O_add -> add s t
+    | O_sub -> sub s t
+    | O_and -> logand s t
+    | O_or -> logor s t
+    | O_xor -> logxor s t
+    | O_addx2 -> add (shift_left s 1) t
+    | O_addx4 -> add (shift_left s 2) t
+    | O_addx8 -> add (shift_left s 3) t
+    | O_min -> if compare s t < 0 then s else t
+    | O_max -> if compare s t > 0 then s else t
+    | O_minu -> if ulty s t then s else t
+    | O_maxu -> if ulty s t then t else s
+    | O_mull -> mul s t
+    | O_mul16u ->
+      mul (logand s 0xffffl) (logand t 0xffffl)
+    | O_mul16s ->
+      let sx v = shift_right (shift_left v 16) 16 in
+      mul (sx s) (sx t)
+    | O_abs -> Int32.abs s
+    | O_neg -> Int32.neg s
+    | O_nsau ->
+      let rec clz n x =
+        if n = 32 then 32l
+        else if logand x 0x80000000l <> 0l then of_int n
+        else clz (n + 1) (shift_left x 1)
+      in
+      if s = 0l then 32l else clz 0 s
+    | O_addi n -> add s (of_int n)
+    | O_slli n -> shift_left s n
+    | O_srli n -> shift_right_logical s n
+    | O_srai n -> shift_right s n
+    | O_extui (sh, w) ->
+      logand (shift_right_logical s sh) (of_int ((1 lsl w) - 1))
+    | O_sext bn ->
+      shift_right (shift_left s (31 - bn)) (31 - bn)
+  in
+  regs.(dst - 2) <- v
+
+let qcheck_cpu_matches_int32_oracle =
+  QCheck.Test.make ~name:"CPU agrees with the Int32 oracle" ~count:300
+    (QCheck.make gen_program)
+    (fun (inits, steps) ->
+      let b = Isa.Builder.create "diff" in
+      Isa.Builder.label b "main";
+      Array.iteri
+        (fun i v -> Isa.Builder.movi b (Isa.Reg.a (i + 2)) v)
+        inits;
+      List.iter (emit_step b) steps;
+      Isa.Builder.halt b;
+      let asm = Isa.Program.assemble (Isa.Builder.seal b) in
+      let cpu, outcome = Sim.Cpu.run_program asm in
+      if outcome <> Sim.Cpu.Halted then false
+      else begin
+        let regs = Array.map Int32.of_int inits in
+        List.iter (oracle_step regs) steps;
+        Array.for_all
+          (fun i ->
+            let sim = Sim.Cpu.reg cpu (Isa.Reg.a (i + 2)) in
+            let expect =
+              Int32.to_int regs.(i) land 0xffff_ffff
+            in
+            sim = expect)
+          [| 0; 1; 2; 3; 4; 5; 6; 7 |]
+      end)
+
+let test_stats_totals () =
+  let open Isa.Builder in
+  let b = Isa.Builder.create "t" in
+  Isa.Builder.label b "main";
+  movi b a2 3;
+  label b "loop";
+  addi b a2 a2 (-1);
+  bnez b a2 "loop";
+  Isa.Builder.halt b;
+  let asm = Isa.Program.assemble (Isa.Builder.seal b) in
+  let stats = Sim.Stats.create Sim.Config.default in
+  let cpu, _ =
+    Sim.Cpu.run_program ~observers:[ Sim.Stats.observer stats ] asm
+  in
+  check Alcotest.int "instruction total" (Sim.Cpu.instructions cpu)
+    stats.Sim.Stats.instructions;
+  check Alcotest.int "cycle total" (Sim.Cpu.cycles cpu)
+    stats.Sim.Stats.total_cycles;
+  check Alcotest.int "two taken branches"
+    (2 * (1 + Sim.Config.default.Sim.Config.branch_taken_penalty))
+    stats.Sim.Stats.branch_taken_cycles;
+  check Alcotest.int "one untaken branch" 1
+    stats.Sim.Stats.branch_untaken_cycles
+
+let () =
+  Alcotest.run "sim"
+    [ ( "memory",
+        [ Alcotest.test_case "roundtrip" `Quick test_memory_roundtrip;
+          Alcotest.test_case "alignment" `Quick test_memory_alignment;
+          Alcotest.test_case "page crossing" `Quick test_memory_page_crossing;
+          QCheck_alcotest.to_alcotest qcheck_memory ] );
+      ( "cache",
+        [ Alcotest.test_case "basics" `Quick test_cache_basics;
+          Alcotest.test_case "lru" `Quick test_cache_lru;
+          Alcotest.test_case "reset" `Quick test_cache_reset;
+          QCheck_alcotest.to_alcotest qcheck_cache_resident_after_access;
+          Alcotest.test_case "way tags" `Quick test_way_tags ] );
+      ( "regfile",
+        [ Alcotest.test_case "window overlap" `Quick test_regfile_window;
+          Alcotest.test_case "spill/refill" `Quick test_regfile_spill_refill;
+          QCheck_alcotest.to_alcotest qcheck_regfile_lifo ] );
+      ( "semantics",
+        [ Alcotest.test_case "alu" `Quick test_alu_semantics;
+          Alcotest.test_case "mul16/sext" `Quick test_mul16_and_sext;
+          Alcotest.test_case "shifts" `Quick test_shift_semantics;
+          Alcotest.test_case "memory ops" `Quick test_memory_instructions;
+          Alcotest.test_case "branch/cmov" `Quick test_branch_and_cmov;
+          Alcotest.test_case "call0/ret" `Quick test_call0_and_ret;
+          Alcotest.test_case "call8 windows" `Quick test_call8_windows;
+          Alcotest.test_case "indirect jump" `Quick test_jx_indirect ] );
+      ( "events",
+        [ Alcotest.test_case "interlock" `Quick test_interlock_detection;
+          Alcotest.test_case "branch penalty" `Quick
+            test_branch_penalty_cycles;
+          Alcotest.test_case "icache misses" `Quick test_icache_miss_counting;
+          Alcotest.test_case "uncached fetch" `Quick test_uncached_fetch;
+          Alcotest.test_case "custom events" `Quick
+            test_custom_instruction_events;
+          Alcotest.test_case "unknown custom" `Quick
+            test_unknown_custom_rejected;
+          Alcotest.test_case "watchdog" `Quick test_watchdog;
+          Alcotest.test_case "stats totals" `Quick test_stats_totals ] );
+      ( "differential",
+        [ QCheck_alcotest.to_alcotest qcheck_cpu_matches_int32_oracle ] ) ]

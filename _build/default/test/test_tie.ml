@@ -1,0 +1,413 @@
+(* Tests for the custom-instruction (TIE) language: component library,
+   expression width inference and evaluation, and the TIE compiler. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* --- Component ----------------------------------------------------------- *)
+
+let test_complexity () =
+  let c cat ?entries w = Tie.Component.make ?entries cat w in
+  check (Alcotest.float 1e-9) "32-bit multiplier is 1.0" 1.0
+    (Tie.Component.complexity (c Tie.Component.Multiplier 32));
+  check (Alcotest.float 1e-9) "16-bit multiplier is quadratic" 0.25
+    (Tie.Component.complexity (c Tie.Component.Multiplier 16));
+  check (Alcotest.float 1e-9) "16-bit adder is linear" 0.5
+    (Tie.Component.complexity (c Tie.Component.Adder 16));
+  check (Alcotest.float 1e-9) "256x8 table is 1.0" 1.0
+    (Tie.Component.complexity (c Tie.Component.Table ~entries:256 8));
+  check (Alcotest.float 1e-9) "512x8 table is 2.0" 2.0
+    (Tie.Component.complexity (c Tie.Component.Table ~entries:512 8))
+
+let test_component_validation () =
+  Alcotest.check_raises "zero width"
+    (Invalid_argument "Component.make: width must be in 1..64") (fun () ->
+      ignore (Tie.Component.make Tie.Component.Adder 0));
+  Alcotest.check_raises "width over 64"
+    (Invalid_argument "Component.make: width must be in 1..64") (fun () ->
+      ignore (Tie.Component.make Tie.Component.Adder 65))
+
+let test_categories () =
+  check Alcotest.int "ten categories" 10
+    (List.length Tie.Component.all_categories);
+  List.iteri
+    (fun i cat ->
+      check Alcotest.int
+        (Tie.Component.category_name cat)
+        i
+        (Tie.Component.category_index cat))
+    Tie.Component.all_categories
+
+(* --- Expr width inference ------------------------------------------------ *)
+
+let ctx8 : Tie.Expr.ctx =
+  { Tie.Expr.arg_width =
+      (fun n ->
+        match n with
+        | "a" | "b" -> 8
+        | "w" -> 32
+        | _ -> raise (Tie.Expr.Width_error "unknown arg"));
+    state_width = (fun _ -> 16);
+    table_shape = (fun _ -> (256, 8)) }
+
+let test_widths () =
+  let open Tie.Expr in
+  let w e = width ctx8 e in
+  check Alcotest.int "arg" 8 (w (Arg "a"));
+  check Alcotest.int "mul widens" 16 (w (Mul (Arg "a", Arg "b")));
+  check Alcotest.int "add keeps max width" 8 (w (Add (Arg "a", Arg "b")));
+  check Alcotest.int "concat adds widths" 9
+    (w (Concat (Const (0, 1), Arg "a")));
+  check Alcotest.int "compare is one bit" 1 (w (Cmp (Clt, Arg "a", Arg "b")));
+  check Alcotest.int "reduction is one bit" 1 (w (Reduce (Rxor, Arg "w")));
+  check Alcotest.int "table result width" 8 (w (Table ("t", Arg "a")));
+  check Alcotest.int "extract" 4 (w (Extract (Arg "w", 8, 4)));
+  check Alcotest.int "mac grows one bit" 17
+    (w (Tie_mac (Arg "a", Arg "b", Arg "a")))
+
+let test_width_errors () =
+  let open Tie.Expr in
+  let expect e =
+    match width ctx8 e with
+    | exception Width_error _ -> ()
+    | _ -> fail "width error expected"
+  in
+  expect (Arg "nope");
+  expect (Extract (Arg "a", 9, 2));
+  expect (Const (0, 70));
+  expect (Mul (Arg "w", Mul (Arg "w", Arg "w")))
+
+(* --- Expr evaluation ------------------------------------------------------ *)
+
+let env_of assoc : Tie.Expr.env =
+  { Tie.Expr.arg = (fun n -> List.assoc n assoc);
+    state = (fun _ -> 0);
+    table = (fun _ i -> (i * 7) land 0xff) }
+
+let test_eval_basics () =
+  let open Tie.Expr in
+  let ev e args = eval ctx8 (env_of args) e in
+  check Alcotest.int "add masks to width" 4
+    (ev (Add (Arg "a", Arg "b")) [ ("a", 250); ("b", 10) ]);
+  check Alcotest.int "mul" 200
+    (ev (Mul (Arg "a", Arg "b")) [ ("a", 20); ("b", 10) ]);
+  check Alcotest.int "mux true" 7
+    (ev (Mux (Const (1, 1), Const (7, 8), Const (9, 8))) []);
+  check Alcotest.int "mux false" 9
+    (ev (Mux (Const (0, 1), Const (7, 8), Const (9, 8))) []);
+  check Alcotest.int "signed compare" 1
+    (ev (Cmp (Clt, Const (0xff, 8), Const (1, 8))) []);
+  check Alcotest.int "unsigned compare" 0
+    (ev (Cmp (Cltu, Const (0xff, 8), Const (1, 8))) []);
+  check Alcotest.int "xor reduce of 0b101" 0
+    (ev (Reduce (Rxor, Const (5, 8))) []);
+  check Alcotest.int "or reduce" 1 (ev (Reduce (Ror, Const (5, 8))) []);
+  check Alcotest.int "and reduce of ones" 1
+    (ev (Reduce (Rand, Const (0xff, 8))) []);
+  check Alcotest.int "concat" 0xa5
+    (ev (Concat (Const (0xa, 4), Const (0x5, 4))) []);
+  check Alcotest.int "extract" 0xa (ev (Extract (Const (0xa5, 8), 4, 4)) []);
+  check Alcotest.int "sar sign extends" 0xfe
+    (ev (Sar (Const (0xfc, 8), Const (1, 4))) [])
+
+let qcheck_add_matches_int =
+  QCheck.Test.make ~name:"expr add = integer add mod 2^8" ~count:300
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let open Tie.Expr in
+      eval ctx8 (env_of [ ("a", a); ("b", b) ]) (Add (Arg "a", Arg "b"))
+      = (a + b) land 0xff)
+
+let test_depth_delay () =
+  let open Tie.Expr in
+  let d e = depth_delay e in
+  check Alcotest.bool "mul deeper than add" true
+    (d (Mul (Arg "a", Arg "b")) > d (Add (Arg "a", Arg "b")));
+  check Alcotest.bool "nesting increases depth" true
+    (d (Add (Add (Arg "a", Arg "b"), Arg "a")) > d (Add (Arg "a", Arg "b")))
+
+(* Random expressions over two 8-bit args and a 32-bit arg: evaluation
+   must always fit the inferred width. *)
+let gen_expr8 =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun v -> Tie.Expr.Const (v, 8)) (int_bound 255);
+        oneofl [ Tie.Expr.Arg "a"; Tie.Expr.Arg "b" ] ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (2, leaf);
+            ( 3,
+              map3
+                (fun k a b ->
+                  match k with
+                  | 0 -> Tie.Expr.Add (a, b)
+                  | 1 -> Tie.Expr.Sub (a, b)
+                  | 2 -> Tie.Expr.Mul (a, b)
+                  | 3 -> Tie.Expr.And (a, b)
+                  | 4 -> Tie.Expr.Or (a, b)
+                  | 5 -> Tie.Expr.Xor (a, b)
+                  | 6 -> Tie.Expr.Concat (a, b)
+                  | _ -> Tie.Expr.Mux (Tie.Expr.Cmp (Tie.Expr.Cltu, a, b), a, b))
+                (int_bound 7) (self (depth - 1)) (self (depth - 1)) );
+            (1, map (fun a -> Tie.Expr.Not a) (self (depth - 1)));
+            (1, map (fun a -> Tie.Expr.Reduce (Tie.Expr.Rxor, a)) (self (depth - 1))) ])
+    3
+
+let qcheck_eval_fits_width =
+  QCheck.Test.make ~name:"evaluation always fits the inferred width"
+    ~count:300
+    (QCheck.pair (QCheck.make gen_expr8)
+       (QCheck.pair (QCheck.int_bound 255) (QCheck.int_bound 255)))
+    (fun (e, (a, b)) ->
+      match Tie.Expr.width ctx8 e with
+      | exception Tie.Expr.Width_error _ -> QCheck.assume_fail ()
+      | w ->
+        let v =
+          Tie.Expr.eval ctx8
+            (env_of [ ("a", a); ("b", b) ])
+            e
+        in
+        w >= 1 && w <= 64 && v >= 0
+        && (w >= 62 || v < 1 lsl w))
+
+(* --- Compiler ------------------------------------------------------------ *)
+
+let op = Tie.Spec.operand
+
+let simple_ext ?(latency = None) result =
+  { Tie.Spec.ext_name = "t";
+    states = [];
+    tables = [];
+    instructions =
+      [ { Tie.Spec.iname = "f";
+          ins = [ op "s" 32; op "t" 32 ];
+          result = Some result;
+          updates = [];
+          latency_override = latency } ] }
+
+let test_compile_components () =
+  let open Tie.Expr in
+  let compiled = Tie.Compile.compile (simple_ext (Mul (Arg "s", Arg "t"))) in
+  match Tie.Compile.find compiled "f" with
+  | None -> fail "instruction missing"
+  | Some i ->
+    check Alcotest.int "one component" 1
+      (List.length i.Tie.Compile.components);
+    (match i.Tie.Compile.components with
+     | [ c ] ->
+       check Alcotest.bool "it is a multiplier" true
+         (c.Tie.Component.category = Tie.Component.Multiplier)
+     | _ -> fail "single multiplier expected");
+    check Alcotest.int "two regfile reads" 2 i.Tie.Compile.regfile_reads;
+    check Alcotest.bool "writes regfile" true i.Tie.Compile.writes_regfile
+
+let test_compile_bus_facing () =
+  let open Tie.Expr in
+  (* The multiplier reads operands through Extract wiring: still
+     bus-facing. *)
+  let compiled =
+    Tie.Compile.compile
+      (simple_ext (Mul (Extract (Arg "s", 0, 16), Extract (Arg "t", 0, 16))))
+  in
+  match Tie.Compile.find compiled "f" with
+  | Some i ->
+    check Alcotest.int "multiplier is bus facing" 1
+      (List.length i.Tie.Compile.bus_facing)
+  | None -> fail "instruction missing"
+
+let test_compile_latency () =
+  let open Tie.Expr in
+  let lat result =
+    match Tie.Compile.find (Tie.Compile.compile (simple_ext result)) "f" with
+    | Some i -> i.Tie.Compile.latency
+    | None -> fail "missing"
+  in
+  check Alcotest.int "simple add is single cycle" 1
+    (lat (Add (Arg "s", Arg "t")));
+  check Alcotest.bool "deep chains take extra cycles" true
+    (lat
+       (Mul
+          ( Extract
+              (Mul (Extract (Arg "s", 0, 8), Extract (Arg "t", 0, 8)), 0, 8),
+            Extract (Arg "t", 0, 8) ))
+     > 1);
+  let overridden =
+    Tie.Compile.compile
+      (simple_ext ~latency:(Some 5) (Add (Arg "s", Arg "t")))
+  in
+  match Tie.Compile.find overridden "f" with
+  | Some i -> check Alcotest.int "override wins" 5 i.Tie.Compile.latency
+  | None -> fail "missing"
+
+let test_compile_errors () =
+  let open Tie.Expr in
+  let expect spec =
+    match Tie.Compile.compile spec with
+    | exception Tie.Compile.Tie_error _ -> ()
+    | _ -> fail "Tie_error expected"
+  in
+  expect (simple_ext (Arg "nope"));
+  expect (simple_ext (State "ghost"));
+  expect (simple_ext (Table ("ghost", Arg "s")));
+  expect
+    { Tie.Spec.ext_name = "t";
+      states = [];
+      tables = [];
+      instructions =
+        [ { Tie.Spec.iname = "f";
+            ins = [ op "s" 32; op "s" 32 ];
+            result = Some (Arg "s");
+            updates = [];
+            latency_override = None } ] };
+  expect
+    { Tie.Spec.ext_name = "t";
+      states = [];
+      tables = [];
+      instructions =
+        [ { Tie.Spec.iname = "f";
+            ins =
+              [ op ~kind:Tie.Spec.Imm "i" 8; op ~kind:Tie.Spec.Imm "j" 8 ];
+            result = Some (Arg "i");
+            updates = [];
+            latency_override = None } ] }
+
+let test_execute_result_and_state () =
+  let open Tie.Expr in
+  let widen e = Concat (Const (0, 1), e) in
+  let spec =
+    { Tie.Spec.ext_name = "acc";
+      states = [ { Tie.Spec.sname = "sum"; swidth = 16; sinit = 3 } ];
+      tables = [];
+      instructions =
+        [ Tie.Spec.instruction "step"
+            ~ins:[ op "x" 16 ]
+            ~result:(Some (State "sum"))
+            ~updates:
+              [ ( "sum",
+                  Extract (Add (widen (State "sum"), widen (Arg "x")), 0, 16)
+                ) ] ] }
+  in
+  let compiled = Tie.Compile.compile spec in
+  let store = Tie.Compile.create_state compiled in
+  let insn = Option.get (Tie.Compile.find compiled "step") in
+  (* The result reads the OLD state (simultaneous-update semantics). *)
+  let r1 = Tie.Compile.execute compiled store insn ~srcs:[ 10 ] ~imm:None in
+  check (Alcotest.option Alcotest.int) "result = old state" (Some 3) r1;
+  check Alcotest.int "state advanced" 13 (Tie.Compile.state_value store "sum");
+  let r2 = Tie.Compile.execute compiled store insn ~srcs:[ 100 ] ~imm:None in
+  check (Alcotest.option Alcotest.int) "second step" (Some 13) r2;
+  check Alcotest.int "state accumulates" 113
+    (Tie.Compile.state_value store "sum");
+  Tie.Compile.reset_state compiled store;
+  check Alcotest.int "reset restores init" 3
+    (Tie.Compile.state_value store "sum")
+
+let test_execute_missing_operand () =
+  let compiled =
+    Tie.Compile.compile (simple_ext (Tie.Expr.Add (Arg "s", Arg "t")))
+  in
+  let store = Tie.Compile.create_state compiled in
+  let insn = Option.get (Tie.Compile.find compiled "f") in
+  match Tie.Compile.execute compiled store insn ~srcs:[ 1 ] ~imm:None with
+  | exception Tie.Compile.Tie_error _ -> ()
+  | _ -> fail "missing operand accepted"
+
+(* --- The GF(2^8) extension against the host oracle ----------------------- *)
+
+let qcheck_gfmul_matches_oracle =
+  QCheck.Test.make ~name:"tie gfmul = host Gf.mul" ~count:400
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let compiled = Workloads.Tie_lib.gf_ext in
+      let store = Tie.Compile.create_state compiled in
+      let insn = Option.get (Tie.Compile.find compiled "gfmul") in
+      Tie.Compile.execute compiled store insn ~srcs:[ a; b ] ~imm:None
+      = Some (Workloads.Data.Gf.mul a b))
+
+let test_gfmac_horner () =
+  let compiled = Workloads.Tie_lib.gfmac_ext in
+  let store = Tie.Compile.create_state compiled in
+  let gfmacc = Option.get (Tie.Compile.find compiled "gfmacc") in
+  let rdsyn = Option.get (Tie.Compile.find compiled "rdsyn") in
+  let alpha = 2 in
+  let bytes = [ 0x12; 0x34; 0x56; 0x00; 0xff ] in
+  List.iter
+    (fun v ->
+      ignore
+        (Tie.Compile.execute compiled store gfmacc ~srcs:[ v ]
+           ~imm:(Some alpha)))
+    bytes;
+  let expected =
+    List.fold_left (fun s v -> Workloads.Data.Gf.mul s alpha lxor v) 0 bytes
+  in
+  check (Alcotest.option Alcotest.int) "Horner chain" (Some expected)
+    (Tie.Compile.execute compiled store rdsyn ~srcs:[] ~imm:None)
+
+let test_mac_accumulates () =
+  let compiled = Workloads.Tie_lib.mac_ext in
+  let store = Tie.Compile.create_state compiled in
+  let mac = Option.get (Tie.Compile.find compiled "mac") in
+  let rdacc = Option.get (Tie.Compile.find compiled "rdacc") in
+  let clracc = Option.get (Tie.Compile.find compiled "clracc") in
+  ignore (Tie.Compile.execute compiled store clracc ~srcs:[] ~imm:None);
+  ignore (Tie.Compile.execute compiled store mac ~srcs:[ 100; 200 ] ~imm:None);
+  ignore (Tie.Compile.execute compiled store mac ~srcs:[ 3; 4 ] ~imm:None);
+  check (Alcotest.option Alcotest.int) "acc = 100*200 + 3*4"
+    (Some ((100 * 200) + 12))
+    (Tie.Compile.execute compiled store rdacc ~srcs:[] ~imm:None)
+
+let test_extension_registry () =
+  check Alcotest.bool "mac registered" true
+    (Workloads.Tie_lib.by_name "mac" <> None);
+  check Alcotest.bool "coverage registered" true
+    (Workloads.Tie_lib.by_name "cover_xmul" <> None);
+  check Alcotest.bool "unknown rejected" true
+    (Workloads.Tie_lib.by_name "nope" = None);
+  check Alcotest.int "seventeen named extensions" 17
+    (List.length Workloads.Tie_lib.extension_names)
+
+let test_coverage_extensions_compile () =
+  List.iter
+    (fun cat ->
+      let compiled = Workloads.Tie_lib.coverage cat in
+      let comps = Tie.Compile.all_components compiled in
+      check Alcotest.bool
+        (Tie.Component.category_name cat ^ " exercises its category")
+        true
+        (List.exists (fun c -> c.Tie.Component.category = cat) comps))
+    Tie.Component.all_categories
+
+let () =
+  Alcotest.run "tie"
+    [ ( "component",
+        [ Alcotest.test_case "complexity" `Quick test_complexity;
+          Alcotest.test_case "validation" `Quick test_component_validation;
+          Alcotest.test_case "categories" `Quick test_categories ] );
+      ( "expr",
+        [ Alcotest.test_case "widths" `Quick test_widths;
+          Alcotest.test_case "width errors" `Quick test_width_errors;
+          Alcotest.test_case "evaluation" `Quick test_eval_basics;
+          QCheck_alcotest.to_alcotest qcheck_add_matches_int;
+          QCheck_alcotest.to_alcotest qcheck_eval_fits_width;
+          Alcotest.test_case "depth" `Quick test_depth_delay ] );
+      ( "compile",
+        [ Alcotest.test_case "components" `Quick test_compile_components;
+          Alcotest.test_case "bus facing" `Quick test_compile_bus_facing;
+          Alcotest.test_case "latency" `Quick test_compile_latency;
+          Alcotest.test_case "errors" `Quick test_compile_errors;
+          Alcotest.test_case "execute result+state" `Quick
+            test_execute_result_and_state;
+          Alcotest.test_case "execute errors" `Quick
+            test_execute_missing_operand ] );
+      ( "extensions",
+        [ QCheck_alcotest.to_alcotest qcheck_gfmul_matches_oracle;
+          Alcotest.test_case "gfmac Horner" `Quick test_gfmac_horner;
+          Alcotest.test_case "mac accumulates" `Quick test_mac_accumulates;
+          Alcotest.test_case "registry" `Quick test_extension_registry;
+          Alcotest.test_case "coverage compiles" `Quick
+            test_coverage_extensions_compile ] ) ]
