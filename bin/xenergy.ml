@@ -18,14 +18,34 @@ open Cmdliner
 
 let fmt = Format.std_formatter
 
-let characterize_model () =
-  Core.Characterize.run (Workloads.Suite.characterization ())
+(* Diagnostics go to stderr and exit with Cmdliner's conventional
+   some_error code, keeping stdout clean for pipeline consumers. *)
+let die f =
+  Format.kfprintf
+    (fun ppf ->
+      Format.fprintf ppf "@.";
+      exit (Cmd.Exit.some_error))
+    Format.err_formatter
+    ("xenergy: " ^^ f)
 
-let load_or_fit = function
-  | Some path -> Core.Template.load path
+let jobs_arg =
+  let doc =
+    "Number of worker processes for characterization (also the
+     $(b,XENERGY_JOBS) environment variable; defaults to the available
+     cores)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let characterize_model ?jobs () =
+  Core.Characterize.run ?jobs (Workloads.Suite.characterization ())
+
+let load_or_fit ?jobs = function
+  | Some path -> (
+    try Core.Template.load path
+    with Sys_error msg | Failure msg -> die "cannot load model: %s" msg)
   | None ->
-    Format.fprintf fmt "characterizing (no model file given)...@.";
-    (characterize_model ()).Core.Characterize.model
+    Format.eprintf "characterizing (no model file given)...@.";
+    (characterize_model ?jobs ()).Core.Characterize.model
 
 let model_arg =
   let doc = "Read macro-model coefficients from $(docv) instead of
@@ -37,9 +57,7 @@ let name_arg =
 
 let find_case name =
   try Workloads.Suite.find name
-  with Not_found ->
-    Format.fprintf fmt "unknown workload %S; try `xenergy list'@." name;
-    exit 1
+  with Not_found -> die "unknown workload %S; try `xenergy list'" name
 
 (* --- list --------------------------------------------------------------- *)
 
@@ -104,22 +122,41 @@ let characterize_cmd =
          & info [ "o"; "output" ] ~docv:"FILE"
              ~doc:"Save fitted coefficients to $(docv).")
   in
-  let run out =
-    let fit = characterize_model () in
+  let report_arg =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Print the per-workload run report (wall time, cycles,
+                   cache misses, energy, simulation count) and save it as
+                   JSON to $(docv).")
+  in
+  let run out report jobs =
+    let samples, run_report =
+      Core.Characterize.collect_with_report ?jobs
+        (Workloads.Suite.characterization ())
+    in
+    let fit = Core.Characterize.fit_samples samples in
     Format.fprintf fmt "%a@." Core.Characterize.pp_fit fit;
     Format.fprintf fmt "%a@."
       (Core.Template.pp_table1 ~paper:Core.Template.paper_reference)
       fit.Core.Characterize.model;
+    (match report with
+     | Some path ->
+       Format.fprintf fmt "@.%a@." Core.Run_report.pp run_report;
+       (try Core.Run_report.save path run_report
+        with Sys_error msg -> die "cannot write run report: %s" msg);
+       Format.fprintf fmt "run report written to %s@." path
+     | None -> ());
     match out with
     | Some path ->
-      Core.Template.save path fit.Core.Characterize.model;
+      (try Core.Template.save path fit.Core.Characterize.model
+       with Sys_error msg -> die "cannot write coefficients: %s" msg);
       Format.fprintf fmt "coefficients written to %s@." path
     | None -> ()
   in
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Fit the macro-model on the characterization suite")
-    Term.(const run $ out_arg)
+    Term.(const run $ out_arg $ report_arg $ jobs_arg)
 
 (* --- estimate ------------------------------------------------------------ *)
 
@@ -257,8 +294,7 @@ let run_cmd =
     let program =
       try Isa.Asm_parser.parse_string ~name:(Filename.basename file) source
       with Isa.Asm_parser.Parse_error (line, msg) ->
-        Format.fprintf fmt "%s:%d: %s@." file line msg;
-        exit 1
+        die "%s:%d: %s" file line msg
     in
     let extension =
       match ext_name with
@@ -267,15 +303,12 @@ let run_cmd =
         match Workloads.Tie_lib.by_name n with
         | Some e -> Some e
         | None ->
-          Format.fprintf fmt "unknown extension %S; available: %s@." n
-            (String.concat ", " Workloads.Tie_lib.extension_names);
-          exit 1)
+          die "unknown extension %S; available: %s" n
+            (String.concat ", " Workloads.Tie_lib.extension_names))
     in
     let asm =
       try Isa.Program.assemble program
-      with Isa.Program.Assembly_error msg ->
-        Format.fprintf fmt "%s: %s@." file msg;
-        exit 1
+      with Isa.Program.Assembly_error msg -> die "%s: %s" file msg
     in
     let case = Core.Extract.case ?extension "user" asm in
     let profile = Core.Extract.profile case in
@@ -314,12 +347,8 @@ let cc_cmd =
     let source = In_channel.with_open_text file In_channel.input_all in
     let compiled =
       try Cc.Codegen.compile_source source with
-      | Cc.Parser.Parse_error (line, msg) ->
-        Format.fprintf fmt "%s:%d: %s@." file line msg;
-        exit 1
-      | Cc.Codegen.Codegen_error msg ->
-        Format.fprintf fmt "%s: %s@." file msg;
-        exit 1
+      | Cc.Parser.Parse_error (line, msg) -> die "%s:%d: %s" file line msg
+      | Cc.Codegen.Codegen_error msg -> die "%s: %s" file msg
     in
     if listing then
       Format.fprintf fmt "%a@." Isa.Program.pp_listing
@@ -331,9 +360,8 @@ let cc_cmd =
         match Workloads.Tie_lib.by_name n with
         | Some e -> Some e
         | None ->
-          Format.fprintf fmt "unknown extension %S; available: %s@." n
-            (String.concat ", " Workloads.Tie_lib.extension_names);
-          exit 1)
+          die "unknown extension %S; available: %s" n
+            (String.concat ", " Workloads.Tie_lib.extension_names))
     in
     let case =
       Core.Extract.case ?extension "c-program" compiled.Cc.Codegen.c_asm

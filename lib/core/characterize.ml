@@ -15,7 +15,59 @@ type fit = {
   r_squared : float;
 }
 
-let collect ?(config = Sim.Config.default) ?params ?complexity cases =
+(* Single-pass collection: the reference estimator rides the same
+   simulation as the variable extraction, so every test program is
+   simulated exactly once.  The estimator observes an identical event
+   stream either way, hence samples (and therefore fitted coefficients)
+   match the legacy two-pass pipeline bit for bit. *)
+let collect_one ~config ?params ?complexity (c : Extract.case) =
+  let est =
+    Power.Estimator.create ?params ?extension:c.Extract.extension config
+  in
+  let t0 = Unix.gettimeofday () in
+  let prof =
+    Extract.profile ~config ?complexity
+      ~observers:[ Power.Estimator.observer est ]
+      c
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let energy = Power.Estimator.total_energy est in
+  let misses id = int_of_float prof.Extract.variables.(Variables.index id) in
+  ( { sname = c.Extract.case_name;
+      variables = prof.Extract.variables;
+      measured_pj = energy;
+      cycles = prof.Extract.cycles },
+    { Run_report.ename = c.Extract.case_name;
+      wall_seconds = wall;
+      cycles = prof.Extract.cycles;
+      instructions = prof.Extract.instructions;
+      icache_misses = misses Variables.Icache_miss;
+      dcache_misses = misses Variables.Dcache_miss;
+      energy_pj = energy;
+      simulations = 1 } )
+
+let collect_with_report ?(config = Sim.Config.default) ?params ?complexity
+    ?jobs cases =
+  let t0 = Unix.gettimeofday () in
+  let pairs =
+    Parallel.map ?jobs (collect_one ~config ?params ?complexity) cases
+  in
+  let total_seconds = Unix.gettimeofday () -. t0 in
+  let jobs_used =
+    let j = match jobs with Some j -> max 1 j | None -> Parallel.default_jobs () in
+    max 1 (min j (List.length cases))
+  in
+  ( List.map fst pairs,
+    { Run_report.entries = List.map snd pairs; total_seconds; jobs = jobs_used }
+  )
+
+let collect ?config ?params ?complexity ?jobs cases =
+  fst (collect_with_report ?config ?params ?complexity ?jobs cases)
+
+(* Legacy two-pass pipeline (separate profile and reference-estimation
+   simulations, serial): kept as the oracle for the single-pass engine's
+   equivalence tests and for the bench harness's speedup comparison. *)
+let collect_two_pass ?(config = Sim.Config.default) ?params ?complexity cases =
   List.map
     (fun (c : Extract.case) ->
       let prof = Extract.profile ~config ?complexity c in
@@ -74,23 +126,30 @@ let fit_samples ?(nonnegative = true) samples =
     max_abs_percent = Regress.Stats.max_abs errors_percent;
     r_squared = Regress.Stats.r_squared ~predicted:fitted_pj ~actual:e }
 
-let cross_validate ?nonnegative samples =
+let cross_validate ?nonnegative ?jobs samples =
   let arr = Array.of_list samples in
-  Array.mapi
-    (fun i held_out ->
-      let training =
-        Array.to_list arr |> List.filteri (fun j _ -> j <> i)
-      in
-      let f = fit_samples ?nonnegative training in
+  let fold i =
+    let held_out = arr.(i) in
+    let training = Array.to_list arr |> List.filteri (fun j _ -> j <> i) in
+    (* Dropping a sample can leave fewer training samples than exercised
+       variables (e.g. the only program touching a variable); such folds
+       are unidentifiable, not fatal — report them as [None]. *)
+    match fit_samples ?nonnegative training with
+    | exception Invalid_argument _ -> None
+    | f ->
       let predicted = Template.energy f.model held_out.variables in
-      if Float.abs held_out.measured_pj < 1e-9 then 0.0
+      if Float.abs held_out.measured_pj < 1e-9 then Some 0.0
       else
-        100.0 *. (predicted -. held_out.measured_pj)
-        /. held_out.measured_pj)
-    arr
+        Some
+          (100.0
+           *. (predicted -. held_out.measured_pj)
+           /. held_out.measured_pj)
+  in
+  Array.of_list
+    (Parallel.map ?jobs fold (List.init (Array.length arr) Fun.id))
 
-let run ?config ?params ?complexity ?nonnegative cases =
-  fit_samples ?nonnegative (collect ?config ?params ?complexity cases)
+let run ?config ?params ?complexity ?nonnegative ?jobs cases =
+  fit_samples ?nonnegative (collect ?config ?params ?complexity ?jobs cases)
 
 let pp_fit ppf f =
   Format.fprintf ppf "@[<v>%-24s %14s %14s %8s@," "test program"

@@ -26,9 +26,35 @@ val collect :
   ?config:Sim.Config.t ->
   ?params:Power.Blocks.params ->
   ?complexity:(Tie.Component.t -> float) ->
+  ?jobs:int ->
   Extract.case list ->
   sample list
-(** Run every test program both ways (variables + reference energy). *)
+(** Single-pass collection: one simulation per test program, with the
+    reference estimator attached as an observer of the same event stream
+    that drives variable extraction.  Workloads are distributed over
+    [jobs] forked workers (default {!Parallel.default_jobs}; serial on a
+    single core). *)
+
+val collect_with_report :
+  ?config:Sim.Config.t ->
+  ?params:Power.Blocks.params ->
+  ?complexity:(Tie.Component.t -> float) ->
+  ?jobs:int ->
+  Extract.case list ->
+  sample list * Run_report.t
+(** Like {!collect}, also returning the per-workload run report
+    (wall time, cycles, cache misses, energy, simulation count). *)
+
+val collect_two_pass :
+  ?config:Sim.Config.t ->
+  ?params:Power.Blocks.params ->
+  ?complexity:(Tie.Component.t -> float) ->
+  Extract.case list ->
+  sample list
+(** Legacy pipeline: a profiling simulation plus a separate
+    reference-estimation simulation per test program, serially.  Kept as
+    the oracle for equivalence tests and speedup benchmarks; produces
+    bit-identical samples to {!collect}. *)
 
 val fit_samples : ?nonnegative:bool -> sample list -> fit
 (** Regression over collected samples.
@@ -40,17 +66,23 @@ val run :
   ?params:Power.Blocks.params ->
   ?complexity:(Tie.Component.t -> float) ->
   ?nonnegative:bool ->
+  ?jobs:int ->
   Extract.case list ->
   fit
 (** [collect] followed by [fit_samples]. *)
 
-val cross_validate : ?nonnegative:bool -> sample list -> float array
+val cross_validate :
+  ?nonnegative:bool -> ?jobs:int -> sample list -> float option array
 (** Leave-one-out cross-validation: for every sample, the signed percent
     error of predicting it with a model fitted on the other samples.
     Unlike the fitting residuals (which flatter a near-interpolating
     fit), this measures generalization; programs that alone exercise a
     variable (e.g. the only uncached-code program) show large LOOCV
-    errors because their variable is unidentifiable without them. *)
+    errors because their variable is unidentifiable without them.
+    A fold whose training set is underdetermined (fewer samples than
+    exercised variables once the held-out program is dropped) is
+    reported as [None] rather than aborting the whole validation.
+    Folds are distributed over [jobs] forked workers. *)
 
 val pp_fit : Format.formatter -> fit -> unit
 (** Fig. 3 style per-test-program fitting-error listing. *)

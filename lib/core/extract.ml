@@ -36,12 +36,13 @@ let variables_of_stats (st : Sim.Stats.t) (res : Resource.t) =
     Tie.Component.all_categories;
   v
 
-let profile ?(config = Sim.Config.default) ?complexity c =
+let profile ?(config = Sim.Config.default) ?complexity ?(observers = []) c =
   let stats = Sim.Stats.create config in
   let res = Resource.create ?complexity c.extension in
   let cpu, outcome =
     Sim.Cpu.run_program ~config ?extension:c.extension
-      ~observers:[ Sim.Stats.observer stats; Resource.observer res ]
+      ~observers:
+        (Sim.Stats.observer stats :: Resource.observer res :: observers)
       c.asm
   in
   { variables = variables_of_stats stats res;

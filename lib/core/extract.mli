@@ -27,9 +27,16 @@ type profile = {
 val profile :
   ?config:Sim.Config.t ->
   ?complexity:(Tie.Component.t -> float) ->
+  ?observers:Sim.Cpu.observer list ->
   case ->
   profile
-(** @raise Sim.Cpu.Sim_error on simulator faults. *)
+(** Simulate once with the statistics and resource observers attached.
+    [observers] are additional observers notified (after the built-in
+    ones) on the same single simulation — this is how the
+    characterization engine attaches the reference power estimator so
+    that one run yields both the variable vector and the "measured"
+    energy.
+    @raise Sim.Cpu.Sim_error on simulator faults. *)
 
 val variable : profile -> Variables.id -> float
 

@@ -1,0 +1,94 @@
+(* Unix.fork-based worker pool for the characterization engine.
+
+   Work items are partitioned round-robin over [jobs] forked workers;
+   each worker computes its (index, result) pairs and marshals them back
+   over a pipe.  Results are reassembled in input order, so [map] is
+   observably identical to [List.map] (marshalling round-trips floats
+   bit-exactly).  Degrades gracefully: with one core, one job, one item
+   or a failed [fork] it just runs serially, and any worker that dies or
+   raises has its slice recomputed serially in the parent (re-raising
+   there if the computation genuinely fails). *)
+
+let default_jobs () =
+  match Sys.getenv_opt "XENERGY_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+type 'b payload = ('b, string) result
+
+let stride_indices ~n ~jobs w =
+  List.filter (fun i -> i mod jobs = w) (List.init n Fun.id)
+
+let spawn_worker arr f ~n ~jobs w =
+  match Unix.pipe ~cloexec:false () with
+  | exception Unix.Unix_error _ -> None
+  | rd, wr -> (
+    match Unix.fork () with
+    | exception Unix.Unix_error _ ->
+      Unix.close rd;
+      Unix.close wr;
+      None
+    | 0 ->
+      Unix.close rd;
+      let oc = Unix.out_channel_of_descr wr in
+      let payload : _ payload =
+        try Ok (List.map (fun i -> (i, f arr.(i))) (stride_indices ~n ~jobs w))
+        with e -> Error (Printexc.to_string e)
+      in
+      (try
+         Marshal.to_channel oc payload [];
+         flush oc
+       with _ -> ());
+      (* _exit: skip at_exit handlers and inherited buffer flushes. *)
+      Unix._exit 0
+    | pid ->
+      Unix.close wr;
+      Some (pid, rd, stride_indices ~n ~jobs w))
+
+let map ?jobs f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let jobs =
+    let j = match jobs with Some j -> j | None -> default_jobs () in
+    max 1 (min j n)
+  in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    (* Children inherit the stdio buffers: flush so nothing is emitted
+       twice. *)
+    flush stdout;
+    flush stderr;
+    let workers =
+      List.filter_map (spawn_worker arr f ~n ~jobs) (List.init jobs Fun.id)
+    in
+    let results = Array.make n None in
+    let leftover = ref [] in
+    let covered = Array.make n false in
+    List.iter
+      (fun (_, _, idxs) -> List.iter (fun i -> covered.(i) <- true) idxs)
+      workers;
+    Array.iteri (fun i c -> if not c then leftover := i :: !leftover) covered;
+    List.iter
+      (fun (pid, rd, idxs) ->
+        let ic = Unix.in_channel_of_descr rd in
+        let payload =
+          match (Marshal.from_channel ic : _ payload) with
+          | p -> Some p
+          | exception _ -> None
+        in
+        (try close_in ic with _ -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+        match payload with
+        | Some (Ok pairs) ->
+          List.iter (fun (i, r) -> results.(i) <- Some r) pairs
+        | Some (Error _) | None ->
+          (* Dead or failing worker: recompute its slice in the parent so
+             a genuine exception surfaces with its real backtrace. *)
+          leftover := idxs @ !leftover)
+      workers;
+    List.iter (fun i -> results.(i) <- Some (f arr.(i))) !leftover;
+    Array.to_list (Array.map Option.get results)
+  end

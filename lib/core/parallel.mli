@@ -1,0 +1,20 @@
+(** Fork-based worker pool for per-workload fan-out.
+
+    [map f xs] is observably [List.map f xs], computed by up to [jobs]
+    forked workers with the results marshalled back over pipes and
+    reassembled in input order.  Serial fallback when [jobs <= 1] (e.g. a
+    single-core machine), when the list has fewer than two elements or
+    when [fork] fails; a worker that dies or raises has its slice
+    recomputed serially in the parent, so exceptions propagate with their
+    real backtrace. *)
+
+val default_jobs : unit -> int
+(** The [XENERGY_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()] (the available
+    cores). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?jobs f xs] — [jobs] defaults to {!default_jobs}.  [f] must not
+    rely on mutating shared state visible to the caller: it runs in a
+    forked child whose writes are not seen by the parent (only the
+    returned, marshalled value is). *)

@@ -1,0 +1,69 @@
+type entry = {
+  ename : string;
+  wall_seconds : float;
+  cycles : int;
+  instructions : int;
+  icache_misses : int;
+  dcache_misses : int;
+  energy_pj : float;
+  simulations : int;
+}
+
+type t = {
+  entries : entry list;
+  total_seconds : float;
+  jobs : int;
+}
+
+let total_simulations t =
+  List.fold_left (fun acc e -> acc + e.simulations) 0 t.entries
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%-24s %9s %10s %8s %7s %7s %12s %5s@," "workload"
+    "wall (s)" "cycles" "instrs" "i-miss" "d-miss" "energy (uJ)" "sims";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-24s %9.4f %10d %8d %7d %7d %12.3f %5d@," e.ename
+        e.wall_seconds e.cycles e.instructions e.icache_misses e.dcache_misses
+        (e.energy_pj /. 1.0e6) e.simulations)
+    t.entries;
+  Format.fprintf ppf
+    "%d workloads, %d simulations, %.3f s wall clock (%d worker%s)@]"
+    (List.length t.entries) (total_simulations t) t.total_seconds t.jobs
+    (if t.jobs = 1 then "" else "s")
+
+(* Hand-rolled JSON: the report is flat and numeric, no dependency is
+   worth it. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let entry_to_json e =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"wall_seconds\": %.6f, \"cycles\": %d, \
+     \"instructions\": %d, \"icache_misses\": %d, \"dcache_misses\": %d, \
+     \"energy_pj\": %.6f, \"simulations\": %d}"
+    (json_escape e.ename) e.wall_seconds e.cycles e.instructions
+    e.icache_misses e.dcache_misses e.energy_pj e.simulations
+
+let to_json t =
+  Printf.sprintf
+    "{\n  \"jobs\": %d,\n  \"total_seconds\": %.6f,\n  \
+     \"total_simulations\": %d,\n  \"workloads\": [\n    %s\n  ]\n}"
+    t.jobs t.total_seconds (total_simulations t)
+    (String.concat ",\n    " (List.map entry_to_json t.entries))
+
+let save path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_json t);
+      Out_channel.output_char oc '\n')

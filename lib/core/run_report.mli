@@ -1,0 +1,35 @@
+(** Characterization run report: first-class observability for the
+    engine's performance trajectory.
+
+    One entry per workload records the wall time, cycle and instruction
+    counts, cache misses, reference energy and — crucially — the number
+    of simulations performed, which lets tests and the bench harness
+    verify the single-pass property (exactly one simulation per test
+    program). *)
+
+type entry = {
+  ename : string;
+  wall_seconds : float;      (** wall-clock time of the simulation *)
+  cycles : int;
+  instructions : int;
+  icache_misses : int;
+  dcache_misses : int;
+  energy_pj : float;         (** reference-estimator energy *)
+  simulations : int;         (** simulator runs performed (1 = single pass) *)
+}
+
+type t = {
+  entries : entry list;
+  total_seconds : float;     (** wall clock of the whole collection *)
+  jobs : int;                (** worker count used *)
+}
+
+val total_simulations : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable table. *)
+
+val to_json : t -> string
+
+val save : string -> t -> unit
+(** Write {!to_json} (plus a trailing newline) to a file. *)

@@ -1,164 +1,134 @@
-(* Bit vectors are byte arrays (one net per byte); every write walks the
-   vector bit by bit, which is exactly the cost profile of a compiled
-   RTL simulator evaluating a module's nets on each clock edge. *)
+(* Net vectors are packed into native integers: a toggle count is the
+   Hamming distance (popcount of XOR) between the previous and the new
+   value of a field, and a one-hot decoder is represented by its selected
+   index.  This is bit-exact with the original one-net-per-byte
+   evaluation — every toggle count and the [evals] cost metric are
+   unchanged — but runs in a handful of word operations per cycle, which
+   is what makes single-pass characterization cheap (ROADMAP: the hot
+   path should run as fast as the hardware allows).
+
+   The modelled cost is still accounted faithfully: [evals] advances by
+   one elementary evaluation per modelled net, exactly as before, so the
+   speedup experiment's "nets evaluated" sanity checks keep their
+   meaning. *)
+
+type cache_nets = {
+  cache : Sim.Cache.t;           (* shadow cache, in lockstep with the ISS *)
+  mutable set_idx : int;         (* set-decoder one-hot state *)
+  tag_width : int;
+  tag_vals : int array;          (* per-way XNOR comparator net state *)
+  line_bits : int;
+  line_chunks : int array;       (* data-array output latches, 62b chunks *)
+}
 
 type t = {
   mutable evals : int;
   (* pipeline registers: 5 stages x (word 24 + pc 32 + two operands and a
      result at 32 bits each) *)
-  pipe : Bytes.t array;
   mutable pipe_values : (int * int * int * int * int) array;
-  pc_bits : Bytes.t;
-  pc_carry : Bytes.t;
-  opcode_onehot : Bytes.t;
-  rd_dec : Bytes.t array;      (* two read-port decoders, 64 wordlines *)
-  wr_dec : Bytes.t;
-  (* shadow caches and their comparator / array nets *)
-  icache : Sim.Cache.t;
-  itag_cmp : Bytes.t array;
-  iset_onehot : Bytes.t;
-  iline_out : Bytes.t;
-  dcache : Sim.Cache.t;
-  dtag_cmp : Bytes.t array;
-  dset_onehot : Bytes.t;
-  dline_out : Bytes.t;
-  (* idle execution-unit nets: partial-product array, ALU chain, shifter
-     stages, evaluated every cycle with latched inputs *)
-  mult_pp : Bytes.t;
-  mult_tree : Bytes.t;
-  mult_pp_vals : int array;
-  alu_nets : Bytes.t;
-  shift_nets : Bytes.t;
-  (* the 64 x 32 register-file flop plane, evaluated on every clock *)
-  rf_plane : Bytes.t;
+  mutable pc_value : int;
+  mutable pc_carry : int;
+  mutable opcode_idx : int;      (* 128-wide one-hot decoder state *)
+  rd_idx : int array;            (* two read-port decoders, 64 wordlines *)
+  mutable wr_idx : int;
+  inets : cache_nets;
+  dnets : cache_nets;
+  (* the 64 x 32 register-file flop plane, clocked on every cycle *)
   rf_values : int array;
-  mutable latched_op1 : int;
-  mutable latched_op2 : int;
 }
 
-let stage_bits = 24 + 32 + 32 + 32 + 32
+let stage_widths = (24, 32, 32, 32, 32)
+
+let cache_nets_create cache =
+  { cache;
+    set_idx = -1;
+    tag_width = Sim.Cache.tag_bits cache;
+    tag_vals = Array.make (Sim.Cache.ways cache) 0;
+    line_bits = Sim.Cache.line_bytes cache * 8;
+    line_chunks = Array.make (((Sim.Cache.line_bytes cache * 8) + 61) / 62) 0 }
 
 let create (cfg : Sim.Config.t) =
-  let icache = Sim.Cache.create cfg.Sim.Config.icache in
-  let dcache = Sim.Cache.create cfg.Sim.Config.dcache in
-  let bv n = Bytes.make n '\000' in
   { evals = 0;
-    pipe = Array.init 5 (fun _ -> bv stage_bits);
     pipe_values = Array.make 5 (0, 0, 0, 0, 0);
-    pc_bits = bv 32;
-    pc_carry = bv 32;
-    opcode_onehot = bv 128;
-    rd_dec = [| bv 64; bv 64 |];
-    wr_dec = bv 64;
-    icache;
-    itag_cmp =
-      Array.init (Sim.Cache.ways icache) (fun _ ->
-          bv (Sim.Cache.tag_bits icache));
-    iset_onehot = bv (Sim.Cache.sets icache);
-    iline_out = bv (Sim.Cache.line_bytes icache * 8);
-    dcache;
-    dtag_cmp =
-      Array.init (Sim.Cache.ways dcache) (fun _ ->
-          bv (Sim.Cache.tag_bits dcache));
-    dset_onehot = bv (Sim.Cache.sets dcache);
-    dline_out = bv (Sim.Cache.line_bytes dcache * 8);
-    mult_pp = bv (32 * 32);
-    mult_tree = bv (31 * 64);
-    mult_pp_vals = Array.make 32 0;
-    alu_nets = bv (32 * 5);
-    shift_nets = bv (32 * 6);
-    rf_plane = bv (64 * 32);
-    rf_values = Array.make 64 0;
-    latched_op1 = 0;
-    latched_op2 = 0 }
+    pc_value = 0;
+    pc_carry = 0;
+    opcode_idx = -1;
+    rd_idx = [| -1; -1 |];
+    wr_idx = -1;
+    inets = cache_nets_create (Sim.Cache.create cfg.Sim.Config.icache);
+    dnets = cache_nets_create (Sim.Cache.create cfg.Sim.Config.dcache);
+    rf_values = Array.make 64 0 }
 
-(* Write the low [n] bits of [v] into [bv] starting at [off]; returns the
-   number of nets that toggled. *)
-let write_bits t bv off n v =
+(* Re-evaluate an [n]-bit latched field: the toggle count is the Hamming
+   distance between the low [n] bits of the previous and new values. *)
+let field_toggles t prev v n =
   t.evals <- t.evals + n;
-  let toggles = ref 0 in
-  for i = 0 to n - 1 do
-    let b = (v lsr i) land 1 in
-    let old = Char.code (Bytes.unsafe_get bv (off + i)) in
-    if old <> b then begin
-      incr toggles;
-      Bytes.unsafe_set bv (off + i) (Char.unsafe_chr b)
-    end
-  done;
-  !toggles
+  Activity.popcount ((prev lxor v) land Activity.mask n)
 
-let write_onehot t bv idx =
-  let n = Bytes.length bv in
-  t.evals <- t.evals + n;
-  let toggles = ref 0 in
-  for i = 0 to n - 1 do
-    let b = if i = idx then 1 else 0 in
-    let old = Char.code (Bytes.unsafe_get bv i) in
-    if old <> b then begin
-      incr toggles;
-      Bytes.unsafe_set bv i (Char.unsafe_chr b)
-    end
-  done;
-  !toggles
+(* Re-evaluate a [width]-wide one-hot decoder whose previously selected
+   index was [prev] (out of range = no wordline driven). *)
+let onehot_toggles t width prev idx =
+  t.evals <- t.evals + width;
+  if prev = idx then 0
+  else
+    (if prev >= 0 && prev < width then 1 else 0)
+    + (if idx >= 0 && idx < width then 1 else 0)
 
-(* Ripple incrementer: evaluates the carry chain net by net. *)
+(* Ripple incrementer: the carry vector c_i = b_i AND c_{i-1} (carry-in
+   1) is all ones strictly below the lowest zero bit of the PC. *)
 let pc_increment t pc =
-  let toggles = ref (write_bits t t.pc_bits 0 32 pc) in
-  let carry = ref 1 in
-  for i = 0 to 31 do
-    let b = (pc lsr i) land 1 in
-    let c = b land !carry in
-    let old = Char.code (Bytes.unsafe_get t.pc_carry i) in
-    if old <> c then begin
-      incr toggles;
-      Bytes.unsafe_set t.pc_carry i (Char.unsafe_chr c)
-    end;
-    carry := c
-  done;
-  t.evals <- t.evals + 32;
-  !toggles
+  let tb = field_toggles t t.pc_value pc 32 in
+  t.pc_value <- pc;
+  let pc32 = pc land 0xffff_ffff in
+  let carry = (lnot pc32 land (pc32 + 1)) - 1 in
+  let tc = field_toggles t t.pc_carry carry 32 in
+  t.pc_carry <- carry;
+  tb + tc
 
 let cycle_activity t ~word ~pc ~op1 ~op2 ~result =
+  let wb, pb, ob, _, _ = stage_widths in
   (* Shift the pipeline registers. *)
   let toggles = ref 0 in
   for stage = 4 downto 1 do
+    let w0, p0, o10, o20, r0 = t.pipe_values.(stage) in
     let w, p, o1, o2, r = t.pipe_values.(stage - 1) in
-    let bv = t.pipe.(stage) in
-    toggles := !toggles + write_bits t bv 0 24 w;
-    toggles := !toggles + write_bits t bv 24 32 p;
-    toggles := !toggles + write_bits t bv 56 32 o1;
-    toggles := !toggles + write_bits t bv 88 32 o2;
-    toggles := !toggles + write_bits t bv 120 32 r;
+    toggles :=
+      !toggles + field_toggles t w0 w wb + field_toggles t p0 p pb
+      + field_toggles t o10 o1 ob + field_toggles t o20 o2 ob
+      + field_toggles t r0 r ob;
     t.pipe_values.(stage) <- t.pipe_values.(stage - 1)
   done;
-  let bv = t.pipe.(0) in
-  toggles := !toggles + write_bits t bv 0 24 word;
-  toggles := !toggles + write_bits t bv 24 32 pc;
-  toggles := !toggles + write_bits t bv 56 32 op1;
-  toggles := !toggles + write_bits t bv 88 32 op2;
-  toggles := !toggles + write_bits t bv 120 32 result;
+  let w0, p0, o10, o20, r0 = t.pipe_values.(0) in
+  toggles :=
+    !toggles + field_toggles t w0 word wb + field_toggles t p0 pc pb
+    + field_toggles t o10 op1 ob + field_toggles t o20 op2 ob
+    + field_toggles t r0 result ob;
   t.pipe_values.(0) <- (word, pc, op1, op2, result);
   toggles := !toggles + pc_increment t pc;
-  toggles := !toggles + write_onehot t t.opcode_onehot ((word lsr 17) land 0x7f);
-  t.latched_op1 <- op1;
-  t.latched_op2 <- op2;
+  let idx = (word lsr 17) land 0x7f in
+  toggles := !toggles + onehot_toggles t 128 t.opcode_idx idx;
+  t.opcode_idx <- idx;
   !toggles
 
 let regfile_activity t ~reads ~write =
   let toggles = ref 0 in
+  let set_rd port idx =
+    toggles := !toggles + onehot_toggles t 64 t.rd_idx.(port) idx;
+    t.rd_idx.(port) <- idx
+  in
   (match reads with
    | [] ->
-     toggles := !toggles + write_onehot t t.rd_dec.(0) (-1);
-     toggles := !toggles + write_onehot t t.rd_dec.(1) (-1)
+     set_rd 0 (-1);
+     set_rd 1 (-1)
    | [ r1 ] ->
-     toggles := !toggles + write_onehot t t.rd_dec.(0) (r1 land 63);
-     toggles := !toggles + write_onehot t t.rd_dec.(1) (-1)
+     set_rd 0 (r1 land 63);
+     set_rd 1 (-1)
    | r1 :: r2 :: _ ->
-     toggles := !toggles + write_onehot t t.rd_dec.(0) (r1 land 63);
-     toggles := !toggles + write_onehot t t.rd_dec.(1) (r2 land 63));
-  (match write with
-   | Some w -> toggles := !toggles + write_onehot t t.wr_dec (w land 63)
-   | None -> toggles := !toggles + write_onehot t t.wr_dec (-1));
+     set_rd 0 (r1 land 63);
+     set_rd 1 (r2 land 63));
+  let w = match write with Some w -> w land 63 | None -> -1 in
+  toggles := !toggles + onehot_toggles t 64 t.wr_idx w;
+  t.wr_idx <- w;
   !toggles
 
 type access_activity = {
@@ -173,90 +143,59 @@ let line_pattern addr =
   let x = addr * 0x9e3779b1 in
   (x lxor (x lsr 13)) land max_int
 
-let cache_access t cache tag_cmp set_onehot line_out addr data =
+let cache_access t nets addr data =
+  let cache = nets.cache in
   let sets = Sim.Cache.sets cache in
   let line = addr / Sim.Cache.line_bytes cache in
   let set = line mod sets in
   let tag = line / sets in
-  let decode_toggles = write_onehot t set_onehot set in
+  let decode_toggles = onehot_toggles t sets nets.set_idx set in
+  nets.set_idx <- set;
   let stored = Sim.Cache.way_tags cache addr in
   let tag_toggles = ref 0 in
   Array.iteri
     (fun w stored_tag ->
       (* XNOR comparator nets between the request tag and the way tag. *)
       let x = if stored_tag < 0 then tag else tag lxor stored_tag in
-      tag_toggles :=
-        !tag_toggles
-        + write_bits t tag_cmp.(w) 0 (Bytes.length tag_cmp.(w)) x)
+      tag_toggles := !tag_toggles + field_toggles t nets.tag_vals.(w) x nets.tag_width;
+      nets.tag_vals.(w) <- x)
     stored;
   ignore (Sim.Cache.access cache addr);
-  let nbits = Bytes.length line_out in
-  let pattern = data lxor line_pattern (addr / Sim.Cache.line_bytes cache) in
+  let pattern = data lxor line_pattern line in
   let array_toggles = ref 0 in
   let chunk = 62 in
   let off = ref 0 in
-  while !off < nbits do
-    let n = min chunk (nbits - !off) in
-    array_toggles :=
-      !array_toggles
-      + write_bits t line_out !off n (pattern lxor (!off * 0x5bd1e995));
-    off := !off + n
+  let k = ref 0 in
+  while !off < nets.line_bits do
+    let n = min chunk (nets.line_bits - !off) in
+    let v = pattern lxor (!off * 0x5bd1e995) in
+    array_toggles := !array_toggles + field_toggles t nets.line_chunks.(!k) v n;
+    nets.line_chunks.(!k) <- v;
+    off := !off + n;
+    incr k
   done;
   { decode_toggles; tag_toggles = !tag_toggles; array_toggles = !array_toggles }
 
-let icache_activity t addr =
-  cache_access t t.icache t.itag_cmp t.iset_onehot t.iline_out addr 0
+let icache_activity t addr = cache_access t t.inets addr 0
 
-let dcache_activity t addr ~value =
-  cache_access t t.dcache t.dtag_cmp t.dset_onehot t.dline_out addr value
+let dcache_activity t addr ~value = cache_access t t.dnets addr value
 
-(* Evaluate the execution units with their latched inputs, as a
-   compiled-RTL simulator does for idle modules: the nets are recomputed
-   even though nothing toggles. *)
-let idle_unit_evaluations t =
-  let a = t.latched_op1 and b = t.latched_op2 in
-  (* Multiplier partial-product plane: 32 x 32 AND terms. *)
-  for i = 0 to 31 do
-    let row = if (b lsr i) land 1 = 1 then a else 0 in
-    t.mult_pp_vals.(i) <- row;
-    ignore (write_bits t t.mult_pp (32 * i) 32 row)
-  done;
-  (* Carry-save compression tree: 16 + 8 + 4 + 2 + 1 rows of 64-bit
-     nets, evaluated level by level. *)
-  let level = Array.copy t.mult_pp_vals in
-  let off = ref 0 in
-  let n = ref 32 in
-  while !n > 1 do
-    let half = !n / 2 in
-    for i = 0 to half - 1 do
-      let x = level.(2 * i) and y = level.((2 * i) + 1) in
-      let v = (x lxor y) lor ((x land y) lsl 1) in
-      level.(i) <- v land 0x3fff_ffff_ffff_ffff;
-      ignore (write_bits t t.mult_tree (64 * (!off + i)) 64 level.(i))
-    done;
-    off := !off + half;
-    n := half
-  done;
-  (* ALU: inputs, carries, sum, logic plane. *)
-  ignore (write_bits t t.alu_nets 0 32 a);
-  ignore (write_bits t t.alu_nets 32 32 b);
-  ignore (write_bits t t.alu_nets 64 32 (a + b));
-  ignore (write_bits t t.alu_nets 96 32 (a land b));
-  ignore (write_bits t t.alu_nets 128 32 (a lxor b));
-  (* Barrel shifter stages. *)
-  let v = ref a in
-  for s = 0 to 5 do
-    ignore (write_bits t t.shift_nets (32 * s) 32 !v);
-    v := (!v lsl 1) land 0xffff_ffff
-  done
+(* Idle execution units see latched (unchanged) inputs, so by
+   construction none of their nets toggle and no energy is charged; only
+   the evaluation cost remains: 32x32 partial-product AND plane, the
+   16+8+4+2+1 rows of 64-bit carry-save compression nets, five 32-bit ALU
+   planes and six 32-bit shifter stages. *)
+let idle_cost = (32 * 32) + (31 * 64) + (5 * 32) + (6 * 32)
 
-(* Clock every register-file flop; only the written row can toggle. *)
+let idle_unit_evaluations t = t.evals <- t.evals + idle_cost
+
+(* Clock every register-file flop; only the written row can toggle, and
+   row toggles are charged through the pipeline/regfile coefficients, so
+   the plane contributes evaluation cost only. *)
 let regfile_cells t ~write =
   (match write with
    | Some (r, v) -> t.rf_values.(r land 63) <- v land 0xffff_ffff
    | None -> ());
-  for r = 0 to 63 do
-    ignore (write_bits t t.rf_plane (32 * r) 32 t.rf_values.(r))
-  done
+  t.evals <- t.evals + (64 * 32)
 
 let evaluations t = t.evals

@@ -11,7 +11,13 @@
     compiled-RTL simulator would.
 
     Energy is toggles times per-net coefficients; calibration constants
-    live in {!Blocks}. *)
+    live in {!Blocks}.
+
+    Net vectors are packed into native integers (toggle counts are
+    Hamming distances, one-hot decoders are represented by their selected
+    index), which is bit-exact with a one-net-per-byte evaluation — the
+    toggle counts and the {!evaluations} cost metric are unchanged — but
+    keeps the per-cycle work to a handful of word operations. *)
 
 type t
 

@@ -17,6 +17,16 @@ val solve_normal : ?ridge:float -> Matrix.t -> float array -> float array
 (** Pseudo-inverse via the normal equations (Gaussian elimination with
     partial pivoting); [ridge] adds [lambda * I]. *)
 
+val solve_once : Matrix.t -> float array -> float array
+(** QR with a fallback to ridge-damped ([1e-6]) normal equations when
+    rank deficient; the unconstrained workhorse behind {!solve}. *)
+
+val solve_nnls : Matrix.t -> float array -> float array
+(** Lawson-Hanson non-negative least squares: active-set outer loop with
+    a backtracking inner loop.  Equals {!solve_once} whenever the
+    unconstrained solution is already non-negative; always terminates and
+    never returns a negative coefficient. *)
+
 val solve : ?nonnegative:bool -> Matrix.t -> float array -> float array
 (** QR with a fallback to ridge-damped normal equations when rank
     deficient.  With [nonnegative], columns whose fitted coefficient is

@@ -21,7 +21,7 @@ type t = {
   mutable cycle : int;
   mutable retired : int;
   mutable done_ : outcome option;
-  mutable observers : observer list;
+  observers : observer Queue.t;
 }
 
 let create ?(config = Config.default) ?extension asm =
@@ -42,9 +42,11 @@ let create ?(config = Config.default) ?extension asm =
     cycle = 0;
     retired = 0;
     done_ = None;
-    observers = [] }
+    observers = Queue.create () }
 
-let add_observer t obs = t.observers <- t.observers @ [ obs ]
+(* O(1) per registration (the single-pass characterization engine adds
+   observers on the hot path); notification keeps registration order. *)
+let add_observer t obs = Queue.add obs t.observers
 
 let u32 v = v land 0xffff_ffff
 
@@ -480,7 +482,7 @@ let step t =
       t.retired <- t.retired + 1;
       t.pc <- ex.next_pc;
       if ex.halt then t.done_ <- Some Halted;
-      List.iter (fun obs -> obs event) t.observers;
+      Queue.iter (fun obs -> obs event) t.observers;
       `Step event
     end
 

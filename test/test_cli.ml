@@ -1,0 +1,64 @@
+(* End-to-end tests of the xenergy executable's stream discipline:
+   diagnostics must go to stderr with a non-zero exit code, results to
+   stdout.  The binary is declared as a dune dependency and run via the
+   shell with redirected streams. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let xenergy_exe =
+  (* Relative to the sandbox cwd (test/); dune puts the freshly built
+     binary next to this test's directory. *)
+  Filename.concat (Filename.concat ".." "bin") "xenergy.exe"
+
+let run_xenergy args =
+  let out = Filename.temp_file "xenergy_out" ".txt" in
+  let err = Filename.temp_file "xenergy_err" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s"
+      (Filename.quote xenergy_exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let slurp path =
+    let s = In_channel.with_open_text path In_channel.input_all in
+    Sys.remove path;
+    s
+  in
+  (code, slurp out, slurp err)
+
+let test_unknown_workload_clean_stdout () =
+  let code, out, err = run_xenergy [ "profile"; "nosuch" ] in
+  check Alcotest.int "exit code is Cmdliner's some_error" 123 code;
+  check Alcotest.string "stdout stays clean" "" out;
+  check Alcotest.bool "stderr names the workload" true
+    (let contains hay needle =
+       let nh = String.length hay and nn = String.length needle in
+       let rec go i =
+         i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+       in
+       go 0
+     in
+     contains err "nosuch")
+
+let test_list_succeeds_on_stdout () =
+  let code, out, err = run_xenergy [ "list" ] in
+  check Alcotest.int "exit code" 0 code;
+  check Alcotest.string "nothing on stderr" "" err;
+  if String.length out = 0 then fail "no listing on stdout";
+  check Alcotest.bool "mentions the characterization suite" true
+    (String.length out > 0 && String.trim out <> "")
+
+let () =
+  if not (Sys.file_exists xenergy_exe) then
+    (* Outside the dune sandbox (e.g. a bare `./test_cli.exe` run) the
+       binary is not staged; skip rather than fail spuriously. *)
+    print_endline "test_cli: xenergy.exe not found, skipping"
+  else
+    Alcotest.run "cli"
+      [ ( "streams",
+          [ Alcotest.test_case "unknown workload" `Quick
+              test_unknown_workload_clean_stdout;
+            Alcotest.test_case "list" `Quick test_list_succeeds_on_stdout ] )
+      ]

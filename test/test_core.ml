@@ -261,9 +261,132 @@ let test_cross_validation () =
   let errs = Core.Characterize.cross_validate samples in
   check Alcotest.int "one error per sample" (List.length samples)
     (Array.length errs);
-  (* The small suite is redundant enough that held-out prediction works. *)
+  (* The small suite is redundant enough that held-out prediction works:
+     every fold is determined and finite. *)
   check Alcotest.bool "finite errors" true
-    (Array.for_all (fun e -> Float.is_finite e) errs)
+    (Array.for_all
+       (function Some e -> Float.is_finite e | None -> false)
+       errs)
+
+(* Folds whose training set is underdetermined must be skipped, not
+   abort the whole validation.  Build three synthetic samples where s0
+   exercises variable 0; s1 variables 0,1; s2 variables 0,1,2: dropping
+   s0 or s1 leaves 2 samples for 3 exercised variables (None), dropping
+   s2 leaves 2 samples for 2 variables (Some). *)
+let test_cross_validation_skips_underdetermined () =
+  let mk name vars energy =
+    let variables = Array.make Core.Variables.count 0.0 in
+    List.iter (fun (j, v) -> variables.(j) <- v) vars;
+    { Core.Characterize.sname = name; variables; measured_pj = energy;
+      cycles = 1 }
+  in
+  let samples =
+    [ mk "s0" [ (0, 2.0) ] 4.0;
+      mk "s1" [ (0, 1.0); (1, 3.0) ] 11.0;
+      mk "s2" [ (0, 1.0); (1, 1.0); (2, 5.0) ] 20.0 ]
+  in
+  let errs = Core.Characterize.cross_validate samples in
+  check Alcotest.int "one slot per sample" 3 (Array.length errs);
+  check Alcotest.bool "fold without s0 underdetermined" true
+    (errs.(0) = None);
+  check Alcotest.bool "fold without s1 underdetermined" true
+    (errs.(1) = None);
+  (match errs.(2) with
+   | Some e -> check Alcotest.bool "determined fold finite" true
+                 (Float.is_finite e)
+   | None -> fail "determined fold reported as skipped")
+
+(* The single-pass engine (estimator observing the extraction run) must
+   reproduce the legacy two-pass pipeline exactly: same samples, and
+   fitted coefficients equal to within 1e-6 relative. *)
+let test_single_pass_matches_two_pass () =
+  let suite = small_suite () in
+  let one = Core.Characterize.collect ~jobs:1 suite in
+  let two = Core.Characterize.collect_two_pass suite in
+  List.iter2
+    (fun (a : Core.Characterize.sample) (b : Core.Characterize.sample) ->
+      check Alcotest.string "sample name" b.sname a.sname;
+      check Alcotest.int "cycles" b.cycles a.cycles;
+      check (Alcotest.float 1e-12) "measured energy" b.measured_pj
+        a.measured_pj;
+      Array.iteri
+        (fun j v ->
+          check (Alcotest.float 1e-12)
+            (Printf.sprintf "%s var %d" a.sname j)
+            b.variables.(j) v)
+        a.variables)
+    one two;
+  let c1 =
+    (Core.Characterize.fit_samples one).Core.Characterize.model
+      .Core.Template.coefficients
+  and c2 =
+    (Core.Characterize.fit_samples two).Core.Characterize.model
+      .Core.Template.coefficients
+  in
+  Array.iteri
+    (fun j a ->
+      let b = c2.(j) in
+      let scale = Float.max (Float.abs a) (Float.abs b) in
+      if scale > 0.0 && Float.abs (a -. b) /. scale > 1e-6 then
+        fail
+          (Printf.sprintf "coefficient %d differs: %.9g vs %.9g" j a b))
+    c1
+
+let test_run_report_single_pass () =
+  let suite = small_suite () in
+  let samples, report =
+    Core.Characterize.collect_with_report ~jobs:1 suite
+  in
+  check Alcotest.int "entry per workload" (List.length suite)
+    (List.length report.Core.Run_report.entries);
+  check Alcotest.int "exactly one simulation per test program"
+    (List.length suite)
+    (Core.Run_report.total_simulations report);
+  List.iter2
+    (fun (s : Core.Characterize.sample) (e : Core.Run_report.entry) ->
+      check Alcotest.string "report order matches samples" s.sname
+        e.Core.Run_report.ename;
+      check Alcotest.int "cycles agree" s.cycles e.Core.Run_report.cycles;
+      check (Alcotest.float 1e-12) "energy agrees" s.measured_pj
+        e.Core.Run_report.energy_pj;
+      check Alcotest.int "single pass" 1 e.Core.Run_report.simulations)
+    samples report.Core.Run_report.entries;
+  (* JSON serialization stays parseable in spirit: it mentions every
+     workload and the simulation count. *)
+  let json = Core.Run_report.to_json report in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  check Alcotest.bool "json lists total_simulations" true
+    (contains json
+       (Printf.sprintf "\"total_simulations\": %d" (List.length suite)))
+
+(* --- Parallel map ----------------------------------------------------------- *)
+
+let test_parallel_map_order () =
+  let xs = List.init 23 (fun i -> i) in
+  let f i = i * i in
+  List.iter
+    (fun jobs ->
+      check (Alcotest.list Alcotest.int)
+        (Printf.sprintf "jobs=%d preserves order" jobs)
+        (List.map f xs)
+        (Core.Parallel.map ~jobs f xs))
+    [ 1; 2; 3; 7 ]
+
+let test_parallel_map_exception () =
+  match
+    Core.Parallel.map ~jobs:2
+      (fun i -> if i = 5 then failwith "boom" else i)
+      (List.init 8 Fun.id)
+  with
+  | _ -> fail "exception swallowed by worker pool"
+  | exception Failure msg ->
+    check Alcotest.string "original exception re-raised in parent" "boom" msg
 
 let test_timing_measures_both_paths () =
   let fit = Core.Characterize.run (small_suite ()) in
@@ -302,5 +425,16 @@ let () =
           Alcotest.test_case "evaluation table" `Quick test_evaluate_table;
           Alcotest.test_case "cross validation" `Quick
             test_cross_validation;
+          Alcotest.test_case "cross validation skips underdetermined" `Quick
+            test_cross_validation_skips_underdetermined;
+          Alcotest.test_case "single pass matches two pass" `Quick
+            test_single_pass_matches_two_pass;
+          Alcotest.test_case "run report" `Quick
+            test_run_report_single_pass;
           Alcotest.test_case "timing" `Quick
-            test_timing_measures_both_paths ] ) ]
+            test_timing_measures_both_paths ] );
+      ( "parallel",
+        [ Alcotest.test_case "map preserves order" `Quick
+            test_parallel_map_order;
+          Alcotest.test_case "map re-raises exceptions" `Quick
+            test_parallel_map_exception ] ) ]

@@ -100,13 +100,16 @@ let test_fig4_relative_accuracy () =
      && uj "rs_soft" > uj "rs_gfmul4")
 
 let test_speedup () =
+  (* The word-packed reference estimator narrowed this gap from ~80x to
+     under 10x: the bound guards the macro model's advantage, not the
+     (now much faster) reference's absolute cost. *)
   let t =
     Core.Evaluate.time_case ~repeats:2 (model ())
       (Workloads.Suite.find "bubsort")
   in
-  if t.Core.Evaluate.speedup < 10.0 then
+  if t.Core.Evaluate.speedup < 4.0 then
     fail
-      (Printf.sprintf "macro-model speedup %.1fx below 10x"
+      (Printf.sprintf "macro-model speedup %.1fx below 4x"
          t.Core.Evaluate.speedup)
 
 let test_estimation_without_reference () =

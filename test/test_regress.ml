@@ -149,6 +149,60 @@ let qcheck_nnls_matches_unconstrained_when_positive =
         Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-4) free nn
       else QCheck.assume_fail ())
 
+let qcheck_nnls_agrees_with_solve_once =
+  QCheck.Test.make
+    ~name:"NNLS equals solve_once on non-negative well-conditioned systems"
+    ~count:80
+    QCheck.(pair (int_range 1 6) (int_bound 10_000))
+    (fun (cols, seed) ->
+      let rows = cols + 6 in
+      let x, _, e = random_system ~seed ~rows ~cols in
+      let free = Regress.Lsq.solve_once x e in
+      if Array.for_all (fun v -> v >= 0.0) free then
+        let nn = Regress.Lsq.solve_nnls x e in
+        Array.for_all2
+          (fun a b -> Float.abs (a -. b) < 1e-4 *. (1.0 +. Float.abs a))
+          free nn
+      else QCheck.assume_fail ())
+
+let qcheck_nnls_backtracking_terminates =
+  QCheck.Test.make
+    ~name:"NNLS backtracking terminates feasibly on adversarial systems"
+    ~count:120
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let g = Workloads.Prng.create seed in
+      let rows = 4 + Workloads.Prng.int g 8 in
+      let cols = 1 + Workloads.Prng.int g 6 in
+      let x =
+        m_of
+          (Array.init rows (fun _ ->
+               Array.init cols (fun _ ->
+                   (float_of_int (Workloads.Prng.int g 2000) -. 1000.0)
+                   /. 100.0)))
+      in
+      let e =
+        Array.init rows (fun _ ->
+            (float_of_int (Workloads.Prng.int g 2000) -. 1000.0) /. 10.0)
+      in
+      (* Returning at all certifies that the inner backtracking loop made
+         progress; the result must also be feasible and finite. *)
+      let c = Regress.Lsq.solve_nnls x e in
+      Array.for_all (fun v -> Float.is_finite v && v >= 0.0) c)
+
+let test_nnls_lawson_hanson_example () =
+  (* The classic 4x2 example from Lawson & Hanson: the unconstrained
+     solution has a negative first component, NNLS clamps it. *)
+  let x =
+    m_of
+      [| [| 0.0372; 0.2869 |]; [| 0.6861; 0.7071 |];
+         [| 0.6233; 0.6245 |]; [| 0.6344; 0.6170 |] |]
+  in
+  let e = [| 0.8587; 0.1781; 0.0747; 0.8405 |] in
+  let c = Regress.Lsq.solve_nnls x e in
+  check (Alcotest.float 1e-6) "clamped coefficient" 0.0 c.(0);
+  check (Alcotest.float 1e-3) "surviving coefficient" 0.6929 c.(1)
+
 let test_residuals () =
   let x = m_of [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
   let r = Regress.Lsq.residuals x [| 2.0; 3.0 |] [| 1.0; 1.0 |] in
@@ -202,6 +256,10 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_nnls_nonnegative;
           QCheck_alcotest.to_alcotest
             qcheck_nnls_matches_unconstrained_when_positive;
+          QCheck_alcotest.to_alcotest qcheck_nnls_agrees_with_solve_once;
+          QCheck_alcotest.to_alcotest qcheck_nnls_backtracking_terminates;
+          Alcotest.test_case "Lawson-Hanson example" `Quick
+            test_nnls_lawson_hanson_example;
           Alcotest.test_case "residuals" `Quick test_residuals ] );
       ( "stats",
         [ Alcotest.test_case "basics" `Quick test_stats;

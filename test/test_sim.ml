@@ -628,6 +628,41 @@ let test_stats_totals () =
   check Alcotest.int "one untaken branch" 1
     stats.Sim.Stats.branch_untaken_cycles
 
+let test_observer_registration_order () =
+  (* Observers must be notified in registration order on every event:
+     downstream observers (e.g. the power estimator) may rely on state
+     accumulated by upstream ones. *)
+  let open Isa.Builder in
+  let b = Isa.Builder.create "t" in
+  Isa.Builder.label b "main";
+  movi b a2 4;
+  label b "loop";
+  addi b a2 a2 (-1);
+  bnez b a2 "loop";
+  Isa.Builder.halt b;
+  let asm = Isa.Program.assemble (Isa.Builder.seal b) in
+  let cpu = Sim.Cpu.create asm in
+  let calls = ref [] in
+  let nobs = 10 in
+  for i = 0 to nobs - 1 do
+    Sim.Cpu.add_observer cpu (fun _ -> calls := i :: !calls)
+  done;
+  let events = ref 0 in
+  let rec go () =
+    match Sim.Cpu.step cpu with
+    | `Step _ ->
+      incr events;
+      go ()
+    | `Done _ -> ()
+  in
+  go ();
+  check Alcotest.bool "program produced events" true (!events > 0);
+  let expected =
+    List.concat (List.init !events (fun _ -> List.init nobs (fun i -> i)))
+  in
+  check (Alcotest.list Alcotest.int) "registration order per event" expected
+    (List.rev !calls)
+
 let () =
   Alcotest.run "sim"
     [ ( "memory",
@@ -665,6 +700,8 @@ let () =
           Alcotest.test_case "unknown custom" `Quick
             test_unknown_custom_rejected;
           Alcotest.test_case "watchdog" `Quick test_watchdog;
-          Alcotest.test_case "stats totals" `Quick test_stats_totals ] );
+          Alcotest.test_case "stats totals" `Quick test_stats_totals;
+          Alcotest.test_case "observer order" `Quick
+            test_observer_registration_order ] );
       ( "differential",
         [ QCheck_alcotest.to_alcotest qcheck_cpu_matches_int32_oracle ] ) ]
