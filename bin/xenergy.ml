@@ -5,7 +5,11 @@
      xenergy profile NAME            ISS statistics + macro-model variables
      xenergy reference NAME          reference-estimator energy breakdown
      xenergy characterize [-o FILE]  fit the macro-model (Table I / Fig 3)
+                [--trace FILE]       Chrome trace of the whole pipeline
+                [--metrics FILE]     metrics registry dump (JSON)
      xenergy estimate NAME [-m FILE] macro-model energy of one workload
+     xenergy attribute NAME [-m FILE] per-variable energy breakdown +
+                                      power-over-time waveform
      xenergy compare [-m FILE]       Table II accuracy comparison
      xenergy rs [-m FILE]            Fig 4 design-space study
      xenergy disasm NAME             disassembly listing
@@ -129,13 +133,39 @@ let characterize_cmd =
                    cache misses, energy, simulation count) and save it as
                    JSON to $(docv).")
   in
-  let run out report jobs =
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record spans for the whole pipeline (simulate, extract,
+                   fit, cross-validate, per-worker lanes) and save them as
+                   Chrome trace-event JSON to $(docv) — loadable in
+                   chrome://tracing or Perfetto.")
+  in
+  let metrics_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Record the metrics registry (simulator retirement
+                   counters, NNLS iterations, worker-pool degradations)
+                   and save it as JSON to $(docv).")
+  in
+  let run out report trace metrics jobs =
+    if trace <> None then Obs.Trace.set_enabled true;
+    if metrics <> None then Obs.Metrics.set_enabled true;
     let samples, run_report =
       Core.Characterize.collect_with_report ?jobs
         (Workloads.Suite.characterization ())
     in
     let fit = Core.Characterize.fit_samples samples in
+    let loo = Core.Characterize.cross_validate ?jobs samples in
     Format.fprintf fmt "%a@." Core.Characterize.pp_fit fit;
+    let loo_values = Array.to_list loo |> List.filter_map Fun.id in
+    let skipped = Array.length loo - List.length loo_values in
+    Format.fprintf fmt
+      "leave-one-out rms error %.2f%% over %d folds (%d underdetermined \
+       fold%s skipped)@."
+      (Regress.Stats.rms (Array.of_list loo_values))
+      (List.length loo_values) skipped
+      (if skipped = 1 then "" else "s");
     Format.fprintf fmt "%a@."
       (Core.Template.pp_table1 ~paper:Core.Template.paper_reference)
       fit.Core.Characterize.model;
@@ -146,17 +176,31 @@ let characterize_cmd =
         with Sys_error msg -> die "cannot write run report: %s" msg);
        Format.fprintf fmt "run report written to %s@." path
      | None -> ());
-    match out with
+    (match out with
+     | Some path ->
+       (try Core.Template.save path fit.Core.Characterize.model
+        with Sys_error msg -> die "cannot write coefficients: %s" msg);
+       Format.fprintf fmt "coefficients written to %s@." path
+     | None -> ());
+    (match trace with
+     | Some path ->
+       (try Obs.Trace.save path
+        with Sys_error msg -> die "cannot write trace: %s" msg);
+       Format.fprintf fmt "trace written to %s (open in chrome://tracing \
+                           or https://ui.perfetto.dev)@." path
+     | None -> ());
+    match metrics with
     | Some path ->
-      (try Core.Template.save path fit.Core.Characterize.model
-       with Sys_error msg -> die "cannot write coefficients: %s" msg);
-      Format.fprintf fmt "coefficients written to %s@." path
+      (try Obs.Metrics.save path
+       with Sys_error msg -> die "cannot write metrics: %s" msg);
+      Format.fprintf fmt "metrics written to %s@." path
     | None -> ()
   in
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Fit the macro-model on the characterization suite")
-    Term.(const run $ out_arg $ report_arg $ jobs_arg)
+    Term.(const run $ out_arg $ report_arg $ trace_arg $ metrics_arg
+          $ jobs_arg)
 
 (* --- estimate ------------------------------------------------------------ *)
 
@@ -172,6 +216,59 @@ let estimate_cmd =
   Cmd.v
     (Cmd.info "estimate" ~doc:"Macro-model energy of one workload")
     Term.(const run $ model_arg $ name_arg)
+
+(* --- attribute ------------------------------------------------------------ *)
+
+let attribute_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the breakdown as JSON (energies in pJ, units
+                   stated in the document) instead of the table.")
+  in
+  let bucket_arg =
+    Arg.(value & opt int 64
+         & info [ "bucket" ] ~docv:"CYCLES"
+             ~doc:"Waveform bucket width in cycles.")
+  in
+  let run model_path name json bucket jobs =
+    if bucket <= 0 then die "bucket width must be positive";
+    let c = find_case name in
+    let model = load_or_fit ?jobs model_path in
+    (* One simulation feeds both decompositions: the attribution engine
+       and the reference estimator observe the same event stream. *)
+    let est =
+      Power.Estimator.create ?extension:c.Core.Extract.extension
+        Sim.Config.default
+    in
+    let ref_wf = Obs.Waveform.create ~bucket_cycles:bucket () in
+    let b =
+      Core.Attribution.run ~bucket_cycles:bucket
+        ~observers:[ Power.Estimator.observer_with_waveform est ref_wf ]
+        model c
+    in
+    let ref_pj = Power.Estimator.total_energy est in
+    if json then
+      Format.fprintf fmt
+        "{\"attribution\": %s,@ \"reference_energy_pj\": %.6f,@ \
+         \"reference_waveform\": %s}@."
+        (Core.Attribution.to_json b)
+        ref_pj
+        (Obs.Waveform.to_json ref_wf)
+    else begin
+      Format.fprintf fmt "%a@." Core.Attribution.pp b;
+      Format.fprintf fmt
+        "@.reference energy %a, macro-model error %+.2f%%@."
+        Power.Report.pp_energy ref_pj
+        (if Float.abs ref_pj < 1e-9 then 0.0
+         else 100.0 *. (b.Core.Attribution.total_pj -. ref_pj) /. ref_pj)
+    end
+  in
+  Cmd.v
+    (Cmd.info "attribute"
+       ~doc:"Per-variable energy breakdown and power-over-time waveform
+             of one workload")
+    Term.(const run $ model_arg $ name_arg $ json_arg $ bucket_arg $ jobs_arg)
 
 (* --- compare ------------------------------------------------------------- *)
 
@@ -410,7 +507,7 @@ let main_cmd =
   let doc = "Energy estimation for extensible processors" in
   Cmd.group (Cmd.info "xenergy" ~version:"1.0.0" ~doc)
     [ list_cmd; profile_cmd; reference_cmd; characterize_cmd; estimate_cmd;
-      compare_cmd; rs_cmd; disasm_cmd; breakdown_cmd; trace_cmd;
-      run_cmd; cc_cmd ]
+      attribute_cmd; compare_cmd; rs_cmd; disasm_cmd; breakdown_cmd;
+      trace_cmd; run_cmd; cc_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

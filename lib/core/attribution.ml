@@ -1,0 +1,143 @@
+type row = {
+  variable : Variables.id;
+  count : float;
+  coefficient_pj : float;
+  energy_pj : float;
+  share : float;
+}
+
+type breakdown = {
+  workload : string;
+  total_pj : float;
+  rows : row list;
+  waveform : Obs.Waveform.t;
+  cycles : int;
+  instructions : int;
+}
+
+type t = {
+  model : Template.model;
+  stats : Sim.Stats.t;
+  res : Resource.t;
+  waveform : Obs.Waveform.t;
+  mutable prev_total : float;
+}
+
+let create ?bucket_cycles ?complexity ?extension ~config model =
+  { model;
+    stats = Sim.Stats.create config;
+    res = Resource.create ?complexity extension;
+    waveform = Obs.Waveform.create ?bucket_cycles ();
+    prev_total = 0.0 }
+
+(* Each event advances the two built-in accumulators; the marginal model
+   energy (new total minus old) is that instruction's bin contribution.
+   Telescoping guarantees the waveform sums to the final model energy
+   exactly, so both decompositions close over the same total. *)
+let observe t (e : Sim.Event.t) =
+  Sim.Stats.observe t.stats e;
+  Resource.observe t.res e;
+  let total =
+    Template.energy t.model (Extract.variables_of_stats t.stats t.res)
+  in
+  Obs.Waveform.add t.waveform ~cycle:e.Sim.Event.start_cycle
+    ~energy_pj:(total -. t.prev_total);
+  t.prev_total <- total
+
+let observer t : Sim.Cpu.observer = fun e -> observe t e
+
+let finish t ~name ~cycles ~instructions =
+  let vars = Extract.variables_of_stats t.stats t.res in
+  let total = Template.energy t.model vars in
+  let rows =
+    List.map
+      (fun id ->
+        let i = Variables.index id in
+        let c = Template.coefficient t.model id in
+        let energy = c *. vars.(i) in
+        { variable = id;
+          count = vars.(i);
+          coefficient_pj = c;
+          energy_pj = energy;
+          share = (if Float.abs total < 1e-12 then 0.0 else energy /. total) })
+      Variables.all
+    |> List.sort (fun a b -> Float.compare b.energy_pj a.energy_pj)
+  in
+  { workload = name;
+    total_pj = total;
+    rows;
+    waveform = t.waveform;
+    cycles;
+    instructions }
+
+let run ?(config = Sim.Config.default) ?bucket_cycles ?complexity
+    ?(observers = []) model (c : Extract.case) =
+  Obs.Trace.with_span ~cat:"attribute" ("attribute:" ^ c.Extract.case_name)
+  @@ fun () ->
+  let t =
+    create ?bucket_cycles ?complexity ?extension:c.Extract.extension ~config
+      model
+  in
+  let cpu, _outcome =
+    Sim.Cpu.run_program ~config ?extension:c.Extract.extension
+      ~observers:(observer t :: observers)
+      c.Extract.asm
+  in
+  finish t ~name:c.Extract.case_name ~cycles:(Sim.Cpu.cycles cpu)
+    ~instructions:(Sim.Cpu.instructions cpu)
+
+let check_sum b =
+  let sum = List.fold_left (fun acc r -> acc +. r.energy_pj) 0.0 b.rows in
+  Float.abs (sum -. b.total_pj) /. Float.max (Float.abs b.total_pj) 1.0
+
+let pp ppf b =
+  Format.fprintf ppf
+    "@[<v>%s: %d instructions, %d cycles, %.3f uJ estimated@,@,"
+    b.workload b.instructions b.cycles (b.total_pj /. 1.0e6);
+  Format.fprintf ppf "%-12s %-38s %12s %12s %10s %7s@," "variable"
+    "description" "count" "coeff (pJ)" "energy uJ" "share";
+  List.iter
+    (fun r ->
+      if r.count <> 0.0 then
+        Format.fprintf ppf "%-12s %-38s %12.1f %12.1f %10.3f %6.1f%%@,"
+          (Variables.name r.variable)
+          (Variables.describe r.variable)
+          r.count r.coefficient_pj
+          (r.energy_pj /. 1.0e6)
+          (100.0 *. r.share))
+    b.rows;
+  Format.fprintf ppf "@,power over time (bucket = %d cycles):@,%a@]"
+    (Obs.Waveform.bucket_cycles b.waveform)
+    Obs.Waveform.pp b.waveform
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json b =
+  let row_json r =
+    Printf.sprintf
+      "{\"variable\": \"%s\", \"description\": \"%s\", \"count\": %.6f, \
+       \"coefficient_pj\": %.6f, \"energy_pj\": %.6f, \"share\": %.6f}"
+      (json_escape (Variables.name r.variable))
+      (json_escape (Variables.describe r.variable))
+      r.count r.coefficient_pj r.energy_pj r.share
+  in
+  Printf.sprintf
+    "{\n  \"workload\": \"%s\",\n  \"units\": {\"energy_pj\": \
+     \"picojoules\"},\n  \"total_energy_pj\": %.6f,\n  \"cycles\": %d,\n  \
+     \"instructions\": %d,\n  \"variables\": [\n    %s\n  ],\n  \
+     \"waveform\": %s\n}"
+    (json_escape b.workload) b.total_pj b.cycles b.instructions
+    (String.concat ",\n    " (List.map row_json b.rows))
+    (Obs.Waveform.to_json b.waveform)

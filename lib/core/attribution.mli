@@ -1,0 +1,66 @@
+(** Energy attribution: decompose a workload's macro-model energy across
+    the 21 model variables, plus a cycle-bucketed power waveform.
+
+    The macro-model is linear — [E = sum_i c_i * x_i] — so per-variable
+    attribution is exact: each variable's contribution is its coefficient
+    times its extracted count, and the contributions sum to the
+    workload's total estimated energy to rounding error.  The engine is
+    an {!Sim.Event} observer (the same stream the estimators use): it
+    folds the statistics and resource observers incrementally and bins
+    each instruction's marginal model energy by retirement cycle, which
+    yields the power-over-time waveform per-component models cannot
+    provide on their own. *)
+
+type row = {
+  variable : Variables.id;
+  count : float;             (** extracted variable value *)
+  coefficient_pj : float;    (** fitted energy coefficient, pJ *)
+  energy_pj : float;         (** [count *. coefficient_pj] *)
+  share : float;             (** fraction of the total (0 when total = 0) *)
+}
+
+type breakdown = {
+  workload : string;
+  total_pj : float;          (** macro-model energy of the workload *)
+  rows : row list;           (** one per variable, descending energy *)
+  waveform : Obs.Waveform.t; (** model energy binned by retirement cycle *)
+  cycles : int;
+  instructions : int;
+}
+
+type t
+(** An attribution engine usable as a simulation observer. *)
+
+val create :
+  ?bucket_cycles:int ->
+  ?complexity:(Tie.Component.t -> float) ->
+  ?extension:Tie.Compile.compiled ->
+  config:Sim.Config.t ->
+  Template.model ->
+  t
+
+val observer : t -> Sim.Cpu.observer
+
+val finish : t -> name:string -> cycles:int -> instructions:int -> breakdown
+
+val run :
+  ?config:Sim.Config.t ->
+  ?bucket_cycles:int ->
+  ?complexity:(Tie.Component.t -> float) ->
+  ?observers:Sim.Cpu.observer list ->
+  Template.model ->
+  Extract.case ->
+  breakdown
+(** Simulate the case once with the attribution engine (and any extra
+    [observers], e.g. the reference estimator for a side-by-side
+    comparison) attached. *)
+
+val check_sum : breakdown -> float
+(** Relative gap |sum rows - total| / max(|total|, 1): the attribution
+    invariant tests assert this is below 1e-6. *)
+
+val pp : Format.formatter -> breakdown -> unit
+(** Per-variable table (uJ alongside pJ) followed by the waveform. *)
+
+val to_json : breakdown -> string
+(** Units are explicit: all energies are picojoules. *)

@@ -43,23 +43,36 @@ let collect_one ~config ?params ?complexity (c : Extract.case) =
       instructions = prof.Extract.instructions;
       icache_misses = misses Variables.Icache_miss;
       dcache_misses = misses Variables.Dcache_miss;
+      stall_cycles = prof.Extract.stall_cycles;
+      interlocks = misses Variables.Interlock;
       energy_pj = energy;
       simulations = 1 } )
 
 let collect_with_report ?(config = Sim.Config.default) ?params ?complexity
     ?jobs cases =
-  let t0 = Unix.gettimeofday () in
-  let pairs =
-    Parallel.map ?jobs (collect_one ~config ?params ?complexity) cases
-  in
-  let total_seconds = Unix.gettimeofday () -. t0 in
-  let jobs_used =
-    let j = match jobs with Some j -> max 1 j | None -> Parallel.default_jobs () in
-    max 1 (min j (List.length cases))
-  in
-  ( List.map fst pairs,
-    { Run_report.entries = List.map snd pairs; total_seconds; jobs = jobs_used }
-  )
+  Obs.Trace.with_span ~cat:"characterize" "collect" (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let pairs, pstats =
+        Parallel.map_with_stats ?jobs
+          (collect_one ~config ?params ?complexity)
+          cases
+      in
+      let total_seconds = Unix.gettimeofday () -. t0 in
+      let jobs_used =
+        let j =
+          match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+        in
+        max 1 (min j (List.length cases))
+      in
+      ( List.map fst pairs,
+        { Run_report.entries = List.map snd pairs;
+          total_seconds;
+          jobs = jobs_used;
+          parallel =
+            { Run_report.serial_fallbacks =
+                (if pstats.Parallel.serial_fallback then 1 else 0);
+              failed_forks = pstats.Parallel.failed_forks;
+              recomputed_slices = pstats.Parallel.recomputed_slices } } ))
 
 let collect ?config ?params ?complexity ?jobs cases =
   fst (collect_with_report ?config ?params ?complexity ?jobs cases)
@@ -82,6 +95,7 @@ let collect_two_pass ?(config = Sim.Config.default) ?params ?complexity cases =
     cases
 
 let fit_samples ?(nonnegative = true) samples =
+  Obs.Trace.with_span ~cat:"characterize" "fit" @@ fun () ->
   let n = List.length samples in
   if n = 0 then invalid_arg "Characterize.fit_samples: no samples";
   let nvars = Variables.count in
@@ -126,16 +140,25 @@ let fit_samples ?(nonnegative = true) samples =
     max_abs_percent = Regress.Stats.max_abs errors_percent;
     r_squared = Regress.Stats.r_squared ~predicted:fitted_pj ~actual:e }
 
+let skipped_folds =
+  lazy (Obs.Metrics.counter "characterize_folds_skipped_total")
+
 let cross_validate ?nonnegative ?jobs samples =
+  Obs.Trace.with_span ~cat:"characterize" "cross-validate" @@ fun () ->
   let arr = Array.of_list samples in
   let fold i =
+    Obs.Trace.with_span ~cat:"characterize"
+      (Printf.sprintf "fold:%s" arr.(i).sname)
+    @@ fun () ->
     let held_out = arr.(i) in
     let training = Array.to_list arr |> List.filteri (fun j _ -> j <> i) in
     (* Dropping a sample can leave fewer training samples than exercised
        variables (e.g. the only program touching a variable); such folds
        are unidentifiable, not fatal — report them as [None]. *)
     match fit_samples ?nonnegative training with
-    | exception Invalid_argument _ -> None
+    | exception Invalid_argument _ ->
+      Obs.Metrics.inc (Lazy.force skipped_folds);
+      None
     | f ->
       let predicted = Template.energy f.model held_out.variables in
       if Float.abs held_out.measured_pj < 1e-9 then Some 0.0

@@ -10,6 +10,7 @@ type profile = {
   variables : float array;
   cycles : int;
   instructions : int;
+  stall_cycles : int;
   outcome : Sim.Cpu.outcome;
 }
 
@@ -37,18 +38,21 @@ let variables_of_stats (st : Sim.Stats.t) (res : Resource.t) =
   v
 
 let profile ?(config = Sim.Config.default) ?complexity ?(observers = []) c =
-  let stats = Sim.Stats.create config in
-  let res = Resource.create ?complexity c.extension in
-  let cpu, outcome =
-    Sim.Cpu.run_program ~config ?extension:c.extension
-      ~observers:
-        (Sim.Stats.observer stats :: Resource.observer res :: observers)
-      c.asm
-  in
-  { variables = variables_of_stats stats res;
-    cycles = Sim.Cpu.cycles cpu;
-    instructions = Sim.Cpu.instructions cpu;
-    outcome }
+  Obs.Trace.with_span ~cat:"extract" ("extract:" ^ c.case_name) (fun () ->
+      let stats = Sim.Stats.create config in
+      let res = Resource.create ?complexity c.extension in
+      let cpu, outcome =
+        Obs.Trace.with_span ~cat:"sim" ("simulate:" ^ c.case_name) (fun () ->
+            Sim.Cpu.run_program ~config ?extension:c.extension
+              ~observers:
+                (Sim.Stats.observer stats :: Resource.observer res :: observers)
+              c.asm)
+      in
+      { variables = variables_of_stats stats res;
+        cycles = Sim.Cpu.cycles cpu;
+        instructions = Sim.Cpu.instructions cpu;
+        stall_cycles = stats.Sim.Stats.stall_cycles;
+        outcome })
 
 let variable p id = p.variables.(Variables.index id)
 

@@ -21,8 +21,14 @@ type profile = {
   variables : float array;   (** indexed per [Variables.all] *)
   cycles : int;
   instructions : int;
+  stall_cycles : int;        (** operand-dependency stall cycles *)
   outcome : Sim.Cpu.outcome;
 }
+
+val variables_of_stats : Sim.Stats.t -> Resource.t -> float array
+(** Assemble the macro-model variable vector from the two built-in
+    observers' accumulated state (also used incrementally by the energy
+    attribution engine). *)
 
 val profile :
   ?config:Sim.Config.t ->

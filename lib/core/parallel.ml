@@ -7,7 +7,14 @@
    bit-exactly).  Degrades gracefully: with one core, one job, one item
    or a failed [fork] it just runs serially, and any worker that dies or
    raises has its slice recomputed serially in the parent (re-raising
-   there if the computation genuinely fails). *)
+   there if the computation genuinely fails).
+
+   Observability: every degraded path is counted (metrics + [run_stats],
+   surfaced in the characterization run report), and with tracing on
+   each worker records its own spans on lane [w + 1], shipping them back
+   inside the result payload so the parent's Chrome trace shows true
+   per-worker lanes; the parent frames each lane with a fork-to-join
+   span and times the marshalled reads. *)
 
 let default_jobs () =
   match Sys.getenv_opt "XENERGY_JOBS" with
@@ -17,7 +24,44 @@ let default_jobs () =
     | Some _ | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
-type 'b payload = ('b, string) result
+type run_stats = {
+  workers_spawned : int;
+  failed_forks : int;
+  serial_fallback : bool;
+  recomputed_slices : int;
+  recomputed_items : int;
+}
+
+let no_stats =
+  { workers_spawned = 0;
+    failed_forks = 0;
+    serial_fallback = false;
+    recomputed_slices = 0;
+    recomputed_items = 0 }
+
+module M = struct
+  let serial_fallbacks =
+    lazy (Obs.Metrics.counter "parallel_serial_fallbacks_total")
+
+  let failed_forks = lazy (Obs.Metrics.counter "parallel_failed_forks_total")
+
+  let recomputed_slices =
+    lazy (Obs.Metrics.counter "parallel_recomputed_slices_total")
+
+  let recomputed_items =
+    lazy (Obs.Metrics.counter "parallel_recomputed_items_total")
+
+  let workers_spawned =
+    lazy (Obs.Metrics.counter "parallel_workers_spawned_total")
+
+  let slice_seconds = lazy (Obs.Metrics.histogram "parallel_slice_seconds")
+end
+
+type 'b payload = {
+  p_res : ((int * 'b) list, string) result;
+  p_events : Obs.Trace.event list;
+  p_metrics : Obs.Metrics.snapshot option;
+}
 
 let stride_indices ~n ~jobs w =
   List.filter (fun i -> i mod jobs = w) (List.init n Fun.id)
@@ -34,9 +78,31 @@ let spawn_worker arr f ~n ~jobs w =
     | 0 ->
       Unix.close rd;
       let oc = Unix.out_channel_of_descr wr in
-      let payload : _ payload =
-        try Ok (List.map (fun i -> (i, f arr.(i))) (stride_indices ~n ~jobs w))
+      (* The child starts its own lane and ships only its delta: trace
+         events recorded after this point, metric increments on top of a
+         zeroed registry (the fork copied the parent's values; resetting
+         here touches only the child's copy). *)
+      Obs.Trace.set_tid (w + 1);
+      Obs.Trace.clear ();
+      let metrics_on = Obs.Metrics.enabled () in
+      if metrics_on then Obs.Metrics.reset ();
+      let res =
+        try
+          Ok
+            (List.map
+               (fun i ->
+                 ( i,
+                   Obs.Trace.with_span ~cat:"parallel"
+                     (Printf.sprintf "item:%d" i)
+                     (fun () -> f arr.(i)) ))
+               (stride_indices ~n ~jobs w))
         with e -> Error (Printexc.to_string e)
+      in
+      let payload =
+        { p_res = res;
+          p_events = Obs.Trace.drain ();
+          p_metrics = (if metrics_on then Some (Obs.Metrics.snapshot ()) else None)
+        }
       in
       (try
          Marshal.to_channel oc payload [];
@@ -46,49 +112,101 @@ let spawn_worker arr f ~n ~jobs w =
       Unix._exit 0
     | pid ->
       Unix.close wr;
-      Some (pid, rd, stride_indices ~n ~jobs w))
+      Some (pid, rd, Obs.Trace.now_us (), stride_indices ~n ~jobs w))
 
-let map ?jobs f xs =
+let map_with_stats ?jobs f xs =
   let arr = Array.of_list xs in
   let n = Array.length arr in
   let jobs =
     let j = match jobs with Some j -> j | None -> default_jobs () in
     max 1 (min j n)
   in
-  if jobs <= 1 || n <= 1 then List.map f xs
+  if jobs <= 1 || n <= 1 then (List.map f xs, no_stats)
   else begin
     (* Children inherit the stdio buffers: flush so nothing is emitted
        twice. *)
     flush stdout;
     flush stderr;
+    let attempts = List.init jobs Fun.id in
     let workers =
-      List.filter_map (spawn_worker arr f ~n ~jobs) (List.init jobs Fun.id)
+      List.filter_map
+        (fun w -> Option.map (fun s -> (w, s)) (spawn_worker arr f ~n ~jobs w))
+        attempts
     in
-    let results = Array.make n None in
-    let leftover = ref [] in
-    let covered = Array.make n false in
-    List.iter
-      (fun (_, _, idxs) -> List.iter (fun i -> covered.(i) <- true) idxs)
-      workers;
-    Array.iteri (fun i c -> if not c then leftover := i :: !leftover) covered;
-    List.iter
-      (fun (pid, rd, idxs) ->
-        let ic = Unix.in_channel_of_descr rd in
-        let payload =
-          match (Marshal.from_channel ic : _ payload) with
-          | p -> Some p
-          | exception _ -> None
-        in
-        (try close_in ic with _ -> ());
-        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
-        match payload with
-        | Some (Ok pairs) ->
-          List.iter (fun (i, r) -> results.(i) <- Some r) pairs
-        | Some (Error _) | None ->
-          (* Dead or failing worker: recompute its slice in the parent so
-             a genuine exception surfaces with its real backtrace. *)
-          leftover := idxs @ !leftover)
-      workers;
-    List.iter (fun i -> results.(i) <- Some (f arr.(i))) !leftover;
-    Array.to_list (Array.map Option.get results)
+    let spawned = List.length workers in
+    let failed_forks = jobs - spawned in
+    Obs.Metrics.inc ~by:failed_forks (Lazy.force M.failed_forks);
+    Obs.Metrics.inc ~by:spawned (Lazy.force M.workers_spawned);
+    if workers = [] then begin
+      (* Parallelism was requested but no worker could be forked: run the
+         whole map serially in the parent. *)
+      Obs.Metrics.inc (Lazy.force M.serial_fallbacks);
+      ( List.map f xs,
+        { no_stats with failed_forks; serial_fallback = true } )
+    end
+    else begin
+      if Obs.Trace.enabled () then begin
+        Obs.Trace.thread_name ~tid:0 "main";
+        List.iter
+          (fun (w, _) ->
+            Obs.Trace.thread_name ~tid:(w + 1)
+              (Printf.sprintf "worker %d" (w + 1)))
+          workers
+      end;
+      let results = Array.make n None in
+      let leftover = ref [] in
+      let recomputed_slices = ref 0 in
+      let covered = Array.make n false in
+      List.iter
+        (fun (_, (_, _, _, idxs)) ->
+          List.iter (fun i -> covered.(i) <- true) idxs)
+        workers;
+      Array.iteri (fun i c -> if not c then leftover := i :: !leftover) covered;
+      List.iter
+        (fun (w, (pid, rd, t_fork, idxs)) ->
+          let ic = Unix.in_channel_of_descr rd in
+          let t_read = Obs.Trace.now_us () in
+          let payload =
+            match (Marshal.from_channel ic : _ payload) with
+            | p -> Some p
+            | exception _ -> None
+          in
+          Obs.Trace.complete ~cat:"parallel" ~tid:0
+            ~name:(Printf.sprintf "join:%d" (w + 1))
+            ~ts:t_read
+            ~dur:(Obs.Trace.now_us () -. t_read)
+            ();
+          (try close_in ic with _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          let t_join = Obs.Trace.now_us () in
+          Obs.Trace.complete ~cat:"parallel" ~tid:(w + 1)
+            ~name:(Printf.sprintf "worker:%d" (w + 1))
+            ~args:[ ("items", Obs.Trace.I (List.length idxs)) ]
+            ~ts:t_fork ~dur:(t_join -. t_fork) ();
+          Obs.Metrics.observe (Lazy.force M.slice_seconds)
+            ((t_join -. t_fork) /. 1e6);
+          match payload with
+          | Some { p_res = Ok pairs; p_events; p_metrics } ->
+            Obs.Trace.emit_all p_events;
+            Option.iter Obs.Metrics.merge p_metrics;
+            List.iter (fun (i, r) -> results.(i) <- Some r) pairs
+          | Some { p_res = Error _; _ } | None ->
+            (* Dead or failing worker: recompute its slice in the parent
+               so a genuine exception surfaces with its real backtrace. *)
+            incr recomputed_slices;
+            leftover := idxs @ !leftover)
+        workers;
+      Obs.Metrics.inc ~by:!recomputed_slices (Lazy.force M.recomputed_slices);
+      let recomputed_items = List.length !leftover in
+      Obs.Metrics.inc ~by:recomputed_items (Lazy.force M.recomputed_items);
+      List.iter (fun i -> results.(i) <- Some (f arr.(i))) !leftover;
+      ( Array.to_list (Array.map Option.get results),
+        { workers_spawned = spawned;
+          failed_forks;
+          serial_fallback = false;
+          recomputed_slices = !recomputed_slices;
+          recomputed_items } )
+    end
   end
+
+let map ?jobs f xs = fst (map_with_stats ?jobs f xs)

@@ -6,15 +6,39 @@
     single-core machine), when the list has fewer than two elements or
     when [fork] fails; a worker that dies or raises has its slice
     recomputed serially in the parent, so exceptions propagate with their
-    real backtrace. *)
+    real backtrace.
+
+    Every degraded path is observable: counted in the [Obs.Metrics]
+    registry ([parallel_serial_fallbacks_total],
+    [parallel_failed_forks_total], [parallel_recomputed_slices_total],
+    [parallel_recomputed_items_total]) and returned per call in
+    {!run_stats}.  With [Obs.Trace] enabled, each worker records its
+    spans on trace lane [w + 1] and ships them back with its results, so
+    the merged Chrome trace shows genuine per-worker lanes framed by
+    fork-to-join spans, with the parent's marshalled reads timed as
+    [join:w] spans. *)
 
 val default_jobs : unit -> int
 (** The [XENERGY_JOBS] environment variable if set to a positive integer,
     otherwise [Domain.recommended_domain_count ()] (the available
     cores). *)
 
+type run_stats = {
+  workers_spawned : int;      (** forked workers that started *)
+  failed_forks : int;         (** pipe/fork attempts that failed *)
+  serial_fallback : bool;     (** parallelism requested, ran serially *)
+  recomputed_slices : int;    (** workers whose slice was recomputed *)
+  recomputed_items : int;     (** items computed in the parent *)
+}
+
+val no_stats : run_stats
+(** All-zero statistics (the deliberate serial paths). *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ?jobs f xs] — [jobs] defaults to {!default_jobs}.  [f] must not
     rely on mutating shared state visible to the caller: it runs in a
     forked child whose writes are not seen by the parent (only the
     returned, marshalled value is). *)
+
+val map_with_stats : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list * run_stats
+(** Like {!map}, also reporting how the pool degraded (if it did). *)

@@ -5,35 +5,66 @@ type entry = {
   instructions : int;
   icache_misses : int;
   dcache_misses : int;
+  stall_cycles : int;
+  interlocks : int;
   energy_pj : float;
   simulations : int;
 }
+
+type degraded = {
+  serial_fallbacks : int;
+  failed_forks : int;
+  recomputed_slices : int;
+}
+
+let no_degraded = { serial_fallbacks = 0; failed_forks = 0; recomputed_slices = 0 }
 
 type t = {
   entries : entry list;
   total_seconds : float;
   jobs : int;
+  parallel : degraded;
 }
 
 let total_simulations t =
   List.fold_left (fun acc e -> acc + e.simulations) 0 t.entries
 
+let total_energy_pj t =
+  List.fold_left (fun acc e -> acc +. e.energy_pj) 0.0 t.entries
+
 let pp ppf t =
-  Format.fprintf ppf "@[<v>%-24s %9s %10s %8s %7s %7s %12s %5s@," "workload"
-    "wall (s)" "cycles" "instrs" "i-miss" "d-miss" "energy (uJ)" "sims";
+  Format.fprintf ppf "@[<v>%-24s %9s %10s %8s %7s %7s %7s %7s %12s %5s@,"
+    "workload" "wall (s)" "cycles" "instrs" "i-miss" "d-miss" "stalls" "ilks"
+    "energy (uJ)" "sims";
   List.iter
     (fun e ->
-      Format.fprintf ppf "%-24s %9.4f %10d %8d %7d %7d %12.3f %5d@," e.ename
-        e.wall_seconds e.cycles e.instructions e.icache_misses e.dcache_misses
+      Format.fprintf ppf "%-24s %9.4f %10d %8d %7d %7d %7d %7d %12.3f %5d@,"
+        e.ename e.wall_seconds e.cycles e.instructions e.icache_misses
+        e.dcache_misses e.stall_cycles e.interlocks
         (e.energy_pj /. 1.0e6) e.simulations)
     t.entries;
   Format.fprintf ppf
-    "%d workloads, %d simulations, %.3f s wall clock (%d worker%s)@]"
-    (List.length t.entries) (total_simulations t) t.total_seconds t.jobs
-    (if t.jobs = 1 then "" else "s")
+    "%d workloads, %d simulations, %.3f uJ total, %.3f s wall clock \
+     (%d worker%s)@,"
+    (List.length t.entries) (total_simulations t)
+    (total_energy_pj t /. 1.0e6)
+    t.total_seconds t.jobs
+    (if t.jobs = 1 then "" else "s");
+  if t.parallel <> no_degraded then
+    Format.fprintf ppf
+      "degraded: %d serial fallback%s, %d failed fork%s, %d recomputed \
+       slice%s@,"
+      t.parallel.serial_fallbacks
+      (if t.parallel.serial_fallbacks = 1 then "" else "s")
+      t.parallel.failed_forks
+      (if t.parallel.failed_forks = 1 then "" else "s")
+      t.parallel.recomputed_slices
+      (if t.parallel.recomputed_slices = 1 then "" else "s");
+  Format.fprintf ppf "@]"
 
 (* Hand-rolled JSON: the report is flat and numeric, no dependency is
-   worth it. *)
+   worth it.  Units are stated explicitly because the pretty-printer
+   shows uJ while the JSON carries pJ. *)
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -52,16 +83,48 @@ let entry_to_json e =
   Printf.sprintf
     "{\"name\": \"%s\", \"wall_seconds\": %.6f, \"cycles\": %d, \
      \"instructions\": %d, \"icache_misses\": %d, \"dcache_misses\": %d, \
-     \"energy_pj\": %.6f, \"simulations\": %d}"
+     \"stall_cycles\": %d, \"interlocks\": %d, \"energy_pj\": %.6f, \
+     \"simulations\": %d}"
     (json_escape e.ename) e.wall_seconds e.cycles e.instructions
-    e.icache_misses e.dcache_misses e.energy_pj e.simulations
+    e.icache_misses e.dcache_misses e.stall_cycles e.interlocks e.energy_pj
+    e.simulations
 
 let to_json t =
   Printf.sprintf
-    "{\n  \"jobs\": %d,\n  \"total_seconds\": %.6f,\n  \
-     \"total_simulations\": %d,\n  \"workloads\": [\n    %s\n  ]\n}"
-    t.jobs t.total_seconds (total_simulations t)
+    "{\n  \"units\": {\"energy_pj\": \"picojoules\", \"wall_seconds\": \
+     \"seconds\", \"total_seconds\": \"seconds\"},\n  \"jobs\": %d,\n  \
+     \"total_seconds\": %.6f,\n  \"total_simulations\": %d,\n  \
+     \"total_energy_pj\": %.6f,\n  \"parallel\": {\"serial_fallbacks\": %d, \
+     \"failed_forks\": %d, \"recomputed_slices\": %d},\n  \
+     \"workloads\": [\n    %s\n  ]\n}"
+    t.jobs t.total_seconds (total_simulations t) (total_energy_pj t)
+    t.parallel.serial_fallbacks t.parallel.failed_forks
+    t.parallel.recomputed_slices
     (String.concat ",\n    " (List.map entry_to_json t.entries))
+
+let of_json s =
+  let j = Obs.Json.parse s in
+  let mem k j = Obs.Json.member k j in
+  let entry e =
+    { ename = Obs.Json.to_string (mem "name" e);
+      wall_seconds = Obs.Json.to_float (mem "wall_seconds" e);
+      cycles = Obs.Json.to_int (mem "cycles" e);
+      instructions = Obs.Json.to_int (mem "instructions" e);
+      icache_misses = Obs.Json.to_int (mem "icache_misses" e);
+      dcache_misses = Obs.Json.to_int (mem "dcache_misses" e);
+      stall_cycles = Obs.Json.to_int (mem "stall_cycles" e);
+      interlocks = Obs.Json.to_int (mem "interlocks" e);
+      energy_pj = Obs.Json.to_float (mem "energy_pj" e);
+      simulations = Obs.Json.to_int (mem "simulations" e) }
+  in
+  let p = mem "parallel" j in
+  { entries = List.map entry (Obs.Json.to_list (mem "workloads" j));
+    total_seconds = Obs.Json.to_float (mem "total_seconds" j);
+    jobs = Obs.Json.to_int (mem "jobs" j);
+    parallel =
+      { serial_fallbacks = Obs.Json.to_int (mem "serial_fallbacks" p);
+        failed_forks = Obs.Json.to_int (mem "failed_forks" p);
+        recomputed_slices = Obs.Json.to_int (mem "recomputed_slices" p) } }
 
 let save path t =
   Out_channel.with_open_text path (fun oc ->

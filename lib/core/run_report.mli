@@ -2,10 +2,16 @@
     engine's performance trajectory.
 
     One entry per workload records the wall time, cycle and instruction
-    counts, cache misses, reference energy and — crucially — the number
-    of simulations performed, which lets tests and the bench harness
-    verify the single-pass property (exactly one simulation per test
-    program). *)
+    counts, cache misses, stall/interlock counts, reference energy and —
+    crucially — the number of simulations performed, which lets tests and
+    the bench harness verify the single-pass property (exactly one
+    simulation per test program).  The report also carries the worker
+    pool's degraded-path counters, so silent serial fallbacks or
+    parent-side recomputations are visible after the fact.
+
+    Units: [energy_pj] fields are picojoules (the pretty-printer converts
+    to uJ for reading); [wall_seconds]/[total_seconds] are seconds.  The
+    JSON states this in an explicit ["units"] object. *)
 
 type entry = {
   ename : string;
@@ -14,22 +20,41 @@ type entry = {
   instructions : int;
   icache_misses : int;
   dcache_misses : int;
-  energy_pj : float;         (** reference-estimator energy *)
+  stall_cycles : int;        (** operand-dependency stall cycles *)
+  interlocks : int;          (** interlock + window events *)
+  energy_pj : float;         (** reference-estimator energy, picojoules *)
   simulations : int;         (** simulator runs performed (1 = single pass) *)
 }
+
+type degraded = {
+  serial_fallbacks : int;    (** whole maps that fell back to serial *)
+  failed_forks : int;        (** fork/pipe attempts that failed *)
+  recomputed_slices : int;   (** worker slices recomputed in the parent *)
+}
+
+val no_degraded : degraded
 
 type t = {
   entries : entry list;
   total_seconds : float;     (** wall clock of the whole collection *)
   jobs : int;                (** worker count used *)
+  parallel : degraded;       (** worker-pool degradation counters *)
 }
 
 val total_simulations : t -> int
 
+val total_energy_pj : t -> float
+(** Aggregate reference energy over all entries, picojoules. *)
+
 val pp : Format.formatter -> t -> unit
-(** Human-readable table. *)
+(** Human-readable table (energies in uJ). *)
 
 val to_json : t -> string
+
+val of_json : string -> t
+(** Parse a document produced by {!to_json} (round-trip safe up to the
+    emitter's 1e-6 float formatting).
+    @raise Obs.Json.Parse_error on malformed input. *)
 
 val save : string -> t -> unit
 (** Write {!to_json} (plus a trailing newline) to a file. *)

@@ -1,0 +1,169 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type state = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | Some _ | None -> false
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | Some x -> fail "expected %c at offset %d, found %c" c st.pos x
+  | None -> fail "expected %c at offset %d, found end of input" c st.pos
+
+let literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail "bad literal at offset %d" st.pos
+
+let parse_string_body st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance st; Buffer.contents b
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | None -> fail "unterminated escape"
+      | Some c ->
+        advance st;
+        (match c with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 't' -> Buffer.add_char b '\t'
+         | 'u' ->
+           if st.pos + 4 > String.length st.s then fail "bad \\u escape";
+           let hex = String.sub st.s st.pos 4 in
+           st.pos <- st.pos + 4;
+           let code =
+             try int_of_string ("0x" ^ hex)
+             with Failure _ -> fail "bad \\u escape %S" hex
+           in
+           (* Keep it simple: BMP code points as UTF-8. *)
+           if code < 0x80 then Buffer.add_char b (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end
+         | c -> fail "bad escape \\%c" c);
+        go ())
+    | Some c -> advance st; Buffer.add_char b c; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> num_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> fail "bad number %S at offset %d" s start
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input"
+  | Some '"' -> Str (parse_string_body st)
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then (advance st; Obj [])
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let k = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; members ((k, v) :: acc)
+        | Some '}' -> advance st; Obj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected , or } at offset %d" st.pos
+      in
+      members []
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then (advance st; Arr [])
+    else begin
+      let rec elements acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; elements (v :: acc)
+        | Some ']' -> advance st; Arr (List.rev (v :: acc))
+        | _ -> fail "expected , or ] at offset %d" st.pos
+      in
+      elements []
+    end
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail "unexpected %c at offset %d" c st.pos
+
+let parse s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail "trailing garbage at offset %d" st.pos;
+  v
+
+let member k = function
+  | Obj fields -> (
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> fail "no member %S" k)
+  | _ -> fail "member %S of a non-object" k
+
+let to_float = function Num f -> f | _ -> fail "expected number"
+
+let to_int = function
+  | Num f when Float.is_integer f -> int_of_float f
+  | _ -> fail "expected integer"
+
+let to_string = function Str s -> s | _ -> fail "expected string"
+let to_list = function Arr l -> l | _ -> fail "expected array"

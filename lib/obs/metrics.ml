@@ -1,0 +1,257 @@
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+type counter = {
+  c_name : string;
+  c_labels : (string * string) list;
+  c_help : string;
+  mutable c_value : int;
+}
+
+type gauge = {
+  g_name : string;
+  g_labels : (string * string) list;
+  g_help : string;
+  mutable g_value : float;
+}
+
+type histogram = {
+  h_name : string;
+  h_labels : (string * string) list;
+  h_help : string;
+  h_bounds : float array;        (* upper bounds, increasing; +inf implicit *)
+  h_counts : int array;          (* length = bounds + 1 *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+(* Identity is (name, sorted labels); the registry keeps insertion order
+   so reports are stable. *)
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
+let order : string list ref = ref []
+
+let key name labels =
+  let labels = List.sort compare labels in
+  String.concat "\x00"
+    (name :: List.map (fun (k, v) -> k ^ "\x01" ^ v) labels)
+
+let register k make =
+  match Hashtbl.find_opt registry k with
+  | Some i -> i
+  | None ->
+    let i = make () in
+    Hashtbl.replace registry k i;
+    order := k :: !order;
+    i
+
+let counter ?(labels = []) ?(help = "") name =
+  match
+    register (key name labels) (fun () ->
+        Counter { c_name = name; c_labels = labels; c_help = help; c_value = 0 })
+  with
+  | Counter c -> c
+  | Gauge _ | Histogram _ ->
+    invalid_arg (Printf.sprintf "Metrics.counter: %s registered as another type" name)
+
+let inc ?(by = 1) c = if !on then c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+
+let gauge ?(labels = []) ?(help = "") name =
+  match
+    register (key name labels) (fun () ->
+        Gauge { g_name = name; g_labels = labels; g_help = help; g_value = 0.0 })
+  with
+  | Gauge g -> g
+  | Counter _ | Histogram _ ->
+    invalid_arg (Printf.sprintf "Metrics.gauge: %s registered as another type" name)
+
+let set g v = if !on then g.g_value <- v
+let gauge_value g = g.g_value
+
+let default_buckets =
+  [| 1e-4; 5e-4; 1e-3; 5e-3; 1e-2; 5e-2; 0.1; 0.5; 1.0; 5.0; 30.0 |]
+
+let histogram ?(labels = []) ?(help = "") ?(buckets = default_buckets) name =
+  match
+    register (key name labels) (fun () ->
+        Histogram
+          { h_name = name;
+            h_labels = labels;
+            h_help = help;
+            h_bounds = Array.copy buckets;
+            h_counts = Array.make (Array.length buckets + 1) 0;
+            h_sum = 0.0;
+            h_count = 0 })
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ ->
+    invalid_arg
+      (Printf.sprintf "Metrics.histogram: %s registered as another type" name)
+
+let observe h v =
+  if !on then begin
+    let n = Array.length h.h_bounds in
+    let rec slot i = if i >= n || v <= h.h_bounds.(i) then i else slot (i + 1) in
+    h.h_counts.(slot 0) <- h.h_counts.(slot 0) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_count <- h.h_count + 1
+  end
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+(* --- fork cooperation ---------------------------------------------------- *)
+
+type snap_value =
+  | S_counter of int
+  | S_gauge of float
+  | S_histogram of float array * int array * float * int
+
+type snapshot = (string * (string * string) list * string * snap_value) list
+
+let instruments () =
+  List.rev_map (fun k -> Hashtbl.find registry k) !order
+
+let snapshot () : snapshot =
+  List.map
+    (function
+      | Counter c -> (c.c_name, c.c_labels, c.c_help, S_counter c.c_value)
+      | Gauge g -> (g.g_name, g.g_labels, g.g_help, S_gauge g.g_value)
+      | Histogram h ->
+        ( h.h_name,
+          h.h_labels,
+          h.h_help,
+          S_histogram (Array.copy h.h_bounds, Array.copy h.h_counts, h.h_sum,
+                       h.h_count) ))
+    (instruments ())
+
+let merge (s : snapshot) =
+  List.iter
+    (fun (name, labels, help, v) ->
+      match v with
+      | S_counter n ->
+        let c = counter ~labels ~help name in
+        c.c_value <- c.c_value + n
+      | S_gauge x ->
+        let g = gauge ~labels ~help name in
+        g.g_value <- x
+      | S_histogram (bounds, counts, sum, count) ->
+        let h = histogram ~labels ~help ~buckets:bounds name in
+        if Array.length h.h_counts = Array.length counts then
+          Array.iteri
+            (fun i n -> h.h_counts.(i) <- h.h_counts.(i) + n)
+            counts;
+        h.h_sum <- h.h_sum +. sum;
+        h.h_count <- h.h_count + count)
+    s
+
+let reset () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+        Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+        h.h_sum <- 0.0;
+        h.h_count <- 0)
+    registry
+
+(* --- output -------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON numbers must be finite. *)
+let json_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else if Float.is_nan x || Float.abs x = Float.infinity then "0"
+  else Printf.sprintf "%.9g" x
+
+let labels_json labels =
+  String.concat ", "
+    (List.map
+       (fun (k, v) ->
+         Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+       labels)
+
+let instrument_json i =
+  let head name labels help typ =
+    Printf.sprintf
+      "\"name\": \"%s\", \"type\": \"%s\", \"help\": \"%s\", \"labels\": {%s}"
+      (json_escape name) typ (json_escape help) (labels_json labels)
+  in
+  match i with
+  | Counter c ->
+    Printf.sprintf "{%s, \"value\": %d}"
+      (head c.c_name c.c_labels c.c_help "counter")
+      c.c_value
+  | Gauge g ->
+    Printf.sprintf "{%s, \"value\": %s}"
+      (head g.g_name g.g_labels g.g_help "gauge")
+      (json_float g.g_value)
+  | Histogram h ->
+    let buckets =
+      String.concat ", "
+        (List.concat
+           [ Array.to_list
+               (Array.mapi
+                  (fun i le ->
+                    Printf.sprintf "{\"le\": %s, \"count\": %d}"
+                      (json_float le) h.h_counts.(i))
+                  h.h_bounds);
+             [ Printf.sprintf "{\"le\": \"+inf\", \"count\": %d}"
+                 h.h_counts.(Array.length h.h_bounds) ] ])
+    in
+    Printf.sprintf "{%s, \"sum\": %s, \"count\": %d, \"buckets\": [%s]}"
+      (head h.h_name h.h_labels h.h_help "histogram")
+      (json_float h.h_sum) h.h_count buckets
+
+let to_json () =
+  Printf.sprintf "{\n  \"metrics\": [\n    %s\n  ]\n}"
+    (String.concat ",\n    " (List.map instrument_json (instruments ())))
+
+let save path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_json ());
+      Out_channel.output_char oc '\n')
+
+let pp ppf () =
+  let label_str labels =
+    if labels = [] then ""
+    else
+      Printf.sprintf "{%s}"
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun i ->
+      match i with
+      | Counter c ->
+        Format.fprintf ppf "%s%s %d@," c.c_name (label_str c.c_labels) c.c_value
+      | Gauge g ->
+        Format.fprintf ppf "%s%s %g@," g.g_name (label_str g.g_labels) g.g_value
+      | Histogram h ->
+        Format.fprintf ppf "%s%s count %d sum %g@," h.h_name
+          (label_str h.h_labels) h.h_count h.h_sum)
+    (instruments ());
+  Format.fprintf ppf "@]"

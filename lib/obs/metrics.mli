@@ -1,0 +1,65 @@
+(** Typed metrics registry: counters, gauges and histograms with labels.
+
+    Instruments are registered in a single process-global registry and
+    identified by (name, labels); registering the same identity twice
+    returns the same instrument, so hot paths can look their handles up
+    once at module initialisation and increment a plain ref afterwards.
+
+    Recording is disabled by default: every [inc]/[set]/[observe] is a
+    single flag check when off, so always-on instrumentation in the
+    simulator retirement loop costs nothing measurable.  Forked workers
+    cooperate via {!reset} + {!snapshot} in the child and {!merge} in the
+    parent (counters and histograms add, gauges take the child's last
+    write). *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val counter : ?labels:(string * string) list -> ?help:string -> string -> counter
+(** Register (or fetch) a counter. *)
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : ?labels:(string * string) list -> ?help:string -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram :
+  ?labels:(string * string) list ->
+  ?help:string ->
+  ?buckets:float array ->
+  string ->
+  histogram
+(** [buckets] are upper bounds in increasing order; an implicit +inf
+    bucket is always present.  The default buckets suit seconds-scale
+    latencies (100us .. 30s). *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+type snapshot
+(** Marshal-safe value dump of every registered instrument. *)
+
+val snapshot : unit -> snapshot
+val merge : snapshot -> unit
+(** Fold a (typically child-process) snapshot into this registry:
+    counters and histograms add, gauges take the snapshot's value.
+    Instruments unknown to this process are registered on the fly. *)
+
+val reset : unit -> unit
+(** Zero every instrument's value (registrations are kept). *)
+
+val to_json : unit -> string
+(** The whole registry as a JSON document, units carried in the metric
+    names (..._seconds, ..._pj, ..._total). *)
+
+val save : string -> unit
+(** Write {!to_json} plus a trailing newline to a file. *)
+
+val pp : Format.formatter -> unit -> unit

@@ -1,0 +1,144 @@
+type arg =
+  | S of string
+  | I of int
+  | F of float
+  | B of bool
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char;
+  ev_ts : float;
+  ev_dur : float;
+  ev_tid : int;
+  ev_args : (string * arg) list;
+}
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+let tid = ref 0
+let set_tid t = tid := t
+
+(* Buffer in reverse order; [events] reverses once. *)
+let buf : event list ref = ref []
+
+let epoch = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+let record e = buf := e :: !buf
+
+let complete ?(cat = "") ?(args = []) ?tid:tid_opt ~name ~ts ~dur () =
+  if !on then
+    record
+      { ev_name = name;
+        ev_cat = cat;
+        ev_ph = 'X';
+        ev_ts = ts;
+        ev_dur = dur;
+        ev_tid = Option.value tid_opt ~default:!tid;
+        ev_args = args }
+
+let with_span ?cat ?args name f =
+  if not !on then f ()
+  else begin
+    let t0 = now_us () in
+    let finish () = complete ?cat ?args ~name ~ts:t0 ~dur:(now_us () -. t0) () in
+    match f () with
+    | v -> finish (); v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      Printexc.raise_with_backtrace e bt
+  end
+
+let instant ?(cat = "") ?(args = []) name =
+  if !on then
+    record
+      { ev_name = name;
+        ev_cat = cat;
+        ev_ph = 'i';
+        ev_ts = now_us ();
+        ev_dur = 0.0;
+        ev_tid = !tid;
+        ev_args = args }
+
+let thread_name ~tid:t name =
+  if !on then
+    record
+      { ev_name = "thread_name";
+        ev_cat = "__metadata";
+        ev_ph = 'M';
+        ev_ts = 0.0;
+        ev_dur = 0.0;
+        ev_tid = t;
+        ev_args = [ ("name", S name) ] }
+
+let emit_all es = if !on then List.iter record es
+
+let events () = List.rev !buf
+let clear () = buf := []
+
+let drain () =
+  let es = events () in
+  clear ();
+  es
+
+(* --- Chrome trace-event JSON --------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_json = function
+  | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | I i -> string_of_int i
+  | F f ->
+    if Float.is_nan f || Float.abs f = Float.infinity then "0"
+    else Printf.sprintf "%.6g" f
+  | B b -> if b then "true" else "false"
+
+let event_json e =
+  let args =
+    match e.ev_args with
+    | [] -> ""
+    | args ->
+      Printf.sprintf ", \"args\": {%s}"
+        (String.concat ", "
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\": %s" (json_escape k) (arg_json v))
+              args))
+  in
+  let dur =
+    if e.ev_ph = 'X' then Printf.sprintf ", \"dur\": %.3f" e.ev_dur else ""
+  in
+  (* Instant events need a scope; thread scope matches the lane model. *)
+  let scope = if e.ev_ph = 'i' then ", \"s\": \"t\"" else "" in
+  Printf.sprintf
+    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", \"ts\": %.3f%s, \
+     \"pid\": 1, \"tid\": %d%s%s}"
+    (json_escape e.ev_name)
+    (json_escape (if e.ev_cat = "" then "xenergy" else e.ev_cat))
+    e.ev_ph e.ev_ts dur e.ev_tid scope args
+
+let to_json es =
+  Printf.sprintf
+    "{\n\"traceEvents\": [\n%s\n],\n\"displayTimeUnit\": \"ms\"\n}"
+    (String.concat ",\n" (List.map event_json es))
+
+let save path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_json (events ()));
+      Out_channel.output_char oc '\n')

@@ -1,0 +1,78 @@
+(** Low-overhead span/trace recorder with Chrome trace-event export.
+
+    Spans are recorded into a process-global buffer and serialised as
+    Chrome trace-event JSON ("Complete" events), loadable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.  Lanes
+    map to trace thread ids: the main process records on tid 0, forked
+    characterization workers on tid 1..N.  Disabled by default —
+    {!with_span} is a single flag check when off.
+
+    Forked workers call {!clear} + {!set_tid} after the fork, record
+    normally, and ship {!drain} back to the parent in their result
+    payload; the parent re-emits the events verbatim with {!emit_all},
+    which is how per-worker lanes survive process boundaries. *)
+
+type arg =
+  | S of string
+  | I of int
+  | F of float
+  | B of bool
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char;      (** 'X' complete, 'i' instant, 'M' metadata *)
+  ev_ts : float;     (** microseconds since the recorder epoch *)
+  ev_dur : float;    (** microseconds; 0 for non-'X' phases *)
+  ev_tid : int;
+  ev_args : (string * arg) list;
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val set_tid : int -> unit
+(** Lane for subsequently recorded events (0 = main). *)
+
+val now_us : unit -> float
+(** Microseconds since the recorder epoch (process start; inherited
+    across [fork], so parent and child timestamps are comparable). *)
+
+val with_span :
+  ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a complete event.  The span is recorded even if
+    the thunk raises.  When tracing is disabled this is just the call. *)
+
+val complete :
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  ?tid:int ->
+  name:string ->
+  ts:float ->
+  dur:float ->
+  unit ->
+  unit
+(** Record a complete event from explicit timestamps (for span shapes
+    that do not nest as a thunk, e.g. worker fork-to-join). *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+
+val thread_name : tid:int -> string -> unit
+(** Metadata event labelling a lane in the viewer. *)
+
+val emit_all : event list -> unit
+(** Append foreign (worker) events verbatim. *)
+
+val events : unit -> event list
+(** Recorded events, in recording order. *)
+
+val clear : unit -> unit
+
+val drain : unit -> event list
+(** {!events} then {!clear}. *)
+
+val to_json : event list -> string
+(** A Chrome trace-event document: [{"traceEvents": [...], ...}]. *)
+
+val save : string -> unit
+(** Write the current buffer as trace JSON plus a trailing newline. *)

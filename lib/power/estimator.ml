@@ -286,6 +286,18 @@ let observer t : Sim.Cpu.observer = fun e -> observe t e
 let total_energy t =
   Hashtbl.fold (fun _ r acc -> acc +. !r) t.totals 0.0
 
+(* Cycle-resolved power: bin each event's incremental reference energy
+   by retirement cycle, reproducing in software the power-over-time
+   waveforms of hardware-accelerated power estimation.  [total_energy]
+   folds a ~24-entry table per event, which is noise next to the RTL
+   evaluation the estimator already does per event. *)
+let observer_with_waveform t wf : Sim.Cpu.observer =
+ fun e ->
+  let before = total_energy t in
+  observe t e;
+  Obs.Waveform.add wf ~cycle:e.Sim.Event.start_cycle
+    ~energy_pj:(total_energy t -. before)
+
 let breakdown t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.totals []
   |> List.sort (fun (_, a) (_, b) -> Float.compare b a)

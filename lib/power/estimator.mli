@@ -25,6 +25,11 @@ val observe : t -> Sim.Event.t -> unit
 
 val observer : t -> Sim.Cpu.observer
 
+val observer_with_waveform : t -> Obs.Waveform.t -> Sim.Cpu.observer
+(** Like {!observer}, additionally binning each event's incremental
+    energy into the waveform by retirement cycle — a software
+    reproduction of cycle-resolved power estimation. *)
+
 val total_energy : t -> float
 (** Accumulated energy in pJ. *)
 

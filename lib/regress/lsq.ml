@@ -159,7 +159,11 @@ let solve_subset x e idx =
    set one at a time by steepest descent of the residual; inner loop
    backtracks along the segment to the previous iterate whenever the
    unconstrained subset solution leaves the feasible region. *)
+let nnls_solves = lazy (Obs.Metrics.counter "nnls_solves_total")
+let nnls_iterations = lazy (Obs.Metrics.counter "nnls_iterations_total")
+
 let solve_nnls x e =
+  Obs.Metrics.inc (Lazy.force nnls_solves);
   let n = Matrix.cols x in
   let passive = Array.make n false in
   let xcur = Array.make n 0.0 in
@@ -221,6 +225,7 @@ let solve_nnls x e =
           end
         in
         inner ();
+        Obs.Metrics.inc (Lazy.force nnls_iterations);
         outer (iter + 1)
       end
     end

@@ -48,6 +48,53 @@ let create ?(config = Config.default) ?extension asm =
    observers on the hot path); notification keeps registration order. *)
 let add_observer t obs = Queue.add obs t.observers
 
+(* Retirement-loop metrics.  Handles are registered once (lazily, so a
+   process that never enables metrics registers nothing) and bumped only
+   when metrics recording is on: the cost on the hot path is a single
+   flag check per retired instruction. *)
+module Retire_metrics = struct
+  let instructions = lazy (Obs.Metrics.counter "sim_instructions_total")
+  let cycles = lazy (Obs.Metrics.counter "sim_cycles_total")
+  let stall_cycles = lazy (Obs.Metrics.counter "sim_stall_cycles_total")
+  let interlocks = lazy (Obs.Metrics.counter "sim_interlocks_total")
+  let icache_misses = lazy (Obs.Metrics.counter "sim_icache_misses_total")
+  let dcache_misses = lazy (Obs.Metrics.counter "sim_dcache_misses_total")
+
+  let by_class name =
+    lazy (Obs.Metrics.counter ~labels:[ ("class", name) ]
+            "sim_class_instructions_total")
+
+  let arith = by_class "arith"
+  let load = by_class "load"
+  let store = by_class "store"
+  let jump = by_class "jump"
+  let branch = by_class "branch"
+  let custom = by_class "custom"
+
+  let record (e : Event.t) =
+    Obs.Metrics.inc (Lazy.force instructions);
+    Obs.Metrics.inc ~by:e.Event.cycles (Lazy.force cycles);
+    if e.Event.stall_cycles > 0 then
+      Obs.Metrics.inc ~by:e.Event.stall_cycles (Lazy.force stall_cycles);
+    if e.Event.interlock || e.Event.window_event then
+      Obs.Metrics.inc (Lazy.force interlocks);
+    if (not e.Event.fetch.Event.funcached) && not e.Event.fetch.Event.fhit
+    then Obs.Metrics.inc (Lazy.force icache_misses);
+    (match e.Event.mem with
+     | Some mi when (not mi.Event.muncached) && not mi.Event.mhit ->
+       Obs.Metrics.inc (Lazy.force dcache_misses)
+     | Some _ | None -> ());
+    Obs.Metrics.inc
+      (Lazy.force
+         (match e.Event.clazz with
+          | Isa.Instr.Arith_class -> arith
+          | Isa.Instr.Load_class -> load
+          | Isa.Instr.Store_class -> store
+          | Isa.Instr.Jump_class -> jump
+          | Isa.Instr.Branch_class -> branch
+          | Isa.Instr.Custom_class -> custom))
+end
+
 let u32 v = v land 0xffff_ffff
 
 let s32 v =
@@ -482,6 +529,7 @@ let step t =
       t.retired <- t.retired + 1;
       t.pc <- ex.next_pc;
       if ex.halt then t.done_ <- Some Halted;
+      if Obs.Metrics.enabled () then Retire_metrics.record event;
       Queue.iter (fun obs -> obs event) t.observers;
       `Step event
     end

@@ -9,6 +9,7 @@ type t = {
   mutable dcache_misses : int;
   mutable uncached_fetches : int;
   mutable interlocks : int;
+  mutable stall_cycles : int;
   mutable custom_regfile_cycles : int;
   mutable custom_cycles : int;
   mutable instructions : int;
@@ -27,6 +28,7 @@ let create (cfg : Config.t) =
     dcache_misses = 0;
     uncached_fetches = 0;
     interlocks = 0;
+    stall_cycles = 0;
     custom_regfile_cycles = 0;
     custom_cycles = 0;
     instructions = 0;
@@ -68,7 +70,8 @@ let observe t (e : Event.t) =
      t.dcache_misses <- t.dcache_misses + 1
    | Some _ | None -> ());
   if e.Event.interlock || e.Event.window_event then
-    t.interlocks <- t.interlocks + 1
+    t.interlocks <- t.interlocks + 1;
+  t.stall_cycles <- t.stall_cycles + e.Event.stall_cycles
 
 let observer t : Cpu.observer = fun e -> observe t e
 
@@ -83,6 +86,7 @@ let reset t =
   t.dcache_misses <- 0;
   t.uncached_fetches <- 0;
   t.interlocks <- 0;
+  t.stall_cycles <- 0;
   t.custom_regfile_cycles <- 0;
   t.custom_cycles <- 0;
   t.instructions <- 0;
@@ -93,9 +97,9 @@ let pp ppf t =
     "@[<v>instructions %d, cycles %d@,\
      class cycles: arith %d, load %d, store %d, jump %d, btaken %d, \
      buntaken %d@,\
-     events: icm %d, dcm %d, unc %d, ilk %d@,\
+     events: icm %d, dcm %d, unc %d, ilk %d (stall %d)@,\
      custom: busy %d, regfile-side %d@]"
     t.instructions t.total_cycles t.arith_cycles t.load_cycles t.store_cycles
     t.jump_cycles t.branch_taken_cycles t.branch_untaken_cycles
     t.icache_misses t.dcache_misses t.uncached_fetches t.interlocks
-    t.custom_cycles t.custom_regfile_cycles
+    t.stall_cycles t.custom_cycles t.custom_regfile_cycles

@@ -16,6 +16,8 @@ type t = {
   mutable dcache_misses : int;
   mutable uncached_fetches : int;
   mutable interlocks : int;
+  mutable stall_cycles : int;
+  (** total operand-dependency stall cycles across all interlocks *)
   mutable custom_regfile_cycles : int;
   (** cycles of custom instructions that access the generic register file
       (the paper's side-effect variable) *)

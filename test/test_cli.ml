@@ -28,19 +28,16 @@ let run_xenergy args =
   in
   (code, slurp out, slurp err)
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let test_unknown_workload_clean_stdout () =
   let code, out, err = run_xenergy [ "profile"; "nosuch" ] in
   check Alcotest.int "exit code is Cmdliner's some_error" 123 code;
   check Alcotest.string "stdout stays clean" "" out;
-  check Alcotest.bool "stderr names the workload" true
-    (let contains hay needle =
-       let nh = String.length hay and nn = String.length needle in
-       let rec go i =
-         i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
-       in
-       go 0
-     in
-     contains err "nosuch")
+  check Alcotest.bool "stderr names the workload" true (contains err "nosuch")
 
 let test_list_succeeds_on_stdout () =
   let code, out, err = run_xenergy [ "list" ] in
@@ -49,6 +46,88 @@ let test_list_succeeds_on_stdout () =
   if String.length out = 0 then fail "no listing on stdout";
   check Alcotest.bool "mentions the characterization suite" true
     (String.length out > 0 && String.trim out <> "")
+
+let test_attribute_unknown_workload () =
+  let code, out, err = run_xenergy [ "attribute"; "nosuch_wl" ] in
+  check Alcotest.int "exit code is Cmdliner's some_error" 123 code;
+  check Alcotest.string "stdout stays clean" "" out;
+  check Alcotest.bool "stderr names the workload" true
+    (contains err "nosuch_wl")
+
+(* One characterization run exercises the whole observability surface:
+   the trace and metrics files must be valid JSON with the advertised
+   content, and the fitted model must drive `attribute` (table and JSON
+   forms) with a clean stream discipline. *)
+let test_characterize_trace_metrics_attribute () =
+  let model = Filename.temp_file "xenergy_model" ".txt" in
+  let trace = Filename.temp_file "xenergy_trace" ".json" in
+  let metrics = Filename.temp_file "xenergy_metrics" ".json" in
+  let cleanup () = List.iter Sys.remove [ model; trace; metrics ] in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let code, out, _err =
+    run_xenergy
+      [ "characterize"; "-j"; "2"; "-o"; model; "--trace"; trace;
+        "--metrics"; metrics ]
+  in
+  check Alcotest.int "characterize exits 0" 0 code;
+  check Alcotest.bool "reports cross validation" true
+    (contains out "leave-one-out");
+  (* The trace is a loadable Chrome trace-event document carrying the
+     pipeline's span vocabulary, including per-worker lanes. *)
+  let slurp path = In_channel.with_open_text path In_channel.input_all in
+  let tj = Obs.Json.parse (slurp trace) in
+  let names =
+    List.map
+      (fun e -> Obs.Json.(to_string (member "name" e)))
+      Obs.Json.(to_list (member "traceEvents" tj))
+  in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("trace has a " ^ needle ^ " span") true
+        (List.exists (fun n -> contains n needle) names))
+    [ "fit"; "cross-validate"; "simulate:"; "extract:"; "worker:"; "join:" ];
+  let mj = Obs.Json.parse (slurp metrics) in
+  let metric_names =
+    List.map
+      (fun m -> Obs.Json.(to_string (member "name" m)))
+      Obs.Json.(to_list (member "metrics" mj))
+  in
+  List.iter
+    (fun n ->
+      check Alcotest.bool ("metrics registry has " ^ n) true
+        (List.mem n metric_names))
+    [ "sim_instructions_total"; "nnls_iterations_total";
+      "parallel_workers_spawned_total" ];
+  (* Attribution against the freshly fitted model: results on stdout,
+     nothing on stderr. *)
+  let code, out, err = run_xenergy [ "attribute"; "rs_gfmac"; "-m"; model ] in
+  check Alcotest.int "attribute exits 0" 0 code;
+  check Alcotest.string "attribute keeps stderr clean" "" err;
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("attribute table mentions " ^ needle) true
+        (contains out needle))
+    [ "rs_gfmac"; "variable"; "power over time"; "reference energy" ];
+  (* JSON form parses and the per-variable rows close over the total. *)
+  let code, out, err =
+    run_xenergy [ "attribute"; "rs_gfmac"; "-m"; model; "--json" ]
+  in
+  check Alcotest.int "attribute --json exits 0" 0 code;
+  check Alcotest.string "json form keeps stderr clean" "" err;
+  let j = Obs.Json.parse out in
+  let a = Obs.Json.member "attribution" j in
+  let total = Obs.Json.(to_float (member "total_energy_pj" a)) in
+  let rows = Obs.Json.(to_list (member "variables" a)) in
+  check Alcotest.int "21 variables" 21 (List.length rows);
+  let sum =
+    List.fold_left
+      (fun acc r -> acc +. Obs.Json.(to_float (member "energy_pj" r)))
+      0.0 rows
+  in
+  check Alcotest.bool "components sum to the total" true
+    (Float.abs (sum -. total) /. Float.max (Float.abs total) 1.0 < 1e-5);
+  check Alcotest.bool "reference energy present" true
+    (Obs.Json.(to_float (member "reference_energy_pj" j)) > 0.0)
 
 let () =
   if not (Sys.file_exists xenergy_exe) then
@@ -60,5 +139,9 @@ let () =
       [ ( "streams",
           [ Alcotest.test_case "unknown workload" `Quick
               test_unknown_workload_clean_stdout;
-            Alcotest.test_case "list" `Quick test_list_succeeds_on_stdout ] )
-      ]
+            Alcotest.test_case "list" `Quick test_list_succeeds_on_stdout;
+            Alcotest.test_case "attribute unknown workload" `Quick
+              test_attribute_unknown_workload ] );
+        ( "observability",
+          [ Alcotest.test_case "trace + metrics + attribute" `Slow
+              test_characterize_trace_metrics_attribute ] ) ]

@@ -365,6 +365,63 @@ let test_run_report_single_pass () =
     (contains json
        (Printf.sprintf "\"total_simulations\": %d" (List.length suite)))
 
+(* The JSON emitter formats floats with six decimals, so a parse of its
+   own output must reproduce the report to that precision — including
+   the degraded-path counters and the new stall/interlock columns. *)
+let test_run_report_json_round_trip () =
+  let _, report =
+    Core.Characterize.collect_with_report ~jobs:1 (small_suite ())
+  in
+  let report =
+    { report with
+      Core.Run_report.parallel =
+        { Core.Run_report.serial_fallbacks = 1;
+          failed_forks = 2;
+          recomputed_slices = 3 } }
+  in
+  let back = Core.Run_report.of_json (Core.Run_report.to_json report) in
+  check Alcotest.int "jobs" report.Core.Run_report.jobs
+    back.Core.Run_report.jobs;
+  check (Alcotest.float 1e-5) "total_seconds"
+    report.Core.Run_report.total_seconds back.Core.Run_report.total_seconds;
+  check Alcotest.bool "degraded counters" true
+    (back.Core.Run_report.parallel = report.Core.Run_report.parallel);
+  check (Alcotest.float 1e-5) "total energy"
+    (Core.Run_report.total_energy_pj report)
+    (Core.Run_report.total_energy_pj back);
+  check Alcotest.int "entry count"
+    (List.length report.Core.Run_report.entries)
+    (List.length back.Core.Run_report.entries);
+  List.iter2
+    (fun (a : Core.Run_report.entry) (b : Core.Run_report.entry) ->
+      check Alcotest.string "name" a.ename b.ename;
+      check (Alcotest.float 1e-5) (a.ename ^ " wall") a.wall_seconds
+        b.wall_seconds;
+      check Alcotest.int (a.ename ^ " cycles") a.cycles b.cycles;
+      check Alcotest.int (a.ename ^ " instructions") a.instructions
+        b.instructions;
+      check Alcotest.int (a.ename ^ " icache") a.icache_misses b.icache_misses;
+      check Alcotest.int (a.ename ^ " dcache") a.dcache_misses b.dcache_misses;
+      check Alcotest.int (a.ename ^ " stalls") a.stall_cycles b.stall_cycles;
+      check Alcotest.int (a.ename ^ " interlocks") a.interlocks b.interlocks;
+      check (Alcotest.float 1e-5) (a.ename ^ " energy") a.energy_pj
+        b.energy_pj;
+      check Alcotest.int (a.ename ^ " sims") a.simulations b.simulations)
+    report.Core.Run_report.entries back.Core.Run_report.entries
+
+(* Entries must actually carry the stall/interlock counts measured by the
+   simulation, not zeros: the interlock case from the small suite has a
+   load-use dependency every iteration. *)
+let test_run_report_stall_columns () =
+  let _, report =
+    Core.Characterize.collect_with_report ~jobs:1 (small_suite ())
+  in
+  check Alcotest.bool "some workload stalls" true
+    (List.exists
+       (fun (e : Core.Run_report.entry) ->
+         e.stall_cycles > 0 && e.interlocks > 0)
+       report.Core.Run_report.entries)
+
 (* --- Parallel map ----------------------------------------------------------- *)
 
 let test_parallel_map_order () =
@@ -387,6 +444,176 @@ let test_parallel_map_exception () =
   | _ -> fail "exception swallowed by worker pool"
   | exception Failure msg ->
     check Alcotest.string "original exception re-raised in parent" "boom" msg
+
+let test_parallel_happy_path_stats () =
+  let res, stats =
+    Core.Parallel.map_with_stats ~jobs:3 (fun i -> i + 1) (List.init 9 Fun.id)
+  in
+  check (Alcotest.list Alcotest.int) "results" (List.init 9 (fun i -> i + 1))
+    res;
+  check Alcotest.bool "workers spawned" true
+    (stats.Core.Parallel.workers_spawned > 0);
+  check Alcotest.int "no recomputation" 0 stats.Core.Parallel.recomputed_items;
+  check Alcotest.bool "no serial fallback" false
+    stats.Core.Parallel.serial_fallback;
+  (* jobs <= 1 is a deliberate serial path, not a degraded one. *)
+  let _, serial =
+    Core.Parallel.map_with_stats ~jobs:1 (fun i -> i) (List.init 4 Fun.id)
+  in
+  check Alcotest.bool "serial by request is not a fallback" true
+    (serial = Core.Parallel.no_stats)
+
+(* Workers that die mid-slice must be recomputed in the parent — results
+   stay correct and the degradation is reported, not silent. *)
+let test_parallel_recomputes_dead_workers () =
+  let parent = Unix.getpid () in
+  let xs = List.init 9 Fun.id in
+  let res, stats =
+    Core.Parallel.map_with_stats ~jobs:3
+      (fun i -> if Unix.getpid () <> parent then Unix._exit 1 else i * 2)
+      xs
+  in
+  check (Alcotest.list Alcotest.int) "results recomputed correctly"
+    (List.map (fun i -> i * 2) xs)
+    res;
+  check Alcotest.bool "spawned workers" true
+    (stats.Core.Parallel.workers_spawned > 0);
+  check Alcotest.int "every spawned slice recomputed"
+    stats.Core.Parallel.workers_spawned
+    stats.Core.Parallel.recomputed_slices;
+  (* Dead slices plus any uncovered-by-failed-fork items: with every
+     worker dying, that is the whole input. *)
+  check Alcotest.int "every item recomputed in the parent" (List.length xs)
+    stats.Core.Parallel.recomputed_items
+
+(* --- Attribution ------------------------------------------------------------- *)
+
+(* The macro-model is linear, so the per-variable decomposition and the
+   cycle-bucketed waveform must each close over the workload's total
+   model energy (1e-6 relative), and the total must agree with the
+   estimate pipeline. *)
+let test_attribution_sums_to_total () =
+  let suite = small_suite () in
+  let fit = Core.Characterize.run suite in
+  let model = fit.Core.Characterize.model in
+  List.iter
+    (fun c ->
+      let b = Core.Attribution.run ~bucket_cycles:32 model c in
+      check Alcotest.bool
+        (b.Core.Attribution.workload ^ " rows sum to total") true
+        (Core.Attribution.check_sum b < 1e-6);
+      let wf_total = Obs.Waveform.total_pj b.Core.Attribution.waveform in
+      let scale = Float.max (Float.abs b.Core.Attribution.total_pj) 1.0 in
+      check Alcotest.bool
+        (b.Core.Attribution.workload ^ " waveform sums to total") true
+        (Float.abs (wf_total -. b.Core.Attribution.total_pj) /. scale < 1e-6);
+      let est =
+        Core.Estimate.of_profile model (Core.Extract.profile c)
+      in
+      check Alcotest.bool
+        (b.Core.Attribution.workload ^ " matches estimate pipeline") true
+        (Float.abs (est.Core.Estimate.energy_pj -. b.Core.Attribution.total_pj)
+         /. scale
+         < 1e-6);
+      check Alcotest.int "21 rows" Core.Variables.count
+        (List.length b.Core.Attribution.rows))
+    [ List.hd suite; List.nth suite 4 ]
+
+let test_attribution_shares () =
+  let fit = Core.Characterize.run (small_suite ()) in
+  let b =
+    Core.Attribution.run fit.Core.Characterize.model
+      (List.hd (small_suite ()))
+  in
+  let share_sum =
+    List.fold_left (fun acc r -> acc +. r.Core.Attribution.share) 0.0
+      b.Core.Attribution.rows
+  in
+  check (Alcotest.float 1e-6) "shares sum to 1" 1.0 share_sum;
+  (* Rows are sorted by descending contribution. *)
+  let rec sorted = function
+    | (a : Core.Attribution.row) :: (b' : Core.Attribution.row) :: tl ->
+      a.energy_pj >= b'.energy_pj && sorted (b' :: tl)
+    | _ -> true
+  in
+  check Alcotest.bool "rows descending" true (sorted b.Core.Attribution.rows)
+
+(* --- Observer-stream consistency --------------------------------------------- *)
+
+(* Satellite: for every characterization workload, the aggregate counters
+   in [Sim.Stats] must equal a fold over the raw [Sim.Event] stream — the
+   two consumers of the observer interface cannot drift apart. *)
+let test_observer_stream_consistency () =
+  let config = Sim.Config.default in
+  List.iter
+    (fun (c : Core.Extract.case) ->
+      let live = Sim.Stats.create config in
+      let events = ref [] in
+      let collect e = events := e :: !events in
+      let _ =
+        Sim.Cpu.run_program ~config ?extension:c.Core.Extract.extension
+          ~observers:[ Sim.Stats.observer live; collect ]
+          c.Core.Extract.asm
+      in
+      let events = List.rev !events in
+      (* Fold the raw stream into a fresh accumulator. *)
+      let replay = Sim.Stats.create config in
+      List.iter (Sim.Stats.observe replay) events;
+      let name what = c.Core.Extract.case_name ^ " " ^ what in
+      check Alcotest.int (name "instructions") live.Sim.Stats.instructions
+        replay.Sim.Stats.instructions;
+      check Alcotest.int (name "total_cycles") live.Sim.Stats.total_cycles
+        replay.Sim.Stats.total_cycles;
+      check Alcotest.int (name "arith") live.Sim.Stats.arith_cycles
+        replay.Sim.Stats.arith_cycles;
+      check Alcotest.int (name "load") live.Sim.Stats.load_cycles
+        replay.Sim.Stats.load_cycles;
+      check Alcotest.int (name "store") live.Sim.Stats.store_cycles
+        replay.Sim.Stats.store_cycles;
+      check Alcotest.int (name "jump") live.Sim.Stats.jump_cycles
+        replay.Sim.Stats.jump_cycles;
+      check Alcotest.int (name "btaken") live.Sim.Stats.branch_taken_cycles
+        replay.Sim.Stats.branch_taken_cycles;
+      check Alcotest.int (name "buntaken")
+        live.Sim.Stats.branch_untaken_cycles
+        replay.Sim.Stats.branch_untaken_cycles;
+      check Alcotest.int (name "icache") live.Sim.Stats.icache_misses
+        replay.Sim.Stats.icache_misses;
+      check Alcotest.int (name "dcache") live.Sim.Stats.dcache_misses
+        replay.Sim.Stats.dcache_misses;
+      check Alcotest.int (name "uncached") live.Sim.Stats.uncached_fetches
+        replay.Sim.Stats.uncached_fetches;
+      check Alcotest.int (name "interlocks") live.Sim.Stats.interlocks
+        replay.Sim.Stats.interlocks;
+      check Alcotest.int (name "stalls") live.Sim.Stats.stall_cycles
+        replay.Sim.Stats.stall_cycles;
+      check Alcotest.int (name "custom") live.Sim.Stats.custom_cycles
+        replay.Sim.Stats.custom_cycles;
+      check Alcotest.int (name "custom regfile")
+        live.Sim.Stats.custom_regfile_cycles
+        replay.Sim.Stats.custom_regfile_cycles;
+      (* Independent checks straight off the raw stream: one event per
+         instruction, cycles and cache misses reconstructible from the
+         event fields alone. *)
+      check Alcotest.int (name "one event per instruction")
+        live.Sim.Stats.instructions (List.length events);
+      check Alcotest.int (name "cycles = sum of event cycles")
+        live.Sim.Stats.total_cycles
+        (List.fold_left (fun acc e -> acc + e.Sim.Event.cycles) 0 events);
+      check Alcotest.int (name "icache misses from fetch fields")
+        live.Sim.Stats.icache_misses
+        (List.length
+           (List.filter
+              (fun e ->
+                (not e.Sim.Event.fetch.Sim.Event.funcached)
+                && not e.Sim.Event.fetch.Sim.Event.fhit)
+              events));
+      check Alcotest.int (name "stalls from event fields")
+        live.Sim.Stats.stall_cycles
+        (List.fold_left
+           (fun acc e -> acc + e.Sim.Event.stall_cycles)
+           0 events))
+    (Workloads.Suite.characterization ())
 
 let test_timing_measures_both_paths () =
   let fit = Core.Characterize.run (small_suite ()) in
@@ -431,10 +658,25 @@ let () =
             test_single_pass_matches_two_pass;
           Alcotest.test_case "run report" `Quick
             test_run_report_single_pass;
+          Alcotest.test_case "run report json round trip" `Quick
+            test_run_report_json_round_trip;
+          Alcotest.test_case "run report stall columns" `Quick
+            test_run_report_stall_columns;
           Alcotest.test_case "timing" `Quick
             test_timing_measures_both_paths ] );
       ( "parallel",
         [ Alcotest.test_case "map preserves order" `Quick
             test_parallel_map_order;
           Alcotest.test_case "map re-raises exceptions" `Quick
-            test_parallel_map_exception ] ) ]
+            test_parallel_map_exception;
+          Alcotest.test_case "happy path stats" `Quick
+            test_parallel_happy_path_stats;
+          Alcotest.test_case "recomputes dead workers" `Quick
+            test_parallel_recomputes_dead_workers ] );
+      ( "attribution",
+        [ Alcotest.test_case "sums to total" `Quick
+            test_attribution_sums_to_total;
+          Alcotest.test_case "shares" `Quick test_attribution_shares ] );
+      ( "observer stream",
+        [ Alcotest.test_case "stats equal event fold" `Quick
+            test_observer_stream_consistency ] ) ]

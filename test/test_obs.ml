@@ -1,0 +1,193 @@
+(* Tests for the observability substrate: metrics registry, trace
+   recorder (Chrome trace-event export), waveform accumulator and the
+   minimal JSON parser used for round-trips.  Metrics and Trace are
+   process-global, so every test restores the disabled default. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let with_obs f =
+  Obs.Metrics.set_enabled true;
+  Obs.Trace.set_enabled true;
+  Obs.Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ())
+    f
+
+(* --- Json ------------------------------------------------------------------ *)
+
+let test_json_parse () =
+  let j =
+    Obs.Json.parse
+      {|{"a": 1, "b": [true, false, null], "c": {"d": "x\n\"y\""}, "e": -2.5e2}|}
+  in
+  check (Alcotest.float 1e-9) "int" 1.0 Obs.Json.(to_float (member "a" j));
+  check Alcotest.int "array length" 3
+    (List.length Obs.Json.(to_list (member "b" j)));
+  check Alcotest.string "escapes" "x\n\"y\""
+    Obs.Json.(to_string (member "d" (member "c" j)));
+  check (Alcotest.float 1e-9) "exponent" (-250.0)
+    Obs.Json.(to_float (member "e" j));
+  (match Obs.Json.parse "{\"a\": 1} garbage" with
+   | exception Obs.Json.Parse_error _ -> ()
+   | _ -> fail "trailing garbage accepted");
+  match Obs.Json.parse "{\"a\":" with
+  | exception Obs.Json.Parse_error _ -> ()
+  | _ -> fail "truncated document accepted"
+
+(* --- Metrics ---------------------------------------------------------------- *)
+
+let test_metrics_disabled_is_noop () =
+  Obs.Metrics.set_enabled false;
+  let c = Obs.Metrics.counter "test_noop_total" in
+  let before = Obs.Metrics.counter_value c in
+  Obs.Metrics.inc c;
+  Obs.Metrics.inc ~by:10 c;
+  check Alcotest.int "disabled counter unchanged" before
+    (Obs.Metrics.counter_value c)
+
+let test_metrics_counter_and_labels () =
+  with_obs (fun () ->
+      let a = Obs.Metrics.counter ~labels:[ ("k", "a") ] "test_lbl_total" in
+      let b = Obs.Metrics.counter ~labels:[ ("k", "b") ] "test_lbl_total" in
+      let v0a = Obs.Metrics.counter_value a in
+      let v0b = Obs.Metrics.counter_value b in
+      Obs.Metrics.inc a;
+      Obs.Metrics.inc ~by:2 b;
+      check Alcotest.int "label a" (v0a + 1) (Obs.Metrics.counter_value a);
+      check Alcotest.int "label b" (v0b + 2) (Obs.Metrics.counter_value b);
+      (* Same identity returns the same instrument. *)
+      let a' = Obs.Metrics.counter ~labels:[ ("k", "a") ] "test_lbl_total" in
+      Obs.Metrics.inc a';
+      check Alcotest.int "same handle" (v0a + 2) (Obs.Metrics.counter_value a))
+
+let test_metrics_histogram () =
+  with_obs (fun () ->
+      let h =
+        Obs.Metrics.histogram ~buckets:[| 1.0; 10.0 |] "test_hist_seconds"
+      in
+      List.iter (Obs.Metrics.observe h) [ 0.5; 2.0; 5.0; 100.0 ];
+      check Alcotest.int "count" 4 (Obs.Metrics.histogram_count h);
+      check (Alcotest.float 1e-9) "sum" 107.5 (Obs.Metrics.histogram_sum h);
+      (* The registry JSON parses and carries the bucket counts. *)
+      let j = Obs.Json.parse (Obs.Metrics.to_json ()) in
+      let metrics = Obs.Json.(to_list (member "metrics" j)) in
+      let hj =
+        List.find
+          (fun m ->
+            Obs.Json.(to_string (member "name" m)) = "test_hist_seconds")
+          metrics
+      in
+      let counts =
+        List.map
+          (fun b -> Obs.Json.(to_int (member "count" b)))
+          Obs.Json.(to_list (member "buckets" hj))
+      in
+      check (Alcotest.list Alcotest.int) "bucket counts" [ 1; 2; 1 ] counts)
+
+let test_metrics_snapshot_merge () =
+  with_obs (fun () ->
+      let c = Obs.Metrics.counter "test_merge_total" in
+      Obs.Metrics.inc ~by:3 c;
+      let snap = Obs.Metrics.snapshot () in
+      Obs.Metrics.merge snap;
+      (* Counters add on merge: 3 own + 3 from the snapshot. *)
+      check Alcotest.int "merged counter" 6 (Obs.Metrics.counter_value c))
+
+(* --- Trace ------------------------------------------------------------------ *)
+
+let test_trace_disabled_records_nothing () =
+  Obs.Trace.set_enabled false;
+  Obs.Trace.clear ();
+  let r = Obs.Trace.with_span "quiet" (fun () -> 42) in
+  check Alcotest.int "value returned" 42 r;
+  check Alcotest.int "no events" 0 (List.length (Obs.Trace.events ()))
+
+let test_trace_spans_and_json () =
+  with_obs (fun () ->
+      let r =
+        Obs.Trace.with_span ~cat:"t" "outer" (fun () ->
+            Obs.Trace.with_span ~cat:"t" "inner" (fun () -> ());
+            7)
+      in
+      check Alcotest.int "value returned" 7 r;
+      Obs.Trace.thread_name ~tid:3 "worker 3";
+      (match Obs.Trace.with_span "raiser" (fun () -> failwith "x") with
+       | exception Failure _ -> ()
+       | _ -> fail "exception swallowed");
+      let j = Obs.Json.parse (Obs.Trace.to_json (Obs.Trace.events ())) in
+      let evs = Obs.Json.(to_list (member "traceEvents" j)) in
+      let name e = Obs.Json.(to_string (member "name" e)) in
+      let names = List.map name evs in
+      List.iter
+        (fun n ->
+          if not (List.mem n names) then fail (Printf.sprintf "missing %s" n))
+        [ "outer"; "inner"; "raiser"; "thread_name" ];
+      (* Inner completes before outer, so it is recorded first; both carry
+         durations and the default tid 0. *)
+      let inner = List.find (fun e -> name e = "inner") evs in
+      let outer = List.find (fun e -> name e = "outer") evs in
+      check Alcotest.int "tid" 0 Obs.Json.(to_int (member "tid" inner));
+      check Alcotest.bool "outer encloses inner" true
+        (Obs.Json.(to_float (member "ts" outer))
+         <= Obs.Json.(to_float (member "ts" inner))
+         && Obs.Json.(to_float (member "dur" outer))
+            >= Obs.Json.(to_float (member "dur" inner))))
+
+let test_trace_emit_all_preserves_lanes () =
+  with_obs (fun () ->
+      Obs.Trace.set_tid 5;
+      Obs.Trace.with_span "foreign" (fun () -> ());
+      Obs.Trace.set_tid 0;
+      let shipped = Obs.Trace.drain () in
+      check Alcotest.int "drained" 1 (List.length shipped);
+      check Alcotest.int "cleared" 0 (List.length (Obs.Trace.events ()));
+      Obs.Trace.emit_all shipped;
+      match Obs.Trace.events () with
+      | [ e ] -> check Alcotest.int "lane kept" 5 e.Obs.Trace.ev_tid
+      | l -> fail (Printf.sprintf "%d events after emit_all" (List.length l)))
+
+(* --- Waveform ---------------------------------------------------------------- *)
+
+let test_waveform_buckets () =
+  let w = Obs.Waveform.create ~bucket_cycles:10 () in
+  Obs.Waveform.add w ~cycle:0 ~energy_pj:1.0;
+  Obs.Waveform.add w ~cycle:9 ~energy_pj:2.0;
+  Obs.Waveform.add w ~cycle:10 ~energy_pj:4.0;
+  Obs.Waveform.add w ~cycle:995 ~energy_pj:8.0;    (* forces growth *)
+  check (Alcotest.float 1e-9) "total" 15.0 (Obs.Waveform.total_pj w);
+  let bs = Obs.Waveform.buckets w in
+  check Alcotest.int "buckets up to last touched" 100 (Array.length bs);
+  check (Alcotest.float 1e-9) "bucket 0 accumulates" 3.0 (snd bs.(0));
+  check (Alcotest.float 1e-9) "bucket 1" 4.0 (snd bs.(1));
+  check (Alcotest.float 1e-9) "bucket 99" 8.0 (snd bs.(99));
+  check Alcotest.int "bucket start cycle" 990 (fst bs.(99));
+  let j = Obs.Json.parse (Obs.Waveform.to_json w) in
+  check Alcotest.int "json bucket width" 10
+    Obs.Json.(to_int (member "bucket_cycles" j));
+  check Alcotest.string "unit stated" "pJ"
+    Obs.Json.(to_string (member "unit" j))
+
+let () =
+  Alcotest.run "obs"
+    [ ( "json",
+        [ Alcotest.test_case "parse" `Quick test_json_parse ] );
+      ( "metrics",
+        [ Alcotest.test_case "disabled no-op" `Quick
+            test_metrics_disabled_is_noop;
+          Alcotest.test_case "counters and labels" `Quick
+            test_metrics_counter_and_labels;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "snapshot merge" `Quick
+            test_metrics_snapshot_merge ] );
+      ( "trace",
+        [ Alcotest.test_case "disabled no-op" `Quick
+            test_trace_disabled_records_nothing;
+          Alcotest.test_case "spans + json" `Quick test_trace_spans_and_json;
+          Alcotest.test_case "emit_all lanes" `Quick
+            test_trace_emit_all_preserves_lanes ] );
+      ( "waveform",
+        [ Alcotest.test_case "buckets" `Quick test_waveform_buckets ] ) ]
