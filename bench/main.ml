@@ -7,6 +7,7 @@
      main.exe table2       Table II - application accuracy
      main.exe fig4         Fig. 4   - Reed-Solomon design space
      main.exe speedup      macro-model vs reference estimation time
+     main.exe explore      memoized design-space sweep, cold vs warm cache
      main.exe ablation     hybrid vs degenerate macro-models, C(W) variants
      main.exe capps        accuracy on compiled Tiny-C applications
      main.exe arbitrary    characterization on random test programs
@@ -251,6 +252,95 @@ and characterize_bench () =
       Out_channel.output_string oc json;
       Out_channel.output_char oc '\n');
   Format.fprintf fmt "(written to BENCH_characterize.json)@."
+
+(* Design-space exploration: sweep the flagship rs-cache space twice over
+   the same on-disk memo cache — cold (every simulation runs) and warm
+   (every evaluation served from disk) — check the two sweeps agree
+   bit-for-bit, and record the timings in BENCH_explore.json. *)
+let explore_bench () =
+  banner "E6: design-space exploration (memoized sweep, cold vs warm)";
+  let dir =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xenergy-bench-cache.%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let candidates = Workloads.Spaces.rs_cache () in
+  let characterization = Workloads.Suite.characterization () in
+  let sweep () =
+    let cache = Core.Eval_cache.create ~dir () in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Core.Explore.run ~cache ~characterization candidates in
+    (outcome, Unix.gettimeofday () -. t0)
+  in
+  let cold, cold_s = sweep () in
+  let warm, warm_s = sweep () in
+  let point_key (p : Core.Explore.point) =
+    (p.Core.Explore.pt_name, p.Core.Explore.pt_energy_pj,
+     p.Core.Explore.pt_cycles)
+  in
+  let agree =
+    List.map point_key cold.Core.Explore.points
+    = List.map point_key warm.Core.Explore.points
+  in
+  if not agree then
+    Format.fprintf fmt "WARNING: warm sweep diverged from cold sweep!@.";
+  let names ps =
+    List.map (fun (p : Core.Explore.point) -> p.Core.Explore.pt_name) ps
+  in
+  let speedup = if warm_s > 0.0 then cold_s /. warm_s else infinity in
+  Format.fprintf fmt
+    "%d candidates over %d configurations@.\
+     cold sweep   %8.3f s  (%d simulations)@.\
+     warm sweep   %8.3f s  (%d simulations, %d cache hits)@.\
+     warm speedup %8.1fx   (results bit-identical: %b)@.\
+     Pareto frontier: %s@."
+    (List.length candidates) cold.Core.Explore.configs_characterized
+    cold_s cold.Core.Explore.simulations
+    warm_s warm.Core.Explore.simulations
+    warm.Core.Explore.cache_stats.Core.Eval_cache.hits
+    speedup agree
+    (String.concat " -> " (names cold.Core.Explore.frontier));
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"explore-memoized-sweep\",\n\
+      \  \"space\": \"rs-cache\",\n\
+      \  \"candidates\": %d,\n\
+      \  \"configs_characterized\": %d,\n\
+      \  \"cold_seconds\": %.6f,\n\
+      \  \"warm_seconds\": %.6f,\n\
+      \  \"warm_speedup\": %.3f,\n\
+      \  \"cold_simulations\": %d,\n\
+      \  \"warm_simulations\": %d,\n\
+      \  \"warm_cache_hits\": %d,\n\
+      \  \"cache_errors\": %d,\n\
+      \  \"bit_identical\": %b,\n\
+      \  \"pareto\": [%s]\n\
+       }"
+      (List.length candidates) cold.Core.Explore.configs_characterized
+      cold_s warm_s speedup cold.Core.Explore.simulations
+      warm.Core.Explore.simulations
+      warm.Core.Explore.cache_stats.Core.Eval_cache.hits
+      (cold.Core.Explore.cache_stats.Core.Eval_cache.errors
+       + warm.Core.Explore.cache_stats.Core.Eval_cache.errors)
+      agree
+      (String.concat ", "
+         (List.map (Printf.sprintf "%S") (names cold.Core.Explore.frontier)))
+  in
+  Out_channel.with_open_text "BENCH_explore.json" (fun oc ->
+      Out_channel.output_string oc json;
+      Out_channel.output_char oc '\n');
+  Format.fprintf fmt "(written to BENCH_explore.json)@.";
+  (* Best-effort cleanup of the scratch cache. *)
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ())
 
 (* --- Ablations ---------------------------------------------------------------- *)
 
@@ -575,9 +665,9 @@ let bechamel_benchmarks () =
 let () =
   let experiments =
     [ ("table1", table1); ("fig3", fig3); ("table2", table2);
-      ("fig4", fig4); ("speedup", speedup); ("ablation", ablation);
-      ("capps", capps); ("arbitrary", arbitrary); ("sweep", sweep);
-      ("bechamel", bechamel_benchmarks) ]
+      ("fig4", fig4); ("speedup", speedup); ("explore", explore_bench);
+      ("ablation", ablation); ("capps", capps); ("arbitrary", arbitrary);
+      ("sweep", sweep); ("bechamel", bechamel_benchmarks) ]
   in
   match Array.to_list Sys.argv with
   | _ :: name :: _ -> (

@@ -486,6 +486,113 @@ let cc_cmd =
        ~doc:"Compile a Tiny-C file, simulate it and estimate its energy")
     Term.(const run $ model_arg $ file_arg $ ext_arg $ listing_arg)
 
+(* --- explore -------------------------------------------------------------- *)
+
+let explore_cmd =
+  let space_arg =
+    Arg.(value & opt string "rs-cache"
+         & info [ "space" ] ~docv:"NAME"
+             ~doc:(Printf.sprintf
+                     "Candidate space to sweep (one of: %s)."
+                     (String.concat ", " Workloads.Spaces.names)))
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Memoize simulation results as one JSON file per entry
+                   under $(docv); a later sweep over overlapping
+                   candidates (or the same sweep re-run) reuses them
+                   instead of re-simulating.  Corrupted or unwritable
+                   entries fall back to recompute.")
+  in
+  let pareto_arg =
+    Arg.(value & flag
+         & info [ "pareto" ]
+             ~doc:"Restrict the table/CSV rows to the Pareto frontier.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the sweep as JSON (energies in pJ/uJ, units
+                   stated in the document) instead of the table.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the sweep as CSV.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Also write the rendered output to $(docv).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record Chrome trace-event spans for the sweep
+                   (per-config characterization, per-candidate
+                   simulations, cache hit instants) to $(docv).")
+  in
+  let metrics_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Save the metrics registry (cache hit/miss/error
+                   counters, simulator and worker-pool counters) as JSON
+                   to $(docv).")
+  in
+  let run space cache_dir pareto json csv out trace metrics jobs =
+    if json && csv then die "--json and --csv are mutually exclusive";
+    let build_space =
+      match Workloads.Spaces.find space with
+      | Some f -> f
+      | None ->
+        die "unknown space %S; available: %s" space
+          (String.concat ", " Workloads.Spaces.names)
+    in
+    if trace <> None then Obs.Trace.set_enabled true;
+    if metrics <> None then Obs.Metrics.set_enabled true;
+    let cache = Core.Eval_cache.create ?dir:cache_dir () in
+    let outcome =
+      Core.Explore.run ?jobs ~cache
+        ~characterization:(Workloads.Suite.characterization ())
+        (build_space ())
+    in
+    let rendered =
+      if json then Core.Explore.to_json outcome ^ "\n"
+      else if csv then Core.Explore.to_csv ~pareto_only:pareto outcome
+      else
+        Format.asprintf "%a@."
+          (fun ppf -> Core.Explore.pp ~pareto_only:pareto ppf)
+          outcome
+    in
+    print_string rendered;
+    (match out with
+     | Some path ->
+       (try
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc rendered)
+        with Sys_error msg -> die "cannot write output: %s" msg);
+       Format.eprintf "sweep written to %s@." path
+     | None -> ());
+    (match trace with
+     | Some path ->
+       (try Obs.Trace.save path
+        with Sys_error msg -> die "cannot write trace: %s" msg);
+       Format.eprintf "trace written to %s@." path
+     | None -> ());
+    match metrics with
+    | Some path ->
+      (try Obs.Metrics.save path
+       with Sys_error msg -> die "cannot write metrics: %s" msg);
+      Format.eprintf "metrics written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Design-space exploration: sweep a candidate space through
+             the macro-model (memoized) and extract the
+             energy/performance Pareto frontier")
+    Term.(const run $ space_arg $ cache_dir_arg $ pareto_arg $ json_arg
+          $ csv_arg $ out_arg $ trace_arg $ metrics_arg $ jobs_arg)
+
 (* --- rs ------------------------------------------------------------------ *)
 
 let rs_cmd =
@@ -507,7 +614,7 @@ let main_cmd =
   let doc = "Energy estimation for extensible processors" in
   Cmd.group (Cmd.info "xenergy" ~version:"1.0.0" ~doc)
     [ list_cmd; profile_cmd; reference_cmd; characterize_cmd; estimate_cmd;
-      attribute_cmd; compare_cmd; rs_cmd; disasm_cmd; breakdown_cmd;
-      trace_cmd; run_cmd; cc_cmd ]
+      attribute_cmd; compare_cmd; rs_cmd; explore_cmd; disasm_cmd;
+      breakdown_cmd; trace_cmd; run_cmd; cc_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -38,10 +38,19 @@ val create :
   config:Sim.Config.t ->
   Template.model ->
   t
+(** An engine for one workload.  [bucket_cycles] sets the waveform bin
+    width (default 64); [complexity] and [extension] must match the ones
+    the model's variables will be extracted with, or the decomposition
+    will not match the estimate. *)
 
 val observer : t -> Sim.Cpu.observer
+(** The engine as a simulation observer; attach it to the run being
+    attributed. *)
 
 val finish : t -> name:string -> cycles:int -> instructions:int -> breakdown
+(** Close the books after the observed simulation: compute the rows from
+    the folded state and return the breakdown.  [cycles] and
+    [instructions] come from the simulator outcome. *)
 
 val run :
   ?config:Sim.Config.t ->

@@ -17,6 +17,8 @@ val run :
   Template.model ->
   Extract.case ->
   result
+(** Simulate the case once ({!Extract.val-profile}) and apply the model to
+    the extracted variable vector. *)
 
 val of_profile : Template.model -> Extract.profile -> result
 (** Apply the model to an already-extracted profile (no simulation). *)

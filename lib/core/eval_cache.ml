@@ -1,0 +1,200 @@
+type entry = {
+  e_name : string;
+  e_variables : float array;
+  e_cycles : int;
+  e_instructions : int;
+  e_stall_cycles : int;
+  e_measured_pj : float option;
+}
+
+type stats = { hits : int; misses : int; errors : int; stores : int }
+
+type t = {
+  c_dir : string option;
+  c_mem : (string, entry) Hashtbl.t;
+  mutable c_stats : stats;
+}
+
+module M = struct
+  let hits = lazy (Obs.Metrics.counter "explore_cache_hits_total")
+  let misses = lazy (Obs.Metrics.counter "explore_cache_misses_total")
+  let errors = lazy (Obs.Metrics.counter "explore_cache_errors_total")
+  let stores = lazy (Obs.Metrics.counter "explore_cache_stores_total")
+end
+
+let create ?dir () =
+  { c_dir = dir; c_mem = Hashtbl.create 64;
+    c_stats = { hits = 0; misses = 0; errors = 0; stores = 0 } }
+
+let dir t = t.c_dir
+
+let stats t = t.c_stats
+
+let diff a b =
+  { hits = a.hits - b.hits;
+    misses = a.misses - b.misses;
+    errors = a.errors - b.errors;
+    stores = a.stores - b.stores }
+
+(* The key covers exactly what the cached computation reads: the
+   assembled program (code words, entry point, initialised image — not
+   the unassembled source, whose labels and symbol table carry no
+   semantics), the extension specification, the processor configuration,
+   the C(W) tag and whether the reference estimator observes the run.
+   Marshal gives a canonical byte string for these pure immutable
+   values; MD5 of that is the content address. *)
+let key ?(complexity_tag = "default") ?(with_reference = false)
+    ~(config : Sim.Config.t) (c : Extract.case) =
+  let asm = c.Extract.asm in
+  let code =
+    Array.map
+      (fun (s : Isa.Program.slot) -> (s.Isa.Program.addr, s.Isa.Program.word))
+      asm.Isa.Program.code
+  in
+  let spec = Option.map Tie.Compile.spec c.Extract.extension in
+  let payload =
+    ( "xenergy-eval-cache", 1, complexity_tag, with_reference, code,
+      asm.Isa.Program.entry, asm.Isa.Program.image, spec, config )
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string payload []))
+
+(* --- On-disk format ------------------------------------------------------ *)
+
+(* %.17g prints enough digits that float_of_string recovers the exact
+   bits: a warm (disk) sweep is bit-identical to the cold one. *)
+let float17 x = Printf.sprintf "%.17g" x
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let entry_to_json ~key:k e =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"format\": \"xenergy-eval-cache\",\n";
+  Buffer.add_string b "  \"version\": 1,\n";
+  Printf.bprintf b "  \"key\": \"%s\",\n" k;
+  Printf.bprintf b "  \"name\": \"%s\",\n" (json_escape e.e_name);
+  Printf.bprintf b "  \"cycles\": %d,\n" e.e_cycles;
+  Printf.bprintf b "  \"instructions\": %d,\n" e.e_instructions;
+  Printf.bprintf b "  \"stall_cycles\": %d,\n" e.e_stall_cycles;
+  Printf.bprintf b "  \"measured_pj\": %s,\n"
+    (match e.e_measured_pj with None -> "null" | Some x -> float17 x);
+  Printf.bprintf b "  \"variables\": [%s]\n"
+    (String.concat ", "
+       (Array.to_list (Array.map float17 e.e_variables)));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let entry_of_json ~expect_key s =
+  let j = Obs.Json.parse s in
+  let str f = Obs.Json.(to_string (member f j)) in
+  let int f = Obs.Json.(to_int (member f j)) in
+  if str "format" <> "xenergy-eval-cache" then failwith "cache: bad format";
+  if int "version" <> 1 then failwith "cache: unsupported version";
+  if str "key" <> expect_key then failwith "cache: key mismatch";
+  let variables =
+    Obs.Json.(to_list (member "variables" j))
+    |> List.map Obs.Json.to_float |> Array.of_list
+  in
+  if Array.length variables <> Variables.count then
+    failwith "cache: wrong variable count";
+  let measured_pj =
+    match Obs.Json.member "measured_pj" j with
+    | Obs.Json.Null -> None
+    | v -> Some (Obs.Json.to_float v)
+  in
+  { e_name = str "name";
+    e_variables = variables;
+    e_cycles = int "cycles";
+    e_instructions = int "instructions";
+    e_stall_cycles = int "stall_cycles";
+    e_measured_pj = measured_pj }
+
+(* --- Lookup / store ------------------------------------------------------ *)
+
+let path_of t k =
+  Option.map (fun d -> Filename.concat d (k ^ ".json")) t.c_dir
+
+let count_error t =
+  t.c_stats <- { t.c_stats with errors = t.c_stats.errors + 1 };
+  Obs.Metrics.inc (Lazy.force M.errors);
+  Obs.Trace.instant ~cat:"cache" "cache:error"
+
+let load_disk t k =
+  match path_of t k with
+  | None -> None
+  | Some path ->
+    if not (Sys.file_exists path) then None
+    else begin
+      match
+        entry_of_json ~expect_key:k
+          (In_channel.with_open_text path In_channel.input_all)
+      with
+      | e -> Some e
+      | exception _ ->
+        (* Corrupted, truncated or foreign file: recompute rather than
+           fail, and leave a trail in the error counter. *)
+        count_error t;
+        None
+    end
+
+let find t k =
+  let hit e =
+    t.c_stats <- { t.c_stats with hits = t.c_stats.hits + 1 };
+    Obs.Metrics.inc (Lazy.force M.hits);
+    Obs.Trace.instant ~cat:"cache" "cache:hit"
+      ~args:[ ("name", Obs.Trace.S e.e_name) ];
+    Some e
+  in
+  match Hashtbl.find_opt t.c_mem k with
+  | Some e -> hit e
+  | None -> (
+    match load_disk t k with
+    | Some e ->
+      Hashtbl.replace t.c_mem k e;
+      hit e
+    | None ->
+      t.c_stats <- { t.c_stats with misses = t.c_stats.misses + 1 };
+      Obs.Metrics.inc (Lazy.force M.misses);
+      None)
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ()
+  end
+
+let store_disk t k e =
+  match path_of t k with
+  | None -> ()
+  | Some path ->
+    (* Atomic publication: never leave a torn file for a concurrent or
+       later reader to trip over. *)
+    (try
+       Option.iter mkdir_p t.c_dir;
+       let tmp =
+         Filename.temp_file ~temp_dir:(Option.get t.c_dir) "cache" ".tmp"
+       in
+       Out_channel.with_open_text tmp (fun oc ->
+           Out_channel.output_string oc (entry_to_json ~key:k e));
+       Sys.rename tmp path
+     with Sys_error _ | Unix.Unix_error _ | Invalid_argument _ ->
+       count_error t)
+
+let store t k e =
+  Hashtbl.replace t.c_mem k e;
+  store_disk t k e;
+  t.c_stats <- { t.c_stats with stores = t.c_stats.stores + 1 };
+  Obs.Metrics.inc (Lazy.force M.stores)

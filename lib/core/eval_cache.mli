@@ -1,0 +1,97 @@
+(** Content-addressed memoization cache for simulation-derived profiles.
+
+    Design-space exploration evaluates many candidates whose energy
+    differs only through the macro-model dot product, while the
+    expensive input — the instruction-set simulation that yields the
+    variable vector (and, during characterization, the reference
+    "measured" energy) — depends solely on the (program, extension,
+    processor-configuration) triple.  This cache keys that triple by a
+    content hash, so candidates sharing a base-core simulation reuse its
+    extracted variables instead of re-simulating, and a repeated (warm)
+    sweep reuses the whole run from disk.
+
+    Two layers: an in-process table, always on, and an optional on-disk
+    store (one JSON file per entry under {!create}'s [dir]).  The disk
+    layer degrades gracefully by design: a corrupted, truncated,
+    version-skewed or unreadable file — and an unwritable directory —
+    count into {!type-stats}[.errors] (and the
+    [explore_cache_errors_total] metric) and fall back to recompute;
+    they never raise out of {!find}/{!store}.  Hits, misses and stores
+    are counted in the {!Obs.Metrics} registry
+    ([explore_cache_hits_total], [explore_cache_misses_total],
+    [explore_cache_stores_total]) and, with tracing enabled, recorded as
+    instants on the ["cache"] category. *)
+
+type entry = {
+  e_name : string;           (** workload name (informational only) *)
+  e_variables : float array; (** the 21-element macro-model vector *)
+  e_cycles : int;
+  e_instructions : int;
+  e_stall_cycles : int;
+  e_measured_pj : float option;
+  (** reference-estimator energy, when the entry was collected with the
+      reference attached (characterization); [None] for profile-only
+      entries *)
+}
+
+type t
+(** A cache instance (in-memory table plus optional disk directory). *)
+
+type stats = {
+  hits : int;     (** lookups answered from memory or disk *)
+  misses : int;   (** lookups that found nothing *)
+  errors : int;   (** corrupted/unreadable loads and failed writes *)
+  stores : int;   (** entries written (memory, plus disk when enabled) *)
+}
+
+val create : ?dir:string -> unit -> t
+(** [create ~dir ()] — memoize to memory and to one JSON file per entry
+    under [dir] (created on demand; creation failure is deferred to the
+    first {!store}, as an [errors] count).  Without [dir] the cache is
+    memory-only. *)
+
+val dir : t -> string option
+(** The disk directory, if the cache has one. *)
+
+val key :
+  ?complexity_tag:string ->
+  ?with_reference:bool ->
+  config:Sim.Config.t ->
+  Extract.case ->
+  string
+(** Content hash (hex digest) of everything the cached computation
+    depends on: the assembled code words, entry point and initialised
+    memory image of the program, the full extension specification, the
+    processor configuration, whether the reference estimator rides the
+    simulation ([with_reference], default [false]), and a
+    [complexity_tag] naming the C(W) weighting in effect (default
+    ["default"]; callers overriding [complexity] must supply their own
+    tag). *)
+
+val find : t -> string -> entry option
+(** Look a key up (memory first, then disk); counts a hit or miss.
+    A disk entry that fails to load counts an error and reads as a
+    miss. *)
+
+val store : t -> string -> entry -> unit
+(** Record an entry under a key.  Disk writes are atomic
+    (temp-file-and-rename); a failed write counts an error and leaves
+    the in-memory entry in place. *)
+
+val stats : t -> stats
+(** Counters accumulated over this instance's lifetime. *)
+
+val diff : stats -> stats -> stats
+(** [diff later earlier] — per-field subtraction, for reporting the
+    delta of one sweep. *)
+
+val entry_to_json : key:string -> entry -> string
+(** The on-disk document.  Floats are printed with ["%.17g"], so a
+    load returns bit-identical values — warm sweeps reproduce cold
+    sweeps exactly. *)
+
+val entry_of_json : expect_key:string -> string -> entry
+(** Parse {!entry_to_json} output, validating format, version, key and
+    variable-vector length.
+    @raise Obs.Json.Parse_error (or [Failure]) on any mismatch — {!find}
+    converts that into an error-counted miss. *)

@@ -23,6 +23,9 @@ val compare_cases :
   Template.model ->
   Extract.case list ->
   table
+(** Estimate every case with both paths — the macro-model and the
+    reference estimator riding the same simulation — and tabulate the
+    signed errors (Table II). *)
 
 val correlation : table -> float
 (** Pearson correlation between the two energy series (the Fig. 4
@@ -47,3 +50,5 @@ val time_case :
 (** Wall-clock both estimation paths ([repeats] runs each, best time). *)
 
 val pp_table : Format.formatter -> table -> unit
+(** Table II style listing: estimate, reference and error per row, then
+    the mean/max absolute error. *)

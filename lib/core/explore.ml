@@ -1,0 +1,330 @@
+type candidate = {
+  cand_name : string;
+  case : Extract.case;
+  config : Sim.Config.t;
+}
+
+let candidate ?name ?(config = Sim.Config.default) (case : Extract.case) =
+  { cand_name = Option.value name ~default:case.Extract.case_name;
+    case;
+    config }
+
+type point = {
+  pt_name : string;
+  pt_energy_pj : float;
+  pt_energy_uj : float;
+  pt_cycles : int;
+  pt_instructions : int;
+  pt_cached : bool;
+}
+
+type outcome = {
+  points : point list;
+  frontier : point list;
+  configs_characterized : int;
+  simulations : int;
+  cache_stats : Eval_cache.stats;
+  wall_seconds : float;
+}
+
+(* --- Cached collection ---------------------------------------------------- *)
+
+(* One simulation yields everything a cache entry holds; with the
+   reference estimator attached (characterization) it stays single-pass,
+   exactly like Characterize.collect_one. *)
+let compute ~config ~with_ref (c : Extract.case) : Eval_cache.entry =
+  let prof, measured =
+    if with_ref then begin
+      let est = Power.Estimator.create ?extension:c.Extract.extension config in
+      let p =
+        Extract.profile ~config
+          ~observers:[ Power.Estimator.observer est ]
+          c
+      in
+      (p, Some (Power.Estimator.total_energy est))
+    end
+    else (Extract.profile ~config c, None)
+  in
+  { Eval_cache.e_name = c.Extract.case_name;
+    e_variables = prof.Extract.variables;
+    e_cycles = prof.Extract.cycles;
+    e_instructions = prof.Extract.instructions;
+    e_stall_cycles = prof.Extract.stall_cycles;
+    e_measured_pj = measured }
+
+(* Resolve every case to an entry: probe the cache, compute the distinct
+   misses on the worker pool, publish them, and mark each row with
+   whether its vector was reused (cache or an earlier identical case in
+   this very sweep) or freshly simulated.  Returns rows in input order
+   plus the number of simulations actually run. *)
+let collect ?jobs ~cache ~with_ref ~config cases =
+  let probed =
+    List.map
+      (fun (c : Extract.case) ->
+        let k = Eval_cache.key ~with_reference:with_ref ~config c in
+        let hit =
+          match Eval_cache.find cache k with
+          | Some e
+            when (not with_ref) || Option.is_some e.Eval_cache.e_measured_pj
+            ->
+            Some e
+          | Some _ | None ->
+            (* An entry without the reference energy cannot serve a
+               characterization lookup; recompute it. *)
+            None
+        in
+        (k, c, hit))
+      cases
+  in
+  let seen = Hashtbl.create 16 in
+  let miss_list =
+    List.filter_map
+      (fun (k, c, hit) ->
+        match hit with
+        | Some _ -> None
+        | None ->
+          if Hashtbl.mem seen k then None
+          else begin
+            Hashtbl.add seen k ();
+            Some (k, c)
+          end)
+      probed
+  in
+  let computed =
+    Parallel.map ?jobs
+      (fun (k, c) -> (k, compute ~config ~with_ref c))
+      miss_list
+  in
+  List.iter (fun (k, e) -> Eval_cache.store cache k e) computed;
+  let ctbl = Hashtbl.create 16 in
+  List.iter (fun (k, e) -> Hashtbl.replace ctbl k e) computed;
+  let used = Hashtbl.create 16 in
+  let rows =
+    List.map
+      (fun (k, _c, hit) ->
+        match hit with
+        | Some e -> (e, true)
+        | None ->
+          let fresh = not (Hashtbl.mem used k) in
+          Hashtbl.add used k ();
+          (Hashtbl.find ctbl k, not fresh))
+      probed
+  in
+  (rows, List.length computed)
+
+let sample_of_entry (c : Extract.case) ((e : Eval_cache.entry), _cached) =
+  { Characterize.sname = c.Extract.case_name;
+    variables = e.Eval_cache.e_variables;
+    measured_pj = Option.get e.Eval_cache.e_measured_pj;
+    cycles = e.Eval_cache.e_cycles }
+
+(* --- Pareto frontier ------------------------------------------------------ *)
+
+let dominates a b =
+  a.pt_cycles <= b.pt_cycles
+  && a.pt_energy_pj <= b.pt_energy_pj
+  && (a.pt_cycles < b.pt_cycles || a.pt_energy_pj < b.pt_energy_pj)
+
+let pareto points =
+  List.filter
+    (fun p -> not (List.exists (fun q -> dominates q p) points))
+    points
+  |> List.sort (fun a b ->
+         match compare a.pt_cycles b.pt_cycles with
+         | 0 -> (
+           match compare a.pt_energy_pj b.pt_energy_pj with
+           | 0 -> compare a.pt_name b.pt_name
+           | c -> c)
+         | c -> c)
+
+(* --- Sweeps --------------------------------------------------------------- *)
+
+let same_config a b = compare (a : Sim.Config.t) b = 0
+
+let validate candidates =
+  if candidates = [] then invalid_arg "Explore: no candidates";
+  let rec dup = function
+    | [] -> ()
+    | c :: rest ->
+      if List.exists (fun c' -> c'.cand_name = c.cand_name) rest then
+        invalid_arg
+          (Printf.sprintf "Explore: duplicate candidate name %S" c.cand_name);
+      dup rest
+  in
+  dup candidates
+
+(* Shared tail of [run]/[evaluate]: evaluate every candidate with the
+   model chosen for its configuration, preserving input order. *)
+let sweep ?jobs ~cache ~configs ~model_for ~char_sims ~before candidates t0 =
+  let simulations = ref char_sims in
+  let indexed = List.mapi (fun i c -> (i, c)) candidates in
+  let evaluated =
+    List.concat_map
+      (fun cfg ->
+        let group =
+          List.filter (fun (_, c) -> same_config c.config cfg) indexed
+        in
+        let rows, sims =
+          collect ?jobs ~cache ~with_ref:false ~config:cfg
+            (List.map (fun (_, c) -> c.case) group)
+        in
+        simulations := !simulations + sims;
+        let model = model_for cfg in
+        List.map2
+          (fun (i, c) ((e : Eval_cache.entry), cached) ->
+            let pj = Template.energy model e.Eval_cache.e_variables in
+            ( i,
+              { pt_name = c.cand_name;
+                pt_energy_pj = pj;
+                pt_energy_uj = Power.Report.to_uj pj;
+                pt_cycles = e.Eval_cache.e_cycles;
+                pt_instructions = e.Eval_cache.e_instructions;
+                pt_cached = cached } ))
+          group rows)
+      configs
+  in
+  let points =
+    List.sort (fun (i, _) (j, _) -> compare i j) evaluated |> List.map snd
+  in
+  { points;
+    frontier = pareto points;
+    configs_characterized = 0;  (* the callers overwrite this *)
+    simulations = !simulations;
+    cache_stats = Eval_cache.diff (Eval_cache.stats cache) before;
+    wall_seconds = Unix.gettimeofday () -. t0 }
+
+let distinct_configs candidates =
+  List.fold_left
+    (fun acc c ->
+      if List.exists (same_config c.config) acc then acc else acc @ [ c.config ])
+    [] candidates
+
+let run ?jobs ?cache ?(nonnegative = true) ~characterization candidates =
+  validate candidates;
+  let cache =
+    match cache with Some c -> c | None -> Eval_cache.create ()
+  in
+  let before = Eval_cache.stats cache in
+  let t0 = Unix.gettimeofday () in
+  Obs.Trace.with_span ~cat:"explore" "explore" @@ fun () ->
+  let configs = distinct_configs candidates in
+  let char_sims = ref 0 in
+  let models =
+    List.mapi
+      (fun i cfg ->
+        Obs.Trace.with_span ~cat:"explore"
+          (Printf.sprintf "characterize:config%d" i)
+        @@ fun () ->
+        let rows, sims =
+          collect ?jobs ~cache ~with_ref:true ~config:cfg characterization
+        in
+        char_sims := !char_sims + sims;
+        let samples = List.map2 sample_of_entry characterization rows in
+        let fit = Characterize.fit_samples ~nonnegative samples in
+        (cfg, fit.Characterize.model))
+      configs
+  in
+  let model_for cfg =
+    snd (List.find (fun (c, _) -> same_config c cfg) models)
+  in
+  let o =
+    sweep ?jobs ~cache ~configs ~model_for ~char_sims:!char_sims ~before
+      candidates t0
+  in
+  { o with configs_characterized = List.length configs }
+
+let evaluate ?jobs ?cache model candidates =
+  validate candidates;
+  let cache =
+    match cache with Some c -> c | None -> Eval_cache.create ()
+  in
+  let before = Eval_cache.stats cache in
+  let t0 = Unix.gettimeofday () in
+  Obs.Trace.with_span ~cat:"explore" "explore" @@ fun () ->
+  let o =
+    sweep ?jobs ~cache ~configs:(distinct_configs candidates)
+      ~model_for:(fun _ -> model)
+      ~char_sims:0 ~before candidates t0
+  in
+  { o with configs_characterized = 0 }
+
+(* --- Rendering ------------------------------------------------------------ *)
+
+let on_frontier o p = List.memq p o.frontier
+
+let to_json o =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    "  \"units\": {\"energy_pj\": \"picojoules\", \"energy_uj\": \
+     \"microjoules\", \"wall_seconds\": \"seconds\"},\n";
+  Printf.bprintf b "  \"candidates\": %d,\n" (List.length o.points);
+  Printf.bprintf b "  \"configs_characterized\": %d,\n"
+    o.configs_characterized;
+  Printf.bprintf b "  \"simulations\": %d,\n" o.simulations;
+  Printf.bprintf b
+    "  \"cache\": {\"hits\": %d, \"misses\": %d, \"errors\": %d, \
+     \"stores\": %d},\n"
+    o.cache_stats.Eval_cache.hits o.cache_stats.Eval_cache.misses
+    o.cache_stats.Eval_cache.errors o.cache_stats.Eval_cache.stores;
+  Printf.bprintf b "  \"wall_seconds\": %.6f,\n" o.wall_seconds;
+  Buffer.add_string b "  \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      Printf.bprintf b
+        "    {\"name\": \"%s\", \"cycles\": %d, \"instructions\": %d, \
+         \"energy_pj\": %.6f, \"energy_uj\": %.9f, \"cached\": %b, \
+         \"pareto\": %b}%s\n"
+        p.pt_name p.pt_cycles p.pt_instructions p.pt_energy_pj p.pt_energy_uj
+        p.pt_cached (on_frontier o p)
+        (if i = List.length o.points - 1 then "" else ","))
+    o.points;
+  Buffer.add_string b "  ],\n";
+  Printf.bprintf b "  \"pareto\": [%s]\n"
+    (String.concat ", "
+       (List.map (fun p -> Printf.sprintf "\"%s\"" p.pt_name) o.frontier));
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let to_csv ?(pareto_only = false) o =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "name,cycles,instructions,energy_pj,energy_uj,cached,pareto\n";
+  List.iter
+    (fun p ->
+      if (not pareto_only) || on_frontier o p then
+        Printf.bprintf b "%s,%d,%d,%.6f,%.9f,%b,%b\n" p.pt_name p.pt_cycles
+          p.pt_instructions p.pt_energy_pj p.pt_energy_uj p.pt_cached
+          (on_frontier o p))
+    o.points;
+  Buffer.contents b
+
+let pp ?(pareto_only = false) ppf o =
+  Format.fprintf ppf "@[<v>%-24s %10s %10s %12s %7s %7s@," "candidate"
+    "cycles" "instrs" "energy (uJ)" "cached" "pareto";
+  List.iter
+    (fun p ->
+      if (not pareto_only) || on_frontier o p then
+        Format.fprintf ppf "%-24s %10d %10d %12.3f %7s %7s@," p.pt_name
+          p.pt_cycles p.pt_instructions p.pt_energy_uj
+          (if p.pt_cached then "yes" else "-")
+          (if on_frontier o p then "*" else ""))
+    o.points;
+  Format.fprintf ppf
+    "Pareto frontier: %s@,"
+    (String.concat " -> " (List.map (fun p -> p.pt_name) o.frontier));
+  Format.fprintf ppf
+    "%d candidate%s, %d config%s characterized, %d simulation%s \
+     (cache: %d hit%s, %d miss%s, %d error%s)@,"
+    (List.length o.points)
+    (if List.length o.points = 1 then "" else "s")
+    o.configs_characterized
+    (if o.configs_characterized = 1 then "" else "s")
+    o.simulations
+    (if o.simulations = 1 then "" else "s")
+    o.cache_stats.Eval_cache.hits
+    (if o.cache_stats.Eval_cache.hits = 1 then "" else "s")
+    o.cache_stats.Eval_cache.misses
+    (if o.cache_stats.Eval_cache.misses = 1 then "" else "es")
+    o.cache_stats.Eval_cache.errors
+    (if o.cache_stats.Eval_cache.errors = 1 then "" else "s");
+  Format.fprintf ppf "wall time %.2f s@]" o.wall_seconds

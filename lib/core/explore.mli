@@ -1,0 +1,94 @@
+(** Design-space exploration over custom-instruction candidates.
+
+    The paper's purpose is to make energy estimation cheap enough to
+    drive design-space exploration of instruction-set extensions without
+    synthesizing each candidate (Section I).  This engine closes that
+    loop: it takes a list of {!type-candidate}s — each a workload (program +
+    TIE extension) paired with a processor configuration — evaluates
+    every candidate's energy and cycle count through the macro-model,
+    and extracts the energy/performance Pareto frontier.
+
+    Cost model: each distinct processor configuration is characterized
+    once (the 25-program suite, simulated with the reference estimator
+    attached), then each candidate needs only one instruction-set
+    simulation.  Both kinds of simulation are memoized through
+    {!Eval_cache}, so candidates sharing a base-core simulation reuse
+    its extracted variable vector, and a warm sweep over N candidates
+    costs far fewer than N simulations — typically zero.  Simulations
+    for cache misses are fanned out over the {!Parallel} worker pool. *)
+
+type candidate = {
+  cand_name : string;          (** unique within a sweep; names output rows *)
+  case : Extract.case;         (** program + extension *)
+  config : Sim.Config.t;       (** base-core configuration *)
+}
+
+val candidate : ?name:string -> ?config:Sim.Config.t -> Extract.case -> candidate
+(** Wrap a workload; [name] defaults to the case name, [config] to
+    {!Sim.Config.default}. *)
+
+type point = {
+  pt_name : string;
+  pt_energy_pj : float;        (** macro-model energy, picojoules *)
+  pt_energy_uj : float;        (** the same, microjoules *)
+  pt_cycles : int;
+  pt_instructions : int;
+  pt_cached : bool;
+  (** the variable vector was reused (memo or disk) rather than freshly
+      simulated for this candidate *)
+}
+
+type outcome = {
+  points : point list;         (** one per candidate, in input order *)
+  frontier : point list;
+  (** the Pareto-optimal points (minimal cycles and energy), sorted by
+      ascending cycle count; no point in it is dominated *)
+  configs_characterized : int; (** distinct base configs this sweep fitted *)
+  simulations : int;           (** simulator runs actually performed *)
+  cache_stats : Eval_cache.stats;  (** cache counter delta for this sweep *)
+  wall_seconds : float;
+}
+
+val pareto : point list -> point list
+(** The non-dominated subset: a point survives unless some other point
+    has cycles and energy both no worse and at least one strictly
+    better.  Result is sorted by (cycles, energy, name), so it is
+    deterministic regardless of input order. *)
+
+val run :
+  ?jobs:int ->
+  ?cache:Eval_cache.t ->
+  ?nonnegative:bool ->
+  characterization:Extract.case list ->
+  candidate list ->
+  outcome
+(** Full sweep: characterize each distinct [config] over the
+    [characterization] suite (through the cache), then evaluate every
+    candidate with its configuration's model.  [jobs] bounds the worker
+    pool (default {!Parallel.default_jobs}); [cache] defaults to a
+    fresh memory-only cache; [nonnegative] is passed to the NNLS fit
+    (default [true]).
+    @raise Invalid_argument on an empty candidate list or duplicate
+    candidate names. *)
+
+val evaluate :
+  ?jobs:int ->
+  ?cache:Eval_cache.t ->
+  Template.model ->
+  candidate list ->
+  outcome
+(** Like {!run} with a pre-fitted model applied to every candidate
+    (no re-characterization: the caller asserts the model matches the
+    candidates' configurations). *)
+
+val to_json : outcome -> string
+(** Machine-readable sweep record: per-point rows, frontier membership,
+    simulation/cache counters; energies are picojoules (with a uJ
+    convenience column), units stated in the document. *)
+
+val to_csv : ?pareto_only:bool -> outcome -> string
+(** One header line plus one row per point (or per frontier point). *)
+
+val pp : ?pareto_only:bool -> Format.formatter -> outcome -> unit
+(** Human-readable sweep table: one row per point, frontier points
+    starred, followed by the frontier and the sharing counters. *)

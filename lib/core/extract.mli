@@ -16,6 +16,8 @@ type case = {
 
 val case :
   ?extension:Tie.Compile.compiled -> string -> Isa.Program.asm -> case
+(** [case name asm] — bundle a program (and the extension it needs, if
+    any) under a workload name. *)
 
 type profile = {
   variables : float array;   (** indexed per [Variables.all] *)
@@ -45,5 +47,7 @@ val profile :
     @raise Sim.Cpu.Sim_error on simulator faults. *)
 
 val variable : profile -> Variables.id -> float
+(** One component of the extracted vector, by variable id. *)
 
 val pp_profile : Format.formatter -> profile -> unit
+(** Cycle/instruction summary followed by the non-zero variables. *)

@@ -26,13 +26,17 @@ val create :
     {!Tie.Component.complexity}); used by the ablation studies. *)
 
 val observe : t -> Sim.Event.t -> unit
+(** Fold one retirement event into the per-category accumulators. *)
 
 val observer : t -> Sim.Cpu.observer
+(** {!observe} packaged for {!Sim.Cpu}'s observer list. *)
 
 val totals : t -> float array
 (** Complexity-weighted active cycles, indexed by
     [Tie.Component.category_index]. *)
 
 val total_for : t -> Tie.Component.category -> float
+(** One category's complexity-weighted active cycles. *)
 
 val reset : t -> unit
+(** Zero the accumulators so the analyzer can observe another run. *)

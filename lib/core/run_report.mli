@@ -33,6 +33,7 @@ type degraded = {
 }
 
 val no_degraded : degraded
+(** All-zero degradation counters (a fully healthy run). *)
 
 type t = {
   entries : entry list;
@@ -42,6 +43,8 @@ type t = {
 }
 
 val total_simulations : t -> int
+(** Sum of per-entry simulation counts; equals the entry count when the
+    engine kept its single-pass promise. *)
 
 val total_energy_pj : t -> float
 (** Aggregate reference energy over all entries, picojoules. *)
@@ -50,6 +53,8 @@ val pp : Format.formatter -> t -> unit
 (** Human-readable table (energies in uJ). *)
 
 val to_json : t -> string
+(** The report as a JSON document (an explicit ["units"] object states
+    the energy and time units). *)
 
 val of_json : string -> t
 (** Parse a document produced by {!to_json} (round-trip safe up to the

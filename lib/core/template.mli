@@ -13,6 +13,7 @@ val make : float array -> model
     entries. *)
 
 val coefficient : model -> Variables.id -> float
+(** One fitted coefficient (pJ per unit of the variable), by id. *)
 
 val energy : model -> float array -> float
 (** Predicted energy (pJ) for a variable vector. *)

@@ -26,8 +26,10 @@ val all : id list
 (** All 21 variables, in canonical (Table I) order. *)
 
 val count : int
+(** [List.length all], i.e. 21. *)
 
 val index : id -> int
+(** Position of a variable in {!all} (the vector/coefficient index). *)
 
 val of_index : int -> id
 (** @raise Invalid_argument if out of range. *)
@@ -39,3 +41,4 @@ val describe : id -> string
 (** Table I style description. *)
 
 val is_structural : id -> bool
+(** [true] for the ten [Category _] (custom-hardware) variables. *)

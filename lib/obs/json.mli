@@ -23,7 +23,14 @@ val member : string -> t -> t
 (** Object field access.  @raise Parse_error if absent or not an object. *)
 
 val to_float : t -> float
+(** Numeric value.  @raise Parse_error on a non-number. *)
+
 val to_int : t -> int
+(** Numeric value truncated to int.  @raise Parse_error on a
+    non-number. *)
+
 val to_string : t -> string
+(** String value.  @raise Parse_error on a non-string. *)
+
 val to_list : t -> t list
-(** @raise Parse_error on a value of the wrong shape. *)
+(** Array elements.  @raise Parse_error on a non-array. *)

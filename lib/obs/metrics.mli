@@ -8,7 +8,7 @@
     Recording is disabled by default: every [inc]/[set]/[observe] is a
     single flag check when off, so always-on instrumentation in the
     simulator retirement loop costs nothing measurable.  Forked workers
-    cooperate via {!reset} + {!snapshot} in the child and {!merge} in the
+    cooperate via {!reset} + {!val-snapshot} in the child and {!merge} in the
     parent (counters and histograms add, gauges take the child's last
     write). *)
 
@@ -17,17 +17,28 @@ type gauge
 type histogram
 
 val set_enabled : bool -> unit
+(** Turn recording on or off globally (off by default). *)
+
 val enabled : unit -> bool
+(** Is recording currently on? *)
 
 val counter : ?labels:(string * string) list -> ?help:string -> string -> counter
 (** Register (or fetch) a counter. *)
 
 val inc : ?by:int -> counter -> unit
+(** Add [by] (default 1) when recording is enabled. *)
+
 val counter_value : counter -> int
+(** Current accumulated count. *)
 
 val gauge : ?labels:(string * string) list -> ?help:string -> string -> gauge
+(** Register (or fetch) a gauge. *)
+
 val set : gauge -> float -> unit
+(** Overwrite the gauge's value when recording is enabled. *)
+
 val gauge_value : gauge -> float
+(** Last written value (0 if never set). *)
 
 val histogram :
   ?labels:(string * string) list ->
@@ -40,13 +51,21 @@ val histogram :
     latencies (100us .. 30s). *)
 
 val observe : histogram -> float -> unit
+(** Record one sample when recording is enabled. *)
+
 val histogram_count : histogram -> int
+(** Number of samples observed. *)
+
 val histogram_sum : histogram -> float
+(** Sum of the observed samples. *)
 
 type snapshot
 (** Marshal-safe value dump of every registered instrument. *)
 
 val snapshot : unit -> snapshot
+(** Capture every instrument's current value (e.g. in a forked worker,
+    just before shipping results to the parent). *)
+
 val merge : snapshot -> unit
 (** Fold a (typically child-process) snapshot into this registry:
     counters and histograms add, gauges take the snapshot's value.
@@ -63,3 +82,4 @@ val save : string -> unit
 (** Write {!to_json} plus a trailing newline to a file. *)
 
 val pp : Format.formatter -> unit -> unit
+(** Human-readable listing of every registered instrument. *)

@@ -29,7 +29,10 @@ type event = {
 }
 
 val set_enabled : bool -> unit
+(** Turn recording on or off globally (off by default). *)
+
 val enabled : unit -> bool
+(** Is recording currently on? *)
 
 val set_tid : int -> unit
 (** Lane for subsequently recorded events (0 = main). *)
@@ -56,6 +59,7 @@ val complete :
     that do not nest as a thunk, e.g. worker fork-to-join). *)
 
 val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+(** Record a zero-duration instant event (a point-in-time marker). *)
 
 val thread_name : tid:int -> string -> unit
 (** Metadata event labelling a lane in the viewer. *)
@@ -67,6 +71,7 @@ val events : unit -> event list
 (** Recorded events, in recording order. *)
 
 val clear : unit -> unit
+(** Empty the event buffer (e.g. in a freshly forked worker). *)
 
 val drain : unit -> event list
 (** {!events} then {!clear}. *)

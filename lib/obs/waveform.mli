@@ -12,6 +12,7 @@ val create : ?bucket_cycles:int -> unit -> t
 (** [bucket_cycles] defaults to 64 cycles per bin. *)
 
 val bucket_cycles : t -> int
+(** The bin width this accumulator was created with. *)
 
 val add : t -> cycle:int -> energy_pj:float -> unit
 (** Accumulate [energy_pj] into the bucket containing [cycle].  Negative
@@ -22,8 +23,10 @@ val buckets : t -> (int * float) array
     touched bucket. *)
 
 val total_pj : t -> float
+(** Sum over all buckets (the workload's total binned energy). *)
 
 val reset : t -> unit
+(** Zero all buckets, keeping the bin width. *)
 
 val to_json : t -> string
 (** [{"bucket_cycles": n, "unit": "pJ", "buckets": [{"cycle": c,

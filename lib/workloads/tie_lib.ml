@@ -137,6 +137,29 @@ let coverage_pair cat_a cat_b =
 
 (* --- Application extensions --------------------------------------------- *)
 
+let mac_ext_width w =
+  if w < 2 || w > 64 then
+    invalid_arg "Tie_lib.mac_ext_width: accumulator width must be in 2..64";
+  compile_one
+    (Printf.sprintf "mac%d" w)
+    ~states:[ state "acc" w 0 ]
+    [ Tie.Spec.instruction "mac"
+        ~ins:[ op "s" 32; op "t" 32 ]
+        ~result:None
+        ~updates:
+          [ ( "acc",
+              Extract
+                ( Tie_mac
+                    ( Extract (Arg "s", 0, 16),
+                      Extract (Arg "t", 0, 16),
+                      State "acc" ),
+                  0,
+                  w ) ) ];
+      Tie.Spec.instruction "rdacc" ~ins:[]
+        ~result:(Some (Extract (State "acc", 0, min w 32)));
+      Tie.Spec.instruction "clracc" ~ins:[] ~result:None
+        ~updates:[ ("acc", Const (0, w)) ] ]
+
 let mac_ext =
   compile_one "mac"
     ~states:[ state "acc" 32 0 ]

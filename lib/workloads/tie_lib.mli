@@ -33,6 +33,15 @@ val mac_ext : Tie.Compile.compiled
 (** 40-bit multiply-accumulate: [mac s, t] accumulates, [rdacc d] reads
     the low word, [clracc] clears. *)
 
+val mac_ext_width : int -> Tie.Compile.compiled
+(** The MAC extension with an accumulator of the given bit width (the
+    design-space exploration bit-width axis): same mnemonics as
+    {!mac_ext}, with the accumulate datapath, the custom register and
+    [rdacc]'s read port resized.  Width drives the TIE_mac component's
+    quadratic C(W) complexity, so the macro-model sees each variant as
+    different hardware.
+    @raise Invalid_argument outside 2..64. *)
+
 val add4_ext : Tie.Compile.compiled
 (** [add4 d, s, t]: four independent byte-lane additions (packed). *)
 

@@ -129,6 +129,59 @@ let test_characterize_trace_metrics_attribute () =
   check Alcotest.bool "reference energy present" true
     (Obs.Json.(to_float (member "reference_energy_pj" j)) > 0.0)
 
+let test_explore_smoke () =
+  (* Unknown space: clean stdout, named on stderr. *)
+  let code, out, err = run_xenergy [ "explore"; "--space"; "nosuch" ] in
+  check Alcotest.int "unknown space exits 123" 123 code;
+  check Alcotest.string "stdout stays clean" "" out;
+  check Alcotest.bool "stderr names the space" true (contains err "nosuch");
+  (* Cold then warm sweep over the same cache directory. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xenergy_cli_cache.%d" (Unix.getpid ()))
+  in
+  let sweep () =
+    run_xenergy
+      [ "explore"; "--space"; "rs"; "--cache-dir"; dir; "--json"; "-j"; "2" ]
+  in
+  let parse out =
+    let j = Obs.Json.parse out in
+    let points =
+      List.map
+        (fun p ->
+          Obs.Json.
+            ( to_string (member "name" p),
+              to_float (member "energy_pj" p),
+              to_int (member "cycles" p) ))
+        Obs.Json.(to_list (member "points" j))
+    in
+    (j, points)
+  in
+  let cold_code, cold_out, _ = sweep () in
+  check Alcotest.int "cold sweep exits 0" 0 cold_code;
+  let cold_j, cold_points = parse cold_out in
+  check Alcotest.int "four candidates" 4 (List.length cold_points);
+  check Alcotest.bool "cold sweep simulated" true
+    Obs.Json.(to_int (member "simulations" cold_j) > 0);
+  check Alcotest.bool "frontier is non-empty" true
+    Obs.Json.(to_list (member "pareto" cold_j) <> []);
+  let warm_code, warm_out, _ = sweep () in
+  check Alcotest.int "warm sweep exits 0" 0 warm_code;
+  let warm_j, warm_points = parse warm_out in
+  check Alcotest.int "warm sweep simulates nothing" 0
+    Obs.Json.(to_int (member "simulations" warm_j));
+  check Alcotest.bool "warm sweep hits the cache" true
+    Obs.Json.(to_int (member "hits" (member "cache" warm_j)) > 0);
+  check Alcotest.bool "warm points bit-identical to cold" true
+    (cold_points = warm_points);
+  (* Scrub the scratch cache. *)
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ())
+
 let () =
   if not (Sys.file_exists xenergy_exe) then
     (* Outside the dune sandbox (e.g. a bare `./test_cli.exe` run) the
@@ -144,4 +197,6 @@ let () =
               test_attribute_unknown_workload ] );
         ( "observability",
           [ Alcotest.test_case "trace + metrics + attribute" `Slow
-              test_characterize_trace_metrics_attribute ] ) ]
+              test_characterize_trace_metrics_attribute ] );
+        ( "explore",
+          [ Alcotest.test_case "cold/warm sweep" `Slow test_explore_smoke ] ) ]

@@ -626,6 +626,288 @@ let test_timing_measures_both_paths () =
   check Alcotest.bool "reference slower than macro" true
     (t.Core.Evaluate.reference_seconds > t.Core.Evaluate.macro_seconds)
 
+(* --- Candidate spaces ------------------------------------------------------ *)
+
+let test_space_combinators () =
+  let choice = Tie.Space.axis "x" [ ("a", 1); ("b", 2) ] in
+  let w = Tie.Space.widths ~prefix:"w" [ 8; 16 ] in
+  let p = Tie.Space.map2 (fun x w -> x * w) choice w in
+  check Alcotest.int "product size" 4 (Tie.Space.size p);
+  check
+    Alcotest.(list (pair string int))
+    "row-major labelled enumeration"
+    [ ("a/w8", 8); ("a/w16", 16); ("b/w8", 16); ("b/w16", 32) ]
+    (Tie.Space.enumerate_labelled p);
+  check
+    Alcotest.(list string)
+    "axes" [ "x"; "width" ] (Tie.Space.axes p);
+  check Alcotest.string "describe" "x(2) x width(2) = 4 candidates"
+    (Tie.Space.describe p);
+  (match Tie.Space.axis "dup" [ ("k", 1); ("k", 2) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "duplicate labels accepted");
+  match Tie.Space.axis "empty" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "empty axis accepted"
+
+(* --- Evaluation cache ------------------------------------------------------ *)
+
+let dir_counter = ref 0
+
+let fresh_cache_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xenergy-test-cache.%d.%d" (Unix.getpid ()) !dir_counter)
+
+let small_config = Sim.Config.default
+
+let smaller_icache =
+  { Sim.Config.default with
+    Sim.Config.icache =
+      { Sim.Config.default_cache with Sim.Config.size_bytes = 2048 } }
+
+let test_cache_key_sensitivity () =
+  let case = List.hd (small_suite ()) in
+  let other = List.nth (small_suite ()) 1 in
+  let k = Core.Eval_cache.key ~config:small_config case in
+  check Alcotest.string "key is deterministic" k
+    (Core.Eval_cache.key ~config:small_config case);
+  let distinct what k' =
+    check Alcotest.bool (what ^ " changes the key") true (k <> k')
+  in
+  distinct "program" (Core.Eval_cache.key ~config:small_config other);
+  distinct "configuration"
+    (Core.Eval_cache.key ~config:smaller_icache case);
+  distinct "reference flag"
+    (Core.Eval_cache.key ~with_reference:true ~config:small_config case);
+  distinct "complexity tag"
+    (Core.Eval_cache.key ~complexity_tag:"quadratic" ~config:small_config
+       case)
+
+let gnarly_entry =
+  { Core.Eval_cache.e_name = "gnarly \"name\"\twith\nescapes";
+    e_variables =
+      Array.init Core.Variables.count (fun i ->
+          match i with
+          | 0 -> 1.0 /. 3.0
+          | 1 -> sqrt 2.0
+          | 2 -> 1e-300
+          | 3 -> 0.1
+          | 4 -> 123456789.123456789
+          | n -> float_of_int n *. 0.7);
+    e_cycles = 4242;
+    e_instructions = 1234;
+    e_stall_cycles = 17;
+    e_measured_pj = Some (98765.432109876543 /. 3.0) }
+
+let test_cache_disk_round_trip () =
+  let dir = fresh_cache_dir () in
+  let case = List.hd (small_suite ()) in
+  let key = Core.Eval_cache.key ~with_reference:true ~config:small_config case in
+  let c1 = Core.Eval_cache.create ~dir () in
+  Core.Eval_cache.store c1 key gnarly_entry;
+  (* A different instance must load it back from disk, bit-identically. *)
+  let c2 = Core.Eval_cache.create ~dir () in
+  (match Core.Eval_cache.find c2 key with
+  | None -> fail "stored entry not found by a fresh instance"
+  | Some e ->
+    check Alcotest.string "name" gnarly_entry.Core.Eval_cache.e_name
+      e.Core.Eval_cache.e_name;
+    check Alcotest.bool "variables bit-identical" true
+      (e.Core.Eval_cache.e_variables
+      = gnarly_entry.Core.Eval_cache.e_variables);
+    check Alcotest.bool "measured energy bit-identical" true
+      (e.Core.Eval_cache.e_measured_pj
+      = gnarly_entry.Core.Eval_cache.e_measured_pj);
+    check Alcotest.int "cycles" 4242 e.Core.Eval_cache.e_cycles);
+  let s = Core.Eval_cache.stats c2 in
+  check Alcotest.int "one hit" 1 s.Core.Eval_cache.hits;
+  check Alcotest.int "no errors" 0 s.Core.Eval_cache.errors;
+  (* Unknown keys miss without error. *)
+  (match Core.Eval_cache.find c2 "0000feed" with
+  | None -> ()
+  | Some _ -> fail "phantom entry");
+  check Alcotest.int "one miss" 1
+    (Core.Eval_cache.stats c2).Core.Eval_cache.misses
+
+let test_cache_corruption_fallback () =
+  let dir = fresh_cache_dir () in
+  let case = List.hd (small_suite ()) in
+  let key = Core.Eval_cache.key ~config:small_config case in
+  let c1 = Core.Eval_cache.create ~dir () in
+  Core.Eval_cache.store c1 key gnarly_entry;
+  let path = Filename.concat dir (key ^ ".json") in
+  check Alcotest.bool "entry file exists" true (Sys.file_exists path);
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "{ this is not a cache entry");
+  let c2 = Core.Eval_cache.create ~dir () in
+  (match Core.Eval_cache.find c2 key with
+  | None -> ()
+  | Some _ -> fail "corrupted entry returned");
+  let s = Core.Eval_cache.stats c2 in
+  check Alcotest.int "corruption counted as error" 1
+    s.Core.Eval_cache.errors;
+  check Alcotest.int "corruption reads as miss" 1 s.Core.Eval_cache.misses;
+  (* A fresh store repairs the damaged file. *)
+  Core.Eval_cache.store c2 key gnarly_entry;
+  match Core.Eval_cache.find (Core.Eval_cache.create ~dir ()) key with
+  | Some _ -> ()
+  | None -> fail "repaired entry not found"
+
+let test_cache_unwritable_dir () =
+  (* Point the cache at a path whose parent is a regular file: every
+     disk write must fail, be counted, and never raise. *)
+  let file = fresh_cache_dir () in
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc "not a directory\n");
+  let dir = Filename.concat file "sub" in
+  let c = Core.Eval_cache.create ~dir () in
+  let case = List.hd (small_suite ()) in
+  let key = Core.Eval_cache.key ~config:small_config case in
+  Core.Eval_cache.store c key gnarly_entry;
+  let s = Core.Eval_cache.stats c in
+  check Alcotest.int "failed write counted" 1 s.Core.Eval_cache.errors;
+  (* The in-memory layer still serves the entry. *)
+  match Core.Eval_cache.find c key with
+  | Some _ -> ()
+  | None -> fail "memory layer lost the entry"
+
+(* --- Exploration ----------------------------------------------------------- *)
+
+let mk_point name cycles pj =
+  { Core.Explore.pt_name = name;
+    pt_energy_pj = pj;
+    pt_energy_uj = pj *. 1e-6;
+    pt_cycles = cycles;
+    pt_instructions = 0;
+    pt_cached = false }
+
+let point_names ps =
+  List.map (fun (p : Core.Explore.point) -> p.Core.Explore.pt_name) ps
+
+let test_pareto_invariants () =
+  let pts =
+    [ mk_point "slow_cheap" 100 10.0;
+      mk_point "fast_costly" 10 100.0;
+      mk_point "dominated" 100 20.0;
+      mk_point "strictly_worse" 120 120.0;
+      mk_point "tie_breaker" 10 100.0;
+      mk_point "middle" 50 50.0 ]
+  in
+  let frontier = Core.Explore.pareto pts in
+  check Alcotest.(list string) "frontier, sorted by cycles"
+    [ "fast_costly"; "tie_breaker"; "middle"; "slow_cheap" ]
+    (point_names frontier);
+  let dominates (a : Core.Explore.point) (b : Core.Explore.point) =
+    a.Core.Explore.pt_cycles <= b.Core.Explore.pt_cycles
+    && a.Core.Explore.pt_energy_pj <= b.Core.Explore.pt_energy_pj
+    && (a.Core.Explore.pt_cycles < b.Core.Explore.pt_cycles
+       || a.Core.Explore.pt_energy_pj < b.Core.Explore.pt_energy_pj)
+  in
+  List.iter
+    (fun f ->
+      check Alcotest.bool
+        (f.Core.Explore.pt_name ^ " is non-dominated")
+        false
+        (List.exists (fun p -> dominates p f) pts))
+    frontier;
+  List.iter
+    (fun p ->
+      if not (List.mem p.Core.Explore.pt_name (point_names frontier)) then
+        check Alcotest.bool
+          (p.Core.Explore.pt_name ^ " is dominated by some frontier point")
+          true
+          (List.exists (fun f -> dominates f p) frontier))
+    pts;
+  (* Input order must not matter. *)
+  check Alcotest.(list string) "permutation-invariant"
+    (point_names frontier)
+    (point_names (Core.Explore.pareto (List.rev pts)))
+
+let test_explore_validates_candidates () =
+  (match Core.Explore.run ~characterization:(small_suite ()) [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "empty candidate list accepted");
+  let c = Core.Explore.candidate (List.hd (small_suite ())) in
+  match Core.Explore.run ~characterization:(small_suite ()) [ c; c ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "duplicate candidate names accepted"
+
+let test_explore_warm_matches_cold () =
+  let dir = fresh_cache_dir () in
+  let characterization = small_suite () in
+  let candidates =
+    [ Core.Explore.candidate ~name:"base"
+        (List.hd (Workloads.Suite.applications ()));
+      Core.Explore.candidate ~name:"base_small" ~config:smaller_icache
+        (List.hd (Workloads.Suite.applications ())) ]
+  in
+  let sweep () =
+    Core.Explore.run ~jobs:2
+      ~cache:(Core.Eval_cache.create ~dir ())
+      ~characterization candidates
+  in
+  let cold = sweep () in
+  let n_char = List.length characterization in
+  check Alcotest.int "two configs characterized" 2
+    cold.Core.Explore.configs_characterized;
+  check Alcotest.int "cold simulation count"
+    ((2 * n_char) + 2)
+    cold.Core.Explore.simulations;
+  check Alcotest.int "cold misses equal simulations"
+    cold.Core.Explore.simulations
+    cold.Core.Explore.cache_stats.Core.Eval_cache.misses;
+  let warm = sweep () in
+  check Alcotest.int "warm sweep simulates nothing" 0
+    warm.Core.Explore.simulations;
+  check Alcotest.int "warm hits"
+    ((2 * n_char) + 2)
+    warm.Core.Explore.cache_stats.Core.Eval_cache.hits;
+  check Alcotest.bool "every warm point flagged cached" true
+    (List.for_all
+       (fun (p : Core.Explore.point) -> p.Core.Explore.pt_cached)
+       warm.Core.Explore.points);
+  List.iter2
+    (fun (c : Core.Explore.point) (w : Core.Explore.point) ->
+      check Alcotest.string "point order" c.Core.Explore.pt_name
+        w.Core.Explore.pt_name;
+      check Alcotest.bool
+        (c.Core.Explore.pt_name ^ " energy bit-identical")
+        true
+        (c.Core.Explore.pt_energy_pj = w.Core.Explore.pt_energy_pj);
+      check Alcotest.int
+        (c.Core.Explore.pt_name ^ " cycles")
+        c.Core.Explore.pt_cycles w.Core.Explore.pt_cycles)
+    cold.Core.Explore.points warm.Core.Explore.points;
+  check Alcotest.(list string) "frontier stable"
+    (point_names cold.Core.Explore.frontier)
+    (point_names warm.Core.Explore.frontier)
+
+let test_explore_shares_config_characterization () =
+  (* Two candidates on the same configuration: one characterization, and
+     the duplicated program is simulated once. *)
+  let case = List.hd (Workloads.Suite.applications ()) in
+  let candidates =
+    [ Core.Explore.candidate ~name:"first" case;
+      Core.Explore.candidate ~name:"second" case ]
+  in
+  let characterization = small_suite () in
+  let outcome = Core.Explore.run ~characterization candidates in
+  check Alcotest.int "one config characterized" 1
+    outcome.Core.Explore.configs_characterized;
+  check Alcotest.int "duplicate program simulated once"
+    (List.length characterization + 1)
+    outcome.Core.Explore.simulations;
+  match outcome.Core.Explore.points with
+  | [ first; second ] ->
+    check Alcotest.bool "second candidate reuses the simulation" true
+      second.Core.Explore.pt_cached;
+    check Alcotest.bool "identical candidates, identical energy" true
+      (first.Core.Explore.pt_energy_pj
+      = second.Core.Explore.pt_energy_pj)
+  | _ -> fail "expected two points"
+
 let () =
   Alcotest.run "core"
     [ ( "variables",
@@ -673,6 +955,26 @@ let () =
             test_parallel_happy_path_stats;
           Alcotest.test_case "recomputes dead workers" `Quick
             test_parallel_recomputes_dead_workers ] );
+      ( "space",
+        [ Alcotest.test_case "combinators" `Quick test_space_combinators ] );
+      ( "eval cache",
+        [ Alcotest.test_case "key sensitivity" `Quick
+            test_cache_key_sensitivity;
+          Alcotest.test_case "disk round trip" `Quick
+            test_cache_disk_round_trip;
+          Alcotest.test_case "corruption fallback" `Quick
+            test_cache_corruption_fallback;
+          Alcotest.test_case "unwritable directory" `Quick
+            test_cache_unwritable_dir ] );
+      ( "explore",
+        [ Alcotest.test_case "pareto invariants" `Quick
+            test_pareto_invariants;
+          Alcotest.test_case "candidate validation" `Quick
+            test_explore_validates_candidates;
+          Alcotest.test_case "warm matches cold" `Quick
+            test_explore_warm_matches_cold;
+          Alcotest.test_case "config sharing" `Quick
+            test_explore_shares_config_characterization ] );
       ( "attribution",
         [ Alcotest.test_case "sums to total" `Quick
             test_attribution_sums_to_total;
