@@ -8,6 +8,7 @@
      main.exe fig4         Fig. 4   - Reed-Solomon design space
      main.exe speedup      macro-model vs reference estimation time
      main.exe explore      memoized design-space sweep, cold vs warm cache
+     main.exe cache        cache lifecycle: cold/warm/gc/verify/prune/re-warm
      main.exe ablation     hybrid vs degenerate macro-models, C(W) variants
      main.exe capps        accuracy on compiled Tiny-C applications
      main.exe arbitrary    characterization on random test programs
@@ -342,6 +343,120 @@ let explore_bench () =
      Unix.rmdir dir
    with Sys_error _ | Unix.Unix_error _ -> ())
 
+(* Cache lifecycle: populate an on-disk cache with the flagship sweep,
+   re-run it warm, plant orphans and sweep them with gc, verify every
+   entry, evict half by LRU, and re-run — the evicted half recomputes,
+   bit-identically.  Timings and counts go to BENCH_cache.json. *)
+let cache_bench () =
+  banner "E7: cache lifecycle (cold / warm / gc / verify / prune / re-warm)";
+  let dir =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xenergy-bench-lifecycle.%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let candidates = Workloads.Spaces.rs_cache () in
+  let characterization = Workloads.Suite.characterization () in
+  let sweep () =
+    let cache = Core.Eval_cache.create ~dir () in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Core.Explore.run ~cache ~characterization candidates in
+    (outcome, Unix.gettimeofday () -. t0)
+  in
+  let point_key (p : Core.Explore.point) =
+    (p.Core.Explore.pt_name, p.Core.Explore.pt_energy_pj,
+     p.Core.Explore.pt_cycles)
+  in
+  let cold, cold_s = sweep () in
+  let warm, warm_s = sweep () in
+  let populated = Core.Eval_cache.disk_stats dir in
+  (* Orphans: a writer that died between temp_file and rename, plus a
+     foreign file that can never be an entry. *)
+  List.iter
+    (fun f ->
+      Out_channel.with_open_text (Filename.concat dir f) (fun oc ->
+          Out_channel.output_string oc "orphan\n"))
+    [ "cachedead1.tmp"; "cachedead2.tmp"; "stray.dat" ];
+  let gc_r = Core.Eval_cache.gc dir in
+  let verify_r = Core.Eval_cache.verify dir in
+  let keep = populated.Core.Eval_cache.d_entries / 2 in
+  let t0 = Unix.gettimeofday () in
+  let prune_r =
+    Core.Eval_cache.prune
+      ~policy:{ Core.Eval_cache.unlimited with
+                Core.Eval_cache.max_entries = Some keep }
+      dir
+  in
+  let prune_s = Unix.gettimeofday () -. t0 in
+  let rewarm, rewarm_s = sweep () in
+  let agree l r = List.map point_key l = List.map point_key r in
+  let warm_identical = agree cold.Core.Explore.points warm.Core.Explore.points in
+  let rewarm_identical =
+    agree cold.Core.Explore.points rewarm.Core.Explore.points
+  in
+  if not (warm_identical && rewarm_identical) then
+    Format.fprintf fmt "WARNING: sweep results diverged across the cycle!@.";
+  Format.fprintf fmt
+    "%d entries (%d bytes) after the cold sweep@.\
+     cold sweep    %8.3f s  (%d simulations)@.\
+     warm sweep    %8.3f s  (%d simulations, %d hits, identical: %b)@.\
+     gc            removed %d tmp orphans, %d foreign files@.\
+     verify        %d ok, %d corrupt@.\
+     prune         %8.3f s  kept %d, evicted %d (LRU)@.\
+     re-warm sweep %8.3f s  (%d simulations recomputed, identical: %b)@."
+    populated.Core.Eval_cache.d_entries populated.Core.Eval_cache.d_bytes
+    cold_s cold.Core.Explore.simulations
+    warm_s warm.Core.Explore.simulations
+    warm.Core.Explore.cache_stats.Core.Eval_cache.hits warm_identical
+    gc_r.Core.Eval_cache.g_tmp_removed gc_r.Core.Eval_cache.g_foreign_removed
+    verify_r.Core.Eval_cache.v_ok
+    (List.length verify_r.Core.Eval_cache.v_corrupt)
+    prune_s prune_r.Core.Eval_cache.p_kept prune_r.Core.Eval_cache.p_evicted
+    rewarm_s rewarm.Core.Explore.simulations rewarm_identical;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"cache-lifecycle\",\n\
+      \  \"space\": \"rs-cache\",\n\
+      \  \"entries\": %d,\n\
+      \  \"bytes\": %d,\n\
+      \  \"cold_seconds\": %.6f,\n\
+      \  \"warm_seconds\": %.6f,\n\
+      \  \"warm_simulations\": %d,\n\
+      \  \"warm_identical\": %b,\n\
+      \  \"gc_tmp_removed\": %d,\n\
+      \  \"gc_foreign_removed\": %d,\n\
+      \  \"verify_ok\": %d,\n\
+      \  \"verify_corrupt\": %d,\n\
+      \  \"prune_seconds\": %.6f,\n\
+      \  \"prune_kept\": %d,\n\
+      \  \"prune_evicted\": %d,\n\
+      \  \"rewarm_seconds\": %.6f,\n\
+      \  \"rewarm_simulations\": %d,\n\
+      \  \"rewarm_identical\": %b\n\
+       }"
+      populated.Core.Eval_cache.d_entries populated.Core.Eval_cache.d_bytes
+      cold_s warm_s warm.Core.Explore.simulations warm_identical
+      gc_r.Core.Eval_cache.g_tmp_removed
+      gc_r.Core.Eval_cache.g_foreign_removed
+      verify_r.Core.Eval_cache.v_ok
+      (List.length verify_r.Core.Eval_cache.v_corrupt)
+      prune_s prune_r.Core.Eval_cache.p_kept prune_r.Core.Eval_cache.p_evicted
+      rewarm_s rewarm.Core.Explore.simulations rewarm_identical
+  in
+  Out_channel.with_open_text "BENCH_cache.json" (fun oc ->
+      Out_channel.output_string oc json;
+      Out_channel.output_char oc '\n');
+  Format.fprintf fmt "(written to BENCH_cache.json)@.";
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ())
+
 (* --- Ablations ---------------------------------------------------------------- *)
 
 (* Zero selected variables out of collected samples and profiles, refit,
@@ -666,7 +781,8 @@ let () =
   let experiments =
     [ ("table1", table1); ("fig3", fig3); ("table2", table2);
       ("fig4", fig4); ("speedup", speedup); ("explore", explore_bench);
-      ("ablation", ablation); ("capps", capps); ("arbitrary", arbitrary);
+      ("cache", cache_bench); ("ablation", ablation); ("capps", capps);
+      ("arbitrary", arbitrary);
       ("sweep", sweep); ("bechamel", bechamel_benchmarks) ]
   in
   match Array.to_list Sys.argv with

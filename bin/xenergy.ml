@@ -16,7 +16,11 @@
      xenergy breakdown NAME          per-block reference-energy breakdown
      xenergy trace NAME [-n N]       per-instruction execution/energy trace
      xenergy run FILE.s [-e EXT]     assemble/simulate/estimate a .s file
-     xenergy cc FILE.c [-e EXT]      compile/simulate/estimate a Tiny-C file *)
+     xenergy cc FILE.c [-e EXT]      compile/simulate/estimate a Tiny-C file
+     xenergy cache stats DIR         inventory of an on-disk eval cache
+     xenergy cache verify DIR        re-parse every entry, report corruption
+     xenergy cache prune DIR [..]    LRU eviction (--max-entries/-bytes/-age)
+     xenergy cache gc DIR            sweep orphaned *.tmp / foreign files *)
 
 open Cmdliner
 
@@ -593,6 +597,171 @@ let explore_cmd =
     Term.(const run $ space_arg $ cache_dir_arg $ pareto_arg $ json_arg
           $ csv_arg $ out_arg $ trace_arg $ metrics_arg $ jobs_arg)
 
+(* --- cache: lifecycle management of an on-disk evaluation cache ----------- *)
+
+let cache_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR"
+             ~doc:"Cache directory (as given to $(b,explore --cache-dir).")
+  in
+  let require_dir dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      die "no such cache directory: %s" dir
+  in
+  let human_bytes n =
+    if n >= 1 lsl 20 then Printf.sprintf "%.1f MiB" (float_of_int n /. 1048576.0)
+    else if n >= 1 lsl 10 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.0)
+    else Printf.sprintf "%d B" n
+  in
+  let age now = function
+    | None -> "-"
+    | Some t -> Printf.sprintf "%.0f s ago" (Float.max 0.0 (now -. t))
+  in
+  let stats_cmd =
+    let json_arg =
+      Arg.(value & flag
+           & info [ "json" ] ~doc:"Emit the inventory as JSON.")
+    in
+    let run dir json =
+      require_dir dir;
+      let s = Core.Eval_cache.disk_stats dir in
+      let now = Unix.gettimeofday () in
+      if json then
+        Format.fprintf fmt
+          "{\"entries\": %d, \"bytes\": %d, \"oldest_age_seconds\": %s, \
+           \"newest_age_seconds\": %s, \"index_rebuilt\": %b}@."
+          s.Core.Eval_cache.d_entries s.Core.Eval_cache.d_bytes
+          (match s.Core.Eval_cache.d_oldest with
+           | None -> "null"
+           | Some t -> Printf.sprintf "%.1f" (Float.max 0.0 (now -. t)))
+          (match s.Core.Eval_cache.d_newest with
+           | None -> "null"
+           | Some t -> Printf.sprintf "%.1f" (Float.max 0.0 (now -. t)))
+          s.Core.Eval_cache.d_index_rebuilt
+      else
+        Format.fprintf fmt
+          "%s: %d entr%s, %s@.least recently used: %s@.most recently \
+           used: %s@.index: %s@."
+          dir s.Core.Eval_cache.d_entries
+          (if s.Core.Eval_cache.d_entries = 1 then "y" else "ies")
+          (human_bytes s.Core.Eval_cache.d_bytes)
+          (age now s.Core.Eval_cache.d_oldest)
+          (age now s.Core.Eval_cache.d_newest)
+          (if s.Core.Eval_cache.d_index_rebuilt then
+             "rebuilt from the entry files"
+           else "loaded")
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Inventory of a cache directory (from its
+                              self-healing index)")
+      Term.(const run $ dir_arg $ json_arg)
+  in
+  let verify_cmd =
+    let run dir =
+      require_dir dir;
+      let r = Core.Eval_cache.verify dir in
+      Format.fprintf fmt
+        "%s: %d entr%s ok, %d corrupt, %d foreign file%s, %d orphaned \
+         tmp file%s@."
+        dir r.Core.Eval_cache.v_ok
+        (if r.Core.Eval_cache.v_ok = 1 then "y" else "ies")
+        (List.length r.Core.Eval_cache.v_corrupt)
+        (List.length r.Core.Eval_cache.v_foreign)
+        (if List.length r.Core.Eval_cache.v_foreign = 1 then "" else "s")
+        (List.length r.Core.Eval_cache.v_tmp)
+        (if List.length r.Core.Eval_cache.v_tmp = 1 then "" else "s");
+      List.iter
+        (fun (f, why) -> Format.eprintf "corrupt: %s: %s@." f why)
+        r.Core.Eval_cache.v_corrupt;
+      if r.Core.Eval_cache.v_corrupt <> [] then exit Cmd.Exit.some_error
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Re-parse every cache entry; report corrupt and foreign
+               files (exit non-zero when corrupt entries exist)")
+      Term.(const run $ dir_arg)
+  in
+  let prune_cmd =
+    let max_entries_arg =
+      Arg.(value & opt (some int) None
+           & info [ "max-entries" ] ~docv:"N"
+               ~doc:"Keep at most $(docv) entries (LRU by the recorded
+                     last-use time).")
+    in
+    let max_bytes_arg =
+      Arg.(value & opt (some int) None
+           & info [ "max-bytes" ] ~docv:"BYTES"
+               ~doc:"Keep at most $(docv) bytes of entry payload.")
+    in
+    let max_age_arg =
+      Arg.(value & opt (some float) None
+           & info [ "max-age" ] ~docv:"DAYS"
+               ~doc:"Evict entries unused for more than $(docv) days
+                     (fractional values allowed).")
+    in
+    let run dir max_entries max_bytes max_age =
+      require_dir dir;
+      if max_entries = None && max_bytes = None && max_age = None then
+        die "prune: give at least one of --max-entries, --max-bytes, \
+             --max-age";
+      (match max_entries with
+       | Some n when n < 0 -> die "prune: --max-entries must be >= 0"
+       | _ -> ());
+      (match max_bytes with
+       | Some n when n < 0 -> die "prune: --max-bytes must be >= 0"
+       | _ -> ());
+      (match max_age with
+       | Some d when d < 0.0 -> die "prune: --max-age must be >= 0"
+       | _ -> ());
+      let policy =
+        { Core.Eval_cache.max_entries; max_bytes;
+          max_age_s = Option.map (fun d -> d *. 86400.0) max_age }
+      in
+      let r = Core.Eval_cache.prune ~policy dir in
+      Format.fprintf fmt
+        "%s: evicted %d entr%s (%s), kept %d (%s)%s@."
+        dir r.Core.Eval_cache.p_evicted
+        (if r.Core.Eval_cache.p_evicted = 1 then "y" else "ies")
+        (human_bytes r.Core.Eval_cache.p_evicted_bytes)
+        r.Core.Eval_cache.p_kept
+        (human_bytes r.Core.Eval_cache.p_kept_bytes)
+        (if r.Core.Eval_cache.p_index_rebuilt then
+           " (index rebuilt from the entry files)"
+         else "")
+    in
+    Cmd.v
+      (Cmd.info "prune"
+         ~doc:"Apply a size/age eviction policy (entries are immutable
+               and recomputable, so eviction is always safe)")
+      Term.(const run $ dir_arg $ max_entries_arg $ max_bytes_arg
+            $ max_age_arg)
+  in
+  let gc_cmd =
+    let run dir =
+      require_dir dir;
+      let r = Core.Eval_cache.gc dir in
+      Format.fprintf fmt
+        "%s: removed %d orphaned tmp file%s and %d foreign file%s; \
+         index +%d/-%d@."
+        dir r.Core.Eval_cache.g_tmp_removed
+        (if r.Core.Eval_cache.g_tmp_removed = 1 then "" else "s")
+        r.Core.Eval_cache.g_foreign_removed
+        (if r.Core.Eval_cache.g_foreign_removed = 1 then "" else "s")
+        r.Core.Eval_cache.g_index_added r.Core.Eval_cache.g_index_dropped
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Remove orphaned *.tmp and unindexable files, then re-sync
+               the index")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Manage an on-disk evaluation cache (stats, verify, prune,
+             gc)")
+    [ stats_cmd; verify_cmd; prune_cmd; gc_cmd ]
+
 (* --- rs ------------------------------------------------------------------ *)
 
 let rs_cmd =
@@ -614,7 +783,7 @@ let main_cmd =
   let doc = "Energy estimation for extensible processors" in
   Cmd.group (Cmd.info "xenergy" ~version:"1.0.0" ~doc)
     [ list_cmd; profile_cmd; reference_cmd; characterize_cmd; estimate_cmd;
-      attribute_cmd; compare_cmd; rs_cmd; explore_cmd; disasm_cmd;
-      breakdown_cmd; trace_cmd; run_cmd; cc_cmd ]
+      attribute_cmd; compare_cmd; rs_cmd; explore_cmd; cache_cmd;
+      disasm_cmd; breakdown_cmd; trace_cmd; run_cmd; cc_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

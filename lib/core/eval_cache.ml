@@ -13,18 +13,27 @@ type t = {
   c_dir : string option;
   c_mem : (string, entry) Hashtbl.t;
   mutable c_stats : stats;
+  (* Index updates (stores and disk hits) accumulated since the last
+     {!flush}; merged into the directory's index.json in one atomic
+     rewrite instead of one per lookup. *)
+  c_touched : (string, Cache_index.meta) Hashtbl.t;
 }
 
 module M = struct
-  let hits = lazy (Obs.Metrics.counter "explore_cache_hits_total")
-  let misses = lazy (Obs.Metrics.counter "explore_cache_misses_total")
-  let errors = lazy (Obs.Metrics.counter "explore_cache_errors_total")
-  let stores = lazy (Obs.Metrics.counter "explore_cache_stores_total")
+  let hits = lazy (Obs.Metrics.counter "eval_cache_hits_total")
+  let misses = lazy (Obs.Metrics.counter "eval_cache_misses_total")
+  let errors = lazy (Obs.Metrics.counter "eval_cache_errors_total")
+  let stores = lazy (Obs.Metrics.counter "eval_cache_stores_total")
+  let evictions = lazy (Obs.Metrics.counter "eval_cache_evictions_total")
+  let orphans = lazy (Obs.Metrics.counter "eval_cache_orphans_total")
+  let index_rebuilds =
+    lazy (Obs.Metrics.counter "eval_cache_index_rebuilds_total")
 end
 
 let create ?dir () =
   { c_dir = dir; c_mem = Hashtbl.create 64;
-    c_stats = { hits = 0; misses = 0; errors = 0; stores = 0 } }
+    c_stats = { hits = 0; misses = 0; errors = 0; stores = 0 };
+    c_touched = Hashtbl.create 16 }
 
 let dir t = t.c_dir
 
@@ -61,8 +70,14 @@ let key ?(complexity_tag = "default") ?(with_reference = false)
 (* --- On-disk format ------------------------------------------------------ *)
 
 (* %.17g prints enough digits that float_of_string recovers the exact
-   bits: a warm (disk) sweep is bit-identical to the cold one. *)
-let float17 x = Printf.sprintf "%.17g" x
+   bits: a warm (disk) sweep is bit-identical to the cold one.  Non-
+   finite values have no JSON representation and would turn into a
+   permanent parse error on every warm read — refuse them here, so a
+   bad value fails fast at store time (error-counted) instead of
+   poisoning the entry on disk. *)
+let float17 x =
+  if not (Float.is_finite x) then failwith "cache: non-finite value";
+  Printf.sprintf "%.17g" x
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -125,12 +140,20 @@ let entry_of_json ~expect_key s =
 (* --- Lookup / store ------------------------------------------------------ *)
 
 let path_of t k =
-  Option.map (fun d -> Filename.concat d (k ^ ".json")) t.c_dir
+  Option.map (fun d -> Filename.concat d (Cache_index.file_of_key k)) t.c_dir
 
 let count_error t =
   t.c_stats <- { t.c_stats with errors = t.c_stats.errors + 1 };
   Obs.Metrics.inc (Lazy.force M.errors);
   Obs.Trace.instant ~cat:"cache" "cache:error"
+
+let touch t k (e : entry) ~size =
+  if t.c_dir <> None then
+    Hashtbl.replace t.c_touched k
+      { Cache_index.m_key = k;
+        m_name = e.e_name;
+        m_size = size;
+        m_last_used = Unix.gettimeofday () }
 
 let load_disk t k =
   match path_of t k with
@@ -139,10 +162,12 @@ let load_disk t k =
     if not (Sys.file_exists path) then None
     else begin
       match
-        entry_of_json ~expect_key:k
-          (In_channel.with_open_text path In_channel.input_all)
+        let s = In_channel.with_open_text path In_channel.input_all in
+        (entry_of_json ~expect_key:k s, String.length s)
       with
-      | e -> Some e
+      | e, size ->
+        touch t k e ~size;
+        Some e
       | exception _ ->
         (* Corrupted, truncated or foreign file: recompute rather than
            fail, and leave a trail in the error counter. *)
@@ -183,14 +208,27 @@ let store_disk t k e =
     (* Atomic publication: never leave a torn file for a concurrent or
        later reader to trip over. *)
     (try
+       (* Serialize before creating the temp file: a non-finite value
+          aborts the store without touching the directory. *)
+       let doc = entry_to_json ~key:k e in
        Option.iter mkdir_p t.c_dir;
        let tmp =
          Filename.temp_file ~temp_dir:(Option.get t.c_dir) "cache" ".tmp"
        in
-       Out_channel.with_open_text tmp (fun oc ->
-           Out_channel.output_string oc (entry_to_json ~key:k e));
-       Sys.rename tmp path
-     with Sys_error _ | Unix.Unix_error _ | Invalid_argument _ ->
+       (try
+          Out_channel.with_open_text tmp (fun oc ->
+              Out_channel.output_string oc doc);
+          (* temp_file creates 0o600 and rename preserves it, which
+             would make a shared cache directory unreadable to other
+             users; publish world-readable. *)
+          Unix.chmod tmp 0o644;
+          Sys.rename tmp path
+        with exn ->
+          (* Never leak the temp file on a failed write. *)
+          (try Sys.remove tmp with Sys_error _ | Unix.Unix_error _ -> ());
+          raise exn);
+       touch t k e ~size:(String.length doc)
+     with Sys_error _ | Unix.Unix_error _ | Invalid_argument _ | Failure _ ->
        count_error t)
 
 let store t k e =
@@ -198,3 +236,183 @@ let store t k e =
   store_disk t k e;
   t.c_stats <- { t.c_stats with stores = t.c_stats.stores + 1 };
   Obs.Metrics.inc (Lazy.force M.stores)
+
+(* --- Index maintenance ---------------------------------------------------- *)
+
+let count_index_rebuild () =
+  Obs.Metrics.inc (Lazy.force M.index_rebuilds);
+  Obs.Trace.instant ~cat:"cache" "cache:index-rebuild"
+
+let flush t =
+  match t.c_dir with
+  | None -> ()
+  | Some d ->
+    if Hashtbl.length t.c_touched > 0 && Sys.file_exists d then begin
+      try
+        let idx, rebuilt = Cache_index.load_or_rebuild d in
+        if rebuilt then count_index_rebuild ();
+        Hashtbl.iter (fun _ m -> Cache_index.record idx m) t.c_touched;
+        Cache_index.save d idx;
+        Hashtbl.reset t.c_touched
+      with Sys_error _ | Unix.Unix_error _ -> count_error t
+    end
+
+(* --- Lifecycle management over a directory -------------------------------- *)
+
+type policy = {
+  max_entries : int option;
+  max_bytes : int option;
+  max_age_s : float option;
+}
+
+let unlimited = { max_entries = None; max_bytes = None; max_age_s = None }
+
+type disk_stats = {
+  d_entries : int;
+  d_bytes : int;
+  d_oldest : float option;
+  d_newest : float option;
+  d_index_rebuilt : bool;
+}
+
+(* Load-or-rebuild plus reconcile: the index is advisory, the files are
+   the truth, so every lifecycle operation re-syncs before acting. *)
+let synced_index dir =
+  let idx, rebuilt = Cache_index.load_or_rebuild dir in
+  if rebuilt then count_index_rebuild ()
+  else ignore (Cache_index.reconcile dir idx);
+  (idx, rebuilt)
+
+let disk_stats dirname =
+  let idx, rebuilt = synced_index dirname in
+  let ms = Cache_index.entries idx in
+  { d_entries = Cache_index.count idx;
+    d_bytes = Cache_index.total_bytes idx;
+    d_oldest =
+      (match ms with [] -> None | m :: _ -> Some m.Cache_index.m_last_used);
+    d_newest =
+      (match List.rev ms with
+      | [] -> None
+      | m :: _ -> Some m.Cache_index.m_last_used);
+    d_index_rebuilt = rebuilt }
+
+type prune_report = {
+  p_kept : int;
+  p_kept_bytes : int;
+  p_evicted : int;
+  p_evicted_bytes : int;
+  p_index_rebuilt : bool;
+}
+
+let prune ?now ~policy dirname =
+  let now =
+    match now with Some n -> n | None -> Unix.gettimeofday ()
+  in
+  let idx, rebuilt = synced_index dirname in
+  let victims =
+    Cache_index.plan_eviction ~now ?max_entries:policy.max_entries
+      ?max_bytes:policy.max_bytes ?max_age_s:policy.max_age_s idx
+  in
+  let evicted_bytes = ref 0 in
+  List.iter
+    (fun (m : Cache_index.meta) ->
+      (* Entries are immutable and recomputable, so deletion is always
+         safe; a file already gone is not an error. *)
+      (try
+         Sys.remove
+           (Filename.concat dirname (Cache_index.file_of_key m.Cache_index.m_key))
+       with Sys_error _ -> ());
+      Cache_index.remove idx m.Cache_index.m_key;
+      evicted_bytes := !evicted_bytes + m.Cache_index.m_size;
+      Obs.Metrics.inc (Lazy.force M.evictions);
+      Obs.Trace.instant ~cat:"cache" "cache:evict"
+        ~args:[ ("key", Obs.Trace.S m.Cache_index.m_key) ])
+    victims;
+  (try Cache_index.save dirname idx with Sys_error _ | Unix.Unix_error _ -> ());
+  { p_kept = Cache_index.count idx;
+    p_kept_bytes = Cache_index.total_bytes idx;
+    p_evicted = List.length victims;
+    p_evicted_bytes = !evicted_bytes;
+    p_index_rebuilt = rebuilt }
+
+type verify_report = {
+  v_ok : int;
+  v_corrupt : (string * string) list;
+  v_foreign : string list;
+  v_tmp : string list;
+}
+
+let list_dir dirname =
+  match Sys.readdir dirname with
+  | files -> Array.to_list files |> List.sort compare
+  | exception Sys_error _ -> []
+
+let verify dirname =
+  let ok = ref 0 and corrupt = ref [] and foreign = ref [] and tmp = ref [] in
+  List.iter
+    (fun fname ->
+      let path = Filename.concat dirname fname in
+      if fname = Cache_index.index_basename then ()
+      else if try Sys.is_directory path with Sys_error _ -> false then
+        foreign := fname :: !foreign
+      else if Filename.check_suffix fname ".tmp" then tmp := fname :: !tmp
+      else
+        match Cache_index.key_of_entry_file fname with
+        | None -> foreign := fname :: !foreign
+        | Some k -> (
+          match
+            entry_of_json ~expect_key:k
+              (In_channel.with_open_text path In_channel.input_all)
+          with
+          | _ -> incr ok
+          | exception Failure msg -> corrupt := (fname, msg) :: !corrupt
+          | exception Obs.Json.Parse_error msg ->
+            corrupt := (fname, msg) :: !corrupt
+          | exception Sys_error msg -> corrupt := (fname, msg) :: !corrupt))
+    (list_dir dirname);
+  { v_ok = !ok;
+    v_corrupt = List.rev !corrupt;
+    v_foreign = List.rev !foreign;
+    v_tmp = List.rev !tmp }
+
+type gc_report = {
+  g_tmp_removed : int;
+  g_foreign_removed : int;
+  g_index_added : int;
+  g_index_dropped : int;
+}
+
+let gc dirname =
+  let tmp = ref 0 and foreign = ref 0 in
+  List.iter
+    (fun fname ->
+      let path = Filename.concat dirname fname in
+      if fname = Cache_index.index_basename then ()
+      else if try Sys.is_directory path with Sys_error _ -> false then ()
+      else if Cache_index.key_of_entry_file fname <> None then ()
+      else begin
+        (* An orphaned temp file (from a writer that died between
+           temp_file and rename) or a file that can never be indexed:
+           sweep it. *)
+        let counter =
+          if Filename.check_suffix fname ".tmp" then tmp else foreign
+        in
+        try
+          Sys.remove path;
+          incr counter;
+          Obs.Metrics.inc (Lazy.force M.orphans);
+          Obs.Trace.instant ~cat:"cache" "cache:gc"
+            ~args:[ ("file", Obs.Trace.S fname) ]
+        with Sys_error _ -> ()
+      end)
+    (list_dir dirname);
+  let idx, rebuilt = Cache_index.load_or_rebuild dirname in
+  if rebuilt then count_index_rebuild ();
+  let added, dropped =
+    if rebuilt then (0, 0) else Cache_index.reconcile dirname idx
+  in
+  (try Cache_index.save dirname idx with Sys_error _ | Unix.Unix_error _ -> ());
+  { g_tmp_removed = !tmp;
+    g_foreign_removed = !foreign;
+    g_index_added = added;
+    g_index_dropped = dropped }

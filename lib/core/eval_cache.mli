@@ -15,12 +15,24 @@
     layer degrades gracefully by design: a corrupted, truncated,
     version-skewed or unreadable file — and an unwritable directory —
     count into {!type-stats}[.errors] (and the
-    [explore_cache_errors_total] metric) and fall back to recompute;
+    [eval_cache_errors_total] metric) and fall back to recompute;
     they never raise out of {!find}/{!store}.  Hits, misses and stores
     are counted in the {!Obs.Metrics} registry
-    ([explore_cache_hits_total], [explore_cache_misses_total],
-    [explore_cache_stores_total]) and, with tracing enabled, recorded as
-    instants on the ["cache"] category. *)
+    ([eval_cache_hits_total], [eval_cache_misses_total],
+    [eval_cache_stores_total]) and, with tracing enabled, recorded as
+    instants on the ["cache"] category.
+
+    The directory is a {e managed} store: it carries a
+    {!Cache_index}-maintained [index.json] (advisory, atomically
+    rewritten, self-healing — rebuilt from the entry files whenever it
+    is missing or stale, never trusted over them), and the lifecycle
+    operations {!disk_stats}, {!prune} (LRU eviction under
+    {!type-policy} bounds; entries are immutable and recomputable, so
+    eviction is always safe), {!verify} and {!gc} operate on a
+    directory without a live cache instance — they back the
+    [xenergy cache] CLI.  Evictions, swept orphans and index rebuilds
+    are counted as [eval_cache_evictions_total],
+    [eval_cache_orphans_total] and [eval_cache_index_rebuilds_total]. *)
 
 type entry = {
   e_name : string;           (** workload name (informational only) *)
@@ -75,8 +87,19 @@ val find : t -> string -> entry option
 
 val store : t -> string -> entry -> unit
 (** Record an entry under a key.  Disk writes are atomic
-    (temp-file-and-rename); a failed write counts an error and leaves
-    the in-memory entry in place. *)
+    (temp-file-and-rename, published world-readable for shared cache
+    directories; the temp file is unlinked if the write fails); a
+    failed write — including an entry holding a non-finite float, which
+    has no JSON encoding — counts an error and leaves the in-memory
+    entry in place. *)
+
+val flush : t -> unit
+(** Merge the index updates accumulated by this instance (stores and
+    disk hits, with their last-used times) into the directory's
+    [index.json] in one atomic rewrite.  Cheap when there is nothing to
+    write; a no-op for memory-only caches.  {!Explore.run} flushes at
+    the end of every sweep.  Failures are error-counted, never
+    raised. *)
 
 val stats : t -> stats
 (** Counters accumulated over this instance's lifetime. *)
@@ -88,10 +111,84 @@ val diff : stats -> stats -> stats
 val entry_to_json : key:string -> entry -> string
 (** The on-disk document.  Floats are printed with ["%.17g"], so a
     load returns bit-identical values — warm sweeps reproduce cold
-    sweeps exactly. *)
+    sweeps exactly.
+    @raise Failure when the entry holds a non-finite float (no JSON
+    encoding; {!store} converts that into an error-counted skipped
+    disk write). *)
 
 val entry_of_json : expect_key:string -> string -> entry
 (** Parse {!entry_to_json} output, validating format, version, key and
     variable-vector length.
     @raise Obs.Json.Parse_error (or [Failure]) on any mismatch — {!find}
     converts that into an error-counted miss. *)
+
+(** {1 Lifecycle management}
+
+    These operate on a cache {e directory} (no live instance needed)
+    and re-sync the index against the entry files before acting: a
+    missing or corrupt [index.json] is rebuilt, a stale one reconciled.
+    They back [xenergy cache stats|prune|verify|gc]. *)
+
+type policy = {
+  max_entries : int option;  (** keep at most this many entries *)
+  max_bytes : int option;    (** keep at most this many payload bytes *)
+  max_age_s : float option;  (** evict entries unused for longer *)
+}
+
+val unlimited : policy
+(** No bounds: {!prune} under it only re-syncs the index. *)
+
+type disk_stats = {
+  d_entries : int;
+  d_bytes : int;
+  d_oldest : float option;  (** least recent last-use (Unix time) *)
+  d_newest : float option;  (** most recent last-use (Unix time) *)
+  d_index_rebuilt : bool;   (** the index was missing/corrupt and got
+                                rebuilt from the entry files *)
+}
+
+val disk_stats : string -> disk_stats
+(** Inventory of a cache directory, from the (re-synced) index. *)
+
+type prune_report = {
+  p_kept : int;
+  p_kept_bytes : int;
+  p_evicted : int;
+  p_evicted_bytes : int;
+  p_index_rebuilt : bool;
+}
+
+val prune : ?now:float -> policy:policy -> string -> prune_report
+(** Apply the eviction policy to a cache directory: delete the least
+    recently used entries until every given bound holds, and rewrite
+    the index.  [now] (default: the current time) anchors the
+    [max_age_s] bound and is injectable for tests. *)
+
+type verify_report = {
+  v_ok : int;                         (** entries that re-parse cleanly *)
+  v_corrupt : (string * string) list; (** entry file, failure reason *)
+  v_foreign : string list; (** files that are not cache entries, the
+                               index or temp files *)
+  v_tmp : string list;     (** orphaned [*.tmp] files ({!gc} sweeps
+                               them) *)
+}
+
+val verify : string -> verify_report
+(** Re-parse every entry in a cache directory (format, version,
+    key-matches-filename, variable-vector length) and classify every
+    file.  Read-only. *)
+
+type gc_report = {
+  g_tmp_removed : int;     (** orphaned [*.tmp] files deleted *)
+  g_foreign_removed : int; (** unindexable files deleted *)
+  g_index_added : int;     (** entry files adopted into the index *)
+  g_index_dropped : int;   (** index entries whose file was gone *)
+}
+
+val gc : string -> gc_report
+(** Sweep a cache directory: delete orphaned [*.tmp] files (left by
+    writers that died mid-publication) and files that can never be
+    indexed as cache entries, then re-sync and rewrite the index.
+    Correctly-named entries are never deleted here, even when corrupt —
+    they self-heal (an error-counted miss recomputes and overwrites
+    them); use {!verify} to find them. *)

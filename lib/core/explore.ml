@@ -186,6 +186,9 @@ let sweep ?jobs ~cache ~configs ~model_for ~char_sims ~before candidates t0 =
   let points =
     List.sort (fun (i, _) (j, _) -> compare i j) evaluated |> List.map snd
   in
+  (* Publish the sweep's index updates (stores and warm hits with their
+     last-used times) in one atomic rewrite. *)
+  Eval_cache.flush cache;
   { points;
     frontier = pareto points;
     configs_characterized = 0;  (* the callers overwrite this *)

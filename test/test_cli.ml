@@ -174,6 +174,50 @@ let test_explore_smoke () =
     Obs.Json.(to_int (member "hits" (member "cache" warm_j)) > 0);
   check Alcotest.bool "warm points bit-identical to cold" true
     (cold_points = warm_points);
+  (* Lifecycle subcommands against the populated cache. *)
+  let code, _, err = run_xenergy [ "cache"; "stats"; dir ^ ".nosuch" ] in
+  check Alcotest.int "stats on a missing dir exits 123" 123 code;
+  check Alcotest.bool "missing dir named on stderr" true
+    (contains err ".nosuch");
+  let code, out, _ = run_xenergy [ "cache"; "stats"; dir; "--json" ] in
+  check Alcotest.int "cache stats exits 0" 0 code;
+  let entries_of out = Obs.Json.(to_int (member "entries" (parse out))) in
+  let entries = entries_of out in
+  check Alcotest.bool "stats sees the sweep's entries" true (entries > 0);
+  (* gc sweeps a planted orphan and a foreign file. *)
+  let orphan = Filename.concat dir "cachedead.tmp" in
+  let stray = Filename.concat dir "stray.dat" in
+  List.iter
+    (fun f ->
+      let oc = open_out f in
+      output_string oc "litter";
+      close_out oc)
+    [ orphan; stray ];
+  let code, out, _ = run_xenergy [ "cache"; "gc"; dir ] in
+  check Alcotest.int "cache gc exits 0" 0 code;
+  check Alcotest.bool "gc reports the orphan" true (contains out "1 orphan");
+  check Alcotest.bool "orphan removed" false (Sys.file_exists orphan);
+  check Alcotest.bool "foreign file removed" false (Sys.file_exists stray);
+  let code, out, _ = run_xenergy [ "cache"; "verify"; dir ] in
+  check Alcotest.int "cache verify exits 0" 0 code;
+  check Alcotest.bool "verify re-parses every entry" true
+    (contains out (Printf.sprintf "%d entries ok" entries));
+  (* Prune to a smaller bound, then check the sweep still reproduces the
+     cold points from the surviving + recomputed entries. *)
+  let keep = entries / 2 in
+  let code, _, _ =
+    run_xenergy
+      [ "cache"; "prune"; dir; "--max-entries"; string_of_int keep ]
+  in
+  check Alcotest.int "cache prune exits 0" 0 code;
+  let code, out, _ = run_xenergy [ "cache"; "stats"; dir; "--json" ] in
+  check Alcotest.int "stats after prune exits 0" 0 code;
+  check Alcotest.int "prune leaves exactly the bound" keep (entries_of out);
+  let rewarm_code, rewarm_out, _ = sweep () in
+  check Alcotest.int "re-warm sweep exits 0" 0 rewarm_code;
+  let _, rewarm_points = parse rewarm_out in
+  check Alcotest.bool "re-warm points bit-identical to cold" true
+    (cold_points = rewarm_points);
   (* Scrub the scratch cache. *)
   (try
      Array.iter

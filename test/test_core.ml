@@ -773,6 +773,263 @@ let test_cache_unwritable_dir () =
   | Some _ -> ()
   | None -> fail "memory layer lost the entry"
 
+let test_cache_store_world_readable () =
+  (* temp_file creates 0o600; publication must widen to 0o644 or a
+     shared cache directory is unreadable to other users. *)
+  let dir = fresh_cache_dir () in
+  let case = List.hd (small_suite ()) in
+  let key = Core.Eval_cache.key ~config:small_config case in
+  let c = Core.Eval_cache.create ~dir () in
+  Core.Eval_cache.store c key gnarly_entry;
+  let st = Unix.stat (Filename.concat dir (key ^ ".json")) in
+  check Alcotest.int "entry published world-readable" 0o644
+    (st.Unix.st_perm land 0o777)
+
+let dir_files dir =
+  match Sys.readdir dir with
+  | fs -> Array.to_list fs |> List.sort compare
+  | exception Sys_error _ -> []
+
+let test_cache_nonfinite_fails_fast_at_store () =
+  (* nan/inf have no JSON encoding; a stored entry holding one used to
+     become a permanent parse error on every warm read.  The store must
+     fail fast instead: error counted, no file, no leaked temp file,
+     memory layer intact. *)
+  let dir = fresh_cache_dir () in
+  let case = List.hd (small_suite ()) in
+  let key = Core.Eval_cache.key ~config:small_config case in
+  let poisoned =
+    { gnarly_entry with
+      Core.Eval_cache.e_variables =
+        Array.mapi
+          (fun i v -> if i = 3 then Float.nan else v)
+          gnarly_entry.Core.Eval_cache.e_variables }
+  in
+  (match Core.Eval_cache.entry_to_json ~key poisoned with
+  | exception Failure _ -> ()
+  | _ -> fail "non-finite variable serialized");
+  let c = Core.Eval_cache.create ~dir () in
+  Core.Eval_cache.store c key poisoned;
+  check Alcotest.int "non-finite store error-counted" 1
+    (Core.Eval_cache.stats c).Core.Eval_cache.errors;
+  check Alcotest.bool "no entry file written" false
+    (Sys.file_exists (Filename.concat dir (key ^ ".json")));
+  check Alcotest.bool "no temp file leaked" true
+    (List.for_all
+       (fun f -> not (Filename.check_suffix f ".tmp"))
+       (dir_files dir));
+  (match Core.Eval_cache.find c key with
+  | Some _ -> ()
+  | None -> fail "memory layer lost the poisoned entry");
+  (* Same guard for an infinite measured energy. *)
+  let inf_measured =
+    { gnarly_entry with Core.Eval_cache.e_measured_pj = Some Float.infinity }
+  in
+  Core.Eval_cache.store c (String.make 32 'e') inf_measured;
+  check Alcotest.int "infinite measured_pj error-counted" 2
+    (Core.Eval_cache.stats c).Core.Eval_cache.errors;
+  (* A fresh instance sees a clean miss, not a parse error. *)
+  let c2 = Core.Eval_cache.create ~dir () in
+  (match Core.Eval_cache.find c2 key with
+  | None -> ()
+  | Some _ -> fail "phantom entry");
+  check Alcotest.int "warm read is a clean miss" 0
+    (Core.Eval_cache.stats c2).Core.Eval_cache.errors
+
+(* Three distinct keys from the small suite, with an entry naming each. *)
+let three_keyed_entries () =
+  List.filteri (fun i _ -> i < 3) (small_suite ())
+  |> List.map (fun case ->
+         let k = Core.Eval_cache.key ~config:small_config case in
+         (k, { gnarly_entry with Core.Eval_cache.e_name = "wl-" ^ k }))
+
+let test_cache_index_written_and_rebuilt () =
+  let dir = fresh_cache_dir () in
+  let c = Core.Eval_cache.create ~dir () in
+  let kes = three_keyed_entries () in
+  List.iter (fun (k, e) -> Core.Eval_cache.store c k e) kes;
+  Core.Eval_cache.flush c;
+  let index_path = Filename.concat dir "index.json" in
+  check Alcotest.bool "flush writes index.json" true
+    (Sys.file_exists index_path);
+  let s = Core.Eval_cache.disk_stats dir in
+  check Alcotest.int "index counts the entries" 3
+    s.Core.Eval_cache.d_entries;
+  check Alcotest.bool "index not rebuilt when present" false
+    s.Core.Eval_cache.d_index_rebuilt;
+  check Alcotest.bool "bytes accounted" true (s.Core.Eval_cache.d_bytes > 0);
+  (* Manual deletion of index.json: rebuilt from the files, never
+     trusted over them. *)
+  Sys.remove index_path;
+  let s = Core.Eval_cache.disk_stats dir in
+  check Alcotest.bool "missing index rebuilt" true
+    s.Core.Eval_cache.d_index_rebuilt;
+  check Alcotest.int "rebuilt index counts the entries" 3
+    s.Core.Eval_cache.d_entries;
+  (* A corrupt index is also rebuilt, not trusted. *)
+  Out_channel.with_open_text index_path (fun oc ->
+      Out_channel.output_string oc "{ not an index");
+  let s = Core.Eval_cache.disk_stats dir in
+  check Alcotest.bool "corrupt index rebuilt" true
+    s.Core.Eval_cache.d_index_rebuilt;
+  check Alcotest.int "entries survive index corruption" 3
+    s.Core.Eval_cache.d_entries;
+  (* A stale index (manual entry-file deletion behind its back) is
+     reconciled against the files before any decision. *)
+  let victim = fst (List.hd kes) in
+  Sys.remove (Filename.concat dir (victim ^ ".json"));
+  let s = Core.Eval_cache.disk_stats dir in
+  check Alcotest.int "stale index reconciled to the files" 2
+    s.Core.Eval_cache.d_entries
+
+let test_cache_prune_lru () =
+  let dir = fresh_cache_dir () in
+  let c = Core.Eval_cache.create ~dir () in
+  let kes = three_keyed_entries () in
+  List.iter (fun (k, e) -> Core.Eval_cache.store c k e) kes;
+  Core.Eval_cache.flush c;
+  (* Pin deterministic last-used times: keys[0] oldest, keys[2] newest. *)
+  let keys = List.map fst kes in
+  let idx, rebuilt = Core.Cache_index.load_or_rebuild dir in
+  check Alcotest.bool "index loads" false rebuilt;
+  List.iteri
+    (fun i k ->
+      match Core.Cache_index.find idx k with
+      | None -> fail "key missing from the index"
+      | Some m ->
+        Core.Cache_index.record idx
+          { m with Core.Cache_index.m_last_used = 1000.0 +. float_of_int i })
+    keys;
+  Core.Cache_index.save dir idx;
+  let policy =
+    { Core.Eval_cache.unlimited with Core.Eval_cache.max_entries = Some 2 }
+  in
+  let r = Core.Eval_cache.prune ~now:2000.0 ~policy dir in
+  check Alcotest.int "prune keeps exactly N" 2 r.Core.Eval_cache.p_kept;
+  check Alcotest.int "prune evicts the rest" 1 r.Core.Eval_cache.p_evicted;
+  let oldest = List.nth keys 0 in
+  check Alcotest.bool "LRU victim deleted" false
+    (Sys.file_exists (Filename.concat dir (oldest ^ ".json")));
+  (* The retained entries still load bit-identically, with zero
+     recomputation or error. *)
+  let c2 = Core.Eval_cache.create ~dir () in
+  List.iter
+    (fun (k, e) ->
+      if k <> oldest then
+        match Core.Eval_cache.find c2 k with
+        | None -> fail "retained entry lost"
+        | Some got ->
+          check Alcotest.bool "retained entry bit-identical" true
+            (got.Core.Eval_cache.e_variables
+            = e.Core.Eval_cache.e_variables))
+    kes;
+  check Alcotest.int "retained reads are error-free" 0
+    (Core.Eval_cache.stats c2).Core.Eval_cache.errors;
+  (* Age-based eviction through the same policy surface. *)
+  let r =
+    Core.Eval_cache.prune ~now:2000.0
+      ~policy:{ Core.Eval_cache.unlimited with
+                Core.Eval_cache.max_age_s = Some 998.5 }
+      dir
+  in
+  check Alcotest.int "age bound evicts the stale entry" 1
+    r.Core.Eval_cache.p_evicted;
+  check Alcotest.int "age bound keeps the fresh entry" 1
+    r.Core.Eval_cache.p_kept
+
+let test_cache_verify_and_gc () =
+  let dir = fresh_cache_dir () in
+  let c = Core.Eval_cache.create ~dir () in
+  let kes = three_keyed_entries () in
+  List.iter (fun (k, e) -> Core.Eval_cache.store c k e) kes;
+  Core.Eval_cache.flush c;
+  (* Plant the failure modes: orphaned tmp files (a writer that died
+     between temp_file and rename), a foreign file, and a corrupted
+     entry. *)
+  let plant f body =
+    Out_channel.with_open_text (Filename.concat dir f) (fun oc ->
+        Out_channel.output_string oc body)
+  in
+  plant "cachedead1.tmp" "torn";
+  plant "cachedead2.tmp" "torn";
+  plant "stray.dat" "not ours";
+  let corrupted = fst (List.hd kes) in
+  plant (corrupted ^ ".json") "{ not an entry";
+  let v = Core.Eval_cache.verify dir in
+  check Alcotest.int "verify: ok entries" 2 v.Core.Eval_cache.v_ok;
+  check Alcotest.int "verify: corrupt entries" 1
+    (List.length v.Core.Eval_cache.v_corrupt);
+  check Alcotest.(list string) "verify: tmp orphans"
+    [ "cachedead1.tmp"; "cachedead2.tmp" ] v.Core.Eval_cache.v_tmp;
+  check Alcotest.(list string) "verify: foreign files" [ "stray.dat" ]
+    v.Core.Eval_cache.v_foreign;
+  let g = Core.Eval_cache.gc dir in
+  check Alcotest.int "gc removes the tmp orphans" 2
+    g.Core.Eval_cache.g_tmp_removed;
+  check Alcotest.int "gc removes the foreign file" 1
+    g.Core.Eval_cache.g_foreign_removed;
+  let files = dir_files dir in
+  check Alcotest.bool "gc never deletes entries (even corrupt ones)" true
+    (List.mem (corrupted ^ ".json") files);
+  check Alcotest.bool "no tmp or foreign files survive gc" true
+    (List.for_all
+       (fun f ->
+         f = "index.json" || Filename.check_suffix f ".json")
+       files);
+  (* The corrupted entry self-heals: error-counted miss, recompute
+     (store), clean on the next read. *)
+  let c2 = Core.Eval_cache.create ~dir () in
+  (match Core.Eval_cache.find c2 corrupted with
+  | None -> ()
+  | Some _ -> fail "corrupt entry returned");
+  Core.Eval_cache.store c2 corrupted (List.assoc corrupted kes);
+  let v = Core.Eval_cache.verify dir in
+  check Alcotest.int "store heals the corrupt entry" 3
+    v.Core.Eval_cache.v_ok
+
+let test_cache_concurrent_stores () =
+  (* Two processes store the same key at once: atomic publication means
+     a reader sees either entry in full, never a torn file, and no temp
+     litter survives. *)
+  let dir = fresh_cache_dir () in
+  let case = List.hd (small_suite ()) in
+  let key = Core.Eval_cache.key ~config:small_config case in
+  let spawn () =
+    match Unix.fork () with
+    | 0 ->
+      let c = Core.Eval_cache.create ~dir () in
+      for _ = 1 to 25 do
+        Core.Eval_cache.store c key gnarly_entry
+      done;
+      Core.Eval_cache.flush c;
+      Stdlib.exit 0
+    | pid -> pid
+  in
+  let pids = [ spawn (); spawn () ] in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> fail "concurrent writer died")
+    pids;
+  let c = Core.Eval_cache.create ~dir () in
+  (match Core.Eval_cache.find c key with
+  | None -> fail "entry lost under concurrent stores"
+  | Some e ->
+    check Alcotest.bool "no torn read: variables intact" true
+      (e.Core.Eval_cache.e_variables
+      = gnarly_entry.Core.Eval_cache.e_variables));
+  check Alcotest.int "no parse errors" 0
+    (Core.Eval_cache.stats c).Core.Eval_cache.errors;
+  check Alcotest.bool "no temp litter" true
+    (List.for_all
+       (fun f -> not (Filename.check_suffix f ".tmp"))
+       (dir_files dir));
+  let v = Core.Eval_cache.verify dir in
+  check Alcotest.int "single healthy entry" 1 v.Core.Eval_cache.v_ok;
+  check Alcotest.int "nothing corrupt" 0
+    (List.length v.Core.Eval_cache.v_corrupt)
+
 (* --- Exploration ----------------------------------------------------------- *)
 
 let mk_point name cycles pj =
@@ -884,6 +1141,68 @@ let test_explore_warm_matches_cold () =
     (point_names cold.Core.Explore.frontier)
     (point_names warm.Core.Explore.frontier)
 
+let test_explore_prune_retains_working_set () =
+  (* The acceptance cycle: populate a cache from a two-config sweep,
+     re-touch one config's working set with a warm sub-sweep, prune to
+     exactly that set's size, and check the subsequent warm sub-sweep
+     is bit-identical with zero recomputation. *)
+  let dir = fresh_cache_dir () in
+  let characterization = small_suite () in
+  let base =
+    Core.Explore.candidate ~name:"base"
+      (List.hd (Workloads.Suite.applications ()))
+  in
+  let small =
+    Core.Explore.candidate ~name:"base_small" ~config:smaller_icache
+      (List.hd (Workloads.Suite.applications ()))
+  in
+  let sweep cands =
+    Core.Explore.run
+      ~cache:(Core.Eval_cache.create ~dir ())
+      ~characterization cands
+  in
+  let cold = sweep [ base; small ] in
+  let n_char = List.length characterization in
+  let total = (2 * n_char) + 2 in
+  check Alcotest.int "populated cache"
+    total (Core.Eval_cache.disk_stats dir).Core.Eval_cache.d_entries;
+  (* Touch base's working set (its characterization + its candidate),
+     making it the most recently used. *)
+  let touched = sweep [ base ] in
+  check Alcotest.int "sub-sweep is already warm" 0
+    touched.Core.Explore.simulations;
+  let keep = n_char + 1 in
+  let r =
+    Core.Eval_cache.prune
+      ~policy:{ Core.Eval_cache.unlimited with
+                Core.Eval_cache.max_entries = Some keep }
+      dir
+  in
+  check Alcotest.int "prune leaves exactly N entries" keep
+    r.Core.Eval_cache.p_kept;
+  check Alcotest.int "prune evicts the rest" (total - keep)
+    r.Core.Eval_cache.p_evicted;
+  check Alcotest.int "directory agrees with the report" keep
+    (Core.Eval_cache.disk_stats dir).Core.Eval_cache.d_entries;
+  let warm = sweep [ base ] in
+  check Alcotest.int "warm sweep over the retained set recomputes nothing"
+    0 warm.Core.Explore.simulations;
+  let cold_base = List.hd cold.Core.Explore.points in
+  let warm_base = List.hd warm.Core.Explore.points in
+  check Alcotest.bool "retained point bit-identical" true
+    (cold_base.Core.Explore.pt_energy_pj
+     = warm_base.Core.Explore.pt_energy_pj
+    && cold_base.Core.Explore.pt_cycles = warm_base.Core.Explore.pt_cycles);
+  (* The evicted configuration recomputes (and only it). *)
+  let resweep = sweep [ base; small ] in
+  check Alcotest.int "only the evicted working set recomputes"
+    (n_char + 1) resweep.Core.Explore.simulations;
+  List.iter2
+    (fun (c : Core.Explore.point) (w : Core.Explore.point) ->
+      check Alcotest.bool (c.Core.Explore.pt_name ^ " stable") true
+        (c.Core.Explore.pt_energy_pj = w.Core.Explore.pt_energy_pj))
+    cold.Core.Explore.points resweep.Core.Explore.points
+
 let test_explore_shares_config_characterization () =
   (* Two candidates on the same configuration: one characterization, and
      the duplicated program is simulated once. *)
@@ -965,7 +1284,17 @@ let () =
           Alcotest.test_case "corruption fallback" `Quick
             test_cache_corruption_fallback;
           Alcotest.test_case "unwritable directory" `Quick
-            test_cache_unwritable_dir ] );
+            test_cache_unwritable_dir;
+          Alcotest.test_case "world-readable publication" `Quick
+            test_cache_store_world_readable;
+          Alcotest.test_case "non-finite floats fail fast" `Quick
+            test_cache_nonfinite_fails_fast_at_store;
+          Alcotest.test_case "index write + rebuild" `Quick
+            test_cache_index_written_and_rebuilt;
+          Alcotest.test_case "LRU prune" `Quick test_cache_prune_lru;
+          Alcotest.test_case "verify + gc" `Quick test_cache_verify_and_gc;
+          Alcotest.test_case "concurrent stores" `Quick
+            test_cache_concurrent_stores ] );
       ( "explore",
         [ Alcotest.test_case "pareto invariants" `Quick
             test_pareto_invariants;
@@ -973,6 +1302,8 @@ let () =
             test_explore_validates_candidates;
           Alcotest.test_case "warm matches cold" `Quick
             test_explore_warm_matches_cold;
+          Alcotest.test_case "prune retains working set" `Quick
+            test_explore_prune_retains_working_set;
           Alcotest.test_case "config sharing" `Quick
             test_explore_shares_config_characterization ] );
       ( "attribution",
