@@ -9,6 +9,7 @@
      main.exe speedup      macro-model vs reference estimation time
      main.exe explore      memoized design-space sweep, cold vs warm cache
      main.exe cache        cache lifecycle: cold/warm/gc/verify/prune/re-warm
+     main.exe accuracy     model-accuracy audit -> BENCH_accuracy.json
      main.exe ablation     hybrid vs degenerate macro-models, C(W) variants
      main.exe capps        accuracy on compiled Tiny-C applications
      main.exe arbitrary    characterization on random test programs
@@ -457,6 +458,20 @@ let cache_bench () =
      Unix.rmdir dir
    with Sys_error _ | Unix.Unix_error _ -> ())
 
+(* Model-accuracy audit: the single-pass macro-model vs reference error
+   distribution over the applications, written to BENCH_accuracy.json —
+   the committed baseline the CI accuracy gate compares against. *)
+let accuracy_bench () =
+  banner "E8: model-accuracy audit (macro-model vs reference)";
+  let report =
+    Core.Audit.run (model ()) (Workloads.Suite.applications ())
+  in
+  Format.fprintf fmt "%a@." Core.Audit.pp report;
+  Out_channel.with_open_text "BENCH_accuracy.json" (fun oc ->
+      Out_channel.output_string oc (Core.Audit.to_json report);
+      Out_channel.output_char oc '\n');
+  Format.fprintf fmt "(written to BENCH_accuracy.json)@."
+
 (* --- Ablations ---------------------------------------------------------------- *)
 
 (* Zero selected variables out of collected samples and profiles, refit,
@@ -781,7 +796,8 @@ let () =
   let experiments =
     [ ("table1", table1); ("fig3", fig3); ("table2", table2);
       ("fig4", fig4); ("speedup", speedup); ("explore", explore_bench);
-      ("cache", cache_bench); ("ablation", ablation); ("capps", capps);
+      ("cache", cache_bench); ("accuracy", accuracy_bench);
+      ("ablation", ablation); ("capps", capps);
       ("arbitrary", arbitrary);
       ("sweep", sweep); ("bechamel", bechamel_benchmarks) ]
   in

@@ -17,6 +17,14 @@
      xenergy trace NAME [-n N]       per-instruction execution/energy trace
      xenergy run FILE.s [-e EXT]     assemble/simulate/estimate a .s file
      xenergy cc FILE.c [-e EXT]      compile/simulate/estimate a Tiny-C file
+     xenergy explore [--progress]    sweep a candidate space (heartbeats,
+                [--explain]          frontier attribution, --cache-max-bytes
+                [--openmetrics F]    inline cap, OpenMetrics exposition)
+     xenergy audit [-o FILE]         macro-model vs reference error audit
+                [--baseline FILE]    regression gate vs a committed baseline
+
+   Every command honours XENERGY_LOG=FILE (JSON-lines structured log)
+   and XENERGY_LOG_LEVEL=debug|info|warn|error.
      xenergy cache stats DIR         inventory of an on-disk eval cache
      xenergy cache verify DIR        re-parse every entry, report corruption
      xenergy cache prune DIR [..]    LRU eviction (--max-entries/-bytes/-age)
@@ -43,6 +51,37 @@ let jobs_arg =
      cores)."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let log_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "log-file" ] ~docv:"FILE"
+           ~doc:"Append JSON-lines structured log records (one object per
+                 line: ts_us on the trace clock, level, tid, pid, event,
+                 fields) to $(docv).  The $(b,XENERGY_LOG) environment
+                 variable opens the same sink for any command; \
+                 $(b,XENERGY_LOG_LEVEL) sets the severity floor.")
+
+let openmetrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "openmetrics" ] ~docv:"FILE"
+           ~doc:"Save the metrics registry in OpenMetrics (Prometheus
+                 text exposition) format to $(docv); implies metrics
+                 recording.")
+
+let setup_obs ~log_file ~openmetrics =
+  (match log_file with
+   | Some path -> (
+     try Obs.Log.open_file path
+     with Sys_error msg -> die "cannot open log file: %s" msg)
+   | None -> ());
+  if openmetrics <> None then Obs.Metrics.set_enabled true
+
+let save_openmetrics = function
+  | Some path ->
+    (try Obs.Export.save path
+     with Sys_error msg -> die "cannot write OpenMetrics exposition: %s" msg);
+    Format.eprintf "OpenMetrics exposition written to %s@." path
+  | None -> ()
 
 let characterize_model ?jobs () =
   Core.Characterize.run ?jobs (Workloads.Suite.characterization ())
@@ -152,9 +191,10 @@ let characterize_cmd =
                    counters, NNLS iterations, worker-pool degradations)
                    and save it as JSON to $(docv).")
   in
-  let run out report trace metrics jobs =
+  let run out report trace metrics log_file openmetrics jobs =
     if trace <> None then Obs.Trace.set_enabled true;
     if metrics <> None then Obs.Metrics.set_enabled true;
+    setup_obs ~log_file ~openmetrics;
     let samples, run_report =
       Core.Characterize.collect_with_report ?jobs
         (Workloads.Suite.characterization ())
@@ -193,18 +233,19 @@ let characterize_cmd =
        Format.fprintf fmt "trace written to %s (open in chrome://tracing \
                            or https://ui.perfetto.dev)@." path
      | None -> ());
-    match metrics with
+    (match metrics with
     | Some path ->
       (try Obs.Metrics.save path
        with Sys_error msg -> die "cannot write metrics: %s" msg);
       Format.fprintf fmt "metrics written to %s@." path
-    | None -> ()
+    | None -> ());
+    save_openmetrics openmetrics
   in
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Fit the macro-model on the characterization suite")
     Term.(const run $ out_arg $ report_arg $ trace_arg $ metrics_arg
-          $ jobs_arg)
+          $ log_file_arg $ openmetrics_arg $ jobs_arg)
 
 (* --- estimate ------------------------------------------------------------ *)
 
@@ -509,6 +550,29 @@ let explore_cmd =
                    instead of re-simulating.  Corrupted or unwritable
                    entries fall back to recompute.")
   in
+  let cache_max_bytes_arg =
+    Arg.(value & opt (some int) None
+         & info [ "cache-max-bytes" ] ~docv:"BYTES"
+             ~doc:"Cap the on-disk cache at $(docv) bytes of entry
+                   payload: a store that crosses the bound runs LRU
+                   eviction inline (no manual $(b,cache prune) needed).
+                   Requires $(b,--cache-dir).")
+  in
+  let progress_arg =
+    Arg.(value & flag
+         & info [ "progress" ]
+             ~doc:"Print a heartbeat to stderr between evaluation chunks:
+                   done/total, cache hits/misses, current frontier size,
+                   elapsed time and ETA.")
+  in
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Decompose each Pareto-frontier candidate's energy
+                   across the macro-model variables (exact — the model is
+                   linear — and free: computed from the cached variable
+                   vectors, no extra simulation).")
+  in
   let pareto_arg =
     Arg.(value & flag
          & info [ "pareto" ]
@@ -542,8 +606,14 @@ let explore_cmd =
                    counters, simulator and worker-pool counters) as JSON
                    to $(docv).")
   in
-  let run space cache_dir pareto json csv out trace metrics jobs =
+  let run space cache_dir cache_max_bytes progress explain pareto json csv
+      out trace metrics log_file openmetrics jobs =
     if json && csv then die "--json and --csv are mutually exclusive";
+    if cache_max_bytes <> None && cache_dir = None then
+      die "--cache-max-bytes requires --cache-dir";
+    (match cache_max_bytes with
+     | Some n when n < 0 -> die "--cache-max-bytes must be >= 0"
+     | _ -> ());
     let build_space =
       match Workloads.Spaces.find space with
       | Some f -> f
@@ -553,9 +623,27 @@ let explore_cmd =
     in
     if trace <> None then Obs.Trace.set_enabled true;
     if metrics <> None then Obs.Metrics.set_enabled true;
-    let cache = Core.Eval_cache.create ?dir:cache_dir () in
+    setup_obs ~log_file ~openmetrics;
+    let cache =
+      Core.Eval_cache.create ?dir:cache_dir ?max_bytes:cache_max_bytes ()
+    in
+    let heartbeat (p : Core.Explore.progress) =
+      if progress then
+        Format.eprintf
+          "explore: [%s] %d/%d  cache %d hit%s %d miss%s  frontier %d  \
+           %.1f s elapsed%s@."
+          p.Core.Explore.pr_phase p.Core.Explore.pr_done
+          p.Core.Explore.pr_total p.Core.Explore.pr_hits
+          (if p.Core.Explore.pr_hits = 1 then "" else "s")
+          p.Core.Explore.pr_misses
+          (if p.Core.Explore.pr_misses = 1 then "" else "es")
+          p.Core.Explore.pr_frontier p.Core.Explore.pr_elapsed_s
+          (match p.Core.Explore.pr_eta_s with
+           | None -> ""
+           | Some eta -> Printf.sprintf ", ~%.1f s left" eta)
+    in
     let outcome =
-      Core.Explore.run ?jobs ~cache
+      Core.Explore.run ?jobs ~cache ~progress:heartbeat ~explain
         ~characterization:(Workloads.Suite.characterization ())
         (build_space ())
     in
@@ -582,20 +670,23 @@ let explore_cmd =
         with Sys_error msg -> die "cannot write trace: %s" msg);
        Format.eprintf "trace written to %s@." path
      | None -> ());
-    match metrics with
+    (match metrics with
     | Some path ->
       (try Obs.Metrics.save path
        with Sys_error msg -> die "cannot write metrics: %s" msg);
       Format.eprintf "metrics written to %s@." path
-    | None -> ()
+    | None -> ());
+    save_openmetrics openmetrics
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Design-space exploration: sweep a candidate space through
              the macro-model (memoized) and extract the
              energy/performance Pareto frontier")
-    Term.(const run $ space_arg $ cache_dir_arg $ pareto_arg $ json_arg
-          $ csv_arg $ out_arg $ trace_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ space_arg $ cache_dir_arg $ cache_max_bytes_arg
+          $ progress_arg $ explain_arg $ pareto_arg $ json_arg
+          $ csv_arg $ out_arg $ trace_arg $ metrics_arg $ log_file_arg
+          $ openmetrics_arg $ jobs_arg)
 
 (* --- cache: lifecycle management of an on-disk evaluation cache ----------- *)
 
@@ -762,6 +853,86 @@ let cache_cmd =
              gc)")
     [ stats_cmd; verify_cmd; prune_cmd; gc_cmd ]
 
+(* --- audit ---------------------------------------------------------------- *)
+
+let audit_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the accuracy report as JSON (the same document
+                   $(b,-o) writes) instead of the table.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the accuracy report as JSON to $(docv) — the
+                   format committed as a baseline (BENCH_accuracy.json).")
+  in
+  let baseline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Gate against a committed accuracy baseline: fail
+                   (non-zero exit) when this audit's mean absolute error
+                   exceeds the baseline's by more than the tolerance
+                   factor.")
+  in
+  let tolerance_arg =
+    Arg.(value & opt float 2.0
+         & info [ "tolerance" ] ~docv:"FACTOR"
+             ~doc:"Allowed regression factor for the baseline gate: pass
+                   while mean |error| <= baseline mean |error| x $(docv).")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Memoize the reference-observed simulations under
+                   $(docv); a warm audit costs zero simulations.")
+  in
+  let run model_path json out baseline tolerance cache_dir log_file
+      openmetrics jobs =
+    if tolerance <= 0.0 then die "--tolerance must be > 0";
+    setup_obs ~log_file ~openmetrics;
+    let model = load_or_fit ?jobs model_path in
+    let cache = Core.Eval_cache.create ?dir:cache_dir () in
+    let report =
+      Core.Audit.run ?jobs ~cache model (Workloads.Suite.applications ())
+    in
+    if json then print_string (Core.Audit.to_json report ^ "\n")
+    else Format.fprintf fmt "%a@." Core.Audit.pp report;
+    (match out with
+     | Some path ->
+       (try
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Core.Audit.to_json report);
+              Out_channel.output_char oc '\n')
+        with Sys_error msg -> die "cannot write accuracy report: %s" msg);
+       Format.eprintf "accuracy report written to %s@." path
+     | None -> ());
+    save_openmetrics openmetrics;
+    match baseline with
+    | None -> ()
+    | Some path ->
+      let b =
+        try
+          Core.Audit.of_json
+            (In_channel.with_open_text path In_channel.input_all)
+        with
+        | Sys_error msg | Failure msg -> die "cannot load baseline: %s" msg
+        | Obs.Json.Parse_error msg -> die "cannot load baseline: %s" msg
+      in
+      let g = Core.Audit.gate ~tolerance ~baseline:b report in
+      Format.fprintf fmt "%a@." Core.Audit.pp_gate g;
+      if not g.Core.Audit.g_pass then exit Cmd.Exit.some_error
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Audit macro-model accuracy against the reference estimator
+             (per-application error table, JSON report, optional
+             regression gate against a committed baseline)")
+    Term.(const run $ model_arg $ json_arg $ out_arg $ baseline_arg
+          $ tolerance_arg $ cache_dir_arg $ log_file_arg $ openmetrics_arg
+          $ jobs_arg)
+
 (* --- rs ------------------------------------------------------------------ *)
 
 let rs_cmd =
@@ -783,7 +954,11 @@ let main_cmd =
   let doc = "Energy estimation for extensible processors" in
   Cmd.group (Cmd.info "xenergy" ~version:"1.0.0" ~doc)
     [ list_cmd; profile_cmd; reference_cmd; characterize_cmd; estimate_cmd;
-      attribute_cmd; compare_cmd; rs_cmd; explore_cmd; cache_cmd;
+      attribute_cmd; compare_cmd; rs_cmd; explore_cmd; audit_cmd; cache_cmd;
       disasm_cmd; breakdown_cmd; trace_cmd; run_cmd; cc_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* Any command can stream structured logs via the environment, without
+     growing a flag: XENERGY_LOG=FILE xenergy ... *)
+  Obs.Log.init_from_env ();
+  exit (Cmd.eval main_cmd)

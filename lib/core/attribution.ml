@@ -46,23 +46,28 @@ let observe t (e : Sim.Event.t) =
 
 let observer t : Sim.Cpu.observer = fun e -> observe t e
 
+(* The model is linear, so the decomposition needs nothing beyond the
+   variable vector — in particular no simulation: Explore uses this to
+   explain frontier candidates straight from cached vectors. *)
+let decompose model vars =
+  let total = Template.energy model vars in
+  List.map
+    (fun id ->
+      let i = Variables.index id in
+      let c = Template.coefficient model id in
+      let energy = c *. vars.(i) in
+      { variable = id;
+        count = vars.(i);
+        coefficient_pj = c;
+        energy_pj = energy;
+        share = (if Float.abs total < 1e-12 then 0.0 else energy /. total) })
+    Variables.all
+  |> List.sort (fun a b -> Float.compare b.energy_pj a.energy_pj)
+
 let finish t ~name ~cycles ~instructions =
   let vars = Extract.variables_of_stats t.stats t.res in
   let total = Template.energy t.model vars in
-  let rows =
-    List.map
-      (fun id ->
-        let i = Variables.index id in
-        let c = Template.coefficient t.model id in
-        let energy = c *. vars.(i) in
-        { variable = id;
-          count = vars.(i);
-          coefficient_pj = c;
-          energy_pj = energy;
-          share = (if Float.abs total < 1e-12 then 0.0 else energy /. total) })
-      Variables.all
-    |> List.sort (fun a b -> Float.compare b.energy_pj a.energy_pj)
-  in
+  let rows = decompose t.model vars in
   { workload = name;
     total_pj = total;
     rows;

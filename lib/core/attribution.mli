@@ -28,6 +28,13 @@ type breakdown = {
   instructions : int;
 }
 
+val decompose : Template.model -> float array -> row list
+(** [decompose model vars] — the per-variable rows (descending energy)
+    for an already-extracted variable vector.  The model is linear, so
+    this is exact and needs no simulation: [Explore] explains Pareto
+    frontier candidates from cached vectors with this, at zero
+    simulation cost. *)
+
 type t
 (** An attribution engine usable as a simulation observer. *)
 

@@ -17,6 +17,13 @@ type t = {
      {!flush}; merged into the directory's index.json in one atomic
      rewrite instead of one per lookup. *)
   c_touched : (string, Cache_index.meta) Hashtbl.t;
+  (* Inline size cap: when a store pushes the directory's estimated
+     payload past [c_max_bytes], LRU eviction runs immediately instead
+     of waiting for a manual prune.  [c_approx_bytes] is the running
+     estimate (seeded from the index at the first capped store, then
+     advanced per store); -1 = not yet seeded. *)
+  c_max_bytes : int option;
+  mutable c_approx_bytes : int;
 }
 
 module M = struct
@@ -30,10 +37,12 @@ module M = struct
     lazy (Obs.Metrics.counter "eval_cache_index_rebuilds_total")
 end
 
-let create ?dir () =
+let create ?dir ?max_bytes () =
   { c_dir = dir; c_mem = Hashtbl.create 64;
     c_stats = { hits = 0; misses = 0; errors = 0; stores = 0 };
-    c_touched = Hashtbl.create 16 }
+    c_touched = Hashtbl.create 16;
+    c_max_bytes = max_bytes;
+    c_approx_bytes = -1 }
 
 let dir t = t.c_dir
 
@@ -176,23 +185,28 @@ let load_disk t k =
     end
 
 let find t k =
-  let hit e =
+  let hit ~layer e =
     t.c_stats <- { t.c_stats with hits = t.c_stats.hits + 1 };
     Obs.Metrics.inc (Lazy.force M.hits);
     Obs.Trace.instant ~cat:"cache" "cache:hit"
       ~args:[ ("name", Obs.Trace.S e.e_name) ];
+    Obs.Log.event ~level:Obs.Log.Debug "cache:hit"
+      [ ("key", Obs.Trace.S k); ("name", Obs.Trace.S e.e_name);
+        ("layer", Obs.Trace.S layer) ];
     Some e
   in
   match Hashtbl.find_opt t.c_mem k with
-  | Some e -> hit e
+  | Some e -> hit ~layer:"memory" e
   | None -> (
     match load_disk t k with
     | Some e ->
       Hashtbl.replace t.c_mem k e;
-      hit e
+      hit ~layer:"disk" e
     | None ->
       t.c_stats <- { t.c_stats with misses = t.c_stats.misses + 1 };
       Obs.Metrics.inc (Lazy.force M.misses);
+      Obs.Log.event ~level:Obs.Log.Debug "cache:miss"
+        [ ("key", Obs.Trace.S k) ];
       None)
 
 let rec mkdir_p d =
@@ -201,41 +215,39 @@ let rec mkdir_p d =
     try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ()
   end
 
+(* Returns the published entry's size in bytes, [None] when the cache
+   has no directory or the write failed (error-counted). *)
 let store_disk t k e =
   match path_of t k with
-  | None -> ()
-  | Some path ->
+  | None -> None
+  | Some path -> (
     (* Atomic publication: never leave a torn file for a concurrent or
        later reader to trip over. *)
-    (try
-       (* Serialize before creating the temp file: a non-finite value
-          aborts the store without touching the directory. *)
-       let doc = entry_to_json ~key:k e in
-       Option.iter mkdir_p t.c_dir;
-       let tmp =
-         Filename.temp_file ~temp_dir:(Option.get t.c_dir) "cache" ".tmp"
-       in
-       (try
-          Out_channel.with_open_text tmp (fun oc ->
-              Out_channel.output_string oc doc);
-          (* temp_file creates 0o600 and rename preserves it, which
-             would make a shared cache directory unreadable to other
-             users; publish world-readable. *)
-          Unix.chmod tmp 0o644;
-          Sys.rename tmp path
-        with exn ->
-          (* Never leak the temp file on a failed write. *)
-          (try Sys.remove tmp with Sys_error _ | Unix.Unix_error _ -> ());
-          raise exn);
-       touch t k e ~size:(String.length doc)
-     with Sys_error _ | Unix.Unix_error _ | Invalid_argument _ | Failure _ ->
-       count_error t)
-
-let store t k e =
-  Hashtbl.replace t.c_mem k e;
-  store_disk t k e;
-  t.c_stats <- { t.c_stats with stores = t.c_stats.stores + 1 };
-  Obs.Metrics.inc (Lazy.force M.stores)
+    try
+      (* Serialize before creating the temp file: a non-finite value
+         aborts the store without touching the directory. *)
+      let doc = entry_to_json ~key:k e in
+      Option.iter mkdir_p t.c_dir;
+      let tmp =
+        Filename.temp_file ~temp_dir:(Option.get t.c_dir) "cache" ".tmp"
+      in
+      (try
+         Out_channel.with_open_text tmp (fun oc ->
+             Out_channel.output_string oc doc);
+         (* temp_file creates 0o600 and rename preserves it, which
+            would make a shared cache directory unreadable to other
+            users; publish world-readable. *)
+         Unix.chmod tmp 0o644;
+         Sys.rename tmp path
+       with exn ->
+         (* Never leak the temp file on a failed write. *)
+         (try Sys.remove tmp with Sys_error _ | Unix.Unix_error _ -> ());
+         raise exn);
+      touch t k e ~size:(String.length doc);
+      Some (String.length doc)
+    with Sys_error _ | Unix.Unix_error _ | Invalid_argument _ | Failure _ ->
+      count_error t;
+      None)
 
 (* --- Index maintenance ---------------------------------------------------- *)
 
@@ -326,7 +338,11 @@ let prune ?now ~policy dirname =
       evicted_bytes := !evicted_bytes + m.Cache_index.m_size;
       Obs.Metrics.inc (Lazy.force M.evictions);
       Obs.Trace.instant ~cat:"cache" "cache:evict"
-        ~args:[ ("key", Obs.Trace.S m.Cache_index.m_key) ])
+        ~args:[ ("key", Obs.Trace.S m.Cache_index.m_key) ];
+      Obs.Log.event "cache:evict"
+        [ ("key", Obs.Trace.S m.Cache_index.m_key);
+          ("name", Obs.Trace.S m.Cache_index.m_name);
+          ("bytes", Obs.Trace.I m.Cache_index.m_size) ])
     victims;
   (try Cache_index.save dirname idx with Sys_error _ | Unix.Unix_error _ -> ());
   { p_kept = Cache_index.count idx;
@@ -334,6 +350,54 @@ let prune ?now ~policy dirname =
     p_evicted = List.length victims;
     p_evicted_bytes = !evicted_bytes;
     p_index_rebuilt = rebuilt }
+
+(* --- Store (with the inline size cap) ------------------------------------- *)
+
+(* When the cache was created with [max_bytes], a store that pushes the
+   directory's estimated payload past the bound triggers LRU eviction on
+   the spot.  The estimate is seeded from the index once (first capped
+   store) and advanced per store, so the steady-state cost is one
+   comparison; an actual enforcement pass re-syncs the index, evicts and
+   re-seeds the estimate from the authoritative result. *)
+let enforce_cap t =
+  match (t.c_dir, t.c_max_bytes) with
+  | Some d, Some mb when t.c_approx_bytes > mb && Sys.file_exists d ->
+    (* Publish this instance's pending last-used times first, so the
+       LRU order sees the current sweep's entries as fresh and evicts
+       genuinely cold ones. *)
+    flush t;
+    let r = prune ~policy:{ unlimited with max_bytes = Some mb } d in
+    t.c_approx_bytes <- r.p_kept_bytes;
+    Obs.Log.event "cache:cap-enforced"
+      [ ("max_bytes", Obs.Trace.I mb);
+        ("evicted", Obs.Trace.I r.p_evicted);
+        ("evicted_bytes", Obs.Trace.I r.p_evicted_bytes);
+        ("kept_bytes", Obs.Trace.I r.p_kept_bytes) ]
+  | _ -> ()
+
+let store t k e =
+  Hashtbl.replace t.c_mem k e;
+  (match store_disk t k e with
+  | None -> ()
+  | Some size ->
+    if t.c_max_bytes <> None then begin
+      if t.c_approx_bytes < 0 then
+        (* First capped store: seed the estimate from the index (the
+           entry just stored is already on disk and indexed-or-adopted
+           by the re-sync below on enforcement). *)
+        t.c_approx_bytes <-
+          (match t.c_dir with
+          | Some d ->
+            let idx, rebuilt = Cache_index.load_or_rebuild d in
+            if rebuilt then count_index_rebuild ();
+            ignore (Cache_index.reconcile d idx);
+            Cache_index.total_bytes idx
+          | None -> size)
+      else t.c_approx_bytes <- t.c_approx_bytes + size;
+      enforce_cap t
+    end);
+  t.c_stats <- { t.c_stats with stores = t.c_stats.stores + 1 };
+  Obs.Metrics.inc (Lazy.force M.stores)
 
 type verify_report = {
   v_ok : int;

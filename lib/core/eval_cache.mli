@@ -32,7 +32,12 @@
     directory without a live cache instance — they back the
     [xenergy cache] CLI.  Evictions, swept orphans and index rebuilds
     are counted as [eval_cache_evictions_total],
-    [eval_cache_orphans_total] and [eval_cache_index_rebuilds_total]. *)
+    [eval_cache_orphans_total] and [eval_cache_index_rebuilds_total].
+
+    With an {!Obs.Log} sink open, lookups and evictions additionally
+    emit structured records: [cache:hit] (key, name, memory/disk
+    layer) and [cache:miss] at [Debug], [cache:evict] and
+    [cache:cap-enforced] at [Info]. *)
 
 type entry = {
   e_name : string;           (** workload name (informational only) *)
@@ -56,11 +61,21 @@ type stats = {
   stores : int;   (** entries written (memory, plus disk when enabled) *)
 }
 
-val create : ?dir:string -> unit -> t
+val create : ?dir:string -> ?max_bytes:int -> unit -> t
 (** [create ~dir ()] — memoize to memory and to one JSON file per entry
     under [dir] (created on demand; creation failure is deferred to the
     first {!store}, as an [errors] count).  Without [dir] the cache is
-    memory-only. *)
+    memory-only.
+
+    [max_bytes] puts the directory under an {e inline} size cap: a
+    {!store} that pushes the estimated on-disk payload past the bound
+    immediately runs LRU eviction (the same pass as
+    {!prune}[ ~policy:{unlimited with max_bytes}], counted in
+    [eval_cache_evictions_total]), with this instance's pending
+    last-used times flushed first so the current sweep's entries read
+    as fresh.  The estimate is seeded from the index at the first
+    capped store and advanced per store — steady-state cost is one
+    integer comparison.  Ignored for memory-only caches. *)
 
 val dir : t -> string option
 (** The disk directory, if the cache has one. *)

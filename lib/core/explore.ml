@@ -18,9 +18,21 @@ type point = {
   pt_cached : bool;
 }
 
+type progress = {
+  pr_phase : string;
+  pr_done : int;
+  pr_total : int;
+  pr_hits : int;
+  pr_misses : int;
+  pr_frontier : int;
+  pr_elapsed_s : float;
+  pr_eta_s : float option;
+}
+
 type outcome = {
   points : point list;
   frontier : point list;
+  explained : (string * Attribution.row list) list;
   configs_characterized : int;
   simulations : int;
   cache_stats : Eval_cache.stats;
@@ -153,44 +165,125 @@ let validate candidates =
   in
   dup candidates
 
-(* Shared tail of [run]/[evaluate]: evaluate every candidate with the
-   model chosen for its configuration, preserving input order. *)
-let sweep ?jobs ~cache ~configs ~model_for ~char_sims ~before candidates t0 =
-  let simulations = ref char_sims in
-  let indexed = List.mapi (fun i c -> (i, c)) candidates in
-  let evaluated =
-    List.concat_map
-      (fun cfg ->
-        let group =
-          List.filter (fun (_, c) -> same_config c.config cfg) indexed
-        in
-        let rows, sims =
-          collect ?jobs ~cache ~with_ref:false ~config:cfg
-            (List.map (fun (_, c) -> c.case) group)
-        in
-        simulations := !simulations + sims;
-        let model = model_for cfg in
-        List.map2
-          (fun (i, c) ((e : Eval_cache.entry), cached) ->
-            let pj = Template.energy model e.Eval_cache.e_variables in
-            ( i,
-              { pt_name = c.cand_name;
-                pt_energy_pj = pj;
-                pt_energy_uj = Power.Report.to_uj pj;
-                pt_cycles = e.Eval_cache.e_cycles;
-                pt_instructions = e.Eval_cache.e_instructions;
-                pt_cached = cached } ))
-          group rows)
-      configs
+let chunk_list n xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
   in
+  go [] [] 0 xs
+
+let log_progress p =
+  Obs.Log.event "explore:heartbeat"
+    ([ ("phase", Obs.Trace.S p.pr_phase);
+       ("done", Obs.Trace.I p.pr_done);
+       ("total", Obs.Trace.I p.pr_total);
+       ("hits", Obs.Trace.I p.pr_hits);
+       ("misses", Obs.Trace.I p.pr_misses);
+       ("frontier", Obs.Trace.I p.pr_frontier);
+       ("elapsed_s", Obs.Trace.F p.pr_elapsed_s) ]
+    @ match p.pr_eta_s with
+      | None -> []
+      | Some e -> [ ("eta_s", Obs.Trace.F e) ])
+
+(* Shared tail of [run]/[evaluate]: evaluate every candidate with the
+   model chosen for its configuration, preserving input order.  The
+   candidates are fed to the pool in chunks so a heartbeat (progress
+   callback + [explore:heartbeat] log record) lands between chunks with
+   live hit/frontier/ETA figures, instead of one mute span per sweep. *)
+let sweep ?jobs ?(progress = fun _ -> ()) ?(explain = false) ~cache ~configs
+    ~model_for ~char_sims ~before candidates t0 =
+  let simulations = ref char_sims in
+  let total = List.length candidates in
+  let n_done = ref 0 in
+  let acc = ref [] in
+  let vars_of = Hashtbl.create 16 in
+  let heartbeat () =
+    let s = Eval_cache.diff (Eval_cache.stats cache) before in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let p =
+      { pr_phase = "evaluate";
+        pr_done = !n_done;
+        pr_total = total;
+        pr_hits = s.Eval_cache.hits;
+        pr_misses = s.Eval_cache.misses;
+        pr_frontier = List.length (pareto (List.map snd !acc));
+        pr_elapsed_s = elapsed;
+        pr_eta_s =
+          (if !n_done > 0 && !n_done < total then
+             Some (elapsed /. float_of_int !n_done
+                   *. float_of_int (total - !n_done))
+           else None) }
+    in
+    log_progress p;
+    progress p
+  in
+  let chunk_size =
+    2 * max 1 (match jobs with Some j -> j | None -> Parallel.default_jobs ())
+  in
+  let indexed = List.mapi (fun i c -> (i, c)) candidates in
+  List.iter
+    (fun cfg ->
+      let group =
+        List.filter (fun (_, c) -> same_config c.config cfg) indexed
+      in
+      let model = model_for cfg in
+      List.iter
+        (fun chunk ->
+          let rows, sims =
+            collect ?jobs ~cache ~with_ref:false ~config:cfg
+              (List.map (fun (_, c) -> c.case) chunk)
+          in
+          simulations := !simulations + sims;
+          let pts =
+            List.map2
+              (fun (i, c) ((e : Eval_cache.entry), cached) ->
+                let pj = Template.energy model e.Eval_cache.e_variables in
+                Obs.Log.event ~level:Obs.Log.Debug "explore:candidate"
+                  [ ("name", Obs.Trace.S c.cand_name);
+                    ("cycles", Obs.Trace.I e.Eval_cache.e_cycles);
+                    ("energy_pj", Obs.Trace.F pj);
+                    ("cached", Obs.Trace.B cached) ];
+                if explain then
+                  Hashtbl.replace vars_of c.cand_name
+                    (model, e.Eval_cache.e_variables);
+                ( i,
+                  { pt_name = c.cand_name;
+                    pt_energy_pj = pj;
+                    pt_energy_uj = Power.Report.to_uj pj;
+                    pt_cycles = e.Eval_cache.e_cycles;
+                    pt_instructions = e.Eval_cache.e_instructions;
+                    pt_cached = cached } ))
+              chunk rows
+          in
+          acc := pts @ !acc;
+          n_done := !n_done + List.length pts;
+          heartbeat ())
+        (chunk_list chunk_size group))
+    configs;
   let points =
-    List.sort (fun (i, _) (j, _) -> compare i j) evaluated |> List.map snd
+    List.sort (fun (i, _) (j, _) -> compare i j) !acc |> List.map snd
+  in
+  let frontier = pareto points in
+  (* The model is linear, so each frontier point decomposes exactly from
+     its (cached) variable vector — no further simulation. *)
+  let explained =
+    if not explain then []
+    else
+      List.filter_map
+        (fun p ->
+          Option.map
+            (fun (m, v) -> (p.pt_name, Attribution.decompose m v))
+            (Hashtbl.find_opt vars_of p.pt_name))
+        frontier
   in
   (* Publish the sweep's index updates (stores and warm hits with their
      last-used times) in one atomic rewrite. *)
   Eval_cache.flush cache;
   { points;
-    frontier = pareto points;
+    frontier;
+    explained;
     configs_characterized = 0;  (* the callers overwrite this *)
     simulations = !simulations;
     cache_stats = Eval_cache.diff (Eval_cache.stats cache) before;
@@ -202,7 +295,17 @@ let distinct_configs candidates =
       if List.exists (same_config c.config) acc then acc else acc @ [ c.config ])
     [] candidates
 
-let run ?jobs ?cache ?(nonnegative = true) ~characterization candidates =
+let log_done o =
+  Obs.Log.event "explore:done"
+    [ ("candidates", Obs.Trace.I (List.length o.points));
+      ("frontier", Obs.Trace.I (List.length o.frontier));
+      ("simulations", Obs.Trace.I o.simulations);
+      ("hits", Obs.Trace.I o.cache_stats.Eval_cache.hits);
+      ("misses", Obs.Trace.I o.cache_stats.Eval_cache.misses);
+      ("wall_s", Obs.Trace.F o.wall_seconds) ]
+
+let run ?jobs ?cache ?(nonnegative = true) ?(progress = fun _ -> ())
+    ?explain ~characterization candidates =
   validate candidates;
   let cache =
     match cache with Some c -> c | None -> Eval_cache.create ()
@@ -211,7 +314,11 @@ let run ?jobs ?cache ?(nonnegative = true) ~characterization candidates =
   let t0 = Unix.gettimeofday () in
   Obs.Trace.with_span ~cat:"explore" "explore" @@ fun () ->
   let configs = distinct_configs candidates in
+  Obs.Log.event "explore:start"
+    [ ("candidates", Obs.Trace.I (List.length candidates));
+      ("configs", Obs.Trace.I (List.length configs)) ];
   let char_sims = ref 0 in
+  let n_configs = List.length configs in
   let models =
     List.mapi
       (fun i cfg ->
@@ -224,6 +331,19 @@ let run ?jobs ?cache ?(nonnegative = true) ~characterization candidates =
         char_sims := !char_sims + sims;
         let samples = List.map2 sample_of_entry characterization rows in
         let fit = Characterize.fit_samples ~nonnegative samples in
+        let s = Eval_cache.diff (Eval_cache.stats cache) before in
+        let p =
+          { pr_phase = "characterize";
+            pr_done = i + 1;
+            pr_total = n_configs;
+            pr_hits = s.Eval_cache.hits;
+            pr_misses = s.Eval_cache.misses;
+            pr_frontier = 0;
+            pr_elapsed_s = Unix.gettimeofday () -. t0;
+            pr_eta_s = None }
+        in
+        log_progress p;
+        progress p;
         (cfg, fit.Characterize.model))
       configs
   in
@@ -231,12 +351,14 @@ let run ?jobs ?cache ?(nonnegative = true) ~characterization candidates =
     snd (List.find (fun (c, _) -> same_config c cfg) models)
   in
   let o =
-    sweep ?jobs ~cache ~configs ~model_for ~char_sims:!char_sims ~before
-      candidates t0
+    sweep ?jobs ~progress ?explain ~cache ~configs ~model_for
+      ~char_sims:!char_sims ~before candidates t0
   in
-  { o with configs_characterized = List.length configs }
+  let o = { o with configs_characterized = List.length configs } in
+  log_done o;
+  o
 
-let evaluate ?jobs ?cache model candidates =
+let evaluate ?jobs ?cache ?(progress = fun _ -> ()) ?explain model candidates =
   validate candidates;
   let cache =
     match cache with Some c -> c | None -> Eval_cache.create ()
@@ -244,12 +366,18 @@ let evaluate ?jobs ?cache model candidates =
   let before = Eval_cache.stats cache in
   let t0 = Unix.gettimeofday () in
   Obs.Trace.with_span ~cat:"explore" "explore" @@ fun () ->
+  Obs.Log.event "explore:start"
+    [ ("candidates", Obs.Trace.I (List.length candidates));
+      ("configs", Obs.Trace.I 0) ];
   let o =
-    sweep ?jobs ~cache ~configs:(distinct_configs candidates)
+    sweep ?jobs ~progress ?explain ~cache
+      ~configs:(distinct_configs candidates)
       ~model_for:(fun _ -> model)
       ~char_sims:0 ~before candidates t0
   in
-  { o with configs_characterized = 0 }
+  let o = { o with configs_characterized = 0 } in
+  log_done o;
+  o
 
 (* --- Rendering ------------------------------------------------------------ *)
 
@@ -283,9 +411,31 @@ let to_json o =
         (if i = List.length o.points - 1 then "" else ","))
     o.points;
   Buffer.add_string b "  ],\n";
-  Printf.bprintf b "  \"pareto\": [%s]\n"
+  Printf.bprintf b "  \"pareto\": [%s]%s\n"
     (String.concat ", "
-       (List.map (fun p -> Printf.sprintf "\"%s\"" p.pt_name) o.frontier));
+       (List.map (fun p -> Printf.sprintf "\"%s\"" p.pt_name) o.frontier))
+    (if o.explained = [] then "" else ",");
+  if o.explained <> [] then begin
+    Buffer.add_string b "  \"explained\": {\n";
+    List.iteri
+      (fun i (name, rows) ->
+        Printf.bprintf b "    \"%s\": [\n" name;
+        List.iteri
+          (fun j (r : Attribution.row) ->
+            Printf.bprintf b
+              "      {\"variable\": \"%s\", \"count\": %.6f, \
+               \"coefficient_pj\": %.6f, \"energy_pj\": %.6f, \
+               \"share\": %.6f}%s\n"
+              (Variables.name r.Attribution.variable)
+              r.Attribution.count r.Attribution.coefficient_pj
+              r.Attribution.energy_pj r.Attribution.share
+              (if j = List.length rows - 1 then "" else ","))
+          rows;
+        Printf.bprintf b "    ]%s\n"
+          (if i = List.length o.explained - 1 then "" else ","))
+      o.explained;
+    Buffer.add_string b "  }\n"
+  end;
   Buffer.add_string b "}";
   Buffer.contents b
 
@@ -315,6 +465,19 @@ let pp ?(pareto_only = false) ppf o =
   Format.fprintf ppf
     "Pareto frontier: %s@,"
     (String.concat " -> " (List.map (fun p -> p.pt_name) o.frontier));
+  List.iter
+    (fun (name, rows) ->
+      Format.fprintf ppf "@,%s — model energy by variable:@," name;
+      List.iter
+        (fun (r : Attribution.row) ->
+          if r.Attribution.count <> 0.0 then
+            Format.fprintf ppf "  %-12s %12.1f x %9.1f pJ = %10.3f uJ (%5.1f%%)@,"
+              (Variables.name r.Attribution.variable)
+              r.Attribution.count r.Attribution.coefficient_pj
+              (r.Attribution.energy_pj /. 1.0e6)
+              (100.0 *. r.Attribution.share))
+        rows)
+    o.explained;
   Format.fprintf ppf
     "%d candidate%s, %d config%s characterized, %d simulation%s \
      (cache: %d hit%s, %d miss%s, %d error%s)@,"

@@ -38,11 +38,30 @@ type point = {
       simulated for this candidate *)
 }
 
+type progress = {
+  pr_phase : string;           (** ["characterize"] or ["evaluate"] *)
+  pr_done : int;               (** configs fitted, or candidates evaluated *)
+  pr_total : int;
+  pr_hits : int;               (** cache hits so far this sweep *)
+  pr_misses : int;
+  pr_frontier : int;           (** Pareto frontier size so far *)
+  pr_elapsed_s : float;
+  pr_eta_s : float option;     (** simple linear extrapolation; [None]
+                                   before the first chunk lands *)
+}
+(** A heartbeat, delivered to the [progress] callback between evaluation
+    chunks (and after each configuration's characterization) and logged
+    as an [explore:heartbeat] {!Obs.Log} record. *)
+
 type outcome = {
   points : point list;         (** one per candidate, in input order *)
   frontier : point list;
   (** the Pareto-optimal points (minimal cycles and energy), sorted by
       ascending cycle count; no point in it is dominated *)
+  explained : (string * Attribution.row list) list;
+  (** with [explain:true]: each frontier point's exact per-variable
+      energy decomposition ({!Attribution.decompose} of its cached
+      variable vector — zero extra simulations), in frontier order *)
   configs_characterized : int; (** distinct base configs this sweep fitted *)
   simulations : int;           (** simulator runs actually performed *)
   cache_stats : Eval_cache.stats;  (** cache counter delta for this sweep *)
@@ -59,6 +78,8 @@ val run :
   ?jobs:int ->
   ?cache:Eval_cache.t ->
   ?nonnegative:bool ->
+  ?progress:(progress -> unit) ->
+  ?explain:bool ->
   characterization:Extract.case list ->
   candidate list ->
   outcome
@@ -67,13 +88,17 @@ val run :
     candidate with its configuration's model.  [jobs] bounds the worker
     pool (default {!Parallel.default_jobs}); [cache] defaults to a
     fresh memory-only cache; [nonnegative] is passed to the NNLS fit
-    (default [true]).
+    (default [true]).  [progress] receives a {!type-progress} heartbeat
+    between evaluation chunks; [explain] (default [false]) fills
+    {!type-outcome}[.explained] for the frontier.
     @raise Invalid_argument on an empty candidate list or duplicate
     candidate names. *)
 
 val evaluate :
   ?jobs:int ->
   ?cache:Eval_cache.t ->
+  ?progress:(progress -> unit) ->
+  ?explain:bool ->
   Template.model ->
   candidate list ->
   outcome

@@ -55,6 +55,12 @@ module M = struct
     lazy (Obs.Metrics.counter "parallel_workers_spawned_total")
 
   let slice_seconds = lazy (Obs.Metrics.histogram "parallel_slice_seconds")
+
+  let trace_dropped_lanes =
+    lazy
+      (Obs.Metrics.counter
+         ~help:"workers that died before shipping their trace lane back"
+         "parallel_trace_dropped_lanes_total")
 end
 
 type 'b payload = {
@@ -107,7 +113,17 @@ let spawn_worker arr f ~n ~jobs w =
       (try
          Marshal.to_channel oc payload [];
          flush oc
-       with _ -> ());
+       with _ -> (
+         (* The results may be unmarshalable (e.g. a closure in 'b).
+            Don't lose the lane with them: ship the observability data
+            alone, with an Error result so the parent recomputes the
+            slice. *)
+         try
+           Marshal.to_channel oc
+             { payload with p_res = Error "worker: unmarshalable result" }
+             [];
+           flush oc
+         with _ -> ()));
       (* _exit: skip at_exit handlers and inherited buffer flushes. *)
       Unix._exit 0
     | pid ->
@@ -137,10 +153,16 @@ let map_with_stats ?jobs f xs =
     let failed_forks = jobs - spawned in
     Obs.Metrics.inc ~by:failed_forks (Lazy.force M.failed_forks);
     Obs.Metrics.inc ~by:spawned (Lazy.force M.workers_spawned);
+    if failed_forks > 0 then
+      Obs.Log.event ~level:Obs.Log.Warn "parallel:fork-failed"
+        [ ("requested", Obs.Trace.I jobs);
+          ("spawned", Obs.Trace.I spawned) ];
     if workers = [] then begin
       (* Parallelism was requested but no worker could be forked: run the
          whole map serially in the parent. *)
       Obs.Metrics.inc (Lazy.force M.serial_fallbacks);
+      Obs.Log.event ~level:Obs.Log.Warn "parallel:serial-fallback"
+        [ ("items", Obs.Trace.I n) ];
       ( List.map f xs,
         { no_stats with failed_forks; serial_fallback = true } )
     end
@@ -190,9 +212,30 @@ let map_with_stats ?jobs f xs =
             Obs.Trace.emit_all p_events;
             Option.iter Obs.Metrics.merge p_metrics;
             List.iter (fun (i, r) -> results.(i) <- Some r) pairs
-          | Some { p_res = Error _; _ } | None ->
-            (* Dead or failing worker: recompute its slice in the parent
-               so a genuine exception surfaces with its real backtrace. *)
+          | Some { p_res = Error reason; p_events; p_metrics } ->
+            (* Failing worker: its computation (or the result marshal)
+               raised, but it still shipped its partial trace lane and
+               metric increments — keep them, then recompute the slice in
+               the parent so a genuine exception surfaces with its real
+               backtrace. *)
+            Obs.Trace.emit_all p_events;
+            Option.iter Obs.Metrics.merge p_metrics;
+            Obs.Log.event ~level:Obs.Log.Warn "parallel:worker-failed"
+              [ ("worker", Obs.Trace.I (w + 1));
+                ("items", Obs.Trace.I (List.length idxs));
+                ("reason", Obs.Trace.S reason) ];
+            incr recomputed_slices;
+            leftover := idxs @ !leftover
+          | None ->
+            (* Dead worker (killed, crashed, or its pipe broke before the
+               payload landed): its trace lane is gone.  Count the loss
+               instead of hiding it, then recompute the slice. *)
+            Obs.Metrics.inc (Lazy.force M.trace_dropped_lanes);
+            Obs.Trace.instant ~cat:"parallel" "parallel:lane-dropped"
+              ~args:[ ("worker", Obs.Trace.I (w + 1)) ];
+            Obs.Log.event ~level:Obs.Log.Warn "parallel:lane-dropped"
+              [ ("worker", Obs.Trace.I (w + 1));
+                ("items", Obs.Trace.I (List.length idxs)) ];
             incr recomputed_slices;
             leftover := idxs @ !leftover)
         workers;

@@ -16,7 +16,17 @@
     spans on trace lane [w + 1] and ships them back with its results, so
     the merged Chrome trace shows genuine per-worker lanes framed by
     fork-to-join spans, with the parent's marshalled reads timed as
-    [join:w] spans. *)
+    [join:w] spans.
+
+    A worker whose computation raises — or whose results cannot be
+    marshalled — still ships its partial trace lane and metric
+    increments back (the parent keeps them before recomputing the
+    slice); only a worker that dies outright loses its lane, and that
+    loss is counted in [parallel_trace_dropped_lanes_total] and logged
+    as a [parallel:lane-dropped] {!Obs.Log} record instead of
+    disappearing silently.  Fork failures, serial fallbacks, worker
+    failures and dropped lanes all emit [Obs.Log] events when a log
+    sink is open. *)
 
 val default_jobs : unit -> int
 (** The [XENERGY_JOBS] environment variable if set to a positive integer,

@@ -1,0 +1,115 @@
+(* OpenMetrics text exposition (a strict subset that Prometheus also
+   scrapes): TYPE/HELP once per family, one sample per instrument,
+   "# EOF" terminator. *)
+
+(* Label values escape backslash, double-quote and newline; HELP text
+   escapes backslash and newline (no quotes there). *)
+let escape ~quoted s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' when quoted -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* OpenMetrics numbers: decimal, with NaN/Inf spelled out. *)
+let number x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let label_str labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+    Printf.sprintf "{%s}"
+      (String.concat ","
+         (List.map
+            (fun (k, v) ->
+              Printf.sprintf "%s=\"%s\"" k (escape ~quoted:true v))
+            labels))
+
+(* The family name is the sample name without a counter's mandatory
+   _total suffix. *)
+let family_of name = function
+  | Metrics.S_counter _ ->
+    if Filename.check_suffix name "_total" then
+      String.sub name 0 (String.length name - 6)
+    else name
+  | Metrics.S_gauge _ | Metrics.S_histogram _ -> name
+
+let type_of = function
+  | Metrics.S_counter _ -> "counter"
+  | Metrics.S_gauge _ -> "gauge"
+  | Metrics.S_histogram _ -> "histogram"
+
+let to_openmetrics ?snapshot () =
+  let snap =
+    match snapshot with Some s -> s | None -> Metrics.snapshot ()
+  in
+  (* OpenMetrics forbids interleaving: every sample of a family must be
+     contiguous.  Labelled instruments register as separate snapshot rows
+     (possibly with other families in between), so order rows by the
+     first appearance of their family, keeping sample order inside it. *)
+  let order = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _, _, v) ->
+      let family = family_of name v in
+      if not (Hashtbl.mem order family) then
+        Hashtbl.add order family (Hashtbl.length order))
+    snap;
+  let snap =
+    List.stable_sort
+      (fun (n1, _, _, v1) (n2, _, _, v2) ->
+        compare
+          (Hashtbl.find order (family_of n1 v1))
+          (Hashtbl.find order (family_of n2 v2)))
+      snap
+  in
+  let b = Buffer.create 1024 in
+  let headered = Hashtbl.create 16 in
+  List.iter
+    (fun (name, labels, help, v) ->
+      let family = family_of name v in
+      if not (Hashtbl.mem headered family) then begin
+        Hashtbl.add headered family ();
+        Printf.bprintf b "# TYPE %s %s\n" family (type_of v);
+        if help <> "" then
+          Printf.bprintf b "# HELP %s %s\n" family (escape ~quoted:false help)
+      end;
+      match v with
+      | Metrics.S_counter n ->
+        Printf.bprintf b "%s_total%s %d\n" family (label_str labels) n
+      | Metrics.S_gauge x ->
+        Printf.bprintf b "%s%s %s\n" family (label_str labels) (number x)
+      | Metrics.S_histogram (bounds, counts, sum, count) ->
+        (* Bucket samples are cumulative, ending in the +Inf bucket whose
+           count equals the _count sample. *)
+        let acc = ref 0 in
+        Array.iteri
+          (fun i le ->
+            acc := !acc + counts.(i);
+            Printf.bprintf b "%s_bucket%s %d\n" family
+              (label_str (labels @ [ ("le", number le) ]))
+              !acc)
+          bounds;
+        Printf.bprintf b "%s_bucket%s %d\n" family
+          (label_str (labels @ [ ("le", "+Inf") ]))
+          count;
+        Printf.bprintf b "%s_sum%s %s\n" family (label_str labels)
+          (number sum);
+        Printf.bprintf b "%s_count%s %d\n" family (label_str labels) count)
+    snap;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let save ?snapshot path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_openmetrics ?snapshot ()))

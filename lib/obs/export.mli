@@ -1,0 +1,26 @@
+(** OpenMetrics/Prometheus text exposition of the {!Metrics} registry.
+
+    Renders a metrics {!Metrics.snapshot} (by default: the live
+    registry, captured now) as the OpenMetrics text format — [# TYPE] /
+    [# HELP] headers once per metric family, one sample line per
+    instrument, terminated by [# EOF] — so a long-lived serving process
+    can answer a scrape, and a CI run can archive a machine-readable
+    counter dump next to its trace.
+
+    Conventions: counters whose registered name carries the [_total]
+    suffix expose the family without it (OpenMetrics requires the family
+    name bare and the sample name suffixed); histograms expose
+    [_bucket{le="..."}] (cumulative, with the implicit [+Inf] bucket),
+    [_sum] and [_count] samples.
+
+    Delta scraping: capture a {!Metrics.snapshot} at the start of a
+    window, another at the end, and render
+    [Metrics.snapshot_diff later earlier] — counters and histograms
+    then show only the window's activity. *)
+
+val to_openmetrics : ?snapshot:Metrics.snapshot -> unit -> string
+(** The exposition document.  [snapshot] defaults to
+    [Metrics.snapshot ()] (the live registry). *)
+
+val save : ?snapshot:Metrics.snapshot -> string -> unit
+(** Write {!to_openmetrics} to a file. *)

@@ -1,0 +1,94 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let sink : out_channel option ref = ref None
+let min_level = ref Debug
+
+let set_level l = min_level := l
+
+let close () =
+  match !sink with
+  | None -> ()
+  | Some oc ->
+    sink := None;
+    (try close_out oc with Sys_error _ -> ())
+
+let open_file ?level path =
+  close ();
+  Option.iter set_level level;
+  sink := Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+
+let init_from_env () =
+  (match Sys.getenv_opt "XENERGY_LOG_LEVEL" with
+  | Some s -> Option.iter set_level (level_of_string s)
+  | None -> ());
+  match Sys.getenv_opt "XENERGY_LOG" with
+  | Some path when String.trim path <> "" -> (
+    try open_file path
+    with Sys_error msg ->
+      Printf.eprintf "xenergy: XENERGY_LOG: cannot open log sink: %s\n%!" msg)
+  | Some _ | None -> ()
+
+let enabled () = !sink <> None
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_json = function
+  | Trace.S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Trace.I i -> string_of_int i
+  | Trace.F f ->
+    (* JSON numbers must be finite. *)
+    if Float.is_nan f || Float.abs f = Float.infinity then "null"
+    else Printf.sprintf "%.6g" f
+  | Trace.B b -> if b then "true" else "false"
+
+let event ?(level = Info) name fields =
+  match !sink with
+  | None -> ()
+  | Some oc when severity level >= severity !min_level -> (
+    let b = Buffer.create 160 in
+    Printf.bprintf b
+      "{\"ts_us\": %.3f, \"level\": \"%s\", \"tid\": %d, \"pid\": %d, \
+       \"event\": \"%s\""
+      (Trace.now_us ()) (level_to_string level) (Trace.tid ())
+      (Unix.getpid ()) (json_escape name);
+    List.iter
+      (fun (k, v) ->
+        Printf.bprintf b ", \"%s\": %s" (json_escape k) (arg_json v))
+      fields;
+    Buffer.add_string b "}\n";
+    (* One write + flush per record: the buffer is empty between
+       records, so lines inherited across fork never replay, and
+       concurrent appenders interleave whole lines. *)
+    try
+      Out_channel.output_string oc (Buffer.contents b);
+      Out_channel.flush oc
+    with Sys_error _ -> close ())
+  | Some _ -> ()

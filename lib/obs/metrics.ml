@@ -151,6 +151,34 @@ let merge (s : snapshot) =
         h.h_count <- h.h_count + count)
     s
 
+let snapshot_diff (later : snapshot) (earlier : snapshot) : snapshot =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, labels, _, v) -> Hashtbl.replace tbl (key name labels) v)
+    earlier;
+  List.map
+    (fun (name, labels, help, v) ->
+      let v' =
+        match (v, Hashtbl.find_opt tbl (key name labels)) with
+        | v, None -> v
+        | S_counter a, Some (S_counter b) -> S_counter (a - b)
+        | S_gauge a, Some _ -> S_gauge a
+        | S_histogram (bounds, counts, sum, count),
+          Some (S_histogram (bounds0, counts0, sum0, count0))
+          when bounds = bounds0 && Array.length counts = Array.length counts0
+          ->
+          S_histogram
+            ( bounds,
+              Array.mapi (fun i c -> c - counts0.(i)) counts,
+              sum -. sum0,
+              count - count0 )
+        (* Type or shape skew between the captures: the earlier value is
+           not comparable, keep the later one whole. *)
+        | v, Some _ -> v
+      in
+      (name, labels, help, v'))
+    later
+
 let reset () =
   Hashtbl.iter
     (fun _ i ->

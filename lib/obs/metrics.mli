@@ -59,8 +59,18 @@ val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 (** Sum of the observed samples. *)
 
-type snapshot
-(** Marshal-safe value dump of every registered instrument. *)
+type snap_value =
+  | S_counter of int
+  | S_gauge of float
+  | S_histogram of float array * int array * float * int
+      (** bucket upper bounds, per-bucket counts (length = bounds + 1),
+          sum, count *)
+
+type snapshot = (string * (string * string) list * string * snap_value) list
+(** Marshal-safe value dump of every registered instrument: one
+    [(name, labels, help, value)] row per instrument, in registration
+    order.  Concrete so that {!Export} can render point-in-time and
+    delta expositions without re-reading the live registry. *)
 
 val snapshot : unit -> snapshot
 (** Capture every instrument's current value (e.g. in a forked worker,
@@ -73,6 +83,14 @@ val merge : snapshot -> unit
 
 val reset : unit -> unit
 (** Zero every instrument's value (registrations are kept). *)
+
+val snapshot_diff : snapshot -> snapshot -> snapshot
+(** [snapshot_diff later earlier] — the delta accumulated between two
+    captures: counters and histogram counts/sums subtract, gauges keep
+    [later]'s value (a gauge is a level, not a flow).  Instruments
+    absent from [earlier] are treated as zero, so a scrape loop can
+    diff against an empty first capture.  Rows present only in
+    [earlier] are dropped ([later] is the universe). *)
 
 val to_json : unit -> string
 (** The whole registry as a JSON document, units carried in the metric

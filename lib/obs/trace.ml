@@ -18,8 +18,9 @@ let on = ref false
 let set_enabled b = on := b
 let enabled () = !on
 
-let tid = ref 0
-let set_tid t = tid := t
+let cur_tid = ref 0
+let set_tid t = cur_tid := t
+let tid () = !cur_tid
 
 (* Buffer in reverse order; [events] reverses once. *)
 let buf : event list ref = ref []
@@ -37,7 +38,7 @@ let complete ?(cat = "") ?(args = []) ?tid:tid_opt ~name ~ts ~dur () =
         ev_ph = 'X';
         ev_ts = ts;
         ev_dur = dur;
-        ev_tid = Option.value tid_opt ~default:!tid;
+        ev_tid = Option.value tid_opt ~default:!cur_tid;
         ev_args = args }
 
 let with_span ?cat ?args name f =
@@ -61,7 +62,7 @@ let instant ?(cat = "") ?(args = []) name =
         ev_ph = 'i';
         ev_ts = now_us ();
         ev_dur = 0.0;
-        ev_tid = !tid;
+        ev_tid = !cur_tid;
         ev_args = args }
 
 let thread_name ~tid:t name =

@@ -37,6 +37,10 @@ val enabled : unit -> bool
 val set_tid : int -> unit
 (** Lane for subsequently recorded events (0 = main). *)
 
+val tid : unit -> int
+(** The current lane — {!Log} stamps it on every record so log lines
+    correlate with trace spans. *)
+
 val now_us : unit -> float
 (** Microseconds since the recorder epoch (process start; inherited
     across [fork], so parent and child timestamps are comparable). *)

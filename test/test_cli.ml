@@ -226,6 +226,130 @@ let test_explore_smoke () =
      Unix.rmdir dir
    with Sys_error _ | Unix.Unix_error _ -> ())
 
+(* End-to-end audit: fit once, audit against the reference with the full
+   observability surface on (JSON report, structured log, OpenMetrics
+   exposition), then gate — self-baseline passes, a seeded tight
+   baseline fails with a non-zero exit. *)
+let test_audit_smoke () =
+  let model = Filename.temp_file "xenergy_model" ".txt" in
+  let report = Filename.temp_file "xenergy_accuracy" ".json" in
+  let log = Filename.temp_file "xenergy_log" ".jsonl" in
+  let om = Filename.temp_file "xenergy_om" ".txt" in
+  let tight = Filename.temp_file "xenergy_tight" ".json" in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xenergy_cli_audit.%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    List.iter
+      (fun f -> try Sys.remove f with Sys_error _ -> ())
+      [ model; report; log; om; tight ];
+    try
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    with Sys_error _ | Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let code, _, _ = run_xenergy [ "characterize"; "-j"; "2"; "-o"; model ] in
+  check Alcotest.int "characterize exits 0" 0 code;
+  let code, out, _ =
+    run_xenergy
+      [ "audit"; "-m"; model; "-j"; "2"; "--cache-dir"; dir; "-o"; report;
+        "--log-file"; log; "--openmetrics"; om ]
+  in
+  check Alcotest.int "audit exits 0" 0 code;
+  check Alcotest.bool "table reports the mean" true
+    (contains out "mean |error|");
+  (* The written report is the committed-baseline format. *)
+  let slurp path = In_channel.with_open_text path In_channel.input_all in
+  let j = Obs.Json.parse (slurp report) in
+  check Alcotest.string "report format tag" "xenergy-accuracy"
+    Obs.Json.(to_string (member "format" j));
+  check Alcotest.bool "report lists programs" true
+    Obs.Json.(to_list (member "programs" j) <> []);
+  (* The structured log is one parseable JSON record per line, with the
+     audit lifecycle events present. *)
+  let records =
+    String.split_on_char '\n' (slurp log)
+    |> List.filter (fun l -> l <> "")
+    |> List.map Obs.Json.parse
+  in
+  check Alcotest.bool "log has records" true (records <> []);
+  let events =
+    List.map (fun r -> Obs.Json.(to_string (member "event" r))) records
+  in
+  List.iter
+    (fun e ->
+      check Alcotest.bool ("log has " ^ e) true (List.mem e events))
+    [ "audit:start"; "audit:done" ];
+  (* The OpenMetrics exposition carries the audit gauges and terminates
+     properly. *)
+  let exposition = slurp om in
+  check Alcotest.bool "exposition has the audit gauge" true
+    (contains exposition "audit_mean_abs_error_percent");
+  check Alcotest.bool "exposition terminated" true
+    (Filename.check_suffix exposition "# EOF\n");
+  (* Gate against the report itself: passes, warm cache. *)
+  let code, out, _ =
+    run_xenergy
+      [ "audit"; "-m"; model; "--cache-dir"; dir; "--baseline"; report;
+        "--tolerance"; "1.5" ]
+  in
+  check Alcotest.int "self gate exits 0" 0 code;
+  check Alcotest.bool "self gate passes" true (contains out "PASS");
+  (* A deliberately tight baseline must fail the gate loudly. *)
+  Out_channel.with_open_text tight (fun oc ->
+      Out_channel.output_string oc
+        "{\"format\": \"xenergy-accuracy\", \"version\": 1,\n\
+        \ \"mean_abs_error_percent\": 1e-6, \"max_abs_error_percent\": 1e-6,\n\
+        \ \"rms_error_percent\": 1e-6, \"wall_seconds\": 0.0,\n\
+        \ \"programs\": []}\n");
+  let code, out, _ =
+    run_xenergy
+      [ "audit"; "-m"; model; "--cache-dir"; dir; "--baseline"; tight ]
+  in
+  check Alcotest.int "regression gate exits 123" 123 code;
+  check Alcotest.bool "gate verdict printed" true (contains out "FAIL");
+  (* A corrupt baseline is a hard error, named on stderr. *)
+  Out_channel.with_open_text tight (fun oc ->
+      Out_channel.output_string oc "not json");
+  let code, _, err =
+    run_xenergy
+      [ "audit"; "-m"; model; "--cache-dir"; dir; "--baseline"; tight ]
+  in
+  check Alcotest.int "corrupt baseline exits 123" 123 code;
+  check Alcotest.bool "corrupt baseline named" true (contains err "baseline")
+
+(* Heartbeats on stderr, frontier attribution on stdout. *)
+let test_explore_progress_explain_smoke () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xenergy_cli_explain.%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    try
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    with Sys_error _ | Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let code, out, err =
+    run_xenergy
+      [ "explore"; "--space"; "rs"; "--cache-dir"; dir; "--progress";
+        "--explain"; "-j"; "2" ]
+  in
+  check Alcotest.int "explore exits 0" 0 code;
+  check Alcotest.bool "heartbeats on stderr" true (contains err "explore: [");
+  check Alcotest.bool "evaluate phase reported" true
+    (contains err "[evaluate]");
+  check Alcotest.bool "attribution on stdout" true
+    (contains out "model energy by variable:");
+  check Alcotest.bool "shares rendered" true (contains out "%")
+
 let () =
   if not (Sys.file_exists xenergy_exe) then
     (* Outside the dune sandbox (e.g. a bare `./test_cli.exe` run) the
@@ -243,4 +367,8 @@ let () =
           [ Alcotest.test_case "trace + metrics + attribute" `Slow
               test_characterize_trace_metrics_attribute ] );
         ( "explore",
-          [ Alcotest.test_case "cold/warm sweep" `Slow test_explore_smoke ] ) ]
+          [ Alcotest.test_case "cold/warm sweep" `Slow test_explore_smoke;
+            Alcotest.test_case "progress + explain" `Slow
+              test_explore_progress_explain_smoke ] );
+        ( "audit",
+          [ Alcotest.test_case "report + gate" `Slow test_audit_smoke ] ) ]

@@ -1227,6 +1227,298 @@ let test_explore_shares_config_characterization () =
       = second.Core.Explore.pt_energy_pj)
   | _ -> fail "expected two points"
 
+(* --- Observability riders --------------------------------------------------- *)
+
+let with_metrics f =
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled was) f
+
+(* Store-time size cap: the cache prunes itself back under --max-bytes
+   as entries land, without an explicit prune call. *)
+let test_cache_auto_cap_at_store () =
+  with_metrics (fun () ->
+      (* Measure one entry's on-disk footprint, then cap at two. *)
+      let kes = three_keyed_entries () in
+      let k0, e0 = List.hd kes in
+      let probe_dir = fresh_cache_dir () in
+      let probe = Core.Eval_cache.create ~dir:probe_dir () in
+      Core.Eval_cache.store probe k0 e0;
+      Core.Eval_cache.flush probe;
+      let entry_bytes =
+        (Unix.stat (Filename.concat probe_dir (k0 ^ ".json"))).Unix.st_size
+      in
+      let evictions =
+        Obs.Metrics.counter "eval_cache_evictions_total"
+      in
+      let evicted_before = Obs.Metrics.counter_value evictions in
+      let dir = fresh_cache_dir () in
+      let cap = (2 * entry_bytes) + (entry_bytes / 2) in
+      let c = Core.Eval_cache.create ~dir ~max_bytes:cap () in
+      List.iter (fun (k, e) -> Core.Eval_cache.store c k e) kes;
+      Core.Eval_cache.flush c;
+      let entries () =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               Filename.check_suffix f ".json" && f <> "index.json")
+      in
+      check Alcotest.int "cap enforced at store time" 2
+        (List.length (entries ()));
+      check Alcotest.bool "eviction counted" true
+        (Obs.Metrics.counter_value evictions > evicted_before);
+      (* The survivors stay readable through a fresh handle. *)
+      let c2 = Core.Eval_cache.create ~dir () in
+      let live =
+        List.filter
+          (fun (k, _) -> Core.Eval_cache.find c2 k <> None)
+          kes
+      in
+      check Alcotest.int "survivors load" 2 (List.length live);
+      check Alcotest.int "no read errors" 0
+        (Core.Eval_cache.stats c2).Core.Eval_cache.errors)
+
+(* Progress heartbeats and frontier attribution ride the sweep. *)
+let test_explore_progress_and_explain () =
+  let dir = fresh_cache_dir () in
+  let characterization = small_suite () in
+  let candidates =
+    [ Core.Explore.candidate ~name:"base"
+        (List.hd (Workloads.Suite.applications ()));
+      Core.Explore.candidate ~name:"base_small" ~config:smaller_icache
+        (List.hd (Workloads.Suite.applications ())) ]
+  in
+  let beats = ref [] in
+  let sweep () =
+    Core.Explore.run ~jobs:2
+      ~cache:(Core.Eval_cache.create ~dir ())
+      ~characterization
+      ~progress:(fun p -> beats := p :: !beats)
+      ~explain:true candidates
+  in
+  let o = sweep () in
+  let beats_l = List.rev !beats in
+  check Alcotest.bool "heartbeats delivered" true (beats_l <> []);
+  List.iter
+    (fun (p : Core.Explore.progress) ->
+      check Alcotest.bool "phase named" true
+        (p.Core.Explore.pr_phase = "characterize"
+        || p.Core.Explore.pr_phase = "evaluate");
+      check Alcotest.bool "done within total" true
+        (p.Core.Explore.pr_done >= 0
+        && p.Core.Explore.pr_done <= p.Core.Explore.pr_total);
+      check Alcotest.bool "elapsed non-negative" true
+        (p.Core.Explore.pr_elapsed_s >= 0.0))
+    beats_l;
+  check Alcotest.bool "a final evaluate heartbeat covers every candidate"
+    true
+    (List.exists
+       (fun (p : Core.Explore.progress) ->
+         p.Core.Explore.pr_phase = "evaluate"
+         && p.Core.Explore.pr_done = p.Core.Explore.pr_total
+         && p.Core.Explore.pr_total = List.length candidates)
+       beats_l);
+  check Alcotest.int "one explanation per frontier point"
+    (List.length o.Core.Explore.frontier)
+    (List.length o.Core.Explore.explained);
+  List.iter2
+    (fun (pt : Core.Explore.point) (name, rows) ->
+      check Alcotest.string "explained in frontier order"
+        pt.Core.Explore.pt_name name;
+      let total =
+        List.fold_left
+          (fun s (r : Core.Attribution.row) -> s +. r.Core.Attribution.energy_pj)
+          0.0 rows
+      in
+      check Alcotest.bool "rows close over the point's model energy" true
+        (Float.abs (total -. pt.Core.Explore.pt_energy_pj)
+        <= 1e-6 *. Float.max 1.0 (Float.abs pt.Core.Explore.pt_energy_pj));
+      let shares =
+        List.fold_left
+          (fun s (r : Core.Attribution.row) -> s +. r.Core.Attribution.share)
+          0.0 rows
+      in
+      check (Alcotest.float 1e-6) "shares sum to one" 1.0 shares)
+    o.Core.Explore.frontier o.Core.Explore.explained;
+  (* Warm re-run: the attribution comes from cached vectors, so a full
+     explanation costs zero simulations. *)
+  let warm = sweep () in
+  check Alcotest.int "warm explain simulates nothing" 0
+    warm.Core.Explore.simulations;
+  check Alcotest.int "warm explanation intact"
+    (List.length warm.Core.Explore.frontier)
+    (List.length warm.Core.Explore.explained)
+
+(* --- Audit ------------------------------------------------------------------ *)
+
+(* A model deliberately scaled away from the fit, so the audited error
+   is deterministic and non-zero. *)
+let audit_model () =
+  let fit = Core.Characterize.run (small_suite ()) in
+  Core.Template.make
+    (Array.map
+       (fun c -> c *. 1.10)
+       fit.Core.Characterize.model.Core.Template.coefficients)
+
+let test_audit_report () =
+  let model = audit_model () in
+  let cases = List.filteri (fun i _ -> i < 3) (small_suite ()) in
+  let dir = fresh_cache_dir () in
+  let r =
+    Core.Audit.run ~jobs:2
+      ~cache:(Core.Eval_cache.create ~dir ())
+      model cases
+  in
+  check Alcotest.int "one row per program" (List.length cases)
+    (List.length r.Core.Audit.a_rows);
+  List.iter2
+    (fun (c : Core.Extract.case) (row : Core.Audit.row) ->
+      check Alcotest.string "rows in input order" c.Core.Extract.case_name
+        row.Core.Audit.a_name;
+      check Alcotest.bool "reference measured" true
+        (row.Core.Audit.a_reference_pj > 0.0);
+      check Alcotest.bool "cold rows freshly simulated" false
+        row.Core.Audit.a_cached;
+      let expect =
+        100.0
+        *. (row.Core.Audit.a_estimate_pj -. row.Core.Audit.a_reference_pj)
+        /. row.Core.Audit.a_reference_pj
+      in
+      check (Alcotest.float 1e-9) "error recomputes from the row" expect
+        row.Core.Audit.a_error_percent)
+    cases r.Core.Audit.a_rows;
+  let mean =
+    List.fold_left
+      (fun s (row : Core.Audit.row) ->
+        s +. Float.abs row.Core.Audit.a_error_percent)
+      0.0 r.Core.Audit.a_rows
+    /. float_of_int (List.length r.Core.Audit.a_rows)
+  in
+  check (Alcotest.float 1e-9) "mean closes over the rows" mean
+    r.Core.Audit.a_mean_abs;
+  check Alcotest.bool "scaled model shows real error" true
+    (r.Core.Audit.a_mean_abs > 0.5);
+  check Alcotest.bool "max bounds mean" true
+    (r.Core.Audit.a_max_abs >= r.Core.Audit.a_mean_abs);
+  (* Second run over the same cache: every row served from cache, same
+     numbers bit-for-bit. *)
+  let warm =
+    Core.Audit.run ~jobs:2
+      ~cache:(Core.Eval_cache.create ~dir ())
+      model cases
+  in
+  check Alcotest.bool "warm rows all cached" true
+    (List.for_all
+       (fun (row : Core.Audit.row) -> row.Core.Audit.a_cached)
+       warm.Core.Audit.a_rows);
+  List.iter2
+    (fun (a : Core.Audit.row) (b : Core.Audit.row) ->
+      check Alcotest.bool
+        (a.Core.Audit.a_name ^ " warm estimate bit-identical") true
+        (a.Core.Audit.a_estimate_pj = b.Core.Audit.a_estimate_pj
+        && a.Core.Audit.a_reference_pj = b.Core.Audit.a_reference_pj))
+    r.Core.Audit.a_rows warm.Core.Audit.a_rows;
+  match Core.Audit.run model [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "empty audit accepted"
+
+let test_audit_json_round_trip () =
+  let model = audit_model () in
+  let cases = List.filteri (fun i _ -> i < 2) (small_suite ()) in
+  let r = Core.Audit.run ~jobs:1 model cases in
+  let r2 = Core.Audit.of_json (Core.Audit.to_json r) in
+  check Alcotest.int "rows survive" (List.length r.Core.Audit.a_rows)
+    (List.length r2.Core.Audit.a_rows);
+  check (Alcotest.float 1e-5) "mean survives" r.Core.Audit.a_mean_abs
+    r2.Core.Audit.a_mean_abs;
+  check (Alcotest.float 1e-5) "max survives" r.Core.Audit.a_max_abs
+    r2.Core.Audit.a_max_abs;
+  List.iter2
+    (fun (a : Core.Audit.row) (b : Core.Audit.row) ->
+      check Alcotest.string "name survives" a.Core.Audit.a_name
+        b.Core.Audit.a_name;
+      check (Alcotest.float 1e-5) "error survives"
+        a.Core.Audit.a_error_percent b.Core.Audit.a_error_percent;
+      check Alcotest.int "cycles survive" a.Core.Audit.a_cycles
+        b.Core.Audit.a_cycles;
+      check Alcotest.bool "cached flag survives" a.Core.Audit.a_cached
+        b.Core.Audit.a_cached)
+    r.Core.Audit.a_rows r2.Core.Audit.a_rows;
+  (match Core.Audit.of_json "{\"format\": \"something-else\"}" with
+  | exception Failure _ -> ()
+  | _ -> fail "foreign format accepted");
+  match Core.Audit.of_json "not json at all" with
+  | exception _ -> ()
+  | _ -> fail "garbage accepted"
+
+let test_audit_gate () =
+  let model = audit_model () in
+  let cases = List.filteri (fun i _ -> i < 2) (small_suite ()) in
+  let r = Core.Audit.run ~jobs:1 model cases in
+  (* Gating a report against itself passes at any tolerance >= 1. *)
+  let self = Core.Audit.gate ~tolerance:1.0 ~baseline:r r in
+  check Alcotest.bool "self gate passes" true self.Core.Audit.g_pass;
+  check (Alcotest.float 1e-9) "allowed = baseline x tolerance"
+    r.Core.Audit.a_mean_abs self.Core.Audit.g_allowed;
+  (* A much tighter baseline fails the same report. *)
+  let tight =
+    { r with Core.Audit.a_mean_abs = r.Core.Audit.a_mean_abs /. 100.0 }
+  in
+  let g = Core.Audit.gate ~tolerance:2.0 ~baseline:tight r in
+  check Alcotest.bool "regression detected" false g.Core.Audit.g_pass;
+  check (Alcotest.float 1e-9) "current mean carried" r.Core.Audit.a_mean_abs
+    g.Core.Audit.g_mean_abs;
+  match Core.Audit.gate ~tolerance:0.0 ~baseline:r r with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "zero tolerance accepted"
+
+(* --- Parallel observability ------------------------------------------------- *)
+
+(* A worker killed before its payload lands loses its trace lane; the
+   loss is counted, not hidden, and the slice recomputes. *)
+let test_parallel_dropped_lane_counted () =
+  with_metrics (fun () ->
+      let dropped =
+        Obs.Metrics.counter "parallel_trace_dropped_lanes_total"
+      in
+      let before = Obs.Metrics.counter_value dropped in
+      let parent = Unix.getpid () in
+      let xs = List.init 6 Fun.id in
+      let res, stats =
+        Core.Parallel.map_with_stats ~jobs:2
+          (fun i -> if Unix.getpid () <> parent then Unix._exit 1 else i + 10)
+          xs
+      in
+      check (Alcotest.list Alcotest.int) "results recomputed"
+        (List.map (fun i -> i + 10) xs)
+        res;
+      check Alcotest.int "one dropped lane per dead worker"
+        stats.Core.Parallel.workers_spawned
+        (Obs.Metrics.counter_value dropped - before))
+
+(* An unmarshalable result (a closure) must not drop the lane: the
+   worker ships its observability payload alone and the parent
+   recomputes. *)
+let test_parallel_unmarshalable_result_fallback () =
+  with_metrics (fun () ->
+      let dropped =
+        Obs.Metrics.counter "parallel_trace_dropped_lanes_total"
+      in
+      let before = Obs.Metrics.counter_value dropped in
+      let xs = List.init 5 Fun.id in
+      let res, stats =
+        Core.Parallel.map_with_stats ~jobs:2 (fun i () -> i * 3) xs
+      in
+      check (Alcotest.list Alcotest.int) "closures recomputed in the parent"
+        (List.map (fun i -> i * 3) xs)
+        (List.map (fun f -> f ()) res);
+      check Alcotest.int "whole input recomputed" (List.length xs)
+        stats.Core.Parallel.recomputed_items;
+      check Alcotest.int "every slice recomputed"
+        stats.Core.Parallel.workers_spawned
+        stats.Core.Parallel.recomputed_slices;
+      check Alcotest.int "no lane dropped: the payload still landed" 0
+        (Obs.Metrics.counter_value dropped - before))
+
 let () =
   Alcotest.run "core"
     [ ( "variables",
@@ -1273,7 +1565,11 @@ let () =
           Alcotest.test_case "happy path stats" `Quick
             test_parallel_happy_path_stats;
           Alcotest.test_case "recomputes dead workers" `Quick
-            test_parallel_recomputes_dead_workers ] );
+            test_parallel_recomputes_dead_workers;
+          Alcotest.test_case "dropped lane counted" `Quick
+            test_parallel_dropped_lane_counted;
+          Alcotest.test_case "unmarshalable result fallback" `Quick
+            test_parallel_unmarshalable_result_fallback ] );
       ( "space",
         [ Alcotest.test_case "combinators" `Quick test_space_combinators ] );
       ( "eval cache",
@@ -1294,7 +1590,9 @@ let () =
           Alcotest.test_case "LRU prune" `Quick test_cache_prune_lru;
           Alcotest.test_case "verify + gc" `Quick test_cache_verify_and_gc;
           Alcotest.test_case "concurrent stores" `Quick
-            test_cache_concurrent_stores ] );
+            test_cache_concurrent_stores;
+          Alcotest.test_case "auto cap at store" `Quick
+            test_cache_auto_cap_at_store ] );
       ( "explore",
         [ Alcotest.test_case "pareto invariants" `Quick
             test_pareto_invariants;
@@ -1305,7 +1603,14 @@ let () =
           Alcotest.test_case "prune retains working set" `Quick
             test_explore_prune_retains_working_set;
           Alcotest.test_case "config sharing" `Quick
-            test_explore_shares_config_characterization ] );
+            test_explore_shares_config_characterization;
+          Alcotest.test_case "progress + explain" `Quick
+            test_explore_progress_and_explain ] );
+      ( "audit",
+        [ Alcotest.test_case "report" `Quick test_audit_report;
+          Alcotest.test_case "json round trip" `Quick
+            test_audit_json_round_trip;
+          Alcotest.test_case "gate" `Quick test_audit_gate ] );
       ( "attribution",
         [ Alcotest.test_case "sums to total" `Quick
             test_attribution_sums_to_total;

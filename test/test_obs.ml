@@ -38,6 +38,45 @@ let test_json_parse () =
   | exception Obs.Json.Parse_error _ -> ()
   | _ -> fail "truncated document accepted"
 
+let test_json_edge_cases () =
+  (* \u escapes across all three UTF-8 encoding lengths. *)
+  let j = Obs.Json.parse "{\"s\": \"\\u0041\\n\\u00e9\\u20ac\"}" in
+  check Alcotest.string "unicode escapes" "A\n\xc3\xa9\xe2\x82\xac"
+    Obs.Json.(to_string (member "s" j));
+  (* Deep nesting round-trips without blowing the parser up. *)
+  let depth = 200 in
+  let doc =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "42"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  let rec unwrap n v =
+    if n = 0 then v
+    else match Obs.Json.to_list v with
+      | [ inner ] -> unwrap (n - 1) inner
+      | _ -> fail "deep nesting lost elements"
+  in
+  check Alcotest.int "deep nesting" 42
+    (Obs.Json.to_int (unwrap depth (Obs.Json.parse doc)));
+  (* Exponent spellings. *)
+  let j = Obs.Json.parse {|{"a": 1e3, "b": -2.5E-2, "c": 0.25e+1}|} in
+  check (Alcotest.float 1e-12) "e" 1000.0 Obs.Json.(to_float (member "a" j));
+  check (Alcotest.float 1e-12) "E-" (-0.025) Obs.Json.(to_float (member "b" j));
+  check (Alcotest.float 1e-12) "e+" 2.5 Obs.Json.(to_float (member "c" j));
+  (* Empty containers parse; trailing garbage in every position rejects. *)
+  check Alcotest.int "empty array" 0
+    (List.length (Obs.Json.to_list (Obs.Json.parse "[]")));
+  (match Obs.Json.parse "{}" with
+   | Obs.Json.Obj [] -> ()
+   | _ -> fail "empty object misparsed");
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | exception Obs.Json.Parse_error _ -> ()
+      | _ -> fail (Printf.sprintf "accepted malformed %S" s))
+    [ "[] []"; "1 2"; "{\"a\": 1}x"; "\"s\" \"t\""; "[1,]"; "{\"a\" 1}";
+      "nul"; "01x" ]
+
 (* --- Metrics ---------------------------------------------------------------- *)
 
 let test_metrics_disabled_is_noop () =
@@ -96,6 +135,184 @@ let test_metrics_snapshot_merge () =
       Obs.Metrics.merge snap;
       (* Counters add on merge: 3 own + 3 from the snapshot. *)
       check Alcotest.int "merged counter" 6 (Obs.Metrics.counter_value c))
+
+let test_metrics_snapshot_diff () =
+  with_obs (fun () ->
+      let c = Obs.Metrics.counter "test_diff_total" in
+      let g = Obs.Metrics.gauge "test_diff_gauge" in
+      let h =
+        Obs.Metrics.histogram ~buckets:[| 1.0 |] "test_diff_seconds"
+      in
+      Obs.Metrics.inc ~by:2 c;
+      Obs.Metrics.set g 1.0;
+      Obs.Metrics.observe h 0.5;
+      let earlier = Obs.Metrics.snapshot () in
+      Obs.Metrics.inc ~by:5 c;
+      Obs.Metrics.set g 9.0;
+      Obs.Metrics.observe h 3.0;
+      let later = Obs.Metrics.snapshot () in
+      let d = Obs.Metrics.snapshot_diff later earlier in
+      let find n =
+        let _, _, _, v = List.find (fun (n', _, _, _) -> n' = n) d in
+        v
+      in
+      (match find "test_diff_total" with
+       | Obs.Metrics.S_counter 5 -> ()
+       | Obs.Metrics.S_counter n ->
+         fail (Printf.sprintf "counter delta %d, want 5" n)
+       | _ -> fail "counter row lost its type");
+      (match find "test_diff_gauge" with
+       | Obs.Metrics.S_gauge v ->
+         check (Alcotest.float 1e-9) "gauge keeps later" 9.0 v
+       | _ -> fail "gauge row lost its type");
+      match find "test_diff_seconds" with
+      | Obs.Metrics.S_histogram (_, counts, sum, count) ->
+        check Alcotest.int "histogram count delta" 1 count;
+        check (Alcotest.float 1e-9) "histogram sum delta" 3.0 sum;
+        check (Alcotest.list Alcotest.int) "bucket deltas" [ 0; 1 ]
+          (Array.to_list counts)
+      | _ -> fail "histogram row lost its type")
+
+(* --- Export (OpenMetrics) --------------------------------------------------- *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let test_export_openmetrics () =
+  with_obs (fun () ->
+      let c =
+        Obs.Metrics.counter ~help:"help \"quoted\"\nline"
+          ~labels:[ ("k", "a\"b\\c\nd") ]
+          "test_om_total"
+      in
+      let g = Obs.Metrics.gauge "test_om_gauge" in
+      let h = Obs.Metrics.histogram ~buckets:[| 1.0; 10.0 |] "test_om_seconds" in
+      Obs.Metrics.inc ~by:7 c;
+      Obs.Metrics.set g 2.5;
+      List.iter (Obs.Metrics.observe h) [ 0.5; 5.0; 50.0 ];
+      let text = Obs.Export.to_openmetrics () in
+      (* Counter family drops the _total suffix in TYPE, keeps it in the
+         sample; label values escape quote/backslash/newline. *)
+      List.iter
+        (fun frag ->
+          if not (contains text frag) then
+            fail (Printf.sprintf "missing %S in exposition" frag))
+        [ "# TYPE test_om counter";
+          "# HELP test_om help \"quoted\"\\nline";
+          "test_om_total{k=\"a\\\"b\\\\c\\nd\"} 7";
+          "# TYPE test_om_gauge gauge";
+          "test_om_gauge 2.5";
+          "# TYPE test_om_seconds histogram";
+          "test_om_seconds_bucket{le=\"1\"} 1";
+          "test_om_seconds_bucket{le=\"10\"} 2";
+          "test_om_seconds_bucket{le=\"+Inf\"} 3";
+          "test_om_seconds_sum 55.5";
+          "test_om_seconds_count 3" ];
+      (* Well-formed: ends with the EOF marker, no family header twice. *)
+      check Alcotest.bool "EOF terminator" true
+        (Filename.check_suffix text "# EOF\n");
+      let type_lines =
+        String.split_on_char '\n' text
+        |> List.filter (fun l -> String.length l > 7 && String.sub l 0 7 = "# TYPE ")
+      in
+      check Alcotest.int "one TYPE per family"
+        (List.length (List.sort_uniq compare type_lines))
+        (List.length type_lines))
+
+let test_export_snapshot_delta () =
+  with_obs (fun () ->
+      let c = Obs.Metrics.counter "test_om_delta_total" in
+      Obs.Metrics.inc ~by:3 c;
+      let earlier = Obs.Metrics.snapshot () in
+      Obs.Metrics.inc ~by:4 c;
+      let later = Obs.Metrics.snapshot () in
+      let text =
+        Obs.Export.to_openmetrics
+          ~snapshot:(Obs.Metrics.snapshot_diff later earlier) ()
+      in
+      if not (contains text "test_om_delta_total 4") then
+        fail "delta exposition should carry only the between-scrape delta")
+
+(* --- Log -------------------------------------------------------------------- *)
+
+let with_log_file f =
+  let path = Filename.temp_file "xenergy-test-log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.close ();
+      Obs.Log.set_level Obs.Log.Debug;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_records path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+  |> List.map Obs.Json.parse
+
+let test_log_records () =
+  with_log_file (fun path ->
+      Obs.Log.open_file path;
+      check Alcotest.bool "enabled" true (Obs.Log.enabled ());
+      Obs.Log.event "test:one"
+        [ ("s", Obs.Trace.S "a\"b\nc"); ("i", Obs.Trace.I 42);
+          ("f", Obs.Trace.F 2.5); ("b", Obs.Trace.B true);
+          ("nan", Obs.Trace.F Float.nan) ];
+      Obs.Log.event ~level:Obs.Log.Error "test:two" [];
+      Obs.Log.close ();
+      check Alcotest.bool "disabled after close" false (Obs.Log.enabled ());
+      Obs.Log.event "test:dropped" [];
+      match read_records path with
+      | [ one; two ] ->
+        check Alcotest.string "event name" "test:one"
+          Obs.Json.(to_string (member "event" one));
+        check Alcotest.string "level" "info"
+          Obs.Json.(to_string (member "level" one));
+        check Alcotest.bool "tid present" true
+          (Obs.Json.(to_int (member "tid" one)) >= 0);
+        check Alcotest.int "pid" (Unix.getpid ())
+          Obs.Json.(to_int (member "pid" one));
+        check Alcotest.bool "ts present" true
+          (Obs.Json.(to_float (member "ts_us" one)) >= 0.0);
+        check Alcotest.string "string field escaped" "a\"b\nc"
+          Obs.Json.(to_string (member "s" one));
+        check Alcotest.int "int field" 42 Obs.Json.(to_int (member "i" one));
+        check (Alcotest.float 1e-9) "float field" 2.5
+          Obs.Json.(to_float (member "f" one));
+        (match Obs.Json.member "b" one with
+         | Obs.Json.Bool true -> ()
+         | _ -> fail "bool field lost");
+        (* Non-finite floats have no JSON spelling: recorded as null so
+           the line stays parseable. *)
+        (match Obs.Json.member "nan" one with
+         | Obs.Json.Null -> ()
+         | _ -> fail "NaN should serialize as null");
+        check Alcotest.string "error level" "error"
+          Obs.Json.(to_string (member "level" two))
+      | l -> fail (Printf.sprintf "%d records, want 2" (List.length l)))
+
+let test_log_level_floor () =
+  with_log_file (fun path ->
+      Obs.Log.open_file ~level:Obs.Log.Warn path;
+      Obs.Log.event ~level:Obs.Log.Debug "test:debug" [];
+      Obs.Log.event ~level:Obs.Log.Info "test:info" [];
+      Obs.Log.event ~level:Obs.Log.Warn "test:warn" [];
+      Obs.Log.event ~level:Obs.Log.Error "test:error" [];
+      Obs.Log.close ();
+      let names =
+        List.map
+          (fun r -> Obs.Json.(to_string (member "event" r)))
+          (read_records path)
+      in
+      check (Alcotest.list Alcotest.string) "only warn and above"
+        [ "test:warn"; "test:error" ] names;
+      check Alcotest.bool "level round trip" true
+        (List.for_all
+           (fun l ->
+             Obs.Log.level_of_string (Obs.Log.level_to_string l) = Some l)
+           [ Obs.Log.Debug; Obs.Log.Info; Obs.Log.Warn; Obs.Log.Error ]))
 
 (* --- Trace ------------------------------------------------------------------ *)
 
@@ -174,7 +391,8 @@ let test_waveform_buckets () =
 let () =
   Alcotest.run "obs"
     [ ( "json",
-        [ Alcotest.test_case "parse" `Quick test_json_parse ] );
+        [ Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "edge cases" `Quick test_json_edge_cases ] );
       ( "metrics",
         [ Alcotest.test_case "disabled no-op" `Quick
             test_metrics_disabled_is_noop;
@@ -182,7 +400,16 @@ let () =
             test_metrics_counter_and_labels;
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
           Alcotest.test_case "snapshot merge" `Quick
-            test_metrics_snapshot_merge ] );
+            test_metrics_snapshot_merge;
+          Alcotest.test_case "snapshot diff" `Quick
+            test_metrics_snapshot_diff ] );
+      ( "export",
+        [ Alcotest.test_case "openmetrics" `Quick test_export_openmetrics;
+          Alcotest.test_case "snapshot delta" `Quick
+            test_export_snapshot_delta ] );
+      ( "log",
+        [ Alcotest.test_case "records" `Quick test_log_records;
+          Alcotest.test_case "level floor" `Quick test_log_level_floor ] );
       ( "trace",
         [ Alcotest.test_case "disabled no-op" `Quick
             test_trace_disabled_records_nothing;
