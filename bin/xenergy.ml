@@ -22,6 +22,12 @@
                 [--openmetrics F]    inline cap, OpenMetrics exposition)
      xenergy audit [-o FILE]         macro-model vs reference error audit
                 [--baseline FILE]    regression gate vs a committed baseline
+     xenergy serve --socket PATH     long-lived estimation daemon (model
+                [--max-models N]     registry, batch estimate/attribute/
+                [--cache-dir DIR]    audit over length-prefixed JSON,
+                [--model FILE]       OpenMetrics scrape); with --call/
+                [--call JSON | --scrape | --ping | --stop] acts as a
+                client against a running daemon instead
 
    Every command honours XENERGY_LOG=FILE (JSON-lines structured log)
    and XENERGY_LOG_LEVEL=debug|info|warn|error.
@@ -933,6 +939,183 @@ let audit_cmd =
           $ tolerance_arg $ cache_dir_arg $ log_file_arg $ openmetrics_arg
           $ jobs_arg)
 
+(* --- serve ---------------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket the daemon listens on (or, in
+                   client mode, connects to).")
+  in
+  let max_models_arg =
+    Arg.(value & opt int 4
+         & info [ "max-models" ] ~docv:"N"
+             ~doc:"Bound on resident characterized models; the least
+                   recently used are evicted past it.")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Back the evaluation cache on disk under $(docv), so
+                   per-workload profiles survive daemon restarts.")
+  in
+  let model_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "model" ] ~docv:"FILE"
+             ~doc:"Preload a fitted coefficients file as the model for
+                   the default processor configuration, skipping the
+                   first characterization.")
+  in
+  let io_timeout_arg =
+    Arg.(value & opt float 10.0
+         & info [ "io-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-connection I/O deadline: a client that wedges
+                   mid-frame or idles longer is dropped.")
+  in
+  let read_timeout_arg =
+    Arg.(value & opt float 30.0
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~doc:"Worker-pool read deadline: a simulation worker that
+                   wedges past it is killed and its slice recomputed.
+                   0 disables the deadline.")
+  in
+  let call_arg =
+    Arg.(value & opt (some string) None
+         & info [ "call" ] ~docv:"JSON"
+             ~doc:"Client mode: send one request object to a running
+                   daemon and print its response to stdout.")
+  in
+  let scrape_arg =
+    Arg.(value & flag
+         & info [ "scrape" ]
+             ~doc:"Client mode: print the daemon's OpenMetrics
+                   exposition (the /metrics endpoint) to stdout.")
+  in
+  let ping_arg =
+    Arg.(value & flag
+         & info [ "ping" ] ~doc:"Client mode: liveness check.")
+  in
+  let stop_arg =
+    Arg.(value & flag
+         & info [ "stop" ]
+             ~doc:"Client mode: ask the daemon to shut down.")
+  in
+  let wait_arg =
+    Arg.(value & opt float 10.0
+         & info [ "wait" ] ~docv:"SECONDS"
+             ~doc:"Client mode: how long to wait for the daemon to
+                   answer pings before giving up (covers a daemon still
+                   starting up).")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 600.0
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Client mode: response deadline for the request
+                   itself (a cold estimate characterizes first — size
+                   generously).")
+  in
+  let client_call ~socket ~timeout req =
+    try Serve.Client.call ~timeout_s:timeout ~socket req
+    with
+    | Unix.Unix_error (e, _, _) ->
+      die "cannot reach server at %s: %s" socket (Unix.error_message e)
+    | Serve.Protocol.Frame_error msg -> die "%s" msg
+    | Obs.Json.Parse_error msg -> die "malformed response: %s" msg
+  in
+  let response_ok = function
+    | Obs.Json.Obj fields ->
+      List.assoc_opt "ok" fields = Some (Obs.Json.Bool true)
+    | _ -> false
+  in
+  let run socket max_models cache_dir model_file io_timeout read_timeout
+      call scrape ping stop wait timeout log_file openmetrics jobs =
+    setup_obs ~log_file ~openmetrics;
+    let client_mode = call <> None || scrape || ping || stop in
+    if client_mode then begin
+      if not (Serve.Client.wait_ready ~timeout_s:wait ~socket ()) then
+        die "server at %s not answering after %.1f s" socket wait;
+      if ping then begin
+        let resp =
+          client_call ~socket ~timeout (Obs.Json.Obj [ ("op", Obs.Json.Str "ping") ])
+        in
+        if not (response_ok resp) then die "ping refused";
+        print_endline (Serve.Protocol.json_to_string resp)
+      end;
+      (match call with
+       | None -> ()
+       | Some text ->
+         let req =
+           try Obs.Json.parse text
+           with Obs.Json.Parse_error msg -> die "--call: %s" msg
+         in
+         (* The response — success or a structured error — is the
+            result; print it verbatim and let the caller inspect "ok". *)
+         print_endline
+           (Serve.Protocol.json_to_string (client_call ~socket ~timeout req)));
+      if scrape then begin
+        let resp =
+          client_call ~socket ~timeout
+            (Obs.Json.Obj [ ("op", Obs.Json.Str "metrics") ])
+        in
+        if not (response_ok resp) then die "metrics scrape refused";
+        match resp with
+        | Obs.Json.Obj fields -> (
+          match List.assoc_opt "exposition" fields with
+          | Some (Obs.Json.Str text) -> print_string text
+          | _ -> die "malformed metrics response")
+        | _ -> die "malformed metrics response"
+      end;
+      if stop then begin
+        let resp =
+          client_call ~socket ~timeout
+            (Obs.Json.Obj [ ("op", Obs.Json.Str "shutdown") ])
+        in
+        if not (response_ok resp) then die "shutdown refused"
+      end
+    end
+    else begin
+      if max_models < 1 then die "--max-models must be >= 1";
+      if io_timeout <= 0.0 then die "--io-timeout must be > 0";
+      if read_timeout < 0.0 then die "--read-timeout must be >= 0";
+      let read_timeout_s =
+        if read_timeout = 0.0 then None else Some read_timeout
+      in
+      (* Metrics must be live before the router and any --model preload
+         touch the registry, or the pre-listen residency gauge is lost. *)
+      Obs.Metrics.set_enabled true;
+      let router =
+        Serve.Router.create ~max_models ?jobs ?read_timeout_s ?cache_dir ()
+      in
+      (match model_file with
+       | None -> ()
+       | Some path ->
+         let model =
+           try Core.Template.load path
+           with Sys_error msg | Failure msg -> die "cannot load model: %s" msg
+         in
+         Serve.Registry.preload (Serve.Router.registry router)
+           Sim.Config.default model;
+         Format.eprintf "model preloaded from %s@." path);
+      Format.eprintf "serving on %s (stop with `xenergy serve --socket %s \
+                      --stop')@." socket socket;
+      (try Serve.Server.run ~io_timeout_s:io_timeout ~socket router
+       with Unix.Unix_error (e, _, _) ->
+         die "cannot serve on %s: %s" socket (Unix.error_message e));
+      save_openmetrics openmetrics
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-lived estimation daemon over a Unix-domain socket
+             (characterize once per configuration, estimate from
+             memory), or a client against one (--call/--scrape/--ping/
+             --stop)")
+    Term.(const run $ socket_arg $ max_models_arg $ cache_dir_arg
+          $ model_file_arg $ io_timeout_arg $ read_timeout_arg $ call_arg
+          $ scrape_arg $ ping_arg $ stop_arg $ wait_arg $ timeout_arg
+          $ log_file_arg $ openmetrics_arg $ jobs_arg)
+
 (* --- rs ------------------------------------------------------------------ *)
 
 let rs_cmd =
@@ -954,8 +1137,8 @@ let main_cmd =
   let doc = "Energy estimation for extensible processors" in
   Cmd.group (Cmd.info "xenergy" ~version:"1.0.0" ~doc)
     [ list_cmd; profile_cmd; reference_cmd; characterize_cmd; estimate_cmd;
-      attribute_cmd; compare_cmd; rs_cmd; explore_cmd; audit_cmd; cache_cmd;
-      disasm_cmd; breakdown_cmd; trace_cmd; run_cmd; cc_cmd ]
+      attribute_cmd; compare_cmd; rs_cmd; explore_cmd; audit_cmd; serve_cmd;
+      cache_cmd; disasm_cmd; breakdown_cmd; trace_cmd; run_cmd; cc_cmd ]
 
 let () =
   (* Any command can stream structured logs via the environment, without

@@ -1,13 +1,35 @@
-(* Unix.fork-based worker pool for the characterization engine.
+(* Unix.fork-based worker pool for the characterization engine and the
+   serving daemon.
 
-   Work items are partitioned round-robin over [jobs] forked workers;
-   each worker computes its (index, result) pairs and marshals them back
-   over a pipe.  Results are reassembled in input order, so [map] is
-   observably identical to [List.map] (marshalling round-trips floats
-   bit-exactly).  Degrades gracefully: with one core, one job, one item
-   or a failed [fork] it just runs serially, and any worker that dies or
-   raises has its slice recomputed serially in the parent (re-raising
-   there if the computation genuinely fails).
+   Two modes share one wire format (the marshalled [payload] below):
+
+   - [map]: work items are partitioned round-robin over [jobs] forked
+     workers; each worker computes its (index, result) pairs and ships
+     them back over a pipe, then exits.  Results are reassembled in
+     input order, so [map] is observably identical to [List.map]
+     (marshalling round-trips floats bit-exactly).
+
+   - a persistent pool ([create_pool]/[pool_map]): workers are forked
+     once and fed batches over request pipes, so a long-lived process
+     (the [xenergy serve] daemon) pays the fork exactly once instead of
+     once per request.  Lanes that die are respawned on the next batch.
+
+   Both modes degrade gracefully: with one core, one job, one item or a
+   failed [fork] the map just runs serially, and any worker that dies,
+   raises or wedges past the read deadline has its slice recomputed
+   serially in the parent (re-raising there if the computation genuinely
+   fails).
+
+   Lifecycle hardening, load-bearing for the daemon:
+
+   - every [waitpid] retries on [EINTR] ({!reap}) — a swallowed
+     interrupt used to leak the child as a zombie;
+   - parent-side pipe reads are deadline-guarded ([read_timeout_s]):
+     [select] before every [read], and a worker that wedges is killed,
+     counted in [parallel_trace_dropped_lanes_total] and recomputed
+     instead of hanging the parent forever;
+   - a rejected [XENERGY_JOBS] value is warned about through [Obs.Log]
+     instead of being silently replaced.
 
    Observability: every degraded path is counted (metrics + [run_stats],
    surfaced in the characterization run report), and with tracing on
@@ -18,11 +40,27 @@
 
 let default_jobs () =
   match Sys.getenv_opt "XENERGY_JOBS" with
+  | Some s when String.trim s = "" -> Domain.recommended_domain_count ()
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
-    | Some _ | None -> Domain.recommended_domain_count ())
+    | Some _ | None ->
+      let fallback = Domain.recommended_domain_count () in
+      Obs.Log.event ~level:Obs.Log.Warn "parallel:bad-jobs-env"
+        [ ("value", Obs.Trace.S s); ("fallback", Obs.Trace.I fallback) ];
+      fallback)
   | None -> Domain.recommended_domain_count ()
+
+(* A signal landing mid-wait surfaces as EINTR; giving up there (as a
+   blanket [try ... with _ -> ()] used to) leaves the child unreaped — a
+   zombie per interrupted join under signal load.  Any other error
+   (ECHILD after a double wait) genuinely means there is nothing left to
+   reap. *)
+let rec reap pid =
+  match Unix.waitpid [] pid with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap pid
+  | exception Unix.Unix_error _ -> ()
 
 type run_stats = {
   workers_spawned : int;
@@ -59,8 +97,14 @@ module M = struct
   let trace_dropped_lanes =
     lazy
       (Obs.Metrics.counter
-         ~help:"workers that died before shipping their trace lane back"
+         ~help:"workers that died or timed out before shipping their trace \
+                lane back"
          "parallel_trace_dropped_lanes_total")
+
+  let pool_respawns =
+    lazy
+      (Obs.Metrics.counter ~help:"persistent-pool lanes respawned after death"
+         "parallel_pool_respawns_total")
 end
 
 type 'b payload = {
@@ -69,8 +113,99 @@ type 'b payload = {
   p_metrics : Obs.Metrics.snapshot option;
 }
 
+(* --- Deadline-guarded payload reads ------------------------------------- *)
+
+(* A worker that wedges mid-computation never writes its payload; a
+   blocking [Marshal.from_channel] on its pipe would hang the parent
+   with it.  Reading at the descriptor level lets every byte be guarded
+   by [select] against [deadline] (absolute, seconds; [None] = block),
+   and the Marshal header carries the payload length, so a complete
+   value is read with exactly two guarded reads. *)
+
+type 'b read_outcome = Payload of 'b payload | Eof | Timeout
+
+let rec read_exact ~deadline fd buf off len =
+  if len = 0 then `Ok
+  else
+    let timeout =
+      match deadline with
+      | None -> -1.0 (* block *)
+      | Some d -> Float.max 0.0 (d -. Unix.gettimeofday ())
+    in
+    match Unix.select [ fd ] [] [] timeout with
+    | [], _, _ -> `Timeout
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      read_exact ~deadline fd buf off len
+    | _ :: _, _, _ -> (
+      match Unix.read fd buf off len with
+      | 0 -> `Eof
+      | n -> read_exact ~deadline fd buf (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        read_exact ~deadline fd buf off len
+      | exception Unix.Unix_error _ -> `Eof)
+
+let read_payload ~deadline fd : _ read_outcome =
+  let header = Bytes.create Marshal.header_size in
+  match read_exact ~deadline fd header 0 Marshal.header_size with
+  | `Timeout -> Timeout
+  | `Eof -> Eof
+  | `Ok -> (
+    match Marshal.data_size header 0 with
+    | exception Failure _ -> Eof (* corrupt stream *)
+    | size -> (
+      let buf = Bytes.create (Marshal.header_size + size) in
+      Bytes.blit header 0 buf 0 Marshal.header_size;
+      match read_exact ~deadline fd buf Marshal.header_size size with
+      | `Timeout -> Timeout
+      | `Eof -> Eof
+      | `Ok -> (
+        match (Marshal.from_bytes buf 0 : _ payload) with
+        | p -> Payload p
+        | exception _ -> Eof)))
+
+(* --- One-shot map ------------------------------------------------------- *)
+
 let stride_indices ~n ~jobs w =
   List.filter (fun i -> i mod jobs = w) (List.init n Fun.id)
+
+(* Compute a batch in a forked worker and marshal the payload out: trace
+   events recorded since the last [clear], metric increments on top of a
+   zeroed registry (the fork copied the parent's values; resetting
+   touches only the child's copy). *)
+let compute_payload f items =
+  let metrics_on = Obs.Metrics.enabled () in
+  if metrics_on then Obs.Metrics.reset ();
+  let res =
+    try
+      Ok
+        (List.map
+           (fun (i, x) ->
+             ( i,
+               Obs.Trace.with_span ~cat:"parallel"
+                 (Printf.sprintf "item:%d" i)
+                 (fun () -> f x) ))
+           items)
+    with e -> Error (Printexc.to_string e)
+  in
+  { p_res = res;
+    p_events = Obs.Trace.drain ();
+    p_metrics = (if metrics_on then Some (Obs.Metrics.snapshot ()) else None)
+  }
+
+let ship_payload oc payload =
+  try
+    Marshal.to_channel oc payload [];
+    flush oc
+  with _ -> (
+    (* The results may be unmarshalable (e.g. a closure in 'b).  Don't
+       lose the lane with them: ship the observability data alone, with
+       an Error result so the parent recomputes the slice. *)
+    try
+      Marshal.to_channel oc
+        { payload with p_res = Error "worker: unmarshalable result" }
+        [];
+      flush oc
+    with _ -> ())
 
 let spawn_worker arr f ~n ~jobs w =
   match Unix.pipe ~cloexec:false () with
@@ -84,53 +219,17 @@ let spawn_worker arr f ~n ~jobs w =
     | 0 ->
       Unix.close rd;
       let oc = Unix.out_channel_of_descr wr in
-      (* The child starts its own lane and ships only its delta: trace
-         events recorded after this point, metric increments on top of a
-         zeroed registry (the fork copied the parent's values; resetting
-         here touches only the child's copy). *)
       Obs.Trace.set_tid (w + 1);
       Obs.Trace.clear ();
-      let metrics_on = Obs.Metrics.enabled () in
-      if metrics_on then Obs.Metrics.reset ();
-      let res =
-        try
-          Ok
-            (List.map
-               (fun i ->
-                 ( i,
-                   Obs.Trace.with_span ~cat:"parallel"
-                     (Printf.sprintf "item:%d" i)
-                     (fun () -> f arr.(i)) ))
-               (stride_indices ~n ~jobs w))
-        with e -> Error (Printexc.to_string e)
-      in
-      let payload =
-        { p_res = res;
-          p_events = Obs.Trace.drain ();
-          p_metrics = (if metrics_on then Some (Obs.Metrics.snapshot ()) else None)
-        }
-      in
-      (try
-         Marshal.to_channel oc payload [];
-         flush oc
-       with _ -> (
-         (* The results may be unmarshalable (e.g. a closure in 'b).
-            Don't lose the lane with them: ship the observability data
-            alone, with an Error result so the parent recomputes the
-            slice. *)
-         try
-           Marshal.to_channel oc
-             { payload with p_res = Error "worker: unmarshalable result" }
-             [];
-           flush oc
-         with _ -> ()));
+      let idxs = stride_indices ~n ~jobs w in
+      ship_payload oc (compute_payload f (List.map (fun i -> (i, arr.(i))) idxs));
       (* _exit: skip at_exit handlers and inherited buffer flushes. *)
       Unix._exit 0
     | pid ->
       Unix.close wr;
       Some (pid, rd, Obs.Trace.now_us (), stride_indices ~n ~jobs w))
 
-let map_with_stats ?jobs f xs =
+let map_with_stats ?jobs ?read_timeout_s f xs =
   let arr = Array.of_list xs in
   let n = Array.length arr in
   let jobs =
@@ -186,20 +285,24 @@ let map_with_stats ?jobs f xs =
       Array.iteri (fun i c -> if not c then leftover := i :: !leftover) covered;
       List.iter
         (fun (w, (pid, rd, t_fork, idxs)) ->
-          let ic = Unix.in_channel_of_descr rd in
           let t_read = Obs.Trace.now_us () in
-          let payload =
-            match (Marshal.from_channel ic : _ payload) with
-            | p -> Some p
-            | exception _ -> None
+          let deadline =
+            Option.map (fun s -> Unix.gettimeofday () +. s) read_timeout_s
           in
+          let outcome = read_payload ~deadline rd in
           Obs.Trace.complete ~cat:"parallel" ~tid:0
             ~name:(Printf.sprintf "join:%d" (w + 1))
             ~ts:t_read
             ~dur:(Obs.Trace.now_us () -. t_read)
             ();
-          (try close_in ic with _ -> ());
-          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          (* A timed-out worker is wedged: kill it so the reap below
+             cannot block on it forever. *)
+          (match outcome with
+           | Timeout ->
+             (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+           | Payload _ | Eof -> ());
+          (try Unix.close rd with Unix.Unix_error _ -> ());
+          reap pid;
           let t_join = Obs.Trace.now_us () in
           Obs.Trace.complete ~cat:"parallel" ~tid:(w + 1)
             ~name:(Printf.sprintf "worker:%d" (w + 1))
@@ -207,12 +310,12 @@ let map_with_stats ?jobs f xs =
             ~ts:t_fork ~dur:(t_join -. t_fork) ();
           Obs.Metrics.observe (Lazy.force M.slice_seconds)
             ((t_join -. t_fork) /. 1e6);
-          match payload with
-          | Some { p_res = Ok pairs; p_events; p_metrics } ->
+          match outcome with
+          | Payload { p_res = Ok pairs; p_events; p_metrics } ->
             Obs.Trace.emit_all p_events;
             Option.iter Obs.Metrics.merge p_metrics;
             List.iter (fun (i, r) -> results.(i) <- Some r) pairs
-          | Some { p_res = Error reason; p_events; p_metrics } ->
+          | Payload { p_res = Error reason; p_events; p_metrics } ->
             (* Failing worker: its computation (or the result marshal)
                raised, but it still shipped its partial trace lane and
                metric increments — keep them, then recompute the slice in
@@ -226,7 +329,7 @@ let map_with_stats ?jobs f xs =
                 ("reason", Obs.Trace.S reason) ];
             incr recomputed_slices;
             leftover := idxs @ !leftover
-          | None ->
+          | Eof ->
             (* Dead worker (killed, crashed, or its pipe broke before the
                payload landed): its trace lane is gone.  Count the loss
                instead of hiding it, then recompute the slice. *)
@@ -236,6 +339,20 @@ let map_with_stats ?jobs f xs =
             Obs.Log.event ~level:Obs.Log.Warn "parallel:lane-dropped"
               [ ("worker", Obs.Trace.I (w + 1));
                 ("items", Obs.Trace.I (List.length idxs)) ];
+            incr recomputed_slices;
+            leftover := idxs @ !leftover
+          | Timeout ->
+            (* Wedged worker, killed above: same accounting as a death,
+               with its own event name so hangs are distinguishable from
+               crashes in the log. *)
+            Obs.Metrics.inc (Lazy.force M.trace_dropped_lanes);
+            Obs.Trace.instant ~cat:"parallel" "parallel:worker-timeout"
+              ~args:[ ("worker", Obs.Trace.I (w + 1)) ];
+            Obs.Log.event ~level:Obs.Log.Warn "parallel:worker-timeout"
+              [ ("worker", Obs.Trace.I (w + 1));
+                ("items", Obs.Trace.I (List.length idxs));
+                ("timeout_s",
+                 Obs.Trace.F (Option.value ~default:0.0 read_timeout_s)) ];
             incr recomputed_slices;
             leftover := idxs @ !leftover)
         workers;
@@ -252,4 +369,248 @@ let map_with_stats ?jobs f xs =
     end
   end
 
-let map ?jobs f xs = fst (map_with_stats ?jobs f xs)
+let map ?jobs ?read_timeout_s f xs =
+  fst (map_with_stats ?jobs ?read_timeout_s f xs)
+
+(* --- Persistent pool ----------------------------------------------------- *)
+
+type 'a pool_msg = P_batch of (int * 'a) list | P_quit
+
+type lane = {
+  l_w : int;                    (* lane number; trace tid = l_w + 1 *)
+  l_pid : int;
+  l_oc : out_channel;           (* parent -> child requests *)
+  l_from : Unix.file_descr;     (* child -> parent payloads *)
+}
+
+type ('a, 'b) pool = {
+  p_jobs : int;
+  p_timeout : float option;
+  p_f : 'a -> 'b;
+  p_lanes : lane option array;  (* None = dead, respawned on next batch *)
+  mutable p_closed : bool;
+}
+
+let lane_child ~w ~f rd_req wr_res =
+  Obs.Trace.set_tid (w + 1);
+  Obs.Trace.clear ();
+  let ic = Unix.in_channel_of_descr rd_req in
+  let oc = Unix.out_channel_of_descr wr_res in
+  let rec loop () =
+    match (Marshal.from_channel ic : _ pool_msg) with
+    | exception _ -> Unix._exit 0
+    | P_quit -> Unix._exit 0
+    | P_batch items ->
+      ship_payload oc (compute_payload f items);
+      loop ()
+  in
+  loop ()
+
+let spawn_lane f w =
+  match Unix.pipe ~cloexec:false () with
+  | exception Unix.Unix_error _ -> None
+  | req_rd, req_wr -> (
+    match Unix.pipe ~cloexec:false () with
+    | exception Unix.Unix_error _ ->
+      Unix.close req_rd;
+      Unix.close req_wr;
+      None
+    | res_rd, res_wr -> (
+      (* Children inherit the stdio buffers: flush so nothing is emitted
+         twice. *)
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | exception Unix.Unix_error _ ->
+        List.iter Unix.close [ req_rd; req_wr; res_rd; res_wr ];
+        None
+      | 0 ->
+        Unix.close req_wr;
+        Unix.close res_rd;
+        lane_child ~w ~f req_rd res_wr
+      | pid ->
+        Unix.close req_rd;
+        Unix.close res_wr;
+        Some
+          { l_w = w;
+            l_pid = pid;
+            l_oc = Unix.out_channel_of_descr req_wr;
+            l_from = res_rd }))
+
+let create_pool ?jobs ?read_timeout_s f =
+  (* Writing a batch to a lane that just died must surface as EPIPE (a
+     respawnable event), not kill the whole daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let jobs =
+    max 1 (match jobs with Some j -> j | None -> default_jobs ())
+  in
+  let lanes = Array.init jobs (fun w -> spawn_lane f w) in
+  let spawned = Array.fold_left (fun n l -> if l = None then n else n + 1) 0 lanes in
+  Obs.Metrics.inc ~by:spawned (Lazy.force M.workers_spawned);
+  Obs.Metrics.inc ~by:(jobs - spawned) (Lazy.force M.failed_forks);
+  { p_jobs = jobs;
+    p_timeout = read_timeout_s;
+    p_f = f;
+    p_lanes = lanes;
+    p_closed = false }
+
+let close_lane ?(kill = false) lane =
+  if kill then
+    (try Unix.kill lane.l_pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try close_out lane.l_oc with Sys_error _ -> ());
+  (try Unix.close lane.l_from with Unix.Unix_error _ -> ());
+  reap lane.l_pid
+
+let pool_live pool =
+  Array.fold_left (fun n l -> if l = None then n else n + 1) 0 pool.p_lanes
+
+(* Lanes that died (crash, kill, timeout) are replaced with a fresh fork
+   before the next batch, so one bad request does not permanently shrink
+   the pool. *)
+let respawn_dead pool =
+  Array.iteri
+    (fun w lane ->
+      if lane = None then
+        match spawn_lane pool.p_f w with
+        | None -> ()
+        | Some l ->
+          Obs.Metrics.inc (Lazy.force M.pool_respawns);
+          Obs.Metrics.inc (Lazy.force M.workers_spawned);
+          Obs.Log.event "parallel:pool-respawn"
+            [ ("lane", Obs.Trace.I (w + 1)); ("pid", Obs.Trace.I l.l_pid) ];
+          pool.p_lanes.(w) <- Some l)
+    pool.p_lanes
+
+let kill_lane pool w ~kill =
+  match pool.p_lanes.(w) with
+  | None -> ()
+  | Some lane ->
+    close_lane ~kill lane;
+    pool.p_lanes.(w) <- None
+
+let send_batch lane items =
+  try
+    Marshal.to_channel lane.l_oc (P_batch items) [];
+    flush lane.l_oc;
+    true
+  with Sys_error _ | Unix.Unix_error _ -> false
+
+let pool_map pool xs =
+  if pool.p_closed then invalid_arg "Parallel.pool_map: pool is shut down";
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    respawn_dead pool;
+    let live =
+      Array.to_list pool.p_lanes |> List.filter_map Fun.id
+    in
+    if live = [] then begin
+      (* No lane could be (re)forked: serial fallback, same as map. *)
+      Obs.Metrics.inc (Lazy.force M.serial_fallbacks);
+      Obs.Log.event ~level:Obs.Log.Warn "parallel:serial-fallback"
+        [ ("items", Obs.Trace.I n) ];
+      List.map pool.p_f xs
+    end
+    else begin
+      let k = List.length live in
+      let lanes = Array.of_list live in
+      let slices = Array.make k [] in
+      for i = n - 1 downto 0 do
+        slices.(i mod k) <- (i, arr.(i)) :: slices.(i mod k)
+      done;
+      let results = Array.make n None in
+      let leftover = ref [] in
+      let recomputed_slices = ref 0 in
+      (* Send every slice first so lanes run concurrently, then join in
+         order. *)
+      let sent =
+        Array.mapi
+          (fun j lane ->
+            slices.(j) <> []
+            &&
+            (send_batch lane slices.(j)
+             ||
+             (Obs.Log.event ~level:Obs.Log.Warn "parallel:lane-dropped"
+                [ ("worker", Obs.Trace.I (lane.l_w + 1));
+                  ("items", Obs.Trace.I (List.length slices.(j))) ];
+              Obs.Metrics.inc (Lazy.force M.trace_dropped_lanes);
+              kill_lane pool lane.l_w ~kill:false;
+              incr recomputed_slices;
+              leftover := List.map fst slices.(j) @ !leftover;
+              false)))
+          lanes
+      in
+      Array.iteri
+        (fun j lane ->
+          if sent.(j) then begin
+            let t_read = Obs.Trace.now_us () in
+            let deadline =
+              Option.map (fun s -> Unix.gettimeofday () +. s) pool.p_timeout
+            in
+            let outcome = read_payload ~deadline lane.l_from in
+            Obs.Trace.complete ~cat:"parallel" ~tid:0
+              ~name:(Printf.sprintf "join:%d" (lane.l_w + 1))
+              ~ts:t_read
+              ~dur:(Obs.Trace.now_us () -. t_read)
+              ();
+            Obs.Metrics.observe (Lazy.force M.slice_seconds)
+              ((Obs.Trace.now_us () -. t_read) /. 1e6);
+            match outcome with
+            | Payload { p_res = Ok pairs; p_events; p_metrics } ->
+              Obs.Trace.emit_all p_events;
+              Option.iter Obs.Metrics.merge p_metrics;
+              List.iter (fun (i, r) -> results.(i) <- Some r) pairs
+            | Payload { p_res = Error reason; p_events; p_metrics } ->
+              Obs.Trace.emit_all p_events;
+              Option.iter Obs.Metrics.merge p_metrics;
+              Obs.Log.event ~level:Obs.Log.Warn "parallel:worker-failed"
+                [ ("worker", Obs.Trace.I (lane.l_w + 1));
+                  ("items", Obs.Trace.I (List.length slices.(j)));
+                  ("reason", Obs.Trace.S reason) ];
+              incr recomputed_slices;
+              leftover := List.map fst slices.(j) @ !leftover
+            | Eof ->
+              Obs.Metrics.inc (Lazy.force M.trace_dropped_lanes);
+              Obs.Log.event ~level:Obs.Log.Warn "parallel:lane-dropped"
+                [ ("worker", Obs.Trace.I (lane.l_w + 1));
+                  ("items", Obs.Trace.I (List.length slices.(j))) ];
+              kill_lane pool lane.l_w ~kill:false;
+              incr recomputed_slices;
+              leftover := List.map fst slices.(j) @ !leftover
+            | Timeout ->
+              Obs.Metrics.inc (Lazy.force M.trace_dropped_lanes);
+              Obs.Log.event ~level:Obs.Log.Warn "parallel:worker-timeout"
+                [ ("worker", Obs.Trace.I (lane.l_w + 1));
+                  ("items", Obs.Trace.I (List.length slices.(j)));
+                  ("timeout_s",
+                   Obs.Trace.F (Option.value ~default:0.0 pool.p_timeout)) ];
+              kill_lane pool lane.l_w ~kill:true;
+              incr recomputed_slices;
+              leftover := List.map fst slices.(j) @ !leftover
+          end)
+        lanes;
+      Obs.Metrics.inc ~by:!recomputed_slices (Lazy.force M.recomputed_slices);
+      Obs.Metrics.inc ~by:(List.length !leftover)
+        (Lazy.force M.recomputed_items);
+      List.iter (fun i -> results.(i) <- Some (pool.p_f arr.(i))) !leftover;
+      Array.to_list (Array.map Option.get results)
+    end
+  end
+
+let shutdown_pool pool =
+  if not pool.p_closed then begin
+    pool.p_closed <- true;
+    Array.iteri
+      (fun w lane ->
+        match lane with
+        | None -> ()
+        | Some l ->
+          (try
+             Marshal.to_channel l.l_oc P_quit [];
+             flush l.l_oc
+           with Sys_error _ | Unix.Unix_error _ -> ());
+          close_lane l;
+          pool.p_lanes.(w) <- None)
+      pool.p_lanes
+  end

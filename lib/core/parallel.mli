@@ -8,10 +8,27 @@
     recomputed serially in the parent, so exceptions propagate with their
     real backtrace.
 
+    The pool is hang-proof and leak-free by construction, which is what
+    lets it sit inside the long-lived [xenergy serve] daemon:
+
+    - every child is reaped with an [EINTR]-retrying [waitpid]
+      ({!reap}) — a signal landing mid-join can no longer leak a zombie;
+    - parent-side pipe reads can carry a deadline ([read_timeout_s]):
+      each read is guarded by [select], and a worker that wedges past
+      the deadline is killed, counted in
+      [parallel_trace_dropped_lanes_total], logged as a
+      [parallel:worker-timeout] record and its slice recomputed — the
+      parent never blocks forever on a dead-but-silent pipe;
+    - an invalid [XENERGY_JOBS] value is rejected with a
+      [parallel:bad-jobs-env] {!Obs.Log} warning naming the value,
+      instead of being silently replaced by the core count.
+
     Every degraded path is observable: counted in the [Obs.Metrics]
     registry ([parallel_serial_fallbacks_total],
     [parallel_failed_forks_total], [parallel_recomputed_slices_total],
-    [parallel_recomputed_items_total]) and returned per call in
+    [parallel_recomputed_items_total],
+    [parallel_trace_dropped_lanes_total],
+    [parallel_pool_respawns_total]) and returned per call in
     {!run_stats}.  With [Obs.Trace] enabled, each worker records its
     spans on trace lane [w + 1] and ships them back with its results, so
     the merged Chrome trace shows genuine per-worker lanes framed by
@@ -22,16 +39,35 @@
     marshalled — still ships its partial trace lane and metric
     increments back (the parent keeps them before recomputing the
     slice); only a worker that dies outright loses its lane, and that
-    loss is counted in [parallel_trace_dropped_lanes_total] and logged
-    as a [parallel:lane-dropped] {!Obs.Log} record instead of
-    disappearing silently.  Fork failures, serial fallbacks, worker
-    failures and dropped lanes all emit [Obs.Log] events when a log
-    sink is open. *)
+    loss is counted and logged instead of disappearing silently.
+
+    {2 Persistent pools}
+
+    [map] forks its workers per call — the right shape for a one-shot
+    CLI run, and pure waste for a daemon answering thousands of
+    requests.  {!create_pool} forks the workers once; {!pool_map} feeds
+    them batches over request pipes and reassembles results exactly like
+    [map], with the same degradation ladder (failed sends, deaths,
+    timeouts and in-worker exceptions all end in a parent-side
+    recompute).  Lanes that died are respawned on the next batch
+    (counted in [parallel_pool_respawns_total]), so a single poisonous
+    request does not permanently shrink the pool. *)
 
 val default_jobs : unit -> int
 (** The [XENERGY_JOBS] environment variable if set to a positive integer,
     otherwise [Domain.recommended_domain_count ()] (the available
-    cores). *)
+    cores).  An unset or empty variable falls back silently; a present
+    but invalid value (["0"], ["abc"]) additionally emits a
+    [parallel:bad-jobs-env] {!Obs.Log} warning naming the rejected
+    value, so a misconfigured deployment is visible in its logs. *)
+
+val reap : int -> unit
+(** [reap pid] — [Unix.waitpid] retried until it is not interrupted by a
+    signal ([EINTR]).  Swallowing the interrupt (as a blanket exception
+    handler would) leaks the child as a zombie; any other wait error
+    means there is genuinely nothing to reap.  Used by every join in
+    this module and exported for embedders that fork their own helpers
+    (e.g. test harnesses spawning a daemon). *)
 
 type run_stats = {
   workers_spawned : int;      (** forked workers that started *)
@@ -44,11 +80,46 @@ type run_stats = {
 val no_stats : run_stats
 (** All-zero statistics (the deliberate serial paths). *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?jobs:int -> ?read_timeout_s:float -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ?jobs f xs] — [jobs] defaults to {!default_jobs}.  [f] must not
     rely on mutating shared state visible to the caller: it runs in a
     forked child whose writes are not seen by the parent (only the
-    returned, marshalled value is). *)
+    returned, marshalled value is).  [read_timeout_s] bounds how long
+    the parent waits for any single worker's results (default: no
+    bound); a worker that exceeds it is killed and its slice recomputed
+    in the parent. *)
 
-val map_with_stats : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list * run_stats
+val map_with_stats :
+  ?jobs:int -> ?read_timeout_s:float -> ('a -> 'b) -> 'a list ->
+  'b list * run_stats
 (** Like {!map}, also reporting how the pool degraded (if it did). *)
+
+type ('a, 'b) pool
+(** A persistent pool of forked workers computing ['a -> 'b], created
+    once and reused across many {!pool_map} calls. *)
+
+val create_pool :
+  ?jobs:int -> ?read_timeout_s:float -> ('a -> 'b) -> ('a, 'b) pool
+(** Fork [jobs] (default {!default_jobs}) persistent workers running the
+    given function.  The function is fixed at creation (the fork
+    captures it); the ['a] items sent later must be marshal-safe.
+    [read_timeout_s] is the per-batch read deadline applied by every
+    {!pool_map} (default: block).  [SIGPIPE] is set to ignore so a
+    write to a just-died lane surfaces as a respawnable error rather
+    than killing the embedding process. *)
+
+val pool_map : ('a, 'b) pool -> 'a list -> 'b list
+(** Observably [List.map f xs] over the pool's workers: items are
+    partitioned round-robin over the live lanes, dead lanes are
+    respawned first, and any lane that fails (send error, death, read
+    timeout, in-worker exception) has its slice recomputed in the
+    parent.  With no live lane at all the whole batch runs serially
+    (counted as a serial fallback).
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val pool_live : ('a, 'b) pool -> int
+(** Number of currently live lanes (between 0 and [jobs]). *)
+
+val shutdown_pool : ('a, 'b) pool -> unit
+(** Ask every lane to quit, close its pipes and reap it ({!reap} — no
+    zombies).  Idempotent; {!pool_map} afterwards raises. *)

@@ -18,6 +18,15 @@ let level_of_string s =
 
 let sink : out_channel option ref = ref None
 let min_level = ref Debug
+let corr : string option ref = ref None
+
+let set_correlation id = corr := id
+let correlation () = !corr
+
+let with_correlation id f =
+  let saved = !corr in
+  corr := Some id;
+  Fun.protect ~finally:(fun () -> corr := saved) f
 
 let set_level l = min_level := l
 
@@ -79,6 +88,9 @@ let event ?(level = Info) name fields =
        \"event\": \"%s\""
       (Trace.now_us ()) (level_to_string level) (Trace.tid ())
       (Unix.getpid ()) (json_escape name);
+    (match !corr with
+    | Some id -> Printf.bprintf b ", \"corr\": \"%s\"" (json_escape id)
+    | None -> ());
     List.iter
       (fun (k, v) ->
         Printf.bprintf b ", \"%s\": %s" (json_escape k) (arg_json v))

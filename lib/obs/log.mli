@@ -49,6 +49,21 @@ val close : unit -> unit
 val enabled : unit -> bool
 (** Is a sink open? *)
 
+val set_correlation : string option -> unit
+(** Set (or, with [None], clear) the process-wide correlation id.
+    While set, every record carries a ["corr"] field with the id, so
+    all log lines emitted on behalf of one request — including those
+    from workers forked while it is set — can be grepped back together
+    from a shared sink.  Long-lived servers set it per accepted
+    request; one-shot CLI runs never need it. *)
+
+val correlation : unit -> string option
+(** The current correlation id, if any (e.g. to echo into a response). *)
+
+val with_correlation : string -> (unit -> 'a) -> 'a
+(** [with_correlation id f] runs [f] with the correlation id set to
+    [id], restoring the previous id afterwards (also on raise). *)
+
 val event : ?level:level -> string -> (string * Trace.arg) list -> unit
 (** [event name fields] — append one record ([level] defaults to
     [Info]).  Write failures (e.g. a full disk) silently disable the

@@ -1,0 +1,34 @@
+let call ?timeout_s ~socket req =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      Protocol.write_frame fd (Protocol.json_to_string req);
+      let deadline =
+        Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
+      in
+      match Protocol.read_frame ?deadline fd with
+      | Some payload -> Obs.Json.parse payload
+      | None ->
+        raise
+          (Protocol.Frame_error
+             "server closed the connection without a response"))
+
+let wait_ready ?(timeout_s = 10.0) ~socket () =
+  let give_up = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let ok =
+      match call ~timeout_s:1.0 ~socket (Obs.Json.Obj [ ("op", Obs.Json.Str "ping") ]) with
+      | Obs.Json.Obj fields -> List.assoc_opt "ok" fields = Some (Obs.Json.Bool true)
+      | _ -> false
+      | exception Unix.Unix_error _ -> false
+      | exception Protocol.Frame_error _ -> false
+      | exception Obs.Json.Parse_error _ -> false
+    in
+    ok
+    || (Unix.gettimeofday () < give_up
+        && (Unix.sleepf 0.05;
+            go ()))
+  in
+  go ()

@@ -1,0 +1,16 @@
+(** Minimal [xenergy serve] client: one framed request, one framed
+    response, over a fresh Unix-domain connection.  Backs the CLI's
+    client mode and the end-to-end tests. *)
+
+val call : ?timeout_s:float -> socket:string -> Obs.Json.t -> Obs.Json.t
+(** Connect, send one request, read the response, close.  [timeout_s]
+    bounds the response read (a daemon busy characterizing can
+    legitimately take a while — size it generously).
+    @raise Unix.Unix_error when the socket is absent or refuses.
+    @raise Protocol.Frame_error on a timeout or a torn response.
+    @raise Obs.Json.Parse_error if the response is not JSON. *)
+
+val wait_ready : ?timeout_s:float -> socket:string -> unit -> bool
+(** Poll the daemon with [ping] until it answers [ok] or [timeout_s]
+    (default 10.0) elapses — for scripts and tests that just started
+    the daemon in the background.  Never raises. *)

@@ -1,0 +1,135 @@
+module M = struct
+  let hits =
+    lazy
+      (Obs.Metrics.counter
+         ~help:"model-registry lookups served from memory"
+         "serve_registry_hits_total")
+
+  let misses =
+    lazy
+      (Obs.Metrics.counter
+         ~help:"model-registry lookups that ran a characterization"
+         "serve_registry_misses_total")
+
+  let evictions =
+    lazy
+      (Obs.Metrics.counter ~help:"models LRU-evicted from the registry"
+         "serve_registry_evictions_total")
+
+  let models =
+    lazy
+      (Obs.Metrics.gauge ~help:"models currently resident in the registry"
+         "serve_registry_models")
+
+  let characterize_seconds =
+    lazy
+      (Obs.Metrics.histogram
+         ~help:"wall time of registry-triggered characterizations"
+         "serve_characterize_seconds")
+end
+
+type lookup = {
+  l_key : string;
+  l_model : Core.Template.model;
+  l_hit : bool;
+}
+
+type stats = {
+  r_models : int;
+  r_hits : int;
+  r_misses : int;
+  r_evictions : int;
+}
+
+type t = {
+  max_models : int;
+  characterize : Sim.Config.t -> Core.Template.model;
+  table : (string, Core.Template.model) Hashtbl.t;
+  index : Core.Cache_index.t;   (* LRU bookkeeping: m_size = 1 per model *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let key_of_config config =
+  Digest.to_hex
+    (Digest.string (Marshal.to_string ("xenergy-serve-model", 1, config) []))
+
+let create ?(max_models = 4) ?jobs ?characterize () =
+  if max_models < 1 then invalid_arg "Registry.create: max_models must be >= 1";
+  let characterize =
+    match characterize with
+    | Some f -> f
+    | None ->
+      fun config ->
+        (Core.Characterize.run ?jobs ~config
+           (Workloads.Suite.characterization ()))
+          .Core.Characterize.model
+  in
+  { max_models;
+    characterize;
+    table = Hashtbl.create 8;
+    index = Core.Cache_index.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let touch t key =
+  Core.Cache_index.record t.index
+    { Core.Cache_index.m_key = key;
+      m_name = "model";
+      m_size = 1;
+      m_last_used = Unix.gettimeofday () }
+
+let publish_residency t =
+  Obs.Metrics.set (Lazy.force M.models) (float_of_int (Hashtbl.length t.table))
+
+let evict_over_bound t =
+  let plan =
+    Core.Cache_index.plan_eviction ~now:(Unix.gettimeofday ())
+      ~max_entries:t.max_models t.index
+  in
+  List.iter
+    (fun m ->
+      let key = m.Core.Cache_index.m_key in
+      Hashtbl.remove t.table key;
+      Core.Cache_index.remove t.index key;
+      t.evictions <- t.evictions + 1;
+      Obs.Metrics.inc (Lazy.force M.evictions);
+      Obs.Log.event "serve:evict-model" [ ("key", Obs.Trace.S key) ])
+    plan;
+  publish_residency t
+
+let get t config =
+  let key = key_of_config config in
+  match Hashtbl.find_opt t.table key with
+  | Some model ->
+    t.hits <- t.hits + 1;
+    Obs.Metrics.inc (Lazy.force M.hits);
+    touch t key;
+    { l_key = key; l_model = model; l_hit = true }
+  | None ->
+    t.misses <- t.misses + 1;
+    Obs.Metrics.inc (Lazy.force M.misses);
+    Obs.Log.event "serve:characterize" [ ("key", Obs.Trace.S key) ];
+    let t0 = Unix.gettimeofday () in
+    let model = t.characterize config in
+    Obs.Metrics.observe
+      (Lazy.force M.characterize_seconds)
+      (Unix.gettimeofday () -. t0);
+    Hashtbl.replace t.table key model;
+    touch t key;
+    evict_over_bound t;
+    { l_key = key; l_model = model; l_hit = false }
+
+let preload t config model =
+  let key = key_of_config config in
+  Hashtbl.replace t.table key model;
+  touch t key;
+  evict_over_bound t
+
+let stats t =
+  { r_models = Hashtbl.length t.table;
+    r_hits = t.hits;
+    r_misses = t.misses;
+    r_evictions = t.evictions }

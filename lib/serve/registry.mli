@@ -1,0 +1,65 @@
+(** The daemon's model registry: characterize once per processor
+    configuration, serve from memory thereafter.
+
+    Models are keyed by a content hash of the {!Sim.Config.t} they were
+    characterized under ({!key_of_config}), so two requests naming the
+    same configuration — however they spell it — share one model.  A
+    lookup that misses runs a full characterization (the expensive step
+    the daemon exists to amortize) and caches the fitted model; the
+    resident set is bounded by [max_models] with LRU eviction planned by
+    the same {!Core.Cache_index.plan_eviction} machinery that bounds the
+    on-disk evaluation cache.
+
+    Every lookup is counted in the {!Obs.Metrics} registry
+    ([serve_registry_hits_total], [serve_registry_misses_total],
+    [serve_registry_evictions_total], with the resident count as the
+    [serve_registry_models] gauge and characterization wall time in
+    [serve_characterize_seconds]) — a [/metrics] scrape shows exactly
+    how warm the registry is.  Characterizations and evictions also
+    emit [serve:characterize] / [serve:evict-model] {!Obs.Log} records,
+    correlation-stamped when the server set a request id. *)
+
+type t
+
+type lookup = {
+  l_key : string;                 (** {!key_of_config} of the request *)
+  l_model : Core.Template.model;
+  l_hit : bool;                   (** served from memory, no
+                                      characterization ran *)
+}
+
+type stats = {
+  r_models : int;     (** models currently resident *)
+  r_hits : int;
+  r_misses : int;     (** characterizations run *)
+  r_evictions : int;
+}
+
+val key_of_config : Sim.Config.t -> string
+(** Content hash (hex digest) of the full processor configuration. *)
+
+val create :
+  ?max_models:int ->
+  ?jobs:int ->
+  ?characterize:(Sim.Config.t -> Core.Template.model) ->
+  unit ->
+  t
+(** [max_models] (default 4) bounds the resident set; [jobs] is the
+    worker count for the default characterization.  [characterize]
+    replaces the default (fitting the full characterization suite under
+    the given configuration) — tests inject a stub to observe exactly
+    how many characterizations a traffic pattern causes.
+    @raise Invalid_argument when [max_models < 1]. *)
+
+val get : t -> Sim.Config.t -> lookup
+(** The model for a configuration: from memory when resident (touching
+    its LRU slot), otherwise characterized, cached and LRU-evicting the
+    oldest models past the [max_models] bound. *)
+
+val preload : t -> Sim.Config.t -> Core.Template.model -> unit
+(** Install an already-fitted model (e.g. loaded from a coefficients
+    file at daemon startup) so the first request under that
+    configuration is already a hit.  Counts as neither hit nor miss. *)
+
+val stats : t -> stats
+(** Lifetime counters plus the current resident count. *)

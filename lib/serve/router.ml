@@ -1,0 +1,331 @@
+module J = Obs.Json
+
+module M = struct
+  let requests op =
+    Obs.Metrics.counter
+      ~labels:[ ("op", op) ]
+      ~help:"requests handled by the serve router" "serve_requests_total"
+
+  let errors =
+    lazy
+      (Obs.Metrics.counter ~help:"requests answered with an error"
+         "serve_errors_total")
+
+  let request_seconds =
+    lazy
+      (Obs.Metrics.histogram ~help:"request handling wall time"
+         "serve_request_seconds")
+end
+
+type t = {
+  r_registry : Registry.t;
+  r_cache : Core.Eval_cache.t;
+  r_pool : (string * Sim.Config.t, Core.Eval_cache.entry) Core.Parallel.pool;
+  r_jobs : int option;
+  r_started : float;
+  mutable r_requests : int;
+  mutable r_stop : bool;
+  mutable r_shut : bool;
+}
+
+(* The pool function is fixed at fork time, so it takes everything a
+   batch item needs — workload name and configuration — as marshal-safe
+   data and resolves the case inside the worker. *)
+let profile_entry (name, config) =
+  let case = Workloads.Suite.find name in
+  let p = Core.Extract.profile ~config case in
+  { Core.Eval_cache.e_name = name;
+    e_variables = p.Core.Extract.variables;
+    e_cycles = p.Core.Extract.cycles;
+    e_instructions = p.Core.Extract.instructions;
+    e_stall_cycles = p.Core.Extract.stall_cycles;
+    e_measured_pj = None }
+
+let create ?max_models ?jobs ?read_timeout_s ?cache_dir ?characterize () =
+  { r_registry = Registry.create ?max_models ?jobs ?characterize ();
+    r_cache = Core.Eval_cache.create ?dir:cache_dir ();
+    r_pool = Core.Parallel.create_pool ?jobs ?read_timeout_s profile_entry;
+    r_jobs = jobs;
+    r_started = Unix.gettimeofday ();
+    r_requests = 0;
+    r_stop = false;
+    r_shut = false }
+
+let registry t = t.r_registry
+let stopped t = t.r_stop
+
+let shutdown t =
+  if not t.r_shut then begin
+    t.r_shut <- true;
+    Core.Eval_cache.flush t.r_cache;
+    Core.Parallel.shutdown_pool t.r_pool
+  end
+
+(* --- Request plumbing ----------------------------------------------------- *)
+
+let member_opt k = function J.Obj fields -> List.assoc_opt k fields | _ -> None
+
+let str_field ~op k req =
+  match member_opt k req with
+  | Some (J.Str s) -> s
+  | Some _ | None ->
+    failwith (Printf.sprintf "%s needs a string %S field" op k)
+
+let find_case name =
+  try Workloads.Suite.find name
+  with Not_found -> failwith (Printf.sprintf "unknown workload %S" name)
+
+let workload_list ~op req =
+  match member_opt "workloads" req with
+  | Some (J.Arr l) ->
+    Some
+      (List.map
+         (function
+           | J.Str s -> s
+           | _ -> failwith (Printf.sprintf "%s: workloads must be strings" op))
+         l)
+  | Some (J.Str s) -> Some [ s ]
+  | Some _ -> failwith (Printf.sprintf "%s: \"workloads\" must be an array" op)
+  | None -> None
+
+module C = Sim.Config
+
+let config_of_json = function
+  | J.Null -> C.default
+  | J.Obj fields ->
+    let int_of k = function
+      | J.Num f -> int_of_float f
+      | _ -> failwith (Printf.sprintf "config: %S must be a number" k)
+    in
+    let float_of k = function
+      | J.Num f -> f
+      | _ -> failwith (Printf.sprintf "config: %S must be a number" k)
+    in
+    let c =
+      List.fold_left
+        (fun c (k, v) ->
+          match k with
+          | "icache_size_bytes" ->
+            { c with C.icache = { c.C.icache with C.size_bytes = int_of k v } }
+          | "icache_ways" ->
+            { c with C.icache = { c.C.icache with C.ways = int_of k v } }
+          | "icache_line_bytes" ->
+            { c with C.icache = { c.C.icache with C.line_bytes = int_of k v } }
+          | "icache_miss_penalty" ->
+            { c with
+              C.icache = { c.C.icache with C.miss_penalty = int_of k v } }
+          | "dcache_size_bytes" ->
+            { c with C.dcache = { c.C.dcache with C.size_bytes = int_of k v } }
+          | "dcache_ways" ->
+            { c with C.dcache = { c.C.dcache with C.ways = int_of k v } }
+          | "dcache_line_bytes" ->
+            { c with C.dcache = { c.C.dcache with C.line_bytes = int_of k v } }
+          | "dcache_miss_penalty" ->
+            { c with
+              C.dcache = { c.C.dcache with C.miss_penalty = int_of k v } }
+          | "branch_taken_penalty" ->
+            { c with C.branch_taken_penalty = int_of k v }
+          | "window_penalty" -> { c with C.window_penalty = int_of k v }
+          | "freq_mhz" -> { c with C.freq_mhz = float_of k v }
+          | "max_cycles" -> { c with C.max_cycles = int_of k v }
+          | k -> failwith (Printf.sprintf "config: unknown field %S" k))
+        C.default fields
+    in
+    (try C.validate c
+     with Invalid_argument msg -> failwith ("config: " ^ msg));
+    c
+  | _ -> failwith "\"config\" must be an object"
+
+let request_config req =
+  config_of_json (Option.value ~default:J.Null (member_opt "config" req))
+
+let error_resp msg = J.Obj [ ("ok", J.Bool false); ("error", J.Str msg) ]
+
+(* --- Ops ------------------------------------------------------------------ *)
+
+let handle_estimate t req =
+  let names =
+    match workload_list ~op:"estimate" req with
+    | Some [] -> failwith "estimate: empty workload list"
+    | Some names -> names
+    | None -> failwith "estimate needs a \"workloads\" array"
+  in
+  let config = request_config req in
+  (* Resolve every name before simulating anything, so one typo fails
+     the request instead of wasting a batch. *)
+  List.iter (fun n -> ignore (find_case n)) names;
+  let lookup = Registry.get t.r_registry config in
+  let model = lookup.Registry.l_model in
+  let found =
+    List.map
+      (fun n ->
+        let key = Core.Eval_cache.key ~config (find_case n) in
+        (n, key, Core.Eval_cache.find t.r_cache key))
+      names
+  in
+  let missing =
+    List.filter_map
+      (function n, key, None -> Some (n, key) | _, _, Some _ -> None)
+      found
+  in
+  let computed =
+    if missing = [] then []
+    else
+      Core.Parallel.pool_map t.r_pool
+        (List.map (fun (n, _) -> (n, config)) missing)
+  in
+  let fresh = Hashtbl.create 8 in
+  List.iter2
+    (fun (n, key) entry ->
+      Core.Eval_cache.store t.r_cache key entry;
+      Hashtbl.replace fresh n entry)
+    missing computed;
+  let row (n, _, cached) =
+    let entry, was_cached =
+      match cached with
+      | Some e -> (e, true)
+      | None -> (Hashtbl.find fresh n, false)
+    in
+    let pj = Core.Template.energy model entry.Core.Eval_cache.e_variables in
+    J.Obj
+      [ ("name", J.Str n);
+        ("energy_pj", J.Num pj);
+        ("energy_uj", J.Num (pj *. 1e-6));
+        ("cycles", J.Num (float_of_int entry.Core.Eval_cache.e_cycles));
+        ( "instructions",
+          J.Num (float_of_int entry.Core.Eval_cache.e_instructions) );
+        ("cached", J.Bool was_cached) ]
+  in
+  J.Obj
+    [ ("ok", J.Bool true);
+      ("op", J.Str "estimate");
+      ("model_key", J.Str lookup.Registry.l_key);
+      ("registry_hit", J.Bool lookup.Registry.l_hit);
+      ("results", J.Arr (List.map row found)) ]
+
+let handle_attribute t req =
+  let name = str_field ~op:"attribute" "workload" req in
+  let bucket =
+    match member_opt "bucket_cycles" req with
+    | Some (J.Num f) -> int_of_float f
+    | None -> 64
+    | Some _ -> failwith "attribute: \"bucket_cycles\" must be a number"
+  in
+  if bucket <= 0 then failwith "attribute: bucket_cycles must be positive";
+  let config = request_config req in
+  let case = find_case name in
+  let lookup = Registry.get t.r_registry config in
+  let b =
+    Core.Attribution.run ~config ~bucket_cycles:bucket
+      lookup.Registry.l_model case
+  in
+  J.Obj
+    [ ("ok", J.Bool true);
+      ("op", J.Str "attribute");
+      ("model_key", J.Str lookup.Registry.l_key);
+      ("registry_hit", J.Bool lookup.Registry.l_hit);
+      ("attribution", J.parse (Core.Attribution.to_json b)) ]
+
+let handle_audit t req =
+  let cases =
+    match workload_list ~op:"audit" req with
+    | Some [] -> failwith "audit: empty workload list"
+    | Some names -> List.map find_case names
+    | None -> Workloads.Suite.applications ()
+  in
+  let config = request_config req in
+  let lookup = Registry.get t.r_registry config in
+  let report =
+    Core.Audit.run ?jobs:t.r_jobs ~cache:t.r_cache ~config
+      lookup.Registry.l_model cases
+  in
+  J.Obj
+    [ ("ok", J.Bool true);
+      ("op", J.Str "audit");
+      ("model_key", J.Str lookup.Registry.l_key);
+      ("registry_hit", J.Bool lookup.Registry.l_hit);
+      ("audit", J.parse (Core.Audit.to_json report)) ]
+
+let handle_stats t =
+  let rs = Registry.stats t.r_registry in
+  let cs = Core.Eval_cache.stats t.r_cache in
+  let num n = J.Num (float_of_int n) in
+  J.Obj
+    [ ("ok", J.Bool true);
+      ("op", J.Str "stats");
+      ("pid", num (Unix.getpid ()));
+      ("uptime_s", J.Num (Unix.gettimeofday () -. t.r_started));
+      ("requests", num t.r_requests);
+      ("registry_models", num rs.Registry.r_models);
+      ("registry_hits", num rs.Registry.r_hits);
+      ("registry_misses", num rs.Registry.r_misses);
+      ("registry_evictions", num rs.Registry.r_evictions);
+      ("cache_hits", num cs.Core.Eval_cache.hits);
+      ("cache_misses", num cs.Core.Eval_cache.misses);
+      ("cache_errors", num cs.Core.Eval_cache.errors);
+      ("cache_stores", num cs.Core.Eval_cache.stores);
+      ("pool_live", num (Core.Parallel.pool_live t.r_pool)) ]
+
+let dispatch t op req =
+  match op with
+  | "ping" ->
+    J.Obj
+      [ ("ok", J.Bool true);
+        ("op", J.Str "ping");
+        ("pid", J.Num (float_of_int (Unix.getpid ()))) ]
+  | "estimate" -> handle_estimate t req
+  | "attribute" -> handle_attribute t req
+  | "audit" -> handle_audit t req
+  | "metrics" ->
+    J.Obj
+      [ ("ok", J.Bool true);
+        ("op", J.Str "metrics");
+        ("exposition", J.Str (Obs.Export.to_openmetrics ())) ]
+  | "stats" -> handle_stats t
+  | "shutdown" ->
+    t.r_stop <- true;
+    J.Obj [ ("ok", J.Bool true); ("op", J.Str "shutdown") ]
+  | "" -> failwith "request needs a string \"op\" field"
+  | op -> failwith (Printf.sprintf "unknown op %S" op)
+
+let handle t req =
+  t.r_requests <- t.r_requests + 1;
+  let t0 = Unix.gettimeofday () in
+  let op =
+    match member_opt "op" req with Some (J.Str s) -> s | Some _ | None -> ""
+  in
+  Obs.Metrics.inc (M.requests (if op = "" then "invalid" else op));
+  let resp =
+    match dispatch t op req with
+    | resp -> resp
+    | exception e ->
+      (* A bad request — or a genuinely failing pipeline stage — must
+         answer this client, not take the daemon down. *)
+      let msg =
+        match e with
+        | Failure msg | Invalid_argument msg -> msg
+        | J.Parse_error msg -> "invalid JSON: " ^ msg
+        | e -> Printexc.to_string e
+      in
+      Obs.Metrics.inc (Lazy.force M.errors);
+      Obs.Log.event ~level:Obs.Log.Warn "serve:error"
+        [ ("op", Obs.Trace.S op); ("error", Obs.Trace.S msg) ];
+      error_resp msg
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Obs.Metrics.observe (Lazy.force M.request_seconds) dt;
+  let ok = match resp with J.Obj (("ok", J.Bool b) :: _) -> b | _ -> false in
+  Obs.Log.event "serve:request"
+    [ ("op", Obs.Trace.S op);
+      ("ok", Obs.Trace.B ok);
+      ("seconds", Obs.Trace.F dt) ];
+  resp
+
+let handle_text t payload =
+  match J.parse payload with
+  | req -> Protocol.json_to_string (handle t req)
+  | exception J.Parse_error msg ->
+    Obs.Metrics.inc (Lazy.force M.errors);
+    Obs.Log.event ~level:Obs.Log.Warn "serve:error"
+      [ ("op", Obs.Trace.S "parse"); ("error", Obs.Trace.S msg) ];
+    Protocol.json_to_string (error_resp ("invalid JSON: " ^ msg))

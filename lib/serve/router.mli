@@ -1,0 +1,73 @@
+(** Request dispatch for the [xenergy serve] daemon.
+
+    A request is one JSON object with an ["op"] field; the router maps
+    it to the estimation pipeline and answers with one JSON object that
+    always carries ["ok"] (and, on failure, ["error"]).  Supported ops:
+
+    - [ping] — liveness; echoes the daemon pid.
+    - [estimate] — [{"op": "estimate", "workloads": ["gcd", ...],
+      "config": {...}?}]: energy of each named workload under the
+      (optionally overridden) processor configuration.  The model comes
+      from the {!Registry} (characterize once per configuration), the
+      per-workload profiles from the shared {!Core.Eval_cache}
+      (simulate once per (workload, configuration)); cache misses are
+      fanned out over a persistent {!Core.Parallel} pool.  The response
+      marks each row ["cached"] and the whole request
+      ["registry_hit"], so a client can see that a warm request ran
+      zero simulations.
+    - [attribute] — [{"op": "attribute", "workload": NAME,
+      "bucket_cycles": N?, "config": {...}?}]: the per-variable energy
+      breakdown and power-over-time waveform
+      ({!Core.Attribution.to_json}).
+    - [audit] — [{"op": "audit", "workloads": [...]?, "config":
+      {...}?}]: macro-model vs reference accuracy report
+      ({!Core.Audit.to_json}) over the named workloads (default: the
+      Table II applications), memoized through the shared cache.
+    - [metrics] — the live registry as an OpenMetrics text exposition
+      ({!Obs.Export.to_openmetrics}) in the ["exposition"] field; this
+      is the daemon's [/metrics] endpoint.
+    - [stats] — registry/cache/pool counters as JSON, for tests and
+      quick inspection.
+    - [shutdown] — acknowledge, then flag the server loop to stop.
+
+    [config] objects override {!Sim.Config.default} field-wise; the
+    accepted keys are [icache_size_bytes], [icache_ways],
+    [icache_line_bytes], [icache_miss_penalty] (same four with
+    [dcache_]), [branch_taken_penalty], [window_penalty], [freq_mhz]
+    and [max_cycles].  Unknown keys and invalid geometries are request
+    errors, never crashes: any per-request failure is caught and
+    answered as [{"ok": false, "error": ...}]. *)
+
+type t
+
+val create :
+  ?max_models:int ->
+  ?jobs:int ->
+  ?read_timeout_s:float ->
+  ?cache_dir:string ->
+  ?characterize:(Sim.Config.t -> Core.Template.model) ->
+  unit ->
+  t
+(** [max_models], [jobs] and [characterize] configure the {!Registry};
+    [jobs] also sizes the persistent worker pool and the audit fan-out,
+    and [read_timeout_s] is the pool's hung-worker deadline.
+    [cache_dir] backs the evaluation cache on disk so profiles survive
+    daemon restarts. *)
+
+val registry : t -> Registry.t
+(** The router's model registry (e.g. to {!Registry.preload} a model
+    loaded from a coefficients file). *)
+
+val handle : t -> Obs.Json.t -> Obs.Json.t
+(** Dispatch one parsed request. *)
+
+val handle_text : t -> string -> string
+(** Parse, dispatch and print: what the server calls per frame.  A JSON
+    parse failure is answered as an error response. *)
+
+val stopped : t -> bool
+(** Has a [shutdown] request been handled? *)
+
+val shutdown : t -> unit
+(** Flush the evaluation cache's index and shut the worker pool down
+    (reaping every lane).  Idempotent. *)

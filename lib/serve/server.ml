@@ -1,0 +1,53 @@
+let handle_conn router ~io_timeout_s conn =
+  let rec loop () =
+    let deadline = Unix.gettimeofday () +. io_timeout_s in
+    match Protocol.read_frame ~deadline conn with
+    | None -> ()
+    | Some payload ->
+      Protocol.write_frame conn (Router.handle_text router payload);
+      if not (Router.stopped router) then loop ()
+  in
+  try loop () with
+  | Protocol.Frame_error msg ->
+    Obs.Log.event ~level:Obs.Log.Warn "serve:frame-error"
+      [ ("error", Obs.Trace.S msg) ]
+  | Unix.Unix_error (e, _, _) ->
+    Obs.Log.event ~level:Obs.Log.Warn "serve:io-error"
+      [ ("error", Obs.Trace.S (Unix.error_message e)) ]
+
+let run ?(io_timeout_s = 10.0) ?(backlog = 16) ~socket router =
+  Obs.Metrics.set_enabled true;
+  (* A previous daemon that died without cleanup leaves a stale socket
+     file; a live one will make bind fail with EADDRINUSE below, which
+     is the right refusal. *)
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind listener (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen listener backlog;
+  Obs.Log.event "serve:start"
+    [ ("socket", Obs.Trace.S socket);
+      ("io_timeout_s", Obs.Trace.F io_timeout_s) ];
+  let accepted = ref 0 in
+  let rec accept_loop () =
+    if not (Router.stopped router) then
+      match Unix.accept listener with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | conn, _ ->
+        incr accepted;
+        let corr = Printf.sprintf "req-%d-%d" (Unix.getpid ()) !accepted in
+        Obs.Log.with_correlation corr (fun () ->
+            handle_conn router ~io_timeout_s conn);
+        (try Unix.close conn with Unix.Unix_error _ -> ());
+        accept_loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      Router.shutdown router;
+      Obs.Log.event "serve:stop"
+        [ ("connections", Obs.Trace.I !accepted) ])
+    accept_loop

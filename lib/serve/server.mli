@@ -1,0 +1,35 @@
+(** The [xenergy serve] listener: a Unix-domain-socket accept loop in
+    front of a {!Router}.
+
+    The loop is deliberately single-threaded and sequential: one
+    connection is served to completion before the next is accepted
+    (pending clients queue in the listen backlog).  That makes
+    single-flight characterization structural — two clients racing to
+    the same uncharacterized configuration cannot both miss, because
+    the second request is not even read until the first has
+    characterized and cached the model — while per-request parallelism
+    still comes from the router's {!Core.Parallel} worker pool.
+
+    Each accepted connection may carry any number of request frames
+    (see {!Protocol}); every frame is answered with one response frame.
+    Per-connection I/O carries an [io_timeout_s] deadline, so a client
+    that wedges mid-frame (or holds an idle connection) is dropped
+    instead of starving the queue.  Each accepted connection gets a
+    fresh correlation id ([req-<pid>-<n>], via
+    {!Obs.Log.with_correlation}), so the daemon's log groups every
+    record — including the worker pool's — by the request that caused
+    it.
+
+    The loop runs until the router handles a [shutdown] request, then
+    tears down: listener closed, socket file unlinked, router shut down
+    (pool reaped, cache index flushed). *)
+
+val run :
+  ?io_timeout_s:float -> ?backlog:int -> socket:string -> Router.t -> unit
+(** Bind [socket] (replacing a stale socket file), serve until
+    shutdown.  [io_timeout_s] (default 10.0) bounds each frame read and
+    the whole of a connection's idle time; [backlog] (default 16) is
+    the listen queue.  Enables {!Obs.Metrics} recording — a serving
+    process always wants its [/metrics] live.
+    @raise Unix.Unix_error when the socket cannot be bound (e.g. a
+    live daemon already owns it). *)

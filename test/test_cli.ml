@@ -350,6 +350,78 @@ let test_explore_progress_explain_smoke () =
     (contains out "model energy by variable:");
   check Alcotest.bool "shares rendered" true (contains out "%")
 
+(* Client-mode smoke against a live daemon: spawn `xenergy serve` in the
+   background, drive it through the client flags (ping, two estimates,
+   scrape, stop), and check the preloaded-registry hit, the warm cache,
+   and the correlated structured log. *)
+let test_serve_client_smoke () =
+  let model = Filename.temp_file "xenergy_model" ".txt" in
+  let log = Filename.temp_file "xenergy_serve" ".jsonl" in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xenergy_cli_serve.%d.sock" (Unix.getpid ()))
+  in
+  let daemon = ref (-1) in
+  let cleanup () =
+    (if !daemon > 0 then
+       try
+         Unix.kill !daemon Sys.sigkill;
+         ignore (Unix.waitpid [] !daemon)
+       with Unix.Unix_error _ -> ());
+    List.iter
+      (fun f -> try Sys.remove f with Sys_error _ -> ())
+      [ model; log; sock ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let code, _, _ = run_xenergy [ "characterize"; "-j"; "2"; "-o"; model ] in
+  check Alcotest.int "characterize exits 0" 0 code;
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process xenergy_exe
+      [| xenergy_exe; "serve"; "--socket"; sock; "--model"; model;
+         "--log-file"; log; "-j"; "2" |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  daemon := pid;
+  (* The client flags wait for the socket themselves (--wait). *)
+  let code, out, _ = run_xenergy [ "serve"; "--socket"; sock; "--ping" ] in
+  check Alcotest.int "ping exits 0" 0 code;
+  check Alcotest.bool "ping acknowledged" true (contains out "\"ok\": true");
+  let estimate () =
+    run_xenergy
+      [ "serve"; "--socket"; sock; "--call";
+        "{\"op\": \"estimate\", \"workloads\": [\"gcd\", \"des\"]}" ]
+  in
+  let code, cold, _ = estimate () in
+  check Alcotest.int "estimate exits 0" 0 code;
+  check Alcotest.bool "preloaded model serves from the registry" true
+    (contains cold "\"registry_hit\": true");
+  let code, warm, _ = estimate () in
+  check Alcotest.int "second estimate exits 0" 0 code;
+  check Alcotest.bool "warm rows served from the evaluation cache" true
+    (contains warm "\"cached\": true");
+  let code, om, _ = run_xenergy [ "serve"; "--socket"; sock; "--scrape" ] in
+  check Alcotest.int "scrape exits 0" 0 code;
+  check Alcotest.bool "registry residency exported" true
+    (contains om "serve_registry_models 1");
+  check Alcotest.bool "request counters exported" true
+    (contains om "serve_requests_total");
+  check Alcotest.bool "exposition terminated" true (contains om "# EOF");
+  let code, _, _ = run_xenergy [ "serve"; "--socket"; sock; "--stop" ] in
+  check Alcotest.int "stop exits 0" 0 code;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> fail "daemon did not exit cleanly");
+  daemon := -1;
+  check Alcotest.bool "socket unlinked on shutdown" false
+    (Sys.file_exists sock);
+  let body = In_channel.with_open_text log In_channel.input_all in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("log has " ^ needle) true (contains body needle))
+    [ "serve:start"; "serve:request"; "\"corr\": \"req-"; "serve:stop" ]
+
 let () =
   if not (Sys.file_exists xenergy_exe) then
     (* Outside the dune sandbox (e.g. a bare `./test_cli.exe` run) the
@@ -371,4 +443,7 @@ let () =
             Alcotest.test_case "progress + explain" `Slow
               test_explore_progress_explain_smoke ] );
         ( "audit",
-          [ Alcotest.test_case "report + gate" `Slow test_audit_smoke ] ) ]
+          [ Alcotest.test_case "report + gate" `Slow test_audit_smoke ] );
+        ( "serve",
+          [ Alcotest.test_case "client-mode smoke" `Slow
+              test_serve_client_smoke ] ) ]

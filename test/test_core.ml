@@ -1519,6 +1519,168 @@ let test_parallel_unmarshalable_result_fallback () =
       check Alcotest.int "no lane dropped: the payload still landed" 0
         (Obs.Metrics.counter_value dropped - before))
 
+(* --- EINTR, deadline and pool regressions ------------------------------------ *)
+
+let str_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Fire SIGALRM at the parent every 2ms while [f] runs, restoring the
+   previous handler and timer afterwards.  Forked children do not
+   inherit the interval timer, so only the parent's syscalls are
+   interrupted. *)
+let under_signal_storm f =
+  let prev_handler = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let prev_timer =
+    Unix.setitimer Unix.ITIMER_REAL
+      { Unix.it_interval = 0.002; Unix.it_value = 0.002 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.setitimer Unix.ITIMER_REAL prev_timer);
+      ignore (Sys.signal Sys.sigalrm prev_handler))
+    f
+
+(* reap must retry on EINTR.  With signals landing every 2ms and a child
+   that takes ~100ms to exit, the first waitpid is interrupted long
+   before the child dies; swallowing that (as the old blanket handler
+   did) leaked the child as a zombie. *)
+let test_reap_retries_eintr () =
+  under_signal_storm (fun () ->
+      let pid =
+        match Unix.fork () with
+        | 0 ->
+          let until = Unix.gettimeofday () +. 0.1 in
+          while Unix.gettimeofday () < until do
+            ()
+          done;
+          Unix._exit 0
+        | pid -> pid
+      in
+      Core.Parallel.reap pid;
+      (* Fully reaped: the pid must be unknown, not a zombie. *)
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      | _ -> fail "child leaked: reap gave up before waitpid finished")
+
+(* The whole map must hold up under sustained signal pressure: correct
+   results and no zombie left from any worker. *)
+let test_map_no_zombies_under_signals () =
+  under_signal_storm (fun () ->
+      let xs = List.init 12 Fun.id in
+      let res =
+        Core.Parallel.map ~jobs:3
+          (fun i ->
+            Unix.sleepf 0.02;
+            i * 7)
+          xs
+      in
+      check (Alcotest.list Alcotest.int) "results correct under signal load"
+        (List.map (fun i -> i * 7) xs)
+        res;
+      match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      | pid, _ -> fail (Printf.sprintf "zombie child %d left behind" pid))
+
+(* A worker that wedges mid-slice must not hang the parent forever: the
+   read deadline fires, the worker is killed and counted, and its slice
+   recomputes in the parent. *)
+let test_hung_worker_deadline () =
+  with_metrics (fun () ->
+      let dropped = Obs.Metrics.counter "parallel_trace_dropped_lanes_total" in
+      let before = Obs.Metrics.counter_value dropped in
+      let parent = Unix.getpid () in
+      let xs = List.init 8 Fun.id in
+      let t0 = Unix.gettimeofday () in
+      let res, stats =
+        Core.Parallel.map_with_stats ~jobs:2 ~read_timeout_s:0.4
+          (fun i ->
+            if i = 1 && Unix.getpid () <> parent then (
+              Unix.sleep 30;
+              -1)
+            else i * 2)
+          xs
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      check (Alcotest.list Alcotest.int) "wedged slice recomputed"
+        (List.map (fun i -> i * 2) xs)
+        res;
+      check Alcotest.bool "deadline fired instead of waiting out the sleep"
+        true (elapsed < 10.0);
+      check Alcotest.bool "recomputation reported" true
+        (stats.Core.Parallel.recomputed_slices >= 1);
+      check Alcotest.bool "killed worker counted as a dropped lane" true
+        (Obs.Metrics.counter_value dropped > before);
+      match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      | pid, _ -> fail (Printf.sprintf "wedged worker %d left as zombie" pid))
+
+(* An invalid XENERGY_JOBS still falls back to the domain count, but the
+   rejection must land in the structured log, never pass silently. *)
+let test_bad_jobs_env_warns () =
+  let log = Filename.temp_file "xenergy-jobs" ".jsonl" in
+  let prev = Sys.getenv_opt "XENERGY_JOBS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.close ();
+      Unix.putenv "XENERGY_JOBS" (Option.value ~default:"" prev);
+      Sys.remove log)
+    (fun () ->
+      Obs.Log.open_file log;
+      Unix.putenv "XENERGY_JOBS" "abc";
+      let jobs = Core.Parallel.default_jobs () in
+      check Alcotest.bool "fallback is a usable job count" true (jobs >= 1);
+      Unix.putenv "XENERGY_JOBS" "0";
+      ignore (Core.Parallel.default_jobs ());
+      Obs.Log.close ();
+      let body = In_channel.with_open_text log In_channel.input_all in
+      check Alcotest.bool "warning names the event" true
+        (str_contains body "parallel:bad-jobs-env");
+      check Alcotest.bool "warning carries the rejected value" true
+        (str_contains body "\"value\": \"abc\"");
+      check Alcotest.bool "zero is rejected too" true
+        (str_contains body "\"value\": \"0\""))
+
+(* The persistent pool reuses its lanes across batches, kills and
+   respawns a wedged lane, and refuses work after shutdown. *)
+let test_pool_reuse_respawn_shutdown () =
+  let parent = Unix.getpid () in
+  let pool =
+    Core.Parallel.create_pool ~jobs:2 ~read_timeout_s:0.4 (fun i ->
+        if i = 99 && Unix.getpid () <> parent then (
+          Unix.sleep 30;
+          -1)
+        else i + 1)
+  in
+  Fun.protect
+    ~finally:(fun () -> Core.Parallel.shutdown_pool pool)
+    (fun () ->
+      let xs = List.init 6 Fun.id in
+      let expect = List.map (fun i -> i + 1) xs in
+      check (Alcotest.list Alcotest.int) "first batch" expect
+        (Core.Parallel.pool_map pool xs);
+      check (Alcotest.list Alcotest.int) "second batch reuses the lanes"
+        expect (Core.Parallel.pool_map pool xs);
+      check Alcotest.int "both lanes alive" 2 (Core.Parallel.pool_live pool);
+      (* Wedge one lane: the batch still completes via parent recompute,
+         and the wedged lane is killed. *)
+      check (Alcotest.list Alcotest.int) "batch with a wedged lane"
+        [ 1; 100; 3 ]
+        (Core.Parallel.pool_map pool [ 0; 99; 2 ]);
+      check Alcotest.int "wedged lane killed" 1 (Core.Parallel.pool_live pool);
+      (* The next batch respawns it. *)
+      check (Alcotest.list Alcotest.int) "batch after respawn" expect
+        (Core.Parallel.pool_map pool xs);
+      check Alcotest.int "lane respawned" 2 (Core.Parallel.pool_live pool));
+  Core.Parallel.shutdown_pool pool;
+  (match Core.Parallel.pool_map pool [ 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "batch accepted after shutdown");
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | pid, _ -> fail (Printf.sprintf "pool left zombie %d" pid)
+
 let () =
   Alcotest.run "core"
     [ ( "variables",
@@ -1569,7 +1731,17 @@ let () =
           Alcotest.test_case "dropped lane counted" `Quick
             test_parallel_dropped_lane_counted;
           Alcotest.test_case "unmarshalable result fallback" `Quick
-            test_parallel_unmarshalable_result_fallback ] );
+            test_parallel_unmarshalable_result_fallback;
+          Alcotest.test_case "reap retries EINTR" `Quick
+            test_reap_retries_eintr;
+          Alcotest.test_case "no zombies under signals" `Quick
+            test_map_no_zombies_under_signals;
+          Alcotest.test_case "hung worker deadline" `Quick
+            test_hung_worker_deadline;
+          Alcotest.test_case "bad XENERGY_JOBS warns" `Quick
+            test_bad_jobs_env_warns;
+          Alcotest.test_case "pool reuse + respawn + shutdown" `Quick
+            test_pool_reuse_respawn_shutdown ] );
       ( "space",
         [ Alcotest.test_case "combinators" `Quick test_space_combinators ] );
       ( "eval cache",

@@ -1,0 +1,346 @@
+(* The serving stack, bottom-up: the length-prefixed frame codec (and
+   its deadline/oversize/truncation refusals), the JSON printer
+   round-trip, the model registry's hit/characterize/evict lifecycle,
+   and a forked end-to-end daemon exercised through the real client —
+   including the structural single-flight guarantee under concurrent
+   clients and the /metrics scrape. *)
+
+let check = Alcotest.check
+
+module J = Obs.Json
+
+let socketpair () = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- Protocol ------------------------------------------------------------- *)
+
+let test_frame_roundtrip () =
+  let a, b = socketpair () in
+  Serve.Protocol.write_frame a "hello, frame";
+  check Alcotest.(option string) "payload round-trips" (Some "hello, frame")
+    (Serve.Protocol.read_frame b);
+  Serve.Protocol.write_frame a "";
+  check Alcotest.(option string) "empty payload round-trips" (Some "")
+    (Serve.Protocol.read_frame b);
+  (* Two frames written back to back arrive as two frames. *)
+  Serve.Protocol.write_frame a "first";
+  Serve.Protocol.write_frame a "second";
+  check Alcotest.(option string) "first frame" (Some "first")
+    (Serve.Protocol.read_frame b);
+  check Alcotest.(option string) "second frame" (Some "second")
+    (Serve.Protocol.read_frame b);
+  Unix.close a;
+  check Alcotest.(option string) "clean EOF between frames is None" None
+    (Serve.Protocol.read_frame b);
+  Unix.close b
+
+let test_frame_truncation_and_oversize () =
+  (* A peer that dies mid-frame is a Frame_error, not a hang or a None. *)
+  let a, b = socketpair () in
+  let partial = "\x00\x00\x00\x0aabc" (* claims 10 bytes, ships 3 *) in
+  ignore (Unix.write_substring a partial 0 (String.length partial));
+  Unix.close a;
+  (match Serve.Protocol.read_frame b with
+   | exception Serve.Protocol.Frame_error msg ->
+     check Alcotest.bool "truncation named" true (contains msg "truncated")
+   | _ -> Alcotest.fail "truncated frame not rejected");
+  Unix.close b;
+  (* An oversized length prefix is rejected before any allocation. *)
+  let a, b = socketpair () in
+  ignore (Unix.write_substring a "\x7f\xff\xff\xff" 0 4);
+  (match Serve.Protocol.read_frame b with
+   | exception Serve.Protocol.Frame_error msg ->
+     check Alcotest.bool "bound named" true (contains msg "exceeds")
+   | _ -> Alcotest.fail "oversized frame not rejected");
+  Unix.close a;
+  Unix.close b
+
+let test_frame_read_deadline () =
+  (* A silent peer cannot hold the reader past its deadline. *)
+  let a, b = socketpair () in
+  let t0 = Unix.gettimeofday () in
+  (match Serve.Protocol.read_frame ~deadline:(t0 +. 0.2) b with
+   | exception Serve.Protocol.Frame_error msg ->
+     check Alcotest.bool "timeout named" true (contains msg "timed out")
+   | _ -> Alcotest.fail "deadline did not fire");
+  let dt = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool "fired promptly" true (dt >= 0.15 && dt < 2.0);
+  Unix.close a;
+  Unix.close b
+
+let test_json_print_roundtrip () =
+  let doc =
+    J.Obj
+      [ ("s", J.Str "quote \" backslash \\ newline \n control \x01 done");
+        ("i", J.Num 42.0);
+        ("f", J.Num 4234263.3599835774);
+        ("neg", J.Num (-0.5));
+        ("t", J.Bool true);
+        ("n", J.Null);
+        ("a", J.Arr [ J.Num 1.0; J.Str "x"; J.Obj [ ("k", J.Bool false) ] ]) ]
+  in
+  check Alcotest.bool "printer output re-parses to the same document" true
+    (J.parse (Serve.Protocol.json_to_string doc) = doc);
+  (* Non-finite floats have no JSON encoding: printed as null. *)
+  check Alcotest.string "nan prints as null" "null"
+    (Serve.Protocol.json_to_string (J.Num Float.nan));
+  check Alcotest.string "inf prints as null" "null"
+    (Serve.Protocol.json_to_string (J.Num Float.infinity))
+
+(* --- Registry ------------------------------------------------------------- *)
+
+let stub_model = Core.Template.make (Array.make Core.Variables.count 1.0)
+
+let config_ways n =
+  { Sim.Config.default with
+    Sim.Config.icache =
+      { Sim.Config.default.Sim.Config.icache with Sim.Config.ways = n } }
+
+let test_registry_hit_and_eviction () =
+  let calls = ref 0 in
+  let reg =
+    Serve.Registry.create ~max_models:2
+      ~characterize:(fun _ -> incr calls; stub_model)
+      ()
+  in
+  let l1 = Serve.Registry.get reg Sim.Config.default in
+  check Alcotest.bool "first lookup characterizes" false
+    l1.Serve.Registry.l_hit;
+  check Alcotest.int "one characterization" 1 !calls;
+  let l2 = Serve.Registry.get reg Sim.Config.default in
+  check Alcotest.bool "second lookup hits" true l2.Serve.Registry.l_hit;
+  check Alcotest.int "still one characterization" 1 !calls;
+  check Alcotest.string "same key" l1.Serve.Registry.l_key
+    l2.Serve.Registry.l_key;
+  (* Distinct configurations get distinct models; the bound evicts the
+     least recently used. *)
+  Unix.sleepf 0.01;
+  ignore (Serve.Registry.get reg (config_ways 2));
+  Unix.sleepf 0.01;
+  ignore (Serve.Registry.get reg (config_ways 1));
+  check Alcotest.int "three characterizations" 3 !calls;
+  let s = Serve.Registry.stats reg in
+  check Alcotest.int "resident set bounded" 2 s.Serve.Registry.r_models;
+  check Alcotest.int "one eviction" 1 s.Serve.Registry.r_evictions;
+  (* The default config was the LRU model: looking it up again must
+     re-characterize. *)
+  let l3 = Serve.Registry.get reg Sim.Config.default in
+  check Alcotest.bool "evicted model re-characterizes" false
+    l3.Serve.Registry.l_hit;
+  check Alcotest.int "fourth characterization" 4 !calls
+
+(* --- End-to-end daemon ---------------------------------------------------- *)
+
+let scratch_socket name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xenergy_%s.%d.sock" name (Unix.getpid ()))
+
+(* Fork a daemon around a stub-characterized router (the stub sleeps so
+   concurrent cold requests genuinely overlap) and drive it through the
+   real client. *)
+let with_server ~max_models f =
+  let socket = scratch_socket "serve_test" in
+  (try Sys.remove socket with Sys_error _ -> ());
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let router =
+         Serve.Router.create ~max_models ~jobs:2 ~read_timeout_s:30.0
+           ~characterize:(fun _ -> Unix.sleepf 0.3; stub_model)
+           ()
+       in
+       Serve.Server.run ~io_timeout_s:5.0 ~socket router
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    let finish () =
+      (try
+         ignore
+           (Serve.Client.call ~timeout_s:5.0 ~socket
+              (J.Obj [ ("op", J.Str "shutdown") ]))
+       with _ -> ());
+      Core.Parallel.reap pid;
+      (try Sys.remove socket with Sys_error _ -> ())
+    in
+    Fun.protect ~finally:finish (fun () ->
+        check Alcotest.bool "daemon came up" true
+          (Serve.Client.wait_ready ~timeout_s:10.0 ~socket ());
+        f socket)
+
+let member name resp =
+  match resp with
+  | J.Obj fields -> (
+    match List.assoc_opt name fields with
+    | Some v -> v
+    | None -> Alcotest.fail (Printf.sprintf "response lacks %S" name))
+  | _ -> Alcotest.fail "response is not an object"
+
+let as_bool = function
+  | J.Bool b -> b
+  | _ -> Alcotest.fail "expected a boolean"
+
+let as_int = function
+  | J.Num f -> int_of_float f
+  | _ -> Alcotest.fail "expected a number"
+
+let estimate_req =
+  J.Obj
+    [ ("op", J.Str "estimate");
+      ("workloads", J.Arr [ J.Str "gcd"; J.Str "des" ]) ]
+
+let test_server_cold_warm_and_metrics () =
+  with_server ~max_models:1 @@ fun socket ->
+  let call req = Serve.Client.call ~timeout_s:30.0 ~socket req in
+  (* Cold: characterizes and simulates. *)
+  let cold = call estimate_req in
+  check Alcotest.bool "cold request ok" true (as_bool (member "ok" cold));
+  check Alcotest.bool "cold request missed the registry" false
+    (as_bool (member "registry_hit" cold));
+  (* Warm: same model from memory, every profile from the cache. *)
+  let warm = call estimate_req in
+  check Alcotest.bool "warm request hits the registry" true
+    (as_bool (member "registry_hit" warm));
+  List.iter
+    (fun row ->
+      check Alcotest.bool "warm row served from cache" true
+        (as_bool (member "cached" row)))
+    (match member "results" warm with
+     | J.Arr rows -> rows
+     | _ -> Alcotest.fail "results is not an array");
+  let energies resp =
+    match member "results" resp with
+    | J.Arr rows ->
+      List.map (fun r -> (member "name" r, member "energy_pj" r)) rows
+    | _ -> Alcotest.fail "results is not an array"
+  in
+  check Alcotest.bool "warm equals cold numerically" true
+    (energies warm = energies cold);
+  (* A second configuration exceeds --max-models 1: the first model is
+     evicted, and the scrape shows it. *)
+  let other =
+    call
+      (J.Obj
+         [ ("op", J.Str "estimate");
+           ("workloads", J.Arr [ J.Str "gcd" ]);
+           ("config", J.Obj [ ("icache_ways", J.Num 2.0) ]) ])
+  in
+  check Alcotest.bool "other-config request ok" true
+    (as_bool (member "ok" other));
+  let scrape =
+    match member "exposition" (call (J.Obj [ ("op", J.Str "metrics") ])) with
+    | J.Str s -> s
+    | _ -> Alcotest.fail "exposition is not a string"
+  in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("scrape carries " ^ needle) true
+        (contains scrape needle))
+    [ "serve_registry_models 1"; "serve_registry_evictions_total 1";
+      "serve_registry_hits_total"; "serve_requests_total";
+      "eval_cache_hits_total" ];
+  check Alcotest.bool "exposition terminated" true
+    (Filename.check_suffix scrape "# EOF\n");
+  (* Malformed traffic gets an error response, not a dead daemon. *)
+  let bad = call (J.Obj [ ("op", J.Str "nosuchop") ]) in
+  check Alcotest.bool "unknown op refused" false (as_bool (member "ok" bad));
+  let bad = call (J.Obj [ ("op", J.Str "estimate") ]) in
+  check Alcotest.bool "missing workloads refused" false
+    (as_bool (member "ok" bad));
+  check Alcotest.bool "daemon still alive" true
+    (as_bool (member "ok" (call (J.Obj [ ("op", J.Str "ping") ]))))
+
+let test_server_single_flight () =
+  with_server ~max_models:2 @@ fun socket ->
+  (* Two clients race to the same uncharacterized configuration (the
+     stub characterization sleeps 0.3 s, so both are in flight before
+     the first model exists).  The sequential accept loop makes the
+     second request wait for the first: exactly one characterization. *)
+  let client () =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      let ok =
+        match Serve.Client.call ~timeout_s:30.0 ~socket estimate_req with
+        | resp -> ( try as_bool (member "ok" resp) with _ -> false)
+        | exception _ -> false
+      in
+      Unix._exit (if ok then 0 else 1)
+    | pid -> pid
+  in
+  let c1 = client () in
+  let c2 = client () in
+  let status pid =
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED c -> c
+    | _ -> 255
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> 255
+  in
+  check Alcotest.int "first client succeeded" 0 (status c1);
+  check Alcotest.int "second client succeeded" 0 (status c2);
+  let stats =
+    Serve.Client.call ~timeout_s:10.0 ~socket (J.Obj [ ("op", J.Str "stats") ])
+  in
+  check Alcotest.int "exactly one characterization" 1
+    (as_int (member "registry_misses" stats));
+  check Alcotest.bool "the other request was a registry hit" true
+    (as_int (member "registry_hits" stats) >= 1)
+
+let test_server_shutdown_cleanup () =
+  let socket = scratch_socket "serve_down" in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let router =
+         Serve.Router.create ~max_models:1 ~jobs:2
+           ~characterize:(fun _ -> stub_model)
+           ()
+       in
+       Serve.Server.run ~io_timeout_s:5.0 ~socket router
+     with _ -> Unix._exit 1);
+    Unix._exit 0
+  | pid ->
+    check Alcotest.bool "daemon came up" true
+      (Serve.Client.wait_ready ~timeout_s:10.0 ~socket ());
+    let resp =
+      Serve.Client.call ~timeout_s:5.0 ~socket
+        (J.Obj [ ("op", J.Str "shutdown") ])
+    in
+    check Alcotest.bool "shutdown acknowledged" true
+      (as_bool (member "ok" resp));
+    let code =
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED c -> c
+      | _ -> 255
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> 255
+    in
+    check Alcotest.int "daemon exited cleanly" 0 code;
+    check Alcotest.bool "socket file removed" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "serve"
+    [ ( "protocol",
+        [ Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "truncation + oversize" `Quick
+            test_frame_truncation_and_oversize;
+          Alcotest.test_case "read deadline" `Quick test_frame_read_deadline;
+          Alcotest.test_case "json print round-trip" `Quick
+            test_json_print_roundtrip ] );
+      ( "registry",
+        [ Alcotest.test_case "hit + LRU eviction" `Quick
+            test_registry_hit_and_eviction ] );
+      ( "daemon",
+        [ Alcotest.test_case "cold/warm + metrics" `Slow
+            test_server_cold_warm_and_metrics;
+          Alcotest.test_case "single-flight characterization" `Slow
+            test_server_single_flight;
+          Alcotest.test_case "shutdown cleanup" `Quick
+            test_server_shutdown_cleanup ] ) ]
