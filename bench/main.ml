@@ -10,6 +10,7 @@
      main.exe explore      memoized design-space sweep, cold vs warm cache
      main.exe cache        cache lifecycle: cold/warm/gc/verify/prune/re-warm
      main.exe accuracy     model-accuracy audit -> BENCH_accuracy.json
+     main.exe profile      profiler overhead + conservation -> BENCH_profile.json
      main.exe ablation     hybrid vs degenerate macro-models, C(W) variants
      main.exe capps        accuracy on compiled Tiny-C applications
      main.exe arbitrary    characterization on random test programs
@@ -472,6 +473,70 @@ let accuracy_bench () =
       Out_channel.output_char oc '\n');
   Format.fprintf fmt "(written to BENCH_accuracy.json)@."
 
+(* Hotspot profiler: conservation of the per-block decomposition over
+   every application, then attached-vs-detached simulation wall time on
+   a representative workload.  The acceptance budget is attached <= 2x
+   detached; everything lands in BENCH_profile.json. *)
+let profile_bench () =
+  banner "E9: hotspot profiler (conservation, overhead attached vs detached)";
+  let m = model () in
+  let apps = Workloads.Suite.applications () in
+  let worst_energy_gap = ref 0.0 in
+  let worst_cycle_gap = ref 0.0 in
+  List.iter
+    (fun (c : Core.Extract.case) ->
+      let r = Core.Profiler.run m c in
+      let cyc_gap, en_gap = Core.Profiler.check r in
+      worst_cycle_gap := Float.max !worst_cycle_gap cyc_gap;
+      worst_energy_gap := Float.max !worst_energy_gap en_gap;
+      if cyc_gap <> 0.0 || en_gap > 1e-6 then
+        Format.fprintf fmt "WARNING: %s violates conservation (%g, %g)@."
+          c.Core.Extract.case_name cyc_gap en_gap)
+    apps;
+  Format.fprintf fmt
+    "conservation over %d applications: worst cycle gap %g, worst relative \
+     energy gap %.3g@."
+    (List.length apps) !worst_cycle_gap !worst_energy_gap;
+  let case = Workloads.Suite.find "gcd" in
+  let repeats = 5 in
+  let time f =
+    ignore (f ());  (* warm up *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to repeats do ignore (f ()) done;
+    (Unix.gettimeofday () -. t0) /. float_of_int repeats
+  in
+  let detached_s = time (fun () -> Core.Extract.profile case) in
+  let attached_s = time (fun () -> Core.Profiler.run m case) in
+  let overhead = attached_s /. detached_s in
+  let budget = 2.0 in
+  Format.fprintf fmt
+    "gcd x%d:  detached %8.4f s   attached %8.4f s   overhead %.2fx \
+     (budget %.1fx: %s)@."
+    repeats detached_s attached_s overhead budget
+    (if overhead <= budget then "ok" else "EXCEEDED");
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"profiler-overhead\",\n\
+      \  \"workload\": \"gcd\",\n\
+      \  \"repeats\": %d,\n\
+      \  \"detached_seconds\": %.6f,\n\
+      \  \"attached_seconds\": %.6f,\n\
+      \  \"overhead_ratio\": %.4f,\n\
+      \  \"overhead_budget\": %.1f,\n\
+      \  \"within_budget\": %b,\n\
+      \  \"applications_checked\": %d,\n\
+      \  \"worst_cycle_gap\": %g,\n\
+      \  \"worst_energy_gap_rel\": %.6g\n\
+       }"
+      repeats detached_s attached_s overhead budget (overhead <= budget)
+      (List.length apps) !worst_cycle_gap !worst_energy_gap
+  in
+  Out_channel.with_open_text "BENCH_profile.json" (fun oc ->
+      Out_channel.output_string oc json;
+      Out_channel.output_char oc '\n');
+  Format.fprintf fmt "(written to BENCH_profile.json)@."
+
 (* --- Ablations ---------------------------------------------------------------- *)
 
 (* Zero selected variables out of collected samples and profiles, refit,
@@ -797,6 +862,7 @@ let () =
     [ ("table1", table1); ("fig3", fig3); ("table2", table2);
       ("fig4", fig4); ("speedup", speedup); ("explore", explore_bench);
       ("cache", cache_bench); ("accuracy", accuracy_bench);
+      ("profile", profile_bench);
       ("ablation", ablation); ("capps", capps);
       ("arbitrary", arbitrary);
       ("sweep", sweep); ("bechamel", bechamel_benchmarks) ]

@@ -2,7 +2,11 @@
    estimation flow.
 
      xenergy list                    show all workloads
-     xenergy profile NAME            ISS statistics + macro-model variables
+     xenergy profile NAME            per-block cycle/energy hotspot profile
+                [--top N] [--json]   (conservation-checked), flame-graph
+                [--folded FILE]      and annotated-disassembly output;
+                [--annotate]         --variables prints the legacy
+                [--per-opcode]       macro-model variable profile
      xenergy reference NAME          reference-estimator energy breakdown
      xenergy characterize [-o FILE]  fit the macro-model (Table I / Fig 3)
                 [--trace FILE]       Chrome trace of the whole pipeline
@@ -140,14 +144,97 @@ let list_cmd =
 (* --- profile ------------------------------------------------------------ *)
 
 let profile_cmd =
-  let run name =
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Rows in the hottest-blocks table.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the full profile as JSON (every executed block, so
+                   the conservation sums can be checked downstream;
+                   energies in pJ).")
+  in
+  let folded_arg =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write flame-graph collapsed stacks (one
+                   $(i,stack count) line per call path x block, counts in
+                   cycles) to $(docv) — feed to flamegraph.pl or
+                   speedscope.")
+  in
+  let folded_energy_arg =
+    Arg.(value & opt (some string) None
+         & info [ "folded-energy" ] ~docv:"FILE"
+             ~doc:"Like $(b,--folded) but with counts in rounded
+                   picojoules: an energy flame graph.")
+  in
+  let annotate_arg =
+    Arg.(value & flag
+         & info [ "annotate" ]
+             ~doc:"Print the annotated disassembly: every instruction with
+                   its retirement count and cycle/energy shares.")
+  in
+  let per_opcode_arg =
+    Arg.(value & flag
+         & info [ "per-opcode" ]
+             ~doc:"Print the per-opcode histogram (counts, cycles, energy
+                   by mnemonic).")
+  in
+  let variables_arg =
+    Arg.(value & flag
+         & info [ "variables" ]
+             ~doc:"Print the legacy macro-model variable profile instead
+                   of the hotspot profile (needs no model).")
+  in
+  let run model_path name top json folded folded_energy annotate per_opcode
+      variables log_file openmetrics jobs =
     let c = find_case name in
-    let p = Core.Extract.profile c in
-    Format.fprintf fmt "%a@." Core.Extract.pp_profile p
+    if variables then
+      Format.fprintf fmt "%a@." Core.Extract.pp_profile
+        (Core.Extract.profile c)
+    else begin
+      if top <= 0 then die "--top must be positive";
+      setup_obs ~log_file ~openmetrics;
+      let model = load_or_fit ?jobs model_path in
+      let r = Core.Profiler.run model c in
+      if json then print_string (Core.Profiler.to_json r ^ "\n")
+      else begin
+        Format.fprintf fmt "%a@." (Core.Profiler.pp_table ~top) r;
+        if per_opcode then
+          Format.fprintf fmt "@.%a@." Core.Profiler.pp_opcodes r;
+        if annotate then
+          Format.fprintf fmt "@.%a@." Core.Profiler.pp_annotate r
+      end;
+      let write_file what path text =
+        (try
+           Out_channel.with_open_text path (fun oc ->
+               Out_channel.output_string oc text)
+         with Sys_error msg -> die "cannot write %s: %s" what msg);
+        Format.eprintf "%s written to %s@." what path
+      in
+      Option.iter
+        (fun path ->
+          write_file "folded stacks" path (Core.Profiler.folded_lines r))
+        folded;
+      Option.iter
+        (fun path ->
+          write_file "energy folded stacks" path
+            (Core.Profiler.folded_lines ~energy:true r))
+        folded_energy;
+      save_openmetrics openmetrics
+    end
   in
   Cmd.v
-    (Cmd.info "profile" ~doc:"Simulate and print macro-model variables")
-    Term.(const run $ name_arg)
+    (Cmd.info "profile"
+       ~doc:"Hotspot profile of one workload: per-basic-block cycles,
+             stalls, cache misses and exact macro-model energy
+             (conservation-checked), plus flame-graph and
+             annotated-disassembly output")
+    Term.(const run $ model_arg $ name_arg $ top_arg $ json_arg $ folded_arg
+          $ folded_energy_arg $ annotate_arg $ per_opcode_arg
+          $ variables_arg $ log_file_arg $ openmetrics_arg $ jobs_arg)
 
 (* --- reference ----------------------------------------------------------- *)
 
@@ -584,6 +671,14 @@ let explore_cmd =
          & info [ "pareto" ]
              ~doc:"Restrict the table/CSV rows to the Pareto frontier.")
   in
+  let profile_top_arg =
+    Arg.(value & opt (some int) None
+         & info [ "profile-top" ] ~docv:"N"
+             ~doc:"Profile each Pareto-frontier candidate (one extra
+                   observed simulation per point) and dump its $(docv)
+                   hottest basic blocks — per-block cycles, stalls and
+                   exact macro-model energy.")
+  in
   let json_arg =
     Arg.(value & flag
          & info [ "json" ]
@@ -612,11 +707,14 @@ let explore_cmd =
                    counters, simulator and worker-pool counters) as JSON
                    to $(docv).")
   in
-  let run space cache_dir cache_max_bytes progress explain pareto json csv
-      out trace metrics log_file openmetrics jobs =
+  let run space cache_dir cache_max_bytes progress explain pareto profile_top
+      json csv out trace metrics log_file openmetrics jobs =
     if json && csv then die "--json and --csv are mutually exclusive";
     if cache_max_bytes <> None && cache_dir = None then
       die "--cache-max-bytes requires --cache-dir";
+    (match profile_top with
+     | Some n when n <= 0 -> die "--profile-top must be positive"
+     | _ -> ());
     (match cache_max_bytes with
      | Some n when n < 0 -> die "--cache-max-bytes must be >= 0"
      | _ -> ());
@@ -649,7 +747,7 @@ let explore_cmd =
            | Some eta -> Printf.sprintf ", ~%.1f s left" eta)
     in
     let outcome =
-      Core.Explore.run ?jobs ~cache ~progress:heartbeat ~explain
+      Core.Explore.run ?jobs ~cache ~progress:heartbeat ~explain ?profile_top
         ~characterization:(Workloads.Suite.characterization ())
         (build_space ())
     in
@@ -690,9 +788,9 @@ let explore_cmd =
              the macro-model (memoized) and extract the
              energy/performance Pareto frontier")
     Term.(const run $ space_arg $ cache_dir_arg $ cache_max_bytes_arg
-          $ progress_arg $ explain_arg $ pareto_arg $ json_arg
-          $ csv_arg $ out_arg $ trace_arg $ metrics_arg $ log_file_arg
-          $ openmetrics_arg $ jobs_arg)
+          $ progress_arg $ explain_arg $ pareto_arg $ profile_top_arg
+          $ json_arg $ csv_arg $ out_arg $ trace_arg $ metrics_arg
+          $ log_file_arg $ openmetrics_arg $ jobs_arg)
 
 (* --- cache: lifecycle management of an on-disk evaluation cache ----------- *)
 

@@ -20,31 +20,67 @@ type t = {
   stats : Sim.Stats.t;
   res : Resource.t;
   waveform : Obs.Waveform.t;
-  mutable prev_total : float;
+  scratch : float array;   (** reused per event — never escapes observe *)
+  prev_vars : float array; (** variable vector as of the previous event *)
+  dcell : float array;
+  (** [0] = marginal scratch, [1] = running total; float-array storage
+      keeps the per-event fold free of boxed-float allocation (a
+      mutable float field in a mixed record would box each store) *)
+  diff_len : int;
+  (** entries worth diffing per event: the category tail is frozen at
+      zero when the run has no extension ({!Resource.inert}) *)
 }
 
 let create ?bucket_cycles ?complexity ?extension ~config model =
+  let res = Resource.create ?complexity extension in
   { model;
     stats = Sim.Stats.create config;
-    res = Resource.create ?complexity extension;
+    res;
     waveform = Obs.Waveform.create ?bucket_cycles ();
-    prev_total = 0.0 }
+    scratch = Array.make Variables.count 0.0;
+    prev_vars = Array.make Variables.count 0.0;
+    dcell = Array.make 2 0.0;
+    diff_len =
+      (if Resource.inert res then Variables.base_count
+       else Variables.count) }
 
 (* Each event advances the two built-in accumulators; the marginal model
    energy (new total minus old) is that instruction's bin contribution.
-   Telescoping guarantees the waveform sums to the final model energy
-   exactly, so both decompositions close over the same total. *)
-let observe t (e : Sim.Event.t) =
+   Telescoping guarantees the waveform sums to the final model energy,
+   so both decompositions close over the same total.
+
+   The model is linear, so the marginal only involves the variables the
+   event moved (a handful of the vector): folding coefficient * delta
+   over changed entries gives the same telescoping sum at a fraction of
+   the per-event cost of the full dot product, which is what keeps an
+   attached profiler within its overhead budget.  Accumulation order
+   differs from a fresh dot product, so the closing total agrees with
+   {!Template.energy} to rounding (well under the 1e-6 conservation
+   tolerance), not bit-for-bit. *)
+let observe_marginal t (e : Sim.Event.t) =
   Sim.Stats.observe t.stats e;
   Resource.observe t.res e;
-  let total =
-    Template.energy t.model (Extract.variables_of_stats t.stats t.res)
-  in
+  Extract.fill_variables t.stats t.res t.scratch;
+  let coeffs = t.model.Template.coefficients in
+  t.dcell.(0) <- 0.0;
+  for i = 0 to t.diff_len - 1 do
+    let nv = t.scratch.(i) in
+    if nv <> t.prev_vars.(i) then begin
+      t.dcell.(0) <- t.dcell.(0) +. (coeffs.(i) *. (nv -. t.prev_vars.(i)));
+      t.prev_vars.(i) <- nv
+    end
+  done;
+  let delta = t.dcell.(0) in
   Obs.Waveform.add t.waveform ~cycle:e.Sim.Event.start_cycle
-    ~energy_pj:(total -. t.prev_total);
-  t.prev_total <- total
+    ~energy_pj:delta;
+  t.dcell.(1) <- t.dcell.(1) +. delta;
+  delta
+
+let observe t e = ignore (observe_marginal t e : float)
 
 let observer t : Sim.Cpu.observer = fun e -> observe t e
+
+let energy_so_far t = t.dcell.(1)
 
 (* The model is linear, so the decomposition needs nothing beyond the
    variable vector — in particular no simulation: Explore uses this to

@@ -54,6 +54,20 @@ val observer : t -> Sim.Cpu.observer
 (** The engine as a simulation observer; attach it to the run being
     attributed. *)
 
+val observe : t -> Sim.Event.t -> unit
+(** Fold one event directly (what {!observer} does per event). *)
+
+val observe_marginal : t -> Sim.Event.t -> float
+(** Like {!observe}, also returning the event's marginal model energy
+    (pJ) — the telescoping increment the waveform bins.  Saves hot-path
+    callers two {!energy_so_far} reads per event. *)
+
+val energy_so_far : t -> float
+(** Running model energy after the events observed so far.  The
+    difference across one {!observe} is that instruction's marginal
+    energy — the telescoping sum the waveform is built from, and what
+    {!Profiler} folds into per-block energy. *)
+
 val finish : t -> name:string -> cycles:int -> instructions:int -> breakdown
 (** Close the books after the observed simulation: compute the rows from
     the folded state and return the breakdown.  [cycles] and

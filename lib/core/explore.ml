@@ -33,6 +33,8 @@ type outcome = {
   points : point list;
   frontier : point list;
   explained : (string * Attribution.row list) list;
+  profiled : (string * Profiler.report) list;
+  profile_top : int;
   configs_characterized : int;
   simulations : int;
   cache_stats : Eval_cache.stats;
@@ -192,8 +194,11 @@ let log_progress p =
    candidates are fed to the pool in chunks so a heartbeat (progress
    callback + [explore:heartbeat] log record) lands between chunks with
    live hit/frontier/ETA figures, instead of one mute span per sweep. *)
-let sweep ?jobs ?(progress = fun _ -> ()) ?(explain = false) ~cache ~configs
-    ~model_for ~char_sims ~before candidates t0 =
+let sweep ?jobs ?(progress = fun _ -> ()) ?(explain = false) ?profile_top
+    ~cache ~configs ~model_for ~char_sims ~before candidates t0 =
+  (match profile_top with
+   | Some n when n <= 0 -> invalid_arg "Explore: profile_top must be positive"
+   | _ -> ());
   let simulations = ref char_sims in
   let total = List.length candidates in
   let n_done = ref 0 in
@@ -278,12 +283,31 @@ let sweep ?jobs ?(progress = fun _ -> ()) ?(explain = false) ~cache ~configs
             (Hashtbl.find_opt vars_of p.pt_name))
         frontier
   in
+  (* Hotspot profiles for the frontier: unlike [explained], a profile
+     needs the observer attached, so each one is a fresh simulation (the
+     cache cannot serve it). *)
+  let profiled =
+    if profile_top = None then []
+    else
+      List.filter_map
+        (fun p ->
+          List.find_opt (fun c -> c.cand_name = p.pt_name) candidates
+          |> Option.map (fun c ->
+                 let r =
+                   Profiler.run ~config:c.config (model_for c.config) c.case
+                 in
+                 incr simulations;
+                 (p.pt_name, r)))
+        frontier
+  in
   (* Publish the sweep's index updates (stores and warm hits with their
      last-used times) in one atomic rewrite. *)
   Eval_cache.flush cache;
   { points;
     frontier;
     explained;
+    profiled;
+    profile_top = Option.value profile_top ~default:0;
     configs_characterized = 0;  (* the callers overwrite this *)
     simulations = !simulations;
     cache_stats = Eval_cache.diff (Eval_cache.stats cache) before;
@@ -305,7 +329,7 @@ let log_done o =
       ("wall_s", Obs.Trace.F o.wall_seconds) ]
 
 let run ?jobs ?cache ?(nonnegative = true) ?(progress = fun _ -> ())
-    ?explain ~characterization candidates =
+    ?explain ?profile_top ~characterization candidates =
   validate candidates;
   let cache =
     match cache with Some c -> c | None -> Eval_cache.create ()
@@ -351,14 +375,15 @@ let run ?jobs ?cache ?(nonnegative = true) ?(progress = fun _ -> ())
     snd (List.find (fun (c, _) -> same_config c cfg) models)
   in
   let o =
-    sweep ?jobs ~progress ?explain ~cache ~configs ~model_for
+    sweep ?jobs ~progress ?explain ?profile_top ~cache ~configs ~model_for
       ~char_sims:!char_sims ~before candidates t0
   in
   let o = { o with configs_characterized = List.length configs } in
   log_done o;
   o
 
-let evaluate ?jobs ?cache ?(progress = fun _ -> ()) ?explain model candidates =
+let evaluate ?jobs ?cache ?(progress = fun _ -> ()) ?explain ?profile_top
+    model candidates =
   validate candidates;
   let cache =
     match cache with Some c -> c | None -> Eval_cache.create ()
@@ -370,7 +395,7 @@ let evaluate ?jobs ?cache ?(progress = fun _ -> ()) ?explain model candidates =
     [ ("candidates", Obs.Trace.I (List.length candidates));
       ("configs", Obs.Trace.I 0) ];
   let o =
-    sweep ?jobs ~progress ?explain ~cache
+    sweep ?jobs ~progress ?explain ?profile_top ~cache
       ~configs:(distinct_configs candidates)
       ~model_for:(fun _ -> model)
       ~char_sims:0 ~before candidates t0
@@ -414,7 +439,17 @@ let to_json o =
   Printf.bprintf b "  \"pareto\": [%s]%s\n"
     (String.concat ", "
        (List.map (fun p -> Printf.sprintf "\"%s\"" p.pt_name) o.frontier))
-    (if o.explained = [] then "" else ",");
+    (if o.explained = [] && o.profiled = [] then "" else ",");
+  if o.profiled <> [] then begin
+    Buffer.add_string b "  \"profiles\": {\n";
+    List.iteri
+      (fun i (name, r) ->
+        Printf.bprintf b "    \"%s\": %s%s\n" name
+          (Profiler.to_json ~top:o.profile_top r)
+          (if i = List.length o.profiled - 1 then "" else ","))
+      o.profiled;
+    Printf.bprintf b "  }%s\n" (if o.explained = [] then "" else ",")
+  end;
   if o.explained <> [] then begin
     Buffer.add_string b "  \"explained\": {\n";
     List.iteri
@@ -478,6 +513,12 @@ let pp ?(pareto_only = false) ppf o =
               (100.0 *. r.Attribution.share))
         rows)
     o.explained;
+  List.iter
+    (fun (name, r) ->
+      Format.fprintf ppf "@,%s — hotspots:@,%a@," name
+        (Profiler.pp_table ~top:o.profile_top)
+        r)
+    o.profiled;
   Format.fprintf ppf
     "%d candidate%s, %d config%s characterized, %d simulation%s \
      (cache: %d hit%s, %d miss%s, %d error%s)@,"

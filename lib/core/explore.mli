@@ -62,6 +62,14 @@ type outcome = {
   (** with [explain:true]: each frontier point's exact per-variable
       energy decomposition ({!Attribution.decompose} of its cached
       variable vector — zero extra simulations), in frontier order *)
+  profiled : (string * Profiler.report) list;
+  (** with [profile_top]: each frontier point's hotspot profile
+      ({!Profiler.run} under that candidate's configuration and model —
+      one extra observed simulation per frontier point), in frontier
+      order *)
+  profile_top : int;
+  (** hottest blocks rendered per profiled point; 0 when profiling was
+      not requested *)
   configs_characterized : int; (** distinct base configs this sweep fitted *)
   simulations : int;           (** simulator runs actually performed *)
   cache_stats : Eval_cache.stats;  (** cache counter delta for this sweep *)
@@ -80,6 +88,7 @@ val run :
   ?nonnegative:bool ->
   ?progress:(progress -> unit) ->
   ?explain:bool ->
+  ?profile_top:int ->
   characterization:Extract.case list ->
   candidate list ->
   outcome
@@ -90,15 +99,18 @@ val run :
     fresh memory-only cache; [nonnegative] is passed to the NNLS fit
     (default [true]).  [progress] receives a {!type-progress} heartbeat
     between evaluation chunks; [explain] (default [false]) fills
-    {!type-outcome}[.explained] for the frontier.
-    @raise Invalid_argument on an empty candidate list or duplicate
-    candidate names. *)
+    {!type-outcome}[.explained] for the frontier; [profile_top] fills
+    {!type-outcome}[.profiled] with each frontier point's hotspot
+    profile (its [profile_top] hottest blocks are rendered).
+    @raise Invalid_argument on an empty candidate list, duplicate
+    candidate names, or a non-positive [profile_top]. *)
 
 val evaluate :
   ?jobs:int ->
   ?cache:Eval_cache.t ->
   ?progress:(progress -> unit) ->
   ?explain:bool ->
+  ?profile_top:int ->
   Template.model ->
   candidate list ->
   outcome
@@ -108,8 +120,10 @@ val evaluate :
 
 val to_json : outcome -> string
 (** Machine-readable sweep record: per-point rows, frontier membership,
-    simulation/cache counters; energies are picojoules (with a uJ
-    convenience column), units stated in the document. *)
+    simulation/cache counters, and (with [profile_top]) each frontier
+    point's truncated hotspot profile under ["profiles"]; energies are
+    picojoules (with a uJ convenience column), units stated in the
+    document. *)
 
 val to_csv : ?pareto_only:bool -> outcome -> string
 (** One header line plus one row per point (or per frontier point). *)

@@ -14,27 +14,53 @@ type profile = {
   outcome : Sim.Cpu.outcome;
 }
 
+(* Variable indices, resolved once: [fill_variables] runs per retired
+   instruction inside Attribution's telescoping fold, so the hot path
+   must be straight stores with no lookups or allocation. *)
+let vi_arith = Variables.index Variables.Arith
+let vi_load = Variables.index Variables.Load
+let vi_store = Variables.index Variables.Store
+let vi_jump = Variables.index Variables.Jump
+let vi_branch_taken = Variables.index Variables.Branch_taken
+let vi_branch_untaken = Variables.index Variables.Branch_untaken
+let vi_icache_miss = Variables.index Variables.Icache_miss
+let vi_dcache_miss = Variables.index Variables.Dcache_miss
+let vi_uncached_fetch = Variables.index Variables.Uncached_fetch
+let vi_interlock = Variables.index Variables.Interlock
+let vi_custom_side = Variables.index Variables.Custom_side
+
+let category_slots =
+  Array.of_list
+    (List.map
+       (fun cat ->
+         (Variables.index (Variables.Category cat),
+          Tie.Component.category_index cat))
+       Tie.Component.all_categories)
+
+let fill_variables (st : Sim.Stats.t) (res : Resource.t) v =
+  let f = float_of_int in
+  v.(vi_arith) <- f st.Sim.Stats.arith_cycles;
+  v.(vi_load) <- f st.Sim.Stats.load_cycles;
+  v.(vi_store) <- f st.Sim.Stats.store_cycles;
+  v.(vi_jump) <- f st.Sim.Stats.jump_cycles;
+  v.(vi_branch_taken) <- f st.Sim.Stats.branch_taken_cycles;
+  v.(vi_branch_untaken) <- f st.Sim.Stats.branch_untaken_cycles;
+  v.(vi_icache_miss) <- f st.Sim.Stats.icache_misses;
+  v.(vi_dcache_miss) <- f st.Sim.Stats.dcache_misses;
+  v.(vi_uncached_fetch) <- f st.Sim.Stats.uncached_fetches;
+  v.(vi_interlock) <- f st.Sim.Stats.interlocks;
+  v.(vi_custom_side) <- f st.Sim.Stats.custom_regfile_cycles;
+  (* Without an extension the category accumulators never leave zero,
+     and the vector slots already hold zero (fresh array or previous
+     fill of the same inert run), so the loop can be skipped. *)
+  if not (Resource.inert res) then
+    Array.iter
+      (fun (vi, ci) -> v.(vi) <- Resource.total_at res ci)
+      category_slots
+
 let variables_of_stats (st : Sim.Stats.t) (res : Resource.t) =
   let v = Array.make Variables.count 0.0 in
-  let put id x = v.(Variables.index id) <- x in
-  let f = float_of_int in
-  put Variables.Arith (f st.Sim.Stats.arith_cycles);
-  put Variables.Load (f st.Sim.Stats.load_cycles);
-  put Variables.Store (f st.Sim.Stats.store_cycles);
-  put Variables.Jump (f st.Sim.Stats.jump_cycles);
-  put Variables.Branch_taken (f st.Sim.Stats.branch_taken_cycles);
-  put Variables.Branch_untaken (f st.Sim.Stats.branch_untaken_cycles);
-  put Variables.Icache_miss (f st.Sim.Stats.icache_misses);
-  put Variables.Dcache_miss (f st.Sim.Stats.dcache_misses);
-  put Variables.Uncached_fetch (f st.Sim.Stats.uncached_fetches);
-  put Variables.Interlock (f st.Sim.Stats.interlocks);
-  put Variables.Custom_side (f st.Sim.Stats.custom_regfile_cycles);
-  let struct_totals = Resource.totals res in
-  List.iter
-    (fun cat ->
-      put (Variables.Category cat)
-        struct_totals.(Tie.Component.category_index cat))
-    Tie.Component.all_categories;
+  fill_variables st res v;
   v
 
 let profile ?(config = Sim.Config.default) ?complexity ?(observers = []) c =

@@ -32,6 +32,16 @@ val variables_of_stats : Sim.Stats.t -> Resource.t -> float array
     observers' accumulated state (also used incrementally by the energy
     attribution engine). *)
 
+val fill_variables : Sim.Stats.t -> Resource.t -> float array -> unit
+(** In-place variant of {!variables_of_stats}: overwrite a caller-owned
+    vector of length {!Variables.count} without allocating.  This is the
+    per-event hot path of {!Attribution}'s telescoping fold, where a
+    fresh array per retired instruction would dominate profiling cost.
+    The vector must start zeroed and stay paired with the same
+    [Resource.t]: when the analyzer is {!Resource.inert} the category
+    entries are left untouched (they are provably zero) rather than
+    rewritten. *)
+
 val profile :
   ?config:Sim.Config.t ->
   ?complexity:(Tie.Component.t -> float) ->

@@ -4,6 +4,9 @@ type t = {
   complexity : Tie.Component.t -> float;
   bus_facing : (int * float) list;
   (** (category index, complexity) of each bus-facing component *)
+  inert : bool;
+  (** no extension: the accumulators can never move, so hot paths may
+      skip the category variables entirely *)
 }
 
 let default_idle_weight = 0.17
@@ -23,7 +26,8 @@ let create ?(idle_weight = default_idle_weight)
   { acc = Array.make (List.length Tie.Component.all_categories) 0.0;
     idle_weight;
     complexity;
-    bus_facing }
+    bus_facing;
+    inert = ext = None }
 
 let observe t (e : Sim.Event.t) =
   match e.Sim.Event.custom with
@@ -43,6 +47,10 @@ let observe t (e : Sim.Event.t) =
 let observer t : Sim.Cpu.observer = fun e -> observe t e
 
 let totals t = Array.copy t.acc
+
+let total_at t i = t.acc.(i)
+
+let inert t = t.inert
 
 let total_for t cat = t.acc.(Tie.Component.category_index cat)
 

@@ -38,5 +38,16 @@ val totals : t -> float array
 val total_for : t -> Tie.Component.category -> float
 (** One category's complexity-weighted active cycles. *)
 
+val total_at : t -> int -> float
+(** [total_at t i] reads the accumulator for the category whose
+    [Tie.Component.category_index] is [i], without copying.  Hot-path
+    variant of {!totals} for per-event folds (see
+    {!Extract.fill_variables}). *)
+
+val inert : t -> bool
+(** True when the analyzer was created without an extension: no event
+    can move the accumulators, so per-event folds may skip the category
+    variables altogether. *)
+
 val reset : t -> unit
 (** Zero the accumulators so the analyzer can observe another run. *)

@@ -12,19 +12,21 @@ type id =
   | Custom_side
   | Category of Tie.Component.category
 
-let all =
+let base =
   [ Arith; Load; Store; Jump; Branch_taken; Branch_untaken;
     Icache_miss; Dcache_miss; Uncached_fetch; Interlock; Custom_side ]
-  @ List.map (fun c -> Category c) Tie.Component.all_categories
+
+let all = base @ List.map (fun c -> Category c) Tie.Component.all_categories
+
+let base_count = List.length base
 
 let count = List.length all
 
-let index id =
-  let rec find i = function
-    | [] -> assert false
-    | x :: rest -> if x = id then i else find (i + 1) rest
-  in
-  find 0 all
+let index =
+  let tbl = Hashtbl.create 32 in
+  List.iteri (fun i id -> Hashtbl.replace tbl id i) all;
+  fun id ->
+    match Hashtbl.find_opt tbl id with Some i -> i | None -> assert false
 
 let of_index i =
   match List.nth_opt all i with

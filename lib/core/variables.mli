@@ -23,10 +23,15 @@ type id =
   | Category of Tie.Component.category
 
 val all : id list
-(** All 21 variables, in canonical (Table I) order. *)
+(** All 21 variables, in canonical (Table I) order: the 11 base-ISA
+    variables first, then one [Category _] per component category. *)
 
 val count : int
 (** [List.length all], i.e. 21. *)
+
+val base_count : int
+(** Number of non-[Category] variables; these occupy vector indices
+    [0 .. base_count - 1], so an extension-less fold may stop there. *)
 
 val index : id -> int
 (** Position of a variable in {!all} (the vector/coefficient index). *)

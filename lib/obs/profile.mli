@@ -1,0 +1,93 @@
+(** Location profiles: integer-keyed hotspot accumulators and interned
+    call-stack aggregation.
+
+    The module is deliberately ISA-agnostic — keys are plain integers
+    (the simulator layer maps program counters to instruction slots or
+    basic blocks) and stack frames are strings.  [Core.Profiler] builds
+    the per-block/per-line profiles of a simulated program on top of
+    these accumulators; nothing here allocates per event beyond hashing,
+    so an attached profiler stays within the observer-cost budget and a
+    detached one costs nothing at all. *)
+
+type slot = {
+  mutable hits : int;            (** events recorded against the key *)
+  mutable cycles : int;
+  mutable stall_cycles : int;
+  mutable icache_misses : int;
+  mutable dcache_misses : int;
+  mutable energy_pj : float;
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t ->
+  ?stall_cycles:int ->
+  ?icache_miss:bool ->
+  ?dcache_miss:bool ->
+  ?energy_pj:float ->
+  cycles:int ->
+  int ->
+  unit
+(** [record t ~cycles key] folds one event into [key]'s slot, creating
+    the slot on first sight. *)
+
+val slot_for : t -> int -> slot
+(** The slot for a key, created zeroed on first sight.  Hot-path callers
+    may hold on to the returned slot and bump its fields directly,
+    skipping the per-event hash lookup (and optional-argument boxing)
+    that {!record} pays. *)
+
+val find : t -> int -> slot option
+
+val cardinal : t -> int
+(** Number of distinct keys recorded. *)
+
+val fold : (int -> slot -> 'a -> 'a) -> t -> 'a -> 'a
+
+val totals : t -> slot
+(** Fresh slot holding the column sums over every key — the conservation
+    side of the profile (block rows must sum to the run totals). *)
+
+val reset : t -> unit
+
+(** Interned call-stack aggregation for flame-graph ("folded") output.
+
+    Stacks are interned into a prefix tree: each distinct
+    [(parent, frame)] pair becomes one node, so recording an event
+    against the current stack is O(1) after an amortised child lookup.
+    Producing Brendan-Gregg-style folded lines is then a walk over the
+    touched nodes. *)
+module Stacks : sig
+  type stack
+
+  val create : ?max_depth:int -> root:string -> unit -> stack
+  (** [root] names the bottom frame (typically the program).  Frames
+      pushed beyond [max_depth] (default 128) are counted but not
+      interned; their events accumulate at the deepest retained node,
+      and the matching pops unwind the overflow first. *)
+
+  val push : stack -> string -> unit
+
+  val pop : stack -> unit
+  (** Popping at the root is a no-op (tolerates unmatched returns). *)
+
+  val depth : stack -> int
+  (** Current depth, root = 0, including capped frames. *)
+
+  val record : stack -> cycles:int -> energy_pj:float -> unit
+  (** Fold one event into the current stack. *)
+
+  val record_leaf :
+    stack -> frame:string -> cycles:int -> energy_pj:float -> unit
+  (** Like {!record} but against a transient leaf [frame] (e.g. the
+      basic block) below the current node, without changing the
+      stack. *)
+
+  val folded : stack -> (string * int * float) list
+  (** [(";"-joined stack, cycles, energy_pj)] rows for every touched
+      node, sorted by stack string — the flame-graph collapsed format.
+      Cycle and energy totals over the rows equal the recorded totals. *)
+end

@@ -11,10 +11,18 @@ module M = struct
       (Obs.Metrics.counter ~help:"requests answered with an error"
          "serve_errors_total")
 
+  (* Router requests span four orders of magnitude: a ping answers in
+     tens of microseconds, a cache-hit estimate in about a millisecond,
+     and a cold characterization run in whole seconds.  The generic
+     default buckets start at 100ms and would collapse everything fast
+     into the first bucket, so spell out a latency-shaped ladder. *)
+  let request_seconds_buckets =
+    [| 1e-4; 2.5e-4; 1e-3; 2.5e-3; 1e-2; 2.5e-2; 0.1; 0.25; 1.0; 2.5; 10.0 |]
+
   let request_seconds =
     lazy
       (Obs.Metrics.histogram ~help:"request handling wall time"
-         "serve_request_seconds")
+         ~buckets:request_seconds_buckets "serve_request_seconds")
 end
 
 type t = {
@@ -226,6 +234,28 @@ let handle_attribute t req =
       ("registry_hit", J.Bool lookup.Registry.l_hit);
       ("attribution", J.parse (Core.Attribution.to_json b)) ]
 
+let handle_profile t req =
+  let name = str_field ~op:"profile" "workload" req in
+  let top =
+    match member_opt "top" req with
+    | Some (J.Num f) -> Some (int_of_float f)
+    | None -> None
+    | Some _ -> failwith "profile: \"top\" must be a number"
+  in
+  (match top with
+  | Some n when n <= 0 -> failwith "profile: top must be positive"
+  | _ -> ());
+  let config = request_config req in
+  let case = find_case name in
+  let lookup = Registry.get t.r_registry config in
+  let r = Core.Profiler.run ~config lookup.Registry.l_model case in
+  J.Obj
+    [ ("ok", J.Bool true);
+      ("op", J.Str "profile");
+      ("model_key", J.Str lookup.Registry.l_key);
+      ("registry_hit", J.Bool lookup.Registry.l_hit);
+      ("profile", J.parse (Core.Profiler.to_json ?top r)) ]
+
 let handle_audit t req =
   let cases =
     match workload_list ~op:"audit" req with
@@ -275,6 +305,7 @@ let dispatch t op req =
         ("pid", J.Num (float_of_int (Unix.getpid ()))) ]
   | "estimate" -> handle_estimate t req
   | "attribute" -> handle_attribute t req
+  | "profile" -> handle_profile t req
   | "audit" -> handle_audit t req
   | "metrics" ->
     J.Obj

@@ -19,6 +19,12 @@
       "bucket_cycles": N?, "config": {...}?}]: the per-variable energy
       breakdown and power-over-time waveform
       ({!Core.Attribution.to_json}).
+    - [profile] — [{"op": "profile", "workload": NAME, "top": N?,
+      "config": {...}?}]: per-basic-block hotspot profile
+      ({!Core.Profiler.to_json}) against the warm registry model —
+      block table, per-opcode histogram, folded flame-graph stacks and
+      the conservation gaps.  [top] truncates the block list; omit it
+      to get every executed block (what conservation checks need).
     - [audit] — [{"op": "audit", "workloads": [...]?, "config":
       {...}?}]: macro-model vs reference accuracy report
       ({!Core.Audit.to_json}) over the named workloads (default: the

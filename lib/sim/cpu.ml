@@ -45,8 +45,17 @@ let create ?(config = Config.default) ?extension asm =
     observers = Queue.create () }
 
 (* O(1) per registration (the single-pass characterization engine adds
-   observers on the hot path); notification keeps registration order. *)
-let add_observer t obs = Queue.add obs t.observers
+   observers on the hot path); notification keeps registration order.
+   Registration is only sound before the first step: a late observer
+   would silently miss the events already published (including the
+   initial fetches), so it is refused loudly instead. *)
+let add_observer t obs =
+  if t.retired > 0 || t.done_ <> None then
+    fail
+      "add_observer: %d instructions already retired; observers must be \
+       registered before the first step or they would miss events"
+      t.retired;
+  Queue.add obs t.observers
 
 (* Retirement-loop metrics.  Handles are registered once (lazily, so a
    process that never enables metrics registers nothing) and bumped only

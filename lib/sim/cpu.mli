@@ -24,6 +24,13 @@ val create :
   t
 
 val add_observer : t -> observer -> unit
+(** Register an observer.  Ordering contract: observers must be
+    registered before the first {!step} — every observer sees the full
+    event stream from the first retired instruction, in registration
+    order.  Registering after execution has begun (any instruction
+    retired, or the run already finished) would silently miss events,
+    so it raises {!Sim_error} instead.
+    @raise Sim_error if any instruction has already retired. *)
 
 val step : t -> [ `Step of Event.t | `Done of outcome ]
 (** Execute one instruction.  After [`Done] further calls return the same

@@ -51,12 +51,20 @@ let all_categories =
   [ Multiplier; Adder; Logic; Shifter; Custom_register;
     Tie_mult; Tie_mac; Tie_add; Tie_csa; Table ]
 
-let category_index cat =
-  let rec find i = function
-    | [] -> assert false
-    | c :: rest -> if c = cat then i else find (i + 1) rest
-  in
-  find 0 all_categories
+(* Direct match, not a list scan: this sits on per-event hot paths
+   (resource accounting, variable extraction).  Must stay in sync with
+   the order of [all_categories]. *)
+let category_index = function
+  | Multiplier -> 0
+  | Adder -> 1
+  | Logic -> 2
+  | Shifter -> 3
+  | Custom_register -> 4
+  | Tie_mult -> 5
+  | Tie_mac -> 6
+  | Tie_add -> 7
+  | Tie_csa -> 8
+  | Table -> 9
 
 let pp ppf c =
   if c.category = Table then

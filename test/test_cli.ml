@@ -350,6 +350,77 @@ let test_explore_progress_explain_smoke () =
     (contains out "model energy by variable:");
   check Alcotest.bool "shares rendered" true (contains out "%")
 
+(* Profiler smoke through the binary: hottest-blocks table, JSON form
+   whose per-block rows close over the run totals (the conservation
+   oracle, checked on the wire format), and the flame-graph collapsed
+   file. *)
+let test_profile_smoke () =
+  let model = Filename.temp_file "xenergy_model" ".txt" in
+  let folded = Filename.temp_file "xenergy_folded" ".txt" in
+  let cleanup () =
+    List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ model; folded ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let code, _, _ = run_xenergy [ "characterize"; "-j"; "2"; "-o"; model ] in
+  check Alcotest.int "characterize exits 0" 0 code;
+  let code, out, err =
+    run_xenergy
+      [ "profile"; "call_tree"; "-m"; model; "--top"; "3"; "--per-opcode" ]
+  in
+  check Alcotest.int "profile exits 0" 0 code;
+  check Alcotest.string "table keeps stderr clean" "" err;
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("table mentions " ^ needle) true
+        (contains out needle))
+    [ "call_tree"; "basic blocks"; "rank"; "cum%"; "energy uJ"; "opcode" ];
+  let code, out, err =
+    run_xenergy
+      [ "profile"; "call_tree"; "-m"; model; "--json"; "--folded"; folded ]
+  in
+  check Alcotest.int "profile --json exits 0" 0 code;
+  check Alcotest.bool "folded path echoed on stderr" true
+    (contains err "folded stacks");
+  let j = Obs.Json.parse out in
+  let cycles = Obs.Json.(to_int (member "cycles" j)) in
+  let total = Obs.Json.(to_float (member "total_energy_pj" j)) in
+  let blocks = Obs.Json.(to_list (member "blocks" j)) in
+  let cycle_sum =
+    List.fold_left
+      (fun acc b -> acc + Obs.Json.(to_int (member "cycles" b)))
+      0 blocks
+  in
+  let energy_sum =
+    List.fold_left
+      (fun acc b -> acc +. Obs.Json.(to_float (member "energy_pj" b)))
+      0.0 blocks
+  in
+  check Alcotest.int "block cycles sum to the run exactly" cycles cycle_sum;
+  check Alcotest.bool "block energies sum to the estimate" true
+    (Float.abs (energy_sum -. total) /. Float.max (Float.abs total) 1.0
+     < 1e-6);
+  check Alcotest.(float 1e-9) "cycle gap reported as zero" 0.0
+    Obs.Json.(to_float (member "cycle_gap" j));
+  (* The folded file is flamegraph.pl input: `stack count` lines with
+     ;-separated frames rooted at the workload. *)
+  let body = In_channel.with_open_text folded In_channel.input_all in
+  let lines =
+    List.filter (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' body)
+  in
+  check Alcotest.bool "folded output is non-empty" true (lines <> []);
+  List.iter
+    (fun l ->
+      check Alcotest.bool "line is rooted at the workload" true
+        (contains l "call_tree");
+      match String.rindex_opt l ' ' with
+      | None -> fail ("malformed folded line: " ^ l)
+      | Some i ->
+        let count = String.sub l (i + 1) (String.length l - i - 1) in
+        check Alcotest.bool ("count is numeric: " ^ count) true
+          (int_of_string_opt count <> None))
+    lines
+
 (* Client-mode smoke against a live daemon: spawn `xenergy serve` in the
    background, drive it through the client flags (ping, two estimates,
    scrape, stop), and check the preloaded-registry hit, the warm cache,
@@ -444,6 +515,9 @@ let () =
               test_explore_progress_explain_smoke ] );
         ( "audit",
           [ Alcotest.test_case "report + gate" `Slow test_audit_smoke ] );
+        ( "profile",
+          [ Alcotest.test_case "hotspot table + json + folded" `Slow
+              test_profile_smoke ] );
         ( "serve",
           [ Alcotest.test_case "client-mode smoke" `Slow
               test_serve_client_smoke ] ) ]

@@ -4,6 +4,11 @@
 let check = Alcotest.check
 let fail = Alcotest.fail
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 (* --- Variables ------------------------------------------------------------ *)
 
 let test_variable_layout () =
@@ -537,6 +542,171 @@ let test_attribution_shares () =
     | _ -> true
   in
   check Alcotest.bool "rows descending" true (sorted b.Core.Attribution.rows)
+
+(* --- Profiler ----------------------------------------------------------------- *)
+
+(* Conservation is the profiler's oracle: over all ten applications the
+   per-block cycles must sum to the run's cycle count exactly, and the
+   per-block energies to the macro-model estimate within 1e-6 relative.
+   The folded stacks, the per-slot profile and the per-opcode histogram
+   are alternative partitions of the same run, so they must close over
+   the same totals. *)
+let test_profiler_conservation () =
+  let fit = Core.Characterize.run (Workloads.Suite.characterization ()) in
+  let model = fit.Core.Characterize.model in
+  let apps = Workloads.Suite.applications () in
+  check Alcotest.int "ten applications" 10 (List.length apps);
+  List.iter
+    (fun (c : Core.Extract.case) ->
+      let r = Core.Profiler.run model c in
+      let name what = r.Core.Profiler.r_workload ^ " " ^ what in
+      let cyc_gap, en_gap = Core.Profiler.check r in
+      check (Alcotest.float 0.0) (name "block cycles sum exactly") 0.0 cyc_gap;
+      check Alcotest.bool (name "block energy sums to total") true
+        (en_gap < 1e-6);
+      let scale = Float.max (Float.abs r.Core.Profiler.r_total_pj) 1.0 in
+      (* The run totals agree with the extraction pipeline's run report. *)
+      let p = Core.Extract.profile c in
+      check Alcotest.int (name "cycles match extraction")
+        p.Core.Extract.cycles r.Core.Profiler.r_cycles;
+      check Alcotest.int (name "instructions match extraction")
+        p.Core.Extract.instructions r.Core.Profiler.r_instructions;
+      let est = Core.Estimate.of_profile model p in
+      check Alcotest.bool (name "energy matches estimate pipeline") true
+        (Float.abs (est.Core.Estimate.energy_pj -. r.Core.Profiler.r_total_pj)
+         /. scale
+         < 1e-6);
+      (* Folded stacks close over the same totals. *)
+      let fc =
+        List.fold_left (fun a (_, cyc, _) -> a + cyc) 0
+          r.Core.Profiler.r_folded
+      in
+      let fe =
+        List.fold_left (fun a (_, _, e) -> a +. e) 0.0
+          r.Core.Profiler.r_folded
+      in
+      check Alcotest.int (name "folded cycles") r.Core.Profiler.r_cycles fc;
+      check Alcotest.bool (name "folded energy") true
+        (Float.abs (fe -. r.Core.Profiler.r_total_pj) /. scale < 1e-6);
+      (* Per-opcode histogram closes. *)
+      let oc =
+        List.fold_left
+          (fun a (o : Core.Profiler.opcode_row) -> a + o.op_cycles)
+          0 r.Core.Profiler.r_opcodes
+      in
+      let oh =
+        List.fold_left
+          (fun a (o : Core.Profiler.opcode_row) -> a + o.op_hits)
+          0 r.Core.Profiler.r_opcodes
+      in
+      check Alcotest.int (name "opcode cycles") r.Core.Profiler.r_cycles oc;
+      check Alcotest.int (name "opcode hits") r.Core.Profiler.r_instructions
+        oh;
+      (* Per-slot (annotation) profile closes. *)
+      let st = Obs.Profile.totals r.Core.Profiler.r_slots in
+      check Alcotest.int (name "slot cycles") r.Core.Profiler.r_cycles
+        st.Obs.Profile.cycles;
+      check Alcotest.int (name "slot hits") r.Core.Profiler.r_instructions
+        st.Obs.Profile.hits;
+      check Alcotest.bool (name "slot energy") true
+        (Float.abs (st.Obs.Profile.energy_pj -. r.Core.Profiler.r_total_pj)
+         /. scale
+         < 1e-6))
+    apps
+
+(* Blocks partition the code section in program order, and the per-block
+   entry/retirement counters respect the static shape. *)
+let test_profiler_block_invariants () =
+  let fit = Core.Characterize.run (small_suite ()) in
+  let model = fit.Core.Characterize.model in
+  let c = Workloads.Suite.find "rs_gfmac" in
+  let r = Core.Profiler.run model c in
+  let code = r.Core.Profiler.r_asm.Isa.Program.code in
+  let blocks = r.Core.Profiler.r_blocks in
+  let slot_sum =
+    Array.fold_left (fun a b -> a + b.Core.Profiler.b_slots) 0 blocks
+  in
+  check Alcotest.int "blocks cover every slot" (Array.length code) slot_sum;
+  Array.iteri
+    (fun i (b : Core.Profiler.block) ->
+      check Alcotest.int "indices in program order" i b.Core.Profiler.b_index;
+      if i > 0 then
+        check Alcotest.int "contiguous partition"
+          (blocks.(i - 1).Core.Profiler.b_last
+          + Isa.Encoding.bytes_per_instr)
+          b.Core.Profiler.b_addr;
+      check Alcotest.bool "retired at least entries" true
+        (b.Core.Profiler.b_retired >= b.Core.Profiler.b_entries))
+    blocks;
+  (* The hot list is the executed blocks in descending cycle order. *)
+  let hot = r.Core.Profiler.r_hot in
+  check Alcotest.bool "something executed" true (Array.length hot > 0);
+  Array.iteri
+    (fun i (b : Core.Profiler.block) ->
+      check Alcotest.bool "hot blocks executed" true
+        (b.Core.Profiler.b_retired > 0);
+      if i > 0 then
+        check Alcotest.bool "hot descending" true
+          (hot.(i - 1).Core.Profiler.b_cycles >= b.Core.Profiler.b_cycles))
+    hot;
+  (* Renderers don't raise and carry the headline numbers. *)
+  let table = Format.asprintf "%a" (Core.Profiler.pp_table ~top:5) r in
+  check Alcotest.bool "table names the workload" true
+    (contains table "rs_gfmac");
+  let ann = Format.asprintf "%a" Core.Profiler.pp_annotate r in
+  check Alcotest.bool "annotation mentions main" true (contains ann "main:");
+  let ops = Format.asprintf "%a" Core.Profiler.pp_opcodes r in
+  check Alcotest.bool "opcode table rendered" true (contains ops "opcode");
+  let json = Obs.Json.parse (Core.Profiler.to_json r) in
+  check Alcotest.int "json cycles" r.Core.Profiler.r_cycles
+    Obs.Json.(to_int (member "cycles" json));
+  let bsum =
+    List.fold_left
+      (fun a b -> a +. Obs.Json.(to_float (member "energy_pj" b)))
+      0.0
+      Obs.Json.(to_list (member "blocks" json))
+  in
+  check Alcotest.bool "json blocks close over the total" true
+    (Float.abs (bsum -. r.Core.Profiler.r_total_pj)
+     /. Float.max r.Core.Profiler.r_total_pj 1.0
+     < 1e-5);
+  (* Folded lines parse as "stack count" with the root frame first. *)
+  let folded = Core.Profiler.folded_lines r in
+  check Alcotest.bool "folded non-empty" true (String.length folded > 0);
+  String.split_on_char '\n' folded
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun l ->
+         check Alcotest.bool "folded rooted at the workload" true
+           (String.length l > 8 && String.sub l 0 8 = "rs_gfmac"))
+
+(* A detached profiler is free: attaching one as an extra observer must
+   not perturb the extracted variables or the estimate bit-for-bit. *)
+let test_profiler_detached_identity () =
+  let fit = Core.Characterize.run (small_suite ()) in
+  let model = fit.Core.Characterize.model in
+  let c = Workloads.Suite.find "rs_soft" in
+  let p0 = Core.Extract.profile c in
+  let eng =
+    Core.Profiler.create ~config:Sim.Config.default model c
+  in
+  let p1 =
+    Core.Extract.profile ~observers:[ Core.Profiler.observer eng ] c
+  in
+  check Alcotest.int "cycles identical" p0.Core.Extract.cycles
+    p1.Core.Extract.cycles;
+  check Alcotest.int "instructions identical" p0.Core.Extract.instructions
+    p1.Core.Extract.instructions;
+  Array.iteri
+    (fun i v ->
+      check Alcotest.bool (Printf.sprintf "variable %d bit-identical" i) true
+        (Int64.bits_of_float v
+        = Int64.bits_of_float p1.Core.Extract.variables.(i)))
+    p0.Core.Extract.variables;
+  let e0 = Core.Estimate.of_profile model p0 in
+  let e1 = Core.Estimate.of_profile model p1 in
+  check Alcotest.bool "estimate bit-identical" true
+    (Int64.bits_of_float e0.Core.Estimate.energy_pj
+    = Int64.bits_of_float e1.Core.Estimate.energy_pj)
 
 (* --- Observer-stream consistency --------------------------------------------- *)
 
@@ -1348,6 +1518,65 @@ let test_explore_progress_and_explain () =
     (List.length warm.Core.Explore.frontier)
     (List.length warm.Core.Explore.explained)
 
+(* profile_top profiles each frontier point: one observed simulation
+   per point, conserving block sums, threaded into the JSON render. *)
+let test_explore_profile_top () =
+  let characterization = small_suite () in
+  let candidates =
+    [ Core.Explore.candidate ~name:"base"
+        (List.hd (Workloads.Suite.applications ()));
+      Core.Explore.candidate ~name:"base_small" ~config:smaller_icache
+        (List.hd (Workloads.Suite.applications ())) ]
+  in
+  let cache = Core.Eval_cache.create () in
+  let o =
+    Core.Explore.run ~jobs:2 ~cache ~characterization ~profile_top:3
+      candidates
+  in
+  check Alcotest.int "profile_top recorded" 3 o.Core.Explore.profile_top;
+  check Alcotest.int "one profile per frontier point"
+    (List.length o.Core.Explore.frontier)
+    (List.length o.Core.Explore.profiled);
+  (* Profiles need the observer attached, so each frontier point costs
+     one simulation beyond the cached sweep. *)
+  check Alcotest.int "profiling simulations accounted"
+    ((2 * List.length characterization)
+    + List.length candidates
+    + List.length o.Core.Explore.frontier)
+    o.Core.Explore.simulations;
+  List.iter2
+    (fun (pt : Core.Explore.point) (name, (r : Core.Profiler.report)) ->
+      check Alcotest.string "profiled in frontier order"
+        pt.Core.Explore.pt_name name;
+      check Alcotest.int "profile cycles match the sweep point"
+        pt.Core.Explore.pt_cycles r.Core.Profiler.r_cycles;
+      check Alcotest.bool "profile energy matches the sweep point" true
+        (Float.abs (r.Core.Profiler.r_total_pj -. pt.Core.Explore.pt_energy_pj)
+        <= 1e-9 *. Float.max 1.0 (Float.abs pt.Core.Explore.pt_energy_pj));
+      let cyc_gap, en_gap = Core.Profiler.check r in
+      check (Alcotest.float 0.0) "frontier profile conserves cycles" 0.0
+        cyc_gap;
+      check Alcotest.bool "frontier profile conserves energy" true
+        (en_gap < 1e-6))
+    o.Core.Explore.frontier o.Core.Explore.profiled;
+  let doc = Core.Explore.to_json o in
+  check Alcotest.bool "sweep JSON carries the profiles" true
+    (contains doc "\"profiles\"");
+  (match Obs.Json.parse doc with
+   | Obs.Json.Obj fields ->
+     (match List.assoc_opt "profiles" fields with
+      | Some (Obs.Json.Obj profiles) ->
+        check Alcotest.int "every frontier point rendered"
+          (List.length o.Core.Explore.profiled)
+          (List.length profiles)
+      | _ -> fail "profiles is not an object")
+   | _ -> fail "sweep JSON does not parse");
+  match
+    Core.Explore.run ~cache ~characterization ~profile_top:0 candidates
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "non-positive profile_top accepted"
+
 (* --- Audit ------------------------------------------------------------------ *)
 
 (* A model deliberately scaled away from the fit, so the audited error
@@ -1777,7 +2006,9 @@ let () =
           Alcotest.test_case "config sharing" `Quick
             test_explore_shares_config_characterization;
           Alcotest.test_case "progress + explain" `Quick
-            test_explore_progress_and_explain ] );
+            test_explore_progress_and_explain;
+          Alcotest.test_case "profile_top frontier hotspots" `Quick
+            test_explore_profile_top ] );
       ( "audit",
         [ Alcotest.test_case "report" `Quick test_audit_report;
           Alcotest.test_case "json round trip" `Quick
@@ -1787,6 +2018,13 @@ let () =
         [ Alcotest.test_case "sums to total" `Quick
             test_attribution_sums_to_total;
           Alcotest.test_case "shares" `Quick test_attribution_shares ] );
+      ( "profiler",
+        [ Alcotest.test_case "conservation over the applications" `Slow
+            test_profiler_conservation;
+          Alcotest.test_case "block invariants + renderers" `Quick
+            test_profiler_block_invariants;
+          Alcotest.test_case "detached bit-identity" `Quick
+            test_profiler_detached_identity ] );
       ( "observer stream",
         [ Alcotest.test_case "stats equal event fold" `Quick
             test_observer_stream_consistency ] ) ]

@@ -388,6 +388,112 @@ let test_waveform_buckets () =
   check Alcotest.string "unit stated" "pJ"
     Obs.Json.(to_string (member "unit" j))
 
+let test_waveform_bucket_edges () =
+  let w = Obs.Waveform.create ~bucket_cycles:10 () in
+  (* A cycle exactly on a bucket boundary opens the next bucket; it
+     never splits or double-counts. *)
+  Obs.Waveform.add w ~cycle:10 ~energy_pj:1.0;
+  Obs.Waveform.add w ~cycle:19 ~energy_pj:2.0;
+  Obs.Waveform.add w ~cycle:20 ~energy_pj:4.0;
+  let bs = Obs.Waveform.buckets w in
+  check Alcotest.int "buckets up to last touched" 3 (Array.length bs);
+  check (Alcotest.float 1e-9) "bucket 0 untouched" 0.0 (snd bs.(0));
+  check Alcotest.int "edge bucket starts at its cycle" 10 (fst bs.(1));
+  check (Alcotest.float 1e-9) "edge event opens its own bucket" 3.0
+    (snd bs.(1));
+  check (Alcotest.float 1e-9) "next boundary likewise" 4.0 (snd bs.(2));
+  check (Alcotest.float 1e-9) "total conserves" 7.0 (Obs.Waveform.total_pj w);
+  (* Negative cycles clamp to bucket 0 rather than crashing. *)
+  Obs.Waveform.add w ~cycle:(-5) ~energy_pj:8.0;
+  check (Alcotest.float 1e-9) "negative cycle clamps to bucket 0" 8.0
+    (snd (Obs.Waveform.buckets w).(0))
+
+let test_waveform_zero_cycles () =
+  (* A zero-cycle program touches no bucket; every renderer must still
+     produce well-formed output. *)
+  let w = Obs.Waveform.create () in
+  check Alcotest.int "no buckets" 0 (Array.length (Obs.Waveform.buckets w));
+  check (Alcotest.float 0.0) "zero total" 0.0 (Obs.Waveform.total_pj w);
+  let j = Obs.Json.parse (Obs.Waveform.to_json w) in
+  check Alcotest.int "json: empty bucket list" 0
+    (List.length Obs.Json.(to_list (member "buckets" j)));
+  check Alcotest.bool "empty waveform named" true
+    (contains (Format.asprintf "%a" Obs.Waveform.pp w) "empty waveform");
+  (* reset returns a used accumulator to exactly this state. *)
+  Obs.Waveform.add w ~cycle:0 ~energy_pj:1.0;
+  Obs.Waveform.reset w;
+  check Alcotest.int "reset drops every bucket" 0
+    (Array.length (Obs.Waveform.buckets w));
+  check (Alcotest.float 0.0) "reset zeroes the total" 0.0
+    (Obs.Waveform.total_pj w)
+
+(* --- Profile ----------------------------------------------------------------- *)
+
+let test_profile_slots () =
+  let p = Obs.Profile.create () in
+  check Alcotest.int "starts empty" 0 (Obs.Profile.cardinal p);
+  Obs.Profile.record p ~energy_pj:1.5 ~cycles:2 7;
+  Obs.Profile.record p ~stall_cycles:1 ~icache_miss:true ~cycles:3 7;
+  Obs.Profile.record p ~dcache_miss:true ~energy_pj:0.5 ~cycles:5 9;
+  check Alcotest.int "two slots" 2 (Obs.Profile.cardinal p);
+  (match Obs.Profile.find p 7 with
+   | Some s ->
+     check Alcotest.int "hits accumulate" 2 s.Obs.Profile.hits;
+     check Alcotest.int "cycles accumulate" 5 s.Obs.Profile.cycles;
+     check Alcotest.int "stalls accumulate" 1 s.Obs.Profile.stall_cycles;
+     check Alcotest.int "icache miss counted" 1 s.Obs.Profile.icache_misses;
+     check Alcotest.int "no dcache miss here" 0 s.Obs.Profile.dcache_misses;
+     check (Alcotest.float 1e-9) "energy accumulates" 1.5
+       s.Obs.Profile.energy_pj
+   | None -> fail "slot 7 missing");
+  check Alcotest.bool "absent slot is None" true (Obs.Profile.find p 8 = None);
+  let t = Obs.Profile.totals p in
+  check Alcotest.int "total hits" 3 t.Obs.Profile.hits;
+  check Alcotest.int "total cycles" 10 t.Obs.Profile.cycles;
+  check Alcotest.int "total dcache misses" 1 t.Obs.Profile.dcache_misses;
+  check (Alcotest.float 1e-9) "total energy" 2.0 t.Obs.Profile.energy_pj;
+  check Alcotest.int "fold covers every slot" 10
+    (Obs.Profile.fold (fun _ s acc -> acc + s.Obs.Profile.cycles) p 0);
+  Obs.Profile.reset p;
+  check Alcotest.int "reset empties" 0 (Obs.Profile.cardinal p)
+
+let test_profile_stacks () =
+  let s = Obs.Profile.Stacks.create ~max_depth:1 ~root:"main" () in
+  check Alcotest.int "depth at root" 0 (Obs.Profile.Stacks.depth s);
+  Obs.Profile.Stacks.record s ~cycles:1 ~energy_pj:0.5;
+  Obs.Profile.Stacks.push s "f";
+  check Alcotest.int "depth after push" 1 (Obs.Profile.Stacks.depth s);
+  Obs.Profile.Stacks.record s ~cycles:2 ~energy_pj:1.0;
+  Obs.Profile.Stacks.record_leaf s ~frame:"leaf" ~cycles:3 ~energy_pj:1.5;
+  (* Beyond max_depth the frame is dropped but the depth is still
+     tracked, so matched pushes/pops rebalance exactly. *)
+  Obs.Profile.Stacks.push s "deep";
+  check Alcotest.int "overflow still counted" 2 (Obs.Profile.Stacks.depth s);
+  Obs.Profile.Stacks.record s ~cycles:4 ~energy_pj:2.0;
+  Obs.Profile.Stacks.pop s;
+  check Alcotest.int "pop rebalances overflow" 1 (Obs.Profile.Stacks.depth s);
+  Obs.Profile.Stacks.record s ~cycles:8 ~energy_pj:4.0;
+  Obs.Profile.Stacks.pop s;
+  Obs.Profile.Stacks.pop s;  (* popping at the root is a no-op *)
+  check Alcotest.int "pop at root clamps" 0 (Obs.Profile.Stacks.depth s);
+  Obs.Profile.Stacks.record s ~cycles:16 ~energy_pj:8.0;
+  let folded = Obs.Profile.Stacks.folded s in
+  let row path =
+    match List.find_opt (fun (p, _, _) -> p = path) folded with
+    | Some (_, cycles, pj) -> (cycles, pj)
+    | None -> fail (Printf.sprintf "stack %S missing" path)
+  in
+  check Alcotest.int "rows for touched nodes only" 3 (List.length folded);
+  check Alcotest.bool "root accumulates across visits" true
+    (row "main" = (17, 8.5));
+  (* The capped frame's cost lands on its deepest kept ancestor. *)
+  check Alcotest.bool "frame f, overflow folded in" true
+    (row "main;f" = (14, 7.0));
+  check Alcotest.bool "leaf attribution" true (row "main;f;leaf" = (3, 1.5));
+  check Alcotest.bool "folded rows sorted by stack" true
+    (let paths = List.map (fun (p, _, _) -> p) folded in
+     paths = List.sort String.compare paths)
+
 let () =
   Alcotest.run "obs"
     [ ( "json",
@@ -417,4 +523,12 @@ let () =
           Alcotest.test_case "emit_all lanes" `Quick
             test_trace_emit_all_preserves_lanes ] );
       ( "waveform",
-        [ Alcotest.test_case "buckets" `Quick test_waveform_buckets ] ) ]
+        [ Alcotest.test_case "buckets" `Quick test_waveform_buckets;
+          Alcotest.test_case "bucket edges" `Quick
+            test_waveform_bucket_edges;
+          Alcotest.test_case "zero-cycle program" `Quick
+            test_waveform_zero_cycles ] );
+      ( "profile",
+        [ Alcotest.test_case "per-slot accumulator" `Quick test_profile_slots;
+          Alcotest.test_case "call stacks + folded" `Quick
+            test_profile_stacks ] ) ]

@@ -89,7 +89,22 @@ let test_json_print_roundtrip () =
   check Alcotest.string "nan prints as null" "null"
     (Serve.Protocol.json_to_string (J.Num Float.nan));
   check Alcotest.string "inf prints as null" "null"
-    (Serve.Protocol.json_to_string (J.Num Float.infinity))
+    (Serve.Protocol.json_to_string (J.Num Float.infinity));
+  (* Negative and exponent-heavy floats survive print -> parse
+     bit-for-bit: %.17g is enough decimal digits to pin down any
+     double, normal or subnormal. *)
+  List.iter
+    (fun f ->
+      match J.parse (Serve.Protocol.json_to_string (J.Num f)) with
+      | J.Num g ->
+        check Alcotest.bool
+          (Printf.sprintf "%h round-trips bit-for-bit" f)
+          true
+          (Int64.bits_of_float f = Int64.bits_of_float g)
+      | _ -> Alcotest.fail "number did not parse back to a number")
+    [ -0.5; -1.25e-7; 6.02214076e23; -6.02214076e23; 1e300; -1e300;
+      3.0e-321; epsilon_float; min_float; -.max_float;
+      4234263.3599835774; -0.1 ]
 
 (* --- Registry ------------------------------------------------------------- *)
 
@@ -133,6 +148,154 @@ let test_registry_hit_and_eviction () =
     l3.Serve.Registry.l_hit;
   check Alcotest.int "fourth characterization" 4 !calls
 
+(* --- Router (in-process) -------------------------------------------------- *)
+
+let member name resp =
+  match resp with
+  | J.Obj fields -> (
+    match List.assoc_opt name fields with
+    | Some v -> v
+    | None -> Alcotest.fail (Printf.sprintf "response lacks %S" name))
+  | _ -> Alcotest.fail "response is not an object"
+
+let as_bool = function
+  | J.Bool b -> b
+  | _ -> Alcotest.fail "expected a boolean"
+
+let as_int = function
+  | J.Num f -> int_of_float f
+  | _ -> Alcotest.fail "expected a number"
+
+let as_float = function
+  | J.Num f -> f
+  | _ -> Alcotest.fail "expected a number"
+
+let with_router f =
+  let router =
+    Serve.Router.create ~max_models:2 ~jobs:2
+      ~characterize:(fun _ -> stub_model)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.Router.shutdown router)
+    (fun () -> f router)
+
+let test_router_profile_op () =
+  with_router @@ fun router ->
+  let call req = Serve.Router.handle router req in
+  let resp =
+    call (J.Obj [ ("op", J.Str "profile"); ("workload", J.Str "gcd") ])
+  in
+  check Alcotest.bool "profile ok" true (as_bool (member "ok" resp));
+  check Alcotest.bool "cold profile characterizes" false
+    (as_bool (member "registry_hit" resp));
+  let p = member "profile" resp in
+  let cycles = as_int (member "cycles" p) in
+  let total_pj = as_float (member "total_energy_pj" p) in
+  let blocks =
+    match member "blocks" p with
+    | J.Arr l -> l
+    | _ -> Alcotest.fail "blocks is not an array"
+  in
+  check Alcotest.bool "some blocks executed" true (blocks <> []);
+  (* The daemon answer carries the full executed-block list, so a client
+     can re-check conservation from the wire format alone. *)
+  let sum_c =
+    List.fold_left (fun a b -> a + as_int (member "cycles" b)) 0 blocks
+  in
+  let sum_e =
+    List.fold_left (fun a b -> a +. as_float (member "energy_pj" b)) 0.0 blocks
+  in
+  check Alcotest.int "block cycles conserve over the wire" cycles sum_c;
+  check Alcotest.bool "block energy conserves over the wire" true
+    (Float.abs (sum_e -. total_pj) <= 1e-6 *. Float.max 1.0 total_pj);
+  check Alcotest.int "cycle gap reported as zero" 0
+    (as_int (member "cycle_gap" p));
+  (* Warm call: same registry model; "top" truncates the block list but
+     never the totals. *)
+  let resp2 =
+    call
+      (J.Obj
+         [ ("op", J.Str "profile"); ("workload", J.Str "gcd");
+           ("top", J.Num 1.0) ])
+  in
+  check Alcotest.bool "warm profile hits the registry" true
+    (as_bool (member "registry_hit" resp2));
+  (match member "blocks" (member "profile" resp2) with
+   | J.Arr [ _ ] -> ()
+   | _ -> Alcotest.fail "top=1 did not truncate the block list");
+  check Alcotest.int "truncation keeps totals" cycles
+    (as_int (member "cycles" (member "profile" resp2)));
+  (* Bad requests are refused, not fatal. *)
+  List.iter
+    (fun req ->
+      check Alcotest.bool "bad profile request refused" false
+        (as_bool (member "ok" (call req))))
+    [ J.Obj [ ("op", J.Str "profile") ];
+      J.Obj [ ("op", J.Str "profile"); ("workload", J.Str "nosuch") ];
+      J.Obj
+        [ ("op", J.Str "profile"); ("workload", J.Str "gcd");
+          ("top", J.Num 0.0) ] ];
+  check Alcotest.bool "router still alive" true
+    (as_bool (member "ok" (call (J.Obj [ ("op", J.Str "ping") ]))))
+
+let test_request_seconds_buckets () =
+  (* The request-latency histogram must use latency-shaped bounds: the
+     scrape carries sub-millisecond buckets, cumulative counts are
+     monotone, and the +Inf bucket equals _count. *)
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled was) @@ fun () ->
+  with_router @@ fun router ->
+  for _ = 1 to 3 do
+    ignore (Serve.Router.handle router (J.Obj [ ("op", J.Str "ping") ]))
+  done;
+  let scrape = Obs.Export.to_openmetrics () in
+  check Alcotest.bool "sub-millisecond bucket present" true
+    (contains scrape "serve_request_seconds_bucket{le=\"0.0001\"}");
+  let lines = String.split_on_char '\n' scrape in
+  let starts p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let value line =
+    match String.rindex_opt line ' ' with
+    | Some i ->
+      int_of_string (String.sub line (i + 1) (String.length line - i - 1))
+    | None -> Alcotest.fail ("unparsable sample: " ^ line)
+  in
+  let buckets =
+    List.filter (starts "serve_request_seconds_bucket") lines
+  in
+  check Alcotest.bool "all bounds exposed" true (List.length buckets >= 12);
+  let counts = List.map value buckets in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  check Alcotest.bool "cumulative bucket counts are monotone" true
+    (monotone counts);
+  let count =
+    match List.filter (starts "serve_request_seconds_count") lines with
+    | [ line ] -> value line
+    | _ -> Alcotest.fail "expected exactly one _count sample"
+  in
+  check Alcotest.bool "requests were observed" true (count >= 3);
+  let last = List.nth buckets (List.length buckets - 1) in
+  check Alcotest.bool "last bucket is +Inf" true (contains last "+Inf");
+  check Alcotest.int "+Inf bucket equals _count" count (value last);
+  (* An in-process ping is microseconds; with honest bounds it cannot
+     land above the 25 ms bucket.  (The old generic bounds started at
+     100 ms and collapsed every fast request into one bucket.) *)
+  let at_25ms =
+    match
+      List.filter (fun l -> contains l "le=\"0.025\"") buckets
+    with
+    | [ line ] -> value line
+    | _ -> Alcotest.fail "25 ms bucket missing"
+  in
+  check Alcotest.bool "fast requests resolved by sub-100ms buckets" true
+    (at_25ms >= 3)
+
 (* --- End-to-end daemon ---------------------------------------------------- *)
 
 let scratch_socket name =
@@ -172,22 +335,6 @@ let with_server ~max_models f =
         check Alcotest.bool "daemon came up" true
           (Serve.Client.wait_ready ~timeout_s:10.0 ~socket ());
         f socket)
-
-let member name resp =
-  match resp with
-  | J.Obj fields -> (
-    match List.assoc_opt name fields with
-    | Some v -> v
-    | None -> Alcotest.fail (Printf.sprintf "response lacks %S" name))
-  | _ -> Alcotest.fail "response is not an object"
-
-let as_bool = function
-  | J.Bool b -> b
-  | _ -> Alcotest.fail "expected a boolean"
-
-let as_int = function
-  | J.Num f -> int_of_float f
-  | _ -> Alcotest.fail "expected a number"
 
 let estimate_req =
   J.Obj
@@ -337,6 +484,10 @@ let () =
       ( "registry",
         [ Alcotest.test_case "hit + LRU eviction" `Quick
             test_registry_hit_and_eviction ] );
+      ( "router",
+        [ Alcotest.test_case "profile op" `Quick test_router_profile_op;
+          Alcotest.test_case "latency-shaped request buckets" `Quick
+            test_request_seconds_buckets ] );
       ( "daemon",
         [ Alcotest.test_case "cold/warm + metrics" `Slow
             test_server_cold_warm_and_metrics;

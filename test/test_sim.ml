@@ -663,6 +663,35 @@ let test_observer_registration_order () =
   check (Alcotest.list Alcotest.int) "registration order per event" expected
     (List.rev !calls)
 
+let test_late_observer_registration_fails () =
+  (* Satellite contract: an observer registered after execution began
+     would silently miss the events already published, so the simulator
+     refuses it loudly instead (see the cpu.mli ordering contract). *)
+  let open Isa.Builder in
+  let b = Isa.Builder.create "t" in
+  Isa.Builder.label b "main";
+  movi b a2 2;
+  addi b a2 a2 1;
+  Isa.Builder.halt b;
+  let asm = Isa.Program.assemble (Isa.Builder.seal b) in
+  let cpu = Sim.Cpu.create asm in
+  (* Before the first step, registration is fine. *)
+  Sim.Cpu.add_observer cpu (fun _ -> ());
+  (match Sim.Cpu.step cpu with
+   | `Step _ -> ()
+   | `Done _ -> fail "program ended before the first instruction");
+  (match Sim.Cpu.add_observer cpu (fun _ -> ()) with
+   | exception Sim.Cpu.Sim_error _ -> ()
+   | () -> fail "late observer registration accepted");
+  (* The refusal also applies to a finished run. *)
+  let rec drain () =
+    match Sim.Cpu.step cpu with `Step _ -> drain () | `Done _ -> ()
+  in
+  drain ();
+  match Sim.Cpu.add_observer cpu (fun _ -> ()) with
+  | exception Sim.Cpu.Sim_error _ -> ()
+  | () -> fail "post-run observer registration accepted"
+
 let () =
   Alcotest.run "sim"
     [ ( "memory",
@@ -702,6 +731,8 @@ let () =
           Alcotest.test_case "watchdog" `Quick test_watchdog;
           Alcotest.test_case "stats totals" `Quick test_stats_totals;
           Alcotest.test_case "observer order" `Quick
-            test_observer_registration_order ] );
+            test_observer_registration_order;
+          Alcotest.test_case "late observer refused" `Quick
+            test_late_observer_registration_fails ] );
       ( "differential",
         [ QCheck_alcotest.to_alcotest qcheck_cpu_matches_int32_oracle ] ) ]
