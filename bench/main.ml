@@ -15,6 +15,7 @@
      main.exe capps        accuracy on compiled Tiny-C applications
      main.exe arbitrary    characterization on random test programs
      main.exe sweep        instruction-cache size sweep (re-characterized)
+     main.exe sim          threaded backend equivalence + speedup -> BENCH_sim.json
      main.exe bechamel     Bechamel micro-benchmarks (one per table/figure) *)
 
 let fmt = Format.std_formatter
@@ -537,6 +538,119 @@ let profile_bench () =
       Out_channel.output_char oc '\n');
   Format.fprintf fmt "(written to BENCH_profile.json)@."
 
+(* Threaded-code execution backend: first the bit-identity oracle (the
+   --backend check dual run) over every application, then interp vs
+   threaded wall time over the characterization suite.  Timing
+   methodology: per program, batches of fresh machines sized so each
+   timed region is ~10 ms (well above timer resolution), the two
+   backends interleaved within every rep so load drift hits both
+   equally, best of 7 reps, geometric mean across programs.  Gate:
+   geomean >= 5x (stretch 10x).  Everything lands in BENCH_sim.json. *)
+let sim_bench () =
+  banner "E10: threaded-code simulation backend (equivalence + speedup)";
+  (* Pre-decode allocates the program's op records in one burst and they
+     stay live for the whole run, so a small minor heap promotes them
+     mid-decode; run the benchmark with the roomy minor heap (8 M words)
+     a decode-heavy production setup would configure. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
+  let apps = Workloads.Suite.applications () in
+  let checks0 = Sim.Backend.checks_run () in
+  List.iter
+    (fun (c : Core.Extract.case) ->
+      ignore
+        (Sim.Backend.run_program ~backend:Sim.Backend.Check
+           ?extension:c.Core.Extract.extension c.Core.Extract.asm))
+    apps;
+  let checks = Sim.Backend.checks_run () - checks0 in
+  Format.fprintf fmt
+    "equivalence: %d dual runs over %d applications — outcome, cycles, \
+     instructions and the complete retirement event stream (operands, \
+     penalties, stalls, custom-state updates) bit-identical@."
+    checks (List.length apps);
+  let programs = Workloads.Suite.characterization () in
+  let time_batch mk run k =
+    let cpus = Array.init k (fun _ -> mk ()) in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to k - 1 do
+      ignore (run cpus.(i))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int k
+  in
+  Format.fprintf fmt "%-20s %9s %11s %11s %8s@." "test program" "instrs"
+    "interp ns/i" "thread ns/i" "speedup";
+  let rows =
+    List.map
+      (fun (c : Core.Extract.case) ->
+        let mk () =
+          Sim.Cpu.create ?extension:c.Core.Extract.extension
+            c.Core.Extract.asm
+        in
+        let probe = mk () in
+        ignore (Sim.Cpu.run probe);
+        let ins = Sim.Cpu.instructions probe in
+        (* Batch size targeting ~10 ms of simulation per measurement at
+           ~100 ns/instruction, capped at 200 machines. *)
+        let k =
+          max 1 (min 200 (int_of_float (0.01 /. (float_of_int ins *. 100e-9))))
+        in
+        let best_i = ref infinity and best_t = ref infinity in
+        for _ = 1 to 7 do
+          let ti = time_batch mk Sim.Cpu.run k in
+          let tt = time_batch mk (fun m -> Sim.Cpu.run_threaded m) k in
+          if ti < !best_i then best_i := ti;
+          if tt < !best_t then best_t := tt
+        done;
+        let ni = !best_i /. float_of_int ins *. 1e9 in
+        let nt = !best_t /. float_of_int ins *. 1e9 in
+        let speedup = !best_i /. !best_t in
+        Format.fprintf fmt "%-20s %9d %11.1f %11.1f %7.2fx@."
+          c.Core.Extract.case_name ins ni nt speedup;
+        (c.Core.Extract.case_name, ins, ni, nt, speedup))
+      programs
+  in
+  let geomean =
+    exp
+      (List.fold_left (fun acc (_, _, _, _, s) -> acc +. log s) 0.0 rows
+       /. float_of_int (List.length rows))
+  in
+  let gate = 5.0 and stretch = 10.0 in
+  Format.fprintf fmt
+    "@.geometric-mean speedup: %.2fx over %d programs (gate %.0fx: %s; \
+     stretch %.0fx: %s)@."
+    geomean (List.length rows) gate
+    (if geomean >= gate then "ok" else "MISSED")
+    stretch
+    (if geomean >= stretch then "ok" else "not reached");
+  let row_json (name, ins, ni, nt, s) =
+    Printf.sprintf
+      "{\"name\": \"%s\", \"instructions\": %d, \
+       \"interp_ns_per_instr\": %.2f, \"threaded_ns_per_instr\": %.2f, \
+       \"speedup\": %.4f}"
+      name ins ni nt s
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"sim-backend\",\n\
+      \  \"equivalence_checks\": %d,\n\
+      \  \"applications_checked\": %d,\n\
+      \  \"programs\": %d,\n\
+      \  \"geomean_speedup\": %.4f,\n\
+      \  \"gate_speedup\": %.1f,\n\
+      \  \"stretch_speedup\": %.1f,\n\
+      \  \"gate_pass\": %b,\n\
+      \  \"rows\": [\n    %s\n  ]\n\
+       }"
+      checks (List.length apps) (List.length rows) geomean gate stretch
+      (geomean >= gate)
+      (String.concat ",\n    " (List.map row_json rows))
+  in
+  Out_channel.with_open_text "BENCH_sim.json" (fun oc ->
+      Out_channel.output_string oc json;
+      Out_channel.output_char oc '\n');
+  Format.fprintf fmt "(written to BENCH_sim.json)@.";
+  if geomean < gate then exit 1
+
 (* --- Ablations ---------------------------------------------------------------- *)
 
 (* Zero selected variables out of collected samples and profiles, refit,
@@ -865,7 +979,8 @@ let () =
       ("profile", profile_bench);
       ("ablation", ablation); ("capps", capps);
       ("arbitrary", arbitrary);
-      ("sweep", sweep); ("bechamel", bechamel_benchmarks) ]
+      ("sweep", sweep); ("sim", sim_bench);
+      ("bechamel", bechamel_benchmarks) ]
   in
   match Array.to_list Sys.argv with
   | _ :: name :: _ -> (

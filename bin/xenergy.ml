@@ -34,7 +34,12 @@
                 client against a running daemon instead
 
    Every command honours XENERGY_LOG=FILE (JSON-lines structured log)
-   and XENERGY_LOG_LEVEL=debug|info|warn|error.
+   and XENERGY_LOG_LEVEL=debug|info|warn|error.  The simulating
+   commands (profile, characterize, estimate, explore, audit, serve)
+   take --backend interp|threaded|check (default from
+   XENERGY_BACKEND): interp is the reference interpreter, threaded the
+   pre-decoded native-speed backend (bit-identical), check runs both
+   and fails on any divergence.
      xenergy cache stats DIR         inventory of an on-disk eval cache
      xenergy cache verify DIR        re-parse every entry, report corruption
      xenergy cache prune DIR [..]    LRU eviction (--max-entries/-bytes/-age)
@@ -61,6 +66,44 @@ let jobs_arg =
      cores)."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let backend_arg =
+  let doc =
+    "Simulation backend: $(b,interp) (the reference interpreter,
+     decode per retirement), $(b,threaded) (pre-decoded threaded code —
+     bit-identical results, several times faster) or $(b,check) (run
+     both and fail on any divergence).  Also the $(b,XENERGY_BACKEND)
+     environment variable; the flag wins."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "backend" ] ~docv:"NAME" ~doc)
+
+let set_backend = function
+  | None -> ()
+  | Some s -> (
+    match Sim.Backend.of_string s with
+    | Some b -> Sim.Backend.set_current b
+    | None -> die "unknown backend %S (one of: interp, threaded, check)" s)
+
+(* Under --backend check every simulation ran twice; say so, so a green
+   exit visibly means "the backends agreed" rather than "check was
+   silently ignored".  Parallel commands run their checks inside forked
+   workers whose counters do not flow back — a worker's mismatch still
+   fails the command. *)
+let report_checks () =
+  if Sim.Backend.current () = Sim.Backend.Check then begin
+    let n = Sim.Backend.checks_run () in
+    if n > 0 then
+      Format.eprintf
+        "backend check: %d dual simulation%s, interpreter and threaded \
+         backends agreed bit-for-bit@."
+        n
+        (if n = 1 then "" else "s")
+    else
+      Format.eprintf
+        "backend check: dual simulations ran in worker processes; no \
+         mismatch reported@."
+  end
 
 let log_file_arg =
   Arg.(value & opt (some string) None
@@ -189,7 +232,8 @@ let profile_cmd =
                    of the hotspot profile (needs no model).")
   in
   let run model_path name top json folded folded_energy annotate per_opcode
-      variables log_file openmetrics jobs =
+      variables backend log_file openmetrics jobs =
+    set_backend backend;
     let c = find_case name in
     if variables then
       Format.fprintf fmt "%a@." Core.Extract.pp_profile
@@ -223,7 +267,8 @@ let profile_cmd =
           write_file "energy folded stacks" path
             (Core.Profiler.folded_lines ~energy:true r))
         folded_energy;
-      save_openmetrics openmetrics
+      save_openmetrics openmetrics;
+      report_checks ()
     end
   in
   Cmd.v
@@ -234,7 +279,8 @@ let profile_cmd =
              annotated-disassembly output")
     Term.(const run $ model_arg $ name_arg $ top_arg $ json_arg $ folded_arg
           $ folded_energy_arg $ annotate_arg $ per_opcode_arg
-          $ variables_arg $ log_file_arg $ openmetrics_arg $ jobs_arg)
+          $ variables_arg $ backend_arg $ log_file_arg $ openmetrics_arg
+          $ jobs_arg)
 
 (* --- reference ----------------------------------------------------------- *)
 
@@ -284,7 +330,8 @@ let characterize_cmd =
                    counters, NNLS iterations, worker-pool degradations)
                    and save it as JSON to $(docv).")
   in
-  let run out report trace metrics log_file openmetrics jobs =
+  let run out report trace metrics backend log_file openmetrics jobs =
+    set_backend backend;
     if trace <> None then Obs.Trace.set_enabled true;
     if metrics <> None then Obs.Metrics.set_enabled true;
     setup_obs ~log_file ~openmetrics;
@@ -332,28 +379,31 @@ let characterize_cmd =
        with Sys_error msg -> die "cannot write metrics: %s" msg);
       Format.fprintf fmt "metrics written to %s@." path
     | None -> ());
-    save_openmetrics openmetrics
+    save_openmetrics openmetrics;
+    report_checks ()
   in
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Fit the macro-model on the characterization suite")
     Term.(const run $ out_arg $ report_arg $ trace_arg $ metrics_arg
-          $ log_file_arg $ openmetrics_arg $ jobs_arg)
+          $ backend_arg $ log_file_arg $ openmetrics_arg $ jobs_arg)
 
 (* --- estimate ------------------------------------------------------------ *)
 
 let estimate_cmd =
-  let run model_path name =
+  let run model_path name backend =
+    set_backend backend;
     let model = load_or_fit model_path in
     let c = find_case name in
     let r = Core.Estimate.run model c in
     Format.fprintf fmt
       "%s: %.3f uJ (%d instructions, %d cycles)@." name
-      r.Core.Estimate.energy_uj r.Core.Estimate.instructions r.Core.Estimate.cycles
+      r.Core.Estimate.energy_uj r.Core.Estimate.instructions r.Core.Estimate.cycles;
+    report_checks ()
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Macro-model energy of one workload")
-    Term.(const run $ model_arg $ name_arg)
+    Term.(const run $ model_arg $ name_arg $ backend_arg)
 
 (* --- attribute ------------------------------------------------------------ *)
 
@@ -708,7 +758,8 @@ let explore_cmd =
                    to $(docv).")
   in
   let run space cache_dir cache_max_bytes progress explain pareto profile_top
-      json csv out trace metrics log_file openmetrics jobs =
+      json csv out trace metrics backend log_file openmetrics jobs =
+    set_backend backend;
     if json && csv then die "--json and --csv are mutually exclusive";
     if cache_max_bytes <> None && cache_dir = None then
       die "--cache-max-bytes requires --cache-dir";
@@ -780,7 +831,8 @@ let explore_cmd =
        with Sys_error msg -> die "cannot write metrics: %s" msg);
       Format.eprintf "metrics written to %s@." path
     | None -> ());
-    save_openmetrics openmetrics
+    save_openmetrics openmetrics;
+    report_checks ()
   in
   Cmd.v
     (Cmd.info "explore"
@@ -790,7 +842,7 @@ let explore_cmd =
     Term.(const run $ space_arg $ cache_dir_arg $ cache_max_bytes_arg
           $ progress_arg $ explain_arg $ pareto_arg $ profile_top_arg
           $ json_arg $ csv_arg $ out_arg $ trace_arg $ metrics_arg
-          $ log_file_arg $ openmetrics_arg $ jobs_arg)
+          $ backend_arg $ log_file_arg $ openmetrics_arg $ jobs_arg)
 
 (* --- cache: lifecycle management of an on-disk evaluation cache ----------- *)
 
@@ -992,8 +1044,9 @@ let audit_cmd =
              ~doc:"Memoize the reference-observed simulations under
                    $(docv); a warm audit costs zero simulations.")
   in
-  let run model_path json out baseline tolerance cache_dir log_file
+  let run model_path json out baseline tolerance cache_dir backend log_file
       openmetrics jobs =
+    set_backend backend;
     if tolerance <= 0.0 then die "--tolerance must be > 0";
     setup_obs ~log_file ~openmetrics;
     let model = load_or_fit ?jobs model_path in
@@ -1013,6 +1066,7 @@ let audit_cmd =
        Format.eprintf "accuracy report written to %s@." path
      | None -> ());
     save_openmetrics openmetrics;
+    report_checks ();
     match baseline with
     | None -> ()
     | Some path ->
@@ -1034,8 +1088,8 @@ let audit_cmd =
              (per-application error table, JSON report, optional
              regression gate against a committed baseline)")
     Term.(const run $ model_arg $ json_arg $ out_arg $ baseline_arg
-          $ tolerance_arg $ cache_dir_arg $ log_file_arg $ openmetrics_arg
-          $ jobs_arg)
+          $ tolerance_arg $ cache_dir_arg $ backend_arg $ log_file_arg
+          $ openmetrics_arg $ jobs_arg)
 
 (* --- serve ---------------------------------------------------------------- *)
 
@@ -1127,7 +1181,10 @@ let serve_cmd =
     | _ -> false
   in
   let run socket max_models cache_dir model_file io_timeout read_timeout
-      call scrape ping stop wait timeout log_file openmetrics jobs =
+      call scrape ping stop wait timeout backend log_file openmetrics jobs =
+    (* Daemon mode: the process-wide default backend, overridable per
+       request by the "backend" field.  Irrelevant in client mode. *)
+    set_backend backend;
     setup_obs ~log_file ~openmetrics;
     let client_mode = call <> None || scrape || ping || stop in
     if client_mode then begin
@@ -1212,7 +1269,7 @@ let serve_cmd =
     Term.(const run $ socket_arg $ max_models_arg $ cache_dir_arg
           $ model_file_arg $ io_timeout_arg $ read_timeout_arg $ call_arg
           $ scrape_arg $ ping_arg $ stop_arg $ wait_arg $ timeout_arg
-          $ log_file_arg $ openmetrics_arg $ jobs_arg)
+          $ backend_arg $ log_file_arg $ openmetrics_arg $ jobs_arg)
 
 (* --- rs ------------------------------------------------------------------ *)
 
@@ -1240,6 +1297,9 @@ let main_cmd =
 
 let () =
   (* Any command can stream structured logs via the environment, without
-     growing a flag: XENERGY_LOG=FILE xenergy ... *)
+     growing a flag: XENERGY_LOG=FILE xenergy ... — and select the
+     simulation backend the same way: XENERGY_BACKEND=threaded|check
+     (the per-command --backend flag wins). *)
   Obs.Log.init_from_env ();
+  Sim.Backend.init_from_env ();
   exit (Cmd.eval main_cmd)

@@ -120,7 +120,7 @@ let run ?(config = Sim.Config.default) ?bucket_cycles ?complexity
       model
   in
   let cpu, _outcome =
-    Sim.Cpu.run_program ~config ?extension:c.Extract.extension
+    Sim.Backend.run_program ~config ?extension:c.Extract.extension
       ~observers:(observer t :: observers)
       c.Extract.asm
   in

@@ -68,6 +68,7 @@ let collect_with_report ?(config = Sim.Config.default) ?params ?complexity
         { Run_report.entries = List.map snd pairs;
           total_seconds;
           jobs = jobs_used;
+          sim_backend = Sim.Backend.name (Sim.Backend.current ());
           parallel =
             { Run_report.serial_fallbacks =
                 (if pstats.Parallel.serial_fallback then 1 else 0);

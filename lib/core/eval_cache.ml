@@ -58,11 +58,20 @@ let diff a b =
    assembled program (code words, entry point, initialised image — not
    the unassembled source, whose labels and symbol table carry no
    semantics), the extension specification, the processor configuration,
-   the C(W) tag and whether the reference estimator observes the run.
-   Marshal gives a canonical byte string for these pure immutable
-   values; MD5 of that is the content address. *)
-let key ?(complexity_tag = "default") ?(with_reference = false)
+   the C(W) tag, whether the reference estimator observes the run, and
+   the simulation backend that would produce the entry.  The backends
+   are bit-identical by contract, but keying them apart means a cached
+   vector never masks a divergence: an entry always records what the
+   named backend actually computed.  Marshal gives a canonical byte
+   string for these pure immutable values; MD5 of that is the content
+   address. *)
+let key ?backend ?(complexity_tag = "default") ?(with_reference = false)
     ~(config : Sim.Config.t) (c : Extract.case) =
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> Sim.Backend.name (Sim.Backend.current ())
+  in
   let asm = c.Extract.asm in
   let code =
     Array.map
@@ -71,7 +80,7 @@ let key ?(complexity_tag = "default") ?(with_reference = false)
   in
   let spec = Option.map Tie.Compile.spec c.Extract.extension in
   let payload =
-    ( "xenergy-eval-cache", 1, complexity_tag, with_reference, code,
+    ( "xenergy-eval-cache", 2, backend, complexity_tag, with_reference, code,
       asm.Isa.Program.entry, asm.Isa.Program.image, spec, config )
   in
   Digest.to_hex (Digest.string (Marshal.to_string payload []))

@@ -81,6 +81,7 @@ val dir : t -> string option
 (** The disk directory, if the cache has one. *)
 
 val key :
+  ?backend:string ->
   ?complexity_tag:string ->
   ?with_reference:bool ->
   config:Sim.Config.t ->
@@ -90,10 +91,13 @@ val key :
     depends on: the assembled code words, entry point and initialised
     memory image of the program, the full extension specification, the
     processor configuration, whether the reference estimator rides the
-    simulation ([with_reference], default [false]), and a
-    [complexity_tag] naming the C(W) weighting in effect (default
-    ["default"]; callers overriding [complexity] must supply their own
-    tag). *)
+    simulation ([with_reference], default [false]), the simulation
+    [backend] name (default: {!Sim.Backend.name} of
+    {!Sim.Backend.current} — backends are bit-identical by contract,
+    but keying them apart means a cached vector can never mask a
+    divergence), and a [complexity_tag] naming the C(W) weighting in
+    effect (default ["default"]; callers overriding [complexity] must
+    supply their own tag). *)
 
 val find : t -> string -> entry option
 (** Look a key up (memory first, then disk); counts a hit or miss.

@@ -69,7 +69,7 @@ let profile ?(config = Sim.Config.default) ?complexity ?(observers = []) c =
       let res = Resource.create ?complexity c.extension in
       let cpu, outcome =
         Obs.Trace.with_span ~cat:"sim" ("simulate:" ^ c.case_name) (fun () ->
-            Sim.Cpu.run_program ~config ?extension:c.extension
+            Sim.Backend.run_program ~config ?extension:c.extension
               ~observers:
                 (Sim.Stats.observer stats :: Resource.observer res :: observers)
               c.asm)

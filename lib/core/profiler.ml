@@ -67,99 +67,33 @@ type t = {
 
 let bpi = Isa.Encoding.bytes_per_instr
 
-(* Code symbols by address; when several labels share one address the
-   lexicographically smallest wins, for determinism. *)
-let code_symbols (asm : Isa.Program.asm) =
-  let n = Array.length asm.Isa.Program.code in
-  let base = asm.Isa.Program.code_base in
-  let at = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun name addr ->
-      if addr >= base && addr < base + (n * bpi) && (addr - base) mod bpi = 0
-      then
-        match Hashtbl.find_opt at addr with
-        | Some other when String.compare other name <= 0 -> ()
-        | Some _ | None -> Hashtbl.replace at addr name)
-    asm.Isa.Program.symbols;
-  at
-
-(* Basic-block discovery: the leader set partitions the code section.
-   Leaders are slot 0, the entry point, every resolved target of a
-   control instruction, the fall-through after every control
-   instruction, and every code symbol (the only statically visible
-   destinations of indirect [jx]/[callx*]).  [l32r] also carries a
-   resolved target (its literal) but is not control flow, so gating on
-   [is_control] matters. *)
-let discover_blocks (asm : Isa.Program.asm) sym_at =
-  let code = asm.Isa.Program.code in
-  let n = Array.length code in
-  let base = asm.Isa.Program.code_base in
-  let leader = Array.make (max n 1) false in
-  if n > 0 then leader.(0) <- true;
-  let mark addr =
-    if addr >= base && addr < base + (n * bpi) && (addr - base) mod bpi = 0
-    then leader.((addr - base) / bpi) <- true
-  in
-  mark asm.Isa.Program.entry;
-  Array.iteri
-    (fun i slot ->
-      if Isa.Instr.is_control slot.Isa.Program.instr then begin
-        (match slot.Isa.Program.target with Some a -> mark a | None -> ());
-        if i + 1 < n then leader.(i + 1) <- true
-      end)
-    code;
-  Hashtbl.iter (fun addr _ -> mark addr) sym_at;
-  (* Label each block by the symbol at (or nearest before) its leader. *)
-  let label_of addr =
-    match Hashtbl.find_opt sym_at addr with
-    | Some s -> s
-    | None ->
-      let rec back a =
-        if a < base then Printf.sprintf "0x%x" addr
-        else
-          match Hashtbl.find_opt sym_at a with
-          | Some s -> Printf.sprintf "%s+0x%x" s (addr - a)
-          | None -> back (a - bpi)
-      in
-      back addr
-  in
-  let blocks = ref [] in
-  let block_of_slot = Array.make (max n 1) 0 in
-  let count = ref 0 in
-  let start = ref 0 in
-  let close last =
-    let slots = last - !start + 1 in
-    let addr = base + (!start * bpi) in
-    blocks :=
-      { b_index = !count;
-        b_addr = addr;
-        b_last = base + (last * bpi);
-        b_label = label_of addr;
-        b_slots = slots;
+(* Basic-block discovery is delegated to {!Sim.Decoder}: the profiler
+   accounts over exactly the partition the threaded execution backend
+   dispatches, so the two agree on block identity by construction.
+   Each static block gets a mutable accumulator here. *)
+let blocks_of_decoder (d : Sim.Decoder.t) =
+  Array.map
+    (fun (b : Sim.Decoder.block) ->
+      { b_index = b.Sim.Decoder.blk_index;
+        b_addr = b.Sim.Decoder.blk_addr;
+        b_last = b.Sim.Decoder.blk_last;
+        b_label = b.Sim.Decoder.blk_label;
+        b_slots = b.Sim.Decoder.blk_slots;
         b_entries = 0;
         b_retired = 0;
         b_cycles = 0;
         b_stall_cycles = 0;
         b_icache_misses = 0;
         b_dcache_misses = 0;
-        b_energy_pj = 0.0 }
-      :: !blocks;
-    incr count
-  in
-  for i = 0 to n - 1 do
-    if i > !start && leader.(i) then begin
-      close (i - 1);
-      start := i
-    end;
-    block_of_slot.(i) <- !count
-  done;
-  if n > 0 then close (n - 1);
-  (Array.of_list (List.rev !blocks), block_of_slot)
+        b_energy_pj = 0.0 })
+    d.Sim.Decoder.blocks
 
 let create ?bucket_cycles ?complexity ?max_depth ~config model
     (c : Extract.case) =
-  let sym_at = code_symbols c.Extract.asm in
-  let blocks, block_of_slot = discover_blocks c.Extract.asm sym_at in
+  let d = Sim.Decoder.analyze c.Extract.asm in
+  let sym_at = d.Sim.Decoder.symbols in
+  let blocks = blocks_of_decoder d in
+  let block_of_slot = d.Sim.Decoder.block_of_slot in
   let opcodes = Hashtbl.create 64 in
   let op_of_slot =
     Array.map
@@ -349,7 +283,7 @@ let run ?(config = Sim.Config.default) ?bucket_cycles ?complexity ?max_depth
   let t0 = Unix.gettimeofday () in
   let t = create ?bucket_cycles ?complexity ?max_depth ~config model c in
   let cpu, _outcome =
-    Sim.Cpu.run_program ~config ?extension:c.Extract.extension
+    Sim.Backend.run_program ~config ?extension:c.Extract.extension
       ~observers:(observer t :: observers)
       c.Extract.asm
   in
@@ -413,7 +347,7 @@ let pp_opcodes ppf r =
 let pp_annotate ppf r =
   let asm = r.r_asm in
   let code = asm.Isa.Program.code in
-  let sym_at = code_symbols asm in
+  let sym_at = Sim.Decoder.code_symbols asm in
   Format.fprintf ppf "@[<v>%s: annotated disassembly (%d cycles, %.3f uJ)@,@,"
     r.r_workload r.r_cycles (r.r_total_pj /. 1.0e6);
   Format.fprintf ppf "%8s %9s %6s %6s  %s@," "count" "cycles" "cyc%" "en%"

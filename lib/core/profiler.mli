@@ -1,12 +1,14 @@
 (** Hotspot profiler: per-basic-block cycle and energy profiles of one
     simulated workload.
 
-    The profiler is a {!Sim.Cpu} observer — attached, it discovers the
-    program's basic blocks statically (leaders are the entry point,
-    every control-flow target, every fall-through past a control
-    instruction, and every code symbol, so indirect jump/call
-    destinations start blocks too) and folds each retired instruction
-    into its block: retirement counts, cycles, stalls, cache misses and
+    The profiler is a {!Sim.Cpu} observer — attached, it takes the
+    program's static basic-block partition from {!Sim.Decoder.analyze}
+    (the same partition the threaded execution backend dispatches, so
+    profiler and backend agree on block identity by construction;
+    leaders are the entry point, every control-flow target, every
+    fall-through past a control instruction, and every code symbol, so
+    indirect jump/call destinations start blocks too) and folds each
+    retired instruction into its block: retirement counts, cycles, stalls, cache misses and
     the instruction's {e exact marginal model energy} from
     {!Attribution}'s telescoping fold.  Detached, nothing in the
     simulator changes — the observer stream is the only coupling.

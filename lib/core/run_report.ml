@@ -24,6 +24,7 @@ type t = {
   total_seconds : float;
   jobs : int;
   parallel : degraded;
+  sim_backend : string;
 }
 
 let total_simulations t =
@@ -50,6 +51,8 @@ let pp ppf t =
     (total_energy_pj t /. 1.0e6)
     t.total_seconds t.jobs
     (if t.jobs = 1 then "" else "s");
+  if t.sim_backend <> "interp" then
+    Format.fprintf ppf "simulation backend: %s@," t.sim_backend;
   if t.parallel <> no_degraded then
     Format.fprintf ppf
       "degraded: %d serial fallback%s, %d failed fork%s, %d recomputed \
@@ -93,11 +96,13 @@ let to_json t =
   Printf.sprintf
     "{\n  \"units\": {\"energy_pj\": \"picojoules\", \"wall_seconds\": \
      \"seconds\", \"total_seconds\": \"seconds\"},\n  \"jobs\": %d,\n  \
+     \"sim_backend\": \"%s\",\n  \
      \"total_seconds\": %.6f,\n  \"total_simulations\": %d,\n  \
      \"total_energy_pj\": %.6f,\n  \"parallel\": {\"serial_fallbacks\": %d, \
      \"failed_forks\": %d, \"recomputed_slices\": %d},\n  \
      \"workloads\": [\n    %s\n  ]\n}"
-    t.jobs t.total_seconds (total_simulations t) (total_energy_pj t)
+    t.jobs (json_escape t.sim_backend) t.total_seconds (total_simulations t)
+    (total_energy_pj t)
     t.parallel.serial_fallbacks t.parallel.failed_forks
     t.parallel.recomputed_slices
     (String.concat ",\n    " (List.map entry_to_json t.entries))
@@ -118,9 +123,20 @@ let of_json s =
       simulations = Obs.Json.to_int (mem "simulations" e) }
   in
   let p = mem "parallel" j in
+  (* Reports written before the backend field existed were always produced
+     by the interpreter, so its absence decodes to "interp". *)
+  let sim_backend =
+    match j with
+    | Obs.Json.Obj fields -> (
+      match List.assoc_opt "sim_backend" fields with
+      | Some v -> Obs.Json.to_string v
+      | None -> "interp")
+    | _ -> "interp"
+  in
   { entries = List.map entry (Obs.Json.to_list (mem "workloads" j));
     total_seconds = Obs.Json.to_float (mem "total_seconds" j);
     jobs = Obs.Json.to_int (mem "jobs" j);
+    sim_backend;
     parallel =
       { serial_fallbacks = Obs.Json.to_int (mem "serial_fallbacks" p);
         failed_forks = Obs.Json.to_int (mem "failed_forks" p);

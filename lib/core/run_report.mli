@@ -40,6 +40,9 @@ type t = {
   total_seconds : float;     (** wall clock of the whole collection *)
   jobs : int;                (** worker count used *)
   parallel : degraded;       (** worker-pool degradation counters *)
+  sim_backend : string;      (** {!Sim.Backend} name that produced the
+                                 entries ({!Sim.Backend.name}); reports
+                                 predating the field parse as ["interp"] *)
 }
 
 val total_simulations : t -> int

@@ -327,7 +327,7 @@ let estimate_program ?params ?config ?extension asm =
   let cfg = Option.value config ~default:Sim.Config.default in
   let est = create ?params ?extension cfg in
   let cpu, _outcome =
-    Sim.Cpu.run_program ~config:cfg ?extension
+    Sim.Backend.run_program ~config:cfg ?extension
       ~observers:[ observer est ] asm
   in
   (total_energy est, cpu)

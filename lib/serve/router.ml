@@ -28,7 +28,8 @@ end
 type t = {
   r_registry : Registry.t;
   r_cache : Core.Eval_cache.t;
-  r_pool : (string * Sim.Config.t, Core.Eval_cache.entry) Core.Parallel.pool;
+  r_pool :
+    (string * string * Sim.Config.t, Core.Eval_cache.entry) Core.Parallel.pool;
   r_jobs : int option;
   r_started : float;
   mutable r_requests : int;
@@ -37,9 +38,18 @@ type t = {
 }
 
 (* The pool function is fixed at fork time, so it takes everything a
-   batch item needs — workload name and configuration — as marshal-safe
-   data and resolves the case inside the worker. *)
-let profile_entry (name, config) =
+   batch item needs — workload name, simulation backend and
+   configuration — as marshal-safe data and resolves the case inside
+   the worker.  The backend travels as its name: pool workers are
+   long-lived, so the parent's process-wide selection at fork time
+   says nothing about the request being served now. *)
+let profile_entry (name, backend, config) =
+  let b =
+    match Sim.Backend.of_string backend with
+    | Some b -> b
+    | None -> Sim.Backend.Interp
+  in
+  Sim.Backend.with_current b @@ fun () ->
   let case = Workloads.Suite.find name in
   let p = Core.Extract.profile ~config case in
   { Core.Eval_cache.e_name = name;
@@ -147,6 +157,17 @@ let config_of_json = function
 let request_config req =
   config_of_json (Option.value ~default:J.Null (member_opt "config" req))
 
+(* Optional "backend" field: which execution substrate simulates this
+   request (default: the daemon's process-wide selection). *)
+let request_backend ~op req =
+  match member_opt "backend" req with
+  | None -> Sim.Backend.current ()
+  | Some (J.Str s) -> (
+    match Sim.Backend.of_string s with
+    | Some b -> b
+    | None -> failwith (Printf.sprintf "%s: unknown backend %S" op s))
+  | Some _ -> failwith (Printf.sprintf "%s: \"backend\" must be a string" op)
+
 let error_resp msg = J.Obj [ ("ok", J.Bool false); ("error", J.Str msg) ]
 
 (* --- Ops ------------------------------------------------------------------ *)
@@ -159,6 +180,8 @@ let handle_estimate t req =
     | None -> failwith "estimate needs a \"workloads\" array"
   in
   let config = request_config req in
+  let backend = request_backend ~op:"estimate" req in
+  let bname = Sim.Backend.name backend in
   (* Resolve every name before simulating anything, so one typo fails
      the request instead of wasting a batch. *)
   List.iter (fun n -> ignore (find_case n)) names;
@@ -167,7 +190,7 @@ let handle_estimate t req =
   let found =
     List.map
       (fun n ->
-        let key = Core.Eval_cache.key ~config (find_case n) in
+        let key = Core.Eval_cache.key ~backend:bname ~config (find_case n) in
         (n, key, Core.Eval_cache.find t.r_cache key))
       names
   in
@@ -180,7 +203,7 @@ let handle_estimate t req =
     if missing = [] then []
     else
       Core.Parallel.pool_map t.r_pool
-        (List.map (fun (n, _) -> (n, config)) missing)
+        (List.map (fun (n, _) -> (n, bname, config)) missing)
   in
   let fresh = Hashtbl.create 8 in
   List.iter2
@@ -209,6 +232,7 @@ let handle_estimate t req =
       ("op", J.Str "estimate");
       ("model_key", J.Str lookup.Registry.l_key);
       ("registry_hit", J.Bool lookup.Registry.l_hit);
+      ("backend", J.Str bname);
       ("results", J.Arr (List.map row found)) ]
 
 let handle_attribute t req =
@@ -221,9 +245,11 @@ let handle_attribute t req =
   in
   if bucket <= 0 then failwith "attribute: bucket_cycles must be positive";
   let config = request_config req in
+  let backend = request_backend ~op:"attribute" req in
   let case = find_case name in
   let lookup = Registry.get t.r_registry config in
   let b =
+    Sim.Backend.with_current backend @@ fun () ->
     Core.Attribution.run ~config ~bucket_cycles:bucket
       lookup.Registry.l_model case
   in
@@ -232,6 +258,7 @@ let handle_attribute t req =
       ("op", J.Str "attribute");
       ("model_key", J.Str lookup.Registry.l_key);
       ("registry_hit", J.Bool lookup.Registry.l_hit);
+      ("backend", J.Str (Sim.Backend.name backend));
       ("attribution", J.parse (Core.Attribution.to_json b)) ]
 
 let handle_profile t req =
@@ -246,14 +273,19 @@ let handle_profile t req =
   | Some n when n <= 0 -> failwith "profile: top must be positive"
   | _ -> ());
   let config = request_config req in
+  let backend = request_backend ~op:"profile" req in
   let case = find_case name in
   let lookup = Registry.get t.r_registry config in
-  let r = Core.Profiler.run ~config lookup.Registry.l_model case in
+  let r =
+    Sim.Backend.with_current backend @@ fun () ->
+    Core.Profiler.run ~config lookup.Registry.l_model case
+  in
   J.Obj
     [ ("ok", J.Bool true);
       ("op", J.Str "profile");
       ("model_key", J.Str lookup.Registry.l_key);
       ("registry_hit", J.Bool lookup.Registry.l_hit);
+      ("backend", J.Str (Sim.Backend.name backend));
       ("profile", J.parse (Core.Profiler.to_json ?top r)) ]
 
 let handle_audit t req =
@@ -264,8 +296,12 @@ let handle_audit t req =
     | None -> Workloads.Suite.applications ()
   in
   let config = request_config req in
+  let backend = request_backend ~op:"audit" req in
   let lookup = Registry.get t.r_registry config in
   let report =
+    (* Audit forks its own short-lived workers inside this scope, so
+       they inherit the request's backend. *)
+    Sim.Backend.with_current backend @@ fun () ->
     Core.Audit.run ?jobs:t.r_jobs ~cache:t.r_cache ~config
       lookup.Registry.l_model cases
   in
@@ -274,6 +310,7 @@ let handle_audit t req =
       ("op", J.Str "audit");
       ("model_key", J.Str lookup.Registry.l_key);
       ("registry_hit", J.Bool lookup.Registry.l_hit);
+      ("backend", J.Str (Sim.Backend.name backend));
       ("audit", J.parse (Core.Audit.to_json report)) ]
 
 let handle_stats t =
@@ -286,6 +323,7 @@ let handle_stats t =
       ("pid", num (Unix.getpid ()));
       ("uptime_s", J.Num (Unix.gettimeofday () -. t.r_started));
       ("requests", num t.r_requests);
+      ("backend", J.Str (Sim.Backend.name (Sim.Backend.current ())));
       ("registry_models", num rs.Registry.r_models);
       ("registry_hits", num rs.Registry.r_hits);
       ("registry_misses", num rs.Registry.r_misses);

@@ -6,8 +6,9 @@
 
     - [ping] — liveness; echoes the daemon pid.
     - [estimate] — [{"op": "estimate", "workloads": ["gcd", ...],
-      "config": {...}?}]: energy of each named workload under the
-      (optionally overridden) processor configuration.  The model comes
+      "config": {...}?, "backend": NAME?}]: energy of each named
+      workload under the (optionally overridden) processor
+      configuration.  The model comes
       from the {!Registry} (characterize once per configuration), the
       per-workload profiles from the shared {!Core.Eval_cache}
       (simulate once per (workload, configuration)); cache misses are
@@ -42,7 +43,17 @@
     [dcache_]), [branch_taken_penalty], [window_penalty], [freq_mhz]
     and [max_cycles].  Unknown keys and invalid geometries are request
     errors, never crashes: any per-request failure is caught and
-    answered as [{"ok": false, "error": ...}]. *)
+    answered as [{"ok": false, "error": ...}].
+
+    The simulating ops ([estimate], [attribute], [profile], [audit])
+    also accept an optional ["backend"] field naming the execution
+    substrate ({!Sim.Backend.of_string}: ["interp"], ["threaded"] or
+    ["check"]); it defaults to the daemon's process-wide selection
+    (the [--backend] flag / [XENERGY_BACKEND]), is applied per request
+    via {!Sim.Backend.with_current} — including inside pool workers,
+    which receive it with each batch item — and is echoed back in the
+    response.  Cache entries are keyed by backend, so answers always
+    record what the named substrate actually computed. *)
 
 type t
 

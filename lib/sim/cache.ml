@@ -9,9 +9,12 @@ type stats = {
 type t = {
   cfg : Config.cache_config;
   nsets : int;
+  nways : int;             (* cfg.ways, hoisted out of the access loops *)
   line_shift : int;
+  set_shift : int;         (* log2 nsets, precomputed: locate is hot *)
   tags : int array;        (* nsets * ways; -1 = invalid *)
   age : int array;         (* LRU age per way; 0 = most recent *)
+  mutable last_line : int; (* line of the most recent access; -1 = none *)
   mutable accesses : int;
   mutable hits : int;
 }
@@ -24,16 +27,22 @@ let create cfg =
   let nsets = Config.sets cfg in
   { cfg;
     nsets;
+    nways = cfg.Config.ways;
     line_shift = log2 cfg.Config.line_bytes;
+    set_shift = log2 nsets;
     tags = Array.make (nsets * cfg.Config.ways) (-1);
     age = Array.init (nsets * cfg.Config.ways) (fun i -> i mod cfg.Config.ways);
+    last_line = -1;
     accesses = 0;
     hits = 0 }
+
+let copy t =
+  { t with tags = Array.copy t.tags; age = Array.copy t.age }
 
 let locate t addr =
   let line = addr lsr t.line_shift in
   let set = line land (t.nsets - 1) in
-  let tag = line lsr (log2 t.nsets) in
+  let tag = line lsr t.set_shift in
   (set, tag)
 
 let find_way t set tag =
@@ -46,36 +55,80 @@ let find_way t set tag =
   go 0
 
 let touch t set way =
-  (* True LRU: everything younger than [way] ages by one. *)
-  let base = set * t.cfg.Config.ways in
-  let a = t.age.(base + way) in
-  for w = 0 to t.cfg.Config.ways - 1 do
-    if t.age.(base + w) < a then t.age.(base + w) <- t.age.(base + w) + 1
-  done;
-  t.age.(base + way) <- 0
+  (* True LRU: everything younger than [way] ages by one.  Re-touching
+     the most-recent way (the common case on straight-line fetch) is a
+     no-op, so skip the aging sweep entirely. *)
+  let base = set * t.nways in
+  let age = t.age in
+  let a = Array.unsafe_get age (base + way) in
+  if a <> 0 then begin
+    for w = 0 to t.nways - 1 do
+      let aw = Array.unsafe_get age (base + w) in
+      if aw < a then Array.unsafe_set age (base + w) (aw + 1)
+    done;
+    Array.unsafe_set age (base + way) 0
+  end
 
 let victim t set =
-  let base = set * t.cfg.Config.ways in
+  let base = set * t.nways in
+  let age = t.age in
   let rec go w best =
-    if w >= t.cfg.Config.ways then best
-    else if t.age.(base + w) > t.age.(base + best) then go (w + 1) w
+    if w >= t.nways then best
+    else if Array.unsafe_get age (base + w) > Array.unsafe_get age (base + best)
+    then go (w + 1) w
     else go (w + 1) best
   in
   go 1 0
 
 let access t addr =
   t.accesses <- t.accesses + 1;
-  let set, tag = locate t addr in
-  match find_way t set tag with
-  | Some w ->
+  let line = addr lsr t.line_shift in
+  (* An access always leaves its line resident and most-recently-used,
+     so re-accessing the line just touched is a hit whose LRU update is
+     a no-op: counters only, no set walk. *)
+  if line = t.last_line then begin
     t.hits <- t.hits + 1;
-    touch t set w;
     Hit
-  | None ->
-    let w = victim t set in
-    t.tags.((set * t.cfg.Config.ways) + w) <- tag;
-    touch t set w;
-    Miss
+  end
+  else begin
+    t.last_line <- line;
+    let set = line land (t.nsets - 1) in
+    let tag = line lsr t.set_shift in
+    let ways = t.nways in
+    let base = set * ways in
+    let tags = t.tags in
+    let rec find w =
+      if w >= ways then -1
+      else if Array.unsafe_get tags (base + w) = tag then w
+      else find (w + 1)
+    in
+    let w = find 0 in
+    if w >= 0 then begin
+      t.hits <- t.hits + 1;
+      touch t set w;
+      Hit
+    end
+    else begin
+      let v = victim t set in
+      Array.unsafe_set tags (base + v) tag;
+      touch t set v;
+      Miss
+    end
+  end
+
+(* Counter-only hit, for callers that can prove the access repeats the
+   immediately preceding one's line.  [access] always leaves the touched
+   line resident and most-recently-used, so re-accessing it while no
+   other access intervened is a guaranteed hit whose [touch] would be a
+   no-op (nothing is younger than age 0): the full state evolution
+   reduces to the two counters. *)
+let repeat_hit t =
+  t.accesses <- t.accesses + 1;
+  t.hits <- t.hits + 1
+
+let repeat_hits t n =
+  t.accesses <- t.accesses + n;
+  t.hits <- t.hits + n
 
 let resident t addr =
   let set, tag = locate t addr in
@@ -87,6 +140,7 @@ let stats t =
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.iteri (fun i _ -> t.age.(i) <- i mod t.cfg.Config.ways) t.age;
+  t.last_line <- -1;
   t.accesses <- 0;
   t.hits <- 0
 
@@ -95,7 +149,7 @@ let way_tags t addr =
   Array.init t.cfg.Config.ways (fun w ->
       t.tags.((set * t.cfg.Config.ways) + w))
 
-let tag_bits t = 32 - t.line_shift - log2 t.nsets
+let tag_bits t = 32 - t.line_shift - t.set_shift
 
 let ways t = t.cfg.Config.ways
 let sets t = t.nsets

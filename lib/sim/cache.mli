@@ -4,7 +4,24 @@
     [Memory]); the reference power model charges tag-compare and
     array-access energy per access and a line-fill per miss. *)
 
-type t
+type t = {
+  cfg : Config.cache_config;
+  nsets : int;
+  nways : int;
+  line_shift : int;
+  set_shift : int;
+  tags : int array;
+  age : int array;
+  mutable last_line : int;
+  mutable accesses : int;
+  mutable hits : int;
+}
+(** The representation is exposed for the threaded backend's hot path
+    (the compiler performs no cross-module inlining, so a call per
+    access is measurable): callers may read [line_shift]/[last_line] to
+    test for a repeat of the line just accessed, and bump the two
+    counters for such repeats.  All other mutation must go through
+    {!access}/{!reset}. *)
 
 type outcome = Hit | Miss
 
@@ -16,8 +33,25 @@ type stats = {
 
 val create : Config.cache_config -> t
 
+val copy : t -> t
+(** Independent copy of the full replacement state (tags, LRU ages,
+    hit/access counters); used by the backend equivalence checker. *)
+
 val access : t -> int -> outcome
 (** Touch the line containing the address, allocating on miss. *)
+
+val repeat_hit : t -> unit
+(** Record a hit without re-locating the line.  Only sound when the
+    caller can prove the access lands on the line touched by the
+    immediately preceding {!access} on this cache (then the line is
+    resident and most-recently-used, so a full {!access} would change
+    nothing but the counters).  The threaded execution backend proves
+    this statically for straight-line fetch runs within one line. *)
+
+val repeat_hits : t -> int -> unit
+(** [repeat_hits t n] records [n] counter-only hits at once; equivalent
+    to [n] calls to {!repeat_hit}.  Lets the threaded backend count
+    line-run hits locally and flush once per run. *)
 
 val stats : t -> stats
 

@@ -257,7 +257,13 @@ let do_store t op value base off =
   let size = match op with S8i -> 1 | S16i -> 2 | S32i -> 4 in
   data_access t ~write:true ~size ~addr ~value
 
-let exec_custom t call =
+(* Static half of custom-instruction execution: everything that depends
+   only on the extension and the call site, not on register values.
+   Raising here mirrors the interpreter's execution-time errors, so the
+   threaded compiler must catch and defer to the fallback (a program
+   carrying an unresolvable custom instruction that never executes must
+   still run). *)
+let resolve_custom t call =
   let ext =
     match t.ext with
     | Some e -> e
@@ -269,7 +275,6 @@ let exec_custom t call =
     | Some i -> i
     | None -> fail "unknown custom instruction %S" call.Isa.Instr.cname
   in
-  let store = Option.get t.ext_state in
   (* The textual assembler cannot know an instruction's signature, so it
      always treats the first register operand as the destination.
      Normalize against the compiled signature: a result-less instruction
@@ -283,10 +288,12 @@ let exec_custom t call =
       (None, d :: call.Isa.Instr.srcs)
     | (dst, _) -> (dst, call.Isa.Instr.srcs)
   in
+  (ext, insn, dst, src_regs)
+
+let run_custom t ext insn dst src_regs imm =
+  let store = Option.get t.ext_state in
   let srcs = List.map (reg t) src_regs in
-  let result =
-    Tie.Compile.execute ext store insn ~srcs ~imm:call.Isa.Instr.cimm
-  in
+  let result = Tie.Compile.execute ext store insn ~srcs ~imm in
   (match (dst, result) with
    | Some d, Some v -> set_reg t d v
    | Some _, None | None, Some _ | None, None -> ());
@@ -302,6 +309,10 @@ let exec_custom t call =
     { Event.cinsn = insn; coperands = srcs; cresult = result; cstates }
   in
   (result, info, insn.Tie.Compile.latency)
+
+let exec_custom t call =
+  let ext, insn, dst, src_regs = resolve_custom t call in
+  run_custom t ext insn dst src_regs call.Isa.Instr.cimm
 
 let default_exec fall_through =
   { next_pc = fall_through;
@@ -550,6 +561,947 @@ let run t =
     | `Done o -> o
   in
   go ()
+
+(* ------------------------------------------------------------------ *)
+(* Threaded-code backend: pre-decoded, block-at-a-time execution.      *)
+(*                                                                     *)
+(* The program is static, so everything [step] re-derives per retired  *)
+(* instruction — operand decode, uses/defs lists, branch targets,      *)
+(* immediates, latencies, custom-instruction lookup — is resolved once *)
+(* at load time into a flat array of operation records, one per slot.  *)
+(* [Decoder.analyze]'s basic-block partition (shared with the hotspot  *)
+(* profiler) delimits the straight-line runs the dispatcher exploits:  *)
+(* inside a run the successor is slot [i+1] by construction, so only   *)
+(* control instructions pay the pc-to-slot mapping.  Instructions the  *)
+(* compiler does not cover fall back to the interpreter's [execute],   *)
+(* so coverage is a performance property, never a semantic one.        *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared [Some true]/[Some false] so retiring a branch allocates no
+   option; events stay structurally identical to the interpreter's. *)
+let some_true = Some true
+let some_false = Some false
+
+type op = {
+  o_slot : Isa.Program.slot;
+  o_uses : int array;            (* scoreboard sources, as window-relative
+                                    register indices (decode-resolved) *)
+  o_uses_list : Isa.Reg.t list;  (* same registers, for [src_values] *)
+  o_defs : int array;
+  o_clazz : Isa.Instr.clazz;
+  o_control : bool;
+  o_funcached : bool;
+  o_line_run : bool;
+      (* reached by fall-through, this op's fetch repeats the previous
+         op's icache line: a statically guaranteed hit (see
+         [Cache.repeat_hit]) *)
+  o_exec : t -> exec;
+  o_fast : (t -> int) option;
+      (* event-free variant for runs nobody observes: performs the same
+         architectural effects as [o_exec] (including the pc update) but
+         allocates nothing, returning the packed penalty word below *)
+  o_compiled : bool;             (* false = interpreter fallback *)
+}
+
+(* Packed return of an [o_fast] closure: bits 0-15 hold the penalty
+   cycles beyond fetch and stall (data access + taken branch + window
+   traffic; configs keep each term far below the field's range), bit 16
+   flags halt, bits 17+ hold the producer's extra latency. *)
+let fast_halt = 0x1_0000
+let fast_extra_shift = 17
+
+(* Register access with the [Regfile] representation inlined: the
+   non-flambda compiler keeps cross-module calls out-of-line, and three
+   nested calls per operand would dominate the fast path. *)
+let rget t i =
+  let rf = t.rf in
+  Array.unsafe_get rf.Regfile.phys ((rf.Regfile.base + i) land 63)
+
+let rset t i v =
+  let rf = t.rf in
+  Array.unsafe_set rf.Regfile.phys
+    ((rf.Regfile.base + i) land 63)
+    (v land 0xffff_ffff)
+
+let setr t r v =
+  set_reg t r v;
+  Some (u32 v)
+
+(* Compile one slot to a closure with the static work hoisted.  [None]
+   defers to the interpreter fallback — either the compiler does not
+   cover the instruction, or static resolution failed in a way the
+   interpreter only reports at execution time (unresolved targets,
+   unknown custom instructions), which must stay an execution-time
+   error. *)
+let compile_slot t (slot : Isa.Program.slot) : (t -> exec) option =
+  let open Isa.Instr in
+  let fall = slot.Isa.Program.addr + Isa.Encoding.bytes_per_instr in
+  let d0 = default_exec fall in
+  let target = slot.Isa.Program.target in
+  let branch cond =
+    match target with
+    | None -> None
+    | Some tgt ->
+      let ex_t = { d0 with next_pc = tgt; taken = some_true } in
+      let ex_f = { d0 with taken = some_false } in
+      Some (fun t -> if cond t then ex_t else ex_f)
+  in
+  match slot.Isa.Program.instr with
+  | Binop (op, d, s, tt) ->
+    let extra = match op with Mull -> 1 | _ -> 0 in
+    Some
+      (fun t ->
+        let v = eval_binop op (reg t s) (reg t tt) in
+        { d0 with result = setr t d v; extra_latency = extra })
+  | Unop (op, d, s) ->
+    Some (fun t -> { d0 with result = setr t d (eval_unop op (reg t s)) })
+  | Sext (d, s, b) ->
+    let m = (1 lsl (b + 1)) - 1 in
+    let sign = 1 lsl b in
+    Some
+      (fun t ->
+        let v = reg t s land m in
+        let v = if v land sign <> 0 then v lor lnot m else v in
+        { d0 with result = setr t d v })
+  | Cmov (op, d, s, tt) ->
+    Some
+      (fun t ->
+        if cmov_cond op (reg t tt) then { d0 with result = setr t d (reg t s) }
+        else d0)
+  | Addi (d, s, n) -> Some (fun t -> { d0 with result = setr t d (reg t s + n) })
+  | Addmi (d, s, n) ->
+    let n = n * 256 in
+    Some (fun t -> { d0 with result = setr t d (reg t s + n) })
+  | Movi (d, n) ->
+    let ex = { d0 with result = Some (u32 n) } in
+    Some
+      (fun t ->
+        set_reg t d n;
+        ex)
+  | Mov (d, s) -> Some (fun t -> { d0 with result = setr t d (reg t s) })
+  | Extui (d, s, sh, w) ->
+    let m = (1 lsl w) - 1 in
+    Some (fun t -> { d0 with result = setr t d ((u32 (reg t s) lsr sh) land m) })
+  | Slli (d, s, n) ->
+    let sh = n land 31 in
+    Some (fun t -> { d0 with result = setr t d (reg t s lsl sh) })
+  | Srli (d, s, n) ->
+    let sh = n land 31 in
+    Some (fun t -> { d0 with result = setr t d (u32 (reg t s) lsr sh) })
+  | Srai (d, s, n) ->
+    let sh = n land 31 in
+    Some (fun t -> { d0 with result = setr t d (s32 (reg t s) asr sh) })
+  | Sll (d, s) ->
+    Some (fun t -> { d0 with result = setr t d (reg t s lsl t.sar_reg) })
+  | Srl (d, s) ->
+    Some (fun t -> { d0 with result = setr t d (u32 (reg t s) lsr t.sar_reg) })
+  | Sra (d, s) ->
+    Some (fun t -> { d0 with result = setr t d (s32 (reg t s) asr t.sar_reg) })
+  | Src (d, s, tt) ->
+    Some
+      (fun t ->
+        let wide = (u32 (reg t s) lsl 32) lor u32 (reg t tt) in
+        { d0 with result = setr t d (wide lsr t.sar_reg) })
+  | Ssai n ->
+    let sar = n land 31 in
+    Some
+      (fun t ->
+        t.sar_reg <- sar;
+        d0)
+  | Ssl s ->
+    Some
+      (fun t ->
+        t.sar_reg <- reg t s land 31;
+        d0)
+  | Ssr s ->
+    Some
+      (fun t ->
+        t.sar_reg <- reg t s land 31;
+        d0)
+  | Load (op, d, base, off) ->
+    Some
+      (fun t ->
+        let v, mi = do_load t op (reg t base) off in
+        { d0 with result = setr t d v; mem_info = Some mi; extra_latency = 1 })
+  | L32r (d, _) ->
+    (match target with
+     | None -> None
+     | Some addr ->
+       Some
+         (fun t ->
+           let v =
+             try Memory.load32 t.mem addr
+             with Invalid_argument msg -> fail "l32r: %s" msg
+           in
+           let mi = data_access t ~write:false ~size:4 ~addr ~value:v in
+           { d0 with
+             result = setr t d v;
+             mem_info = Some mi;
+             extra_latency = 1 }))
+  | Store (op, v, base, off) ->
+    Some
+      (fun t ->
+        let mi = do_store t op (reg t v) (reg t base) off in
+        { d0 with mem_info = Some mi })
+  | Branch2 (c, s, tt, _) ->
+    branch (fun t -> bcond2_holds c (reg t s) (reg t tt))
+  | Branchi (c, s, n, _) -> branch (fun t -> bcondi_holds c (reg t s) n)
+  | Branchz (c, s, _) -> branch (fun t -> bcondz_holds c (reg t s))
+  | Bbit (want_set, s, tt, _) ->
+    branch
+      (fun t ->
+        ((u32 (reg t s) lsr (reg t tt land 31)) land 1 = 1) = want_set)
+  | Bbiti (want_set, s, n, _) ->
+    let sh = n land 31 in
+    branch (fun t -> ((u32 (reg t s) lsr sh) land 1 = 1) = want_set)
+  | J _ ->
+    (match target with
+     | None -> None
+     | Some tgt ->
+       let ex = { d0 with next_pc = tgt; taken = some_true } in
+       Some (fun _ -> ex))
+  | Jx s ->
+    Some (fun t -> { d0 with next_pc = u32 (reg t s); taken = some_true })
+  | Call0 _ ->
+    (match target with
+     | None -> None
+     | Some tgt ->
+       let a0 = Isa.Reg.a 0 in
+       let ex =
+         { d0 with next_pc = tgt; taken = some_true; result = Some (u32 fall) }
+       in
+       Some
+         (fun t ->
+           set_reg t a0 fall;
+           ex))
+  | Callx0 s ->
+    let a0 = Isa.Reg.a 0 in
+    Some
+      (fun t ->
+        let dest = u32 (reg t s) in
+        set_reg t a0 fall;
+        { d0 with next_pc = dest; taken = some_true; result = Some (u32 fall) })
+  | Call8 _ ->
+    (match target with
+     | None -> None
+     | Some tgt ->
+       let a8 = Isa.Reg.a 8 in
+       Some
+         (fun t ->
+           let result = setr t a8 fall in
+           let spilled = Regfile.push_window t.rf in
+           { d0 with
+             next_pc = tgt;
+             taken = some_true;
+             result;
+             window_event = spilled }))
+  | Callx8 s ->
+    let a8 = Isa.Reg.a 8 in
+    Some
+      (fun t ->
+        let dest = u32 (reg t s) in
+        let result = setr t a8 fall in
+        let spilled = Regfile.push_window t.rf in
+        { d0 with next_pc = dest; taken = some_true; result;
+          window_event = spilled })
+  | Ret ->
+    let a0 = Isa.Reg.a 0 in
+    Some (fun t -> { d0 with next_pc = u32 (reg t a0); taken = some_true })
+  | Retw ->
+    let a0 = Isa.Reg.a 0 in
+    Some
+      (fun t ->
+        let dest = u32 (reg t a0) in
+        let reloaded = Regfile.pop_window t.rf in
+        { d0 with next_pc = dest; taken = some_true; window_event = reloaded })
+  | Entry (sp, n) ->
+    Some (fun t -> { d0 with result = setr t sp (reg t sp - n) })
+  | Nop | Memw | Extw | Isync -> Some (fun _ -> d0)
+  | Break ->
+    let ex = { d0 with halt = true } in
+    Some (fun _ -> ex)
+  | Custom call ->
+    (match resolve_custom t call with
+     | exception Sim_error _ -> None
+     | (ext, insn, dst, src_regs) ->
+       let imm = call.Isa.Instr.cimm in
+       Some
+         (fun t ->
+           let result, info, latency =
+             run_custom t ext insn dst src_regs imm
+           in
+           { d0 with
+             result;
+             busy = latency;
+             custom = Some info;
+             extra_latency = latency - 1 }))
+
+(* Event-free compilation of one slot, for runs with no observers and
+   metrics off.  Each closure performs exactly the architectural effects
+   of the corresponding [compile_slot]/[execute] arm — register and
+   memory writes, cache accesses, window rotation, the pc update — in
+   the same order, but builds no [exec] record, no [Event.mem_info] and
+   no custom-instruction info, returning the packed penalty word
+   instead.  Equivalence with the interpreter therefore rests on this
+   function mirroring [execute] arm by arm; the randomized
+   backend-equivalence tests exercise both the observed (event-built)
+   and unobserved paths. *)
+(* Data-access penalty, with the same cache-state evolution as
+   [data_access].  The repeat-of-last-line hit is inlined (see
+   {!Cache.t}): [access] leaves its line resident and MRU, so a repeat
+   is a counters-only hit and the cross-module call is skipped.  A
+   top-level function (fully applied at every call site) so building a
+   fast op allocates nothing for it. *)
+let dpen ubase udp dmiss t addr =
+  if addr >= ubase then udp
+  else begin
+    let dc = t.dcache in
+    if addr lsr dc.Cache.line_shift = dc.Cache.last_line then begin
+      dc.Cache.accesses <- dc.Cache.accesses + 1;
+      dc.Cache.hits <- dc.Cache.hits + 1;
+      0
+    end
+    else if Cache.access dc addr = Cache.Hit then 0
+    else dmiss
+  end
+
+let make_branch target fall btp cond =
+  match target with
+  | None -> None
+  | Some tgt ->
+    Some
+      (fun t ->
+        if cond t then begin
+          t.pc <- tgt;
+          btp
+        end
+        else begin
+          t.pc <- fall;
+          0
+        end)
+
+let fast_slot t (slot : Isa.Program.slot) : (t -> int) option =
+  let open Isa.Instr in
+  let ri = Isa.Reg.index in
+  let fall = slot.Isa.Program.addr + Isa.Encoding.bytes_per_instr in
+  let target = slot.Isa.Program.target in
+  let btp = t.cfg.Config.branch_taken_penalty in
+  let udp = t.cfg.Config.uncached_data_penalty in
+  let wp = t.cfg.Config.window_penalty in
+  let ubase = t.cfg.Config.uncached_base in
+  let dmiss = Cache.miss_penalty t.dcache in
+  let branch cond = make_branch target fall btp cond in
+  match slot.Isa.Program.instr with
+  | Binop (op, d, s, tt) ->
+    let di = ri d and si = ri s and ti = ri tt in
+    let packed = (match op with Mull -> 1 | _ -> 0) lsl fast_extra_shift in
+    Some
+      (fun t ->
+        rset t di (eval_binop op (rget t si) (rget t ti));
+        t.pc <- fall;
+        packed)
+  | Unop (op, d, s) ->
+    let di = ri d and si = ri s in
+    Some
+      (fun t ->
+        rset t di (eval_unop op (rget t si));
+        t.pc <- fall;
+        0)
+  | Sext (d, s, b) ->
+    let di = ri d and si = ri s in
+    let m = (1 lsl (b + 1)) - 1 in
+    let sign = 1 lsl b in
+    Some
+      (fun t ->
+        let v = rget t si land m in
+        let v = if v land sign <> 0 then v lor lnot m else v in
+        rset t di v;
+        t.pc <- fall;
+        0)
+  | Cmov (op, d, s, tt) ->
+    let di = ri d and si = ri s and ti = ri tt in
+    Some
+      (fun t ->
+        if cmov_cond op (rget t ti) then rset t di (rget t si);
+        t.pc <- fall;
+        0)
+  | Addi (d, s, n) ->
+    let di = ri d and si = ri s in
+    Some
+      (fun t ->
+        rset t di (rget t si + n);
+        t.pc <- fall;
+        0)
+  | Addmi (d, s, n) ->
+    let di = ri d and si = ri s in
+    let n = n * 256 in
+    Some
+      (fun t ->
+        rset t di (rget t si + n);
+        t.pc <- fall;
+        0)
+  | Movi (d, n) ->
+    let di = ri d in
+    Some
+      (fun t ->
+        rset t di n;
+        t.pc <- fall;
+        0)
+  | Mov (d, s) ->
+    let di = ri d and si = ri s in
+    Some
+      (fun t ->
+        rset t di (rget t si);
+        t.pc <- fall;
+        0)
+  | Extui (d, s, sh, w) ->
+    let di = ri d and si = ri s in
+    let m = (1 lsl w) - 1 in
+    Some
+      (fun t ->
+        rset t di ((u32 (rget t si) lsr sh) land m);
+        t.pc <- fall;
+        0)
+  | Slli (d, s, n) ->
+    let di = ri d and si = ri s in
+    let sh = n land 31 in
+    Some
+      (fun t ->
+        rset t di (rget t si lsl sh);
+        t.pc <- fall;
+        0)
+  | Srli (d, s, n) ->
+    let di = ri d and si = ri s in
+    let sh = n land 31 in
+    Some
+      (fun t ->
+        rset t di (u32 (rget t si) lsr sh);
+        t.pc <- fall;
+        0)
+  | Srai (d, s, n) ->
+    let di = ri d and si = ri s in
+    let sh = n land 31 in
+    Some
+      (fun t ->
+        rset t di (s32 (rget t si) asr sh);
+        t.pc <- fall;
+        0)
+  | Sll (d, s) ->
+    let di = ri d and si = ri s in
+    Some
+      (fun t ->
+        rset t di (rget t si lsl t.sar_reg);
+        t.pc <- fall;
+        0)
+  | Srl (d, s) ->
+    let di = ri d and si = ri s in
+    Some
+      (fun t ->
+        rset t di (u32 (rget t si) lsr t.sar_reg);
+        t.pc <- fall;
+        0)
+  | Sra (d, s) ->
+    let di = ri d and si = ri s in
+    Some
+      (fun t ->
+        rset t di (s32 (rget t si) asr t.sar_reg);
+        t.pc <- fall;
+        0)
+  | Src (d, s, tt) ->
+    let di = ri d and si = ri s and ti = ri tt in
+    Some
+      (fun t ->
+        let wide = (u32 (rget t si) lsl 32) lor u32 (rget t ti) in
+        rset t di (wide lsr t.sar_reg);
+        t.pc <- fall;
+        0)
+  | Ssai n ->
+    let sar = n land 31 in
+    Some
+      (fun t ->
+        t.sar_reg <- sar;
+        t.pc <- fall;
+        0)
+  | Ssl s | Ssr s ->
+    let si = ri s in
+    Some
+      (fun t ->
+        t.sar_reg <- rget t si land 31;
+        t.pc <- fall;
+        0)
+  | Load (op, d, base, off) ->
+    let di = ri d and bi = ri base in
+    let extra1 = 1 lsl fast_extra_shift in
+    Some
+      (fun t ->
+        let addr = u32 (rget t bi + off) in
+        let v =
+          try
+            match op with
+            | L8ui -> Memory.load8 t.mem addr
+            | L16si -> sext16 (Memory.load16 t.mem addr)
+            | L16ui -> Memory.load16 t.mem addr
+            | L32i -> Memory.load32 t.mem addr
+          with Invalid_argument msg -> fail "load: %s" msg
+        in
+        rset t di v;
+        t.pc <- fall;
+        dpen ubase udp dmiss t addr lor extra1)
+  | L32r (d, _) ->
+    (match target with
+     | None -> None
+     | Some addr ->
+       let di = ri d in
+       let extra1 = 1 lsl fast_extra_shift in
+       Some
+         (fun t ->
+           let v =
+             try Memory.load32 t.mem addr
+             with Invalid_argument msg -> fail "l32r: %s" msg
+           in
+           rset t di v;
+           t.pc <- fall;
+           dpen ubase udp dmiss t addr lor extra1))
+  | Store (op, v, base, off) ->
+    let vi = ri v and bi = ri base in
+    Some
+      (fun t ->
+        let addr = u32 (rget t bi + off) in
+        (try
+           match op with
+           | S8i -> Memory.store8 t.mem addr (rget t vi)
+           | S16i -> Memory.store16 t.mem addr (rget t vi)
+           | S32i -> Memory.store32 t.mem addr (rget t vi)
+         with Invalid_argument msg -> fail "store: %s" msg);
+        t.pc <- fall;
+        dpen ubase udp dmiss t addr)
+  | Branch2 (c, s, tt, _) ->
+    let si = ri s and ti = ri tt in
+    branch (fun t -> bcond2_holds c (rget t si) (rget t ti))
+  | Branchi (c, s, n, _) ->
+    let si = ri s in
+    branch (fun t -> bcondi_holds c (rget t si) n)
+  | Branchz (c, s, _) ->
+    let si = ri s in
+    branch (fun t -> bcondz_holds c (rget t si))
+  | Bbit (want_set, s, tt, _) ->
+    let si = ri s and ti = ri tt in
+    branch
+      (fun t -> ((u32 (rget t si) lsr (rget t ti land 31)) land 1 = 1) = want_set)
+  | Bbiti (want_set, s, n, _) ->
+    let si = ri s in
+    let sh = n land 31 in
+    branch (fun t -> ((u32 (rget t si) lsr sh) land 1 = 1) = want_set)
+  | J _ ->
+    (match target with
+     | None -> None
+     | Some tgt ->
+       Some
+         (fun t ->
+           t.pc <- tgt;
+           btp))
+  | Jx s ->
+    let si = ri s in
+    Some
+      (fun t ->
+        t.pc <- u32 (rget t si);
+        btp)
+  | Call0 _ ->
+    (match target with
+     | None -> None
+     | Some tgt ->
+       Some
+         (fun t ->
+           rset t 0 fall;
+           t.pc <- tgt;
+           btp))
+  | Callx0 s ->
+    let si = ri s in
+    Some
+      (fun t ->
+        let dest = u32 (rget t si) in
+        rset t 0 fall;
+        t.pc <- dest;
+        btp)
+  | Call8 _ ->
+    (match target with
+     | None -> None
+     | Some tgt ->
+       Some
+         (fun t ->
+           rset t 8 fall;
+           let spilled = Regfile.push_window t.rf in
+           t.pc <- tgt;
+           if spilled then btp + wp else btp))
+  | Callx8 s ->
+    let si = ri s in
+    Some
+      (fun t ->
+        let dest = u32 (rget t si) in
+        rset t 8 fall;
+        let spilled = Regfile.push_window t.rf in
+        t.pc <- dest;
+        if spilled then btp + wp else btp)
+  | Ret ->
+    Some
+      (fun t ->
+        t.pc <- u32 (rget t 0);
+        btp)
+  | Retw ->
+    Some
+      (fun t ->
+        let dest = u32 (rget t 0) in
+        let reloaded = Regfile.pop_window t.rf in
+        t.pc <- dest;
+        if reloaded then btp + wp else btp)
+  | Entry (sp, n) ->
+    let spi = ri sp in
+    Some
+      (fun t ->
+        rset t spi (rget t spi - n);
+        t.pc <- fall;
+        0)
+  | Nop | Memw | Extw | Isync ->
+    Some
+      (fun t ->
+        t.pc <- fall;
+        0)
+  | Break ->
+    Some
+      (fun t ->
+        t.pc <- fall;
+        fast_halt)
+  | Custom call ->
+    (match resolve_custom t call with
+     | exception Sim_error _ -> None
+     | (ext, insn, dst, src_regs) ->
+       let imm = call.Isa.Instr.cimm in
+       let packed = (insn.Tie.Compile.latency - 1) lsl fast_extra_shift in
+       let src_idx = Array.of_list (List.map Isa.Reg.index src_regs) in
+       let nsrcs = Array.length src_idx in
+       let srcs = Array.make nsrcs 0 in
+       let di = match dst with Some d -> Isa.Reg.index d | None -> -1 in
+       (* Bind the call site now: operand routing and the immediate are
+          pre-resolved.  A malformed site (too few sources, missing
+          immediate) falls back to the interpreter, which reports the
+          identical error at retirement time. *)
+       (match
+          Tie.Compile.bind ext (Option.get t.ext_state) insn ~nsrcs ~imm
+        with
+        | exception Tie.Compile.Tie_error _ -> None
+        | exec ->
+          Some
+            (fun t ->
+              for k = 0 to nsrcs - 1 do
+                Array.unsafe_set srcs k (rget t (Array.unsafe_get src_idx k))
+              done;
+              let result = exec srcs in
+              if di >= 0 && result <> Tie.Compile.no_result then
+                rset t di result;
+              t.pc <- fall;
+              packed)))
+
+type decode_stats = {
+  d_blocks : int;
+  d_ops : int;
+  d_compiled : int;
+}
+
+(* Shared empty operand set: most instructions have no defs or no uses,
+   and decode cost is dominated by how many words per slot survive into
+   the op array (everything allocated here is live for the whole run,
+   so it is all promoted out of the minor heap). *)
+let no_regs : int array = [||]
+
+let reg_indices l =
+  match l with
+  | [] -> no_regs
+  | [ a ] -> [| Isa.Reg.index a |]
+  | [ a; b ] -> [| Isa.Reg.index a; Isa.Reg.index b |]
+  | [ a; b; c ] -> [| Isa.Reg.index a; Isa.Reg.index b; Isa.Reg.index c |]
+  | l -> Array.of_list (List.map Isa.Reg.index l)
+
+let decode ?(covered = fun _ -> true) ?(fast_only = false) t =
+  let code = t.asm.Isa.Program.code in
+  let line_shift = t.icache.Cache.line_shift in
+  let uncached_base = t.cfg.Config.uncached_base in
+  Array.mapi
+    (fun i (slot : Isa.Program.slot) ->
+      let instr = slot.Isa.Program.instr in
+      let uses = Isa.Instr.uses instr in
+      (* [fast_only] skips the event-publishing closure when the run
+         loop will never call it (no observers, metrics off): decode
+         cost is paid per static slot, and for large bodies executed a
+         handful of times it dominates the run.  Ops the fast path
+         cannot compile fall back to the interpreter, which is
+         bit-identical either way. *)
+      let o_exec, o_fast, o_compiled =
+        if fast_only then
+          let f = if covered instr then fast_slot t slot else None in
+          ((fun t -> execute t slot), f, f <> None)
+        else
+          match (if covered instr then compile_slot t slot else None) with
+          | Some f -> (f, fast_slot t slot, true)
+          | None -> ((fun t -> execute t slot), None, false)
+      in
+      let addr = slot.Isa.Program.addr in
+      let funcached = addr >= uncached_base in
+      let line_run =
+        i > 0
+        && (not funcached)
+        && (let prev = code.(i - 1).Isa.Program.addr in
+            prev < uncached_base && addr lsr line_shift = prev lsr line_shift)
+      in
+      { o_slot = slot;
+        o_uses = reg_indices uses;
+        o_uses_list = uses;
+        o_defs = reg_indices (Isa.Instr.defs instr);
+        o_clazz = Isa.Instr.class_of instr;
+        o_control = Isa.Instr.is_control instr;
+        o_funcached = funcached;
+        o_line_run = line_run;
+        o_exec;
+        o_fast;
+        o_compiled })
+    code
+
+let decode_stats ?covered ?fast_only t =
+  let dec = Decoder.analyze t.asm in
+  let ops = decode ?covered ?fast_only t in
+  { d_blocks = Array.length dec.Decoder.blocks;
+    d_ops = Array.length ops;
+    d_compiled =
+      Array.fold_left (fun n o -> if o.o_compiled then n + 1 else n) 0 ops }
+
+let run_threaded ?covered t =
+  match t.done_ with
+  | Some o -> o
+  | None ->
+    let publish0 =
+      not (Queue.is_empty t.observers) || Obs.Metrics.enabled ()
+    in
+    let ops = decode ?covered ~fast_only:(not publish0) t in
+    let n = Array.length ops in
+    let base = t.asm.Isa.Program.code_base in
+    let bpi = Isa.Encoding.bytes_per_instr in
+    let max_cycles = t.cfg.Config.max_cycles in
+    let ufp = t.cfg.Config.uncached_fetch_penalty in
+    let udp = t.cfg.Config.uncached_data_penalty in
+    let btp = t.cfg.Config.branch_taken_penalty in
+    let wp = t.cfg.Config.window_penalty in
+    let icache = t.icache and dcache = t.dcache in
+    let rf = t.rf and ready = t.ready in
+    let imiss_pen = Cache.miss_penalty icache in
+    let dmiss_pen = Cache.miss_penalty dcache in
+    let observers = Array.of_seq (Queue.to_seq t.observers) in
+    let nobs = Array.length observers in
+    (* Events cost an allocation per retirement, so they are built only
+       when someone is listening; when they are, the stream is
+       bit-identical to the interpreter's by construction. *)
+    let publish = publish0 in
+    (* pc-to-slot mapping as a table lookup: hardware division (for
+       [mod]/[/] by the instruction size) costs tens of cycles and runs
+       after every control transfer.  [-1] marks offsets inside an
+       instruction, preserving the interpreter's misaligned-pc error. *)
+    let span = n * bpi in
+    let idx_table = Array.make (max span 1) (-1) in
+    for i = 0 to n - 1 do
+      idx_table.(i * bpi) <- i
+    done;
+    let index_of pc =
+      let off = pc - base in
+      let i =
+        if off < 0 || off >= span then -1
+        else Array.unsafe_get idx_table off
+      in
+      if i < 0 then fail "pc 0x%x outside the code section" pc else i
+    in
+    (* One retirement; mirrors [step] exactly (fetch, scoreboard stall,
+       execute, penalties, scoreboard update, clocks) and returns the
+       halt flag. *)
+    let retire (op : op) fall =
+      let pc = t.pc in
+      let funcached = op.o_funcached in
+      let fhit =
+        if funcached then false
+        else if fall && op.o_line_run then begin
+          Cache.repeat_hit icache;
+          true
+        end
+        else Cache.access icache pc = Cache.Hit
+      in
+      let fetch_pen =
+        if funcached then ufp else if fhit then 0 else imiss_pen
+      in
+      let issue = t.cycle + fetch_pen in
+      let uses = op.o_uses in
+      let wbase = rf.Regfile.base in
+      let stall = ref 0 in
+      for k = 0 to Array.length uses - 1 do
+        let rdy = ready.((wbase + Array.unsafe_get uses k) land 63) in
+        if rdy - issue > !stall then stall := rdy - issue
+      done;
+      let stall = !stall in
+      let start = issue + stall in
+      (* Source values are read before execution: the window may rotate. *)
+      let src_values =
+        if publish then List.map (reg t) op.o_uses_list else []
+      in
+      let ex = op.o_exec t in
+      let mem_pen =
+        match ex.mem_info with
+        | None -> 0
+        | Some mi ->
+          if mi.Event.muncached then udp
+          else if mi.Event.mhit then 0
+          else dmiss_pen
+      in
+      let taken_pen =
+        match ex.taken with Some true -> btp | Some false | None -> 0
+      in
+      let window_pen = if ex.window_event then wp else 0 in
+      let defs = op.o_defs in
+      let rdy = start + 1 + ex.extra_latency in
+      (* Re-read the window base: the op may have rotated it. *)
+      let wbase = rf.Regfile.base in
+      for k = 0 to Array.length defs - 1 do
+        ready.((wbase + Array.unsafe_get defs k) land 63) <- rdy
+      done;
+      let total = 1 + fetch_pen + stall + mem_pen + taken_pen + window_pen in
+      if publish then begin
+        let event =
+          { Event.index = t.retired;
+            start_cycle = t.cycle;
+            cycles = total;
+            instr = op.o_slot.Isa.Program.instr;
+            clazz = op.o_clazz;
+            taken = ex.taken;
+            interlock = stall > 0;
+            stall_cycles = stall;
+            window_event = ex.window_event;
+            fetch =
+              { Event.fpc = pc;
+                fword = op.o_slot.Isa.Program.word;
+                fhit;
+                funcached };
+            mem = ex.mem_info;
+            src_values;
+            result = ex.result;
+            custom = ex.custom;
+            busy_cycles = ex.busy }
+        in
+        t.cycle <- t.cycle + total;
+        t.retired <- t.retired + 1;
+        t.pc <- ex.next_pc;
+        if ex.halt then t.done_ <- Some Halted;
+        if Obs.Metrics.enabled () then Retire_metrics.record event;
+        for k = 0 to nobs - 1 do
+          (Array.unsafe_get observers k) event
+        done
+      end
+      else begin
+        t.cycle <- t.cycle + total;
+        t.retired <- t.retired + 1;
+        t.pc <- ex.next_pc;
+        if ex.halt then t.done_ <- Some Halted
+      end;
+      ex.halt
+    in
+    (* Counter-only icache hits accumulated by [retire_fast]; flushed to
+       the cache in one bulk update when the run leaves the loop (also
+       on simulation errors, so stats stay exact for the equivalence
+       checker). *)
+    let line_hits = ref 0 in
+    (* Event-free retirement: same cycle accounting as [retire], with
+       the op's architectural effects (and the pc update) performed by
+       its [o_fast] closure.  Only reachable when [publish] is false, so
+       nothing downstream needs the event or the [exec] record. *)
+    let retire_fast (op : op) fall (f : t -> int) =
+      let pc = t.pc in
+      let fetch_pen =
+        if op.o_funcached then ufp
+        else if
+          (fall && op.o_line_run)
+          || pc lsr icache.Cache.line_shift = icache.Cache.last_line
+        then begin
+          (* Counter-only hit (static line run, or a repeat of the line
+             just fetched); counted locally and flushed once per run. *)
+          incr line_hits;
+          0
+        end
+        else if Cache.access icache pc = Cache.Hit then 0
+        else imiss_pen
+      in
+      let issue = t.cycle + fetch_pen in
+      let uses = op.o_uses in
+      let wbase = rf.Regfile.base in
+      let stall = ref 0 in
+      for k = 0 to Array.length uses - 1 do
+        let rdy = ready.((wbase + Array.unsafe_get uses k) land 63) in
+        if rdy - issue > !stall then stall := rdy - issue
+      done;
+      let stall = !stall in
+      let packed = f t in
+      let defs = op.o_defs in
+      let rdy = issue + stall + 1 + (packed lsr fast_extra_shift) in
+      let wbase = rf.Regfile.base in
+      for k = 0 to Array.length defs - 1 do
+        ready.((wbase + Array.unsafe_get defs k) land 63) <- rdy
+      done;
+      t.cycle <-
+        t.cycle + 1 + fetch_pen + stall + (packed land (fast_halt - 1));
+      t.retired <- t.retired + 1;
+      if packed land fast_halt <> 0 then begin
+        t.done_ <- Some Halted;
+        true
+      end
+      else false
+    in
+    (* [i >= 0] means slot [i] is known to hold [t.pc] (fall-through
+       inside a straight-line run); [-1] re-derives it from the pc after
+       the watchdog check, preserving the interpreter's check order. *)
+    let rec go i =
+      if t.cycle >= max_cycles then begin
+        t.done_ <- Some Watchdog;
+        Watchdog
+      end
+      else begin
+        let fall = i >= 0 in
+        let i = if fall then i else index_of t.pc in
+        let op = Array.unsafe_get ops i in
+        let halted =
+          if publish then retire op fall
+          else
+            match op.o_fast with
+            | Some f -> retire_fast op fall f
+            | None -> retire op fall
+        in
+        if halted then Halted
+        else if op.o_control || i + 1 >= n then go (-1)
+        else go (i + 1)
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        if !line_hits > 0 then Cache.repeat_hits icache !line_hits)
+      (fun () -> go (-1))
+
+let clone t =
+  { cfg = t.cfg;
+    asm = t.asm;
+    mem = Memory.copy t.mem;
+    icache = Cache.copy t.icache;
+    dcache = Cache.copy t.dcache;
+    rf = Regfile.copy t.rf;
+    ext = t.ext;
+    ext_state = Option.map Tie.Compile.copy_state t.ext_state;
+    ready = Array.copy t.ready;
+    pc = t.pc;
+    sar_reg = t.sar_reg;
+    cycle = t.cycle;
+    retired = t.retired;
+    done_ = t.done_;
+    observers = Queue.create () }
 
 let run_program ?config ?extension ?(observers = []) asm =
   let t = create ?config ?extension asm in

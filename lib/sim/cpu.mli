@@ -39,6 +39,42 @@ val step : t -> [ `Step of Event.t | `Done of outcome ]
 val run : t -> outcome
 (** Step until completion. *)
 
+val run_threaded : ?covered:(Isa.Instr.t -> bool) -> t -> outcome
+(** Run to completion on the threaded-code backend: the program is
+    pre-decoded once into per-slot operation closures (operands, branch
+    targets, immediates, latencies and custom-instruction lookups
+    resolved at load time, straight-line runs delimited by
+    {!Decoder.analyze}'s basic-block partition) and dispatched
+    block-at-a-time.  Semantics are those of repeated {!step}: same
+    cycles, same architectural state, and — when observers are
+    installed — a bit-identical event stream.  When no observer is
+    installed and metrics are off, events are not materialised at all;
+    this is the backend's hot loop.
+
+    [covered] restricts which instructions are compiled; anything it
+    rejects (and anything whose static resolution fails) executes via
+    the interpreter fallback, so coverage is a performance property,
+    never a semantic one.  Intended for tests. *)
+
+(** Static compilation counters for the threaded backend (see
+    {!decode_stats}). *)
+type decode_stats = {
+  d_blocks : int;    (** basic blocks in the {!Decoder} partition *)
+  d_ops : int;       (** instruction slots decoded *)
+  d_compiled : int;  (** slots compiled to specialised closures; the
+                         remainder run on the interpreter fallback *)
+}
+
+val decode_stats : ?covered:(Isa.Instr.t -> bool) -> ?fast_only:bool -> t -> decode_stats
+(** Compile the program as {!run_threaded} would and report coverage
+    without executing anything. *)
+
+val clone : t -> t
+(** Independent deep copy of the machine state (memory, caches,
+    register file, scoreboard, TIE state, clocks) with an empty
+    observer list; the backend equivalence checker uses it to run the
+    same program twice from identical state. *)
+
 val run_program :
   ?config:Config.t ->
   ?extension:Tie.Compile.compiled ->

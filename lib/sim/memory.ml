@@ -2,17 +2,32 @@ let page_bits = 12
 let page_size = 1 lsl page_bits
 let page_mask = page_size - 1
 
-type t = (int, Bytes.t) Hashtbl.t
+(* One-entry page TLB in front of the page table: accesses cluster
+   heavily by page (straight-line fetch, array walks), and the repeat
+   case must not pay a [Hashtbl] probe per byte. *)
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable last_key : int;              (* -1 = empty *)
+  mutable last_page : Bytes.t;
+}
 
-let create () : t = Hashtbl.create 64
+let create () : t =
+  { pages = Hashtbl.create 64; last_key = -1; last_page = Bytes.empty }
 
 let page t addr =
   let key = addr lsr page_bits in
-  match Hashtbl.find_opt t key with
-  | Some p -> p
-  | None ->
-    let p = Bytes.make page_size '\000' in
-    Hashtbl.replace t key p;
+  if key = t.last_key then t.last_page
+  else
+    let p =
+      match Hashtbl.find_opt t.pages key with
+      | Some p -> p
+      | None ->
+        let p = Bytes.make page_size '\000' in
+        Hashtbl.replace t.pages key p;
+        p
+    in
+    t.last_key <- key;
+    t.last_page <- p;
     p
 
 let load8 t addr =
@@ -27,28 +42,29 @@ let check_align addr n =
   if addr land (n - 1) <> 0 then
     invalid_arg (Printf.sprintf "Memory: misaligned %d-byte access at 0x%x" n addr)
 
+(* Aligned multi-byte accesses never cross a page boundary (the access
+   size divides the page size), so each is a single page lookup plus one
+   Bytes primitive — the simulator's data path hits these constantly. *)
 let load16 t addr =
   check_align addr 2;
-  load8 t addr lor (load8 t (addr + 1) lsl 8)
+  let addr = addr land 0xffff_ffff in
+  Bytes.get_uint16_le (page t addr) (addr land page_mask)
 
 let load32 t addr =
   check_align addr 4;
-  load8 t addr
-  lor (load8 t (addr + 1) lsl 8)
-  lor (load8 t (addr + 2) lsl 16)
-  lor (load8 t (addr + 3) lsl 24)
+  let addr = addr land 0xffff_ffff in
+  Int32.to_int (Bytes.get_int32_le (page t addr) (addr land page_mask))
+  land 0xffff_ffff
 
 let store16 t addr v =
   check_align addr 2;
-  store8 t addr v;
-  store8 t (addr + 1) (v lsr 8)
+  let addr = addr land 0xffff_ffff in
+  Bytes.set_uint16_le (page t addr) (addr land page_mask) (v land 0xffff)
 
 let store32 t addr v =
   check_align addr 4;
-  store8 t addr v;
-  store8 t (addr + 1) (v lsr 8);
-  store8 t (addr + 2) (v lsr 16);
-  store8 t (addr + 3) (v lsr 24)
+  let addr = addr land 0xffff_ffff in
+  Bytes.set_int32_le (page t addr) (addr land page_mask) (Int32.of_int v)
 
 let load_image t image =
   List.iter
@@ -56,4 +72,9 @@ let load_image t image =
       Array.iteri (fun i b -> store8 t (base + i) b) bytes)
     image
 
-let bytes_touched t = Hashtbl.length t * page_size
+let bytes_touched t = Hashtbl.length t.pages * page_size
+
+let copy (t : t) : t =
+  let pages = Hashtbl.create (max 64 (Hashtbl.length t.pages)) in
+  Hashtbl.iter (fun k p -> Hashtbl.replace pages k (Bytes.copy p)) t.pages;
+  { pages; last_key = -1; last_page = Bytes.empty }

@@ -24,3 +24,7 @@ val load_image : t -> (int * int array) list -> unit
 
 val bytes_touched : t -> int
 (** Number of resident pages times the page size (footprint metric). *)
+
+val copy : t -> t
+(** Deep copy (independent pages); used by the backend equivalence
+    checker to run the same program twice from identical state. *)

@@ -22,6 +22,10 @@ let create () =
     saved = [];
     depth = 1 }
 
+(* Spilled frames in [saved] are write-once (pushed whole, read back on
+   reload), so the copy may share them; only [phys] needs duplicating. *)
+let copy t = { t with phys = Array.copy t.phys }
+
 let phys_index t r = (t.base + Isa.Reg.index r) land (phys_count - 1)
 
 let read t r = t.phys.(phys_index t r)

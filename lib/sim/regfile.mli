@@ -6,9 +6,25 @@
     save area (standing in for the window-exception handler); the caller
     is told so it can charge stall cycles. *)
 
-type t
+(** The representation is exposed so the simulator's threaded backend can
+    read registers without a chain of cross-module calls (the compiler
+    performs no cross-module inlining here).  Treat the fields as
+    read-only outside this module: every mutation must go through the
+    operations below.  A register name [Isa.Reg.A i] addresses physical
+    slot [(base + i) land 63]. *)
+type t = {
+  phys : int array;                       (* 64 physical registers *)
+  mutable base : int;                     (* window base, multiple of 8 *)
+  mutable resident : int;                 (* fully resident frames, >= 1 *)
+  mutable saved : (int * int array) list; (* spilled frames, LIFO *)
+  mutable depth : int;                    (* live call depth, >= 1 *)
+}
 
 val create : unit -> t
+
+val copy : t -> t
+(** Independent copy (window rotation, spill area and values); used by
+    the backend equivalence checker. *)
 
 val read : t -> Isa.Reg.t -> int
 

@@ -2,6 +2,20 @@ exception Tie_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Tie_error s)) fmt
 
+(* Execution plan, fully resolved at compile time: operand slots in
+   positional order, a reusable scratch array they are written into, and
+   the result/update expressions compiled to closures over (args,
+   states).  The simulator retires custom instructions on its hot path,
+   so nothing here may require a name lookup or width inference per
+   execution. *)
+type plan = {
+  p_ops : Spec.operand array;          (* def.ins, in order *)
+  p_args : int array;                  (* scratch, one slot per operand *)
+  p_result : Expr.compiled_fn option;
+  p_updates : (int * int * Expr.compiled_fn) array;
+      (* (state index, state width, new-value expression) *)
+}
+
 type compiled_insn = {
   def : Spec.insn_def;
   components : Component.t list;
@@ -9,6 +23,7 @@ type compiled_insn = {
   regfile_reads : int;
   writes_regfile : bool;
   bus_facing : Component.t list;
+  plan : plan;
 }
 
 type compiled = {
@@ -117,6 +132,38 @@ let validate_insn (spec : Spec.t) (def : Spec.insn_def) =
   in
   dup names
 
+let index_of_name ~what iname name extract items =
+  let rec go i = function
+    | [] -> fail "%s: unknown %s %S" iname what name
+    | x :: rest -> if String.equal (extract x) name then i else go (i + 1) rest
+  in
+  go 0 items
+
+let make_plan (spec : Spec.t) (def : Spec.insn_def) ctx =
+  let arg name =
+    index_of_name ~what:"operand" def.Spec.iname name
+      (fun o -> o.Spec.oname) def.Spec.ins
+  in
+  let state name =
+    index_of_name ~what:"state" def.Spec.iname name
+      (fun s -> s.Spec.sname) spec.Spec.states
+  in
+  let table name =
+    match List.find_opt (fun t -> t.Spec.tname = name) spec.Spec.tables with
+    | Some t -> t.Spec.tdata
+    | None -> fail "%s: unknown table %S" def.Spec.iname name
+  in
+  let compile_expr e = Expr.compile ctx ~arg ~state ~table e in
+  { p_ops = Array.of_list def.Spec.ins;
+    p_args = Array.make (List.length def.Spec.ins) 0;
+    p_result = Option.map compile_expr def.Spec.result;
+    p_updates =
+      Array.of_list
+        (List.map
+           (fun (sname, e) ->
+             (state sname, ctx.Expr.state_width sname, compile_expr e))
+           def.Spec.updates) }
+
 let compile_insn (spec : Spec.t) (def : Spec.insn_def) =
   validate_insn spec def;
   let ctx = make_ctx spec def in
@@ -156,7 +203,8 @@ let compile_insn (spec : Spec.t) (def : Spec.insn_def) =
     latency;
     regfile_reads = List.length regs;
     writes_regfile = def.Spec.result <> None;
-    bus_facing = bus }
+    bus_facing = bus;
+    plan = make_plan spec def ctx }
 
 let compile spec =
   let names = List.map (fun i -> i.Spec.iname) spec.Spec.instructions in
@@ -201,87 +249,215 @@ let all_components c =
 let bus_facing_components c =
   List.concat_map (fun (_, i) -> i.bus_facing) c.insns
 
-type state_store = (string, int) Hashtbl.t
+(* State values live in an array indexed by declaration order (the same
+   order the per-instruction plans resolved [State] references against);
+   the name index only serves the by-name [state_value] queries of
+   observers and tests. *)
+type state_store = {
+  s_index : (string, int) Hashtbl.t;
+  s_values : int array;
+}
 
 let create_state c =
-  let h = Hashtbl.create 8 in
-  List.iter
-    (fun s -> Hashtbl.replace h s.Spec.sname s.Spec.sinit)
-    c.cspec.Spec.states;
-  h
+  let states = c.cspec.Spec.states in
+  let index = Hashtbl.create 8 in
+  List.iteri (fun i s -> Hashtbl.replace index s.Spec.sname i) states;
+  { s_index = index;
+    s_values = Array.of_list (List.map (fun s -> s.Spec.sinit) states) }
+
+let copy_state (store : state_store) : state_store =
+  (* The name index is immutable after creation; only values change. *)
+  { store with s_values = Array.copy store.s_values }
 
 let state_value store name =
-  match Hashtbl.find_opt store name with
-  | Some v -> v
+  match Hashtbl.find_opt store.s_index name with
+  | Some i -> store.s_values.(i)
   | None -> raise Not_found
 
 let reset_state c store =
-  Hashtbl.reset store;
-  List.iter
-    (fun s -> Hashtbl.replace store s.Spec.sname s.Spec.sinit)
+  List.iteri
+    (fun i s -> store.s_values.(i) <- s.Spec.sinit)
     c.cspec.Spec.states
 
 let mask_to w v = if w >= 63 then v else v land ((1 lsl w) - 1)
 
-let execute c store insn ~srcs ~imm =
+let execute _c store insn ~srcs ~imm =
   let def = insn.def in
-  let ctx = make_ctx c.cspec def in
+  let p = insn.plan in
+  let args = p.p_args in
+  let nops = Array.length p.p_ops in
   (* Bind operands positionally: register operands consume [srcs] in
      order, the immediate operand takes [imm]. *)
-  let bindings =
-    let rec bind ops srcs =
-      match ops with
-      | [] -> []
-      | o :: rest -> (
-        match o.Spec.okind with
-        | Spec.Imm ->
-          let v =
-            match imm with
-            | Some v -> v
-            | None -> fail "%s: missing immediate" def.Spec.iname
-          in
-          (o.Spec.oname, mask_to o.Spec.owidth v) :: bind rest srcs
-        | Spec.In_reg -> (
-          match srcs with
-          | v :: more ->
-            (o.Spec.oname, mask_to o.Spec.owidth v) :: bind rest more
-          | [] ->
-            fail "%s: not enough register operands" def.Spec.iname))
-    in
-    bind def.Spec.ins srcs
-  in
-  let env =
-    { Expr.arg =
-        (fun name ->
-          match List.assoc_opt name bindings with
+  let rec fill k srcs =
+    if k < nops then
+      let o = Array.unsafe_get p.p_ops k in
+      match o.Spec.okind with
+      | Spec.Imm ->
+        let v =
+          match imm with
           | Some v -> v
-          | None -> fail "%s: unbound operand %S" def.Spec.iname name);
-      state =
-        (fun name ->
-          match Hashtbl.find_opt store name with
-          | Some v -> v
-          | None -> fail "%s: unbound state %S" def.Spec.iname name);
-      table =
-        (fun name idx ->
-          match
-            List.find_opt (fun t -> t.Spec.tname = name) c.cspec.Spec.tables
-          with
-          | Some t -> t.Spec.tdata.(idx)
-          | None -> fail "%s: unbound table %S" def.Spec.iname name) }
+          | None -> fail "%s: missing immediate" def.Spec.iname
+        in
+        args.(k) <- mask_to o.Spec.owidth v;
+        fill (k + 1) srcs
+      | Spec.In_reg -> (
+        match srcs with
+        | v :: more ->
+          args.(k) <- mask_to o.Spec.owidth v;
+          fill (k + 1) more
+        | [] -> fail "%s: not enough register operands" def.Spec.iname)
   in
+  fill 0 srcs;
+  let states = store.s_values in
   let result =
-    match def.Spec.result with
-    | Some e -> Some (mask_to 32 (Expr.eval ctx env e))
+    match p.p_result with
+    | Some f -> Some (mask_to 32 (f args states))
     | None -> None
   in
   (* Simultaneous update semantics: evaluate all new values against the
      old state, then commit. *)
-  let new_values =
-    List.map
-      (fun (sname, e) ->
-        let sw = ctx.Expr.state_width sname in
-        (sname, mask_to sw (Expr.eval ctx env e)))
-      def.Spec.updates
+  (match Array.length p.p_updates with
+   | 0 -> ()
+   | 1 ->
+     let (i, sw, f) = p.p_updates.(0) in
+     states.(i) <- mask_to sw (f args states)
+   | n ->
+     let staged = Array.make n 0 in
+     for k = 0 to n - 1 do
+       let (_, sw, f) = p.p_updates.(k) in
+       staged.(k) <- mask_to sw (f args states)
+     done;
+     for k = 0 to n - 1 do
+       let (i, _, _) = p.p_updates.(k) in
+       states.(i) <- staged.(k)
+     done);
+  result
+
+let no_result = -1
+
+(* Pre-bind a call site: operand routing (which source register feeds
+   which operand slot, the immediate's constant value, every operand
+   mask) is resolved once, so the per-execution work is a masked copy
+   loop plus the compiled expressions.  Uses a private args array —
+   immediate slots are filled here and never rewritten. *)
+let bind _c store insn ~nsrcs ~imm =
+  let def = insn.def in
+  let p = insn.plan in
+  let nops = Array.length p.p_ops in
+  let args = Array.make nops 0 in
+  let pos = ref [] and msk = ref [] and nreg = ref 0 in
+  Array.iteri
+    (fun k (o : Spec.operand) ->
+      match o.Spec.okind with
+      | Spec.Imm ->
+        let v =
+          match imm with
+          | Some v -> v
+          | None -> fail "%s: missing immediate" def.Spec.iname
+        in
+        args.(k) <- mask_to o.Spec.owidth v
+      | Spec.In_reg ->
+        if !nreg >= nsrcs then
+          fail "%s: not enough register operands" def.Spec.iname;
+        pos := k :: !pos;
+        msk :=
+          (if o.Spec.owidth >= 63 then -1 else (1 lsl o.Spec.owidth) - 1)
+          :: !msk;
+        incr nreg)
+    p.p_ops;
+  let pos = Array.of_list (List.rev !pos) in
+  let msk = Array.of_list (List.rev !msk) in
+  let nreg = !nreg in
+  let states = store.s_values in
+  let fill (srcs : int array) =
+    for j = 0 to nreg - 1 do
+      Array.unsafe_set args
+        (Array.unsafe_get pos j)
+        (Array.unsafe_get srcs j land Array.unsafe_get msk j)
+    done
   in
-  List.iter (fun (sname, v) -> Hashtbl.replace store sname v) new_values;
+  match (p.p_result, p.p_updates) with
+  | Some f, [||] ->
+    fun srcs ->
+      fill srcs;
+      mask_to 32 (f args states)
+  | Some f, [| (i, sw, g) |] ->
+    fun srcs ->
+      fill srcs;
+      let r = mask_to 32 (f args states) in
+      states.(i) <- mask_to sw (g args states);
+      r
+  | None, [| (i, sw, g) |] ->
+    fun srcs ->
+      fill srcs;
+      states.(i) <- mask_to sw (g args states);
+      no_result
+  | None, [||] -> fun srcs -> fill srcs; no_result
+  | result, updates ->
+    let n = Array.length updates in
+    let staged = Array.make n 0 in
+    fun srcs ->
+      fill srcs;
+      let r =
+        match result with
+        | Some f -> mask_to 32 (f args states)
+        | None -> no_result
+      in
+      for k = 0 to n - 1 do
+        let (_, sw, f) = Array.unsafe_get updates k in
+        staged.(k) <- mask_to sw (f args states)
+      done;
+      for k = 0 to n - 1 do
+        let (i, _, _) = Array.unsafe_get updates k in
+        states.(i) <- staged.(k)
+      done;
+      r
+
+let execute_fast _c store insn ~srcs ~imm =
+  let def = insn.def in
+  let p = insn.plan in
+  let args = p.p_args in
+  let ops = p.p_ops in
+  let nops = Array.length ops in
+  let nsrcs = Array.length srcs in
+  let rec fill k s =
+    if k < nops then
+      let o = Array.unsafe_get ops k in
+      match o.Spec.okind with
+      | Spec.Imm ->
+        let v =
+          match imm with
+          | Some v -> v
+          | None -> fail "%s: missing immediate" def.Spec.iname
+        in
+        args.(k) <- mask_to o.Spec.owidth v;
+        fill (k + 1) s
+      | Spec.In_reg ->
+        if s >= nsrcs then
+          fail "%s: not enough register operands" def.Spec.iname;
+        args.(k) <- mask_to o.Spec.owidth (Array.unsafe_get srcs s);
+        fill (k + 1) (s + 1)
+  in
+  fill 0 0;
+  let states = store.s_values in
+  let result =
+    match p.p_result with
+    | Some f -> mask_to 32 (f args states)
+    | None -> no_result
+  in
+  (match Array.length p.p_updates with
+   | 0 -> ()
+   | 1 ->
+     let (i, sw, f) = p.p_updates.(0) in
+     states.(i) <- mask_to sw (f args states)
+   | n ->
+     let staged = Array.make n 0 in
+     for k = 0 to n - 1 do
+       let (_, sw, f) = p.p_updates.(k) in
+       staged.(k) <- mask_to sw (f args states)
+     done;
+     for k = 0 to n - 1 do
+       let (i, _, _) = p.p_updates.(k) in
+       states.(i) <- staged.(k)
+     done);
   result

@@ -14,6 +14,11 @@
 
 exception Tie_error of string
 
+type plan
+(** Pre-resolved execution plan: operand slots, and the instruction's
+    expressions compiled to closures ({!Expr.compile}) so {!execute}
+    performs no name lookups or width inference. *)
+
 type compiled_insn = {
   def : Spec.insn_def;
   components : Component.t list;
@@ -23,6 +28,7 @@ type compiled_insn = {
   writes_regfile : bool;
   bus_facing : Component.t list;
   (** subset of [components] wired straight to the operand buses *)
+  plan : plan;
 }
 
 type compiled
@@ -54,6 +60,10 @@ val create_state : compiled -> state_store
 val state_value : state_store -> string -> int
 (** @raise Not_found for undeclared states. *)
 
+val copy_state : state_store -> state_store
+(** Independent snapshot of every state value; used by the simulator's
+    backend equivalence checker. *)
+
 val reset_state : compiled -> state_store -> unit
 
 val execute :
@@ -67,3 +77,37 @@ val execute :
     instruction has a result) and commits state updates.  Register
     operands are consumed positionally from [srcs].
     @raise Tie_error if [srcs] does not supply every register operand. *)
+
+val no_result : int
+(** Sentinel returned by {!execute_fast} when the instruction writes no
+    register ([-1]; real results are masked to 32 bits, so never
+    negative). *)
+
+val bind :
+  compiled ->
+  state_store ->
+  compiled_insn ->
+  nsrcs:int ->
+  imm:int option ->
+  (int array -> int)
+(** Pre-bind one call site of the instruction: the immediate value and
+    the source-register-to-operand routing are resolved now, returning
+    a closure that executes against the given state store with only a
+    masked operand copy per call.  Results, state updates, and masking
+    are bit-identical to {!execute_fast} fed the same sources.
+    @raise Tie_error now (rather than at execution) if the call site
+    supplies fewer than the required register operands or omits a
+    required immediate. *)
+
+val execute_fast :
+  compiled ->
+  state_store ->
+  compiled_insn ->
+  srcs:int array ->
+  imm:int option ->
+  int
+(** {!execute} without allocation, for the simulator's threaded
+    backend: register operands come from an array the caller reuses
+    across retirements, and the result is returned directly
+    ({!no_result} if the instruction has none).  State updates and
+    failure modes are identical to {!execute}. *)

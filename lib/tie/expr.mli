@@ -61,6 +61,28 @@ val eval : ctx -> env -> t -> int
     Arithmetic is unsigned modulo 2^width except [Sar], which sign-extends
     from the operand's width. *)
 
+type compiled_fn = int array -> int array -> int
+(** A compiled expression: applied to the positional operand values and
+    the state-value array, returns the expression value.  Behaves
+    bit-for-bit like {!eval} over the same bindings. *)
+
+val compile :
+  ctx ->
+  arg:(string -> int) ->
+  state:(string -> int) ->
+  table:(string -> int array) ->
+  t ->
+  compiled_fn
+(** Compile the expression once into a closure tree with all
+    value-independent work hoisted out of evaluation: widths and masks
+    become captured constants, [arg]/[state] resolve names to indices
+    into the two runtime arrays, and [table] resolves a table name to
+    its data.  Name resolution and width inference run eagerly, so the
+    errors {!eval} would raise per evaluation surface here instead.
+    [Mux] stays lazy: only the selected branch is evaluated.
+    @raise Width_error on width inference failures; the resolver
+    callbacks may raise on unknown names. *)
+
 val depth_delay : t -> float
 (** Critical-path delay estimate in normalised gate-level units, used by
     the TIE compiler to derive instruction latency. *)

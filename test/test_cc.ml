@@ -407,6 +407,38 @@ let qcheck_compiled_program_matches_interpreter =
                   arr))
            expected.Cc.Interp.r_globals)
 
+(* Backend-equivalence property: a random Tiny-C program characterizes
+   to the same run report on the interpreter and the threaded backend.
+   Compared through the {!Core.Run_report} JSON round trip so the
+   on-disk representation — what audits and dashboards consume — is
+   what must agree; wall-clock fields and the backend stamp itself are
+   the only legitimate differences, so they are pinned before
+   comparison. *)
+let report_on backend case =
+  Sim.Backend.with_current backend @@ fun () ->
+  let _, report = Core.Characterize.collect_with_report ~jobs:1 [ case ] in
+  let pinned =
+    { report with
+      Core.Run_report.total_seconds = 0.0;
+      sim_backend = "pinned";
+      entries =
+        List.map
+          (fun (e : Core.Run_report.entry) ->
+            { e with Core.Run_report.wall_seconds = 0.0 })
+          report.Core.Run_report.entries }
+  in
+  Core.Run_report.of_json (Core.Run_report.to_json pinned)
+
+let qcheck_backends_report_identically =
+  QCheck.Test.make
+    ~name:"random Tiny-C programs report identically on both backends"
+    ~count:25 (QCheck.make gen_program)
+    (fun prog ->
+      let compiled = Cc.Codegen.compile prog in
+      let case = Core.Extract.case "qcheck" compiled.Cc.Codegen.c_asm in
+      report_on Sim.Backend.Interp case
+      = report_on Sim.Backend.Threaded case)
+
 let () =
   Alcotest.run "cc"
     [ ( "lexer",
@@ -439,4 +471,6 @@ let () =
         [ Alcotest.test_case "basics" `Quick test_interpreter_basics;
           Alcotest.test_case "fuel" `Quick test_interpreter_fuel;
           QCheck_alcotest.to_alcotest
-            qcheck_compiled_program_matches_interpreter ] ) ]
+            qcheck_compiled_program_matches_interpreter ] );
+      ( "backends",
+        [ QCheck_alcotest.to_alcotest qcheck_backends_report_identically ] ) ]

@@ -54,6 +54,22 @@ let test_attribute_unknown_workload () =
   check Alcotest.bool "stderr names the workload" true
     (contains err "nosuch_wl")
 
+let test_backend_bad_name () =
+  let code, out, err = run_xenergy [ "profile"; "gcd"; "--backend"; "bogus" ] in
+  check Alcotest.int "exit code is Cmdliner's some_error" 123 code;
+  check Alcotest.string "stdout stays clean" "" out;
+  check Alcotest.bool "stderr names the backend" true (contains err "bogus")
+
+(* Check mode end to end: the estimate must succeed on stdout and the
+   dual-run summary must land on stderr (either the in-process count or
+   the worker-pool phrasing, depending on parallelism). *)
+let test_backend_check_smoke () =
+  let code, out, err = run_xenergy [ "estimate"; "gcd"; "--backend"; "check" ] in
+  check Alcotest.int "exit code" 0 code;
+  check Alcotest.bool "estimate lands on stdout" true (String.length out > 0);
+  check Alcotest.bool "stderr reports the dual runs" true
+    (contains err "backend check:")
+
 (* One characterization run exercises the whole observability surface:
    the trace and metrics files must be valid JSON with the advertised
    content, and the fitted model must drive `attribute` (table and JSON
@@ -505,7 +521,12 @@ let () =
               test_unknown_workload_clean_stdout;
             Alcotest.test_case "list" `Quick test_list_succeeds_on_stdout;
             Alcotest.test_case "attribute unknown workload" `Quick
-              test_attribute_unknown_workload ] );
+              test_attribute_unknown_workload;
+            Alcotest.test_case "unknown backend" `Quick
+              test_backend_bad_name ] );
+        ( "backend",
+          [ Alcotest.test_case "check-mode estimate" `Slow
+              test_backend_check_smoke ] );
         ( "observability",
           [ Alcotest.test_case "trace + metrics + attribute" `Slow
               test_characterize_trace_metrics_attribute ] );

@@ -853,7 +853,19 @@ let test_cache_key_sensitivity () =
     (Core.Eval_cache.key ~with_reference:true ~config:small_config case);
   distinct "complexity tag"
     (Core.Eval_cache.key ~complexity_tag:"quadratic" ~config:small_config
-       case)
+       case);
+  (* A cached vector computed on one backend must never answer for
+     another: backends are bit-identical by contract, but keying them
+     apart means a cache hit can never mask a divergence. *)
+  distinct "backend"
+    (Core.Eval_cache.key ~backend:"threaded" ~config:small_config case);
+  check Alcotest.string "explicit interp equals the process default" k
+    (Core.Eval_cache.key ~backend:"interp" ~config:small_config case);
+  Sim.Backend.with_current Sim.Backend.Threaded (fun () ->
+      distinct "process-default backend"
+        (Core.Eval_cache.key ~config:small_config case);
+      check Alcotest.string "explicit backend overrides the default" k
+        (Core.Eval_cache.key ~backend:"interp" ~config:small_config case))
 
 let gnarly_entry =
   { Core.Eval_cache.e_name = "gnarly \"name\"\twith\nescapes";

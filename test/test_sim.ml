@@ -692,6 +692,160 @@ let test_late_observer_registration_fails () =
   | exception Sim.Cpu.Sim_error _ -> ()
   | () -> fail "post-run observer registration accepted"
 
+(* --- Execution backends --------------------------------------------------- *)
+
+let run_collect runner (c : Core.Extract.case) =
+  let cpu =
+    Sim.Cpu.create ?extension:c.Core.Extract.extension c.Core.Extract.asm
+  in
+  let events = ref [] in
+  Sim.Cpu.add_observer cpu (fun e -> events := e :: !events);
+  let outcome = runner cpu in
+  (outcome, Sim.Cpu.cycles cpu, Sim.Cpu.instructions cpu, List.rev !events)
+
+let test_backend_names () =
+  List.iter
+    (fun b ->
+      match Sim.Backend.of_string (Sim.Backend.name b) with
+      | Some b' when b = b' -> ()
+      | _ -> fail ("name does not round-trip: " ^ Sim.Backend.name b))
+    Sim.Backend.all;
+  (match Sim.Backend.of_string "INTERPRETER" with
+   | Some Sim.Backend.Interp -> ()
+   | _ -> fail "\"interpreter\" alias not accepted");
+  (match Sim.Backend.of_string " Threaded " with
+   | Some Sim.Backend.Threaded -> ()
+   | _ -> fail "case/whitespace-insensitive parse failed");
+  match Sim.Backend.of_string "jit" with
+  | None -> ()
+  | Some _ -> fail "unknown backend name accepted"
+
+let test_backend_threaded_equivalence () =
+  (* Branches, calls, memory traffic and cache pressure; all
+     extension-free, so raw event lists are safely comparable (custom
+     events carry compiled closures that defeat structural equality —
+     those workloads are covered by the digest oracle below). *)
+  [ "gcd"; "call_tree"; "icache_thrash"; "dcache_thrash" ]
+  |> List.iter (fun name ->
+         let c = Workloads.Suite.find name in
+         check Alcotest.bool (name ^ " is extension-free") true
+           (c.Core.Extract.extension = None);
+         let o1, cy1, in1, ev1 = run_collect Sim.Cpu.run c in
+         let o2, cy2, in2, ev2 =
+           run_collect (fun m -> Sim.Cpu.run_threaded m) c
+         in
+         check Alcotest.bool (name ^ ": outcome") true (o1 = o2);
+         check Alcotest.int (name ^ ": cycles") cy1 cy2;
+         check Alcotest.int (name ^ ": instructions") in1 in2;
+         check Alcotest.bool (name ^ ": bit-identical event stream") true
+           (ev1 = ev2))
+
+let test_backend_unobserved_fast_path () =
+  (* With no observer installed the threaded backend skips event
+     materialisation entirely; the architectural results must not
+     notice. *)
+  let c = Workloads.Suite.find "custom_mix_gf" in
+  let observed =
+    Sim.Cpu.create ?extension:c.Core.Extract.extension c.Core.Extract.asm
+  in
+  Sim.Cpu.add_observer observed (fun _ -> ());
+  let o1 = Sim.Cpu.run_threaded observed in
+  let bare =
+    Sim.Cpu.create ?extension:c.Core.Extract.extension c.Core.Extract.asm
+  in
+  let o2 = Sim.Cpu.run_threaded bare in
+  check Alcotest.bool "outcome" true (o1 = o2);
+  check Alcotest.int "cycles" (Sim.Cpu.cycles observed) (Sim.Cpu.cycles bare);
+  check Alcotest.int "instructions"
+    (Sim.Cpu.instructions observed)
+    (Sim.Cpu.instructions bare)
+
+let test_backend_forced_fallback () =
+  (* covered = (fun _ -> false) sends every slot through the
+     interpreter fallback; coverage is a performance property, never a
+     semantic one. *)
+  let c = Workloads.Suite.find "gcd" in
+  let stats =
+    Sim.Cpu.decode_stats
+      ~covered:(fun _ -> false)
+      (Sim.Cpu.create ?extension:c.Core.Extract.extension c.Core.Extract.asm)
+  in
+  check Alcotest.int "nothing compiled" 0 stats.Sim.Cpu.d_compiled;
+  check Alcotest.bool "slots still decoded" true (stats.Sim.Cpu.d_ops > 0);
+  let o1, cy1, in1, ev1 = run_collect Sim.Cpu.run c in
+  let o2, cy2, in2, ev2 =
+    run_collect (fun m -> Sim.Cpu.run_threaded ~covered:(fun _ -> false) m) c
+  in
+  check Alcotest.bool "outcome" true (o1 = o2);
+  check Alcotest.int "cycles" cy1 cy2;
+  check Alcotest.int "instructions" in1 in2;
+  check Alcotest.bool "bit-identical event stream" true (ev1 = ev2)
+
+let test_backend_decode_coverage () =
+  let c = Workloads.Suite.find "des" in
+  let mk () =
+    Sim.Cpu.create ?extension:c.Core.Extract.extension c.Core.Extract.asm
+  in
+  let stats = Sim.Cpu.decode_stats (mk ()) in
+  check Alcotest.bool "has blocks" true (stats.Sim.Cpu.d_blocks > 0);
+  check Alcotest.bool "compiles most slots" true
+    (stats.Sim.Cpu.d_compiled > stats.Sim.Cpu.d_ops / 2);
+  check Alcotest.bool "never more compiled than decoded" true
+    (stats.Sim.Cpu.d_compiled <= stats.Sim.Cpu.d_ops);
+  let fast = Sim.Cpu.decode_stats ~fast_only:true (mk ()) in
+  check Alcotest.int "same partition either way" stats.Sim.Cpu.d_blocks
+    fast.Sim.Cpu.d_blocks;
+  check Alcotest.int "same slot count either way" stats.Sim.Cpu.d_ops
+    fast.Sim.Cpu.d_ops
+
+let test_backend_check_oracle () =
+  (* The digest oracle covers the custom-instruction workloads that
+     structural event equality cannot (closures in the payload).  The
+     caller's observers must see exactly one stream. *)
+  [ "custom_mix_gf"; "custom_mix_mac"; "cover_xtmac" ]
+  |> List.iter (fun name ->
+         let c = Workloads.Suite.find name in
+         let before = Sim.Backend.checks_run () in
+         let events = ref 0 in
+         let cpu, outcome =
+           Sim.Backend.run_program ~backend:Sim.Backend.Check
+             ?extension:c.Core.Extract.extension
+             ~observers:[ (fun _ -> incr events) ]
+             c.Core.Extract.asm
+         in
+         check Alcotest.bool (name ^ ": halted") true
+           (outcome = Sim.Cpu.Halted);
+         check Alcotest.int (name ^ ": one dual run performed") (before + 1)
+           (Sim.Backend.checks_run ());
+         check Alcotest.int (name ^ ": observer saw exactly one stream")
+           (Sim.Cpu.instructions cpu) !events)
+
+let test_backend_selection () =
+  check Alcotest.bool "initial default is the interpreter" true
+    (Sim.Backend.current () = Sim.Backend.Interp);
+  (match
+     Sim.Backend.with_current Sim.Backend.Threaded (fun () ->
+         check Alcotest.bool "scoped override visible" true
+           (Sim.Backend.current () = Sim.Backend.Threaded);
+         failwith "boom")
+   with
+   | exception Failure _ -> ()
+   | _ -> fail "exception swallowed by with_current");
+  check Alcotest.bool "default restored after exception" true
+    (Sim.Backend.current () = Sim.Backend.Interp);
+  (* Environment seeding: a valid value applies, an invalid one warns
+     and keeps the current selection. *)
+  Unix.putenv Sim.Backend.env_var "threaded";
+  Sim.Backend.init_from_env ();
+  check Alcotest.bool "env value applied" true
+    (Sim.Backend.current () = Sim.Backend.Threaded);
+  Sim.Backend.set_current Sim.Backend.Interp;
+  Unix.putenv Sim.Backend.env_var "bogus";
+  Sim.Backend.init_from_env ();
+  check Alcotest.bool "bad env value keeps the default" true
+    (Sim.Backend.current () = Sim.Backend.Interp);
+  Unix.putenv Sim.Backend.env_var ""
+
 let () =
   Alcotest.run "sim"
     [ ( "memory",
@@ -734,5 +888,17 @@ let () =
             test_observer_registration_order;
           Alcotest.test_case "late observer refused" `Quick
             test_late_observer_registration_fails ] );
+      ( "backend",
+        [ Alcotest.test_case "names" `Quick test_backend_names;
+          Alcotest.test_case "threaded equivalence" `Quick
+            test_backend_threaded_equivalence;
+          Alcotest.test_case "unobserved fast path" `Quick
+            test_backend_unobserved_fast_path;
+          Alcotest.test_case "forced fallback" `Quick
+            test_backend_forced_fallback;
+          Alcotest.test_case "decode coverage" `Quick
+            test_backend_decode_coverage;
+          Alcotest.test_case "check oracle" `Quick test_backend_check_oracle;
+          Alcotest.test_case "selection" `Quick test_backend_selection ] );
       ( "differential",
         [ QCheck_alcotest.to_alcotest qcheck_cpu_matches_int32_oracle ] ) ]
