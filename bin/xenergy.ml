@@ -28,10 +28,12 @@
                 [--baseline FILE]    regression gate vs a committed baseline
      xenergy serve --socket PATH     long-lived estimation daemon (model
                 [--max-models N]     registry, batch estimate/attribute/
-                [--cache-dir DIR]    audit over length-prefixed JSON,
+                [--max-conns N]      audit/explore over length-prefixed
+                [--cache-dir DIR]    JSON, concurrent connections,
                 [--model FILE]       OpenMetrics scrape); with --call/
-                [--call JSON | --scrape | --ping | --stop] acts as a
-                client against a running daemon instead
+                [--call JSON ... | --scrape | --ping | --stop] acts as a
+                client against a running daemon instead (repeated
+                --call batches over one connection)
 
    Every command honours XENERGY_LOG=FILE (JSON-lines structured log)
    and XENERGY_LOG_LEVEL=debug|info|warn|error.  The simulating
@@ -1123,7 +1125,14 @@ let serve_cmd =
     Arg.(value & opt float 10.0
          & info [ "io-timeout" ] ~docv:"SECONDS"
              ~doc:"Per-connection I/O deadline: a client that wedges
-                   mid-frame or idles longer is dropped.")
+                   mid-frame, stops reading its response, or idles
+                   longer is dropped.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int 8
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Bound on concurrently served connections; clients
+                   past it queue in the listen backlog.")
   in
   let read_timeout_arg =
     Arg.(value & opt float 30.0
@@ -1133,10 +1142,12 @@ let serve_cmd =
                    0 disables the deadline.")
   in
   let call_arg =
-    Arg.(value & opt (some string) None
+    Arg.(value & opt_all string []
          & info [ "call" ] ~docv:"JSON"
-             ~doc:"Client mode: send one request object to a running
-                   daemon and print its response to stdout.")
+             ~doc:"Client mode: send a request object to a running
+                   daemon and print its response to stdout.  Repeat the
+                   flag to batch several requests over one connection
+                   (one response line each, in order).")
   in
   let scrape_arg =
     Arg.(value & flag
@@ -1180,13 +1191,14 @@ let serve_cmd =
       List.assoc_opt "ok" fields = Some (Obs.Json.Bool true)
     | _ -> false
   in
-  let run socket max_models cache_dir model_file io_timeout read_timeout
-      call scrape ping stop wait timeout backend log_file openmetrics jobs =
+  let run socket max_models cache_dir model_file io_timeout max_conns
+      read_timeout call scrape ping stop wait timeout backend log_file
+      openmetrics jobs =
     (* Daemon mode: the process-wide default backend, overridable per
        request by the "backend" field.  Irrelevant in client mode. *)
     set_backend backend;
     setup_obs ~log_file ~openmetrics;
-    let client_mode = call <> None || scrape || ping || stop in
+    let client_mode = call <> [] || scrape || ping || stop in
     if client_mode then begin
       if not (Serve.Client.wait_ready ~timeout_s:wait ~socket ()) then
         die "server at %s not answering after %.1f s" socket wait;
@@ -1198,16 +1210,34 @@ let serve_cmd =
         print_endline (Serve.Protocol.json_to_string resp)
       end;
       (match call with
-       | None -> ()
-       | Some text ->
-         let req =
-           try Obs.Json.parse text
-           with Obs.Json.Parse_error msg -> die "--call: %s" msg
+       | [] -> ()
+       | texts ->
+         let reqs =
+           List.map
+             (fun text ->
+               try Obs.Json.parse text
+               with Obs.Json.Parse_error msg -> die "--call: %s" msg)
+             texts
          in
          (* The response — success or a structured error — is the
-            result; print it verbatim and let the caller inspect "ok". *)
-         print_endline
-           (Serve.Protocol.json_to_string (client_call ~socket ~timeout req)));
+            result; print each verbatim and let the caller inspect
+            "ok".  A batch of --call flags shares one connection, so
+            repeated calls amortize the connect and group under one
+            correlation id in the daemon's log. *)
+         (try
+            Serve.Client.with_session ~socket (fun session ->
+                List.iter
+                  (fun req ->
+                    print_endline
+                      (Serve.Protocol.json_to_string
+                         (Serve.Client.session_call ~timeout_s:timeout session
+                            req)))
+                  reqs)
+          with
+          | Unix.Unix_error (e, _, _) ->
+            die "cannot reach server at %s: %s" socket (Unix.error_message e)
+          | Serve.Protocol.Frame_error msg -> die "%s" msg
+          | Obs.Json.Parse_error msg -> die "malformed response: %s" msg));
       if scrape then begin
         let resp =
           client_call ~socket ~timeout
@@ -1232,6 +1262,7 @@ let serve_cmd =
     else begin
       if max_models < 1 then die "--max-models must be >= 1";
       if io_timeout <= 0.0 then die "--io-timeout must be > 0";
+      if max_conns < 1 then die "--max-conns must be >= 1";
       if read_timeout < 0.0 then die "--read-timeout must be >= 0";
       let read_timeout_s =
         if read_timeout = 0.0 then None else Some read_timeout
@@ -1254,8 +1285,13 @@ let serve_cmd =
          Format.eprintf "model preloaded from %s@." path);
       Format.eprintf "serving on %s (stop with `xenergy serve --socket %s \
                       --stop')@." socket socket;
-      (try Serve.Server.run ~io_timeout_s:io_timeout ~socket router
-       with Unix.Unix_error (e, _, _) ->
+      (try
+         Serve.Server.run ~io_timeout_s:io_timeout ~max_conns ~socket router
+       with
+       | Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+         die "a live daemon already answers on %s (stop it first, or \
+              pick another socket)" socket
+       | Unix.Unix_error (e, _, _) ->
          die "cannot serve on %s: %s" socket (Unix.error_message e));
       save_openmetrics openmetrics
     end
@@ -1267,9 +1303,10 @@ let serve_cmd =
              memory), or a client against one (--call/--scrape/--ping/
              --stop)")
     Term.(const run $ socket_arg $ max_models_arg $ cache_dir_arg
-          $ model_file_arg $ io_timeout_arg $ read_timeout_arg $ call_arg
-          $ scrape_arg $ ping_arg $ stop_arg $ wait_arg $ timeout_arg
-          $ backend_arg $ log_file_arg $ openmetrics_arg $ jobs_arg)
+          $ model_file_arg $ io_timeout_arg $ max_conns_arg
+          $ read_timeout_arg $ call_arg $ scrape_arg $ ping_arg $ stop_arg
+          $ wait_arg $ timeout_arg $ backend_arg $ log_file_arg
+          $ openmetrics_arg $ jobs_arg)
 
 (* --- rs ------------------------------------------------------------------ *)
 

@@ -1,19 +1,39 @@
-let call ?timeout_s ~socket req =
+type session = { s_fd : Unix.file_descr; mutable s_closed : bool }
+
+let connect ~socket =
+  (* A daemon dying under us must surface as EPIPE on the next call,
+     not kill the client process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      Unix.connect fd (Unix.ADDR_UNIX socket);
-      Protocol.write_frame fd (Protocol.json_to_string req);
-      let deadline =
-        Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
-      in
-      match Protocol.read_frame ?deadline fd with
-      | Some payload -> Obs.Json.parse payload
-      | None ->
-        raise
-          (Protocol.Frame_error
-             "server closed the connection without a response"))
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { s_fd = fd; s_closed = false }
+
+let close s =
+  if not s.s_closed then begin
+    s.s_closed <- true;
+    try Unix.close s.s_fd with Unix.Unix_error _ -> ()
+  end
+
+let session_call ?timeout_s s req =
+  if s.s_closed then invalid_arg "Client.session_call: session is closed";
+  Protocol.write_frame s.s_fd (Protocol.json_to_string req);
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s in
+  match Protocol.read_frame ?deadline s.s_fd with
+  | Some payload -> Obs.Json.parse payload
+  | None ->
+    raise
+      (Protocol.Frame_error "server closed the connection without a response")
+
+let with_session ~socket f =
+  let s = connect ~socket in
+  Fun.protect ~finally:(fun () -> close s) (fun () -> f s)
+
+let call ?timeout_s ~socket req =
+  with_session ~socket (fun s -> session_call ?timeout_s s req)
 
 let wait_ready ?(timeout_s = 10.0) ~socket () =
   let give_up = Unix.gettimeofday () +. timeout_s in

@@ -20,7 +20,12 @@ let rec read_exact ~deadline fd buf off len =
       match Unix.read fd buf off len with
       | 0 -> `Eof
       | n -> read_exact ~deadline fd buf (off + n) (len - n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      | exception
+          Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+        (* EAGAIN: a spurious readability wakeup on a non-blocking fd
+           (the server drives connections non-blocking so its write
+           deadlines are enforceable); go back to select. *)
         read_exact ~deadline fd buf off len
       | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Eof)
 
@@ -50,13 +55,32 @@ let read_frame ?deadline fd =
     | `Eof -> raise (Frame_error "truncated frame payload")
     | `Timeout -> raise (Frame_error "read timed out inside a frame payload"))
 
-let rec write_all fd buf off len =
-  if len > 0 then
-    match Unix.write fd buf off len with
-    | n -> write_all fd buf (off + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf off len
+(* Deadline-guarded writes, symmetric with [read_exact]: every chunk
+   waits for writability with [select] against the same absolute
+   deadline, so a peer that stops reading (a wedged or malicious
+   client with a full socket buffer) can never hang the writer.  With
+   no deadline the write simply blocks, as before. *)
+let rec write_all ~deadline fd buf off len =
+  if len > 0 then begin
+    let timeout =
+      match deadline with
+      | None -> -1.0 (* block *)
+      | Some d -> Float.max 0.0 (d -. Unix.gettimeofday ())
+    in
+    match Unix.select [] [ fd ] [] timeout with
+    | _, [], _ -> raise (Frame_error "write timed out inside a frame")
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      write_all ~deadline fd buf off len
+    | _, _ :: _, _ -> (
+      match Unix.write fd buf off len with
+      | n -> write_all ~deadline fd buf (off + n) (len - n)
+      | exception
+          Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+        write_all ~deadline fd buf off len)
+  end
 
-let write_frame fd payload =
+let write_frame ?deadline fd payload =
   let n = String.length payload in
   if n > max_frame_bytes then
     raise
@@ -69,7 +93,7 @@ let write_frame fd payload =
   Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
   Bytes.set b 3 (Char.chr (n land 0xff));
   Bytes.blit_string payload 0 b 4 n;
-  write_all fd b 0 (4 + n)
+  write_all ~deadline fd b 0 (4 + n)
 
 (* --- JSON printing -------------------------------------------------------- *)
 

@@ -20,10 +20,18 @@ exception Frame_error of string
 val max_frame_bytes : int
 (** Upper bound on a single frame's payload (16 MiB). *)
 
-val write_frame : Unix.file_descr -> string -> unit
+val write_frame : ?deadline:float -> Unix.file_descr -> string -> unit
 (** Write one frame (length prefix + payload), retrying interrupted
-    writes.
-    @raise Frame_error when the payload exceeds {!max_frame_bytes}.
+    writes.  [deadline] is an absolute [Unix.gettimeofday]-clock time:
+    every chunk is select-guarded against it, symmetric with
+    {!read_frame}'s read deadlines, so a peer that stops reading (its
+    socket buffer full) cannot wedge the writer.  For the deadline to
+    bound a single large [write] too, put the fd in non-blocking mode
+    ([Unix.set_nonblock]) — the writer retries [EAGAIN] through
+    [select]; the [xenergy serve] connection handler does exactly
+    this.  Without [deadline] the write blocks, as a CLI client wants.
+    @raise Frame_error when the payload exceeds {!max_frame_bytes} or
+    the deadline passes mid-frame.
     @raise Unix.Unix_error when the peer is gone (e.g. [EPIPE]). *)
 
 val read_frame : ?deadline:float -> Unix.file_descr -> string option

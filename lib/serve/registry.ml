@@ -46,6 +46,11 @@ type t = {
   characterize : Sim.Config.t -> Core.Template.model;
   table : (string, Core.Template.model) Hashtbl.t;
   index : Core.Cache_index.t;   (* LRU bookkeeping: m_size = 1 per model *)
+  lock : Mutex.t;               (* guards table/index/counters/inflight *)
+  cond : Condition.t;           (* broadcast when a characterization lands *)
+  inflight : (string, unit) Hashtbl.t;
+  (* config hashes being characterized right now: a second thread
+     asking for one of these waits instead of double-characterizing *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -70,6 +75,9 @@ let create ?(max_models = 4) ?jobs ?characterize () =
     characterize;
     table = Hashtbl.create 8;
     index = Core.Cache_index.create ();
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    inflight = Hashtbl.create 4;
     hits = 0;
     misses = 0;
     evictions = 0 }
@@ -100,36 +108,81 @@ let evict_over_bound t =
     plan;
   publish_residency t
 
+(* Characterization runs with the lock released (it is the multi-second
+   step the daemon exists to amortize — holding the lock across it
+   would serialize the whole registry, not just this config).  The
+   [inflight] marker is what makes the flight single *per config*:
+   racers on the same hash wait on [cond]; lookups of other configs
+   take the lock briefly and proceed — including starting their own
+   characterizations in parallel. *)
 let get t config =
   let key = key_of_config config in
-  match Hashtbl.find_opt t.table key with
-  | Some model ->
-    t.hits <- t.hits + 1;
-    Obs.Metrics.inc (Lazy.force M.hits);
-    touch t key;
-    { l_key = key; l_model = model; l_hit = true }
-  | None ->
-    t.misses <- t.misses + 1;
-    Obs.Metrics.inc (Lazy.force M.misses);
-    Obs.Log.event "serve:characterize" [ ("key", Obs.Trace.S key) ];
-    let t0 = Unix.gettimeofday () in
-    let model = t.characterize config in
-    Obs.Metrics.observe
-      (Lazy.force M.characterize_seconds)
-      (Unix.gettimeofday () -. t0);
-    Hashtbl.replace t.table key model;
-    touch t key;
-    evict_over_bound t;
-    { l_key = key; l_model = model; l_hit = false }
+  Mutex.lock t.lock;
+  let rec obtain () =
+    match Hashtbl.find_opt t.table key with
+    | Some model ->
+      t.hits <- t.hits + 1;
+      touch t key;
+      Mutex.unlock t.lock;
+      Obs.Metrics.inc (Lazy.force M.hits);
+      { l_key = key; l_model = model; l_hit = true }
+    | None ->
+      if Hashtbl.mem t.inflight key then begin
+        (* Another connection is characterizing this very config; wait
+           for its model rather than running a duplicate flight.  The
+           woken lookup counts as a hit: no characterization of its
+           own ran. *)
+        Condition.wait t.cond t.lock;
+        obtain ()
+      end
+      else begin
+        Hashtbl.add t.inflight key ();
+        t.misses <- t.misses + 1;
+        Mutex.unlock t.lock;
+        Obs.Metrics.inc (Lazy.force M.misses);
+        Obs.Log.event "serve:characterize" [ ("key", Obs.Trace.S key) ];
+        let t0 = Unix.gettimeofday () in
+        let model =
+          try t.characterize config
+          with e ->
+            (* Waiters must not sleep forever on a failed flight: clear
+               the marker and let them retry (and fail) for themselves. *)
+            Mutex.lock t.lock;
+            Hashtbl.remove t.inflight key;
+            Condition.broadcast t.cond;
+            Mutex.unlock t.lock;
+            raise e
+        in
+        Obs.Metrics.observe
+          (Lazy.force M.characterize_seconds)
+          (Unix.gettimeofday () -. t0);
+        Mutex.lock t.lock;
+        Hashtbl.replace t.table key model;
+        Hashtbl.remove t.inflight key;
+        touch t key;
+        evict_over_bound t;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.lock;
+        { l_key = key; l_model = model; l_hit = false }
+      end
+  in
+  obtain ()
 
 let preload t config model =
   let key = key_of_config config in
+  Mutex.lock t.lock;
   Hashtbl.replace t.table key model;
   touch t key;
-  evict_over_bound t
+  evict_over_bound t;
+  Mutex.unlock t.lock
 
 let stats t =
-  { r_models = Hashtbl.length t.table;
-    r_hits = t.hits;
-    r_misses = t.misses;
-    r_evictions = t.evictions }
+  Mutex.lock t.lock;
+  let s =
+    { r_models = Hashtbl.length t.table;
+      r_hits = t.hits;
+      r_misses = t.misses;
+      r_evictions = t.evictions }
+  in
+  Mutex.unlock t.lock;
+  s

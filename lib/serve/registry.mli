@@ -10,6 +10,16 @@
     the same {!Core.Cache_index.plan_eviction} machinery that bounds the
     on-disk evaluation cache.
 
+    The registry is safe under the concurrent server: an internal lock
+    guards the resident table, LRU index and counters, and
+    characterization is single-flight {e per config hash} — a lookup
+    racing a characterization of the same configuration waits for that
+    flight's model (and counts as a hit, since it ran no flight of its
+    own), while lookups of other configurations proceed immediately,
+    including launching their own characterizations in parallel.  The
+    expensive characterization itself runs with the lock released, so
+    one cold configuration never serializes the rest of the daemon.
+
     Every lookup is counted in the {!Obs.Metrics} registry
     ([serve_registry_hits_total], [serve_registry_misses_total],
     [serve_registry_evictions_total], with the resident count as the

@@ -28,14 +28,31 @@ end
 type t = {
   r_registry : Registry.t;
   r_cache : Core.Eval_cache.t;
+  r_cache_lock : Mutex.t;
+  (* The eval cache's in-memory table is not safe under concurrent
+     mutation; every parent-side find/store/flush — including whole
+     [Core.Audit.run]/[Core.Explore.evaluate] calls, which thread the
+     cache through themselves — holds this lock.  Simulation inside
+     those calls happens in forked workers, so the lock serializes
+     bookkeeping, not compute. *)
   r_pool :
     (string * string * Sim.Config.t, Core.Eval_cache.entry) Core.Parallel.pool;
+  r_pool_lock : Mutex.t;
+  (* One batch at a time on the persistent pool: its request/response
+     pipes are shared state, and the workers are the same processes
+     either way — interleaving batches would corrupt framing without
+     adding parallelism. *)
+  r_state_lock : Mutex.t;        (* r_requests/r_shut *)
   r_jobs : int option;
   r_started : float;
   mutable r_requests : int;
   mutable r_stop : bool;
   mutable r_shut : bool;
 }
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 (* The pool function is fixed at fork time, so it takes everything a
    batch item needs — workload name, simulation backend and
@@ -59,10 +76,24 @@ let profile_entry (name, backend, config) =
     e_stall_cycles = p.Core.Extract.stall_cycles;
     e_measured_pj = None }
 
+let known_ops =
+  [ "ping"; "estimate"; "attribute"; "profile"; "audit"; "explore"; "metrics";
+    "stats"; "shutdown"; "invalid" ]
+
 let create ?max_models ?jobs ?read_timeout_s ?cache_dir ?characterize () =
+  (* Register every metric family this router will ever touch now,
+     while the process is still single-threaded: the metrics registry's
+     own table is then only read (never resized) by concurrent
+     connection threads. *)
+  List.iter (fun op -> ignore (M.requests op)) known_ops;
+  ignore (Lazy.force M.errors);
+  ignore (Lazy.force M.request_seconds);
   { r_registry = Registry.create ?max_models ?jobs ?characterize ();
     r_cache = Core.Eval_cache.create ?dir:cache_dir ();
+    r_cache_lock = Mutex.create ();
     r_pool = Core.Parallel.create_pool ?jobs ?read_timeout_s profile_entry;
+    r_pool_lock = Mutex.create ();
+    r_state_lock = Mutex.create ();
     r_jobs = jobs;
     r_started = Unix.gettimeofday ();
     r_requests = 0;
@@ -73,10 +104,15 @@ let registry t = t.r_registry
 let stopped t = t.r_stop
 
 let shutdown t =
-  if not t.r_shut then begin
-    t.r_shut <- true;
-    Core.Eval_cache.flush t.r_cache;
-    Core.Parallel.shutdown_pool t.r_pool
+  let first =
+    locked t.r_state_lock (fun () ->
+        let first = not t.r_shut in
+        t.r_shut <- true;
+        first)
+  in
+  if first then begin
+    locked t.r_cache_lock (fun () -> Core.Eval_cache.flush t.r_cache);
+    locked t.r_pool_lock (fun () -> Core.Parallel.shutdown_pool t.r_pool)
   end
 
 (* --- Request plumbing ----------------------------------------------------- *)
@@ -188,11 +224,14 @@ let handle_estimate t req =
   let lookup = Registry.get t.r_registry config in
   let model = lookup.Registry.l_model in
   let found =
-    List.map
-      (fun n ->
-        let key = Core.Eval_cache.key ~backend:bname ~config (find_case n) in
-        (n, key, Core.Eval_cache.find t.r_cache key))
-      names
+    locked t.r_cache_lock (fun () ->
+        List.map
+          (fun n ->
+            let key =
+              Core.Eval_cache.key ~backend:bname ~config (find_case n)
+            in
+            (n, key, Core.Eval_cache.find t.r_cache key))
+          names)
   in
   let missing =
     List.filter_map
@@ -202,15 +241,17 @@ let handle_estimate t req =
   let computed =
     if missing = [] then []
     else
-      Core.Parallel.pool_map t.r_pool
-        (List.map (fun (n, _) -> (n, bname, config)) missing)
+      locked t.r_pool_lock (fun () ->
+          Core.Parallel.pool_map t.r_pool
+            (List.map (fun (n, _) -> (n, bname, config)) missing))
   in
   let fresh = Hashtbl.create 8 in
-  List.iter2
-    (fun (n, key) entry ->
-      Core.Eval_cache.store t.r_cache key entry;
-      Hashtbl.replace fresh n entry)
-    missing computed;
+  locked t.r_cache_lock (fun () ->
+      List.iter2
+        (fun (n, key) entry ->
+          Core.Eval_cache.store t.r_cache key entry;
+          Hashtbl.replace fresh n entry)
+        missing computed);
   let row (n, _, cached) =
     let entry, was_cached =
       match cached with
@@ -300,7 +341,10 @@ let handle_audit t req =
   let lookup = Registry.get t.r_registry config in
   let report =
     (* Audit forks its own short-lived workers inside this scope, so
-       they inherit the request's backend. *)
+       they inherit the request's backend.  It also threads the shared
+       cache through itself, so the whole run holds the cache lock —
+       simulation still parallelizes in its forked workers. *)
+    locked t.r_cache_lock @@ fun () ->
     Sim.Backend.with_current backend @@ fun () ->
     Core.Audit.run ?jobs:t.r_jobs ~cache:t.r_cache ~config
       lookup.Registry.l_model cases
@@ -312,6 +356,100 @@ let handle_audit t req =
       ("registry_hit", J.Bool lookup.Registry.l_hit);
       ("backend", J.Str (Sim.Backend.name backend));
       ("audit", J.parse (Core.Audit.to_json report)) ]
+
+(* Sweep a named candidate space against the live registry: each
+   distinct base-core configuration's model comes from {!Registry.get}
+   (characterized at most once, single-flight, LRU-touched like any
+   other request), each candidate's variable vector from the shared
+   eval cache via {!Core.Explore.evaluate} — a warm sweep runs zero
+   simulations.  The Pareto frontier is computed over the union of all
+   configuration groups, exactly as [xenergy explore] would over the
+   same space. *)
+let handle_explore t req =
+  let space = str_field ~op:"explore" "space" req in
+  let gen =
+    match Workloads.Spaces.find space with
+    | Some g -> g
+    | None ->
+      failwith
+        (Printf.sprintf "explore: unknown space %S (one of: %s)" space
+           (String.concat ", " Workloads.Spaces.names))
+  in
+  let backend = request_backend ~op:"explore" req in
+  let candidates = gen () in
+  let t0 = Unix.gettimeofday () in
+  (* Group candidates by configuration hash, preserving first-seen
+     group order and in-group candidate order. *)
+  let groups = ref [] in
+  List.iter
+    (fun (c : Core.Explore.candidate) ->
+      let key = Registry.key_of_config c.Core.Explore.config in
+      match List.assoc_opt key !groups with
+      | Some cell -> cell := c :: !cell
+      | None -> groups := !groups @ [ (key, ref [ c ]) ])
+    candidates;
+  let registry_hits = ref 0 in
+  let outcomes =
+    List.map
+      (fun (_, cell) ->
+        let cs = List.rev !cell in
+        let config = (List.hd cs).Core.Explore.config in
+        let lookup = Registry.get t.r_registry config in
+        if lookup.Registry.l_hit then incr registry_hits;
+        locked t.r_cache_lock @@ fun () ->
+        Sim.Backend.with_current backend @@ fun () ->
+        Core.Explore.evaluate ?jobs:t.r_jobs ~cache:t.r_cache
+          lookup.Registry.l_model cs)
+      !groups
+  in
+  let points = List.concat_map (fun o -> o.Core.Explore.points) outcomes in
+  (* Back to the space's candidate order, then one frontier over the
+     whole space (per-group frontiers would miss cross-config
+     domination). *)
+  let points =
+    List.map
+      (fun (c : Core.Explore.candidate) ->
+        List.find
+          (fun (p : Core.Explore.point) ->
+            p.Core.Explore.pt_name = c.Core.Explore.cand_name)
+          points)
+      candidates
+  in
+  let frontier = Core.Explore.pareto points in
+  let on_frontier name =
+    List.exists (fun (p : Core.Explore.point) -> p.Core.Explore.pt_name = name)
+      frontier
+  in
+  let row (p : Core.Explore.point) =
+    J.Obj
+      [ ("name", J.Str p.Core.Explore.pt_name);
+        ("energy_pj", J.Num p.Core.Explore.pt_energy_pj);
+        ("energy_uj", J.Num p.Core.Explore.pt_energy_uj);
+        ("cycles", J.Num (float_of_int p.Core.Explore.pt_cycles));
+        ( "instructions",
+          J.Num (float_of_int p.Core.Explore.pt_instructions) );
+        ("cached", J.Bool p.Core.Explore.pt_cached);
+        ("frontier", J.Bool (on_frontier p.Core.Explore.pt_name)) ]
+  in
+  let simulations =
+    List.fold_left (fun a o -> a + o.Core.Explore.simulations) 0 outcomes
+  in
+  J.Obj
+    [ ("ok", J.Bool true);
+      ("op", J.Str "explore");
+      ("space", J.Str space);
+      ("backend", J.Str (Sim.Backend.name backend));
+      ("candidates", J.Num (float_of_int (List.length candidates)));
+      ("configs", J.Num (float_of_int (List.length !groups)));
+      ("registry_hits", J.Num (float_of_int !registry_hits));
+      ("simulations", J.Num (float_of_int simulations));
+      ("wall_seconds", J.Num (Unix.gettimeofday () -. t0));
+      ("points", J.Arr (List.map row points));
+      ( "frontier",
+        J.Arr
+          (List.map
+             (fun (p : Core.Explore.point) -> J.Str p.Core.Explore.pt_name)
+             frontier) ) ]
 
 let handle_stats t =
   let rs = Registry.stats t.r_registry in
@@ -345,6 +483,7 @@ let dispatch t op req =
   | "attribute" -> handle_attribute t req
   | "profile" -> handle_profile t req
   | "audit" -> handle_audit t req
+  | "explore" -> handle_explore t req
   | "metrics" ->
     J.Obj
       [ ("ok", J.Bool true);
@@ -358,7 +497,7 @@ let dispatch t op req =
   | op -> failwith (Printf.sprintf "unknown op %S" op)
 
 let handle t req =
-  t.r_requests <- t.r_requests + 1;
+  locked t.r_state_lock (fun () -> t.r_requests <- t.r_requests + 1);
   let t0 = Unix.gettimeofday () in
   let op =
     match member_opt "op" req with Some (J.Str s) -> s | Some _ | None -> ""

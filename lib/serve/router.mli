@@ -30,6 +30,17 @@
       {...}?}]: macro-model vs reference accuracy report
       ({!Core.Audit.to_json}) over the named workloads (default: the
       Table II applications), memoized through the shared cache.
+    - [explore] — [{"op": "explore", "space": NAME, "backend": NAME?}]:
+      sweep a named candidate space ({!Workloads.Spaces.find}: ["rs"],
+      ["rs-cache"], ["mac-widths"]) against the live registry.  Each
+      distinct base-core configuration's model comes from the
+      {!Registry} (characterized at most once, shared with every other
+      op), each candidate's variable vector from the shared
+      {!Core.Eval_cache} via {!Core.Explore.evaluate} — a warm sweep
+      answers without a single simulation.  The response carries one
+      row per candidate (energy, cycles, ["cached"], ["frontier"]
+      membership) plus the Pareto ["frontier"] names over the whole
+      space and the sweep counters.
     - [metrics] — the live registry as an OpenMetrics text exposition
       ({!Obs.Export.to_openmetrics}) in the ["exposition"] field; this
       is the daemon's [/metrics] endpoint.
@@ -53,7 +64,15 @@
     via {!Sim.Backend.with_current} — including inside pool workers,
     which receive it with each batch item — and is echoed back in the
     response.  Cache entries are keyed by backend, so answers always
-    record what the named substrate actually computed. *)
+    record what the named substrate actually computed.
+
+    The router is safe under the concurrent {!Server}: the registry
+    locks itself (characterization single-flight per config hash), the
+    shared evaluation cache's parent-side bookkeeping and the
+    persistent pool's batches are serialized internally, and the
+    per-request backend override is scoped to the handling thread.
+    Requests against different configurations — and any number of warm
+    requests — proceed in parallel. *)
 
 type t
 

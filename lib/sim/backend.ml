@@ -19,13 +19,41 @@ let of_string s =
   | _ -> None
 
 let current_ref = ref Interp
-let current () = !current_ref
+
+(* Scoped overrides live per scope key (default: the constant 0, one
+   process-wide scope).  A threaded embedder (the serve daemon)
+   installs the thread id as the key so concurrent requests carrying
+   different per-request backends cannot clobber each other's
+   selection mid-simulation.  The store is an immutable assoc list
+   behind one ref — readers never see a half-updated structure, and
+   each key has exactly one writer (its own thread). *)
+let scope_key = ref (fun () -> 0)
+let set_scope_key f = scope_key := f
+
+let overrides : (int * t) list ref = ref []
+
+let current () =
+  match !overrides with
+  | [] -> !current_ref (* the common, override-free fast path *)
+  | l -> (
+    match List.assoc_opt (!scope_key ()) l with
+    | Some b -> b
+    | None -> !current_ref)
+
 let set_current b = current_ref := b
 
 let with_current b f =
-  let prev = !current_ref in
-  current_ref := b;
-  Fun.protect ~finally:(fun () -> current_ref := prev) f
+  let k = !scope_key () in
+  let saved = List.assoc_opt k !overrides in
+  let without l = List.filter (fun (k', _) -> k' <> k) l in
+  overrides := (k, b) :: without !overrides;
+  Fun.protect
+    ~finally:(fun () ->
+      overrides :=
+        (match saved with
+         | Some prev -> (k, prev) :: without !overrides
+         | None -> without !overrides))
+    f
 
 let env_var = "XENERGY_BACKEND"
 

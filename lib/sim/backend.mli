@@ -36,14 +36,27 @@ val of_string : string -> t option
 (** Case-insensitive; accepts ["interpreter"] for [Interp]. *)
 
 val current : unit -> t
-(** The process-wide default backend (initially [Interp]). *)
+(** The current scope's backend: an active {!with_current} override if
+    one is set, otherwise the process-wide default (initially
+    [Interp]). *)
 
 val set_current : t -> unit
+(** Replace the process-wide default. *)
 
 val with_current : t -> (unit -> 'a) -> 'a
-(** Run a thunk with the default temporarily replaced (restored on
-    return or exception); the serve daemon uses it to honour a
-    per-request backend without disturbing the process default. *)
+(** Run a thunk with the current scope's backend temporarily replaced
+    (restored on return or exception); the serve daemon uses it to
+    honour a per-request backend without disturbing the process
+    default. *)
+
+val set_scope_key : (unit -> int) -> unit
+(** Name the current override scope (default [fun () -> 0]: one
+    process-wide scope).  A server handling connections on threads
+    installs [fun () -> Thread.id (Thread.self ())] once at startup,
+    after which each connection thread's {!with_current} override is
+    private to it — two concurrent requests naming different backends
+    simulate on different substrates, as each asked.  Forked workers
+    inherit the key and the forking thread's override. *)
 
 val env_var : string
 (** ["XENERGY_BACKEND"]. *)

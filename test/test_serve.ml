@@ -1,9 +1,11 @@
 (* The serving stack, bottom-up: the length-prefixed frame codec (and
-   its deadline/oversize/truncation refusals), the JSON printer
-   round-trip, the model registry's hit/characterize/evict lifecycle,
-   and a forked end-to-end daemon exercised through the real client —
-   including the structural single-flight guarantee under concurrent
-   clients and the /metrics scrape. *)
+   its deadline/oversize/truncation refusals in both directions), the
+   JSON printer round-trip, the model registry's
+   hit/characterize/evict lifecycle, the router's ops in process, and
+   a forked end-to-end daemon exercised through the real client —
+   including the concurrency contract: overlapping connections,
+   per-config single-flight characterization, wedged/half-closed/
+   hanging-up clients, socket-steal refusal and the /metrics scrape. *)
 
 let check = Alcotest.check
 
@@ -69,6 +71,23 @@ let test_frame_read_deadline () =
    | _ -> Alcotest.fail "deadline did not fire");
   let dt = Unix.gettimeofday () -. t0 in
   check Alcotest.bool "fired promptly" true (dt >= 0.15 && dt < 2.0);
+  Unix.close a;
+  Unix.close b
+
+let test_frame_write_deadline () =
+  (* The write side is symmetric with the read side: a peer that stops
+     draining cannot hold a writer past its deadline.  The writer must
+     be non-blocking for the deadline to bound a single large write. *)
+  let a, b = socketpair () in
+  Unix.set_nonblock a;
+  let big = String.make (4 * 1024 * 1024) 'x' in
+  let t0 = Unix.gettimeofday () in
+  (match Serve.Protocol.write_frame ~deadline:(t0 +. 0.3) a big with
+   | exception Serve.Protocol.Frame_error msg ->
+     check Alcotest.bool "write timeout named" true (contains msg "timed out")
+   | () -> Alcotest.fail "unread 4 MiB frame did not hit the write deadline");
+  let dt = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool "fired promptly" true (dt >= 0.25 && dt < 2.0);
   Unix.close a;
   Unix.close b
 
@@ -239,6 +258,70 @@ let test_router_profile_op () =
   check Alcotest.bool "router still alive" true
     (as_bool (member "ok" (call (J.Obj [ ("op", J.Str "ping") ]))))
 
+let test_router_explore_op () =
+  with_router @@ fun router ->
+  let call req = Serve.Router.handle router req in
+  let explore = J.Obj [ ("op", J.Str "explore"); ("space", J.Str "rs") ] in
+  let resp = call explore in
+  check Alcotest.bool "explore ok" true (as_bool (member "ok" resp));
+  check Alcotest.int "four candidates" 4 (as_int (member "candidates" resp));
+  check Alcotest.int "one configuration" 1 (as_int (member "configs" resp));
+  check Alcotest.int "cold sweep misses the registry" 0
+    (as_int (member "registry_hits" resp));
+  check Alcotest.bool "cold sweep simulated" true
+    (as_int (member "simulations" resp) > 0);
+  let points resp =
+    match member "points" resp with
+    | J.Arr l -> l
+    | _ -> Alcotest.fail "points is not an array"
+  in
+  check Alcotest.int "one row per candidate" 4 (List.length (points resp));
+  let frontier =
+    match member "frontier" resp with
+    | J.Arr l ->
+      List.map
+        (function J.Str s -> s | _ -> Alcotest.fail "frontier entry not a name")
+        l
+    | _ -> Alcotest.fail "frontier is not an array"
+  in
+  check Alcotest.bool "frontier non-empty" true (frontier <> []);
+  (* The per-row frontier flag and the frontier name list agree. *)
+  List.iter
+    (fun p ->
+      let name =
+        match member "name" p with
+        | J.Str s -> s
+        | _ -> Alcotest.fail "point lacks a name"
+      in
+      check Alcotest.bool (name ^ " frontier flag agrees")
+        (List.mem name frontier)
+        (as_bool (member "frontier" p)))
+    (points resp);
+  (* Warm sweep: same space answers from the registry and the shared
+     evaluation cache without a single simulation. *)
+  let resp2 = call explore in
+  check Alcotest.int "warm sweep runs zero simulations" 0
+    (as_int (member "simulations" resp2));
+  check Alcotest.int "warm sweep hits the registry" 1
+    (as_int (member "registry_hits" resp2));
+  List.iter
+    (fun p ->
+      check Alcotest.bool "warm row served from cache" true
+        (as_bool (member "cached" p)))
+    (points resp2);
+  (* Refusals name the valid spaces and never kill the router. *)
+  let bad = call (J.Obj [ ("op", J.Str "explore"); ("space", J.Str "nosuch") ]) in
+  check Alcotest.bool "unknown space refused" false (as_bool (member "ok" bad));
+  (match member "error" bad with
+   | J.Str msg ->
+     check Alcotest.bool "error lists the valid spaces" true
+       (contains msg "rs-cache")
+   | _ -> Alcotest.fail "error is not a string");
+  check Alcotest.bool "missing space refused" false
+    (as_bool (member "ok" (call (J.Obj [ ("op", J.Str "explore") ]))));
+  check Alcotest.bool "router still alive" true
+    (as_bool (member "ok" (call (J.Obj [ ("op", J.Str "ping") ]))))
+
 let test_request_seconds_buckets () =
   (* The request-latency histogram must use latency-shaped bounds: the
      scrape carries sub-millisecond buckets, cumulative counts are
@@ -302,10 +385,16 @@ let scratch_socket name =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "xenergy_%s.%d.sock" name (Unix.getpid ()))
 
+let wait_exit pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED c -> c
+  | _ -> 255
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> 255
+
 (* Fork a daemon around a stub-characterized router (the stub sleeps so
    concurrent cold requests genuinely overlap) and drive it through the
    real client. *)
-let with_server ~max_models f =
+let with_server ?(char_sleep = 0.3) ~max_models f =
   let socket = scratch_socket "serve_test" in
   (try Sys.remove socket with Sys_error _ -> ());
   flush stdout;
@@ -315,7 +404,7 @@ let with_server ~max_models f =
     (try
        let router =
          Serve.Router.create ~max_models ~jobs:2 ~read_timeout_s:30.0
-           ~characterize:(fun _ -> Unix.sleepf 0.3; stub_model)
+           ~characterize:(fun _ -> Unix.sleepf char_sleep; stub_model)
            ()
        in
        Serve.Server.run ~io_timeout_s:5.0 ~socket router
@@ -340,6 +429,23 @@ let estimate_req =
   J.Obj
     [ ("op", J.Str "estimate");
       ("workloads", J.Arr [ J.Str "gcd"; J.Str "des" ]) ]
+
+let ping_req = J.Obj [ ("op", J.Str "ping") ]
+
+(* Fork a child that makes one client call and exits 0 iff it was
+   answered ok. *)
+let fork_client ~socket req =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    let ok =
+      match Serve.Client.call ~timeout_s:30.0 ~socket req with
+      | resp -> ( try as_bool (member "ok" resp) with _ -> false)
+      | exception _ -> false
+    in
+    Unix._exit (if ok then 0 else 1)
+  | pid -> pid
 
 let test_server_cold_warm_and_metrics () =
   with_server ~max_models:1 @@ fun socket ->
@@ -390,7 +496,10 @@ let test_server_cold_warm_and_metrics () =
         (contains scrape needle))
     [ "serve_registry_models 1"; "serve_registry_evictions_total 1";
       "serve_registry_hits_total"; "serve_requests_total";
-      "eval_cache_hits_total" ];
+      "eval_cache_hits_total"; "serve_connections_total";
+      "serve_active_connections";
+      "serve_accept_errors_total{reason=\"aborted\"} 0";
+      "serve_accept_errors_total{reason=\"fd-exhausted\"} 0" ];
   check Alcotest.bool "exposition terminated" true
     (Filename.check_suffix scrape "# EOF\n");
   (* Malformed traffic gets an error response, not a dead daemon. *)
@@ -405,32 +514,15 @@ let test_server_cold_warm_and_metrics () =
 let test_server_single_flight () =
   with_server ~max_models:2 @@ fun socket ->
   (* Two clients race to the same uncharacterized configuration (the
-     stub characterization sleeps 0.3 s, so both are in flight before
-     the first model exists).  The sequential accept loop makes the
-     second request wait for the first: exactly one characterization. *)
-  let client () =
-    flush stdout;
-    flush stderr;
-    match Unix.fork () with
-    | 0 ->
-      let ok =
-        match Serve.Client.call ~timeout_s:30.0 ~socket estimate_req with
-        | resp -> ( try as_bool (member "ok" resp) with _ -> false)
-        | exception _ -> false
-      in
-      Unix._exit (if ok then 0 else 1)
-    | pid -> pid
-  in
-  let c1 = client () in
-  let c2 = client () in
-  let status pid =
-    match Unix.waitpid [] pid with
-    | _, Unix.WEXITED c -> c
-    | _ -> 255
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> 255
-  in
-  check Alcotest.int "first client succeeded" 0 (status c1);
-  check Alcotest.int "second client succeeded" 0 (status c2);
+     stub characterization sleeps 0.3 s, so both are served
+     concurrently before the first model exists).  The registry's
+     per-config single-flight makes the second request wait for the
+     first's result: exactly one characterization, and the waiter
+     counts as a hit. *)
+  let c1 = fork_client ~socket estimate_req in
+  let c2 = fork_client ~socket estimate_req in
+  check Alcotest.int "first client succeeded" 0 (wait_exit c1);
+  check Alcotest.int "second client succeeded" 0 (wait_exit c2);
   let stats =
     Serve.Client.call ~timeout_s:10.0 ~socket (J.Obj [ ("op", J.Str "stats") ])
   in
@@ -438,6 +530,205 @@ let test_server_single_flight () =
     (as_int (member "registry_misses" stats));
   check Alcotest.bool "the other request was a registry hit" true
     (as_int (member "registry_hits" stats) >= 1)
+
+let test_server_concurrent_overlap () =
+  (* The tentpole guarantee: a slow cold characterization on one
+     connection must not block a ping on another.  The cold client is
+     provably still in flight when the ping comes back. *)
+  with_server ~char_sleep:0.8 ~max_models:2 @@ fun socket ->
+  let cold = fork_client ~socket estimate_req in
+  Unix.sleepf 0.15 (* let the cold request reach the registry *);
+  let t0 = Unix.gettimeofday () in
+  let ping = Serve.Client.call ~timeout_s:5.0 ~socket ping_req in
+  let dt = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool "ping ok" true (as_bool (member "ok" ping));
+  check Alcotest.bool "ping answered while characterization in flight" true
+    (dt < 0.4);
+  check Alcotest.bool "cold client genuinely still waiting" true
+    (fst (Unix.waitpid [ Unix.WNOHANG ] cold) = 0);
+  check Alcotest.int "cold client eventually succeeded" 0 (wait_exit cold)
+
+let test_server_parallel_configs () =
+  (* Single-flight is per config hash, not global: clients naming
+     different configurations characterize in parallel.  Two 0.8 s
+     characterizations complete in well under the 1.6 s a serialized
+     registry would need. *)
+  with_server ~char_sleep:0.8 ~max_models:2 @@ fun socket ->
+  let gcd_req config =
+    J.Obj
+      (( [ ("op", J.Str "estimate"); ("workloads", J.Arr [ J.Str "gcd" ]) ]
+       @ config ))
+  in
+  let t0 = Unix.gettimeofday () in
+  let c1 = fork_client ~socket (gcd_req []) in
+  let c2 =
+    fork_client ~socket
+      (gcd_req [ ("config", J.Obj [ ("icache_ways", J.Num 2.0) ]) ])
+  in
+  check Alcotest.int "default-config client succeeded" 0 (wait_exit c1);
+  check Alcotest.int "other-config client succeeded" 0 (wait_exit c2);
+  let dt = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool "characterizations overlapped" true (dt < 1.5);
+  let stats =
+    Serve.Client.call ~timeout_s:10.0 ~socket (J.Obj [ ("op", J.Str "stats") ])
+  in
+  check Alcotest.int "two characterizations" 2
+    (as_int (member "registry_misses" stats))
+
+let test_server_wedged_client_liveness () =
+  (* The acceptance criterion: with a client wedged mid-frame on one
+     connection, other clients' pings and warm estimates still answer
+     within their deadlines. *)
+  with_server ~max_models:1 @@ fun socket ->
+  let call req = Serve.Client.call ~timeout_s:30.0 ~socket req in
+  check Alcotest.bool "warm-up ok" true (as_bool (member "ok" (call estimate_req)));
+  let wedged = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect wedged (Unix.ADDR_UNIX socket);
+  (* Two header bytes, then silence: the daemon's reader is now parked
+     mid-frame on this connection. *)
+  ignore (Unix.write_substring wedged "\x00\x00" 0 2);
+  Fun.protect
+    ~finally:(fun () -> try Unix.close wedged with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let ping = Serve.Client.call ~timeout_s:2.0 ~socket ping_req in
+  check Alcotest.bool "ping ok behind a wedged client" true
+    (as_bool (member "ok" ping));
+  let warm = Serve.Client.call ~timeout_s:2.0 ~socket estimate_req in
+  check Alcotest.bool "warm estimate ok behind a wedged client" true
+    (as_bool (member "ok" warm));
+  check Alcotest.bool "estimate stayed warm" true
+    (as_bool (member "registry_hit" warm));
+  check Alcotest.bool "both answered within their deadlines" true
+    (Unix.gettimeofday () -. t0 < 2.0)
+
+let test_server_hangup_mid_response () =
+  (* Clients that send a request and hang up without reading: the
+     daemon's answer lands on a closed socket (EPIPE).  With SIGPIPE
+     ignored that is a per-connection warning, not daemon death. *)
+  with_server ~max_models:1 @@ fun socket ->
+  let call req = Serve.Client.call ~timeout_s:30.0 ~socket req in
+  check Alcotest.bool "warm-up ok" true (as_bool (member "ok" (call estimate_req)));
+  for _ = 1 to 3 do
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    Serve.Protocol.write_frame fd (Serve.Protocol.json_to_string estimate_req);
+    Unix.close fd
+  done;
+  Unix.sleepf 0.2;
+  check Alcotest.bool "daemon survived mid-response hangups" true
+    (as_bool (member "ok" (call ping_req)))
+
+let test_server_half_close () =
+  (* A client that shuts down its write side after the request must
+     still get its answer — half-close is how one-shot scripted
+     clients signal "that was everything". *)
+  with_server ~max_models:1 @@ fun socket ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Serve.Protocol.write_frame fd (Serve.Protocol.json_to_string ping_req);
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  (match Serve.Protocol.read_frame ~deadline:(Unix.gettimeofday () +. 5.0) fd with
+   | Some payload ->
+     check Alcotest.bool "half-closed ping answered" true
+       (as_bool (member "ok" (J.parse payload)))
+   | None -> Alcotest.fail "no response after half-close");
+  (* After the answer the daemon sees our EOF and closes cleanly. *)
+  check
+    Alcotest.(option string)
+    "clean EOF after the answer" None
+    (Serve.Protocol.read_frame ~deadline:(Unix.gettimeofday () +. 5.0) fd);
+  Unix.close fd;
+  check Alcotest.bool "daemon still alive" true
+    (as_bool
+       (member "ok" (Serve.Client.call ~timeout_s:5.0 ~socket ping_req)))
+
+let test_client_session_reuse () =
+  (* One connected session carries many calls; the daemon counts them
+     all, so a batch observably amortizes the connect. *)
+  with_server ~max_models:1 @@ fun socket ->
+  Serve.Client.with_session ~socket @@ fun s ->
+  let stats_req = J.Obj [ ("op", J.Str "stats") ] in
+  let scall req = Serve.Client.session_call ~timeout_s:5.0 s req in
+  check Alcotest.bool "first call ok" true (as_bool (member "ok" (scall ping_req)));
+  let n1 = as_int (member "requests" (scall stats_req)) in
+  check Alcotest.bool "third call ok on the same connection" true
+    (as_bool (member "ok" (scall ping_req)));
+  let n2 = as_int (member "requests" (scall stats_req)) in
+  check Alcotest.int "every call counted on one connection" 2 (n2 - n1)
+
+let test_server_socket_steal_refused () =
+  (* A second daemon pointed at a live daemon's socket must refuse to
+     start — and must not unlink the live socket on its way out. *)
+  with_server ~max_models:1 @@ fun socket ->
+  flush stdout;
+  flush stderr;
+  (match Unix.fork () with
+   | 0 ->
+     let code =
+       try
+         let router =
+           Serve.Router.create ~max_models:1 ~jobs:2
+             ~characterize:(fun _ -> stub_model)
+             ()
+         in
+         let c =
+           try
+             Serve.Server.run ~io_timeout_s:5.0 ~socket router;
+             3
+           with
+           | Unix.Unix_error (Unix.EADDRINUSE, _, _) -> 42
+           | _ -> 4
+         in
+         Serve.Router.shutdown router;
+         c
+       with _ -> 5
+     in
+     Unix._exit code
+   | pid ->
+     check Alcotest.int "second daemon refused with EADDRINUSE" 42
+       (wait_exit pid));
+  check Alcotest.bool "live daemon undisturbed" true
+    (as_bool
+       (member "ok" (Serve.Client.call ~timeout_s:5.0 ~socket ping_req)))
+
+let test_server_stale_socket_replaced () =
+  (* A socket file left by a daemon that died without cleanup must not
+     block the next start: nobody answers on it, so it is replaced. *)
+  let socket = scratch_socket "serve_stale" in
+  (try Sys.remove socket with Sys_error _ -> ());
+  let corpse = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind corpse (Unix.ADDR_UNIX socket);
+  Unix.listen corpse 1;
+  Unix.close corpse (* dies without unlinking *);
+  check Alcotest.bool "corpse left behind" true (Sys.file_exists socket);
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let router =
+         Serve.Router.create ~max_models:1 ~jobs:2
+           ~characterize:(fun _ -> stub_model)
+           ()
+       in
+       Serve.Server.run ~io_timeout_s:5.0 ~socket router
+     with _ -> Unix._exit 1);
+    Unix._exit 0
+  | pid ->
+    let finish () =
+      Core.Parallel.reap pid;
+      (try Sys.remove socket with Sys_error _ -> ())
+    in
+    Fun.protect ~finally:finish @@ fun () ->
+    check Alcotest.bool "daemon replaced the stale socket" true
+      (Serve.Client.wait_ready ~timeout_s:10.0 ~socket ());
+    let resp =
+      Serve.Client.call ~timeout_s:5.0 ~socket
+        (J.Obj [ ("op", J.Str "shutdown") ])
+    in
+    check Alcotest.bool "shutdown acknowledged" true
+      (as_bool (member "ok" resp))
 
 let test_server_shutdown_cleanup () =
   let socket = scratch_socket "serve_down" in
@@ -479,6 +770,7 @@ let () =
           Alcotest.test_case "truncation + oversize" `Quick
             test_frame_truncation_and_oversize;
           Alcotest.test_case "read deadline" `Quick test_frame_read_deadline;
+          Alcotest.test_case "write deadline" `Quick test_frame_write_deadline;
           Alcotest.test_case "json print round-trip" `Quick
             test_json_print_roundtrip ] );
       ( "registry",
@@ -486,6 +778,7 @@ let () =
             test_registry_hit_and_eviction ] );
       ( "router",
         [ Alcotest.test_case "profile op" `Quick test_router_profile_op;
+          Alcotest.test_case "explore op" `Slow test_router_explore_op;
           Alcotest.test_case "latency-shaped request buckets" `Quick
             test_request_seconds_buckets ] );
       ( "daemon",
@@ -493,5 +786,20 @@ let () =
             test_server_cold_warm_and_metrics;
           Alcotest.test_case "single-flight characterization" `Slow
             test_server_single_flight;
+          Alcotest.test_case "concurrent connections overlap" `Slow
+            test_server_concurrent_overlap;
+          Alcotest.test_case "parallel distinct-config characterization" `Slow
+            test_server_parallel_configs;
+          Alcotest.test_case "wedged client starves nobody" `Slow
+            test_server_wedged_client_liveness;
+          Alcotest.test_case "mid-response hangup survived" `Slow
+            test_server_hangup_mid_response;
+          Alcotest.test_case "half-close still answered" `Slow
+            test_server_half_close;
+          Alcotest.test_case "session reuse" `Slow test_client_session_reuse;
+          Alcotest.test_case "socket steal refused" `Slow
+            test_server_socket_steal_refused;
+          Alcotest.test_case "stale socket replaced" `Quick
+            test_server_stale_socket_replaced;
           Alcotest.test_case "shutdown cleanup" `Quick
             test_server_shutdown_cleanup ] ) ]
