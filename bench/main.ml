@@ -16,6 +16,7 @@
      main.exe arbitrary    characterization on random test programs
      main.exe sweep        instruction-cache size sweep (re-characterized)
      main.exe sim          threaded backend equivalence + speedup -> BENCH_sim.json
+     main.exe serve-overhead  traced vs untraced daemon round trips -> BENCH_serve.json
      main.exe bechamel     Bechamel micro-benchmarks (one per table/figure) *)
 
 let fmt = Format.std_formatter
@@ -651,6 +652,125 @@ let sim_bench () =
   Format.fprintf fmt "(written to BENCH_sim.json)@.";
   if geomean < gate then exit 1
 
+(* Serve observability overhead: two stub-characterized daemons side by
+   side — one plain, one with request tracing recording and an
+   aggressive slow-request threshold — driven through warm estimate
+   round trips on reused sessions.  Batches of the two modes interleave
+   within every rep so load drift hits both equally; best-of-reps
+   medians gate the ratio at <= 1.05 (tracing must cost at most 5% of a
+   round trip).  Results land in BENCH_serve.json. *)
+let serve_overhead () =
+  banner "E11: serve observability overhead (traced vs untraced round trips)";
+  let stub = Core.Template.make (Array.make Core.Variables.count 1.0) in
+  let spawn ~traced =
+    let socket =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xenergy_bench_serve.%d.%s.sock" (Unix.getpid ())
+           (if traced then "traced" else "plain"))
+    in
+    (try Sys.remove socket with Sys_error _ -> ());
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      (try
+         if traced then Obs.Trace.set_enabled true;
+         let router =
+           if traced then
+             Serve.Router.create ~max_models:4 ~jobs:2 ~slow_ms:0.05
+               ~characterize:(fun _ -> stub) ()
+           else
+             Serve.Router.create ~max_models:4 ~jobs:2
+               ~characterize:(fun _ -> stub) ()
+         in
+         Serve.Server.run ~io_timeout_s:60.0 ~socket router
+       with _ -> ());
+      Unix._exit 0
+    | pid -> (socket, pid)
+  in
+  let stop (socket, pid) =
+    (try
+       ignore
+         (Serve.Client.call ~timeout_s:5.0 ~socket
+            (Obs.Json.Obj [ ("op", Obs.Json.Str "shutdown") ]))
+     with _ -> ());
+    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+    try Sys.remove socket with Sys_error _ -> ()
+  in
+  let plain = spawn ~traced:false in
+  let traced = spawn ~traced:true in
+  Fun.protect
+    ~finally:(fun () ->
+      stop plain;
+      stop traced)
+  @@ fun () ->
+  List.iter
+    (fun (socket, _) ->
+      if not (Serve.Client.wait_ready ~timeout_s:10.0 ~socket ()) then
+        failwith "serve-overhead: bench daemon did not come up")
+    [ plain; traced ];
+  (* Client-side recording on: the traced mode pays the full cost of
+     minting ids, stamping the request and recording the span. *)
+  Obs.Trace.set_enabled true;
+  let req =
+    Obs.Json.Obj
+      [ ("op", Obs.Json.Str "estimate");
+        ("workloads", Obs.Json.Arr [ Obs.Json.Str "gcd" ]) ]
+  in
+  Serve.Client.with_session ~socket:(fst plain) @@ fun s_plain ->
+  Serve.Client.with_session ~socket:(fst traced) @@ fun s_traced ->
+  let one s trace = ignore (Serve.Client.session_call ~timeout_s:30.0 ~trace s req) in
+  (* Warm the registry and the evaluation cache on both daemons. *)
+  for _ = 1 to 20 do
+    one s_plain false;
+    one s_traced true
+  done;
+  let batch_median s trace n =
+    let lat = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let t0 = Unix.gettimeofday () in
+      one s trace;
+      lat.(i) <- Unix.gettimeofday () -. t0
+    done;
+    Array.sort compare lat;
+    lat.(n / 2) *. 1e6
+  in
+  let reps = 7 and n = 200 in
+  let best_plain = ref infinity and best_traced = ref infinity in
+  for _ = 1 to reps do
+    let p = batch_median s_plain false n in
+    let t = batch_median s_traced true n in
+    if p < !best_plain then best_plain := p;
+    if t < !best_traced then best_traced := t
+  done;
+  Obs.Trace.set_enabled false;
+  let ratio = !best_traced /. !best_plain in
+  let budget = 1.05 in
+  Format.fprintf fmt
+    "warm estimate round trip: untraced %.1f us, traced %.1f us — ratio \
+     %.3fx (budget %.2fx: %s)@."
+    !best_plain !best_traced ratio budget
+    (if ratio <= budget then "ok" else "OVER");
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"serve-overhead\",\n\
+      \  \"samples_per_batch\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"untraced_us\": %.2f,\n\
+      \  \"traced_us\": %.2f,\n\
+      \  \"ratio\": %.4f,\n\
+      \  \"budget\": %.2f,\n\
+      \  \"within_budget\": %b\n\
+       }"
+      n reps !best_plain !best_traced ratio budget (ratio <= budget)
+  in
+  Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
+      Out_channel.output_string oc json;
+      Out_channel.output_char oc '\n');
+  Format.fprintf fmt "(written to BENCH_serve.json)@.";
+  if ratio > budget then exit 1
+
 (* --- Ablations ---------------------------------------------------------------- *)
 
 (* Zero selected variables out of collected samples and profiles, refit,
@@ -980,6 +1100,7 @@ let () =
       ("ablation", ablation); ("capps", capps);
       ("arbitrary", arbitrary);
       ("sweep", sweep); ("sim", sim_bench);
+      ("serve-overhead", serve_overhead);
       ("bechamel", bechamel_benchmarks) ]
   in
   match Array.to_list Sys.argv with

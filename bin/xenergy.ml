@@ -1141,6 +1141,23 @@ let serve_cmd =
                    wedges past it is killed and its slice recomputed.
                    0 disables the deadline.")
   in
+  let slow_ms_arg =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Warn-log any request slower than $(docv) milliseconds
+                   (event serve:slow-request, carrying the trace id and
+                   the per-phase time breakdown) and count it in
+                   serve_slow_requests_total.")
+  in
+  let trace_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-file" ] ~docv:"FILE"
+             ~doc:"Record request spans for the daemon's lifetime
+                   (serve:<op> with phase:* children, client calls,
+                   pool-worker lanes — one trace id per request end to
+                   end) and save them as Chrome trace-event JSON to
+                   $(docv) on shutdown.")
+  in
   let call_arg =
     Arg.(value & opt_all string []
          & info [ "call" ] ~docv:"JSON"
@@ -1158,6 +1175,15 @@ let serve_cmd =
   let ping_arg =
     Arg.(value & flag
          & info [ "ping" ] ~doc:"Client mode: liveness check.")
+  in
+  let status_arg =
+    Arg.(value & flag
+         & info [ "status" ]
+             ~doc:"Client mode: print the daemon's live status (the
+                   status op — rolling-window request/error rates and
+                   latency quantiles per op, inflight gauges, registry
+                   residency, cache and pool health) as JSON to
+                   stdout.")
   in
   let stop_arg =
     Arg.(value & flag
@@ -1192,13 +1218,13 @@ let serve_cmd =
     | _ -> false
   in
   let run socket max_models cache_dir model_file io_timeout max_conns
-      read_timeout call scrape ping stop wait timeout backend log_file
-      openmetrics jobs =
+      read_timeout slow_ms trace_file call scrape ping status stop wait
+      timeout backend log_file openmetrics jobs =
     (* Daemon mode: the process-wide default backend, overridable per
        request by the "backend" field.  Irrelevant in client mode. *)
     set_backend backend;
     setup_obs ~log_file ~openmetrics;
-    let client_mode = call <> [] || scrape || ping || stop in
+    let client_mode = call <> [] || scrape || ping || status || stop in
     if client_mode then begin
       if not (Serve.Client.wait_ready ~timeout_s:wait ~socket ()) then
         die "server at %s not answering after %.1f s" socket wait;
@@ -1207,6 +1233,14 @@ let serve_cmd =
           client_call ~socket ~timeout (Obs.Json.Obj [ ("op", Obs.Json.Str "ping") ])
         in
         if not (response_ok resp) then die "ping refused";
+        print_endline (Serve.Protocol.json_to_string resp)
+      end;
+      if status then begin
+        let resp =
+          client_call ~socket ~timeout
+            (Obs.Json.Obj [ ("op", Obs.Json.Str "status") ])
+        in
+        if not (response_ok resp) then die "status refused";
         print_endline (Serve.Protocol.json_to_string resp)
       end;
       (match call with
@@ -1264,14 +1298,19 @@ let serve_cmd =
       if io_timeout <= 0.0 then die "--io-timeout must be > 0";
       if max_conns < 1 then die "--max-conns must be >= 1";
       if read_timeout < 0.0 then die "--read-timeout must be >= 0";
+      (match slow_ms with
+       | Some ms when ms <= 0.0 -> die "--slow-ms must be > 0"
+       | _ -> ());
       let read_timeout_s =
         if read_timeout = 0.0 then None else Some read_timeout
       in
+      if trace_file <> None then Obs.Trace.set_enabled true;
       (* Metrics must be live before the router and any --model preload
          touch the registry, or the pre-listen residency gauge is lost. *)
       Obs.Metrics.set_enabled true;
       let router =
-        Serve.Router.create ~max_models ?jobs ?read_timeout_s ?cache_dir ()
+        Serve.Router.create ~max_models ?jobs ?read_timeout_s ?cache_dir
+          ?slow_ms ()
       in
       (match model_file with
        | None -> ()
@@ -1293,6 +1332,12 @@ let serve_cmd =
               pick another socket)" socket
        | Unix.Unix_error (e, _, _) ->
          die "cannot serve on %s: %s" socket (Unix.error_message e));
+      (match trace_file with
+       | Some path ->
+         (try Obs.Trace.save path
+          with Sys_error msg -> die "cannot write trace: %s" msg);
+         Format.eprintf "trace written to %s@." path
+       | None -> ());
       save_openmetrics openmetrics
     end
   in
@@ -1301,12 +1346,147 @@ let serve_cmd =
        ~doc:"Long-lived estimation daemon over a Unix-domain socket
              (characterize once per configuration, estimate from
              memory), or a client against one (--call/--scrape/--ping/
-             --stop)")
+             --status/--stop)")
     Term.(const run $ socket_arg $ max_models_arg $ cache_dir_arg
           $ model_file_arg $ io_timeout_arg $ max_conns_arg
-          $ read_timeout_arg $ call_arg $ scrape_arg $ ping_arg $ stop_arg
+          $ read_timeout_arg $ slow_ms_arg $ trace_file_arg $ call_arg
+          $ scrape_arg $ ping_arg $ status_arg $ stop_arg
           $ wait_arg $ timeout_arg $ backend_arg $ log_file_arg
           $ openmetrics_arg $ jobs_arg)
+
+(* --- top ----------------------------------------------------------------- *)
+
+let top_cmd =
+  let module J = Obs.Json in
+  let socket_arg =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket of the daemon to watch.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Refresh period between status polls.  The daemon's
+                   rolling window sharpens to this cadence after the
+                   first couple of refreshes.")
+  in
+  let iterations_arg =
+    Arg.(value & opt int 0
+         & info [ "iterations" ] ~docv:"N"
+             ~doc:"Stop after $(docv) refreshes (0: run until
+                   interrupted).  $(b,--iterations 1) prints one
+                   snapshot and exits, for scripts and smoke tests.")
+  in
+  let wait_arg =
+    Arg.(value & opt float 10.0
+         & info [ "wait" ] ~docv:"SECONDS"
+             ~doc:"How long to wait for the daemon to answer pings
+                   before giving up.")
+  in
+  let field name = function J.Obj f -> List.assoc_opt name f | _ -> None in
+  let numf ?(default = 0.0) name j =
+    match field name j with Some (J.Num x) -> x | _ -> default
+  in
+  let strf name j = match field name j with Some (J.Str s) -> s | _ -> "?" in
+  let sub name j = match field name j with Some o -> o | None -> J.Obj [] in
+  (* Latency cells render "-" until the op has a histogram to estimate
+     from (quantiles are Null on an empty window). *)
+  let ms_cell name j =
+    match field name j with
+    | Some (J.Num x) -> Printf.sprintf "%8.2f" x
+    | _ -> Printf.sprintf "%8s" "-"
+  in
+  let render status =
+    let b = Buffer.create 1024 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+    let conn = sub "connections" status in
+    let pool = sub "pool" status in
+    let reg = sub "registry" status in
+    let cache = sub "cache" status in
+    line "xenergy top - pid %.0f  up %.1f s  backend %s  window %.0f s (dt %.1f s)"
+      (numf "pid" status) (numf "uptime_s" status) (strf "backend" status)
+      (numf "window_s" status) (numf "window_dt_s" status);
+    line "requests %.0f  inflight %.0f  connections %.0f active / %.0f total  pool %.0f/%.0f lanes live"
+      (numf "requests" status) (numf "inflight" status)
+      (numf "active" conn) (numf "total" conn)
+      (numf "live" pool) (numf "lanes" pool);
+    line "registry %.0f models (hit %.0f miss %.0f evict %.0f)  cache hit %.0f miss %.0f store %.0f err %.0f"
+      (numf "models" reg) (numf "hits" reg) (numf "misses" reg)
+      (numf "evictions" reg)
+      (numf "hits" cache) (numf "misses" cache) (numf "stores" cache)
+      (numf "errors" cache);
+    line "";
+    line "%-10s %8s %6s %6s %6s %9s %9s %8s %8s %8s"
+      "OP" "REQ" "ERR" "SLOW" "INFL" "RATE/S" "ERR/S" "P50ms" "P90ms" "P99ms";
+    (match field "ops" status with
+     | Some (J.Arr rows) ->
+       List.iter
+         (fun row ->
+           let w = sub "window" row in
+           line "%-10s %8.0f %6.0f %6.0f %6.0f %9.2f %9.2f %s %s %s"
+             (strf "op" row) (numf "requests" row) (numf "errors" row)
+             (numf "slow" row) (numf "inflight" row)
+             (numf "rate_hz" w) (numf "error_rate_hz" w)
+             (ms_cell "p50_ms" w) (ms_cell "p90_ms" w) (ms_cell "p99_ms" w))
+         rows
+     | _ -> ());
+    Buffer.contents b
+  in
+  let run socket interval iterations wait =
+    if interval <= 0.0 then die "--interval must be > 0";
+    if iterations < 0 then die "--iterations must be >= 0";
+    if not (Serve.Client.wait_ready ~timeout_s:wait ~socket ()) then
+      die "server at %s not answering after %.1f s" socket wait;
+    (* Refresh in place only on an interactive terminal; piped output
+       (scripts, CI smoke) gets plain concatenated frames. *)
+    let clear = Unix.isatty Unix.stdout in
+    let req = J.Obj [ ("op", J.Str "status") ] in
+    let connect () =
+      try Serve.Client.connect ~socket
+      with Unix.Unix_error (e, _, _) ->
+        die "cannot reach server at %s: %s" socket (Unix.error_message e)
+    in
+    let poll session =
+      try Serve.Client.session_call ~timeout_s:10.0 session req
+      with
+      | Unix.Unix_error (e, _, _) ->
+        die "lost the daemon at %s: %s" socket (Unix.error_message e)
+      | Serve.Protocol.Frame_error msg -> die "%s" msg
+      | Obs.Json.Parse_error msg -> die "malformed response: %s" msg
+    in
+    let rec loop session n =
+      (* The daemon's io-timeout drops sessions idle longer than it, so
+         a leisurely --interval needs a quiet reconnect between polls. *)
+      let status, session =
+        match Serve.Client.session_call ~timeout_s:10.0 session req with
+        | resp -> (resp, session)
+        | exception (Serve.Protocol.Frame_error _ | Unix.Unix_error _) ->
+          Serve.Client.close session;
+          let session = connect () in
+          (poll session, session)
+      in
+      (match status with
+       | J.Obj fields when List.assoc_opt "ok" fields = Some (J.Bool true) ->
+         ()
+       | _ -> die "status refused by the daemon at %s" socket);
+      if clear then print_string "\027[2J\027[H";
+      print_string (render status);
+      flush stdout;
+      if iterations = 0 || n < iterations then begin
+        Unix.sleepf interval;
+        loop session (n + 1)
+      end
+      else Serve.Client.close session
+    in
+    loop (connect ()) 1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live dashboard against a running estimation daemon: polls
+             the status op and renders per-op request/error rates,
+             rolling-window latency quantiles, inflight gauges and
+             registry/cache/pool health, refreshing in place.")
+    Term.(const run $ socket_arg $ interval_arg $ iterations_arg $ wait_arg)
 
 (* --- rs ------------------------------------------------------------------ *)
 
@@ -1330,7 +1510,8 @@ let main_cmd =
   Cmd.group (Cmd.info "xenergy" ~version:"1.0.0" ~doc)
     [ list_cmd; profile_cmd; reference_cmd; characterize_cmd; estimate_cmd;
       attribute_cmd; compare_cmd; rs_cmd; explore_cmd; audit_cmd; serve_cmd;
-      cache_cmd; disasm_cmd; breakdown_cmd; trace_cmd; run_cmd; cc_cmd ]
+      top_cmd; cache_cmd; disasm_cmd; breakdown_cmd; trace_cmd; run_cmd;
+      cc_cmd ]
 
 let () =
   (* Any command can stream structured logs via the environment, without

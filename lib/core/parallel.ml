@@ -218,6 +218,13 @@ let spawn_worker arr f ~n ~jobs w =
       None
     | 0 ->
       Unix.close rd;
+      (* Replace locks another thread may have held at fork time before
+         touching any guarded structure.  The requester's trace context
+         is inherited through memory (same thread, same scope key), so
+         one-shot worker spans keep the request's trace_id. *)
+      Obs.Metrics.after_fork ();
+      Obs.Trace.after_fork ();
+      Obs.Log.after_fork ();
       let oc = Unix.out_channel_of_descr wr in
       Obs.Trace.set_tid (w + 1);
       Obs.Trace.clear ();
@@ -274,6 +281,7 @@ let map_with_stats ?jobs ?read_timeout_s f xs =
               (Printf.sprintf "worker %d" (w + 1)))
           workers
       end;
+      let ctx = Obs.Trace.context () in
       let results = Array.make n None in
       let leftover = ref [] in
       let recomputed_slices = ref 0 in
@@ -290,7 +298,7 @@ let map_with_stats ?jobs ?read_timeout_s f xs =
             Option.map (fun s -> Unix.gettimeofday () +. s) read_timeout_s
           in
           let outcome = read_payload ~deadline rd in
-          Obs.Trace.complete ~cat:"parallel" ~tid:0
+          Obs.Trace.complete ?ctx ~cat:"parallel" ~tid:0
             ~name:(Printf.sprintf "join:%d" (w + 1))
             ~ts:t_read
             ~dur:(Obs.Trace.now_us () -. t_read)
@@ -304,7 +312,7 @@ let map_with_stats ?jobs ?read_timeout_s f xs =
           (try Unix.close rd with Unix.Unix_error _ -> ());
           reap pid;
           let t_join = Obs.Trace.now_us () in
-          Obs.Trace.complete ~cat:"parallel" ~tid:(w + 1)
+          Obs.Trace.complete ?ctx ~cat:"parallel" ~tid:(w + 1)
             ~name:(Printf.sprintf "worker:%d" (w + 1))
             ~args:[ ("items", Obs.Trace.I (List.length idxs)) ]
             ~ts:t_fork ~dur:(t_join -. t_fork) ();
@@ -374,7 +382,12 @@ let map ?jobs ?read_timeout_s f xs =
 
 (* --- Persistent pool ----------------------------------------------------- *)
 
-type 'a pool_msg = P_batch of (int * 'a) list | P_quit
+(* A batch carries the requesting thread's trace context: pool lanes are
+   forked once at startup, before any request exists, so unlike one-shot
+   workers they cannot inherit it through memory. *)
+type 'a pool_msg =
+  | P_batch of Obs.Trace.context option * (int * 'a) list
+  | P_quit
 
 type lane = {
   l_w : int;                    (* lane number; trace tid = l_w + 1 *)
@@ -392,6 +405,9 @@ type ('a, 'b) pool = {
 }
 
 let lane_child ~w ~f rd_req wr_res =
+  Obs.Metrics.after_fork ();
+  Obs.Trace.after_fork ();
+  Obs.Log.after_fork ();
   Obs.Trace.set_tid (w + 1);
   Obs.Trace.clear ();
   let ic = Unix.in_channel_of_descr rd_req in
@@ -400,8 +416,12 @@ let lane_child ~w ~f rd_req wr_res =
     match (Marshal.from_channel ic : _ pool_msg) with
     | exception _ -> Unix._exit 0
     | P_quit -> Unix._exit 0
-    | P_batch items ->
+    | P_batch (ctx, items) ->
+      (* Adopt the requester's context for the batch so item spans carry
+         its trace_id, then drop it: the lane outlives the request. *)
+      Obs.Trace.set_context ctx;
       ship_payload oc (compute_payload f items);
+      Obs.Trace.set_context None;
       loop ()
   in
   loop ()
@@ -488,9 +508,9 @@ let kill_lane pool w ~kill =
     close_lane ~kill lane;
     pool.p_lanes.(w) <- None
 
-let send_batch lane items =
+let send_batch lane ctx items =
   try
-    Marshal.to_channel lane.l_oc (P_batch items) [];
+    Marshal.to_channel lane.l_oc (P_batch (ctx, items)) [];
     flush lane.l_oc;
     true
   with Sys_error _ | Unix.Unix_error _ -> false
@@ -501,6 +521,7 @@ let pool_map pool xs =
   let n = Array.length arr in
   if n = 0 then []
   else begin
+    let ctx = Obs.Trace.context () in
     respawn_dead pool;
     let live =
       Array.to_list pool.p_lanes |> List.filter_map Fun.id
@@ -529,7 +550,7 @@ let pool_map pool xs =
           (fun j lane ->
             slices.(j) <> []
             &&
-            (send_batch lane slices.(j)
+            (send_batch lane ctx slices.(j)
              ||
              (Obs.Log.event ~level:Obs.Log.Warn "parallel:lane-dropped"
                 [ ("worker", Obs.Trace.I (lane.l_w + 1));
@@ -549,7 +570,7 @@ let pool_map pool xs =
               Option.map (fun s -> Unix.gettimeofday () +. s) pool.p_timeout
             in
             let outcome = read_payload ~deadline lane.l_from in
-            Obs.Trace.complete ~cat:"parallel" ~tid:0
+            Obs.Trace.complete ?ctx ~cat:"parallel" ~tid:0
               ~name:(Printf.sprintf "join:%d" (lane.l_w + 1))
               ~ts:t_read
               ~dur:(Obs.Trace.now_us () -. t_read)

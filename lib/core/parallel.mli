@@ -115,6 +115,11 @@ val pool_map : ('a, 'b) pool -> 'a list -> 'b list
     timeout, in-worker exception) has its slice recomputed in the
     parent.  With no live lane at all the whole batch runs serially
     (counted as a serial fallback).
+
+    The calling thread's [Obs.Trace] context (if any) is shipped with
+    each batch and adopted by the lane for its duration, so worker item
+    spans — which come back with the payload and are re-emitted by the
+    parent — carry the requesting connection's [trace_id].
     @raise Invalid_argument if the pool has been shut down. *)
 
 val pool_live : ('a, 'b) pool -> int

@@ -113,3 +113,47 @@ let to_openmetrics ?snapshot () =
 let save ?snapshot path =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (to_openmetrics ?snapshot ()))
+
+(* --- quantile estimation from histogram buckets --------------------------- *)
+
+let quantile ~bounds ~counts q =
+  if not (Float.is_finite q) || q < 0.0 || q > 1.0 then
+    invalid_arg "Export.quantile: q must be in [0, 1]";
+  let nb = Array.length counts in
+  if nb <> Array.length bounds + 1 then
+    invalid_arg "Export.quantile: counts must have length bounds + 1";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then None
+  else begin
+    let rank = q *. float_of_int total in
+    (* Walk buckets until the cumulative count reaches the rank, then
+       interpolate linearly inside that bucket.  Samples in the +Inf
+       bucket have no upper bound to interpolate against; report the
+       last finite bound (a deliberate under-estimate, the same
+       convention Prometheus' histogram_quantile uses). *)
+    let rec go i acc =
+      if i >= nb - 1 then
+        Some (if Array.length bounds = 0 then 0.0 else bounds.(Array.length bounds - 1))
+      else
+        let acc' = acc + counts.(i) in
+        if float_of_int acc' >= rank && counts.(i) > 0 then
+          let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+          let hi = bounds.(i) in
+          let frac = (rank -. float_of_int acc) /. float_of_int counts.(i) in
+          let frac = Float.max 0.0 (Float.min 1.0 frac) in
+          Some (lo +. ((hi -. lo) *. frac))
+        else go (i + 1) acc'
+    in
+    go 0 0
+  end
+
+let snapshot_quantile (snap : Metrics.snapshot) ~name ?(labels = []) q =
+  let want = List.sort compare labels in
+  let rec find = function
+    | [] -> None
+    | (n, ls, _, Metrics.S_histogram (bounds, counts, _, _)) :: _
+      when n = name && List.sort compare ls = want ->
+      quantile ~bounds ~counts q
+    | _ :: rest -> find rest
+  in
+  find snap

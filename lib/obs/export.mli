@@ -24,3 +24,22 @@ val to_openmetrics : ?snapshot:Metrics.snapshot -> unit -> string
 
 val save : ?snapshot:Metrics.snapshot -> string -> unit
 (** Write {!to_openmetrics} to a file. *)
+
+val quantile : bounds:float array -> counts:int array -> float -> float option
+(** [quantile ~bounds ~counts q] estimates the [q]-quantile (0 ≤ q ≤ 1)
+    of a histogram given its bucket upper bounds and {e per-bucket}
+    (non-cumulative) counts, [Array.length counts = bounds + 1] with the
+    last slot the +Inf bucket — the exact shape a {!Metrics.snap_value}
+    [S_histogram] carries.  Linear interpolation
+    inside the selected bucket (the first bucket's lower edge is 0);
+    ranks landing in the +Inf bucket report the last finite bound, the
+    Prometheus [histogram_quantile] convention.  [None] when the
+    histogram is empty.
+    @raise Invalid_argument on a malformed [q] or shape mismatch. *)
+
+val snapshot_quantile :
+  Metrics.snapshot -> name:string -> ?labels:(string * string) list ->
+  float -> float option
+(** Find the histogram row [(name, labels)] in a snapshot (label order
+    insensitive) and estimate its quantile; [None] when absent or
+    empty. *)

@@ -33,14 +33,25 @@ val level_of_string : string -> level option
 val set_level : level -> unit
 (** Drop records below this severity (default [Debug]: everything). *)
 
-val open_file : ?level:level -> string -> unit
+val open_file : ?level:level -> ?max_bytes:int -> string -> unit
 (** Open (appending) a JSON-lines sink, replacing any previous sink.
+    [max_bytes] (default 64 MiB; [0] disables rotation) caps the sink
+    file's size: the write that would cross the cap first rotates the
+    file to [<path>.1] with one atomic rename (replacing any previous
+    [.1]) and reopens [<path>] fresh, counted in the
+    [log_rotations_total] metric.
     @raise Sys_error when the path cannot be opened. *)
 
+val after_fork : unit -> unit
+(** Re-initialise the sink write lock in a freshly forked child (a
+    mutex held by another thread at fork time would stay locked
+    forever). *)
+
 val init_from_env : unit -> unit
-(** Honour [XENERGY_LOG] (sink path) and [XENERGY_LOG_LEVEL]
-    (severity floor); no-op when unset.  An unopenable path is
-    reported once on stderr rather than raised — observability must
+(** Honour [XENERGY_LOG] (sink path), [XENERGY_LOG_LEVEL] (severity
+    floor) and [XENERGY_LOG_MAX_BYTES] (rotation cap in bytes, [0] to
+    disable); no-op when unset.  An unopenable path or unparsable cap
+    is reported once on stderr rather than raised — observability must
     not take the tool down. *)
 
 val close : unit -> unit

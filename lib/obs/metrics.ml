@@ -36,19 +36,36 @@ type instrument =
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
 let order : string list ref = ref []
 
+(* Registration, multi-field histogram updates and snapshot reads are
+   serialised so a snapshot never observes a torn bucket/sum/count
+   triple while handler threads are observing.  Counter [inc] and gauge
+   [set] stay lock-free: each is a single mutable-field store, and a
+   snapshot reading a value one tick stale is harmless.  The mutex lives
+   behind a ref so forked workers can replace it ([after_fork]) instead
+   of inheriting one that another thread held at fork time. *)
+let reg_lock = ref (Mutex.create ())
+
+let after_fork () = reg_lock := Mutex.create ()
+
+let locked f =
+  let m = !reg_lock in
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let key name labels =
   let labels = List.sort compare labels in
   String.concat "\x00"
     (name :: List.map (fun (k, v) -> k ^ "\x01" ^ v) labels)
 
 let register k make =
-  match Hashtbl.find_opt registry k with
-  | Some i -> i
-  | None ->
-    let i = make () in
-    Hashtbl.replace registry k i;
-    order := k :: !order;
-    i
+  locked (fun () ->
+      match Hashtbl.find_opt registry k with
+      | Some i -> i
+      | None ->
+        let i = make () in
+        Hashtbl.replace registry k i;
+        order := k :: !order;
+        i)
 
 let counter ?(labels = []) ?(help = "") name =
   match
@@ -98,9 +115,13 @@ let observe h v =
   if !on then begin
     let n = Array.length h.h_bounds in
     let rec slot i = if i >= n || v <= h.h_bounds.(i) then i else slot (i + 1) in
-    h.h_counts.(slot 0) <- h.h_counts.(slot 0) + 1;
+    let s = slot 0 in
+    let m = !reg_lock in
+    Mutex.lock m;
+    h.h_counts.(s) <- h.h_counts.(s) + 1;
     h.h_sum <- h.h_sum +. v;
-    h.h_count <- h.h_count + 1
+    h.h_count <- h.h_count + 1;
+    Mutex.unlock m
   end
 
 let histogram_count h = h.h_count
@@ -119,17 +140,18 @@ let instruments () =
   List.rev_map (fun k -> Hashtbl.find registry k) !order
 
 let snapshot () : snapshot =
-  List.map
-    (function
-      | Counter c -> (c.c_name, c.c_labels, c.c_help, S_counter c.c_value)
-      | Gauge g -> (g.g_name, g.g_labels, g.g_help, S_gauge g.g_value)
-      | Histogram h ->
-        ( h.h_name,
-          h.h_labels,
-          h.h_help,
-          S_histogram (Array.copy h.h_bounds, Array.copy h.h_counts, h.h_sum,
-                       h.h_count) ))
-    (instruments ())
+  locked (fun () ->
+      List.map
+        (function
+          | Counter c -> (c.c_name, c.c_labels, c.c_help, S_counter c.c_value)
+          | Gauge g -> (g.g_name, g.g_labels, g.g_help, S_gauge g.g_value)
+          | Histogram h ->
+            ( h.h_name,
+              h.h_labels,
+              h.h_help,
+              S_histogram (Array.copy h.h_bounds, Array.copy h.h_counts, h.h_sum,
+                           h.h_count) ))
+        (instruments ()))
 
 let merge (s : snapshot) =
   List.iter
@@ -137,18 +159,19 @@ let merge (s : snapshot) =
       match v with
       | S_counter n ->
         let c = counter ~labels ~help name in
-        c.c_value <- c.c_value + n
+        locked (fun () -> c.c_value <- c.c_value + n)
       | S_gauge x ->
         let g = gauge ~labels ~help name in
-        g.g_value <- x
+        locked (fun () -> g.g_value <- x)
       | S_histogram (bounds, counts, sum, count) ->
         let h = histogram ~labels ~help ~buckets:bounds name in
-        if Array.length h.h_counts = Array.length counts then
-          Array.iteri
-            (fun i n -> h.h_counts.(i) <- h.h_counts.(i) + n)
-            counts;
-        h.h_sum <- h.h_sum +. sum;
-        h.h_count <- h.h_count + count)
+        locked (fun () ->
+            if Array.length h.h_counts = Array.length counts then
+              Array.iteri
+                (fun i n -> h.h_counts.(i) <- h.h_counts.(i) + n)
+                counts;
+            h.h_sum <- h.h_sum +. sum;
+            h.h_count <- h.h_count + count))
     s
 
 let snapshot_diff (later : snapshot) (earlier : snapshot) : snapshot =
@@ -180,16 +203,17 @@ let snapshot_diff (later : snapshot) (earlier : snapshot) : snapshot =
     later
 
 let reset () =
-  Hashtbl.iter
-    (fun _ i ->
-      match i with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.0
-      | Histogram h ->
-        Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-        h.h_sum <- 0.0;
-        h.h_count <- 0)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | Counter c -> c.c_value <- 0
+          | Gauge g -> g.g_value <- 0.0
+          | Histogram h ->
+            Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+            h.h_sum <- 0.0;
+            h.h_count <- 0)
+        registry)
 
 (* --- output -------------------------------------------------------------- *)
 

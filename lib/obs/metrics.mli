@@ -74,7 +74,13 @@ type snapshot = (string * (string * string) list * string * snap_value) list
 
 val snapshot : unit -> snapshot
 (** Capture every instrument's current value (e.g. in a forked worker,
-    just before shipping results to the parent). *)
+    just before shipping results to the parent).  The capture runs under
+    the registry lock, serialised against {!observe}'s multi-field
+    update, so a snapshot never sees a torn bucket/sum/count triple. *)
+
+val after_fork : unit -> unit
+(** Re-initialise the registry lock in a freshly forked child (a mutex
+    held by another thread at fork time would stay locked forever). *)
 
 val merge : snapshot -> unit
 (** Fold a (typically child-process) snapshot into this registry:

@@ -22,15 +22,83 @@ let cur_tid = ref 0
 let set_tid t = cur_tid := t
 let tid () = !cur_tid
 
-(* Buffer in reverse order; [events] reverses once. *)
+(* Buffer in reverse order; [events] reverses once.  Server handler
+   threads and the main thread record concurrently, so the buffer is
+   guarded by a mutex.  The mutex lives behind a ref so a freshly forked
+   worker can swap in a clean one ([after_fork]) — a lock held by another
+   thread at fork time would otherwise stay locked in the child forever. *)
 let buf : event list ref = ref []
+let buf_lock = ref (Mutex.create ())
+
+let after_fork () = buf_lock := Mutex.create ()
+
+let locked f =
+  let m = !buf_lock in
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let epoch = Unix.gettimeofday ()
 let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
 
-let record e = buf := e :: !buf
+let record e = locked (fun () -> buf := e :: !buf)
 
-let complete ?(cat = "") ?(args = []) ?tid:tid_opt ~name ~ts ~dur () =
+(* --- Request-scoped trace context ---------------------------------------- *)
+
+type context = {
+  trace_id : string;
+  span_id : string;
+  parent_id : string option;
+}
+
+(* Ids embed the pid so contexts minted after a fork (workers inherit the
+   parent's Random state) cannot collide with the parent's. *)
+let id_seed =
+  ref (Random.State.make [| Unix.getpid (); int_of_float (Unix.gettimeofday () *. 1e6) |])
+let id_pid = ref (Unix.getpid ())
+let id_n = ref 0
+
+let new_id () =
+  let pid = Unix.getpid () in
+  if pid <> !id_pid then begin
+    (* First id minted after a fork: reseed so siblings diverge. *)
+    id_pid := pid;
+    id_n := 0;
+    id_seed := Random.State.make [| pid; int_of_float (Unix.gettimeofday () *. 1e6) |]
+  end;
+  incr id_n;
+  Printf.sprintf "%04x%04x%08x" (pid land 0xffff) (!id_n land 0xffff)
+    (Random.State.bits !id_seed land 0x3fffffff)
+
+(* Thread-scoped context, same shape as [Log]'s correlation ids: an
+   immutable assoc list keyed by an installable scope key (0 in
+   single-threaded use; the server installs [Thread.id]).  Each key has a
+   single writer, and readers only ever see a consistent list. *)
+let ctx_key : (unit -> int) ref = ref (fun () -> 0)
+let set_context_key f = ctx_key := f
+
+let ctxs : (int * context) list ref = ref []
+
+let set_context c =
+  let k = !ctx_key () in
+  let rest = List.filter (fun (k', _) -> k' <> k) !ctxs in
+  ctxs := (match c with Some c -> (k, c) :: rest | None -> rest)
+
+let context () = List.assoc_opt (!ctx_key ()) !ctxs
+
+let with_context c f =
+  let saved = context () in
+  set_context (Some c);
+  Fun.protect ~finally:(fun () -> set_context saved) f
+
+let ctx_args ctx args =
+  ("trace_id", S ctx.trace_id)
+  :: ("span_id", S ctx.span_id)
+  :: ((match ctx.parent_id with
+      | Some p -> [ ("parent_id", S p) ]
+      | None -> [])
+     @ args)
+
+let complete ?(cat = "") ?(args = []) ?tid:tid_opt ?ctx ~name ~ts ~dur () =
   if !on then
     record
       { ev_name = name;
@@ -39,19 +107,38 @@ let complete ?(cat = "") ?(args = []) ?tid:tid_opt ~name ~ts ~dur () =
         ev_ts = ts;
         ev_dur = dur;
         ev_tid = Option.value tid_opt ~default:!cur_tid;
-        ev_args = args }
+        ev_args = (match ctx with Some c -> ctx_args c args | None -> args) }
 
-let with_span ?cat ?args name f =
+let with_span ?cat ?(args = []) name f =
   if not !on then f ()
   else begin
     let t0 = now_us () in
-    let finish () = complete ?cat ?args ~name ~ts:t0 ~dur:(now_us () -. t0) () in
-    match f () with
-    | v -> finish (); v
-    | exception e ->
-      let bt = Printexc.get_raw_backtrace () in
-      finish ();
-      Printexc.raise_with_backtrace e bt
+    match context () with
+    | None ->
+      let finish () = complete ~args ?cat ~name ~ts:t0 ~dur:(now_us () -. t0) () in
+      (match f () with
+      | v -> finish (); v
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt)
+    | Some parent ->
+      (* Mint a child span under the ambient context so nested spans form
+         a parent chain sharing one trace_id. *)
+      let child =
+        { trace_id = parent.trace_id;
+          span_id = new_id ();
+          parent_id = Some parent.span_id }
+      in
+      let finish () =
+        complete ~args ?cat ~ctx:child ~name ~ts:t0 ~dur:(now_us () -. t0) ()
+      in
+      (match with_context child f with
+      | v -> finish (); v
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt)
   end
 
 let instant ?(cat = "") ?(args = []) name =
@@ -63,7 +150,8 @@ let instant ?(cat = "") ?(args = []) name =
         ev_ts = now_us ();
         ev_dur = 0.0;
         ev_tid = !cur_tid;
-        ev_args = args }
+        ev_args =
+          (match context () with Some c -> ctx_args c args | None -> args) }
 
 let thread_name ~tid:t name =
   if !on then
@@ -76,15 +164,17 @@ let thread_name ~tid:t name =
         ev_tid = t;
         ev_args = [ ("name", S name) ] }
 
-let emit_all es = if !on then List.iter record es
+let emit_all es =
+  if !on then locked (fun () -> List.iter (fun e -> buf := e :: !buf) es)
 
-let events () = List.rev !buf
-let clear () = buf := []
+let events () = locked (fun () -> List.rev !buf)
+let clear () = locked (fun () -> buf := [])
 
 let drain () =
-  let es = events () in
-  clear ();
-  es
+  locked (fun () ->
+      let es = List.rev !buf in
+      buf := [];
+      es)
 
 (* --- Chrome trace-event JSON --------------------------------------------- *)
 

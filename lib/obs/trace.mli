@@ -45,25 +45,73 @@ val now_us : unit -> float
 (** Microseconds since the recorder epoch (process start; inherited
     across [fork], so parent and child timestamps are comparable). *)
 
+(** {1 Request-scoped trace context}
+
+    A context names one causal chain: a [trace_id] shared by every span
+    of a request (client call, router phases, forked worker items) and a
+    [span_id]/[parent_id] pair forming the span tree.  Contexts are
+    thread-scoped the same way {!Log} correlation ids are: a scope-key
+    function (default: constant [0]) maps the calling thread to a slot,
+    and the server installs [Thread.id] so concurrent connections keep
+    independent contexts.  {!with_span} run under a context mints a
+    child span and stamps [trace_id]/[span_id]/[parent_id] args on the
+    emitted event; pool workers receive the requesting connection's
+    context with their batch (see [Core.Parallel.pool_map]). *)
+
+type context = {
+  trace_id : string;   (** shared by every span of one request *)
+  span_id : string;    (** this span *)
+  parent_id : string option;  (** enclosing span, if any *)
+}
+
+val new_id : unit -> string
+(** Fresh 16-hex-digit id; embeds the pid so ids minted in forked
+    workers never collide with the parent's. *)
+
+val set_context_key : (unit -> int) -> unit
+(** Install the scope-key function used to slot contexts per thread
+    (e.g. [fun () -> Thread.id (Thread.self ())]).  Default: constant 0. *)
+
+val set_context : context option -> unit
+(** Set ([Some]) or clear ([None]) the current scope's context. *)
+
+val context : unit -> context option
+(** The current scope's context, if any. *)
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** Run the thunk with the given context installed in the current scope,
+    restoring the previous context afterwards (even on raise). *)
+
 val with_span :
   ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a complete event.  The span is recorded even if
-    the thunk raises.  When tracing is disabled this is just the call. *)
+    the thunk raises.  When tracing is disabled this is just the call.
+    Under an ambient {!context}, the span becomes a child of it: the
+    thunk runs with the child context installed, and the event carries
+    [trace_id]/[span_id]/[parent_id] args. *)
 
 val complete :
   ?cat:string ->
   ?args:(string * arg) list ->
   ?tid:int ->
+  ?ctx:context ->
   name:string ->
   ts:float ->
   dur:float ->
   unit ->
   unit
 (** Record a complete event from explicit timestamps (for span shapes
-    that do not nest as a thunk, e.g. worker fork-to-join). *)
+    that do not nest as a thunk, e.g. worker fork-to-join).  [?ctx]
+    stamps the given context's ids as args without consulting the
+    ambient context. *)
+
+val after_fork : unit -> unit
+(** Re-initialise the buffer lock in a freshly forked child (a mutex
+    held by another thread at fork time would stay locked forever). *)
 
 val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
-(** Record a zero-duration instant event (a point-in-time marker). *)
+(** Record a zero-duration instant event (a point-in-time marker),
+    stamped with the ambient {!context}'s ids when one is set. *)
 
 val thread_name : tid:int -> string -> unit
 (** Metadata event labelling a lane in the viewer. *)

@@ -18,8 +18,7 @@ let close s =
     try Unix.close s.s_fd with Unix.Unix_error _ -> ()
   end
 
-let session_call ?timeout_s s req =
-  if s.s_closed then invalid_arg "Client.session_call: session is closed";
+let raw_call ?timeout_s s req =
   Protocol.write_frame s.s_fd (Protocol.json_to_string req);
   let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s in
   match Protocol.read_frame ?deadline s.s_fd with
@@ -27,6 +26,47 @@ let session_call ?timeout_s s req =
   | None ->
     raise
       (Protocol.Frame_error "server closed the connection without a response")
+
+let session_call ?timeout_s ?trace s req =
+  if s.s_closed then invalid_arg "Client.session_call: session is closed";
+  let trace = Option.value trace ~default:(Obs.Trace.enabled ()) in
+  if not trace then raw_call ?timeout_s s req
+  else begin
+    (* Run the round trip as a client:call span and hand its ids to the
+       daemon in the request, so the server's spans (and the pool
+       workers') chain under this one in the exported trace. *)
+    let ctx =
+      match Obs.Trace.context () with
+      | Some p ->
+        { Obs.Trace.trace_id = p.Obs.Trace.trace_id;
+          span_id = Obs.Trace.new_id ();
+          parent_id = Some p.Obs.Trace.span_id }
+      | None ->
+        { Obs.Trace.trace_id = Obs.Trace.new_id ();
+          span_id = Obs.Trace.new_id ();
+          parent_id = None }
+    in
+    let req =
+      match req with
+      | Obs.Json.Obj fields when not (List.mem_assoc "trace_id" fields) ->
+        Obs.Json.Obj
+          (fields
+          @ [ ("trace_id", Obs.Json.Str ctx.Obs.Trace.trace_id);
+              ("parent_span_id", Obs.Json.Str ctx.Obs.Trace.span_id) ])
+      | req -> req
+    in
+    let t0 = Obs.Trace.now_us () in
+    let finish () =
+      Obs.Trace.complete ~cat:"serve" ~ctx ~name:"client:call" ~ts:t0
+        ~dur:(Obs.Trace.now_us () -. t0) ()
+    in
+    match Obs.Trace.with_context ctx (fun () -> raw_call ?timeout_s s req) with
+    | v -> finish (); v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      Printexc.raise_with_backtrace e bt
+  end
 
 let with_session ~socket f =
   let s = connect ~socket in

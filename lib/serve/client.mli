@@ -25,10 +25,17 @@ val connect : socket:string -> session
 (** Connect to a daemon's socket.
     @raise Unix.Unix_error when the socket is absent or refuses. *)
 
-val session_call : ?timeout_s:float -> session -> Obs.Json.t -> Obs.Json.t
+val session_call :
+  ?timeout_s:float -> ?trace:bool -> session -> Obs.Json.t -> Obs.Json.t
 (** Send one request frame, read the one response frame.  [timeout_s]
     bounds the response read (a daemon busy characterizing can
     legitimately take a while — size it generously).
+
+    [trace] (default: whether {!Obs.Trace} recording is on in this
+    process) records the round trip as a [client:call] span and stamps
+    ["trace_id"]/["parent_span_id"] fields into the request (unless the
+    caller set its own), so the daemon's spans for this request chain
+    under the client's and share one trace_id end to end.
     @raise Invalid_argument on a closed session.
     @raise Protocol.Frame_error on a timeout or a torn response.
     @raise Obs.Json.Parse_error if the response is not JSON.

@@ -6,10 +6,10 @@ module M = struct
       ~labels:[ ("op", op) ]
       ~help:"requests handled by the serve router" "serve_requests_total"
 
-  let errors =
-    lazy
-      (Obs.Metrics.counter ~help:"requests answered with an error"
-         "serve_errors_total")
+  let errors op =
+    Obs.Metrics.counter
+      ~labels:[ ("op", op) ]
+      ~help:"requests answered with an error" "serve_errors_total"
 
   (* Router requests span four orders of magnitude: a ping answers in
      tens of microseconds, a cache-hit estimate in about a millisecond,
@@ -19,10 +19,22 @@ module M = struct
   let request_seconds_buckets =
     [| 1e-4; 2.5e-4; 1e-3; 2.5e-3; 1e-2; 2.5e-2; 0.1; 0.25; 1.0; 2.5; 10.0 |]
 
-  let request_seconds =
-    lazy
-      (Obs.Metrics.histogram ~help:"request handling wall time"
-         ~buckets:request_seconds_buckets "serve_request_seconds")
+  let request_seconds op =
+    Obs.Metrics.histogram
+      ~labels:[ ("op", op) ]
+      ~help:"request handling wall time" ~buckets:request_seconds_buckets
+      "serve_request_seconds"
+
+  let inflight op =
+    Obs.Metrics.gauge
+      ~labels:[ ("op", op) ]
+      ~help:"requests currently being handled" "serve_inflight_requests"
+
+  let slow op =
+    Obs.Metrics.counter
+      ~labels:[ ("op", op) ]
+      ~help:"requests slower than the slow-request threshold"
+      "serve_slow_requests_total"
 end
 
 type t = {
@@ -42,9 +54,17 @@ type t = {
      pipes are shared state, and the workers are the same processes
      either way — interleaving batches would corrupt framing without
      adding parallelism. *)
-  r_state_lock : Mutex.t;        (* r_requests/r_shut *)
+  r_state_lock : Mutex.t;        (* r_requests/r_shut/r_snaps/r_inflight *)
   r_jobs : int option;
   r_started : float;
+  r_slow_s : float option;       (* slow-request log threshold, seconds *)
+  r_window_s : float;            (* status rolling-window width *)
+  r_inflight : (string, int ref) Hashtbl.t;
+  mutable r_snaps : (float * Obs.Metrics.snapshot) list;
+  (* Rolling window of metric snapshots, newest first, pruned to
+     [r_window_s] on each [status] request: the window is poller-driven
+     (Prometheus-style), so its resolution is the status polling
+     cadence, and an idle daemon keeps no background thread. *)
   mutable r_requests : int;
   mutable r_stop : bool;
   mutable r_shut : bool;
@@ -53,6 +73,43 @@ type t = {
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* --- Per-request phase clock ---------------------------------------------- *)
+
+(* Each request carries a phase accumulator: handlers charge wall time
+   to named phases (queue, parse, registry, cache, simulate, serialize)
+   as they pass through them; [handle] folds the remainder into an
+   explicit "other" phase, so the breakdown always sums to the request
+   total.  Phases are (name, seconds) in reverse recording order;
+   repeated names merge. *)
+type phases = { mutable px_phases : (string * float) list }
+
+let phase px name f =
+  let t0 = Unix.gettimeofday () in
+  Obs.Trace.with_span ~cat:"serve" ("phase:" ^ name) (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          px.px_phases <- (name, Unix.gettimeofday () -. t0) :: px.px_phases)
+        f)
+
+let phase_order = [ "queue"; "parse"; "registry"; "cache"; "simulate"; "serialize" ]
+
+let merged_phases px =
+  let seen = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (n, s) ->
+      match Hashtbl.find_opt tbl n with
+      | Some cell -> cell := !cell +. s
+      | None ->
+        Hashtbl.add tbl n (ref s);
+        seen := n :: !seen)
+    (List.rev px.px_phases);
+  let names =
+    List.filter (Hashtbl.mem tbl) phase_order
+    @ List.filter (fun n -> not (List.mem n phase_order)) (List.rev !seen)
+  in
+  List.map (fun n -> (n, !(Hashtbl.find tbl n))) names
 
 (* The pool function is fixed at fork time, so it takes everything a
    batch item needs — workload name, simulation backend and
@@ -78,16 +135,26 @@ let profile_entry (name, backend, config) =
 
 let known_ops =
   [ "ping"; "estimate"; "attribute"; "profile"; "audit"; "explore"; "metrics";
-    "stats"; "shutdown"; "invalid" ]
+    "stats"; "status"; "shutdown"; "invalid" ]
 
-let create ?max_models ?jobs ?read_timeout_s ?cache_dir ?characterize () =
+let create ?max_models ?jobs ?read_timeout_s ?cache_dir ?characterize ?slow_ms
+    ?(window_s = 60.0) () =
   (* Register every metric family this router will ever touch now,
      while the process is still single-threaded: the metrics registry's
      own table is then only read (never resized) by concurrent
-     connection threads. *)
-  List.iter (fun op -> ignore (M.requests op)) known_ops;
-  ignore (Lazy.force M.errors);
-  ignore (Lazy.force M.request_seconds);
+     connection threads.  Op labels are normalized to [known_ops]
+     (arbitrary request strings count as "invalid"), so this set is
+     exhaustive. *)
+  List.iter
+    (fun op ->
+      ignore (M.requests op);
+      ignore (M.errors op);
+      ignore (M.request_seconds op);
+      ignore (M.inflight op);
+      ignore (M.slow op))
+    known_ops;
+  let inflight = Hashtbl.create 16 in
+  List.iter (fun op -> Hashtbl.add inflight op (ref 0)) known_ops;
   { r_registry = Registry.create ?max_models ?jobs ?characterize ();
     r_cache = Core.Eval_cache.create ?dir:cache_dir ();
     r_cache_lock = Mutex.create ();
@@ -96,6 +163,10 @@ let create ?max_models ?jobs ?read_timeout_s ?cache_dir ?characterize () =
     r_state_lock = Mutex.create ();
     r_jobs = jobs;
     r_started = Unix.gettimeofday ();
+    r_slow_s = Option.map (fun ms -> ms /. 1e3) slow_ms;
+    r_window_s = window_s;
+    r_inflight = inflight;
+    r_snaps = [];
     r_requests = 0;
     r_stop = false;
     r_shut = false }
@@ -208,7 +279,7 @@ let error_resp msg = J.Obj [ ("ok", J.Bool false); ("error", J.Str msg) ]
 
 (* --- Ops ------------------------------------------------------------------ *)
 
-let handle_estimate t req =
+let handle_estimate t px req =
   let names =
     match workload_list ~op:"estimate" req with
     | Some [] -> failwith "estimate: empty workload list"
@@ -221,9 +292,10 @@ let handle_estimate t req =
   (* Resolve every name before simulating anything, so one typo fails
      the request instead of wasting a batch. *)
   List.iter (fun n -> ignore (find_case n)) names;
-  let lookup = Registry.get t.r_registry config in
+  let lookup = phase px "registry" (fun () -> Registry.get t.r_registry config) in
   let model = lookup.Registry.l_model in
   let found =
+    phase px "cache" @@ fun () ->
     locked t.r_cache_lock (fun () ->
         List.map
           (fun n ->
@@ -240,18 +312,27 @@ let handle_estimate t req =
   in
   let computed =
     if missing = [] then []
-    else
-      locked t.r_pool_lock (fun () ->
-          Core.Parallel.pool_map t.r_pool
-            (List.map (fun (n, _) -> (n, bname, config)) missing))
+    else begin
+      (* The wait for the shared pool is queueing, not simulation:
+         charge the lock acquisition and the batch separately. *)
+      phase px "queue" (fun () -> Mutex.lock t.r_pool_lock);
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.r_pool_lock)
+        (fun () ->
+          phase px "simulate" (fun () ->
+              Core.Parallel.pool_map t.r_pool
+                (List.map (fun (n, _) -> (n, bname, config)) missing)))
+    end
   in
   let fresh = Hashtbl.create 8 in
-  locked t.r_cache_lock (fun () ->
-      List.iter2
-        (fun (n, key) entry ->
-          Core.Eval_cache.store t.r_cache key entry;
-          Hashtbl.replace fresh n entry)
-        missing computed);
+  phase px "cache" (fun () ->
+      locked t.r_cache_lock (fun () ->
+          List.iter2
+            (fun (n, key) entry ->
+              Core.Eval_cache.store t.r_cache key entry;
+              Hashtbl.replace fresh n entry)
+            missing computed));
+  phase px "serialize" @@ fun () ->
   let row (n, _, cached) =
     let entry, was_cached =
       match cached with
@@ -276,7 +357,7 @@ let handle_estimate t req =
       ("backend", J.Str bname);
       ("results", J.Arr (List.map row found)) ]
 
-let handle_attribute t req =
+let handle_attribute t px req =
   let name = str_field ~op:"attribute" "workload" req in
   let bucket =
     match member_opt "bucket_cycles" req with
@@ -288,12 +369,14 @@ let handle_attribute t req =
   let config = request_config req in
   let backend = request_backend ~op:"attribute" req in
   let case = find_case name in
-  let lookup = Registry.get t.r_registry config in
+  let lookup = phase px "registry" (fun () -> Registry.get t.r_registry config) in
   let b =
+    phase px "simulate" @@ fun () ->
     Sim.Backend.with_current backend @@ fun () ->
     Core.Attribution.run ~config ~bucket_cycles:bucket
       lookup.Registry.l_model case
   in
+  phase px "serialize" @@ fun () ->
   J.Obj
     [ ("ok", J.Bool true);
       ("op", J.Str "attribute");
@@ -302,7 +385,7 @@ let handle_attribute t req =
       ("backend", J.Str (Sim.Backend.name backend));
       ("attribution", J.parse (Core.Attribution.to_json b)) ]
 
-let handle_profile t req =
+let handle_profile t px req =
   let name = str_field ~op:"profile" "workload" req in
   let top =
     match member_opt "top" req with
@@ -316,11 +399,13 @@ let handle_profile t req =
   let config = request_config req in
   let backend = request_backend ~op:"profile" req in
   let case = find_case name in
-  let lookup = Registry.get t.r_registry config in
+  let lookup = phase px "registry" (fun () -> Registry.get t.r_registry config) in
   let r =
+    phase px "simulate" @@ fun () ->
     Sim.Backend.with_current backend @@ fun () ->
     Core.Profiler.run ~config lookup.Registry.l_model case
   in
+  phase px "serialize" @@ fun () ->
   J.Obj
     [ ("ok", J.Bool true);
       ("op", J.Str "profile");
@@ -329,7 +414,7 @@ let handle_profile t req =
       ("backend", J.Str (Sim.Backend.name backend));
       ("profile", J.parse (Core.Profiler.to_json ?top r)) ]
 
-let handle_audit t req =
+let handle_audit t px req =
   let cases =
     match workload_list ~op:"audit" req with
     | Some [] -> failwith "audit: empty workload list"
@@ -338,17 +423,23 @@ let handle_audit t req =
   in
   let config = request_config req in
   let backend = request_backend ~op:"audit" req in
-  let lookup = Registry.get t.r_registry config in
+  let lookup = phase px "registry" (fun () -> Registry.get t.r_registry config) in
   let report =
     (* Audit forks its own short-lived workers inside this scope, so
        they inherit the request's backend.  It also threads the shared
        cache through itself, so the whole run holds the cache lock —
-       simulation still parallelizes in its forked workers. *)
-    locked t.r_cache_lock @@ fun () ->
-    Sim.Backend.with_current backend @@ fun () ->
-    Core.Audit.run ?jobs:t.r_jobs ~cache:t.r_cache ~config
-      lookup.Registry.l_model cases
+       simulation still parallelizes in its forked workers.  The wait
+       for that lock is queueing; the run itself is simulation. *)
+    phase px "queue" (fun () -> Mutex.lock t.r_cache_lock);
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.r_cache_lock)
+      (fun () ->
+        phase px "simulate" @@ fun () ->
+        Sim.Backend.with_current backend @@ fun () ->
+        Core.Audit.run ?jobs:t.r_jobs ~cache:t.r_cache ~config
+          lookup.Registry.l_model cases)
   in
+  phase px "serialize" @@ fun () ->
   J.Obj
     [ ("ok", J.Bool true);
       ("op", J.Str "audit");
@@ -365,7 +456,7 @@ let handle_audit t req =
    simulations.  The Pareto frontier is computed over the union of all
    configuration groups, exactly as [xenergy explore] would over the
    same space. *)
-let handle_explore t req =
+let handle_explore t px req =
   let space = str_field ~op:"explore" "space" req in
   let gen =
     match Workloads.Spaces.find space with
@@ -394,14 +485,18 @@ let handle_explore t req =
       (fun (_, cell) ->
         let cs = List.rev !cell in
         let config = (List.hd cs).Core.Explore.config in
-        let lookup = Registry.get t.r_registry config in
+        let lookup =
+          phase px "registry" (fun () -> Registry.get t.r_registry config)
+        in
         if lookup.Registry.l_hit then incr registry_hits;
+        phase px "simulate" @@ fun () ->
         locked t.r_cache_lock @@ fun () ->
         Sim.Backend.with_current backend @@ fun () ->
         Core.Explore.evaluate ?jobs:t.r_jobs ~cache:t.r_cache
           lookup.Registry.l_model cs)
       !groups
   in
+  phase px "serialize" @@ fun () ->
   let points = List.concat_map (fun o -> o.Core.Explore.points) outcomes in
   (* Back to the space's candidate order, then one frontier over the
      whole space (per-group frontiers would miss cross-config
@@ -472,39 +567,224 @@ let handle_stats t =
       ("cache_stores", num cs.Core.Eval_cache.stores);
       ("pool_live", num (Core.Parallel.pool_live t.r_pool)) ]
 
-let dispatch t op req =
+(* --- status: rolling-window RED stats ------------------------------------- *)
+
+let snap_find snap name labels =
+  let want = List.sort compare labels in
+  List.find_opt
+    (fun (n, ls, _, _) -> n = name && List.sort compare ls = want)
+    snap
+
+let snap_counter snap name labels =
+  match snap_find snap name labels with
+  | Some (_, _, _, Obs.Metrics.S_counter c) -> c
+  | _ -> 0
+
+let snap_gauge snap name labels =
+  match snap_find snap name labels with
+  | Some (_, _, _, Obs.Metrics.S_gauge v) -> v
+  | _ -> 0.0
+
+let handle_status t =
+  let now = Unix.gettimeofday () in
+  let snap = Obs.Metrics.snapshot () in
+  (* Push this capture into the window ring and diff against the oldest
+     survivor; before the window has history, the delta degenerates to
+     the cumulative values over the whole uptime. *)
+  let base =
+    locked t.r_state_lock (fun () ->
+        let keep =
+          List.filter (fun (ts, _) -> now -. ts <= t.r_window_s) t.r_snaps
+        in
+        let base =
+          match List.rev keep with [] -> None | oldest :: _ -> Some oldest
+        in
+        t.r_snaps <- (now, snap) :: keep;
+        base)
+  in
+  let window_dt, delta =
+    match base with
+    | Some (ts, s) -> (now -. ts, Obs.Metrics.snapshot_diff snap s)
+    | None -> (now -. t.r_started, snap)
+  in
+  let window_dt = Float.max window_dt 1e-9 in
+  let num n = J.Num (float_of_int n) in
+  let ms = function Some s -> J.Num (s *. 1e3) | None -> J.Null in
+  let quant s ~labels p =
+    Obs.Export.snapshot_quantile s ~name:"serve_request_seconds" ~labels p
+  in
+  let op_row op =
+    let l = [ ("op", op) ] in
+    let cum_req = snap_counter snap "serve_requests_total" l in
+    if cum_req = 0 then None
+    else
+      let inflight =
+        locked t.r_state_lock (fun () ->
+            match Hashtbl.find_opt t.r_inflight op with
+            | Some c -> !c
+            | None -> 0)
+      in
+      let w_req = snap_counter delta "serve_requests_total" l in
+      let w_err = snap_counter delta "serve_errors_total" l in
+      Some
+        (J.Obj
+           [ ("op", J.Str op);
+             ("requests", num cum_req);
+             ("errors", num (snap_counter snap "serve_errors_total" l));
+             ("slow", num (snap_counter snap "serve_slow_requests_total" l));
+             ("inflight", num inflight);
+             ( "window",
+               J.Obj
+                 [ ("requests", num w_req);
+                   ("errors", num w_err);
+                   ("rate_hz", J.Num (float_of_int w_req /. window_dt));
+                   ( "error_rate_hz",
+                     J.Num (float_of_int w_err /. window_dt) );
+                   ("p50_ms", ms (quant delta ~labels:l 0.5));
+                   ("p90_ms", ms (quant delta ~labels:l 0.9));
+                   ("p99_ms", ms (quant delta ~labels:l 0.99)) ] );
+             ( "cumulative",
+               J.Obj
+                 [ ("p50_ms", ms (quant snap ~labels:l 0.5));
+                   ("p90_ms", ms (quant snap ~labels:l 0.9));
+                   ("p99_ms", ms (quant snap ~labels:l 0.99)) ] ) ])
+  in
+  let rs = Registry.stats t.r_registry in
+  let cs = Core.Eval_cache.stats t.r_cache in
+  let requests, inflight_total =
+    locked t.r_state_lock (fun () ->
+        ( t.r_requests,
+          Hashtbl.fold (fun _ c acc -> acc + !c) t.r_inflight 0 ))
+  in
+  J.Obj
+    [ ("ok", J.Bool true);
+      ("op", J.Str "status");
+      ("pid", num (Unix.getpid ()));
+      ("uptime_s", J.Num (now -. t.r_started));
+      ("backend", J.Str (Sim.Backend.name (Sim.Backend.current ())));
+      ("requests", num requests);
+      ("inflight", num inflight_total);
+      ("window_s", J.Num t.r_window_s);
+      ("window_dt_s", J.Num window_dt);
+      ("ops", J.Arr (List.filter_map op_row known_ops));
+      ( "registry",
+        J.Obj
+          [ ("models", num rs.Registry.r_models);
+            ("hits", num rs.Registry.r_hits);
+            ("misses", num rs.Registry.r_misses);
+            ("evictions", num rs.Registry.r_evictions) ] );
+      ( "cache",
+        J.Obj
+          [ ("hits", num cs.Core.Eval_cache.hits);
+            ("misses", num cs.Core.Eval_cache.misses);
+            ("errors", num cs.Core.Eval_cache.errors);
+            ("stores", num cs.Core.Eval_cache.stores) ] );
+      ( "pool",
+        J.Obj
+          [ ("live", num (Core.Parallel.pool_live t.r_pool));
+            ( "lanes",
+              num
+                (match t.r_jobs with
+                | Some j -> max 1 j
+                | None -> Core.Parallel.default_jobs ()) ) ] );
+      ( "connections",
+        J.Obj
+          [ ("active", J.Num (snap_gauge snap "serve_active_connections" []));
+            ( "total",
+              num (snap_counter snap "serve_connections_total" []) ) ] ) ]
+
+let dispatch t px op req =
   match op with
   | "ping" ->
     J.Obj
       [ ("ok", J.Bool true);
         ("op", J.Str "ping");
         ("pid", J.Num (float_of_int (Unix.getpid ()))) ]
-  | "estimate" -> handle_estimate t req
-  | "attribute" -> handle_attribute t req
-  | "profile" -> handle_profile t req
-  | "audit" -> handle_audit t req
-  | "explore" -> handle_explore t req
+  | "estimate" -> handle_estimate t px req
+  | "attribute" -> handle_attribute t px req
+  | "profile" -> handle_profile t px req
+  | "audit" -> handle_audit t px req
+  | "explore" -> handle_explore t px req
   | "metrics" ->
-    J.Obj
-      [ ("ok", J.Bool true);
-        ("op", J.Str "metrics");
-        ("exposition", J.Str (Obs.Export.to_openmetrics ())) ]
+    phase px "serialize" (fun () ->
+        J.Obj
+          [ ("ok", J.Bool true);
+            ("op", J.Str "metrics");
+            ("exposition", J.Str (Obs.Export.to_openmetrics ())) ])
   | "stats" -> handle_stats t
+  | "status" -> handle_status t
   | "shutdown" ->
     t.r_stop <- true;
     J.Obj [ ("ok", J.Bool true); ("op", J.Str "shutdown") ]
   | "" -> failwith "request needs a string \"op\" field"
   | op -> failwith (Printf.sprintf "unknown op %S" op)
 
-let handle t req =
+(* The request's trace context: adopt the client's ids when it sent
+   any (its [parent_span_id] becomes the parent of every server span),
+   mint a fresh trace otherwise.  Either way the response echoes the
+   trace_id, so a client can find its request in an exported trace. *)
+let request_context req =
+  match member_opt "trace_id" req with
+  | Some (J.Str tid) when tid <> "" ->
+    let span =
+      match member_opt "parent_span_id" req with
+      | Some (J.Str s) when s <> "" -> s
+      | _ -> Obs.Trace.new_id ()
+    in
+    { Obs.Trace.trace_id = tid; span_id = span; parent_id = None }
+  | _ ->
+    { Obs.Trace.trace_id = Obs.Trace.new_id ();
+      span_id = Obs.Trace.new_id ();
+      parent_id = None }
+
+let inflight_adjust t op d =
+  locked t.r_state_lock (fun () ->
+      let cell =
+        match Hashtbl.find_opt t.r_inflight op with
+        | Some c -> c
+        | None ->
+          let c = ref 0 in
+          Hashtbl.add t.r_inflight op c;
+          c
+      in
+      cell := !cell + d;
+      Obs.Metrics.set (M.inflight op) (float_of_int !cell))
+
+let handle ?received ?parse_s t req =
   locked t.r_state_lock (fun () -> t.r_requests <- t.r_requests + 1);
   let t0 = Unix.gettimeofday () in
+  (* The request clock starts when the server finished reading the
+     frame ([received]); the gap to now is time spent queued behind
+     this connection thread's other work plus the JSON parse, which
+     the server pre-measured ([parse_s]). *)
+  let t_start = Option.value received ~default:t0 in
   let op =
     match member_opt "op" req with Some (J.Str s) -> s | Some _ | None -> ""
   in
-  Obs.Metrics.inc (M.requests (if op = "" then "invalid" else op));
+  (* Metric labels are normalized to the known-op set so a stream of
+     garbage op names cannot grow label cardinality without bound. *)
+  let opl = if List.mem op known_ops then op else "invalid" in
+  Obs.Metrics.inc (M.requests opl);
+  inflight_adjust t opl 1;
+  let px = { px_phases = [] } in
+  (match received with
+  | Some r -> px.px_phases <- [ ("queue", Float.max 0.0 (t0 -. r -. Option.value parse_s ~default:0.0)) ]
+  | None -> ());
+  (match parse_s with
+  | Some s -> px.px_phases <- ("parse", s) :: px.px_phases
+  | None -> ());
+  let ctx = request_context req in
+  let want_timings =
+    match member_opt "timings" req with Some (J.Bool b) -> b | _ -> false
+  in
   let resp =
-    match dispatch t op req with
+    Fun.protect ~finally:(fun () -> inflight_adjust t opl (-1)) @@ fun () ->
+    Obs.Trace.with_context ctx @@ fun () ->
+    Obs.Trace.with_span ~cat:"serve"
+      ~args:[ ("op", Obs.Trace.S opl) ]
+      ("serve:" ^ opl)
+    @@ fun () ->
+    match dispatch t px op req with
     | resp -> resp
     | exception e ->
       (* A bad request — or a genuinely failing pipeline stage — must
@@ -515,25 +795,61 @@ let handle t req =
         | J.Parse_error msg -> "invalid JSON: " ^ msg
         | e -> Printexc.to_string e
       in
-      Obs.Metrics.inc (Lazy.force M.errors);
+      Obs.Metrics.inc (M.errors opl);
       Obs.Log.event ~level:Obs.Log.Warn "serve:error"
         [ ("op", Obs.Trace.S op); ("error", Obs.Trace.S msg) ];
       error_resp msg
   in
-  let dt = Unix.gettimeofday () -. t0 in
-  Obs.Metrics.observe (Lazy.force M.request_seconds) dt;
+  let t_end = Unix.gettimeofday () in
+  let dt = t_end -. t0 in
+  let total = t_end -. t_start in
+  Obs.Metrics.observe (M.request_seconds opl) dt;
+  (* The breakdown's phases sum to [total] exactly: whatever the named
+     phases did not account for is reported honestly as "other". *)
+  let phases =
+    let named = merged_phases px in
+    let accounted = List.fold_left (fun a (_, s) -> a +. s) 0.0 named in
+    named @ [ ("other", Float.max 0.0 (total -. accounted)) ]
+  in
+  (match t.r_slow_s with
+  | Some thr when total >= thr ->
+    Obs.Metrics.inc (M.slow opl);
+    Obs.Log.event ~level:Obs.Log.Warn "serve:slow-request"
+      (( ("op", Obs.Trace.S op)
+       :: ("total_ms", Obs.Trace.F (total *. 1e3))
+       :: ("trace_id", Obs.Trace.S ctx.Obs.Trace.trace_id)
+       :: List.map
+            (fun (n, s) -> ("phase_" ^ n ^ "_ms", Obs.Trace.F (s *. 1e3)))
+            phases ))
+  | _ -> ());
   let ok = match resp with J.Obj (("ok", J.Bool b) :: _) -> b | _ -> false in
   Obs.Log.event "serve:request"
     [ ("op", Obs.Trace.S op);
       ("ok", Obs.Trace.B ok);
       ("seconds", Obs.Trace.F dt) ];
-  resp
+  let extra =
+    ("trace_id", J.Str ctx.Obs.Trace.trace_id)
+    ::
+    (if want_timings then
+       [ ( "timings",
+           J.Obj
+             [ ("total_us", J.Num (total *. 1e6));
+               ( "phases",
+                 J.Obj
+                   (List.map (fun (n, s) -> (n, J.Num (s *. 1e6))) phases) )
+             ] ) ]
+     else [])
+  in
+  match resp with J.Obj fields -> J.Obj (fields @ extra) | other -> other
 
-let handle_text t payload =
+let handle_text ?received t payload =
+  let tp = Unix.gettimeofday () in
   match J.parse payload with
-  | req -> Protocol.json_to_string (handle t req)
+  | req ->
+    let parse_s = Unix.gettimeofday () -. tp in
+    Protocol.json_to_string (handle ?received ~parse_s t req)
   | exception J.Parse_error msg ->
-    Obs.Metrics.inc (Lazy.force M.errors);
+    Obs.Metrics.inc (M.errors "invalid");
     Obs.Log.event ~level:Obs.Log.Warn "serve:error"
       [ ("op", Obs.Trace.S "parse"); ("error", Obs.Trace.S msg) ];
     Protocol.json_to_string (error_resp ("invalid JSON: " ^ msg))

@@ -46,7 +46,36 @@
       is the daemon's [/metrics] endpoint.
     - [stats] — registry/cache/pool counters as JSON, for tests and
       quick inspection.
+    - [status] — live introspection for dashboards ([xenergy top]):
+      rolling-window RED stats per op (request/error counts and rates,
+      p50/p90/p99 estimated from the cumulative
+      [serve_request_seconds{op}] histogram buckets via
+      {!Obs.Export.quantile}, both over the window and cumulatively),
+      per-op inflight counts, registry residency, eval-cache counters,
+      pool lane health and connection gauges.  The window (default 60s,
+      [create]'s [window_s]) is poller-driven: each [status] request
+      pushes a metrics snapshot into a ring pruned to the window and
+      diffs against the oldest survivor, so the first call reports
+      whole-uptime values and a polling client (e.g. [xenergy top])
+      sharpens the window to its own cadence.
     - [shutdown] — acknowledge, then flag the server loop to stop.
+
+    {b Tracing and timings.}  Every request runs under an
+    {!Obs.Trace.context}: the optional request fields ["trace_id"] and
+    ["parent_span_id"] adopt the client's ids (spans recorded here
+    become children of the client's call span); otherwise fresh ids are
+    minted.  The response always echoes ["trace_id"].  With tracing
+    enabled the router records a [serve:<op>] span plus [phase:*] child
+    spans, and the context rides into forked pool workers so item spans
+    share the request's trace_id.  A request carrying
+    ["timings": true] gets a ["timings"] object back: [total_us] (wall
+    time from frame receipt to response construction) and a [phases]
+    object (queue/parse/registry/cache/simulate/serialize/other,
+    microseconds) that sums to [total_us] exactly — unattributed time
+    is reported as [other], never hidden.  Requests slower than
+    [create]'s [slow_ms] threshold emit a [serve:slow-request] warn log
+    line carrying the op, total, trace_id and the same per-phase
+    breakdown, and count in [serve_slow_requests_total{op}].
 
     [config] objects override {!Sim.Config.default} field-wise; the
     accepted keys are [icache_size_bytes], [icache_ways],
@@ -82,22 +111,30 @@ val create :
   ?read_timeout_s:float ->
   ?cache_dir:string ->
   ?characterize:(Sim.Config.t -> Core.Template.model) ->
+  ?slow_ms:float ->
+  ?window_s:float ->
   unit ->
   t
 (** [max_models], [jobs] and [characterize] configure the {!Registry};
     [jobs] also sizes the persistent worker pool and the audit fan-out,
     and [read_timeout_s] is the pool's hung-worker deadline.
     [cache_dir] backs the evaluation cache on disk so profiles survive
-    daemon restarts. *)
+    daemon restarts.  [slow_ms] (default: off) is the slow-request log
+    threshold in milliseconds; [window_s] (default 60) the [status]
+    op's rolling-window width. *)
 
 val registry : t -> Registry.t
 (** The router's model registry (e.g. to {!Registry.preload} a model
     loaded from a coefficients file). *)
 
-val handle : t -> Obs.Json.t -> Obs.Json.t
-(** Dispatch one parsed request. *)
+val handle : ?received:float -> ?parse_s:float -> t -> Obs.Json.t -> Obs.Json.t
+(** Dispatch one parsed request.  [received] ([Unix.gettimeofday]
+    seconds) is when the server finished reading the request frame —
+    the phase breakdown's clock start; [parse_s] is the pre-measured
+    JSON parse time, charged to the ["parse"] phase.  Omitting both
+    (tests, embedding) starts the clock at dispatch. *)
 
-val handle_text : t -> string -> string
+val handle_text : ?received:float -> t -> string -> string
 (** Parse, dispatch and print: what the server calls per frame.  A JSON
     parse failure is answered as an error response. *)
 

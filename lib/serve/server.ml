@@ -48,7 +48,8 @@ let handle_conn router ~io_timeout_s conn =
     match Protocol.read_frame ~deadline conn with
     | None -> ()
     | Some payload ->
-      let resp = Router.handle_text router payload in
+      let received = Unix.gettimeofday () in
+      let resp = Router.handle_text ~received router payload in
       let deadline = Unix.gettimeofday () +. io_timeout_s in
       Protocol.write_frame ~deadline conn resp;
       if not (Router.stopped router) then loop ()
@@ -89,9 +90,11 @@ let run ?(io_timeout_s = 10.0) ?(backlog = 16) ?(max_conns = 8) ~socket router
      raise e);
   Unix.listen listener backlog;
   (* Per-thread scopes: each connection thread labels its own log
-     records and carries its own per-request backend override. *)
+     records, carries its own per-request backend override, and keeps
+     its own trace context. *)
   Obs.Log.set_correlation_key (fun () -> Thread.id (Thread.self ()));
   Sim.Backend.set_scope_key (fun () -> Thread.id (Thread.self ()));
+  Obs.Trace.set_context_key (fun () -> Thread.id (Thread.self ()));
   Obs.Log.event "serve:start"
     [ ("socket", Obs.Trace.S socket);
       ("io_timeout_s", Obs.Trace.F io_timeout_s);

@@ -495,6 +495,24 @@ let test_serve_client_smoke () =
   check Alcotest.bool "request counters exported" true
     (contains om "serve_requests_total");
   check Alcotest.bool "exposition terminated" true (contains om "# EOF");
+  (* Live introspection: the status op over the client flag, then one
+     frame of the top dashboard (piped, so it prints plainly). *)
+  let code, st, _ = run_xenergy [ "serve"; "--socket"; sock; "--status" ] in
+  check Alcotest.int "status exits 0" 0 code;
+  let sj = Obs.Json.parse st in
+  check Alcotest.bool "status acknowledged" true (contains st "\"ok\": true");
+  check Alcotest.bool "status reports per-op rows" true
+    Obs.Json.(to_list (member "ops" sj) <> []);
+  check Alcotest.bool "status reports registry residency" true
+    Obs.Json.(to_int (member "models" (member "registry" sj)) >= 1);
+  let code, top, _ =
+    run_xenergy [ "top"; "--socket"; sock; "--iterations"; "1" ]
+  in
+  check Alcotest.int "top exits 0" 0 code;
+  check Alcotest.bool "top renders the header" true
+    (contains top "xenergy top - pid");
+  check Alcotest.bool "top renders the op table" true (contains top "P99ms");
+  check Alcotest.bool "top lists the ping row" true (contains top "ping");
   let code, _, _ = run_xenergy [ "serve"; "--socket"; sock; "--stop" ] in
   check Alcotest.int "stop exits 0" 0 code;
   (match Unix.waitpid [] pid with

@@ -1922,6 +1922,118 @@ let test_pool_reuse_respawn_shutdown () =
   | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
   | pid, _ -> fail (Printf.sprintf "pool left zombie %d" pid)
 
+(* Pool lanes are forked before any request exists, so the requester's
+   trace context must ride inside each batch message: item spans shipped
+   back from the lanes carry the requesting context's trace_id, and
+   consecutive batches under different contexts never bleed into each
+   other. *)
+let test_pool_trace_context () =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_context None;
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ())
+  @@ fun () ->
+  let pool = Core.Parallel.create_pool ~jobs:2 (fun i -> i * 2) in
+  Fun.protect ~finally:(fun () -> Core.Parallel.shutdown_pool pool)
+  @@ fun () ->
+  let sarg name e =
+    match List.assoc_opt name e.Obs.Trace.ev_args with
+    | Some (Obs.Trace.S s) -> Some s
+    | _ -> None
+  in
+  let item_spans () =
+    List.filter
+      (fun e ->
+        String.length e.Obs.Trace.ev_name >= 5
+        && String.sub e.Obs.Trace.ev_name 0 5 = "item:")
+      (Obs.Trace.events ())
+  in
+  let fresh_ctx () =
+    { Obs.Trace.trace_id = Obs.Trace.new_id ();
+      span_id = Obs.Trace.new_id ();
+      parent_id = None }
+  in
+  let batch_under ctx xs =
+    Obs.Trace.clear ();
+    let r =
+      match ctx with
+      | Some c ->
+        Obs.Trace.with_context c (fun () -> Core.Parallel.pool_map pool xs)
+      | None -> Core.Parallel.pool_map pool xs
+    in
+    check (Alcotest.list Alcotest.int) "batch computed"
+      (List.map (fun i -> i * 2) xs)
+      r;
+    let items = item_spans () in
+    check Alcotest.int "one span per item" (List.length xs)
+      (List.length items);
+    items
+  in
+  let ctx_a = fresh_ctx () in
+  List.iter
+    (fun e ->
+      check
+        (Alcotest.option Alcotest.string)
+        "item span carries the requester's trace_id"
+        (Some ctx_a.Obs.Trace.trace_id) (sarg "trace_id" e))
+    (batch_under (Some ctx_a) [ 1; 2; 3; 4 ]);
+  (* A second batch under a different context: the lanes survived the
+     first request, yet no stale ids leak into the new spans. *)
+  let ctx_b = fresh_ctx () in
+  List.iter
+    (fun e ->
+      check
+        (Alcotest.option Alcotest.string)
+        "second batch stamped with the second context"
+        (Some ctx_b.Obs.Trace.trace_id) (sarg "trace_id" e))
+    (batch_under (Some ctx_b) [ 5; 6 ]);
+  (* No ambient context: item spans go out unstamped. *)
+  List.iter
+    (fun e ->
+      check Alcotest.bool "contextless batch unstamped" true
+        (sarg "trace_id" e = None))
+    (batch_under None [ 7 ])
+
+(* One-shot map workers fork at request time, so they inherit the
+   requester's context through memory rather than a message. *)
+let test_map_trace_context () =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_context None;
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ())
+  @@ fun () ->
+  let ctx =
+    { Obs.Trace.trace_id = Obs.Trace.new_id ();
+      span_id = Obs.Trace.new_id ();
+      parent_id = None }
+  in
+  let r =
+    Obs.Trace.with_context ctx (fun () ->
+        Core.Parallel.map ~jobs:2 (fun i -> i + 10) [ 1; 2; 3 ])
+  in
+  check (Alcotest.list Alcotest.int) "map computed" [ 11; 12; 13 ] r;
+  let items =
+    List.filter
+      (fun e ->
+        String.length e.Obs.Trace.ev_name >= 5
+        && String.sub e.Obs.Trace.ev_name 0 5 = "item:")
+      (Obs.Trace.events ())
+  in
+  check Alcotest.int "one span per item" 3 (List.length items);
+  List.iter
+    (fun e ->
+      match List.assoc_opt "trace_id" e.Obs.Trace.ev_args with
+      | Some (Obs.Trace.S s) ->
+        check Alcotest.string "inherited trace_id" ctx.Obs.Trace.trace_id s
+      | _ -> fail "item span lost the inherited context")
+    items
+
 let () =
   Alcotest.run "core"
     [ ( "variables",
@@ -1982,7 +2094,11 @@ let () =
           Alcotest.test_case "bad XENERGY_JOBS warns" `Quick
             test_bad_jobs_env_warns;
           Alcotest.test_case "pool reuse + respawn + shutdown" `Quick
-            test_pool_reuse_respawn_shutdown ] );
+            test_pool_reuse_respawn_shutdown;
+          Alcotest.test_case "pool batches carry the trace context" `Quick
+            test_pool_trace_context;
+          Alcotest.test_case "one-shot map inherits the trace context"
+            `Quick test_map_trace_context ] );
       ( "space",
         [ Alcotest.test_case "combinators" `Quick test_space_combinators ] );
       ( "eval cache",

@@ -173,6 +173,54 @@ let test_metrics_snapshot_diff () =
           (Array.to_list counts)
       | _ -> fail "histogram row lost its type")
 
+let test_metrics_snapshot_consistency () =
+  (* Concurrent observers must never yield a torn snapshot: in every
+     capture the histogram's bucket counts sum to _count and (all
+     observations being 1.0) _sum equals _count exactly. *)
+  with_obs (fun () ->
+      let h =
+        Obs.Metrics.histogram ~buckets:[| 0.5; 1.5 |]
+          ~labels:[ ("k", "hammer") ]
+          "test_hammer_seconds"
+      in
+      let stop = Atomic.make false in
+      let writers =
+        List.init 4 (fun _ ->
+            Thread.create
+              (fun () ->
+                while not (Atomic.get stop) do
+                  Obs.Metrics.observe h 1.0
+                done)
+              ())
+      in
+      let torn = ref [] in
+      for i = 1 to 200 do
+        let snap = Obs.Metrics.snapshot () in
+        match
+          List.find_opt
+            (fun (n, ls, _, _) ->
+              n = "test_hammer_seconds" && ls = [ ("k", "hammer") ])
+            snap
+        with
+        | Some (_, _, _, Obs.Metrics.S_histogram (_, counts, sum, count)) ->
+          let bucket_sum = Array.fold_left ( + ) 0 counts in
+          if bucket_sum <> count then
+            torn := Printf.sprintf "capture %d: buckets %d vs count %d" i
+                      bucket_sum count :: !torn;
+          if Float.abs (sum -. float_of_int count) > 1e-6 then
+            torn := Printf.sprintf "capture %d: sum %g vs count %d" i sum
+                      count :: !torn
+        | _ -> torn := Printf.sprintf "capture %d: row missing" i :: !torn
+      done;
+      Atomic.set stop true;
+      List.iter Thread.join writers;
+      match !torn with
+      | [] -> ()
+      | first :: _ ->
+        fail
+          (Printf.sprintf "%d torn snapshots, e.g. %s" (List.length !torn)
+             first))
+
 (* --- Export (OpenMetrics) --------------------------------------------------- *)
 
 let contains hay needle =
@@ -220,6 +268,64 @@ let test_export_openmetrics () =
       check Alcotest.int "one TYPE per family"
         (List.length (List.sort_uniq compare type_lines))
         (List.length type_lines))
+
+let test_export_quantile () =
+  let bounds = [| 1.0; 2.0; 4.0 |] in
+  let counts = [| 2; 2; 4; 0 |] in
+  let q p = Obs.Export.quantile ~bounds ~counts p in
+  let check_q name want got =
+    match got with
+    | Some v -> check (Alcotest.float 1e-9) name want v
+    | None -> fail (name ^ ": no estimate from a populated histogram")
+  in
+  (* rank q*total walked through per-bucket counts, interpolated inside
+     the selected bucket (first bucket's lower edge is 0). *)
+  check_q "median" 2.0 (q 0.5);
+  check_q "q1 at a bucket edge" 1.0 (q 0.25);
+  check_q "interpolates inside a bucket" 0.5 (q 0.125);
+  check_q "max lands on the last bound" 4.0 (q 1.0);
+  (* Ranks in the +Inf bucket report the last finite bound (the
+     Prometheus histogram_quantile convention). *)
+  check_q "+Inf bucket clamps to last bound" 4.0
+    (Obs.Export.quantile ~bounds ~counts:[| 0; 0; 0; 5 |] 0.9);
+  (* No finite bounds at all: nothing to interpolate against. *)
+  check_q "no finite bounds reports 0" 0.0
+    (Obs.Export.quantile ~bounds:[||] ~counts:[| 3 |] 0.5);
+  check Alcotest.bool "empty histogram is None" true
+    (Obs.Export.quantile ~bounds ~counts:[| 0; 0; 0; 0 |] 0.5 = None);
+  (match Obs.Export.quantile ~bounds ~counts 2.0 with
+   | exception Invalid_argument _ -> ()
+   | _ -> fail "q outside [0, 1] accepted");
+  (match Obs.Export.quantile ~bounds ~counts Float.nan with
+   | exception Invalid_argument _ -> ()
+   | _ -> fail "NaN q accepted");
+  match Obs.Export.quantile ~bounds ~counts:[| 1; 2 |] 0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "shape mismatch accepted"
+
+let test_export_snapshot_quantile () =
+  with_obs (fun () ->
+      let h =
+        Obs.Metrics.histogram ~buckets:[| 0.1; 1.0 |]
+          ~labels:[ ("op", "x"); ("k", "v") ]
+          "test_snapq_seconds"
+      in
+      List.iter (Obs.Metrics.observe h) [ 0.05; 0.05; 0.5; 0.5 ];
+      let snap = Obs.Metrics.snapshot () in
+      (* Label lookup is order-insensitive. *)
+      (match
+         Obs.Export.snapshot_quantile snap ~name:"test_snapq_seconds"
+           ~labels:[ ("k", "v"); ("op", "x") ] 0.5
+       with
+       | Some v -> check (Alcotest.float 1e-9) "median from snapshot" 0.1 v
+       | None -> fail "labelled histogram row not found");
+      check Alcotest.bool "absent name is None" true
+        (Obs.Export.snapshot_quantile snap ~name:"test_snapq_nosuch" 0.5
+         = None);
+      check Alcotest.bool "label mismatch is None" true
+        (Obs.Export.snapshot_quantile snap ~name:"test_snapq_seconds"
+           ~labels:[ ("op", "y") ] 0.5
+         = None))
 
 let test_export_snapshot_delta () =
   with_obs (fun () ->
@@ -314,6 +420,45 @@ let test_log_level_floor () =
              Obs.Log.level_of_string (Obs.Log.level_to_string l) = Some l)
            [ Obs.Log.Debug; Obs.Log.Info; Obs.Log.Warn; Obs.Log.Error ]))
 
+let test_log_rotation () =
+  with_log_file (fun path ->
+      Obs.Metrics.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Metrics.set_enabled false;
+          try Sys.remove (path ^ ".1") with Sys_error _ -> ())
+      @@ fun () ->
+      Obs.Log.open_file ~max_bytes:512 path;
+      for i = 1 to 40 do
+        Obs.Log.event "test:rotate"
+          [ ("i", Obs.Trace.I i); ("pad", Obs.Trace.S (String.make 64 'x')) ]
+      done;
+      Obs.Log.close ();
+      check Alcotest.bool "rotated sink exists" true
+        (Sys.file_exists (path ^ ".1"));
+      (* The rotation happens before the write that would cross the cap,
+         so neither file ever exceeds it. *)
+      check Alcotest.bool "live file within the cap" true
+        ((Unix.stat path).Unix.st_size <= 512);
+      check Alcotest.bool "rotated file within the cap" true
+        ((Unix.stat (path ^ ".1")).Unix.st_size <= 512);
+      (* Whole lines only on both sides of the rename: everything still
+         parses, and together the files hold the newest records. *)
+      let r1 = read_records (path ^ ".1") in
+      let r0 = read_records path in
+      check Alcotest.bool "records on both sides" true (r0 <> [] && r1 <> []);
+      let last = List.nth r0 (List.length r0 - 1) in
+      check Alcotest.int "newest record in the live file" 40
+        Obs.Json.(to_int (member "i" last));
+      match
+        List.find_opt
+          (fun (n, _, _, _) -> n = "log_rotations_total")
+          (Obs.Metrics.snapshot ())
+      with
+      | Some (_, _, _, Obs.Metrics.S_counter n) ->
+        check Alcotest.bool "rotations counted" true (n >= 1)
+      | _ -> fail "log_rotations_total not registered")
+
 (* --- Trace ------------------------------------------------------------------ *)
 
 let test_trace_disabled_records_nothing () =
@@ -366,6 +511,103 @@ let test_trace_emit_all_preserves_lanes () =
       match Obs.Trace.events () with
       | [ e ] -> check Alcotest.int "lane kept" 5 e.Obs.Trace.ev_tid
       | l -> fail (Printf.sprintf "%d events after emit_all" (List.length l)))
+
+let sarg name e =
+  match List.assoc_opt name e.Obs.Trace.ev_args with
+  | Some (Obs.Trace.S s) -> Some s
+  | _ -> None
+
+let test_trace_context_ids () =
+  (* Ids are fresh, well-formed hex and never collide in bulk. *)
+  let ids = List.init 1000 (fun _ -> Obs.Trace.new_id ()) in
+  check Alcotest.int "ids unique" 1000
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      check Alcotest.int "16 hex digits" 16 (String.length id);
+      String.iter
+        (fun c ->
+          if not ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) then
+            fail (Printf.sprintf "non-hex id %S" id))
+        id)
+    ids
+
+let test_trace_context_spans () =
+  with_obs (fun () ->
+      check Alcotest.bool "no ambient context" true
+        (Obs.Trace.context () = None);
+      (* Without a context, spans carry no ids. *)
+      Obs.Trace.with_span "bare" (fun () -> ());
+      (match Obs.Trace.events () with
+       | [ e ] -> check Alcotest.bool "bare span unstamped" true
+                    (sarg "trace_id" e = None)
+       | _ -> fail "expected one event");
+      Obs.Trace.clear ();
+      let root =
+        { Obs.Trace.trace_id = Obs.Trace.new_id ();
+          span_id = Obs.Trace.new_id ();
+          parent_id = None }
+      in
+      Obs.Trace.with_context root (fun () ->
+          Obs.Trace.with_span "outer" (fun () ->
+              Obs.Trace.with_span "inner" (fun () -> ());
+              Obs.Trace.instant "mark"));
+      check Alcotest.bool "context restored after with_context" true
+        (Obs.Trace.context () = None);
+      let evs = Obs.Trace.events () in
+      let find name =
+        match List.find_opt (fun e -> e.Obs.Trace.ev_name = name) evs with
+        | Some e -> e
+        | None -> fail (Printf.sprintf "span %s missing" name)
+      in
+      let outer = find "outer" and inner = find "inner" in
+      (* One trace id end to end; span ids chain parent -> child. *)
+      check (Alcotest.option Alcotest.string) "outer shares the trace id"
+        (Some root.Obs.Trace.trace_id) (sarg "trace_id" outer);
+      check (Alcotest.option Alcotest.string) "inner shares the trace id"
+        (Some root.Obs.Trace.trace_id) (sarg "trace_id" inner);
+      check (Alcotest.option Alcotest.string) "outer is a child of the root"
+        (Some root.Obs.Trace.span_id) (sarg "parent_id" outer);
+      check (Alcotest.option Alcotest.string) "inner is a child of outer"
+        (sarg "span_id" outer) (sarg "parent_id" inner);
+      check Alcotest.bool "span ids distinct" true
+        (sarg "span_id" outer <> sarg "span_id" inner);
+      (* The instant inside outer is stamped with outer's child scope. *)
+      check (Alcotest.option Alcotest.string) "instant shares the trace id"
+        (Some root.Obs.Trace.trace_id) (sarg "trace_id" (find "mark")))
+
+let test_trace_context_scopes () =
+  (* Contexts are slotted by the installed scope key: two scopes hold
+     independent contexts, and clearing one leaves the other. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_context_key (fun () -> 0);
+      Obs.Trace.set_context None)
+  @@ fun () ->
+  let scope = ref 1 in
+  Obs.Trace.set_context_key (fun () -> !scope);
+  let ctx n =
+    { Obs.Trace.trace_id = n; span_id = n; parent_id = None }
+  in
+  scope := 1;
+  Obs.Trace.set_context (Some (ctx "one"));
+  scope := 2;
+  Obs.Trace.set_context (Some (ctx "two"));
+  check Alcotest.bool "scope 2 sees its own context" true
+    (match Obs.Trace.context () with
+     | Some c -> c.Obs.Trace.trace_id = "two"
+     | None -> false);
+  scope := 1;
+  check Alcotest.bool "scope 1 undisturbed" true
+    (match Obs.Trace.context () with
+     | Some c -> c.Obs.Trace.trace_id = "one"
+     | None -> false);
+  Obs.Trace.set_context None;
+  check Alcotest.bool "scope 1 cleared" true (Obs.Trace.context () = None);
+  scope := 2;
+  check Alcotest.bool "scope 2 still set" true
+    (Obs.Trace.context () <> None);
+  Obs.Trace.set_context None
 
 (* --- Waveform ---------------------------------------------------------------- *)
 
@@ -508,20 +750,32 @@ let () =
           Alcotest.test_case "snapshot merge" `Quick
             test_metrics_snapshot_merge;
           Alcotest.test_case "snapshot diff" `Quick
-            test_metrics_snapshot_diff ] );
+            test_metrics_snapshot_diff;
+          Alcotest.test_case "snapshot consistency under hammering" `Quick
+            test_metrics_snapshot_consistency ] );
       ( "export",
         [ Alcotest.test_case "openmetrics" `Quick test_export_openmetrics;
+          Alcotest.test_case "quantile" `Quick test_export_quantile;
+          Alcotest.test_case "snapshot quantile" `Quick
+            test_export_snapshot_quantile;
           Alcotest.test_case "snapshot delta" `Quick
             test_export_snapshot_delta ] );
       ( "log",
         [ Alcotest.test_case "records" `Quick test_log_records;
-          Alcotest.test_case "level floor" `Quick test_log_level_floor ] );
+          Alcotest.test_case "level floor" `Quick test_log_level_floor;
+          Alcotest.test_case "size-capped rotation" `Quick
+            test_log_rotation ] );
       ( "trace",
         [ Alcotest.test_case "disabled no-op" `Quick
             test_trace_disabled_records_nothing;
           Alcotest.test_case "spans + json" `Quick test_trace_spans_and_json;
           Alcotest.test_case "emit_all lanes" `Quick
-            test_trace_emit_all_preserves_lanes ] );
+            test_trace_emit_all_preserves_lanes;
+          Alcotest.test_case "context ids" `Quick test_trace_context_ids;
+          Alcotest.test_case "context spans" `Quick
+            test_trace_context_spans;
+          Alcotest.test_case "context scopes" `Quick
+            test_trace_context_scopes ] );
       ( "waveform",
         [ Alcotest.test_case "buckets" `Quick test_waveform_buckets;
           Alcotest.test_case "bucket edges" `Quick

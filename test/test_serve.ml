@@ -334,8 +334,10 @@ let test_request_seconds_buckets () =
     ignore (Serve.Router.handle router (J.Obj [ ("op", J.Str "ping") ]))
   done;
   let scrape = Obs.Export.to_openmetrics () in
+  (* The histogram is labelled per op; registered label first, the
+     exporter's le label last. *)
   check Alcotest.bool "sub-millisecond bucket present" true
-    (contains scrape "serve_request_seconds_bucket{le=\"0.0001\"}");
+    (contains scrape "serve_request_seconds_bucket{op=\"ping\",le=\"0.0001\"}");
   let lines = String.split_on_char '\n' scrape in
   let starts p s =
     String.length s >= String.length p && String.sub s 0 (String.length p) = p
@@ -347,7 +349,10 @@ let test_request_seconds_buckets () =
     | None -> Alcotest.fail ("unparsable sample: " ^ line)
   in
   let buckets =
-    List.filter (starts "serve_request_seconds_bucket") lines
+    List.filter
+      (fun l ->
+        starts "serve_request_seconds_bucket" l && contains l "op=\"ping\"")
+      lines
   in
   check Alcotest.bool "all bounds exposed" true (List.length buckets >= 12);
   let counts = List.map value buckets in
@@ -358,9 +363,14 @@ let test_request_seconds_buckets () =
   check Alcotest.bool "cumulative bucket counts are monotone" true
     (monotone counts);
   let count =
-    match List.filter (starts "serve_request_seconds_count") lines with
+    match
+      List.filter
+        (fun l ->
+          starts "serve_request_seconds_count" l && contains l "op=\"ping\"")
+        lines
+    with
     | [ line ] -> value line
-    | _ -> Alcotest.fail "expected exactly one _count sample"
+    | _ -> Alcotest.fail "expected exactly one ping _count sample"
   in
   check Alcotest.bool "requests were observed" true (count >= 3);
   let last = List.nth buckets (List.length buckets - 1) in
@@ -378,6 +388,191 @@ let test_request_seconds_buckets () =
   in
   check Alcotest.bool "fast requests resolved by sub-100ms buckets" true
     (at_25ms >= 3)
+
+let test_router_timings_and_trace () =
+  with_router @@ fun router ->
+  let call req = Serve.Router.handle router req in
+  let estimate extra =
+    J.Obj
+      (( [ ("op", J.Str "estimate");
+           ("workloads", J.Arr [ J.Str "gcd"; J.Str "des" ]) ]
+       @ extra ))
+  in
+  (* Warm the registry and the cache first: the acceptance criterion is
+     about the steady state. *)
+  check Alcotest.bool "warm-up ok" true
+    (as_bool (member "ok" (call (estimate []))));
+  let resp = call (estimate [ ("timings", J.Bool true) ]) in
+  check Alcotest.bool "timed request ok" true (as_bool (member "ok" resp));
+  let t = member "timings" resp in
+  let total = as_float (member "total_us" t) in
+  check Alcotest.bool "total wall time positive" true (total > 0.0);
+  let phases =
+    match member "phases" t with
+    | J.Obj kv -> kv
+    | _ -> Alcotest.fail "phases is not an object"
+  in
+  List.iter
+    (fun n ->
+      check Alcotest.bool (n ^ " phase reported") true
+        (List.mem_assoc n phases))
+    [ "registry"; "cache"; "serialize"; "other" ];
+  (* Unattributed time lands in "other", so the breakdown accounts for
+     the measured wall time — well within the 5% acceptance bound. *)
+  let sum = List.fold_left (fun a (_, v) -> a +. as_float v) 0.0 phases in
+  check Alcotest.bool "phases sum to total within 5%" true
+    (Float.abs (sum -. total) <= 0.05 *. Float.max total 1.0);
+  List.iter
+    (fun (n, v) ->
+      check Alcotest.bool (n ^ " phase non-negative") true
+        (as_float (J.Num (as_float v)) >= 0.0))
+    phases;
+  (* Every response echoes a trace id; fresh requests get fresh ones. *)
+  let tid resp =
+    match member "trace_id" resp with
+    | J.Str s -> s
+    | _ -> Alcotest.fail "trace_id is not a string"
+  in
+  check Alcotest.bool "trace id echoed" true (tid resp <> "");
+  check Alcotest.bool "fresh requests get distinct ids" true
+    (tid (call (J.Obj [ ("op", J.Str "ping") ]))
+     <> tid (call (J.Obj [ ("op", J.Str "ping") ])));
+  (* A client-supplied trace context is adopted, not replaced. *)
+  let resp =
+    call
+      (J.Obj
+         [ ("op", J.Str "ping");
+           ("trace_id", J.Str "cafef00dcafef00d");
+           ("parent_span_id", J.Str "beefbeefbeefbeef") ])
+  in
+  check Alcotest.string "supplied trace id adopted" "cafef00dcafef00d"
+    (tid resp);
+  (* Timings are opt-in. *)
+  match call (J.Obj [ ("op", J.Str "ping") ]) with
+  | J.Obj fields ->
+    check Alcotest.bool "no timings unless requested" true
+      (List.assoc_opt "timings" fields = None)
+  | _ -> Alcotest.fail "response is not an object"
+
+let test_router_status_op () =
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled was) @@ fun () ->
+  with_router @@ fun router ->
+  let call req = Serve.Router.handle router req in
+  for _ = 1 to 5 do
+    ignore (call (J.Obj [ ("op", J.Str "ping") ]))
+  done;
+  check Alcotest.bool "estimate ok" true
+    (as_bool
+       (member "ok"
+          (call
+             (J.Obj
+                [ ("op", J.Str "estimate");
+                  ("workloads", J.Arr [ J.Str "gcd" ]) ]))));
+  check Alcotest.bool "unknown op refused" false
+    (as_bool (member "ok" (call (J.Obj [ ("op", J.Str "nosuchop") ]))));
+  let resp = call (J.Obj [ ("op", J.Str "status") ]) in
+  check Alcotest.bool "status ok" true (as_bool (member "ok" resp));
+  check Alcotest.int "pid" (Unix.getpid ()) (as_int (member "pid" resp));
+  check Alcotest.bool "uptime" true (as_float (member "uptime_s" resp) >= 0.0);
+  (* The status request observes itself mid-flight — nothing else is. *)
+  check Alcotest.int "only the status request itself inflight" 1
+    (as_int (member "inflight" resp));
+  let ops =
+    match member "ops" resp with
+    | J.Arr l -> l
+    | _ -> Alcotest.fail "ops is not an array"
+  in
+  let row op = List.find_opt (fun r -> member "op" r = J.Str op) ops in
+  (match row "ping" with
+   | Some r ->
+     check Alcotest.bool "ping requests counted" true
+       (as_int (member "requests" r) >= 5);
+     check Alcotest.int "ping inflight zero" 0 (as_int (member "inflight" r));
+     let w = member "window" r in
+     check Alcotest.bool "window saw the pings" true
+       (as_int (member "requests" w) >= 5);
+     check Alcotest.bool "request rate positive" true
+       (as_float (member "rate_hz" w) > 0.0);
+     let quantiles o =
+       match (member "p50_ms" o, member "p90_ms" o, member "p99_ms" o) with
+       | J.Num a, J.Num b, J.Num c -> (a, b, c)
+       | _ -> Alcotest.fail "quantiles missing"
+     in
+     let w50, w90, w99 = quantiles w in
+     check Alcotest.bool "window quantiles ordered" true
+       (w50 <= w90 && w90 <= w99);
+     let c50, c90, c99 = quantiles (member "cumulative" r) in
+     check Alcotest.bool "cumulative quantiles ordered" true
+       (c50 <= c90 && c90 <= c99);
+     (* The first status call has no window history: the rolling window
+        degenerates to the whole uptime, so both views agree exactly. *)
+     check (Alcotest.float 1e-9) "first window equals cumulative p99" c99 w99
+   | None -> Alcotest.fail "no ping row");
+  (match row "invalid" with
+   | Some r ->
+     check Alcotest.bool "bad op counted under the invalid label" true
+       (as_int (member "errors" r) >= 1)
+   | None -> Alcotest.fail "no invalid row");
+  check Alcotest.bool "idle ops keep no row" true (row "audit" = None);
+  check Alcotest.bool "registry residency reported" true
+    (as_int (member "models" (member "registry" resp)) >= 1);
+  check Alcotest.bool "pool lanes reported" true
+    (as_int (member "lanes" (member "pool" resp)) >= 1);
+  (* A second poll diffs against the first capture: the window narrows
+     to the polling gap instead of the whole uptime. *)
+  Unix.sleepf 0.05;
+  let resp2 = call (J.Obj [ ("op", J.Str "status") ]) in
+  let dt = as_float (member "window_dt_s" resp2) in
+  check Alcotest.bool "second poll window is the polling gap" true
+    (dt >= 0.04 && dt < as_float (member "uptime_s" resp2))
+
+let test_router_slow_request_log () =
+  let path = Filename.temp_file "xenergy-slow" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.close ();
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let router =
+    (* A threshold of 100 ns marks every request slow. *)
+    Serve.Router.create ~max_models:2 ~jobs:2
+      ~characterize:(fun _ -> stub_model)
+      ~slow_ms:0.0001 ()
+  in
+  Fun.protect ~finally:(fun () -> Serve.Router.shutdown router) @@ fun () ->
+  Obs.Log.open_file path;
+  check Alcotest.bool "ping ok" true
+    (as_bool
+       (member "ok" (Serve.Router.handle router (J.Obj [ ("op", J.Str "ping") ]))));
+  Obs.Log.close ();
+  let records =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+    |> List.map J.parse
+  in
+  match
+    List.find_opt (fun r -> member "event" r = J.Str "serve:slow-request")
+      records
+  with
+  | Some r ->
+    check Alcotest.bool "warn level" true (member "level" r = J.Str "warn");
+    check Alcotest.bool "op named" true (member "op" r = J.Str "ping");
+    check Alcotest.bool "total recorded" true
+      (as_float (member "total_ms" r) >= 0.0);
+    (match member "trace_id" r with
+     | J.Str s -> check Alcotest.bool "trace id attached" true (s <> "")
+     | _ -> Alcotest.fail "trace_id missing from the slow-request line");
+    let keys = match r with J.Obj kv -> List.map fst kv | _ -> [] in
+    check Alcotest.bool "per-phase breakdown attached" true
+      (List.exists
+         (fun k ->
+           String.length k > 6 && String.sub k 0 6 = "phase_"
+           && Filename.check_suffix k "_ms")
+         keys)
+  | None -> Alcotest.fail "no serve:slow-request line in the log"
 
 (* --- End-to-end daemon ---------------------------------------------------- *)
 
@@ -657,6 +852,55 @@ let test_client_session_reuse () =
   let n2 = as_int (member "requests" (scall stats_req)) in
   check Alcotest.int "every call counted on one connection" 2 (n2 - n1)
 
+let test_server_trace_ids_per_session () =
+  with_server ~max_models:1 @@ fun socket ->
+  (* Two concurrent connections, calls interleaved: the daemon mints a
+     fresh trace id per request, and the per-thread context scoping
+     means neither session ever sees the other's ids. *)
+  let ids = ref [] in
+  Serve.Client.with_session ~socket (fun a ->
+      Serve.Client.with_session ~socket (fun b ->
+          for _ = 1 to 3 do
+            List.iter
+              (fun s ->
+                match Serve.Client.session_call ~timeout_s:5.0 s ping_req with
+                | J.Obj fields -> (
+                  match List.assoc_opt "trace_id" fields with
+                  | Some (J.Str id) -> ids := id :: !ids
+                  | _ -> Alcotest.fail "response lacks trace_id")
+                | _ -> Alcotest.fail "response is not an object")
+              [ a; b ]
+          done));
+  check Alcotest.int "every request got its own trace id" 6
+    (List.length (List.sort_uniq compare !ids));
+  (* With client-side tracing on, the client stamps its ids into the
+     request, records the round trip as a client:call span, and the
+     daemon adopts the ids — one trace end to end. *)
+  Obs.Trace.set_enabled true;
+  Obs.Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ())
+  @@ fun () ->
+  let resp = Serve.Client.call ~timeout_s:5.0 ~socket ping_req in
+  let echoed =
+    match member "trace_id" resp with
+    | J.Str s -> s
+    | _ -> Alcotest.fail "traced call lost its trace_id"
+  in
+  match
+    List.find_opt
+      (fun e -> e.Obs.Trace.ev_name = "client:call")
+      (Obs.Trace.events ())
+  with
+  | Some e -> (
+    match List.assoc_opt "trace_id" e.Obs.Trace.ev_args with
+    | Some (Obs.Trace.S s) ->
+      check Alcotest.string "daemon adopted the client's trace id" s echoed
+    | _ -> Alcotest.fail "client:call span carries no trace_id")
+  | None -> Alcotest.fail "no client:call span recorded"
+
 let test_server_socket_steal_refused () =
   (* A second daemon pointed at a live daemon's socket must refuse to
      start — and must not unlink the live socket on its way out. *)
@@ -780,7 +1024,12 @@ let () =
         [ Alcotest.test_case "profile op" `Quick test_router_profile_op;
           Alcotest.test_case "explore op" `Slow test_router_explore_op;
           Alcotest.test_case "latency-shaped request buckets" `Quick
-            test_request_seconds_buckets ] );
+            test_request_seconds_buckets;
+          Alcotest.test_case "timings + trace ids" `Quick
+            test_router_timings_and_trace;
+          Alcotest.test_case "status op" `Quick test_router_status_op;
+          Alcotest.test_case "slow-request log" `Quick
+            test_router_slow_request_log ] );
       ( "daemon",
         [ Alcotest.test_case "cold/warm + metrics" `Slow
             test_server_cold_warm_and_metrics;
@@ -797,6 +1046,8 @@ let () =
           Alcotest.test_case "half-close still answered" `Slow
             test_server_half_close;
           Alcotest.test_case "session reuse" `Slow test_client_session_reuse;
+          Alcotest.test_case "per-session trace ids" `Slow
+            test_server_trace_ids_per_session;
           Alcotest.test_case "socket steal refused" `Slow
             test_server_socket_steal_refused;
           Alcotest.test_case "stale socket replaced" `Quick
